@@ -1,0 +1,42 @@
+# Convenience targets for the CoReDA reproduction.
+
+.PHONY: all build test bench doc clippy examples repro clean
+
+all: build test
+
+build:
+	cargo build --workspace
+
+test:
+	cargo test --workspace
+
+bench:
+	cargo bench --workspace
+
+doc:
+	cargo doc --workspace --no-deps
+
+clippy:
+	cargo clippy --workspace --all-targets
+
+examples:
+	for ex in quickstart tea_making tooth_brushing custom_adl multi_routine smart_home year_in_the_life; do \
+		cargo run --release --example $$ex; \
+	done
+
+# Regenerate every table and figure of the paper plus the extended studies.
+repro:
+	cargo run --release -p coreda-bench --bin repro_table3
+	cargo run --release -p coreda-bench --bin repro_fig4
+	cargo run --release -p coreda-bench --bin repro_table4
+	cargo run --release -p coreda-bench --bin repro_fig1
+	cargo run --release -p coreda-bench --bin repro_ablation
+	cargo run --release -p coreda-bench --bin repro_baselines
+	cargo run --release -p coreda-bench --bin repro_radio_loss
+	cargo run --release -p coreda-bench --bin repro_adaptation
+	cargo run --release -p coreda-bench --bin repro_energy
+	cargo run --release -p coreda-bench --bin repro_burden
+	cargo run --release -p coreda-bench --bin repro_contention
+
+clean:
+	cargo clean

@@ -1,0 +1,397 @@
+//! ADL specifications and the paper's two canonical activities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::step::{Step, StepId};
+use crate::tool::{Tool, ToolId};
+
+/// The specification of one activity of daily living: its tools and the
+/// canonical ordering of its steps (Table 2).
+///
+/// A spec is *descriptive*: the canonical order is the order most people
+/// perform the activity in. Each user's personally learned order lives in
+/// a [`Routine`](crate::routine::Routine).
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::activity::catalog;
+///
+/// let tea = catalog::tea_making();
+/// assert_eq!(tea.steps().len(), 4);
+/// assert_eq!(tea.steps()[1].name(), "Pour hot water into kettle");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdlSpec {
+    name: String,
+    tools: Vec<Tool>,
+    steps: Vec<Step>,
+}
+
+impl AdlSpec {
+    /// Creates a validated spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, a step references a tool that is not in
+    /// `tools`, or two tools share an id.
+    #[must_use]
+    pub fn new(name: impl Into<String>, tools: Vec<Tool>, steps: Vec<Step>) -> Self {
+        let name = name.into();
+        assert!(!steps.is_empty(), "an ADL needs at least one step");
+        for (i, a) in tools.iter().enumerate() {
+            for b in &tools[i + 1..] {
+                assert!(a.id() != b.id(), "duplicate tool id {id}", id = a.id());
+            }
+        }
+        for step in &steps {
+            assert!(
+                tools.iter().any(|t| t.id() == step.tool()),
+                "step '{step}' uses unknown tool {tool}",
+                step = step.name(),
+                tool = step.tool()
+            );
+        }
+        AdlSpec { name, tools, steps }
+    }
+
+    /// The activity's name ("Tea-making").
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tools involved.
+    #[must_use]
+    pub fn tools(&self) -> &[Tool] {
+        &self.tools
+    }
+
+    /// The canonical step order.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Looks a tool up by id.
+    #[must_use]
+    pub fn tool(&self, id: ToolId) -> Option<&Tool> {
+        self.tools.iter().find(|t| t.id() == id)
+    }
+
+    /// Looks a step up by its step id.
+    #[must_use]
+    pub fn step(&self, id: StepId) -> Option<&Step> {
+        self.steps.iter().find(|s| s.id() == id)
+    }
+
+    /// The position of `id` in the canonical order.
+    #[must_use]
+    pub fn step_index(&self, id: StepId) -> Option<usize> {
+        self.steps.iter().position(|s| s.id() == id)
+    }
+
+    /// The step id of the final (terminal) step.
+    #[must_use]
+    pub fn terminal_step(&self) -> StepId {
+        self.steps.last().expect("validated: non-empty").id()
+    }
+
+    /// The step ids in canonical order.
+    #[must_use]
+    pub fn step_ids(&self) -> Vec<StepId> {
+        self.steps.iter().map(Step::id).collect()
+    }
+}
+
+impl fmt::Display for AdlSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} steps)", self.name, self.steps.len())
+    }
+}
+
+/// The paper's two evaluated ADLs, with tool ids, sensors, durations and
+/// signal behaviour calibrated to reproduce Table 2 and the precision
+/// *shape* of Table 3 (short steps — drying with the towel, pouring hot
+/// water — have the weakest signals and the lowest extract precision).
+pub mod catalog {
+    use coreda_sensornet::signal::SignalModel;
+
+    use super::{AdlSpec, Step, Tool, ToolId};
+
+    /// Tool id of the toothpaste tube.
+    pub const PASTE_TUBE: u16 = 1;
+    /// Tool id of the toothbrush.
+    pub const BRUSH: u16 = 2;
+    /// Tool id of the gargling cup.
+    pub const CUP: u16 = 3;
+    /// Tool id of the towel.
+    pub const TOWEL: u16 = 4;
+    /// Tool id of the tea box.
+    pub const TEA_BOX: u16 = 5;
+    /// Tool id of the electronic pot (pressure sensor).
+    pub const POT: u16 = 6;
+    /// Tool id of the kettle.
+    pub const KETTLE: u16 = 7;
+    /// Tool id of the tea cup.
+    pub const TEA_CUP: u16 = 8;
+
+    /// Accelerometer noise floor shared by every accelerometer tool, in g.
+    const ACC_NOISE: f64 = 0.03;
+    /// Accelerometer burst amplitude while manipulated, in g.
+    const ACC_AMP: f64 = 0.45;
+
+    /// The Tooth-brushing ADL (Table 2, upper half).
+    #[must_use]
+    pub fn tooth_brushing() -> AdlSpec {
+        let acc = |duty: f64| SignalModel::accelerometer(ACC_NOISE, ACC_AMP, duty);
+        let tools = vec![
+            Tool::new(ToolId::new(PASTE_TUBE), "paste-tube", acc(0.28)),
+            Tool::new(ToolId::new(BRUSH), "toothbrush", acc(0.70)),
+            Tool::new(ToolId::new(CUP), "cup", acc(0.60)),
+            // Drying with a towel is brief and gentle: low duty → the
+            // paper's weakest extract precision (85 %).
+            Tool::new(ToolId::new(TOWEL), "towel", acc(0.30)),
+        ];
+        let steps = vec![
+            Step::new("Put toothpaste on the brush", ToolId::new(PASTE_TUBE), 4.0, 0.8),
+            Step::new("Brush the teeth", ToolId::new(BRUSH), 10.0, 2.0),
+            Step::new("Gargle with water", ToolId::new(CUP), 6.0, 1.2),
+            Step::new("Dry with a towel", ToolId::new(TOWEL), 3.0, 0.6),
+        ];
+        AdlSpec::new("Tooth-brushing", tools, steps)
+    }
+
+    /// The Tea-making ADL (Table 2, lower half).
+    #[must_use]
+    pub fn tea_making() -> AdlSpec {
+        let acc = |duty: f64| SignalModel::accelerometer(ACC_NOISE, ACC_AMP, duty);
+        let tools = vec![
+            Tool::new(ToolId::new(TEA_BOX), "tea-box", acc(0.60)),
+            // Pouring hot water is one brief press on the pot: the paper's
+            // lowest extract precision (80 %).
+            Tool::new(ToolId::new(POT), "electronic-pot", SignalModel::pressure(0.3, 3.0, 0.26)),
+            Tool::new(ToolId::new(KETTLE), "kettle", acc(0.60)),
+            Tool::new(ToolId::new(TEA_CUP), "tea-cup", acc(0.26)),
+        ];
+        let steps = vec![
+            Step::new("Put tea-leaf into kettle", ToolId::new(TEA_BOX), 6.0, 1.2),
+            Step::new("Pour hot water into kettle", ToolId::new(POT), 3.0, 0.6),
+            Step::new("Pour tea into tea cup", ToolId::new(KETTLE), 5.0, 1.0),
+            Step::new("Drink a cup of tea", ToolId::new(TEA_CUP), 4.0, 0.8),
+        ];
+        AdlSpec::new("Tea-making", tools, steps)
+    }
+
+    /// Tool id of the wardrobe door.
+    pub const WARDROBE: u16 = 9;
+    /// Tool id of the shirt hanger.
+    pub const SHIRT: u16 = 10;
+    /// Tool id of the trouser hanger.
+    pub const TROUSERS: u16 = 11;
+    /// Tool id of the sock drawer.
+    pub const SOCKS: u16 = 12;
+    /// Tool id of the shoe rack.
+    pub const SHOES: u16 = 13;
+
+    /// The Dressing ADL — the paper's motivating case for multi-routine
+    /// plans ("for some ADLs, such as dressing, one user may have
+    /// multiple routines to complete it", future work §4.1). Not part of
+    /// the paper's evaluation; provided for the multi-routine studies.
+    #[must_use]
+    pub fn dressing() -> AdlSpec {
+        let acc = |duty: f64| SignalModel::accelerometer(ACC_NOISE, ACC_AMP, duty);
+        let tools = vec![
+            Tool::new(ToolId::new(WARDROBE), "wardrobe", acc(0.55)),
+            Tool::new(ToolId::new(SHIRT), "shirt-hanger", acc(0.50)),
+            Tool::new(ToolId::new(TROUSERS), "trouser-hanger", acc(0.50)),
+            Tool::new(ToolId::new(SOCKS), "sock-drawer", acc(0.45)),
+            Tool::new(ToolId::new(SHOES), "shoe-rack", acc(0.50)),
+        ];
+        let steps = vec![
+            Step::new("Open the wardrobe", ToolId::new(WARDROBE), 4.0, 0.8),
+            Step::new("Put on the shirt", ToolId::new(SHIRT), 20.0, 4.0),
+            Step::new("Put on the trousers", ToolId::new(TROUSERS), 25.0, 5.0),
+            Step::new("Put on the socks", ToolId::new(SOCKS), 15.0, 3.0),
+            Step::new("Put on the shoes", ToolId::new(SHOES), 20.0, 4.0),
+        ];
+        AdlSpec::new("Dressing", tools, steps)
+    }
+
+    /// The plausible orderings of [`dressing`]: some people dress
+    /// top-down, some start with the trousers, some do socks before
+    /// trousers. All end at the shoes.
+    #[must_use]
+    pub fn dressing_routines(spec: &AdlSpec) -> crate::routine::RoutineSet {
+        use crate::routine::{Routine, RoutineSet};
+        let id = crate::step::StepId::from_raw;
+        let canonical = Routine::canonical(spec);
+        let trousers_first = Routine::new(
+            spec,
+            vec![id(WARDROBE), id(TROUSERS), id(SHIRT), id(SOCKS), id(SHOES)],
+        );
+        let socks_early = Routine::new(
+            spec,
+            vec![id(WARDROBE), id(SOCKS), id(SHIRT), id(TROUSERS), id(SHOES)],
+        );
+        RoutineSet::weighted(vec![
+            (canonical, 2.0),
+            (trousers_first, 1.0),
+            (socks_early, 1.0),
+        ])
+    }
+
+    /// Every ADL in the catalog (the paper's two plus the dressing
+    /// extension).
+    #[must_use]
+    pub fn all() -> Vec<AdlSpec> {
+        vec![tooth_brushing(), tea_making(), dressing()]
+    }
+
+    /// The two ADLs the paper evaluates (Tables 2–4, Figure 4).
+    #[must_use]
+    pub fn paper_adls() -> Vec<AdlSpec> {
+        vec![tooth_brushing(), tea_making()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coreda_sensornet::sensors::SensorKind;
+
+    /// Table 2 of the paper, verbatim: step names, tool sensors.
+    #[test]
+    fn table2_tooth_brushing() {
+        let adl = catalog::tooth_brushing();
+        let names: Vec<&str> = adl.steps().iter().map(Step::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Put toothpaste on the brush",
+                "Brush the teeth",
+                "Gargle with water",
+                "Dry with a towel",
+            ]
+        );
+        for step in adl.steps() {
+            let tool = adl.tool(step.tool()).unwrap();
+            assert_eq!(tool.sensor(), SensorKind::Accelerometer);
+        }
+    }
+
+    #[test]
+    fn table2_tea_making() {
+        let adl = catalog::tea_making();
+        let names: Vec<&str> = adl.steps().iter().map(Step::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Put tea-leaf into kettle",
+                "Pour hot water into kettle",
+                "Pour tea into tea cup",
+                "Drink a cup of tea",
+            ]
+        );
+        // "Pressure on pot", accelerometer on the rest.
+        for step in adl.steps() {
+            let tool = adl.tool(step.tool()).unwrap();
+            let expected = if tool.name() == "electronic-pot" {
+                SensorKind::Pressure
+            } else {
+                SensorKind::Accelerometer
+            };
+            assert_eq!(tool.sensor(), expected, "wrong sensor on {}", tool.name());
+        }
+    }
+
+    #[test]
+    fn tool_ids_are_globally_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for adl in catalog::all() {
+            for tool in adl.tools() {
+                assert!(seen.insert(tool.id()), "tool id {} reused", tool.id());
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        let adl = catalog::tea_making();
+        let pot = ToolId::new(catalog::POT);
+        assert_eq!(adl.tool(pot).unwrap().name(), "electronic-pot");
+        assert_eq!(adl.step(StepId::from_tool(pot)).unwrap().name(), "Pour hot water into kettle");
+        assert_eq!(adl.step_index(StepId::from_tool(pot)), Some(1));
+        assert_eq!(adl.terminal_step(), StepId::from_raw(catalog::TEA_CUP));
+        assert!(adl.tool(ToolId::new(99)).is_none());
+        assert!(adl.step(StepId::from_raw(99)).is_none());
+    }
+
+    #[test]
+    fn short_steps_have_weak_signals() {
+        // The calibration behind Table 3's shape: towel and pot have the
+        // lowest duty cycles in their ADLs.
+        let tooth = catalog::tooth_brushing();
+        let towel_duty = tooth.tool(ToolId::new(catalog::TOWEL)).unwrap().signal().duty();
+        for tool in tooth.tools() {
+            if tool.id() != ToolId::new(catalog::TOWEL)
+                && tool.id() != ToolId::new(catalog::PASTE_TUBE)
+            {
+                assert!(tool.signal().duty() > towel_duty);
+            }
+        }
+        let tea = catalog::tea_making();
+        let pot_duty = tea.tool(ToolId::new(catalog::POT)).unwrap().signal().duty();
+        for tool in tea.tools() {
+            if tool.id() != ToolId::new(catalog::POT) && tool.id() != ToolId::new(catalog::TEA_CUP)
+            {
+                assert!(tool.signal().duty() > pot_duty);
+            }
+        }
+    }
+
+    #[test]
+    fn dressing_extension_is_well_formed() {
+        let dressing = catalog::dressing();
+        assert_eq!(dressing.steps().len(), 5);
+        assert_eq!(dressing.terminal_step(), StepId::from_raw(catalog::SHOES));
+        let routines = catalog::dressing_routines(&dressing);
+        assert_eq!(routines.len(), 3, "three plausible dressing orders");
+        // All routines end at the shoes — you dress before leaving.
+        for (r, _) in routines.routines() {
+            assert_eq!(r.last(), StepId::from_raw(catalog::SHOES));
+            assert_eq!(r.first(), StepId::from_raw(catalog::WARDROBE));
+        }
+    }
+
+    #[test]
+    fn custom_adl_can_be_defined() {
+        // Design criterion 4: "easily generalize to other ADLs".
+        let tools = vec![Tool::new(
+            ToolId::new(20),
+            "soap",
+            coreda_sensornet::signal::SignalModel::accelerometer(0.03, 0.5, 0.6),
+        )];
+        let steps = vec![Step::new("Lather hands", ToolId::new(20), 5.0, 1.0)];
+        let adl = AdlSpec::new("Hand-washing", tools, steps);
+        assert_eq!(adl.to_string(), "Hand-washing (1 steps)");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tool")]
+    fn step_with_unknown_tool_rejected() {
+        let _ = AdlSpec::new(
+            "bad",
+            vec![],
+            vec![Step::new("x", ToolId::new(1), 1.0, 0.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_adl_rejected() {
+        let _ = AdlSpec::new("bad", vec![], vec![]);
+    }
+}

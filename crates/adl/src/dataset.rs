@@ -1,0 +1,257 @@
+//! Episode datasets: a plain-text interchange format for recordings.
+//!
+//! The paper's evaluation rests on collected recordings ("we collected
+//! 120 training samples of each ADL"). This module gives those recordings
+//! a durable form: a line-oriented, versioned text format that diffs
+//! well, survives editors, and needs no serialisation framework.
+//!
+//! ```text
+//! #coreda-episodes v1
+//! #adl Tea-making
+//! episode
+//! 5:6300
+//! 6:3100
+//! 7:5000
+//! 8:4200
+//! episode
+//! …
+//! ```
+//!
+//! Each step line is `step_id:duration_ms` (step 0 is an idle stretch).
+
+use std::error::Error;
+use std::fmt;
+
+use coreda_des::time::SimDuration;
+
+use crate::episode::{Episode, EpisodeEvent};
+use crate::step::StepId;
+
+/// Format header.
+pub const HEADER: &str = "#coreda-episodes v1";
+
+/// Serialises episodes of one ADL.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::activity::catalog;
+/// use coreda_adl::dataset;
+/// use coreda_adl::episode::EpisodeGenerator;
+/// use coreda_adl::patient::PatientProfile;
+/// use coreda_adl::routine::{Routine, RoutineSet};
+/// use coreda_des::rng::SimRng;
+///
+/// let tea = catalog::tea_making();
+/// let gen = EpisodeGenerator::new(
+///     tea.clone(),
+///     RoutineSet::single(Routine::canonical(&tea)),
+///     PatientProfile::unimpaired("x"),
+/// );
+/// let mut rng = SimRng::seed_from(1);
+/// let episodes = gen.generate_batch(3, &mut rng);
+/// let text = dataset::write_episodes("Tea-making", &episodes);
+/// let (adl, parsed) = dataset::parse_episodes(&text)?;
+/// assert_eq!(adl, "Tea-making");
+/// assert_eq!(parsed, episodes);
+/// # Ok::<(), coreda_adl::dataset::DatasetError>(())
+/// ```
+#[must_use]
+pub fn write_episodes(adl: &str, episodes: &[Episode]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "#adl {adl}");
+    for ep in episodes {
+        let _ = writeln!(out, "episode");
+        for ev in &ep.events {
+            let _ = writeln!(out, "{}:{}", ev.step.raw(), ev.duration.as_millis());
+        }
+    }
+    out
+}
+
+/// Parses a dataset back into episodes. Returns the ADL name and the
+/// episodes.
+///
+/// # Errors
+///
+/// Returns a [`DatasetError`] for a missing/wrong header, malformed step
+/// lines, or an episode body outside an `episode` block.
+pub fn parse_episodes(text: &str) -> Result<(String, Vec<Episode>), DatasetError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == HEADER => {}
+        Some((_, l)) => return Err(DatasetError::BadHeader(l.to_owned())),
+        None => return Err(DatasetError::Empty),
+    }
+    let adl = match lines.next() {
+        Some((_, l)) if l.starts_with("#adl ") => l["#adl ".len()..].trim().to_owned(),
+        Some((_, l)) => return Err(DatasetError::BadHeader(l.to_owned())),
+        None => return Err(DatasetError::Empty),
+    };
+
+    let mut episodes = Vec::new();
+    let mut current: Option<Vec<EpisodeEvent>> = None;
+    for (idx, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "episode" {
+            if let Some(events) = current.take() {
+                episodes.push(Episode { adl: adl.clone(), events });
+            }
+            current = Some(Vec::new());
+            continue;
+        }
+        let Some(events) = current.as_mut() else {
+            return Err(DatasetError::StepOutsideEpisode { line: idx + 1 });
+        };
+        let (step_str, dur_str) = line
+            .split_once(':')
+            .ok_or(DatasetError::BadStepLine { line: idx + 1 })?;
+        let step: u16 =
+            step_str.trim().parse().map_err(|_| DatasetError::BadStepLine { line: idx + 1 })?;
+        let ms: u64 =
+            dur_str.trim().parse().map_err(|_| DatasetError::BadStepLine { line: idx + 1 })?;
+        events.push(EpisodeEvent {
+            step: StepId::from_raw(step),
+            duration: SimDuration::from_millis(ms),
+        });
+    }
+    if let Some(events) = current.take() {
+        episodes.push(Episode { adl: adl.clone(), events });
+    }
+    Ok((adl, episodes))
+}
+
+/// Dataset parsing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The input has no lines at all.
+    Empty,
+    /// The header or #adl line is missing or malformed.
+    BadHeader(String),
+    /// A step line appears before any `episode` marker.
+    StepOutsideEpisode {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A step line is not `id:duration_ms`.
+    BadStepLine {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Empty => write!(f, "dataset is empty"),
+            DatasetError::BadHeader(l) => write!(f, "bad dataset header: {l:?}"),
+            DatasetError::StepOutsideEpisode { line } => {
+                write!(f, "line {line}: step before any 'episode' marker")
+            }
+            DatasetError::BadStepLine { line } => {
+                write!(f, "line {line}: expected 'step_id:duration_ms'")
+            }
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::catalog;
+    use crate::episode::EpisodeGenerator;
+    use crate::patient::PatientProfile;
+    use crate::routine::{Routine, RoutineSet};
+    use coreda_des::rng::SimRng;
+
+    fn sample_episodes(n: usize) -> Vec<Episode> {
+        let tea = catalog::tea_making();
+        let gen = EpisodeGenerator::new(
+            tea.clone(),
+            RoutineSet::single(Routine::canonical(&tea)),
+            PatientProfile::moderate("x"),
+        );
+        let mut rng = SimRng::seed_from(1);
+        gen.generate_batch(n, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let episodes = sample_episodes(10);
+        let text = write_episodes("Tea-making", &episodes);
+        let (adl, parsed) = parse_episodes(&text).unwrap();
+        assert_eq!(adl, "Tea-making");
+        assert_eq!(parsed, episodes);
+    }
+
+    #[test]
+    fn idle_steps_survive_the_roundtrip() {
+        let episodes = sample_episodes(40);
+        assert!(
+            episodes.iter().any(|e| e.events.iter().any(|ev| ev.step.is_idle())),
+            "a moderate patient should freeze somewhere in 40 episodes"
+        );
+        let text = write_episodes("Tea-making", &episodes);
+        let (_, parsed) = parse_episodes(&text).unwrap();
+        assert_eq!(parsed, episodes);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_tolerated() {
+        let text = "#coreda-episodes v1\n#adl T\n\n# a comment\nepisode\n5:100\n\n6:200\n";
+        let (_, parsed) = parse_episodes(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].events.len(), 2);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(parse_episodes(""), Err(DatasetError::Empty));
+        assert!(matches!(
+            parse_episodes("not a dataset\n"),
+            Err(DatasetError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_episodes("#coreda-episodes v1\nmissing adl\n"),
+            Err(DatasetError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn step_outside_episode_rejected() {
+        let text = "#coreda-episodes v1\n#adl T\n5:100\n";
+        assert_eq!(
+            parse_episodes(text),
+            Err(DatasetError::StepOutsideEpisode { line: 3 })
+        );
+    }
+
+    #[test]
+    fn malformed_step_lines_rejected_with_line_numbers() {
+        let text = "#coreda-episodes v1\n#adl T\nepisode\ngibberish\n";
+        assert_eq!(parse_episodes(text), Err(DatasetError::BadStepLine { line: 4 }));
+        let text = "#coreda-episodes v1\n#adl T\nepisode\n5:notanumber\n";
+        assert_eq!(parse_episodes(text), Err(DatasetError::BadStepLine { line: 4 }));
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let text = write_episodes("Nothing", &[]);
+        let (adl, parsed) = parse_episodes(&text).unwrap();
+        assert_eq!(adl, "Nothing");
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn errors_display_line_numbers() {
+        let e = DatasetError::BadStepLine { line: 7 };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Longitudinal dementia progression.
+//!
+//! The paper's motivation is that "if the level of dementia worsens,
+//! caregivers experience greater feelings of burden". This module models
+//! that worsening: a [`SeverityTrajectory`] maps a day index to a
+//! [`PatientProfile`] whose error probabilities have progressed, so
+//! longitudinal studies can measure how the system's help scales with
+//! decline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::patient::PatientProfile;
+
+/// How fast the disease progresses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeverityTrajectory {
+    /// Wrong-tool probability on day 0.
+    pub wrong_tool_start: f64,
+    /// Freeze probability on day 0.
+    pub forget_start: f64,
+    /// Added to each error probability per day (linear progression).
+    pub daily_increase: f64,
+    /// Ceiling on each error probability.
+    pub cap: f64,
+    /// Prompt compliance on day 0.
+    pub compliance_start: f64,
+    /// Subtracted from compliance per day.
+    pub compliance_decline: f64,
+    /// Floor on compliance.
+    pub compliance_floor: f64,
+}
+
+impl Default for SeverityTrajectory {
+    /// A slow decline: roughly mild → severe over about a year.
+    fn default() -> Self {
+        SeverityTrajectory {
+            wrong_tool_start: 0.08,
+            forget_start: 0.05,
+            daily_increase: 0.0006,
+            cap: 0.30,
+            compliance_start: 0.97,
+            compliance_decline: 0.0004,
+            compliance_floor: 0.80,
+        }
+    }
+}
+
+impl SeverityTrajectory {
+    /// The patient's profile on `day`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use coreda_adl::drift::SeverityTrajectory;
+    ///
+    /// let t = SeverityTrajectory::default();
+    /// let early = t.profile_on_day("Mr. Tanaka", 0);
+    /// let late = t.profile_on_day("Mr. Tanaka", 365);
+    /// assert!(late.forget_prob() > early.forget_prob());
+    /// assert!(late.compliance() < early.compliance());
+    /// ```
+    #[must_use]
+    pub fn profile_on_day(&self, name: &str, day: u32) -> PatientProfile {
+        let d = f64::from(day);
+        let wrong = (self.wrong_tool_start + self.daily_increase * d).min(self.cap);
+        let forget = (self.forget_start + self.daily_increase * d).min(self.cap);
+        let compliance =
+            (self.compliance_start - self.compliance_decline * d).max(self.compliance_floor);
+        // Pace also slows with decline, up to 1.8× nominal.
+        let speed = (1.0 + d * 0.002).min(1.8);
+        PatientProfile::builder(name)
+            .wrong_tool_prob(wrong)
+            .forget_prob(forget)
+            .compliance(compliance)
+            .speed(speed)
+            .build()
+    }
+
+    /// First day on which both error probabilities have reached the cap.
+    #[must_use]
+    pub fn plateau_day(&self) -> u32 {
+        if self.daily_increase <= 0.0 {
+            return 0;
+        }
+        let worst_start = self.wrong_tool_start.min(self.forget_start);
+        ((self.cap - worst_start) / self.daily_increase).ceil().max(0.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progression_is_monotone() {
+        let t = SeverityTrajectory::default();
+        let mut last_forget = 0.0;
+        let mut last_compliance = 1.0;
+        for day in (0..600).step_by(50) {
+            let p = t.profile_on_day("x", day);
+            assert!(p.forget_prob() >= last_forget);
+            assert!(p.compliance() <= last_compliance);
+            last_forget = p.forget_prob();
+            last_compliance = p.compliance();
+        }
+    }
+
+    #[test]
+    fn probabilities_respect_caps() {
+        let t = SeverityTrajectory::default();
+        let late = t.profile_on_day("x", 10_000);
+        assert!(late.wrong_tool_prob() <= t.cap);
+        assert!(late.forget_prob() <= t.cap);
+        assert!(late.compliance() >= t.compliance_floor);
+        assert!(late.speed() <= 1.8);
+    }
+
+    #[test]
+    fn day_zero_matches_start_values() {
+        let t = SeverityTrajectory::default();
+        let p = t.profile_on_day("x", 0);
+        assert!((p.wrong_tool_prob() - t.wrong_tool_start).abs() < 1e-12);
+        assert!((p.forget_prob() - t.forget_start).abs() < 1e-12);
+        assert!((p.compliance() - t.compliance_start).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plateau_day_is_consistent() {
+        let t = SeverityTrajectory::default();
+        let day = t.plateau_day();
+        let before = t.profile_on_day("x", day.saturating_sub(10));
+        let at = t.profile_on_day("x", day + 1);
+        assert!(at.forget_prob() >= before.forget_prob());
+        assert!((at.forget_prob() - t.cap).abs() < 1e-9 || day == 0);
+    }
+
+    #[test]
+    fn flat_trajectory_never_progresses() {
+        let t = SeverityTrajectory { daily_increase: 0.0, compliance_decline: 0.0, ..SeverityTrajectory::default() };
+        let early = t.profile_on_day("x", 0);
+        let late = t.profile_on_day("x", 1000);
+        assert_eq!(early.forget_prob(), late.forget_prob());
+        assert_eq!(t.plateau_day(), 0);
+    }
+}

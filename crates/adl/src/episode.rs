@@ -1,0 +1,300 @@
+//! Episodes: recorded passes through an ADL.
+//!
+//! "One training sample is a complete process of an ADL" (paper §3.2).
+//! The generator produces the StepID sequences the planning subsystem
+//! trains and is evaluated on, either clean (the routine exactly) or with
+//! injected wrong-tool grabs and freezes.
+
+use coreda_des::rng::SimRng;
+use coreda_des::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::activity::AdlSpec;
+use crate::patient::{PatientAction, PatientProfile};
+use crate::routine::{Routine, RoutineSet};
+use crate::step::StepId;
+use crate::tool::ToolId;
+
+/// One observed step occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpisodeEvent {
+    /// The step the user was in ([`StepId::IDLE`] for a freeze).
+    pub step: StepId,
+    /// How long they stayed in it.
+    pub duration: SimDuration,
+}
+
+/// A complete pass through an ADL.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Episode {
+    /// Name of the ADL.
+    pub adl: String,
+    /// The observed step sequence.
+    pub events: Vec<EpisodeEvent>,
+}
+
+impl Episode {
+    /// The bare StepID sequence.
+    #[must_use]
+    pub fn step_ids(&self) -> Vec<StepId> {
+        self.events.iter().map(|e| e.step).collect()
+    }
+
+    /// Total wall-clock duration.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.events.iter().fold(SimDuration::ZERO, |acc, e| acc + e.duration)
+    }
+
+    /// Whether the sequence contains no idles or repeats — i.e. it is
+    /// exactly some routine.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.events.iter().any(|e| e.step.is_idle())
+            && self.events.windows(2).all(|w| w[0].step != w[1].step)
+    }
+}
+
+/// Generates training and evaluation episodes.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::activity::catalog;
+/// use coreda_adl::episode::EpisodeGenerator;
+/// use coreda_adl::patient::PatientProfile;
+/// use coreda_adl::routine::{Routine, RoutineSet};
+/// use coreda_des::rng::SimRng;
+///
+/// let tea = catalog::tea_making();
+/// let gen = EpisodeGenerator::new(
+///     tea.clone(),
+///     RoutineSet::single(Routine::canonical(&tea)),
+///     PatientProfile::unimpaired("Mr. Tanaka"),
+/// );
+/// let mut rng = SimRng::seed_from(1);
+/// let ep = gen.generate(&mut rng);
+/// assert!(ep.is_clean());
+/// assert_eq!(ep.events.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpisodeGenerator {
+    spec: AdlSpec,
+    routines: RoutineSet,
+    profile: PatientProfile,
+}
+
+impl EpisodeGenerator {
+    /// Creates a generator.
+    #[must_use]
+    pub fn new(spec: AdlSpec, routines: RoutineSet, profile: PatientProfile) -> Self {
+        EpisodeGenerator { spec, routines, profile }
+    }
+
+    /// The ADL being generated.
+    #[must_use]
+    pub const fn spec(&self) -> &AdlSpec {
+        &self.spec
+    }
+
+    /// The routine set in use.
+    #[must_use]
+    pub const fn routines(&self) -> &RoutineSet {
+        &self.routines
+    }
+
+    /// The patient profile in use.
+    #[must_use]
+    pub const fn profile(&self) -> &PatientProfile {
+        &self.profile
+    }
+
+    /// Duration the patient idles when frozen, before (in the live system)
+    /// a reminder fires.
+    pub const FREEZE_DURATION: SimDuration = SimDuration::from_secs(30);
+    /// Duration of an erroneous wrong-tool grab before self-correction.
+    pub const WRONG_TOOL_DURATION: SimDuration = SimDuration::from_secs(4);
+
+    /// Generates one *complete* episode: the patient may err along the
+    /// way (emitting idle or wrong-step events) but always eventually
+    /// finishes the routine, as the paper's supervised recordings did.
+    pub fn generate(&self, rng: &mut SimRng) -> Episode {
+        let routine = self.routines.sample(rng).clone();
+        let mut events = Vec::with_capacity(routine.len());
+        for (idx, &step_id) in routine.steps().iter().enumerate() {
+            // At most one error excursion at the boundary *before* this
+            // step (the recording then shows recovery and the real step).
+            if idx > 0 {
+                match self.profile.decide_next(
+                    &routine,
+                    idx - 1,
+                    &self.wrong_candidates(&routine, step_id),
+                    rng,
+                ) {
+                    PatientAction::Proceed => {}
+                    PatientAction::Freeze => {
+                        events.push(EpisodeEvent {
+                            step: StepId::IDLE,
+                            duration: Self::FREEZE_DURATION,
+                        });
+                    }
+                    PatientAction::WrongTool(tool) => {
+                        events.push(EpisodeEvent {
+                            step: StepId::from_tool(tool),
+                            duration: Self::WRONG_TOOL_DURATION,
+                        });
+                    }
+                }
+            }
+            let step = self.spec.step(step_id).expect("routine steps exist in spec");
+            events.push(EpisodeEvent {
+                step: step_id,
+                duration: self.profile.step_duration(step, rng),
+            });
+        }
+        Episode { adl: self.spec.name().to_owned(), events }
+    }
+
+    /// Generates a clean episode: the sampled routine exactly, no errors.
+    pub fn generate_clean(&self, rng: &mut SimRng) -> Episode {
+        let routine = self.routines.sample(rng).clone();
+        let events = routine
+            .steps()
+            .iter()
+            .map(|&id| {
+                let step = self.spec.step(id).expect("routine steps exist in spec");
+                EpisodeEvent { step: id, duration: self.profile.step_duration(step, rng) }
+            })
+            .collect();
+        Episode { adl: self.spec.name().to_owned(), events }
+    }
+
+    /// Generates `n` episodes (the paper's training sets are 120 per ADL).
+    pub fn generate_batch(&self, n: usize, rng: &mut SimRng) -> Vec<Episode> {
+        (0..n).map(|_| self.generate(rng)).collect()
+    }
+
+    /// Tools the patient might wrongly grab instead of the one for
+    /// `correct_next`.
+    fn wrong_candidates(&self, _routine: &Routine, correct_next: StepId) -> Vec<ToolId> {
+        self.spec
+            .tools()
+            .iter()
+            .map(crate::tool::Tool::id)
+            .filter(|&t| StepId::from_tool(t) != correct_next)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::catalog;
+
+    fn generator(profile: PatientProfile) -> EpisodeGenerator {
+        let tea = catalog::tea_making();
+        EpisodeGenerator::new(tea.clone(), RoutineSet::single(Routine::canonical(&tea)), profile)
+    }
+
+    #[test]
+    fn clean_generation_matches_routine() {
+        let gen = generator(PatientProfile::unimpaired("x"));
+        let mut rng = SimRng::seed_from(1);
+        let ep = gen.generate_clean(&mut rng);
+        assert_eq!(ep.step_ids(), catalog::tea_making().step_ids());
+        assert!(ep.is_clean());
+        assert_eq!(ep.adl, "Tea-making");
+    }
+
+    #[test]
+    fn unimpaired_generate_equals_clean_shape() {
+        let gen = generator(PatientProfile::unimpaired("x"));
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..50 {
+            assert!(gen.generate(&mut rng).is_clean());
+        }
+    }
+
+    #[test]
+    fn impaired_episodes_contain_errors_but_complete() {
+        let gen = generator(PatientProfile::severe("x"));
+        let mut rng = SimRng::seed_from(3);
+        let canonical = catalog::tea_making().step_ids();
+        let mut any_error = false;
+        for _ in 0..100 {
+            let ep = gen.generate(&mut rng);
+            // The canonical steps appear in order within the noisy sequence.
+            let seq = ep.step_ids();
+            let mut want = canonical.iter();
+            let mut next = want.next();
+            for s in &seq {
+                if Some(s) == next {
+                    next = want.next();
+                }
+            }
+            assert!(next.is_none(), "episode must complete the routine: {seq:?}");
+            if !ep.is_clean() {
+                any_error = true;
+            }
+        }
+        assert!(any_error, "severe patients should err in 100 episodes");
+    }
+
+    #[test]
+    fn error_events_use_expected_durations() {
+        let gen = generator(PatientProfile::severe("x"));
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..100 {
+            let ep = gen.generate(&mut rng);
+            for ev in &ep.events {
+                if ev.step.is_idle() {
+                    assert_eq!(ev.duration, EpisodeGenerator::FREEZE_DURATION);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_size_is_exact() {
+        let gen = generator(PatientProfile::mild("x"));
+        let mut rng = SimRng::seed_from(5);
+        assert_eq!(gen.generate_batch(120, &mut rng).len(), 120);
+    }
+
+    #[test]
+    fn duration_sums_events() {
+        let gen = generator(PatientProfile::unimpaired("x"));
+        let mut rng = SimRng::seed_from(6);
+        let ep = gen.generate_clean(&mut rng);
+        let total: u64 = ep.events.iter().map(|e| e.duration.as_millis()).sum();
+        assert_eq!(ep.duration().as_millis(), total);
+        assert!(ep.duration() > SimDuration::from_secs(8), "4 tea steps take a while");
+    }
+
+    #[test]
+    fn multi_routine_generation_uses_all_routines() {
+        let tea = catalog::tea_making();
+        let ids = tea.step_ids();
+        let a = Routine::canonical(&tea);
+        let b = Routine::new(&tea, vec![ids[1], ids[0], ids[2], ids[3]]);
+        let gen = EpisodeGenerator::new(
+            tea.clone(),
+            RoutineSet::weighted(vec![(a.clone(), 1.0), (b.clone(), 1.0)]),
+            PatientProfile::unimpaired("x"),
+        );
+        let mut rng = SimRng::seed_from(7);
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for _ in 0..100 {
+            let seq = gen.generate_clean(&mut rng).step_ids();
+            if seq == a.steps() {
+                saw_a = true;
+            } else if seq == b.steps() {
+                saw_b = true;
+            } else {
+                panic!("unexpected sequence {seq:?}");
+            }
+        }
+        assert!(saw_a && saw_b);
+    }
+}

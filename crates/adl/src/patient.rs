@@ -1,0 +1,369 @@
+//! The stochastic patient behaviour model.
+//!
+//! This replaces the human subject of the original experiments. The model
+//! captures what mattered to CoReDA: at each step boundary a person with
+//! dementia either proceeds correctly, picks up a wrong tool, or freezes
+//! (forgets what to do) — and responds to a prompt with some compliance.
+//! Severity moves those probabilities.
+
+use coreda_des::rng::SimRng;
+use coreda_des::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::routine::Routine;
+use crate::step::Step;
+use crate::tool::ToolId;
+
+/// What the patient does at a step boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatientAction {
+    /// Moves to the correct next step.
+    Proceed,
+    /// Starts using the wrong tool.
+    WrongTool(ToolId),
+    /// Does nothing (the paper's "does not do anything for 30 seconds").
+    Freeze,
+}
+
+/// A patient's behavioural parameters.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::patient::PatientProfile;
+///
+/// let tanaka = PatientProfile::builder("Mr. Tanaka")
+///     .wrong_tool_prob(0.15)
+///     .forget_prob(0.10)
+///     .compliance(0.95)
+///     .build();
+/// assert_eq!(tanaka.name(), "Mr. Tanaka");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatientProfile {
+    name: String,
+    wrong_tool_prob: f64,
+    forget_prob: f64,
+    compliance: f64,
+    speed: f64,
+}
+
+impl PatientProfile {
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> PatientProfileBuilder {
+        PatientProfileBuilder {
+            name: name.into(),
+            wrong_tool_prob: 0.0,
+            forget_prob: 0.0,
+            compliance: 1.0,
+            speed: 1.0,
+        }
+    }
+
+    /// No errors at all — used to generate clean training samples.
+    #[must_use]
+    pub fn unimpaired(name: impl Into<String>) -> Self {
+        Self::builder(name).build()
+    }
+
+    /// Mild dementia: occasional slips.
+    #[must_use]
+    pub fn mild(name: impl Into<String>) -> Self {
+        Self::builder(name).wrong_tool_prob(0.08).forget_prob(0.05).compliance(0.97).build()
+    }
+
+    /// Moderate dementia: frequent slips, still prompt-responsive.
+    #[must_use]
+    pub fn moderate(name: impl Into<String>) -> Self {
+        Self::builder(name)
+            .wrong_tool_prob(0.18)
+            .forget_prob(0.15)
+            .compliance(0.92)
+            .speed(1.3)
+            .build()
+    }
+
+    /// Severe dementia: most boundaries need help.
+    #[must_use]
+    pub fn severe(name: impl Into<String>) -> Self {
+        Self::builder(name)
+            .wrong_tool_prob(0.30)
+            .forget_prob(0.30)
+            .compliance(0.85)
+            .speed(1.6)
+            .build()
+    }
+
+    /// The patient's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Probability of grabbing a wrong tool at a step boundary.
+    #[must_use]
+    pub const fn wrong_tool_prob(&self) -> f64 {
+        self.wrong_tool_prob
+    }
+
+    /// Probability of freezing at a step boundary.
+    #[must_use]
+    pub const fn forget_prob(&self) -> f64 {
+        self.forget_prob
+    }
+
+    /// Probability of following a prompt.
+    #[must_use]
+    pub const fn compliance(&self) -> f64 {
+        self.compliance
+    }
+
+    /// Step-duration multiplier (1.0 = the spec's nominal pace).
+    #[must_use]
+    pub const fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Decides what the patient does after finishing the step at
+    /// `position` in `routine`. `other_tools` are the candidates a wrong
+    /// grab chooses from (typically every tool of the ADL except the
+    /// correct next one).
+    pub fn decide_next(
+        &self,
+        routine: &Routine,
+        position: usize,
+        other_tools: &[ToolId],
+        rng: &mut SimRng,
+    ) -> PatientAction {
+        debug_assert!(position < routine.len());
+        let draw = rng.uniform();
+        if draw < self.forget_prob {
+            PatientAction::Freeze
+        } else if draw < self.forget_prob + self.wrong_tool_prob && !other_tools.is_empty() {
+            PatientAction::WrongTool(*rng.choose(other_tools))
+        } else {
+            PatientAction::Proceed
+        }
+    }
+
+    /// How the patient reacts to a prompt for `prompted_tool`.
+    pub fn respond_to_prompt(&self, prompted_tool: ToolId, rng: &mut SimRng) -> PatientAction {
+        if rng.chance(self.compliance) {
+            let _ = prompted_tool;
+            PatientAction::Proceed
+        } else {
+            PatientAction::Freeze
+        }
+    }
+
+    /// Samples how long the patient spends on `step`.
+    pub fn step_duration(&self, step: &Step, rng: &mut SimRng) -> SimDuration {
+        let mean = step.mean_duration_s() * self.speed;
+        let secs = rng.normal(mean, step.sd_duration_s()).max(1.0);
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Builder for [`PatientProfile`].
+#[derive(Debug, Clone)]
+pub struct PatientProfileBuilder {
+    name: String,
+    wrong_tool_prob: f64,
+    forget_prob: f64,
+    compliance: f64,
+    speed: f64,
+}
+
+impl PatientProfileBuilder {
+    /// Sets the wrong-tool probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn wrong_tool_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.wrong_tool_prob = p;
+        self
+    }
+
+    /// Sets the freeze probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn forget_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.forget_prob = p;
+        self
+    }
+
+    /// Sets prompt compliance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn compliance(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.compliance = p;
+        self
+    }
+
+    /// Sets the pace multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not positive.
+    #[must_use]
+    pub fn speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        self.speed = speed;
+        self
+    }
+
+    /// Builds the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the error probabilities sum to more than 1.
+    #[must_use]
+    pub fn build(self) -> PatientProfile {
+        assert!(
+            self.wrong_tool_prob + self.forget_prob <= 1.0,
+            "error probabilities must sum to at most 1"
+        );
+        PatientProfile {
+            name: self.name,
+            wrong_tool_prob: self.wrong_tool_prob,
+            forget_prob: self.forget_prob,
+            compliance: self.compliance,
+            speed: self.speed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::catalog;
+
+    #[test]
+    fn unimpaired_always_proceeds() {
+        let p = PatientProfile::unimpaired("control");
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let others: Vec<ToolId> = tea.tools().iter().map(|t| t.id()).collect();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..200 {
+            assert_eq!(p.decide_next(&routine, 0, &others, &mut rng), PatientAction::Proceed);
+        }
+    }
+
+    #[test]
+    fn severity_increases_error_rates() {
+        let mild = PatientProfile::mild("a");
+        let severe = PatientProfile::severe("b");
+        assert!(severe.wrong_tool_prob() > mild.wrong_tool_prob());
+        assert!(severe.forget_prob() > mild.forget_prob());
+        assert!(severe.compliance() < mild.compliance());
+        assert!(severe.speed() > mild.speed());
+    }
+
+    #[test]
+    fn error_frequencies_match_probabilities() {
+        let p = PatientProfile::builder("t").wrong_tool_prob(0.2).forget_prob(0.3).build();
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let others = vec![ToolId::new(catalog::POT)];
+        let mut rng = SimRng::seed_from(2);
+        let n = 10_000;
+        let mut wrong = 0;
+        let mut froze = 0;
+        for _ in 0..n {
+            match p.decide_next(&routine, 1, &others, &mut rng) {
+                PatientAction::WrongTool(_) => wrong += 1,
+                PatientAction::Freeze => froze += 1,
+                PatientAction::Proceed => {}
+            }
+        }
+        assert!((1800..2200).contains(&wrong), "wrong-tool count {wrong}");
+        assert!((2800..3200).contains(&froze), "freeze count {froze}");
+    }
+
+    #[test]
+    fn wrong_tool_comes_from_candidates() {
+        let p = PatientProfile::builder("t").wrong_tool_prob(1.0).build();
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let others = vec![ToolId::new(catalog::KETTLE), ToolId::new(catalog::TEA_CUP)];
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            match p.decide_next(&routine, 0, &others, &mut rng) {
+                PatientAction::WrongTool(t) => assert!(others.contains(&t)),
+                other => panic!("expected wrong tool, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_candidates_means_no_wrong_tool() {
+        let p = PatientProfile::builder("t").wrong_tool_prob(1.0).build();
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let mut rng = SimRng::seed_from(4);
+        assert_eq!(p.decide_next(&routine, 0, &[], &mut rng), PatientAction::Proceed);
+    }
+
+    #[test]
+    fn compliance_governs_prompt_response() {
+        let p = PatientProfile::builder("t").compliance(0.8).build();
+        let mut rng = SimRng::seed_from(5);
+        let n = 10_000;
+        let followed = (0..n)
+            .filter(|_| {
+                p.respond_to_prompt(ToolId::new(1), &mut rng) == PatientAction::Proceed
+            })
+            .count();
+        assert!((7700..8300).contains(&followed), "followed {followed}/{n}");
+    }
+
+    #[test]
+    fn durations_scale_with_speed() {
+        let slow = PatientProfile::builder("slow").speed(2.0).build();
+        let fast = PatientProfile::builder("fast").speed(1.0).build();
+        let tea = catalog::tea_making();
+        let step = &tea.steps()[0];
+        let mut rng_a = SimRng::seed_from(6);
+        let mut rng_b = SimRng::seed_from(6);
+        let n = 500;
+        let mean_slow: f64 = (0..n)
+            .map(|_| slow.step_duration(step, &mut rng_a).as_secs_f64())
+            .sum::<f64>()
+            / f64::from(n);
+        let mean_fast: f64 = (0..n)
+            .map(|_| fast.step_duration(step, &mut rng_b).as_secs_f64())
+            .sum::<f64>()
+            / f64::from(n);
+        assert!(mean_slow > mean_fast * 1.5);
+    }
+
+    #[test]
+    fn durations_have_a_floor() {
+        let p = PatientProfile::unimpaired("t");
+        let tea = catalog::tea_making();
+        let step = &tea.steps()[1]; // 3s ± 0.6
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            assert!(p.step_duration(step, &mut rng) >= SimDuration::from_secs(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn impossible_probabilities_rejected() {
+        let _ = PatientProfile::builder("t").wrong_tool_prob(0.6).forget_prob(0.6).build();
+    }
+}

@@ -1,0 +1,288 @@
+//! Personal routines: the order a particular user performs an ADL in.
+//!
+//! "Keep the dementia patients do ADLs as they did before. Therefore, a
+//! guidance system must have the capability to learn different patients'
+//! routines of ADLs." A [`Routine`] is one user's step order; a
+//! [`RoutineSet`] holds several alternatives (the paper's "multi-routine
+//! plan" future-work item, needed for ADLs like dressing).
+
+use coreda_des::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::activity::AdlSpec;
+use crate::step::StepId;
+
+/// One user's step order for an ADL: a permutation of the spec's steps.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::activity::catalog;
+/// use coreda_adl::routine::Routine;
+///
+/// let tea = catalog::tea_making();
+/// let routine = Routine::canonical(&tea);
+/// assert_eq!(routine.len(), 4);
+/// assert_eq!(routine.steps()[0], tea.steps()[0].id());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Routine {
+    steps: Vec<StepId>,
+}
+
+impl Routine {
+    /// The spec's canonical order.
+    #[must_use]
+    pub fn canonical(spec: &AdlSpec) -> Self {
+        Routine { steps: spec.step_ids() }
+    }
+
+    /// A custom order over the spec's steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is not a permutation of the spec's step ids.
+    #[must_use]
+    pub fn new(spec: &AdlSpec, steps: Vec<StepId>) -> Self {
+        let mut expected = spec.step_ids();
+        let mut got = steps.clone();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(
+            expected, got,
+            "a routine must be a permutation of the ADL's steps"
+        );
+        Routine { steps }
+    }
+
+    /// The ordered steps.
+    #[must_use]
+    pub fn steps(&self) -> &[StepId] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the routine has no steps (never true for validated specs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The step after `current`, or `None` if `current` is last (or not in
+    /// the routine).
+    #[must_use]
+    pub fn next_after(&self, current: StepId) -> Option<StepId> {
+        let idx = self.steps.iter().position(|&s| s == current)?;
+        self.steps.get(idx + 1).copied()
+    }
+
+    /// The first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the routine is empty.
+    #[must_use]
+    pub fn first(&self) -> StepId {
+        *self.steps.first().expect("routine must not be empty")
+    }
+
+    /// The terminal step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the routine is empty.
+    #[must_use]
+    pub fn last(&self) -> StepId {
+        *self.steps.last().expect("routine must not be empty")
+    }
+
+    /// The `(previous, current) → next` transitions of this routine,
+    /// including the episode-start transition whose previous step is
+    /// [`StepId::IDLE`].
+    ///
+    /// These pairs are exactly the states of the planner's MDP, so they
+    /// double as the reference set for convergence measurement.
+    #[must_use]
+    pub fn transitions(&self) -> Vec<(StepId, StepId, StepId)> {
+        let mut out = Vec::with_capacity(self.steps.len().saturating_sub(1));
+        for (i, &cur) in self.steps.iter().enumerate() {
+            if let Some(&next) = self.steps.get(i + 1) {
+                let prev = if i == 0 { StepId::IDLE } else { self.steps[i - 1] };
+                out.push((prev, cur, next));
+            }
+        }
+        out
+    }
+}
+
+/// A weighted set of alternative routines for the same ADL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutineSet {
+    routines: Vec<(Routine, f64)>,
+}
+
+impl RoutineSet {
+    /// A set with a single routine.
+    #[must_use]
+    pub fn single(routine: Routine) -> Self {
+        RoutineSet { routines: vec![(routine, 1.0)] }
+    }
+
+    /// A weighted set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routines` is empty, a weight is non-positive, or all
+    /// routines do not have the same length.
+    #[must_use]
+    pub fn weighted(routines: Vec<(Routine, f64)>) -> Self {
+        assert!(!routines.is_empty(), "a routine set needs at least one routine");
+        let len = routines[0].0.len();
+        for (r, w) in &routines {
+            assert!(*w > 0.0, "routine weights must be positive");
+            assert_eq!(r.len(), len, "all routines must cover the same steps");
+        }
+        RoutineSet { routines }
+    }
+
+    /// The routines and weights.
+    #[must_use]
+    pub fn routines(&self) -> &[(Routine, f64)] {
+        &self.routines
+    }
+
+    /// Number of alternative routines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routines.len()
+    }
+
+    /// Whether the set is empty (never true for validated sets).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routines.is_empty()
+    }
+
+    /// Samples a routine proportionally to the weights.
+    pub fn sample<'a>(&'a self, rng: &mut SimRng) -> &'a Routine {
+        let total: f64 = self.routines.iter().map(|(_, w)| w).sum();
+        let mut draw = rng.uniform() * total;
+        for (r, w) in &self.routines {
+            draw -= w;
+            if draw <= 0.0 {
+                return r;
+            }
+        }
+        &self.routines.last().expect("validated: non-empty").0
+    }
+
+    /// The union of `(prev, cur) → next` transitions over all routines.
+    /// A `(prev, cur)` pair that maps to different next steps in different
+    /// routines appears once per distinct next step.
+    #[must_use]
+    pub fn transitions(&self) -> Vec<(StepId, StepId, StepId)> {
+        let mut out: Vec<(StepId, StepId, StepId)> = Vec::new();
+        for (r, _) in &self.routines {
+            for t in r.transitions() {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::catalog;
+
+    #[test]
+    fn canonical_matches_spec_order() {
+        let tea = catalog::tea_making();
+        let r = Routine::canonical(&tea);
+        assert_eq!(r.steps(), tea.step_ids().as_slice());
+        assert_eq!(r.first(), tea.steps()[0].id());
+        assert_eq!(r.last(), tea.terminal_step());
+    }
+
+    #[test]
+    fn next_after_walks_the_order() {
+        let tea = catalog::tea_making();
+        let r = Routine::canonical(&tea);
+        let ids = tea.step_ids();
+        assert_eq!(r.next_after(ids[0]), Some(ids[1]));
+        assert_eq!(r.next_after(ids[3]), None);
+        assert_eq!(r.next_after(StepId::from_raw(99)), None);
+    }
+
+    #[test]
+    fn custom_permutation_accepted() {
+        let tea = catalog::tea_making();
+        let ids = tea.step_ids();
+        let reordered = vec![ids[1], ids[0], ids[2], ids[3]];
+        let r = Routine::new(&tea, reordered.clone());
+        assert_eq!(r.steps(), reordered.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn non_permutation_rejected() {
+        let tea = catalog::tea_making();
+        let ids = tea.step_ids();
+        let _ = Routine::new(&tea, vec![ids[0], ids[0], ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn transitions_include_idle_start() {
+        let tea = catalog::tea_making();
+        let r = Routine::canonical(&tea);
+        let trans = r.transitions();
+        assert_eq!(trans.len(), 3);
+        assert_eq!(trans[0].0, StepId::IDLE);
+        assert_eq!(trans[0].1, r.first());
+        // Every consecutive pair appears.
+        let ids = tea.step_ids();
+        assert_eq!(trans[1], (ids[0], ids[1], ids[2]));
+        assert_eq!(trans[2], (ids[1], ids[2], ids[3]));
+    }
+
+    #[test]
+    fn routine_set_samples_by_weight() {
+        let tea = catalog::tea_making();
+        let ids = tea.step_ids();
+        let a = Routine::canonical(&tea);
+        let b = Routine::new(&tea, vec![ids[1], ids[0], ids[2], ids[3]]);
+        let set = RoutineSet::weighted(vec![(a.clone(), 9.0), (b.clone(), 1.0)]);
+        let mut rng = SimRng::seed_from(42);
+        let a_count = (0..2000).filter(|_| set.sample(&mut rng) == &a).count();
+        assert!((1650..1950).contains(&a_count), "weight-9 routine drawn {a_count}/2000");
+    }
+
+    #[test]
+    fn routine_set_union_transitions() {
+        let tea = catalog::tea_making();
+        let ids = tea.step_ids();
+        let a = Routine::canonical(&tea);
+        let b = Routine::new(&tea, vec![ids[1], ids[0], ids[2], ids[3]]);
+        let set = RoutineSet::weighted(vec![(a, 1.0), (b, 1.0)]);
+        let trans = set.transitions();
+        // Both routines contribute 3 transitions each; all distinct here.
+        assert_eq!(trans.len(), 6);
+        let unique: std::collections::HashSet<_> = trans.iter().collect();
+        assert_eq!(unique.len(), trans.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        let tea = catalog::tea_making();
+        let _ = RoutineSet::weighted(vec![(Routine::canonical(&tea), 0.0)]);
+    }
+}

@@ -1,0 +1,178 @@
+//! ADL steps and step identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tool::ToolId;
+
+/// The identifier of a step within (and across) ADLs.
+///
+/// "The StepID is defined as the ID of the tool which is mainly used in
+/// this step. We also define a StepID 0 to indicate nothing is done for a
+/// long time." (paper §2.1)
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::step::StepId;
+/// use coreda_adl::tool::ToolId;
+///
+/// assert!(StepId::IDLE.is_idle());
+/// let s = StepId::from_tool(ToolId::new(3));
+/// assert_eq!(s.raw(), 3);
+/// assert_eq!(s.tool(), Some(ToolId::new(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StepId(u16);
+
+impl StepId {
+    /// StepID 0: "nothing is done for a long time".
+    pub const IDLE: StepId = StepId(0);
+
+    /// The step driven by `tool`.
+    #[must_use]
+    pub const fn from_tool(tool: ToolId) -> Self {
+        StepId(tool.raw())
+    }
+
+    /// Wraps a raw step id (0 = idle).
+    #[must_use]
+    pub const fn from_raw(raw: u16) -> Self {
+        StepId(raw)
+    }
+
+    /// The raw id.
+    #[must_use]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the idle step.
+    #[must_use]
+    pub const fn is_idle(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The tool behind this step, unless idle.
+    #[must_use]
+    pub fn tool(self) -> Option<ToolId> {
+        if self.is_idle() {
+            None
+        } else {
+            Some(ToolId::new(self.0))
+        }
+    }
+}
+
+impl fmt::Display for StepId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_idle() {
+            f.write_str("idle")
+        } else {
+            write!(f, "step-{}", self.0)
+        }
+    }
+}
+
+/// One step of an ADL: a name, the tool it uses, and how long it
+/// typically takes.
+///
+/// The duration statistics matter twice: the behaviour simulator draws
+/// real step durations from them, and the sensing subsystem derives each
+/// tool's idle timeout from them (the paper's footnote: the 30 s wait
+/// "should be determined from the statistical data of how long a user
+/// will use this tool").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    name: String,
+    tool: ToolId,
+    mean_duration_s: f64,
+    sd_duration_s: f64,
+}
+
+impl Step {
+    /// Creates a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_duration_s` is not positive or `sd_duration_s` is
+    /// negative.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        tool: ToolId,
+        mean_duration_s: f64,
+        sd_duration_s: f64,
+    ) -> Self {
+        assert!(mean_duration_s > 0.0, "step duration must be positive");
+        assert!(sd_duration_s >= 0.0, "duration spread must be non-negative");
+        Step { name: name.into(), tool, mean_duration_s, sd_duration_s }
+    }
+
+    /// Human-readable name ("Pour hot water into kettle").
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tool mainly used in this step.
+    #[must_use]
+    pub const fn tool(&self) -> ToolId {
+        self.tool
+    }
+
+    /// This step's id (the tool's id).
+    #[must_use]
+    pub const fn id(&self) -> StepId {
+        StepId::from_tool(self.tool)
+    }
+
+    /// Mean duration in seconds.
+    #[must_use]
+    pub const fn mean_duration_s(&self) -> f64 {
+        self.mean_duration_s
+    }
+
+    /// Duration standard deviation in seconds.
+    #[must_use]
+    pub const fn sd_duration_s(&self) -> f64 {
+        self.sd_duration_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_semantics() {
+        assert!(StepId::IDLE.is_idle());
+        assert_eq!(StepId::IDLE.tool(), None);
+        assert_eq!(StepId::IDLE.to_string(), "idle");
+        assert_eq!(StepId::from_raw(0), StepId::IDLE);
+    }
+
+    #[test]
+    fn step_id_mirrors_tool_id() {
+        let s = StepId::from_tool(ToolId::new(7));
+        assert_eq!(s.raw(), 7);
+        assert_eq!(s.tool(), Some(ToolId::new(7)));
+        assert_eq!(s.to_string(), "step-7");
+    }
+
+    #[test]
+    fn step_carries_duration_stats() {
+        let s = Step::new("Brush the teeth", ToolId::new(2), 8.0, 2.0);
+        assert_eq!(s.id(), StepId::from_raw(2));
+        assert_eq!(s.mean_duration_s(), 8.0);
+        assert_eq!(s.sd_duration_s(), 2.0);
+        assert_eq!(s.name(), "Brush the teeth");
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let _ = Step::new("x", ToolId::new(1), 0.0, 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Household tools and their sensor bindings.
+
+use std::fmt;
+
+use coreda_sensornet::node::NodeId;
+use coreda_sensornet::sensors::SensorKind;
+use coreda_sensornet::signal::SignalModel;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a tool.
+///
+/// The paper binds tools to sensor nodes one-to-one: "We use the uid
+/// (unique ID) of PAVENET as the ID of the tool which it is attached to."
+/// A [`ToolId`] therefore converts losslessly to and from a
+/// [`NodeId`]. Zero is reserved (it is the idle `StepId`).
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::tool::ToolId;
+/// use coreda_sensornet::node::NodeId;
+///
+/// let tool = ToolId::new(5);
+/// let node: NodeId = tool.into();
+/// assert_eq!(ToolId::from(node), tool);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ToolId(u16);
+
+impl ToolId {
+    /// Wraps a raw tool id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is zero — tool ID 0 is reserved for the idle step.
+    #[must_use]
+    pub fn new(raw: u16) -> Self {
+        assert!(raw != 0, "tool id 0 is reserved for the idle step");
+        ToolId(raw)
+    }
+
+    /// The raw id.
+    #[must_use]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for ToolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tool-{}", self.0)
+    }
+}
+
+impl From<ToolId> for NodeId {
+    fn from(t: ToolId) -> NodeId {
+        NodeId::new(t.0)
+    }
+}
+
+impl From<NodeId> for ToolId {
+    fn from(n: NodeId) -> ToolId {
+        ToolId::new(n.raw())
+    }
+}
+
+/// A tool with its attached sensor's behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tool {
+    id: ToolId,
+    name: String,
+    signal: SignalModel,
+}
+
+impl Tool {
+    /// Creates a tool.
+    #[must_use]
+    pub fn new(id: ToolId, name: impl Into<String>, signal: SignalModel) -> Self {
+        Tool { id, name: name.into(), signal }
+    }
+
+    /// The tool's id (== the PAVENET uid attached to it).
+    #[must_use]
+    pub const fn id(&self) -> ToolId {
+        self.id
+    }
+
+    /// Human-readable name ("tea-box", "electronic-pot", …).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sensor kind strapped to this tool.
+    #[must_use]
+    pub fn sensor(&self) -> SensorKind {
+        self.signal.kind()
+    }
+
+    /// The synthetic signal model for this tool.
+    #[must_use]
+    pub const fn signal(&self) -> SignalModel {
+        self.signal
+    }
+}
+
+impl fmt::Display for Tool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tool_id_roundtrips_node_id() {
+        let t = ToolId::new(8);
+        let n: NodeId = t.into();
+        assert_eq!(n.raw(), 8);
+        assert_eq!(ToolId::from(n), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for the idle step")]
+    fn zero_tool_id_rejected() {
+        let _ = ToolId::new(0);
+    }
+
+    #[test]
+    fn tool_exposes_sensor_kind() {
+        let tool = Tool::new(
+            ToolId::new(1),
+            "tea-box",
+            SignalModel::accelerometer(0.03, 0.5, 0.8),
+        );
+        assert_eq!(tool.sensor(), SensorKind::Accelerometer);
+        assert_eq!(tool.name(), "tea-box");
+        assert_eq!(tool.to_string(), "tea-box (tool-1)");
+    }
+}

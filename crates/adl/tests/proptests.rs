@@ -1,0 +1,182 @@
+//! Property-based tests for the ADL domain model.
+
+use coreda_adl::activity::{catalog, AdlSpec};
+use coreda_adl::dataset;
+use coreda_adl::episode::{Episode, EpisodeEvent, EpisodeGenerator};
+use coreda_adl::patient::PatientProfile;
+use coreda_adl::routine::{Routine, RoutineSet};
+use coreda_adl::step::{Step, StepId};
+use coreda_adl::tool::{Tool, ToolId};
+use coreda_des::rng::SimRng;
+use coreda_sensornet::signal::SignalModel;
+use proptest::prelude::*;
+
+/// An arbitrary ADL with 2–8 steps and matching tools.
+fn arb_spec() -> impl Strategy<Value = AdlSpec> {
+    (2usize..=8).prop_map(|n| {
+        let tools: Vec<Tool> = (0..n)
+            .map(|i| {
+                Tool::new(
+                    ToolId::new(100 + i as u16),
+                    format!("tool-{i}"),
+                    SignalModel::accelerometer(0.03, 0.45, 0.5),
+                )
+            })
+            .collect();
+        let steps: Vec<Step> = (0..n)
+            .map(|i| {
+                Step::new(format!("step {i}"), ToolId::new(100 + i as u16), 3.0 + i as f64, 0.5)
+            })
+            .collect();
+        AdlSpec::new("Generated", tools, steps)
+    })
+}
+
+proptest! {
+    /// Any permutation of a spec's steps is a valid routine, and its
+    /// transition list has exactly len−1 entries starting from idle.
+    #[test]
+    fn permutations_are_valid_routines(spec in arb_spec(), seed in any::<u64>()) {
+        let mut ids = spec.step_ids();
+        let mut rng = SimRng::seed_from(seed);
+        rng.shuffle(&mut ids);
+        let routine = Routine::new(&spec, ids.clone());
+        let transitions = routine.transitions();
+        prop_assert_eq!(transitions.len(), ids.len() - 1);
+        prop_assert_eq!(transitions[0].0, StepId::IDLE);
+        // next_after agrees with the transition list.
+        for &(_, cur, next) in &transitions {
+            prop_assert_eq!(routine.next_after(cur), Some(next));
+        }
+        prop_assert_eq!(routine.next_after(routine.last()), None);
+    }
+
+    /// Generated episodes always contain the routine as an in-order
+    /// subsequence, whatever the patient profile.
+    #[test]
+    fn episodes_always_complete_the_routine(
+        wrong in 0.0f64..0.4,
+        forget in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let profile = PatientProfile::builder("p")
+            .wrong_tool_prob(wrong)
+            .forget_prob(forget)
+            .build();
+        let gen = EpisodeGenerator::new(
+            tea.clone(),
+            RoutineSet::single(routine.clone()),
+            profile,
+        );
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..10 {
+            let seq = gen.generate(&mut rng).step_ids();
+            let mut want = routine.steps().iter();
+            let mut next = want.next();
+            for s in &seq {
+                if Some(s) == next {
+                    next = want.next();
+                }
+            }
+            prop_assert!(next.is_none(), "routine not completed in {seq:?}");
+        }
+    }
+
+    /// Clean episodes are exactly the sampled routine.
+    #[test]
+    fn clean_episodes_are_exact(spec in arb_spec(), seed in any::<u64>()) {
+        let routine = Routine::canonical(&spec);
+        let gen = EpisodeGenerator::new(
+            spec.clone(),
+            RoutineSet::single(routine.clone()),
+            PatientProfile::unimpaired("p"),
+        );
+        let mut rng = SimRng::seed_from(seed);
+        let ep = gen.generate_clean(&mut rng);
+        prop_assert_eq!(ep.step_ids(), routine.steps().to_vec());
+        prop_assert!(ep.is_clean());
+    }
+
+    /// Step ids mirror tool ids bijectively, and idle never aliases a tool.
+    #[test]
+    fn step_tool_bijection(raw in 1u16..u16::MAX) {
+        let tool = ToolId::new(raw);
+        let step = StepId::from_tool(tool);
+        prop_assert_eq!(step.tool(), Some(tool));
+        prop_assert!(!step.is_idle());
+        prop_assert_eq!(StepId::from_raw(raw), step);
+    }
+
+    /// Weighted routine sets sample each member with roughly its weight.
+    #[test]
+    fn routine_sets_respect_weights(weight_a in 1.0f64..9.0, seed in any::<u64>()) {
+        let tea = catalog::tea_making();
+        let ids = tea.step_ids();
+        let a = Routine::canonical(&tea);
+        let b = Routine::new(&tea, vec![ids[1], ids[0], ids[2], ids[3]]);
+        let set = RoutineSet::weighted(vec![(a.clone(), weight_a), (b, 1.0)]);
+        let mut rng = SimRng::seed_from(seed);
+        let n = 2000;
+        let hits = (0..n).filter(|_| set.sample(&mut rng) == &a).count();
+        let expect = weight_a / (weight_a + 1.0);
+        let freq = hits as f64 / n as f64;
+        prop_assert!((freq - expect).abs() < 0.06,
+            "weight {weight_a}: expected {expect:.2}, got {freq:.2}");
+    }
+
+    /// Any episode list round-trips through the dataset format.
+    #[test]
+    fn dataset_roundtrip(
+        episodes in proptest::collection::vec(
+            proptest::collection::vec((0u16..30, 1u64..100_000), 1..10),
+            0..8,
+        ),
+    ) {
+        let episodes: Vec<Episode> = episodes
+            .into_iter()
+            .map(|evs| Episode {
+                adl: "G".to_owned(),
+                events: evs
+                    .into_iter()
+                    .map(|(step, ms)| EpisodeEvent {
+                        step: StepId::from_raw(step),
+                        duration: coreda_des::time::SimDuration::from_millis(ms),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let text = dataset::write_episodes("G", &episodes);
+        let (adl, parsed) = dataset::parse_episodes(&text).unwrap();
+        prop_assert_eq!(adl, "G");
+        prop_assert_eq!(parsed, episodes);
+    }
+
+    /// Dataset parsing never panics on arbitrary text.
+    #[test]
+    fn dataset_parse_is_total(garbage in "\\PC{0,300}") {
+        let _ = dataset::parse_episodes(&garbage);
+    }
+
+    /// Patient step durations respect the 1-second floor and scale with
+    /// the speed multiplier in expectation.
+    #[test]
+    fn durations_floored_and_scaled(speed in 0.5f64..3.0, seed in any::<u64>()) {
+        let tea = catalog::tea_making();
+        let step = &tea.steps()[0]; // 6 s nominal
+        let p = PatientProfile::builder("p").speed(speed).build();
+        let mut rng = SimRng::seed_from(seed);
+        let n = 300;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let d = p.step_duration(step, &mut rng);
+            prop_assert!(d.as_secs_f64() >= 1.0);
+            total += d.as_secs_f64();
+        }
+        let mean = total / f64::from(n);
+        let expected = (step.mean_duration_s() * speed).max(1.0);
+        prop_assert!((mean - expected).abs() < expected * 0.2 + 0.5,
+            "mean {mean:.2} vs expected {expected:.2}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Microbenchmarks for the RL toolbox: update rules and action selection.
+
+use coreda_des::rng::SimRng;
+use coreda_rl::algo::{DynaQ, Outcome, QLearning, TdConfig, TdControl, WatkinsQLambda};
+use coreda_rl::policy::{EpsilonGreedy, Policy, Softmax};
+use coreda_rl::qtable::QTable;
+use coreda_rl::schedule::Schedule;
+use coreda_rl::space::{ActionId, ProblemShape, StateId};
+use coreda_rl::traces::TraceKind;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn shape() -> ProblemShape {
+    // CoReDA's tea-making problem size: 25 states × 8 actions.
+    ProblemShape::new(25, 8)
+}
+
+fn cfg() -> TdConfig {
+    TdConfig::new(Schedule::constant(0.3), 0.05)
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("td_update");
+    let outcome = Outcome::Continue { next_state: StateId::new(7), next_action: ActionId::new(1) };
+
+    group.bench_function("q_learning", |b| {
+        let mut l = QLearning::new(shape(), cfg());
+        b.iter(|| {
+            l.observe(black_box(StateId::new(3)), black_box(ActionId::new(2)), 100.0, outcome);
+        });
+    });
+
+    group.bench_function("watkins_q_lambda", |b| {
+        let mut l = WatkinsQLambda::new(shape(), cfg(), 0.8, TraceKind::Replacing);
+        l.begin_episode();
+        b.iter(|| {
+            l.observe(black_box(StateId::new(3)), black_box(ActionId::new(2)), 100.0, outcome);
+        });
+    });
+
+    group.bench_function("dyna_q_10_planning_steps", |b| {
+        let mut l = DynaQ::new(shape(), cfg(), 10, 1);
+        b.iter(|| {
+            l.observe(black_box(StateId::new(3)), black_box(ActionId::new(2)), 100.0, outcome);
+        });
+    });
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_select");
+    let mut q = QTable::new(shape());
+    let mut rng = SimRng::seed_from(1);
+    for s in shape().state_ids() {
+        for a in shape().action_ids() {
+            q.set(s, a, rng.normal(0.0, 100.0));
+        }
+    }
+
+    group.bench_function("epsilon_greedy", |b| {
+        let pol = EpsilonGreedy::constant(0.35);
+        let mut r = SimRng::seed_from(2);
+        b.iter(|| pol.select(black_box(&q), StateId::new(12), 0, &mut r));
+    });
+
+    group.bench_function("softmax", |b| {
+        let pol = Softmax::constant(10.0);
+        let mut r = SimRng::seed_from(3);
+        b.iter(|| pol.select(black_box(&q), StateId::new(12), 0, &mut r));
+    });
+
+    group.bench_function("greedy_lookup", |b| {
+        b.iter(|| black_box(&q).greedy_action(StateId::new(12)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_policies);
+criterion_main!(benches);

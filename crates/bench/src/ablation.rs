@@ -1,0 +1,451 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! - **λ sweep** — how much do eligibility traces buy on CoReDA's MDP?
+//! - **Reward shape** — what breaks when the 1000/100/50/0 structure is
+//!   flattened or the mismatch penalty is removed?
+//! - **Fast learning** (future work §4.2) — Dyna-Q model replay vs the
+//!   paper's TD(λ), measured in real episodes to convergence.
+//! - **Algorithm family** — Q-learning / SARSA / Expected SARSA / Q(λ).
+
+use coreda_adl::activity::{catalog, AdlSpec};
+use coreda_adl::routine::Routine;
+use coreda_adl::step::StepId;
+use coreda_core::baseline::{routine_accuracy, CertaintyEquivalence};
+use coreda_core::planning::{PlanningConfig, PlanningSubsystem, RewardConfig, StateEncoder};
+use coreda_core::reminding::ReminderLevel;
+use coreda_des::rng::SimRng;
+use coreda_rl::algo::{DoubleQLearning, DynaQ, ExpectedSarsa, Outcome, QLearning, Sarsa, TdConfig, TdControl, WatkinsQLambda};
+use coreda_rl::policy::{EpsilonGreedy, Policy};
+use coreda_rl::schedule::Schedule;
+use coreda_rl::traces::TraceKind;
+
+use crate::common::{corrupt_sequence, measure_extraction};
+use crate::fig4::sustained_crossing;
+
+/// Result of one ablation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationPoint {
+    /// Configuration label.
+    pub label: String,
+    /// Episodes to sustain ≥95 % accuracy (mean curve), if reached.
+    pub converge_95: Option<usize>,
+    /// Final accuracy after all episodes.
+    pub final_accuracy: f64,
+    /// Fraction of intermediate greedy prompts at the minimal level.
+    pub minimal_fraction: f64,
+}
+
+/// Trains one [`TdControl`] learner on CoReDA's MDP encoding, replicating
+/// the planning subsystem's episode protocol (used to compare algorithms
+/// the subsystem does not natively embed).
+#[allow(clippy::too_many_arguments)] // mirrors the planner's internal signature
+pub fn train_learner_episode(
+    learner: &mut dyn TdControl,
+    encoder: &StateEncoder,
+    reward: RewardConfig,
+    terminal: StepId,
+    steps: &[StepId],
+    policy: &EpsilonGreedy,
+    ep: u64,
+    rng: &mut SimRng,
+) {
+    let seq: Vec<StepId> = steps
+        .iter()
+        .copied()
+        .filter(|s| !s.is_idle() && encoder.state_of(*s, *s).is_some())
+        .collect();
+    if seq.len() < 2 {
+        return;
+    }
+    learner.begin_episode();
+    let mut prev = StepId::IDLE;
+    for i in 0..seq.len() - 1 {
+        let cur = seq[i];
+        let next = seq[i + 1];
+        let s = encoder.state_of(prev, cur).expect("known step");
+        let a = policy.select(learner.q(), s, ep, rng);
+        let prompt = encoder.decode_action(a);
+        let is_terminal = next == terminal;
+        let r = reward.reward(prompt, next, is_terminal);
+        if is_terminal {
+            learner.observe(s, a, r, Outcome::Terminal);
+        } else {
+            let s2 = encoder.state_of(cur, next).expect("known step");
+            let a2 = if i + 2 == seq.len() {
+                learner.q().greedy_action(s2)
+            } else {
+                policy.select(learner.q(), s2, ep, rng)
+            };
+            learner.observe(s, a, r, Outcome::Continue { next_state: s2, next_action: a2 });
+        }
+        prev = cur;
+    }
+}
+
+fn routine_accuracy_of(
+    learner: &dyn TdControl,
+    encoder: &StateEncoder,
+    routine: &Routine,
+) -> f64 {
+    let transitions = routine.transitions();
+    let hits = transitions
+        .iter()
+        .filter(|&&(p, c, n)| {
+            encoder
+                .state_of(p, c)
+                .map(|s| encoder.decode_action(learner.q().greedy_action(s)).tool)
+                .map(StepId::from_tool)
+                == Some(n)
+        })
+        .count();
+    hits as f64 / transitions.len() as f64
+}
+
+fn minimal_fraction_of(planner: &PlanningSubsystem, routine: &Routine) -> f64 {
+    let terminal = routine.last();
+    let intermediate: Vec<_> =
+        routine.transitions().into_iter().filter(|&(_, _, n)| n != terminal).collect();
+    if intermediate.is_empty() {
+        return 1.0;
+    }
+    let hits = intermediate
+        .iter()
+        .filter(|&&(p, c, _)| {
+            planner.predict(p, c).is_some_and(|pr| pr.level == ReminderLevel::Minimal)
+        })
+        .count();
+    hits as f64 / intermediate.len() as f64
+}
+
+/// λ sweep on Tea-making with the paper's protocol.
+#[must_use]
+pub fn lambda_sweep(lambdas: &[f64], episodes: usize, seeds: usize, base_seed: u64) -> Vec<AblationPoint> {
+    let tea = catalog::tea_making();
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            let cfg = PlanningConfig { lambda, ..PlanningConfig::default() };
+            run_planner_config(&tea, cfg, &format!("lambda = {lambda}"), episodes, seeds, base_seed)
+        })
+        .collect()
+}
+
+/// Reward-shape ablation: the paper's values, a flat variant with no
+/// level asymmetry, and a broken variant where mismatching prompts score
+/// as well as matching ones.
+#[must_use]
+pub fn reward_shapes(episodes: usize, seeds: usize, base_seed: u64) -> Vec<AblationPoint> {
+    let tea = catalog::tea_making();
+    let shapes = [
+        ("paper (1000/100/50, 0 mismatch)", RewardConfig::default()),
+        (
+            "flat levels (1000/100/100, 0 mismatch)",
+            RewardConfig { specific: 100.0, ..RewardConfig::default() },
+        ),
+        (
+            "no mismatch penalty (all 100)",
+            RewardConfig { terminal: 100.0, specific: 100.0, mismatch: 100.0, ..RewardConfig::default() },
+        ),
+    ];
+    shapes
+        .iter()
+        .map(|(label, reward)| {
+            let cfg = PlanningConfig { reward: *reward, ..PlanningConfig::default() };
+            run_planner_config(&tea, cfg, label, episodes, seeds, base_seed)
+        })
+        .collect()
+}
+
+fn run_planner_config(
+    spec: &AdlSpec,
+    cfg: PlanningConfig,
+    label: &str,
+    episodes: usize,
+    seeds: usize,
+    base_seed: u64,
+) -> AblationPoint {
+    let routine = Routine::canonical(spec);
+    let mut meta = SimRng::seed_from(base_seed);
+    let extraction = measure_extraction(spec, 200, &mut meta);
+    let mut curves = Vec::new();
+    let mut final_accuracy = 0.0;
+    let mut minimal_fraction = 0.0;
+    for s in 0..seeds {
+        let mut rng = SimRng::seed_from(base_seed ^ (0xABCD_EF01 * (s as u64 + 1)));
+        let mut planner = PlanningSubsystem::new(spec, cfg);
+        let mut curve = Vec::with_capacity(episodes);
+        for _ in 0..episodes {
+            let obs = corrupt_sequence(routine.steps(), spec, &extraction, &mut rng);
+            planner.train_episode(&obs, &mut rng);
+            curve.push(planner.accuracy_vs_routine(&routine));
+        }
+        final_accuracy += planner.accuracy_vs_routine(&routine);
+        minimal_fraction += minimal_fraction_of(&planner, &routine);
+        curves.push(curve);
+    }
+    let mean = coreda_core::metrics::mean_curve(&curves);
+    AblationPoint {
+        label: label.to_owned(),
+        converge_95: sustained_crossing(&mean, 0.95, 3),
+        final_accuracy: final_accuracy / seeds as f64,
+        minimal_fraction: minimal_fraction / seeds as f64,
+    }
+}
+
+/// The "fast learning" study: Dyna-Q with increasing planning budgets vs
+/// one-step Q-learning and the paper's Watkins Q(λ), all on Tea-making
+/// clean recordings, measured in episodes to perfect routine accuracy.
+#[must_use]
+pub fn fast_learning(episodes: usize, seeds: usize, base_seed: u64) -> Vec<AblationPoint> {
+    let tea = catalog::tea_making();
+    let routine = Routine::canonical(&tea);
+    let encoder = StateEncoder::new(&tea);
+    let reward = RewardConfig::default();
+    let td = TdConfig::new(Schedule::exponential(0.4, 0.997, 0.15), 0.05);
+    let policy = EpsilonGreedy::constant(0.35);
+
+    type SeededFactory = Box<dyn Fn(u64) -> Box<dyn TdControl>>;
+    let make: Vec<(String, SeededFactory)> = vec![
+        (
+            "Q-learning (one-step)".into(),
+            Box::new(move |_| Box::new(QLearning::new(encoder_shape(), td))),
+        ),
+        (
+            "Watkins Q(0.8) [paper]".into(),
+            Box::new(move |_| {
+                Box::new(WatkinsQLambda::new(encoder_shape(), td, 0.8, TraceKind::Replacing))
+            }),
+        ),
+        (
+            "Dyna-Q, 5 planning steps".into(),
+            Box::new(move |seed| Box::new(DynaQ::new(encoder_shape(), td, 5, seed))),
+        ),
+        (
+            "Dyna-Q, 30 planning steps".into(),
+            Box::new(move |seed| Box::new(DynaQ::new(encoder_shape(), td, 30, seed))),
+        ),
+    ];
+
+    let mut points: Vec<AblationPoint> = make
+        .into_iter()
+        .map(|(label, factory)| {
+            let mut curves = Vec::new();
+            let mut final_acc = 0.0;
+            for s in 0..seeds {
+                let seed = base_seed ^ (0x1357_9BDF * (s as u64 + 1));
+                let mut rng = SimRng::seed_from(seed);
+                let mut learner = factory(seed);
+                let mut curve = Vec::with_capacity(episodes);
+                for ep in 0..episodes {
+                    train_learner_episode(
+                        learner.as_mut(),
+                        &encoder,
+                        reward,
+                        routine.last(),
+                        routine.steps(),
+                        &policy,
+                        ep as u64,
+                        &mut rng,
+                    );
+                    curve.push(routine_accuracy_of(learner.as_ref(), &encoder, &routine));
+                }
+                final_acc += routine_accuracy_of(learner.as_ref(), &encoder, &routine);
+                curves.push(curve);
+            }
+            let mean = coreda_core::metrics::mean_curve(&curves);
+            AblationPoint {
+                label,
+                converge_95: sustained_crossing(&mean, 0.95, 3),
+                final_accuracy: final_acc / seeds as f64,
+                minimal_fraction: f64::NAN,
+            }
+        })
+        .collect();
+
+    // Certainty equivalence: deterministic given the episodes (no
+    // exploration), so one run suffices.
+    let mut ce = CertaintyEquivalence::new(&tea, reward, 0.05);
+    let mut ce_curve = Vec::with_capacity(episodes);
+    for _ in 0..episodes {
+        ce.observe_episode(routine.steps());
+        ce_curve.push(routine_accuracy(&ce, &routine));
+    }
+    points.push(AblationPoint {
+        label: "Certainty equivalence (counts + VI)".into(),
+        converge_95: sustained_crossing(&ce_curve, 0.95, 3),
+        final_accuracy: *ce_curve.last().expect("episodes > 0"),
+        minimal_fraction: f64::NAN,
+    });
+    points
+}
+
+fn encoder_shape() -> coreda_rl::space::ProblemShape {
+    StateEncoder::new(&catalog::tea_making()).shape()
+}
+
+/// Algorithm-family comparison on the same protocol as
+/// [`fast_learning`], with SARSA variants included.
+#[must_use]
+pub fn algorithm_family(episodes: usize, seeds: usize, base_seed: u64) -> Vec<AblationPoint> {
+    let tea = catalog::tea_making();
+    let routine = Routine::canonical(&tea);
+    let encoder = StateEncoder::new(&tea);
+    let reward = RewardConfig::default();
+    let td = TdConfig::new(Schedule::exponential(0.4, 0.997, 0.15), 0.05);
+    let policy = EpsilonGreedy::constant(0.35);
+
+    type Factory = Box<dyn Fn() -> Box<dyn TdControl>>;
+    let algos: Vec<(String, Factory)> = vec![
+        ("Q-learning".into(), Box::new(move || Box::new(QLearning::new(encoder_shape(), td)))),
+        ("SARSA".into(), Box::new(move || Box::new(Sarsa::new(encoder_shape(), td)))),
+        (
+            "Expected SARSA".into(),
+            Box::new(move || Box::new(ExpectedSarsa::new(encoder_shape(), td, 0.35))),
+        ),
+        (
+            "Double Q-learning".into(),
+            Box::new(move || Box::new(DoubleQLearning::new(encoder_shape(), td, 99))),
+        ),
+        (
+            "Watkins Q(0.8) [paper]".into(),
+            Box::new(move || {
+                Box::new(WatkinsQLambda::new(encoder_shape(), td, 0.8, TraceKind::Replacing))
+            }),
+        ),
+    ];
+
+    algos
+        .into_iter()
+        .map(|(label, factory)| {
+            let mut curves = Vec::new();
+            let mut final_acc = 0.0;
+            for s in 0..seeds {
+                let mut rng = SimRng::seed_from(base_seed ^ (0x2468_ACE0 * (s as u64 + 1)));
+                let mut learner = factory();
+                let mut curve = Vec::with_capacity(episodes);
+                for ep in 0..episodes {
+                    train_learner_episode(
+                        learner.as_mut(),
+                        &encoder,
+                        reward,
+                        routine.last(),
+                        routine.steps(),
+                        &policy,
+                        ep as u64,
+                        &mut rng,
+                    );
+                    curve.push(routine_accuracy_of(learner.as_ref(), &encoder, &routine));
+                }
+                final_acc += routine_accuracy_of(learner.as_ref(), &encoder, &routine);
+                curves.push(curve);
+            }
+            let mean = coreda_core::metrics::mean_curve(&curves);
+            AblationPoint {
+                label,
+                converge_95: sustained_crossing(&mean, 0.95, 3),
+                final_accuracy: final_acc / seeds as f64,
+                minimal_fraction: f64::NAN,
+            }
+        })
+        .collect()
+}
+
+/// Renders ablation points as a table.
+#[must_use]
+pub fn render(title: &str, points: &[AblationPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== Ablation: {title} ==");
+    let _ = writeln!(
+        out,
+        "  {:<42} {:>12} {:>10} {:>9}",
+        "configuration", "conv@95%", "final acc", "min-level"
+    );
+    for p in points {
+        let conv = p.converge_95.map_or("n/a".to_owned(), |v| v.to_string());
+        let minf = if p.minimal_fraction.is_nan() {
+            "-".to_owned()
+        } else {
+            format!("{:.0}%", p.minimal_fraction * 100.0)
+        };
+        let _ = writeln!(
+            out,
+            "  {:<42} {:>12} {:>9.1}% {:>9}",
+            p.label,
+            conv,
+            p.final_accuracy * 100.0,
+            minf
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reward_shape_ablation_shows_structure_matters() {
+        // The 100-vs-50 level gap is a quarter of the match-vs-mismatch
+        // gap, so the level preference emerges noticeably later than the
+        // routine itself — hence the longer horizon here.
+        let points = reward_shapes(250, 8, 2007);
+        assert_eq!(points.len(), 3);
+        let paper = &points[0];
+        let flat = &points[1];
+        let broken = &points[2];
+        // The paper's shape learns the routine and prefers minimal prompts.
+        assert!(paper.final_accuracy > 0.9, "paper shape: {paper:?}");
+        assert!(paper.minimal_fraction > 0.8, "paper shape should prefer minimal: {paper:?}");
+        // Flat levels still learn the routine but have no level preference
+        // (ties break toward minimal, so the fraction stays high-ish; the
+        // distinguishing signal is gone though — accept anything).
+        assert!(flat.final_accuracy > 0.9, "flat shape: {flat:?}");
+        // Removing the mismatch penalty destroys routine learning: every
+        // prompt looks equally good.
+        assert!(
+            broken.final_accuracy < 0.7,
+            "no-penalty shape should not learn the routine: {broken:?}"
+        );
+    }
+
+    #[test]
+    fn dyna_q_accelerates_learning() {
+        let points = fast_learning(60, 8, 2007);
+        let one_step = points[0].converge_95.unwrap_or(usize::MAX);
+        let dyna30 = points[3].converge_95.unwrap_or(usize::MAX);
+        assert!(
+            dyna30 < one_step,
+            "Dyna-Q(30) should converge in fewer episodes: {points:#?}"
+        );
+        for p in &points {
+            assert!(p.final_accuracy > 0.9, "all learners eventually solve it: {p:?}");
+        }
+        // Certainty equivalence needs the fewest episodes of all.
+        let ce = points.last().unwrap();
+        let ce_conv = ce.converge_95.unwrap_or(usize::MAX);
+        assert!(
+            ce_conv <= points.iter().filter_map(|p| p.converge_95).min().unwrap_or(usize::MAX),
+            "CE should be the most sample-efficient: {points:#?}"
+        );
+        assert!(ce_conv <= 5, "clean episodes determine the routine immediately: {ce:?}");
+    }
+
+    #[test]
+    fn lambda_sweep_runs_and_converges() {
+        let points = lambda_sweep(&[0.0, 0.8], 80, 6, 2007);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.final_accuracy > 0.85, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn algorithm_family_all_solve_the_task() {
+        let points = algorithm_family(100, 6, 2007);
+        assert_eq!(points.len(), 5);
+        for p in &points {
+            assert!(p.final_accuracy > 0.85, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Routine-change adaptation (paper §3.2, last paragraph).
+//!
+//! "Actually, we can set the parameters (converging condition, learning
+//! rate, etc.) to make the learning update all the while instead of
+//! converging. By doing this, CoReDA can always learn the newest routines
+//! of a user…"
+//!
+//! This study makes that trade-off concrete: a user follows routine A,
+//! then permanently switches to routine B. A planner whose learning rate
+//! and exploration keep a floor ("always learning") re-converges on B;
+//! one whose schedules decay to (near) zero ("converged & frozen") stays
+//! stuck on A.
+
+use coreda_adl::activity::catalog;
+use coreda_adl::routine::Routine;
+use coreda_core::metrics::mean_curve;
+use coreda_core::planning::{PlanningConfig, PlanningSubsystem};
+use coreda_des::rng::SimRng;
+use coreda_rl::schedule::Schedule;
+
+use crate::fig4::sustained_crossing;
+
+/// Result of one adaptation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationPoint {
+    /// Configuration label.
+    pub label: String,
+    /// Accuracy on routine A just before the switch.
+    pub pre_switch_accuracy: f64,
+    /// Accuracy on routine B at the end.
+    pub post_switch_accuracy: f64,
+    /// Episodes after the switch until accuracy on B sustains ≥ 95 %.
+    pub episodes_to_readapt: Option<usize>,
+}
+
+/// The "always learning" configuration: floors on α and ε.
+#[must_use]
+pub fn always_learning() -> PlanningConfig {
+    PlanningConfig::default()
+}
+
+/// The "converged & frozen" configuration: α and ε decay to near zero,
+/// locking the policy in (the paper's default framing — "obviously it is
+/// not proper" to keep adapting for patients whose abilities decline).
+#[must_use]
+pub fn converged_frozen() -> PlanningConfig {
+    PlanningConfig {
+        // α steps per transition (~3/episode), ε per episode: both are
+        // effectively zero by the time the routine switches.
+        alpha: Schedule::exponential(0.4, 0.99, 0.0005),
+        epsilon: Schedule::exponential(0.35, 0.985, 0.0005),
+        ..PlanningConfig::default()
+    }
+}
+
+/// Runs the study: `phase` episodes of routine A, then `phase` of
+/// routine B, averaged over `seeds` runs.
+#[must_use]
+pub fn run(phase: usize, seeds: usize, base_seed: u64) -> Vec<AdaptationPoint> {
+    let tea = catalog::tea_making();
+    let ids = tea.step_ids();
+    let a = Routine::canonical(&tea);
+    let b = Routine::new(&tea, vec![ids[1], ids[0], ids[2], ids[3]]);
+
+    [("always learning (floored α, ε)", always_learning()),
+     ("converged & frozen (decayed α, ε)", converged_frozen())]
+        .into_iter()
+        .map(|(label, cfg)| {
+            let mut pre = 0.0;
+            let mut post = 0.0;
+            let mut post_curves = Vec::new();
+            for s in 0..seeds {
+                let mut rng = SimRng::seed_from(base_seed ^ (0x5A5A_5A5A * (s as u64 + 1)));
+                let mut planner = PlanningSubsystem::new(&tea, cfg);
+                for _ in 0..phase {
+                    planner.train_episode(a.steps(), &mut rng);
+                }
+                pre += planner.accuracy_vs_routine(&a);
+                let mut curve = Vec::with_capacity(phase);
+                for _ in 0..phase {
+                    planner.train_episode(b.steps(), &mut rng);
+                    curve.push(planner.accuracy_vs_routine(&b));
+                }
+                post += planner.accuracy_vs_routine(&b);
+                post_curves.push(curve);
+            }
+            let mean = mean_curve(&post_curves);
+            AdaptationPoint {
+                label: label.to_owned(),
+                pre_switch_accuracy: pre / seeds as f64,
+                post_switch_accuracy: post / seeds as f64,
+                episodes_to_readapt: sustained_crossing(&mean, 0.95, 3),
+            }
+        })
+        .collect()
+}
+
+/// Renders the study.
+#[must_use]
+pub fn render(points: &[AdaptationPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== Adaptation: the user switches routines mid-life ==");
+    let _ = writeln!(
+        out,
+        "  {:<36} {:>10} {:>10} {:>10}",
+        "configuration", "pre-switch", "post", "re-adapt@"
+    );
+    for p in points {
+        let re = p.episodes_to_readapt.map_or("never".to_owned(), |v| v.to_string());
+        let _ = writeln!(
+            out,
+            "  {:<36} {:>9.0}% {:>9.0}% {:>10}",
+            p.label,
+            p.pre_switch_accuracy * 100.0,
+            p.post_switch_accuracy * 100.0,
+            re
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floored_schedules_readapt_frozen_ones_do_not() {
+        let points = run(150, 8, 2007);
+        let live = &points[0];
+        let frozen = &points[1];
+        // Both learn routine A initially.
+        assert!(live.pre_switch_accuracy > 0.95, "{live:?}");
+        assert!(frozen.pre_switch_accuracy > 0.95, "{frozen:?}");
+        // Only the floored configuration recovers after the switch.
+        assert!(live.post_switch_accuracy > 0.95, "{live:?}");
+        assert!(
+            frozen.post_switch_accuracy < live.post_switch_accuracy,
+            "frozen schedules must adapt worse: {points:#?}"
+        );
+        assert!(live.episodes_to_readapt.is_some(), "{live:?}");
+    }
+}

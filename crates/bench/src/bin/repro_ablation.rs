@@ -1,0 +1,23 @@
+//! Runs the ablation suite: lambda sweep, reward shapes, fast-learning
+//! (Dyna-Q), and the TD-algorithm family comparison.
+//! Usage: `cargo run -p coreda-bench --bin repro_ablation [seeds] [seed]`
+
+use coreda_bench::ablation;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seeds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2007);
+
+    let lam = ablation::lambda_sweep(&[0.0, 0.3, 0.6, 0.9], 120, seeds, seed);
+    print!("{}", ablation::render("eligibility-trace lambda (Tea-making)", &lam));
+
+    let rew = ablation::reward_shapes(250, seeds, seed);
+    print!("{}", ablation::render("reward shape (Tea-making)", &rew));
+
+    let fast = ablation::fast_learning(60, seeds, seed);
+    print!("{}", ablation::render("fast learning / Dyna-Q (future work 4.2)", &fast));
+
+    let fam = ablation::algorithm_family(120, seeds, seed);
+    print!("{}", ablation::render("TD-control algorithm family", &fam));
+}

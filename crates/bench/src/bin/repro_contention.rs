@@ -1,0 +1,13 @@
+//! Scaling study: report delivery and step extraction as more tools key
+//! up concurrently on the shared CC1000 channel.
+//! Usage: `cargo run -p coreda-bench --bin repro_contention [trials] [seed]`
+
+use coreda_bench::contention;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(80);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2007);
+    let points = contention::run(trials, seed);
+    print!("{}", contention::render(&points));
+}

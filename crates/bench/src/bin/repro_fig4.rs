@@ -1,0 +1,15 @@
+//! Reproduces Figure 4: the TD(λ) Q-learning learning curves for both
+//! ADLs, with convergence read-outs at the 95 % and 98 % conditions.
+//! Usage: `cargo run -p coreda-bench --bin repro_fig4 [episodes] [seeds] [seed]`
+
+use coreda_bench::fig4;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let episodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(120);
+    let seeds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(30);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2007);
+    let curves = fig4::run(episodes, seeds, seed);
+    print!("{}", fig4::render(&curves));
+    println!("\n({episodes} episodes, {seeds} independent runs, base seed {seed})");
+}

@@ -1,0 +1,13 @@
+//! Failure-injection sweep: extraction precision and learning convergence
+//! under increasingly lossy radio links.
+//! Usage: `cargo run -p coreda-bench --bin repro_radio_loss [trials] [seed]`
+
+use coreda_bench::radio_loss;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(120);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2007);
+    let points = radio_loss::run(trials, 120, 10, seed);
+    print!("{}", radio_loss::render(&points));
+}

@@ -1,0 +1,14 @@
+//! Reproduces Table 3: extract precision of each ADL step over 40 trials
+//! per tool (320 samples total, like the paper). Usage:
+//! `cargo run -p coreda-bench --bin repro_table3 [trials] [seed]`
+
+use coreda_bench::table3;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2007);
+    let rows = table3::run(trials, seed);
+    print!("{}", table3::render(&rows));
+    println!("\n({trials} trials per step, seed {seed})");
+}

@@ -1,0 +1,194 @@
+//! Shared experiment plumbing: trial protocols and table rendering.
+
+use coreda_adl::activity::AdlSpec;
+use coreda_adl::step::StepId;
+use coreda_des::rng::SimRng;
+use coreda_sensornet::detect::Thresholds;
+use coreda_sensornet::network::{LinkConfig, StarNetwork};
+use coreda_sensornet::node::PavenetNode;
+
+/// Number of 100 ms samples per second (the PAVENET rate).
+pub const TICKS_PER_SEC: u64 = 10;
+
+/// Simulates one performance of `step_idx` of `spec` and reports whether
+/// the sensing pipeline extracted it: the tool's node must deliver at
+/// least one `ToolUse` report to the base station while the step runs.
+///
+/// This is the paper's Table 3 trial: "when we pick up tea-box and take
+/// tea-leaf from it, whether it can be extracted as the ADL step".
+pub fn extract_trial(
+    spec: &AdlSpec,
+    step_idx: usize,
+    link: LinkConfig,
+    rng: &mut SimRng,
+) -> bool {
+    let step = &spec.steps()[step_idx];
+    let tool = spec.tool(step.tool()).expect("spec is validated");
+    let mut node = PavenetNode::new(tool.id().into(), tool.signal(), Thresholds::default());
+    let mut net = StarNetwork::new(link);
+    net.register(node.uid());
+
+    // Duration drawn from the step's statistics, like a real performance.
+    let secs = rng.normal(step.mean_duration_s(), step.sd_duration_s()).max(1.0);
+    let ticks = (secs * TICKS_PER_SEC as f64).round() as u64;
+    let mut delivered = false;
+    for t in 0..ticks {
+        if let Some(packet) = node.sample_tick(true, t * 100, rng) {
+            if net.send_uplink(&packet, rng).is_delivered() {
+                delivered = true;
+            }
+        }
+    }
+    delivered
+}
+
+/// Per-step extraction success probabilities measured by Monte-Carlo
+/// (used to corrupt training data realistically).
+pub fn measure_extraction(spec: &AdlSpec, trials: usize, rng: &mut SimRng) -> Vec<f64> {
+    (0..spec.steps().len())
+        .map(|i| {
+            let hits = (0..trials)
+                .filter(|_| extract_trial(spec, i, LinkConfig::default(), rng))
+                .count();
+            hits as f64 / trials as f64
+        })
+        .collect()
+}
+
+/// Applies extraction noise to a clean StepID sequence: each step is
+/// dropped with its per-step miss probability (`1 − extraction`), the way
+/// a missed detection removes it from the sensed sequence.
+pub fn corrupt_sequence(
+    steps: &[StepId],
+    spec: &AdlSpec,
+    extraction: &[f64],
+    rng: &mut SimRng,
+) -> Vec<StepId> {
+    steps
+        .iter()
+        .copied()
+        .filter(|s| {
+            match spec.step_index(*s) {
+                Some(i) => rng.chance(extraction[i].clamp(0.0, 1.0)),
+                None => true, // idles / foreign steps pass through
+            }
+        })
+        .collect()
+}
+
+/// Renders a y-range-normalised ASCII line chart of `series` (values in
+/// `[0, 1]`), `height` rows tall, one column per point (downsampled to
+/// `max_width` columns if longer).
+#[must_use]
+pub fn ascii_chart(series: &[f64], height: usize, max_width: usize) -> String {
+    use std::fmt::Write as _;
+    if series.is_empty() || height == 0 {
+        return String::new();
+    }
+    // Downsample by averaging buckets.
+    let width = series.len().min(max_width.max(1));
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo = c * series.len() / width;
+            let hi = (((c + 1) * series.len()) / width).max(lo + 1);
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    let mut out = String::new();
+    for row in (0..height).rev() {
+        let lo = row as f64 / height as f64;
+        let hi = (row + 1) as f64 / height as f64;
+        let label = if row == height - 1 {
+            "100% |"
+        } else if row == 0 {
+            "  0% |"
+        } else {
+            "     |"
+        };
+        out.push_str(label);
+        for &v in &cols {
+            let ch = if v >= hi {
+                '█'
+            } else if v > lo {
+                '▄'
+            } else {
+                ' '
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "     +{}", "-".repeat(width));
+    out
+}
+
+/// Renders an aligned two-column table (label, value).
+#[must_use]
+pub fn render_table(title: &str, rows: &[(String, String)]) -> String {
+    use std::fmt::Write as _;
+    let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(10);
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    for (label, value) in rows {
+        let _ = writeln!(out, "  {label:<width$}  {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coreda_adl::activity::catalog;
+
+    #[test]
+    fn extract_trial_usually_succeeds_on_long_steps() {
+        let tea = catalog::tea_making();
+        let mut rng = SimRng::seed_from(1);
+        // Step 0 (tea-box, 6 s, duty 0.6) should essentially always extract.
+        let hits =
+            (0..50).filter(|_| extract_trial(&tea, 0, LinkConfig::default(), &mut rng)).count();
+        assert!(hits >= 48, "tea-box extraction too weak: {hits}/50");
+    }
+
+    #[test]
+    fn corrupt_sequence_drops_by_probability() {
+        let tea = catalog::tea_making();
+        let ids = tea.step_ids();
+        let mut rng = SimRng::seed_from(2);
+        // Kill step 1 always, keep the rest.
+        let ext = vec![1.0, 0.0, 1.0, 1.0];
+        let corrupted = corrupt_sequence(&ids, &tea, &ext, &mut rng);
+        assert_eq!(corrupted, vec![ids[0], ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn ascii_chart_shape() {
+        let series: Vec<f64> = (0..100).map(|i| f64::from(i) / 100.0).collect();
+        let chart = ascii_chart(&series, 5, 60);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 6, "5 rows + axis");
+        assert!(lines[0].starts_with("100% |"));
+        assert!(lines[4].starts_with("  0% |"));
+        // Rising series: the top row fills only at the right edge.
+        let top = lines[0];
+        let bottom = lines[4];
+        assert!(top.trim_end().ends_with('█') || top.trim_end().ends_with('▄'));
+        assert!(bottom.chars().filter(|&c| c == '█').count()
+            > top.chars().filter(|&c| c == '█').count());
+    }
+
+    #[test]
+    fn ascii_chart_handles_degenerate_input() {
+        assert!(ascii_chart(&[], 5, 10).is_empty());
+        assert!(ascii_chart(&[0.5], 0, 10).is_empty());
+        let one = ascii_chart(&[1.0], 3, 10);
+        assert!(one.contains('█'));
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let s = render_table("T", &[("a".into(), "1".into()), ("long label".into(), "2".into())]);
+        assert!(s.contains("== T =="));
+        assert!(s.contains("long label"));
+    }
+}

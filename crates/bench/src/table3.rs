@@ -1,0 +1,156 @@
+//! Table 3 — "Extract Precision of ADL Step".
+//!
+//! The paper collected 320 samples (40 per tool) across the two ADLs and
+//! reports per-step extraction precision between 80 % and 100 %, with the
+//! two short steps lowest ("Dry with a towel" 85 %, "Pour hot water into
+//! kettle" 80 %).
+
+use coreda_adl::activity::{catalog, AdlSpec};
+use coreda_core::metrics::PrecisionCounter;
+use coreda_des::rng::SimRng;
+use coreda_sensornet::network::LinkConfig;
+
+use crate::common::extract_trial;
+
+/// One row of the reproduced table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractRow {
+    /// ADL name.
+    pub adl: String,
+    /// Step name.
+    pub step: String,
+    /// Measured precision.
+    pub precision: PrecisionCounter,
+    /// The paper's reported value for this row.
+    pub paper: f64,
+}
+
+/// The paper's Table 3 values, in catalog order.
+#[must_use]
+pub fn paper_values() -> Vec<f64> {
+    vec![
+        0.90, 1.00, 1.00, 0.85, // Tooth-brushing
+        1.00, 0.80, 1.00, 0.90, // Tea-making
+    ]
+}
+
+/// Runs the Table 3 protocol: `trials` performances of every step of both
+/// catalog ADLs over a perfect radio link.
+#[must_use]
+pub fn run(trials: usize, seed: u64) -> Vec<ExtractRow> {
+    run_with_link(trials, seed, LinkConfig::default())
+}
+
+/// Same, with a custom radio link (used by the loss-sweep experiment).
+#[must_use]
+pub fn run_with_link(trials: usize, seed: u64, link: LinkConfig) -> Vec<ExtractRow> {
+    let mut rng = SimRng::seed_from(seed);
+    let paper = paper_values();
+    let mut rows = Vec::new();
+    for adl in catalog::paper_adls() {
+        for idx in 0..adl.steps().len() {
+            let mut counter = PrecisionCounter::new();
+            for _ in 0..trials {
+                counter.record(extract_trial(&adl, idx, link, &mut rng));
+            }
+            rows.push(ExtractRow {
+                adl: adl.name().to_owned(),
+                step: adl.steps()[idx].name().to_owned(),
+                precision: counter,
+                paper: paper[rows.len()],
+            });
+        }
+    }
+    rows
+}
+
+/// Runs Table 3 for a single custom ADL (generalisation demo).
+#[must_use]
+pub fn run_for(spec: &AdlSpec, trials: usize, seed: u64) -> Vec<(String, PrecisionCounter)> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..spec.steps().len())
+        .map(|idx| {
+            let mut counter = PrecisionCounter::new();
+            for _ in 0..trials {
+                counter.record(extract_trial(spec, idx, LinkConfig::default(), &mut rng));
+            }
+            (spec.steps()[idx].name().to_owned(), counter)
+        })
+        .collect()
+}
+
+/// Renders the table like the paper's.
+#[must_use]
+pub fn render(rows: &[ExtractRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== Table 3: Extract Precision of ADL Step ==");
+    let _ = writeln!(out, "  {:<14} {:<30} {:>9} {:>7}", "ADL", "ADL Step", "Measured", "Paper");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:<30} {:>8.0}% {:>6.0}%",
+            r.adl,
+            r.step,
+            r.precision.precision() * 100.0,
+            r.paper * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reproduction criterion: every step lands in the paper's
+    /// 75–100 % band, and the two short steps are the weakest of their
+    /// ADLs (the paper's qualitative finding: "the precisions of Dry with
+    /// a towel and Pour hot water into kettle are relatively low. It is
+    /// because the duration of these two steps are relatively shorter").
+    #[test]
+    fn shape_matches_paper() {
+        let rows = run(120, 2007);
+        for r in &rows {
+            let p = r.precision.precision();
+            assert!(
+                (0.70..=1.0).contains(&p),
+                "{}/{} precision {p:.2} out of band",
+                r.adl,
+                r.step
+            );
+        }
+        let prec = |name: &str| {
+            rows.iter().find(|r| r.step == name).unwrap().precision.precision()
+        };
+        // Short steps weakest in their ADLs.
+        assert!(prec("Dry with a towel") < prec("Brush the teeth"));
+        assert!(prec("Dry with a towel") < prec("Gargle with water"));
+        assert!(prec("Pour hot water into kettle") < prec("Put tea-leaf into kettle"));
+        assert!(prec("Pour hot water into kettle") < prec("Pour tea into tea cup"));
+        // Long steady steps are essentially perfect.
+        assert!(prec("Brush the teeth") > 0.97);
+        assert!(prec("Put tea-leaf into kettle") > 0.97);
+    }
+
+    #[test]
+    fn row_count_matches_table() {
+        let rows = run(5, 1);
+        assert_eq!(rows.len(), 8, "two ADLs × four steps");
+        assert_eq!(paper_values().len(), 8);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(run(20, 9), run(20, 9));
+    }
+
+    #[test]
+    fn render_contains_all_steps() {
+        let rows = run(5, 1);
+        let s = render(&rows);
+        for r in &rows {
+            assert!(s.contains(&r.step));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal dependency-free argument parsing.
+//!
+//! The CLI's grammar is `coreda-cli <command> [--flag value]…`; this
+//! module turns the raw argv into a [`Parsed`] bag with typed accessors
+//! and precise error messages. (No external parser: the grammar is small
+//! and the approved dependency list is smaller.)
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    command: String,
+    options: HashMap<String, String>,
+}
+
+impl Parsed {
+    /// Parses argv (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when no subcommand is present, an option has
+    /// no value, or a positional argument appears after the subcommand.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut it = args.into_iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut options = HashMap::new();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::UnexpectedPositional(arg.clone()))?
+                .to_owned();
+            let value = it.next().ok_or_else(|| ArgError::MissingValue(key.clone()))?;
+            options.insert(key, value);
+        }
+        Ok(Parsed { command, options })
+    }
+
+    /// The subcommand.
+    #[must_use]
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A string option.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A string option with a default.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when present but unparseable.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_owned(),
+                value: v.to_owned(),
+            }),
+        }
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingOption`] when absent.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError::MissingOption(key.to_owned()))
+    }
+}
+
+/// Argument errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// `--key` without a value.
+    MissingValue(String),
+    /// A required option is absent.
+    MissingOption(String),
+    /// An option's value failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A bare word where an option was expected.
+    UnexpectedPositional(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand (try 'help')"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
+            ArgError::BadValue { key, value } => {
+                write!(f, "option --{key} got unparseable value {value:?}")
+            }
+            ArgError::UnexpectedPositional(a) => {
+                write!(f, "unexpected argument {a:?} (options are --key value)")
+            }
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Parsed, ArgError> {
+        Parsed::from_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let p = parse(&["simulate", "--adl", "tea", "--episodes", "5"]).unwrap();
+        assert_eq!(p.command(), "simulate");
+        assert_eq!(p.get("adl"), Some("tea"));
+        assert_eq!(p.get_parsed("episodes", 0usize).unwrap(), 5);
+        assert_eq!(p.get_or("profile", "moderate"), "moderate");
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
+        assert_eq!(parse(&["--adl", "tea"]), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn dangling_option_rejected() {
+        assert_eq!(
+            parse(&["train", "--dataset"]),
+            Err(ArgError::MissingValue("dataset".to_owned()))
+        );
+    }
+
+    #[test]
+    fn positional_after_command_rejected() {
+        assert!(matches!(
+            parse(&["train", "stray"]),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn bad_numeric_value_reported() {
+        let p = parse(&["simulate", "--episodes", "many"]).unwrap();
+        assert!(matches!(
+            p.get_parsed("episodes", 0usize),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let p = parse(&["train"]).unwrap();
+        assert_eq!(p.require("dataset"), Err(ArgError::MissingOption("dataset".to_owned())));
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
+        assert!(ArgError::MissingCommand.to_string().contains("help"));
+    }
+}

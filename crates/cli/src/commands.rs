@@ -1,0 +1,426 @@
+//! The CLI's subcommands, written against the library's public API and
+//! returning their output as strings so tests can assert on them.
+
+use std::error::Error;
+
+use coreda_adl::activity::{catalog, AdlSpec};
+use coreda_adl::dataset;
+use coreda_adl::episode::EpisodeGenerator;
+use coreda_adl::patient::PatientProfile;
+use coreda_adl::routine::{Routine, RoutineSet};
+use coreda_core::live::StochasticBehavior;
+use coreda_core::persistence;
+use coreda_core::planning::{LearnerKind, PlanningConfig, PlanningSubsystem};
+use coreda_core::report::DailyReport;
+use coreda_core::scenario;
+use coreda_core::system::{Coreda, CoredaConfig};
+use coreda_des::rng::SimRng;
+
+use crate::args::Parsed;
+
+/// A boxed error for command plumbing.
+pub type CmdResult = Result<String, Box<dyn Error>>;
+
+/// Resolves an `--adl` option to a catalog activity.
+pub fn resolve_adl(name: &str) -> Result<AdlSpec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "tea" | "tea-making" => Ok(catalog::tea_making()),
+        "tooth" | "tooth-brushing" => Ok(catalog::tooth_brushing()),
+        "dressing" => Ok(catalog::dressing()),
+        other => Err(format!(
+            "unknown ADL {other:?}; available: tea, tooth, dressing"
+        )),
+    }
+}
+
+/// Resolves a `--profile` option to a patient profile.
+pub fn resolve_profile(name: &str, user: &str) -> Result<PatientProfile, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "unimpaired" => Ok(PatientProfile::unimpaired(user)),
+        "mild" => Ok(PatientProfile::mild(user)),
+        "moderate" => Ok(PatientProfile::moderate(user)),
+        "severe" => Ok(PatientProfile::severe(user)),
+        other => Err(format!(
+            "unknown profile {other:?}; available: unimpaired, mild, moderate, severe"
+        )),
+    }
+}
+
+/// Resolves an `--algorithm` option to a learner kind.
+pub fn resolve_algorithm(name: &str, seed: u64) -> Result<LearnerKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "qlambda" | "td-lambda" | "watkins" => Ok(LearnerKind::WatkinsQLambda),
+        "q" | "q-learning" => Ok(LearnerKind::QLearning),
+        "sarsa" => Ok(LearnerKind::Sarsa),
+        "double-q" => Ok(LearnerKind::DoubleQ { seed }),
+        "dyna-q" => Ok(LearnerKind::DynaQ { planning_steps: 20, seed }),
+        other => Err(format!(
+            "unknown algorithm {other:?}; available: qlambda, q, sarsa, double-q, dyna-q"
+        )),
+    }
+}
+
+/// `list` — show the activity catalog.
+pub fn list() -> CmdResult {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for adl in catalog::all() {
+        let _ = writeln!(out, "{adl}");
+        for (i, step) in adl.steps().iter().enumerate() {
+            let tool = adl.tool(step.tool()).expect("catalog is validated");
+            let _ = writeln!(
+                out,
+                "  {}. {:<30} [{} on {}, ~{:.0}s]",
+                i + 1,
+                step.name(),
+                tool.sensor(),
+                tool.name(),
+                step.mean_duration_s()
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `generate` — synthesise an episode dataset.
+pub fn generate(p: &Parsed) -> CmdResult {
+    let adl = resolve_adl(p.get_or("adl", "tea"))?;
+    let episodes: usize = p.get_parsed("episodes", 120)?;
+    let seed: u64 = p.get_parsed("seed", 2007)?;
+    let user = p.get_or("user", "anonymous");
+    let profile = resolve_profile(p.get_or("profile", "mild"), user)?;
+    let routine = Routine::canonical(&adl);
+    let generator =
+        EpisodeGenerator::new(adl.clone(), RoutineSet::single(routine), profile);
+    let mut rng = SimRng::seed_from(seed);
+    let batch = generator.generate_batch(episodes, &mut rng);
+    let text = dataset::write_episodes(adl.name(), &batch);
+    if let Some(path) = p.get("out") {
+        std::fs::write(path, &text)?;
+        Ok(format!("wrote {episodes} episodes of {} to {path}\n", adl.name()))
+    } else {
+        Ok(text)
+    }
+}
+
+/// `train` — learn a routine from a dataset and save the policy.
+pub fn train(p: &Parsed) -> CmdResult {
+    let path = p.require("dataset")?;
+    let text = std::fs::read_to_string(path)?;
+    let (adl_name, episodes) = dataset::parse_episodes(&text)?;
+    let adl = resolve_adl(&adl_name)?;
+    let seed: u64 = p.get_parsed("seed", 2007)?;
+    let learner = resolve_algorithm(p.get_or("algorithm", "qlambda"), seed)?;
+    let cfg = PlanningConfig { learner, ..PlanningConfig::default() };
+    let mut planner = PlanningSubsystem::new(&adl, cfg);
+    let mut rng = SimRng::seed_from(seed);
+    for ep in &episodes {
+        planner.train_episode(&ep.step_ids(), &mut rng);
+    }
+    let routine = Routine::canonical(&adl);
+    let accuracy = planner.accuracy_vs_routine(&routine);
+    let mut out = format!(
+        "trained on {} episodes of {adl_name}; canonical-routine accuracy {:.0}%\n",
+        episodes.len(),
+        accuracy * 100.0
+    );
+    if let Some(out_path) = p.get("out") {
+        let blob = persistence::save_policy(&planner);
+        std::fs::write(out_path, &blob)?;
+        out.push_str(&format!("policy saved to {out_path} ({} bytes)\n", blob.len()));
+    }
+    Ok(out)
+}
+
+/// `evaluate` — load a policy and print its per-transition guidance.
+pub fn evaluate(p: &Parsed) -> CmdResult {
+    use std::fmt::Write as _;
+    let adl = resolve_adl(p.get_or("adl", "tea"))?;
+    let blob = std::fs::read(p.require("policy")?)?;
+    let mut planner = PlanningSubsystem::new(&adl, PlanningConfig::default());
+    persistence::restore_policy(&mut planner, &blob)?;
+    let routine = Routine::canonical(&adl);
+    let mut out = String::new();
+    for (prev, cur, next) in routine.transitions() {
+        let prompt = planner.predict(prev, cur).expect("in-domain");
+        let confidence = planner.prediction_confidence(prev, cur).unwrap_or(0.0);
+        let mark = if Some(prompt.tool) == next.tool() { "ok " } else { "MISS" };
+        let _ = writeln!(
+            out,
+            "  ({prev}, {cur}) -> prompt {tool} [{level}] confidence {conf:.2} {mark}",
+            tool = prompt.tool,
+            level = prompt.level,
+            conf = confidence,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "accuracy vs canonical routine: {:.0}%",
+        planner.accuracy_vs_routine(&routine) * 100.0
+    );
+    Ok(out)
+}
+
+/// `simulate` — run live episodes and print a caregiver report.
+pub fn simulate(p: &Parsed) -> CmdResult {
+    let adl = resolve_adl(p.get_or("adl", "tea"))?;
+    let episodes: usize = p.get_parsed("episodes", 5)?;
+    let seed: u64 = p.get_parsed("seed", 2007)?;
+    let user = p.get_or("user", "Mr. Tanaka").to_owned();
+    let profile = resolve_profile(p.get_or("profile", "moderate"), &user)?;
+    let routine = Routine::canonical(&adl);
+    let mut system = Coreda::new(adl.clone(), &user, CoredaConfig::default(), seed);
+    match p.get("policy") {
+        Some(path) => {
+            let blob = std::fs::read(path)?;
+            persistence::restore_policy(system.planner_mut(), &blob)?;
+        }
+        None => {
+            let mut rng = SimRng::seed_from(seed ^ 0xF00D);
+            for _ in 0..200 {
+                system.planner_mut().train_episode(routine.steps(), &mut rng);
+            }
+        }
+    }
+    let mut rng = SimRng::seed_from(seed ^ 0xBEEF);
+    let mut logs = Vec::new();
+    let mut out = String::new();
+    for i in 1..=episodes {
+        let mut behavior = StochasticBehavior::new(profile.clone());
+        let log = system.run_live(&routine, &mut behavior, &mut rng);
+        if p.get_or("verbose", "false") == "true" {
+            out.push_str(&format!("--- episode {i} ---\n{}", log.render()));
+        }
+        logs.push(log);
+    }
+    let report = DailyReport::from_logs(&user, format!("{episodes} episodes"), &logs);
+    out.push_str(&report.render());
+    Ok(out)
+}
+
+/// `sensor-trace` — record a raw 10 Hz signal trace of one step's tool.
+pub fn sensor_trace(p: &Parsed) -> CmdResult {
+    use coreda_sensornet::trace::SignalTrace;
+    let adl = resolve_adl(p.get_or("adl", "tea"))?;
+    let step_no: usize = p.get_parsed("step", 1)?;
+    let seconds: u64 = p.get_parsed("seconds", 10)?;
+    let seed: u64 = p.get_parsed("seed", 2007)?;
+    let step = adl
+        .steps()
+        .get(step_no.saturating_sub(1))
+        .ok_or_else(|| format!("{} has no step {step_no}", adl.name()))?;
+    let tool = adl.tool(step.tool()).expect("spec is validated");
+    let mut rng = SimRng::seed_from(seed);
+    // One second of stillness, the manipulation, one second of stillness.
+    let ticks = (seconds as usize + 2) * 10;
+    let active_from = 10;
+    let active_to = ticks - 10;
+    let trace = SignalTrace::record(
+        tool.id().raw(),
+        &tool.signal(),
+        ticks,
+        |i| (active_from..active_to).contains(&i),
+        &mut rng,
+    );
+    let text = trace.to_text();
+    if let Some(path) = p.get("out") {
+        std::fs::write(path, &text)?;
+        Ok(format!(
+            "wrote {}s trace of {} ({}) to {path}
+",
+            seconds,
+            step.name(),
+            tool.name()
+        ))
+    } else {
+        Ok(text)
+    }
+}
+
+/// `scenario` — replay the paper's Figure 1.
+pub fn run_scenario(p: &Parsed) -> CmdResult {
+    let seed: u64 = p.get_parsed("seed", 2007)?;
+    Ok(scenario::figure1(seed).render())
+}
+
+/// `help` — usage text.
+#[must_use]
+pub fn help() -> String {
+    "\
+coreda-cli — the CoReDA context-aware ADL reminding system
+
+USAGE: coreda-cli <command> [--option value]...
+
+COMMANDS
+  list                       show the activity catalog
+  generate                   synthesise an episode dataset
+      --adl tea|tooth|dressing activity                   [tea]
+      --episodes N           how many                     [120]
+      --profile P            unimpaired|mild|moderate|severe [mild]
+      --seed N               rng seed                     [2007]
+      --out FILE             write to file instead of stdout
+  train                      learn a routine from a dataset
+      --dataset FILE         dataset produced by 'generate'  (required)
+      --out FILE             save the learned policy blob
+      --algorithm A          qlambda|q|sarsa|double-q|dyna-q [qlambda]
+      --seed N               rng seed                     [2007]
+  evaluate                   inspect a saved policy
+      --policy FILE          policy blob from 'train'       (required)
+      --adl tea|tooth        activity the policy is for   [tea]
+  simulate                   run live guided episodes
+      --adl tea|tooth        activity                     [tea]
+      --episodes N           how many                     [5]
+      --profile P            patient severity             [moderate]
+      --policy FILE          use a saved policy (else trains in-process)
+      --user NAME            user name for prompts        [Mr. Tanaka]
+      --verbose true         print every episode timeline
+      --seed N               rng seed                     [2007]
+  sensor-trace               record a raw 10 Hz signal trace
+      --adl tea|tooth        activity                     [tea]
+      --step N               1-based step number          [1]
+      --seconds N            manipulation length          [10]
+      --seed N               rng seed                     [2007]
+      --out FILE             write to file instead of stdout
+  scenario                   replay the paper's Figure 1
+      --seed N               rng seed                     [2007]
+  help                       this text
+"
+    .to_owned()
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(p: &Parsed) -> CmdResult {
+    match p.command() {
+        "list" => list(),
+        "generate" => generate(p),
+        "train" => train(p),
+        "evaluate" => evaluate(p),
+        "simulate" => simulate(p),
+        "sensor-trace" => sensor_trace(p),
+        "scenario" => run_scenario(p),
+        "help" => Ok(help()),
+        other => Err(format!("unknown command {other:?}; try 'help'").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Parsed {
+        Parsed::from_args(args.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("coreda-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn list_shows_both_adls() {
+        let out = list().unwrap();
+        assert!(out.contains("Tea-making"));
+        assert!(out.contains("Tooth-brushing"));
+        assert!(out.contains("pressure on electronic-pot"));
+    }
+
+    #[test]
+    fn generate_train_evaluate_pipeline() {
+        let data = temp_path("dataset.txt");
+        let policy = temp_path("policy.bin");
+        let out = generate(&parse(&[
+            "generate", "--adl", "tea", "--episodes", "150",
+            "--out", data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote 150 episodes"));
+
+        let out = train(&parse(&[
+            "train", "--dataset", data.to_str().unwrap(),
+            "--out", policy.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("accuracy 100%"), "{out}");
+
+        let out = evaluate(&parse(&[
+            "evaluate", "--policy", policy.to_str().unwrap(), "--adl", "tea",
+        ]))
+        .unwrap();
+        assert!(out.contains("accuracy vs canonical routine: 100%"), "{out}");
+        assert!(!out.contains("MISS"), "{out}");
+
+        let _ = std::fs::remove_file(data);
+        let _ = std::fs::remove_file(policy);
+    }
+
+    #[test]
+    fn generate_to_stdout_is_parseable() {
+        let out = generate(&parse(&["generate", "--episodes", "3"])).unwrap();
+        let (adl, eps) = coreda_adl::dataset::parse_episodes(&out).unwrap();
+        assert_eq!(adl, "Tea-making");
+        assert_eq!(eps.len(), 3);
+    }
+
+    #[test]
+    fn simulate_prints_a_report() {
+        let out =
+            simulate(&parse(&["simulate", "--episodes", "2", "--profile", "mild"])).unwrap();
+        assert!(out.contains("Care report"), "{out}");
+        assert!(out.contains("2"), "{out}");
+    }
+
+    #[test]
+    fn sensor_trace_roundtrips() {
+        let out = sensor_trace(&parse(&["sensor-trace", "--step", "2", "--seconds", "5"]))
+            .unwrap();
+        let trace = coreda_sensornet::trace::SignalTrace::from_text(&out).unwrap();
+        assert_eq!(trace.tool, coreda_adl::activity::catalog::POT);
+        assert_eq!(trace.readings.len(), 70, "5s active + 2s lead in/out at 10 Hz");
+    }
+
+    #[test]
+    fn sensor_trace_rejects_bad_step() {
+        let err = sensor_trace(&parse(&["sensor-trace", "--step", "9"])).unwrap_err();
+        assert!(err.to_string().contains("no step 9"));
+    }
+
+    #[test]
+    fn scenario_prints_the_timeline() {
+        let out = run_scenario(&parse(&["scenario"])).unwrap();
+        assert!(out.contains("ADL completed"), "{out}");
+    }
+
+    #[test]
+    fn train_accepts_alternative_algorithms() {
+        let data = temp_path("dyna-dataset.txt");
+        generate(&parse(&[
+            "generate", "--episodes", "60", "--out", data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = train(&parse(&[
+            "train", "--dataset", data.to_str().unwrap(), "--algorithm", "dyna-q",
+        ]))
+        .unwrap();
+        assert!(out.contains("accuracy 100%"), "{out}");
+        let _ = std::fs::remove_file(data);
+    }
+
+    #[test]
+    fn unknown_inputs_error_helpfully() {
+        assert!(resolve_adl("cooking").is_err());
+        assert!(resolve_profile("cyborg", "x").is_err());
+        assert!(resolve_algorithm("deep-rl", 0).is_err());
+        let err = dispatch(&parse(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn help_lists_every_command() {
+        let h = help();
+        for cmd in ["list", "generate", "train", "evaluate", "simulate", "scenario"] {
+            assert!(h.contains(cmd), "help is missing {cmd}");
+        }
+        assert_eq!(dispatch(&parse(&["help"])).unwrap(), h);
+    }
+}

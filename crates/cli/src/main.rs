@@ -1,0 +1,30 @@
+//! `coreda-cli` — the CoReDA context-aware ADL reminding system, from a
+//! terminal: browse the activity catalog, generate datasets, train and
+//! inspect policies, simulate guided episodes, and replay the paper's
+//! Figure 1 scenario. Run `coreda-cli help` for usage.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match args::Parsed::from_args(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::help());
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Baseline planners CoReDA is compared against.
+//!
+//! The related-work section criticises systems "based solely on
+//! pre-planned routines of ADLs, without considering different users'
+//! preferences". [`CanonicalReminder`] is that strawman: it always prompts
+//! the spec's canonical next step. [`MdpPlanner`] is a Boger-et-al.-style
+//! model-based planner: given a *known* routine it solves the same MDP by
+//! value iteration — an upper bound that needs information CoReDA learns
+//! on its own.
+
+use coreda_adl::activity::AdlSpec;
+use coreda_adl::routine::Routine;
+use coreda_adl::step::StepId;
+use coreda_adl::tool::ToolId;
+use coreda_rl::model::EmpiricalMdp;
+use coreda_rl::qtable::QTable;
+use coreda_rl::solve::value_iteration;
+use coreda_rl::space::StateId;
+
+use crate::planning::{PlanningSubsystem, RewardConfig, StateEncoder};
+use crate::reminding::{Prompt, ReminderLevel};
+
+/// Anything that can predict the next tool from a `(prev, cur)` state.
+pub trait NextStepPredictor: std::fmt::Debug {
+    /// A short display name for tables.
+    fn name(&self) -> &str;
+
+    /// The prompt this predictor would issue in state `(prev, cur)`, or
+    /// `None` if it has no opinion.
+    fn prompt_for(&self, prev: StepId, cur: StepId) -> Option<Prompt>;
+
+    /// Convenience: just the predicted tool.
+    fn tool_for(&self, prev: StepId, cur: StepId) -> Option<ToolId> {
+        self.prompt_for(prev, cur).map(|p| p.tool)
+    }
+}
+
+impl NextStepPredictor for PlanningSubsystem {
+    fn name(&self) -> &str {
+        "CoReDA (TD(λ) Q-learning)"
+    }
+
+    fn prompt_for(&self, prev: StepId, cur: StepId) -> Option<Prompt> {
+        self.predict(prev, cur)
+    }
+}
+
+/// The pre-planned baseline: always prompts the canonical next step,
+/// whoever the user is.
+#[derive(Debug, Clone)]
+pub struct CanonicalReminder {
+    canonical: Routine,
+}
+
+impl CanonicalReminder {
+    /// Creates the baseline for one ADL.
+    #[must_use]
+    pub fn new(spec: &AdlSpec) -> Self {
+        CanonicalReminder { canonical: Routine::canonical(spec) }
+    }
+}
+
+impl NextStepPredictor for CanonicalReminder {
+    fn name(&self) -> &str {
+        "Pre-planned canonical routine"
+    }
+
+    fn prompt_for(&self, _prev: StepId, cur: StepId) -> Option<Prompt> {
+        let next = if cur.is_idle() {
+            self.canonical.first()
+        } else {
+            self.canonical.next_after(cur)?
+        };
+        Some(Prompt { tool: next.tool()?, level: ReminderLevel::Specific })
+    }
+}
+
+/// A value-iteration planner with oracle knowledge of the user's routine
+/// (the Boger et al. approach — the paper's reference \[1\] — transplanted
+/// onto CoReDA's MDP).
+#[derive(Debug, Clone)]
+pub struct MdpPlanner {
+    encoder: StateEncoder,
+    q: QTable,
+}
+
+impl MdpPlanner {
+    /// Solves the routine-following MDP by value iteration.
+    ///
+    /// Transitions are deterministic — in state `(prev, cur)` every action
+    /// leads to `(cur, next(cur))` — and rewards are the paper's
+    /// (1000/100/50, 0 on mismatch), so the optimal policy prompts the
+    /// routine's next tool at the minimal level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not in `[0, 1)` or `sweeps` is zero.
+    #[must_use]
+    pub fn solve(
+        spec: &AdlSpec,
+        routine: &Routine,
+        reward: RewardConfig,
+        gamma: f64,
+        sweeps: usize,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&gamma), "gamma must be in [0, 1)");
+        assert!(sweeps > 0, "at least one sweep required");
+        let encoder = StateEncoder::new(spec);
+        let mut q = QTable::new(encoder.shape());
+        let transitions = routine.transitions();
+        for _ in 0..sweeps {
+            for &(prev, cur, next) in &transitions {
+                let s = encoder.state_of(prev, cur).expect("routine steps are in the spec");
+                let is_terminal = next == routine.last();
+                let next_value: f64 = if is_terminal {
+                    0.0
+                } else {
+                    let s2 = encoder.state_of(cur, next).expect("routine steps are in the spec");
+                    q.max_value(s2)
+                };
+                for a in encoder.shape().action_ids() {
+                    let prompt = encoder.decode_action(a);
+                    let r = reward.reward(prompt, next, is_terminal);
+                    q.set(s, a, r + gamma * next_value);
+                }
+            }
+        }
+        MdpPlanner { encoder, q }
+    }
+
+    /// The solved state-value for `(prev, cur)` (diagnostics).
+    #[must_use]
+    pub fn state_value(&self, prev: StepId, cur: StepId) -> Option<f64> {
+        let s: StateId = self.encoder.state_of(prev, cur)?;
+        Some(self.q.max_value(s))
+    }
+}
+
+impl NextStepPredictor for MdpPlanner {
+    fn name(&self) -> &str {
+        "Value iteration (oracle routine)"
+    }
+
+    fn prompt_for(&self, prev: StepId, cur: StepId) -> Option<Prompt> {
+        let s = self.encoder.state_of(prev, cur)?;
+        Some(self.encoder.decode_action(self.q.greedy_action(s)))
+    }
+}
+
+/// Certainty-equivalence planning: estimate the routine MDP empirically
+/// from recorded episodes, then solve it exactly with value iteration.
+///
+/// Because CoReDA's prompts do not influence what the user does, every
+/// observed transition informs *all* actions at once (the reward of each
+/// hypothetical prompt is computable from the observed next step). That
+/// makes this the most sample-efficient learner available for the
+/// problem — typically converging in single-digit episodes — at the cost
+/// of storing counts and re-solving after updates.
+#[derive(Debug, Clone)]
+pub struct CertaintyEquivalence {
+    encoder: StateEncoder,
+    model: EmpiricalMdp,
+    reward: RewardConfig,
+    gamma: f64,
+    terminal: StepId,
+    q: QTable,
+    episodes: u64,
+}
+
+impl CertaintyEquivalence {
+    /// Creates an empty planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not in `[0, 1)`.
+    #[must_use]
+    pub fn new(spec: &AdlSpec, reward: RewardConfig, gamma: f64) -> Self {
+        assert!((0.0..1.0).contains(&gamma), "gamma must be in [0, 1)");
+        let encoder = StateEncoder::new(spec);
+        let q = QTable::new(encoder.shape());
+        CertaintyEquivalence {
+            model: EmpiricalMdp::new(encoder.shape()),
+            encoder,
+            reward,
+            gamma,
+            terminal: spec.terminal_step(),
+            q,
+            episodes: 0,
+        }
+    }
+
+    /// Number of episodes observed.
+    #[must_use]
+    pub const fn episodes_observed(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Records one complete StepID sequence and re-solves the model.
+    /// Idle and foreign steps are skipped, as in the TD planner.
+    pub fn observe_episode(&mut self, steps: &[StepId]) {
+        let seq: Vec<StepId> = steps
+            .iter()
+            .copied()
+            .filter(|s| !s.is_idle() && self.encoder.state_of(*s, *s).is_some())
+            .collect();
+        if seq.len() < 2 {
+            self.episodes += 1;
+            return;
+        }
+        let mut prev = StepId::IDLE;
+        for i in 0..seq.len() - 1 {
+            let cur = seq[i];
+            let next = seq[i + 1];
+            let s = self.encoder.state_of(prev, cur).expect("filtered");
+            // Completion = terminal step that ends the recording (see the
+            // TD planner for the rationale).
+            let is_terminal = next == self.terminal && i + 2 == seq.len();
+            let next_state = if is_terminal {
+                None
+            } else {
+                Some(self.encoder.state_of(cur, next).expect("filtered"))
+            };
+            // Prompts do not change the transition, so one observation
+            // informs every action's statistics.
+            for a in self.encoder.shape().action_ids() {
+                let prompt = self.encoder.decode_action(a);
+                let r = self.reward.reward(prompt, next, is_terminal);
+                self.model.record(s, a, r, next_state);
+            }
+            prev = cur;
+        }
+        self.episodes += 1;
+        let (q, _) = value_iteration(&self.model.to_mdp(), self.gamma, 1e-9, 10_000);
+        self.q = q;
+    }
+}
+
+impl NextStepPredictor for CertaintyEquivalence {
+    fn name(&self) -> &str {
+        "Certainty equivalence (counts + VI)"
+    }
+
+    fn prompt_for(&self, prev: StepId, cur: StepId) -> Option<Prompt> {
+        let s = self.encoder.state_of(prev, cur)?;
+        if self.model.visits(s, coreda_rl::space::ActionId::new(0)) == 0 {
+            return None; // never seen this state: no opinion.
+        }
+        Some(self.encoder.decode_action(self.q.greedy_action(s)))
+    }
+}
+
+/// Fraction of `routine`'s transitions a predictor gets right.
+#[must_use]
+pub fn routine_accuracy(predictor: &dyn NextStepPredictor, routine: &Routine) -> f64 {
+    let transitions = routine.transitions();
+    if transitions.is_empty() {
+        return 1.0;
+    }
+    let hits = transitions
+        .iter()
+        .filter(|&&(prev, cur, next)| predictor.tool_for(prev, cur) == next.tool())
+        .count();
+    hits as f64 / transitions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coreda_adl::activity::catalog;
+
+    fn personal_routine(spec: &AdlSpec) -> Routine {
+        let ids = spec.step_ids();
+        Routine::new(spec, vec![ids[1], ids[0], ids[2], ids[3]])
+    }
+
+    #[test]
+    fn canonical_baseline_is_perfect_on_canonical_users() {
+        let tea = catalog::tea_making();
+        let baseline = CanonicalReminder::new(&tea);
+        assert_eq!(routine_accuracy(&baseline, &Routine::canonical(&tea)), 1.0);
+    }
+
+    #[test]
+    fn canonical_baseline_fails_personalised_users() {
+        // The paper's core criticism of prior work.
+        let tea = catalog::tea_making();
+        let baseline = CanonicalReminder::new(&tea);
+        let acc = routine_accuracy(&baseline, &personal_routine(&tea));
+        assert!(acc < 1.0, "pre-planned baseline should mispredict, got {acc}");
+    }
+
+    #[test]
+    fn canonical_baseline_prompts_first_step_from_idle() {
+        let tea = catalog::tea_making();
+        let baseline = CanonicalReminder::new(&tea);
+        let p = baseline.prompt_for(StepId::IDLE, StepId::IDLE).unwrap();
+        assert_eq!(Some(p.tool), tea.steps()[0].id().tool());
+    }
+
+    #[test]
+    fn mdp_planner_solves_any_routine() {
+        let tea = catalog::tea_making();
+        for routine in [Routine::canonical(&tea), personal_routine(&tea)] {
+            let planner =
+                MdpPlanner::solve(&tea, &routine, RewardConfig::default(), 0.9, 20);
+            assert_eq!(
+                routine_accuracy(&planner, &routine),
+                1.0,
+                "value iteration must be exact on {routine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mdp_planner_prefers_minimal_level() {
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let planner = MdpPlanner::solve(&tea, &routine, RewardConfig::default(), 0.9, 20);
+        for &(prev, cur, _) in &routine.transitions() {
+            assert_eq!(planner.prompt_for(prev, cur).unwrap().level, ReminderLevel::Minimal);
+        }
+    }
+
+    #[test]
+    fn mdp_values_decrease_away_from_goal() {
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let planner = MdpPlanner::solve(&tea, &routine, RewardConfig::default(), 0.9, 50);
+        let trans = routine.transitions();
+        // The state closest to completion has the highest value (≥ 1000).
+        let last = trans.last().unwrap();
+        let first = trans.first().unwrap();
+        let v_last = planner.state_value(last.0, last.1).unwrap();
+        let v_first = planner.state_value(first.0, first.1).unwrap();
+        assert!(v_last >= 1000.0);
+        assert!(v_first <= v_last, "value must not grow away from the goal");
+    }
+
+    #[test]
+    fn certainty_equivalence_learns_in_single_digit_episodes() {
+        let tea = catalog::tea_making();
+        let routine = personal_routine(&tea);
+        let mut ce = CertaintyEquivalence::new(&tea, RewardConfig::default(), 0.05);
+        assert_eq!(routine_accuracy(&ce, &routine), 0.0, "no opinion before data");
+        for _ in 0..3 {
+            ce.observe_episode(routine.steps());
+        }
+        assert_eq!(
+            routine_accuracy(&ce, &routine),
+            1.0,
+            "three clean episodes fully determine the routine"
+        );
+        assert_eq!(ce.episodes_observed(), 3);
+    }
+
+    #[test]
+    fn certainty_equivalence_handles_noisy_sequences() {
+        use coreda_adl::episode::EpisodeGenerator;
+        use coreda_adl::patient::PatientProfile;
+        use coreda_adl::routine::RoutineSet;
+        use coreda_des::rng::SimRng;
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let gen = EpisodeGenerator::new(
+            tea.clone(),
+            RoutineSet::single(routine.clone()),
+            PatientProfile::moderate("x"),
+        );
+        let mut rng = SimRng::seed_from(31);
+        let mut ce = CertaintyEquivalence::new(&tea, RewardConfig::default(), 0.05);
+        for ep in gen.generate_batch(30, &mut rng) {
+            ce.observe_episode(&ep.step_ids());
+        }
+        assert_eq!(routine_accuracy(&ce, &routine), 1.0);
+    }
+
+    #[test]
+    fn trained_coreda_matches_oracle_without_oracle_knowledge() {
+        use crate::planning::{PlanningConfig, PlanningSubsystem};
+        use coreda_des::rng::SimRng;
+        let tea = catalog::tea_making();
+        let personal = personal_routine(&tea);
+        let mut planner = PlanningSubsystem::new(&tea, PlanningConfig::default());
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..300 {
+            planner.train_episode(personal.steps(), &mut rng);
+        }
+        let oracle = MdpPlanner::solve(&tea, &personal, RewardConfig::default(), 0.9, 20);
+        for &(prev, cur, _) in &personal.transitions() {
+            assert_eq!(
+                planner.tool_for(prev, cur),
+                oracle.tool_for(prev, cur),
+                "learned policy should agree with the oracle at ({prev}, {cur})"
+            );
+        }
+    }
+}

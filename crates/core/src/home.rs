@@ -1,0 +1,260 @@
+//! A whole home: several instrumented activities behind one base station.
+//!
+//! The paper instruments two ADLs in the same dwelling (the bathroom's
+//! tooth-brushing tools and the kitchen's tea tools). [`CoredaHome`]
+//! manages one [`Coreda`] instance per activity, routes tool ids to the
+//! owning activity, and enforces the global uniqueness of PAVENET uids
+//! that the routing relies on.
+
+use std::error::Error;
+use std::fmt;
+
+use coreda_adl::activity::AdlSpec;
+use coreda_adl::routine::Routine;
+use coreda_adl::tool::ToolId;
+use coreda_des::rng::SimRng;
+
+use crate::live::{EpisodeLog, PatientBehavior};
+use crate::system::{Coreda, CoredaConfig};
+
+/// Errors raised by [`CoredaHome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HomeError {
+    /// An activity with this name is already installed.
+    DuplicateActivity(String),
+    /// A tool id is already claimed by another activity.
+    ToolConflict {
+        /// The conflicting tool.
+        tool: ToolId,
+        /// The activity that already owns it.
+        owner: String,
+    },
+    /// No activity with this name is installed.
+    UnknownActivity(String),
+}
+
+impl fmt::Display for HomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HomeError::DuplicateActivity(name) => {
+                write!(f, "activity {name:?} is already installed")
+            }
+            HomeError::ToolConflict { tool, owner } => {
+                write!(f, "tool {tool} is already attached to activity {owner:?}")
+            }
+            HomeError::UnknownActivity(name) => write!(f, "no activity named {name:?}"),
+        }
+    }
+}
+
+impl Error for HomeError {}
+
+/// All of one user's instrumented activities.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::activity::catalog;
+/// use coreda_core::home::CoredaHome;
+/// use coreda_core::system::CoredaConfig;
+///
+/// let mut home = CoredaHome::new("Mr. Tanaka", CoredaConfig::default(), 2007);
+/// home.install(catalog::tea_making())?;
+/// home.install(catalog::tooth_brushing())?;
+/// assert_eq!(home.activities().count(), 2);
+/// # Ok::<(), coreda_core::home::HomeError>(())
+/// ```
+#[derive(Debug)]
+pub struct CoredaHome {
+    user_name: String,
+    config: CoredaConfig,
+    seed: u64,
+    systems: Vec<Coreda>,
+}
+
+impl CoredaHome {
+    /// Creates an empty home.
+    #[must_use]
+    pub fn new(user_name: impl Into<String>, config: CoredaConfig, seed: u64) -> Self {
+        CoredaHome { user_name: user_name.into(), config, seed, systems: Vec::new() }
+    }
+
+    /// Installs an activity: builds its nodes, network and subsystems.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HomeError::DuplicateActivity`] when the name is taken and
+    /// [`HomeError::ToolConflict`] when a tool id is already attached to
+    /// another activity (PAVENET uids must be globally unique).
+    pub fn install(&mut self, spec: AdlSpec) -> Result<(), HomeError> {
+        if self.systems.iter().any(|s| s.spec().name() == spec.name()) {
+            return Err(HomeError::DuplicateActivity(spec.name().to_owned()));
+        }
+        for tool in spec.tools() {
+            if let Some(owner) = self.owner_of(tool.id()) {
+                return Err(HomeError::ToolConflict {
+                    tool: tool.id(),
+                    owner: owner.to_owned(),
+                });
+            }
+        }
+        let seed = self.seed.wrapping_add(self.systems.len() as u64 + 1);
+        self.systems.push(Coreda::new(spec, &self.user_name, self.config, seed));
+        Ok(())
+    }
+
+    /// The activity that owns `tool`, if any.
+    #[must_use]
+    pub fn owner_of(&self, tool: ToolId) -> Option<&str> {
+        self.systems
+            .iter()
+            .find(|s| s.spec().tool(tool).is_some())
+            .map(|s| s.spec().name())
+    }
+
+    /// Iterates over the installed activities' names.
+    pub fn activities(&self) -> impl Iterator<Item = &str> {
+        self.systems.iter().map(|s| s.spec().name())
+    }
+
+    /// The system guiding `activity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HomeError::UnknownActivity`] if nothing by that name is
+    /// installed.
+    pub fn system(&self, activity: &str) -> Result<&Coreda, HomeError> {
+        self.systems
+            .iter()
+            .find(|s| s.spec().name() == activity)
+            .ok_or_else(|| HomeError::UnknownActivity(activity.to_owned()))
+    }
+
+    /// Mutable access to the system guiding `activity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HomeError::UnknownActivity`] if nothing by that name is
+    /// installed.
+    pub fn system_mut(&mut self, activity: &str) -> Result<&mut Coreda, HomeError> {
+        self.systems
+            .iter_mut()
+            .find(|s| s.spec().name() == activity)
+            .ok_or_else(|| HomeError::UnknownActivity(activity.to_owned()))
+    }
+
+    /// Runs a live episode of `activity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HomeError::UnknownActivity`] if nothing by that name is
+    /// installed.
+    pub fn run_live(
+        &mut self,
+        activity: &str,
+        routine: &Routine,
+        behavior: &mut dyn PatientBehavior,
+        rng: &mut SimRng,
+    ) -> Result<EpisodeLog, HomeError> {
+        Ok(self.system_mut(activity)?.run_live(routine, behavior, rng))
+    }
+
+    /// Total energy consumed by every node in the home, in microjoules.
+    #[must_use]
+    pub fn total_energy_uj(&self) -> f64 {
+        self.systems.iter().map(Coreda::total_energy_uj).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::StochasticBehavior;
+    use coreda_adl::activity::catalog;
+    use coreda_adl::patient::PatientProfile;
+    use coreda_adl::step::Step;
+    use coreda_adl::tool::Tool;
+    use coreda_sensornet::signal::SignalModel;
+
+    fn home() -> CoredaHome {
+        let mut h = CoredaHome::new("Mr. Tanaka", CoredaConfig::default(), 1);
+        h.install(catalog::tea_making()).unwrap();
+        h.install(catalog::tooth_brushing()).unwrap();
+        h
+    }
+
+    #[test]
+    fn installs_and_lists_activities() {
+        let h = home();
+        let names: Vec<&str> = h.activities().collect();
+        assert_eq!(names, vec!["Tea-making", "Tooth-brushing"]);
+    }
+
+    #[test]
+    fn routes_tools_to_their_activity() {
+        let h = home();
+        assert_eq!(h.owner_of(ToolId::new(catalog::POT)), Some("Tea-making"));
+        assert_eq!(h.owner_of(ToolId::new(catalog::BRUSH)), Some("Tooth-brushing"));
+        assert_eq!(h.owner_of(ToolId::new(99)), None);
+    }
+
+    #[test]
+    fn duplicate_activity_rejected() {
+        let mut h = home();
+        assert_eq!(
+            h.install(catalog::tea_making()),
+            Err(HomeError::DuplicateActivity("Tea-making".to_owned()))
+        );
+    }
+
+    #[test]
+    fn tool_conflict_rejected() {
+        let mut h = home();
+        // A new activity trying to reuse the tea-box's uid.
+        let conflicting = AdlSpec::new(
+            "Coffee-making",
+            vec![Tool::new(
+                ToolId::new(catalog::TEA_BOX),
+                "coffee-tin",
+                SignalModel::accelerometer(0.03, 0.45, 0.5),
+            )],
+            vec![Step::new("Scoop coffee", ToolId::new(catalog::TEA_BOX), 4.0, 0.8)],
+        );
+        assert_eq!(
+            h.install(conflicting),
+            Err(HomeError::ToolConflict {
+                tool: ToolId::new(catalog::TEA_BOX),
+                owner: "Tea-making".to_owned(),
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_activity_errors() {
+        let mut h = home();
+        assert!(matches!(h.system("Gardening"), Err(HomeError::UnknownActivity(_))));
+        assert!(matches!(h.system_mut("Gardening"), Err(HomeError::UnknownActivity(_))));
+        let err = h.system("Gardening").unwrap_err();
+        assert!(err.to_string().contains("Gardening"));
+    }
+
+    #[test]
+    fn trains_and_runs_each_activity_independently() {
+        let mut h = home();
+        let mut rng = SimRng::seed_from(2);
+        for name in ["Tea-making", "Tooth-brushing"] {
+            let spec = h.system(name).unwrap().spec().clone();
+            let routine = Routine::canonical(&spec);
+            for _ in 0..200 {
+                h.system_mut(name)
+                    .unwrap()
+                    .planner_mut()
+                    .train_episode(routine.steps(), &mut rng);
+            }
+            let mut behavior = StochasticBehavior::new(PatientProfile::mild("x"));
+            let log = h.run_live(name, &routine, &mut behavior, &mut rng).unwrap();
+            assert!(log.completed_at().is_some(), "{name}:\n{}", log.render());
+        }
+        assert!(h.total_energy_uj() > 0.0);
+    }
+}

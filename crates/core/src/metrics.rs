@@ -1,0 +1,177 @@
+//! Measurement helpers behind the paper's evaluation numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// A hit/total counter that renders as a precision percentage.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_core::metrics::PrecisionCounter;
+///
+/// let mut p = PrecisionCounter::new();
+/// p.record(true);
+/// p.record(true);
+/// p.record(false);
+/// assert!((p.precision() - 2.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(p.to_string(), "67% (2/3)");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrecisionCounter {
+    hits: u64,
+    total: u64,
+}
+
+impl PrecisionCounter {
+    /// An empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Successful trials.
+    #[must_use]
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total trials.
+    #[must_use]
+    pub const fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Hit fraction (1.0 when nothing was recorded).
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: PrecisionCounter) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+impl std::fmt::Display for PrecisionCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0}% ({}/{})", self.precision() * 100.0, self.hits, self.total)
+    }
+}
+
+/// Mean of a slice (`NaN`-free: 0.0 for an empty slice).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (0.0 for fewer than two values).
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Element-wise mean of equally long rows (e.g. learning curves across
+/// seeds).
+///
+/// # Panics
+///
+/// Panics if rows have different lengths.
+#[must_use]
+pub fn mean_curve(rows: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = rows.first() else {
+        return Vec::new();
+    };
+    let n = first.len();
+    for r in rows {
+        assert_eq!(r.len(), n, "all curves must have equal length");
+    }
+    (0..n).map(|i| mean(&rows.iter().map(|r| r[i]).collect::<Vec<_>>())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counter_is_vacuously_perfect() {
+        assert_eq!(PrecisionCounter::new().precision(), 1.0);
+    }
+
+    #[test]
+    fn counter_tracks_hits() {
+        let mut p = PrecisionCounter::new();
+        for i in 0..10 {
+            p.record(i % 2 == 0);
+        }
+        assert_eq!(p.hits(), 5);
+        assert_eq!(p.total(), 10);
+        assert_eq!(p.precision(), 0.5);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = PrecisionCounter::new();
+        a.record(true);
+        let mut b = PrecisionCounter::new();
+        b.record(false);
+        b.record(true);
+        a.merge(b);
+        assert_eq!(a.hits(), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn display_rounds_percentage() {
+        let mut p = PrecisionCounter::new();
+        for _ in 0..17 {
+            p.record(true);
+        }
+        for _ in 0..3 {
+            p.record(false);
+        }
+        assert_eq!(p.to_string(), "85% (17/20)");
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_curve_averages_pointwise() {
+        let rows = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert_eq!(mean_curve(&rows), vec![0.5, 0.5]);
+        assert!(mean_curve(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_curves_rejected() {
+        let _ = mean_curve(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Saving and restoring learned policies.
+//!
+//! A routine takes weeks of real use to learn; losing it to a server
+//! reboot would be unacceptable in a care home. This module serialises a
+//! planner's learned state to a small, versioned, CRC-protected binary
+//! blob and restores it into a fresh planner — after verifying the blob
+//! actually belongs to the same ADL (same step ids, same tools).
+//!
+//! The format is hand-rolled on [`bytes`] rather than pulled from a
+//! serialisation framework: it is ~40 lines, has no schema drift, and the
+//! CRC catches torn writes from a crashed save.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use coreda_adl::step::StepId;
+use coreda_adl::tool::ToolId;
+use coreda_sensornet::packet::crc16;
+
+use crate::planning::PlanningSubsystem;
+
+/// Magic prefix of a policy blob.
+pub const MAGIC: &[u8; 4] = b"CRDA";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Serialises the planner's learned state.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::activity::catalog;
+/// use coreda_adl::routine::Routine;
+/// use coreda_core::persistence;
+/// use coreda_core::planning::{PlanningConfig, PlanningSubsystem};
+/// use coreda_des::rng::SimRng;
+///
+/// let tea = catalog::tea_making();
+/// let routine = Routine::canonical(&tea);
+/// let mut planner = PlanningSubsystem::new(&tea, PlanningConfig::default());
+/// let mut rng = SimRng::seed_from(1);
+/// for _ in 0..150 {
+///     planner.train_episode(routine.steps(), &mut rng);
+/// }
+/// let blob = persistence::save_policy(&planner);
+///
+/// let mut fresh = PlanningSubsystem::new(&tea, PlanningConfig::default());
+/// persistence::restore_policy(&mut fresh, &blob)?;
+/// assert_eq!(fresh.accuracy_vs_routine(&routine), 1.0);
+/// # Ok::<(), coreda_core::persistence::PersistError>(())
+/// ```
+#[must_use]
+pub fn save_policy(planner: &PlanningSubsystem) -> Bytes {
+    let encoder = planner.encoder();
+    let q = planner.q_table();
+    let shape = q.shape();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    let step_ids = encoder.step_ids();
+    buf.put_u16(u16::try_from(step_ids.len()).expect("ADLs are small"));
+    for s in step_ids {
+        buf.put_u16(s.raw());
+    }
+    let tools = encoder.tools();
+    buf.put_u16(u16::try_from(tools.len()).expect("ADLs are small"));
+    for t in tools {
+        buf.put_u16(t.raw());
+    }
+    buf.put_u64(planner.episodes_trained());
+    buf.put_u32(u32::try_from(shape.table_len()).expect("tables are small"));
+    for s in shape.state_ids() {
+        for a in shape.action_ids() {
+            buf.put_f64(q.value(s, a));
+        }
+    }
+    let crc = crc16(&buf);
+    buf.put_u16(crc);
+    buf.freeze()
+}
+
+/// Restores a previously saved policy into `planner`.
+///
+/// # Errors
+///
+/// Returns a [`PersistError`] if the blob is malformed, CRC-damaged, from
+/// a different format version, or belongs to a different ADL than the
+/// planner was built for.
+pub fn restore_policy(planner: &mut PlanningSubsystem, blob: &[u8]) -> Result<(), PersistError> {
+    const HEADER: usize = 4 + 1;
+    if blob.len() < HEADER + 2 {
+        return Err(PersistError::Truncated { len: blob.len() });
+    }
+    let (body, trailer) = blob.split_at(blob.len() - 2);
+    let expected = u16::from_be_bytes([trailer[0], trailer[1]]);
+    let actual = crc16(body);
+    if expected != actual {
+        return Err(PersistError::BadCrc { expected, actual });
+    }
+    let mut buf = body;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic(magic));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+
+    let need = |buf: &&[u8], n: usize, len: usize| {
+        if buf.remaining() < n {
+            Err(PersistError::Truncated { len })
+        } else {
+            Ok(())
+        }
+    };
+
+    need(&buf, 2, blob.len())?;
+    let n_steps = buf.get_u16() as usize;
+    need(&buf, n_steps * 2, blob.len())?;
+    let step_ids: Vec<StepId> = (0..n_steps).map(|_| StepId::from_raw(buf.get_u16())).collect();
+    need(&buf, 2, blob.len())?;
+    let n_tools = buf.get_u16() as usize;
+    need(&buf, n_tools * 2, blob.len())?;
+    let tools: Vec<ToolId> = (0..n_tools).map(|_| ToolId::new(buf.get_u16())).collect();
+
+    // The blob must describe the planner's ADL exactly.
+    if planner.encoder().step_ids() != step_ids.as_slice()
+        || planner.encoder().tools() != tools.as_slice()
+    {
+        return Err(PersistError::AdlMismatch);
+    }
+
+    need(&buf, 8 + 4, blob.len())?;
+    let episodes = buf.get_u64();
+    let table_len = buf.get_u32() as usize;
+    let shape = planner.encoder().shape();
+    if table_len != shape.table_len() {
+        return Err(PersistError::AdlMismatch);
+    }
+    need(&buf, table_len * 8, blob.len())?;
+    let mut values = Vec::with_capacity(table_len);
+    for _ in 0..table_len {
+        let v = buf.get_f64();
+        if !v.is_finite() {
+            return Err(PersistError::CorruptValue(v));
+        }
+        values.push(v);
+    }
+    if buf.has_remaining() {
+        return Err(PersistError::TrailingBytes { extra: buf.remaining() });
+    }
+
+    planner.restore_values(&values, episodes);
+    Ok(())
+}
+
+/// Persistence failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PersistError {
+    /// The blob is shorter than its declared contents.
+    Truncated {
+        /// Observed length.
+        len: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The blob is from an unknown format version.
+    UnsupportedVersion(u8),
+    /// CRC mismatch (torn or corrupted write).
+    BadCrc {
+        /// CRC stored in the blob.
+        expected: u16,
+        /// CRC computed over the body.
+        actual: u16,
+    },
+    /// The blob describes a different ADL than the planner's.
+    AdlMismatch,
+    /// A stored Q-value is not finite.
+    CorruptValue(f64),
+    /// Extra bytes after the declared contents.
+    TrailingBytes {
+        /// Number of unread bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Truncated { len } => write!(f, "policy blob truncated at {len} bytes"),
+            PersistError::BadMagic(m) => write!(f, "bad magic {m:?}"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::BadCrc { expected, actual } => {
+                write!(f, "crc mismatch: stored {expected:#06x}, computed {actual:#06x}")
+            }
+            PersistError::AdlMismatch => {
+                write!(f, "policy blob belongs to a different activity")
+            }
+            PersistError::CorruptValue(v) => write!(f, "non-finite stored value {v}"),
+            PersistError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes"),
+        }
+    }
+}
+
+impl Error for PersistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planning::PlanningConfig;
+    use coreda_adl::activity::catalog;
+    use coreda_adl::routine::Routine;
+    use coreda_des::rng::SimRng;
+
+    fn trained_planner() -> (Routine, PlanningSubsystem) {
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let mut planner = PlanningSubsystem::new(&tea, PlanningConfig::default());
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..200 {
+            planner.train_episode(routine.steps(), &mut rng);
+        }
+        (routine, planner)
+    }
+
+    #[test]
+    fn save_restore_roundtrip_preserves_policy() {
+        let (routine, planner) = trained_planner();
+        let blob = save_policy(&planner);
+        let tea = catalog::tea_making();
+        let mut fresh = PlanningSubsystem::new(&tea, PlanningConfig::default());
+        assert!(fresh.accuracy_vs_routine(&routine) < 1.0, "fresh planner knows nothing");
+        restore_policy(&mut fresh, &blob).unwrap();
+        assert_eq!(fresh.accuracy_vs_routine(&routine), 1.0);
+        assert_eq!(fresh.episodes_trained(), planner.episodes_trained());
+        // Values are restored exactly (visit counters are diagnostics and
+        // are not persisted).
+        let shape = planner.encoder().shape();
+        for s in shape.state_ids() {
+            assert_eq!(fresh.q_table().row(s), planner.q_table().row(s), "row {s}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (_, planner) = trained_planner();
+        let blob = save_policy(&planner).to_vec();
+        let tea = catalog::tea_making();
+        let mut fresh = PlanningSubsystem::new(&tea, PlanningConfig::default());
+        for i in (0..blob.len()).step_by(97) {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x08;
+            assert!(
+                restore_policy(&mut fresh, &bad).is_err(),
+                "flipping byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let (_, planner) = trained_planner();
+        let blob = save_policy(&planner);
+        let tea = catalog::tea_making();
+        let mut fresh = PlanningSubsystem::new(&tea, PlanningConfig::default());
+        for n in [0, 4, 10, blob.len() / 2, blob.len() - 1] {
+            assert!(restore_policy(&mut fresh, &blob[..n]).is_err(), "truncated at {n}");
+        }
+    }
+
+    #[test]
+    fn wrong_adl_is_rejected() {
+        let (_, planner) = trained_planner();
+        let blob = save_policy(&planner);
+        let tooth = catalog::tooth_brushing();
+        let mut other = PlanningSubsystem::new(&tooth, PlanningConfig::default());
+        assert_eq!(restore_policy(&mut other, &blob), Err(PersistError::AdlMismatch));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (_, planner) = trained_planner();
+        let mut blob = save_policy(&planner).to_vec();
+        blob[4] = 99;
+        // Re-stamp the CRC so only the version differs.
+        let body = blob.len() - 2;
+        let crc = crc16(&blob[..body]);
+        blob[body..].copy_from_slice(&crc.to_be_bytes());
+        let tea = catalog::tea_making();
+        let mut fresh = PlanningSubsystem::new(&tea, PlanningConfig::default());
+        assert_eq!(
+            restore_policy(&mut fresh, &blob),
+            Err(PersistError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn error_messages_read_well() {
+        assert!(PersistError::AdlMismatch.to_string().contains("different activity"));
+        assert!(PersistError::Truncated { len: 3 }.to_string().contains("3 bytes"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Caregiver reports.
+//!
+//! The point of CoReDA is to reduce caregiver burden — which means the
+//! caregiver needs to *see* what the system did and how the patient is
+//! doing. [`DailyReport`] condenses a day's episode logs into the numbers
+//! a care team reviews: completion rate and times, how much prompting was
+//! needed (and how insistent it had to be), and how often the patient
+//! managed unassisted.
+
+
+use serde::{Deserialize, Serialize};
+
+use crate::live::EpisodeLog;
+use crate::reminding::{ReminderLevel, Trigger};
+
+/// A day's summary across one user's episodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailyReport {
+    /// Who the report is about.
+    pub user: String,
+    /// Free-form period label ("2026-07-05", "day 12", …).
+    pub period: String,
+    /// Episodes attempted.
+    pub episodes: usize,
+    /// Episodes that completed.
+    pub completed: usize,
+    /// Mean completion time over completed episodes, seconds.
+    pub mean_completion_s: f64,
+    /// Episodes needing no reminder at all.
+    pub unassisted: usize,
+    /// Minimal-level reminders delivered.
+    pub minimal_reminders: usize,
+    /// Specific-level reminders delivered.
+    pub specific_reminders: usize,
+    /// Reminders triggered by idling.
+    pub idle_triggers: usize,
+    /// Reminders triggered by wrong-tool use.
+    pub wrong_tool_triggers: usize,
+    /// Praise events.
+    pub praises: usize,
+}
+
+impl DailyReport {
+    /// Builds a report from a day's logs.
+    #[must_use]
+    pub fn from_logs(user: impl Into<String>, period: impl Into<String>, logs: &[EpisodeLog]) -> Self {
+        let mut completed = 0;
+        let mut completion_times = Vec::new();
+        let mut unassisted = 0;
+        let mut minimal = 0;
+        let mut specific = 0;
+        let mut idle = 0;
+        let mut wrong = 0;
+        let mut praises = 0;
+        for log in logs {
+            if let Some(t) = log.completed_at() {
+                completed += 1;
+                completion_times.push(t);
+            }
+            let reminders = log.reminders();
+            if reminders.is_empty() {
+                unassisted += 1;
+            }
+            for (_, r) in reminders {
+                match r.prompt.level {
+                    ReminderLevel::Minimal => minimal += 1,
+                    ReminderLevel::Specific => specific += 1,
+                }
+                match r.trigger {
+                    Trigger::IdleTimeout => idle += 1,
+                    Trigger::WrongTool { .. } => wrong += 1,
+                }
+            }
+            praises += log.praise_count();
+        }
+        let mean_completion_s = if completion_times.is_empty() {
+            0.0
+        } else {
+            completion_times.iter().map(|t| t.as_secs_f64()).sum::<f64>()
+                / completion_times.len() as f64
+        };
+        DailyReport {
+            user: user.into(),
+            period: period.into(),
+            episodes: logs.len(),
+            completed,
+            mean_completion_s,
+            unassisted,
+            minimal_reminders: minimal,
+            specific_reminders: specific,
+            idle_triggers: idle,
+            wrong_tool_triggers: wrong,
+            praises,
+        }
+    }
+
+    /// Total reminders delivered.
+    #[must_use]
+    pub fn total_reminders(&self) -> usize {
+        self.minimal_reminders + self.specific_reminders
+    }
+
+    /// Share of reminders kept at the minimal level (1.0 when none were
+    /// needed — the best possible day).
+    #[must_use]
+    pub fn minimal_fraction(&self) -> f64 {
+        let total = self.total_reminders();
+        if total == 0 {
+            1.0
+        } else {
+            self.minimal_reminders as f64 / total as f64
+        }
+    }
+
+    /// Renders a caregiver-facing text summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Care report — {user}, {period}", user = self.user, period = self.period);
+        let _ = writeln!(
+            out,
+            "  activities: {done}/{all} completed, avg {secs:.0}s; {solo} unassisted",
+            done = self.completed,
+            all = self.episodes,
+            secs = self.mean_completion_s,
+            solo = self.unassisted,
+        );
+        let _ = writeln!(
+            out,
+            "  reminders: {total} ({min} minimal / {spec} specific; {idle} idle / {wrong} wrong-tool)",
+            total = self.total_reminders(),
+            min = self.minimal_reminders,
+            spec = self.specific_reminders,
+            idle = self.idle_triggers,
+            wrong = self.wrong_tool_triggers,
+        );
+        let _ = writeln!(out, "  praises given: {}", self.praises);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::{ScriptedBehavior, StochasticBehavior};
+    use crate::system::{Coreda, CoredaConfig};
+    use coreda_adl::activity::catalog;
+    use coreda_adl::patient::{PatientAction, PatientProfile};
+    use coreda_adl::routine::Routine;
+    use coreda_des::rng::SimRng;
+
+    fn logs_for_day() -> Vec<EpisodeLog> {
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let mut system = Coreda::new(tea, "Mr. Tanaka", CoredaConfig::default(), 1);
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..200 {
+            system.planner_mut().train_episode(routine.steps(), &mut rng);
+        }
+        let mut logs = Vec::new();
+        // One clean episode, one with a freeze.
+        let mut clean = StochasticBehavior::new(PatientProfile::unimpaired("x"));
+        logs.push(system.run_live(&routine, &mut clean, &mut rng));
+        let mut frozen = ScriptedBehavior::new().with_error(2, PatientAction::Freeze);
+        logs.push(system.run_live(&routine, &mut frozen, &mut rng));
+        logs
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let logs = logs_for_day();
+        let report = DailyReport::from_logs("Mr. Tanaka", "day 1", &logs);
+        assert_eq!(report.episodes, 2);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.unassisted, 1, "the clean episode needed no help");
+        assert!(report.total_reminders() >= 1);
+        assert_eq!(
+            report.total_reminders(),
+            report.idle_triggers + report.wrong_tool_triggers,
+            "every reminder has exactly one trigger"
+        );
+        assert!(report.mean_completion_s > 0.0);
+        assert!(report.praises >= 1);
+    }
+
+    #[test]
+    fn empty_day_is_well_defined() {
+        let report = DailyReport::from_logs("x", "quiet day", &[]);
+        assert_eq!(report.episodes, 0);
+        assert_eq!(report.mean_completion_s, 0.0);
+        assert_eq!(report.minimal_fraction(), 1.0);
+    }
+
+    #[test]
+    fn render_mentions_the_essentials() {
+        let logs = logs_for_day();
+        let report = DailyReport::from_logs("Mr. Tanaka", "day 1", &logs);
+        let text = report.render();
+        assert!(text.contains("Mr. Tanaka"));
+        assert!(text.contains("completed"));
+        assert!(text.contains("reminders"));
+        assert!(text.contains("praises"));
+    }
+
+    #[test]
+    fn minimal_fraction_reflects_levels() {
+        let mut report = DailyReport::from_logs("x", "d", &[]);
+        report.minimal_reminders = 3;
+        report.specific_reminders = 1;
+        assert!((report.minimal_fraction() - 0.75).abs() < 1e-12);
+    }
+}

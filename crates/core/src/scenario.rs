@@ -1,0 +1,117 @@
+//! The paper's Figure 1 scenario, replayed end to end.
+//!
+//! Mr. Tanaka makes tea in four steps. His dementia worsens: after
+//! putting tea-leaf into the kettle he wrongly takes the tea-cup, and
+//! CoReDA prompts him toward the electronic pot with all four methods
+//! (text, red LED on the cup, green LED on the pot, picture). When he
+//! uses the pot he is praised. After pouring tea he freezes; once the
+//! idle timeout elapses CoReDA prompts him to drink with three methods,
+//! and praises him when he does.
+
+use coreda_adl::activity::catalog;
+use coreda_adl::patient::PatientAction;
+use coreda_adl::routine::Routine;
+use coreda_adl::step::StepId;
+use coreda_adl::tool::ToolId;
+use coreda_des::rng::SimRng;
+use coreda_des::time::SimDuration;
+
+use crate::live::{EpisodeLog, ScriptedBehavior};
+use crate::system::{Coreda, CoredaConfig};
+
+/// Trains a CoReDA instance on Mr. Tanaka's tea-making routine and
+/// replays the Figure 1 scenario. Returns the timeline log.
+///
+/// The scripted errors mirror the figure: a wrong tea-cup grab before
+/// step 2, and a freeze before step 4.
+///
+/// # Examples
+///
+/// ```
+/// let log = coreda_core::scenario::figure1(2007);
+/// assert!(log.completed_at().is_some());
+/// assert_eq!(log.reminders().len(), 2);
+/// ```
+#[must_use]
+pub fn figure1(seed: u64) -> EpisodeLog {
+    let tea = catalog::tea_making();
+    let routine = Routine::canonical(&tea);
+    let mut system = Coreda::new(tea, "Mr. Tanaka", CoredaConfig::default(), seed);
+
+    // Learn Tanaka's routine from recorded episodes first.
+    let mut rng = SimRng::seed_from(seed.wrapping_add(1));
+    for _ in 0..250 {
+        system.planner_mut().train_episode(routine.steps(), &mut rng);
+    }
+
+    // Script the figure's two lapses.
+    let mut behavior = ScriptedBehavior::new()
+        .with_duration(StepId::from_raw(catalog::TEA_BOX), SimDuration::from_secs(12))
+        .with_duration(StepId::from_raw(catalog::POT), SimDuration::from_secs(5))
+        .with_duration(StepId::from_raw(catalog::KETTLE), SimDuration::from_secs(6))
+        .with_duration(StepId::from_raw(catalog::TEA_CUP), SimDuration::from_secs(5))
+        .with_error(1, PatientAction::WrongTool(ToolId::new(catalog::TEA_CUP)))
+        .with_error(3, PatientAction::Freeze);
+
+    let mut live_rng = SimRng::seed_from(seed.wrapping_add(2));
+    system.run_live(&routine, &mut behavior, &mut live_rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::LogKind;
+    use crate::reminding::Trigger;
+
+    #[test]
+    fn figure1_timeline_matches_the_paper() {
+        let log = figure1(2007);
+        let reminders = log.reminders();
+        assert_eq!(reminders.len(), 2, "two lapses → two reminders:\n{}", log.render());
+
+        // First lapse: wrong tool → 4 delivery methods, red LED included.
+        let (t_wrong, wrong) = reminders[0];
+        assert!(matches!(wrong.trigger, Trigger::WrongTool { .. }));
+        assert_eq!(wrong.method_count(), 4);
+        assert_eq!(Some(wrong.prompt.tool), StepId::from_raw(catalog::POT).tool());
+
+        // Second lapse: idle timeout → 3 methods.
+        let (t_idle, idle) = reminders[1];
+        assert_eq!(idle.trigger, Trigger::IdleTimeout);
+        assert_eq!(idle.method_count(), 3);
+        assert_eq!(Some(idle.prompt.tool), StepId::from_raw(catalog::TEA_CUP).tool());
+        assert!(t_idle > t_wrong);
+
+        // Both corrections are praised, and the ADL completes.
+        assert_eq!(log.praise_count(), 2, "{}", log.render());
+        assert!(log.completed_at().is_some());
+
+        // Ordering: wrong-tool reminder → praise → idle reminder → praise
+        // → completed.
+        let mut kinds = log.entries().iter().map(|(_, k)| k);
+        assert!(kinds.any(|k| matches!(k, LogKind::ReminderIssued(r)
+            if matches!(r.trigger, Trigger::WrongTool { .. }))));
+        assert!(kinds.any(|k| matches!(k, LogKind::Praised(_))));
+        assert!(kinds.any(|k| matches!(k, LogKind::ReminderIssued(r)
+            if r.trigger == Trigger::IdleTimeout)));
+        assert!(kinds.any(|k| matches!(k, LogKind::Praised(_))));
+        assert!(kinds.any(|k| matches!(k, LogKind::AdlCompleted)));
+    }
+
+    #[test]
+    fn figure1_is_deterministic() {
+        assert_eq!(figure1(42), figure1(42));
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_still_complete() {
+        for seed in [1, 2, 3, 4, 5] {
+            let log = figure1(seed);
+            assert!(
+                log.completed_at().is_some(),
+                "seed {seed} failed to complete:\n{}",
+                log.render()
+            );
+        }
+    }
+}

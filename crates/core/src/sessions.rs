@@ -1,0 +1,375 @@
+//! Activity-session recognition across a whole home.
+//!
+//! A deployed base station hears tool reports from *every* instrumented
+//! activity. Before any per-activity pipeline can run, the server must
+//! decide which activity a report belongs to and when a session starts
+//! and ends. [`SessionTracker`] does that from uids alone:
+//!
+//! - the first report opens a session for the owning activity;
+//! - reports from another activity's tools are flagged as
+//!   [`SessionEvent::CrossActivityUse`] — a realistic dementia confusion
+//!   (fetching the toothbrush mid-tea-making) that a caregiver wants to
+//!   know about;
+//! - a sustained run of foreign reports means the user actually moved on:
+//!   the tracker ends the session (abandoned) and opens the new one;
+//! - a session closes as *completed* if its terminal tool was seen, or as
+//!   *abandoned* after a long silence otherwise.
+
+use coreda_adl::activity::AdlSpec;
+use coreda_adl::tool::ToolId;
+use coreda_des::time::{SimDuration, SimTime};
+use coreda_sensornet::node::NodeId;
+
+/// Events recognised by the tracker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// A new activity session opened.
+    Started {
+        /// Activity name.
+        activity: String,
+        /// When.
+        at: SimTime,
+    },
+    /// A session closed.
+    Ended {
+        /// Activity name.
+        activity: String,
+        /// When.
+        at: SimTime,
+        /// Whether its terminal tool had been used.
+        completed: bool,
+    },
+    /// A tool of *another* activity was used during an open session.
+    CrossActivityUse {
+        /// The activity currently in session.
+        active: String,
+        /// The foreign activity the tool belongs to.
+        foreign: String,
+        /// The tool used.
+        tool: ToolId,
+        /// When.
+        at: SimTime,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ActivityInfo {
+    name: String,
+    tools: Vec<ToolId>,
+    terminal_tool: ToolId,
+}
+
+#[derive(Debug, Clone)]
+struct Active {
+    idx: usize,
+    last_report: SimTime,
+    saw_terminal: bool,
+    /// Consecutive foreign reports, with the foreign activity index.
+    foreign_run: Option<(usize, u32)>,
+}
+
+/// Recognises activity sessions from the home-wide report stream.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::activity::catalog;
+/// use coreda_core::sessions::{SessionEvent, SessionTracker};
+/// use coreda_des::time::{SimDuration, SimTime};
+/// use coreda_sensornet::node::NodeId;
+///
+/// let mut tracker = SessionTracker::new(
+///     &[catalog::tea_making(), catalog::tooth_brushing()],
+///     SimDuration::from_secs(120),
+/// );
+/// let events = tracker.on_report(NodeId::new(catalog::TEA_BOX), SimTime::from_secs(1));
+/// assert!(matches!(&events[0], SessionEvent::Started { activity, .. } if activity == "Tea-making"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionTracker {
+    activities: Vec<ActivityInfo>,
+    active: Option<Active>,
+    /// Silence after which an open session is closed.
+    idle_close: SimDuration,
+    /// Consecutive foreign reports that constitute a session switch.
+    switch_threshold: u32,
+}
+
+impl SessionTracker {
+    /// Default number of consecutive foreign reports treated as a switch.
+    pub const DEFAULT_SWITCH_THRESHOLD: u32 = 3;
+
+    /// Creates a tracker over `specs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or two activities share a tool id.
+    #[must_use]
+    pub fn new(specs: &[AdlSpec], idle_close: SimDuration) -> Self {
+        assert!(!specs.is_empty(), "tracker needs at least one activity");
+        let mut seen = std::collections::HashSet::new();
+        let activities = specs
+            .iter()
+            .map(|spec| {
+                for tool in spec.tools() {
+                    assert!(
+                        seen.insert(tool.id()),
+                        "tool {id} appears in two activities",
+                        id = tool.id()
+                    );
+                }
+                ActivityInfo {
+                    name: spec.name().to_owned(),
+                    tools: spec.tools().iter().map(coreda_adl::tool::Tool::id).collect(),
+                    terminal_tool: spec
+                        .terminal_step()
+                        .tool()
+                        .expect("terminal steps use a tool"),
+                }
+            })
+            .collect();
+        SessionTracker {
+            activities,
+            active: None,
+            idle_close,
+            switch_threshold: Self::DEFAULT_SWITCH_THRESHOLD,
+        }
+    }
+
+    /// Overrides the foreign-run switch threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_switch_threshold(mut self, n: u32) -> Self {
+        assert!(n > 0, "switch threshold must be positive");
+        self.switch_threshold = n;
+        self
+    }
+
+    /// The activity currently in session, if any.
+    #[must_use]
+    pub fn active_activity(&self) -> Option<&str> {
+        self.active.as_ref().map(|a| self.activities[a.idx].name.as_str())
+    }
+
+    fn owner_of(&self, tool: ToolId) -> Option<usize> {
+        self.activities.iter().position(|a| a.tools.contains(&tool))
+    }
+
+    /// Feeds one accepted tool report; returns the recognised events, in
+    /// order. Reports from unknown tools are ignored.
+    pub fn on_report(&mut self, node: NodeId, at: SimTime) -> Vec<SessionEvent> {
+        let tool = ToolId::new(node.raw());
+        let Some(owner) = self.owner_of(tool) else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        match self.active.as_mut() {
+            None => {
+                self.active = Some(Active {
+                    idx: owner,
+                    last_report: at,
+                    saw_terminal: tool == self.activities[owner].terminal_tool,
+                    foreign_run: None,
+                });
+                events.push(SessionEvent::Started {
+                    activity: self.activities[owner].name.clone(),
+                    at,
+                });
+            }
+            Some(active) if active.idx == owner => {
+                active.last_report = at;
+                active.foreign_run = None;
+                if tool == self.activities[owner].terminal_tool {
+                    active.saw_terminal = true;
+                }
+            }
+            Some(active) => {
+                active.last_report = at;
+                let run = match active.foreign_run {
+                    Some((who, n)) if who == owner => n + 1,
+                    _ => 1,
+                };
+                active.foreign_run = Some((owner, run));
+                events.push(SessionEvent::CrossActivityUse {
+                    active: self.activities[active.idx].name.clone(),
+                    foreign: self.activities[owner].name.clone(),
+                    tool,
+                    at,
+                });
+                if run >= self.switch_threshold {
+                    // The user really did move on.
+                    let old = active.idx;
+                    let completed = active.saw_terminal;
+                    events.push(SessionEvent::Ended {
+                        activity: self.activities[old].name.clone(),
+                        at,
+                        completed,
+                    });
+                    self.active = Some(Active {
+                        idx: owner,
+                        last_report: at,
+                        saw_terminal: tool == self.activities[owner].terminal_tool,
+                        foreign_run: None,
+                    });
+                    events.push(SessionEvent::Started {
+                        activity: self.activities[owner].name.clone(),
+                        at,
+                    });
+                }
+            }
+        }
+        events
+    }
+
+    /// Periodic check: closes the open session after `idle_close` of
+    /// silence. Returns the end event if one fired.
+    pub fn on_tick(&mut self, now: SimTime) -> Option<SessionEvent> {
+        let active = self.active.as_ref()?;
+        if now.saturating_duration_since(active.last_report) < self.idle_close {
+            return None;
+        }
+        let ev = SessionEvent::Ended {
+            activity: self.activities[active.idx].name.clone(),
+            at: now,
+            completed: active.saw_terminal,
+        };
+        self.active = None;
+        Some(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coreda_adl::activity::catalog;
+
+    fn tracker() -> SessionTracker {
+        SessionTracker::new(
+            &[catalog::tea_making(), catalog::tooth_brushing()],
+            SimDuration::from_secs(120),
+        )
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn first_report_starts_the_owning_session() {
+        let mut tr = tracker();
+        let ev = tr.on_report(NodeId::new(catalog::BRUSH), t(5));
+        assert_eq!(
+            ev,
+            vec![SessionEvent::Started { activity: "Tooth-brushing".into(), at: t(5) }]
+        );
+        assert_eq!(tr.active_activity(), Some("Tooth-brushing"));
+    }
+
+    #[test]
+    fn same_activity_reports_extend_the_session() {
+        let mut tr = tracker();
+        tr.on_report(NodeId::new(catalog::TEA_BOX), t(1));
+        assert!(tr.on_report(NodeId::new(catalog::POT), t(8)).is_empty());
+        assert!(tr.on_report(NodeId::new(catalog::KETTLE), t(14)).is_empty());
+        assert_eq!(tr.active_activity(), Some("Tea-making"));
+    }
+
+    #[test]
+    fn completed_session_closes_after_silence() {
+        let mut tr = tracker();
+        for (tool, at) in [
+            (catalog::TEA_BOX, 1),
+            (catalog::POT, 8),
+            (catalog::KETTLE, 14),
+            (catalog::TEA_CUP, 20),
+        ] {
+            tr.on_report(NodeId::new(tool), t(at));
+        }
+        assert!(tr.on_tick(t(60)).is_none(), "not silent long enough yet");
+        let ev = tr.on_tick(t(200)).unwrap();
+        assert_eq!(
+            ev,
+            SessionEvent::Ended { activity: "Tea-making".into(), at: t(200), completed: true }
+        );
+        assert_eq!(tr.active_activity(), None);
+    }
+
+    #[test]
+    fn abandoned_session_closes_uncompleted() {
+        let mut tr = tracker();
+        tr.on_report(NodeId::new(catalog::TEA_BOX), t(1));
+        let ev = tr.on_tick(t(500)).unwrap();
+        assert!(matches!(ev, SessionEvent::Ended { completed: false, .. }));
+    }
+
+    #[test]
+    fn single_foreign_report_is_flagged_not_switched() {
+        let mut tr = tracker();
+        tr.on_report(NodeId::new(catalog::TEA_BOX), t(1));
+        // Mid-tea, the user picks up the toothbrush once — confusion.
+        let ev = tr.on_report(NodeId::new(catalog::BRUSH), t(10));
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(
+            &ev[0],
+            SessionEvent::CrossActivityUse { active, foreign, tool, .. }
+                if active == "Tea-making" && foreign == "Tooth-brushing"
+                    && *tool == ToolId::new(catalog::BRUSH)
+        ));
+        assert_eq!(tr.active_activity(), Some("Tea-making"));
+        // Returning to tea clears the foreign run.
+        tr.on_report(NodeId::new(catalog::POT), t(15));
+        let ev = tr.on_report(NodeId::new(catalog::BRUSH), t(20));
+        assert_eq!(ev.len(), 1, "run counter restarted");
+    }
+
+    #[test]
+    fn sustained_foreign_run_switches_sessions() {
+        let mut tr = tracker();
+        tr.on_report(NodeId::new(catalog::TEA_BOX), t(1));
+        tr.on_report(NodeId::new(catalog::PASTE_TUBE), t(10));
+        tr.on_report(NodeId::new(catalog::BRUSH), t(14));
+        let ev = tr.on_report(NodeId::new(catalog::BRUSH), t(18));
+        // Third consecutive foreign report: flag + end(abandoned) + start.
+        assert_eq!(ev.len(), 3, "{ev:#?}");
+        assert!(matches!(ev[0], SessionEvent::CrossActivityUse { .. }));
+        assert!(matches!(
+            &ev[1],
+            SessionEvent::Ended { activity, completed: false, .. } if activity == "Tea-making"
+        ));
+        assert!(matches!(
+            &ev[2],
+            SessionEvent::Started { activity, .. } if activity == "Tooth-brushing"
+        ));
+        assert_eq!(tr.active_activity(), Some("Tooth-brushing"));
+    }
+
+    #[test]
+    fn unknown_tools_are_ignored() {
+        let mut tr = tracker();
+        assert!(tr.on_report(NodeId::new(99), t(1)).is_empty());
+        assert_eq!(tr.active_activity(), None);
+    }
+
+    #[test]
+    fn back_to_back_sessions() {
+        let mut tr = tracker();
+        tr.on_report(NodeId::new(catalog::TEA_BOX), t(1));
+        tr.on_report(NodeId::new(catalog::TEA_CUP), t(20));
+        tr.on_tick(t(300)).unwrap();
+        let ev = tr.on_report(NodeId::new(catalog::PASTE_TUBE), t(400));
+        assert!(matches!(
+            &ev[0],
+            SessionEvent::Started { activity, .. } if activity == "Tooth-brushing"
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two activities")]
+    fn overlapping_tools_rejected() {
+        let tea = catalog::tea_making();
+        let _ = SessionTracker::new(&[tea.clone(), tea], SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,874 @@
+//! The CoReDA system: sensing + planning + reminding wired together.
+//!
+//! [`Coreda`] owns one PAVENET node per tool, the star network to the
+//! base station, and the three subsystems of Figure 2. It supports the
+//! paper's two usages:
+//!
+//! - **offline training** on recorded episodes
+//!   ([`Coreda::train_offline`]), as in the 120-sample experiments; and
+//! - **live operation** ([`Coreda::run_live`]): a patient behaviour model
+//!   performs the ADL in simulated real time while sensor sampling,
+//!   radio transmission, step extraction, prediction, reminding, praise
+//!   and (optionally) online learning all run against the virtual clock.
+
+use coreda_adl::activity::AdlSpec;
+use coreda_adl::episode::Episode;
+use coreda_adl::patient::PatientAction;
+use coreda_adl::routine::Routine;
+use coreda_adl::step::StepId;
+use coreda_adl::tool::ToolId;
+use coreda_des::rng::SimRng;
+use coreda_des::time::{SimDuration, SimTime};
+use coreda_sensornet::detect::Thresholds;
+use coreda_sensornet::medium::SharedMedium;
+use coreda_sensornet::network::{BaseStation, LinkConfig, StarNetwork};
+use coreda_sensornet::node::PavenetNode;
+
+use crate::live::{EpisodeLog, LogKind, PatientBehavior};
+use crate::planning::{PlanningConfig, PlanningSubsystem};
+use crate::reminding::{Prompt, ReminderLevel, RemindingSubsystem, Trigger};
+use crate::sensing::SensingSubsystem;
+
+/// System-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CoredaConfig {
+    /// Planner hyper-parameters.
+    pub planning: PlanningConfig,
+    /// Radio link behaviour.
+    pub link: LinkConfig,
+    /// Detection thresholds.
+    pub thresholds: Thresholds,
+    /// CSMA/CA contention model for simultaneous transmissions.
+    pub medium: SharedMedium,
+    /// Minimum planner confidence required before a reminder is issued
+    /// (0.0 = always remind; see
+    /// [`PlanningSubsystem::prediction_confidence`]). Gating prevents an
+    /// unconverged planner from nagging the user with guesses.
+    pub min_prompt_confidence: f64,
+    /// Whether live transitions also update the planner.
+    pub online_learning: bool,
+    /// How long the patient takes to react to a prompt.
+    pub response_delay: SimDuration,
+    /// How long the system waits before repeating an unanswered reminder
+    /// (escalated to the specific level).
+    pub reprompt_interval: SimDuration,
+    /// After this long frozen, the patient recovers by themselves.
+    pub freeze_recovery: SimDuration,
+    /// After this long misusing a tool, the patient self-corrects.
+    pub misuse_recovery: SimDuration,
+    /// Hard cap on a live episode.
+    pub max_episode: SimDuration,
+}
+
+impl Default for CoredaConfig {
+    fn default() -> Self {
+        CoredaConfig {
+            planning: PlanningConfig::default(),
+            link: LinkConfig::default(),
+            thresholds: Thresholds::default(),
+            medium: SharedMedium::default(),
+            min_prompt_confidence: 0.0,
+            online_learning: false,
+            response_delay: SimDuration::from_secs(2),
+            reprompt_interval: SimDuration::from_secs(15),
+            freeze_recovery: SimDuration::from_secs(120),
+            misuse_recovery: SimDuration::from_secs(25),
+            max_episode: SimDuration::from_secs(15 * 60),
+        }
+    }
+}
+
+/// What the patient is doing right now (live-episode state machine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Performing routine step `idx` until the given instant.
+    Performing { idx: usize, until: SimTime },
+    /// Using the wrong tool since `since`; would resume at `resume_idx`.
+    Misusing { tool: ToolId, since: SimTime, resume_idx: usize },
+    /// Doing nothing since `since`; would resume at `resume_idx`.
+    Frozen { since: SimTime, resume_idx: usize },
+    /// Finished every step.
+    Done,
+}
+
+/// The assembled CoReDA system for one ADL and one user.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::activity::catalog;
+/// use coreda_adl::routine::Routine;
+/// use coreda_core::system::{Coreda, CoredaConfig};
+/// use coreda_des::rng::SimRng;
+///
+/// let tea = catalog::tea_making();
+/// let mut system = Coreda::new(tea.clone(), "Mr. Tanaka", CoredaConfig::default(), 2007);
+/// let routine = Routine::canonical(&tea);
+/// let mut rng = SimRng::seed_from(1);
+/// for _ in 0..150 {
+///     system.planner_mut().train_episode(routine.steps(), &mut rng);
+/// }
+/// assert_eq!(system.planner().accuracy_vs_routine(&routine), 1.0);
+/// ```
+#[derive(Debug)]
+pub struct Coreda {
+    spec: AdlSpec,
+    config: CoredaConfig,
+    nodes: Vec<(PavenetNode, SimRng)>,
+    network: StarNetwork,
+    base: BaseStation,
+    sensing: SensingSubsystem,
+    planner: PlanningSubsystem,
+    reminding: RemindingSubsystem,
+    net_rng: SimRng,
+    downlink_seq: u16,
+}
+
+impl Coreda {
+    /// Sensor sampling period (10 Hz, Table 1 / §2.1).
+    pub const TICK: SimDuration = SimDuration::from_millis(100);
+
+    /// Builds the system: one PAVENET node per tool, a star network, and
+    /// the three subsystems. `seed` drives every internal random stream.
+    #[must_use]
+    pub fn new(spec: AdlSpec, user_name: &str, config: CoredaConfig, seed: u64) -> Self {
+        let root = SimRng::seed_from(seed);
+        let mut network = StarNetwork::new(config.link);
+        let mut nodes = Vec::with_capacity(spec.tools().len());
+        for tool in spec.tools() {
+            let node = PavenetNode::new(tool.id().into(), tool.signal(), config.thresholds);
+            network.register(node.uid());
+            let stream = root.substream("node", u64::from(tool.id().raw()));
+            nodes.push((node, stream));
+        }
+        let sensing = SensingSubsystem::new(&spec);
+        let planner = PlanningSubsystem::new(&spec, config.planning);
+        Coreda {
+            spec,
+            config,
+            nodes,
+            network,
+            base: BaseStation::new(),
+            sensing,
+            planner,
+            reminding: RemindingSubsystem::new(user_name),
+            net_rng: root.substream("network", 0),
+            downlink_seq: 0,
+        }
+    }
+
+    /// The ADL this system guides.
+    #[must_use]
+    pub const fn spec(&self) -> &AdlSpec {
+        &self.spec
+    }
+
+    /// The planning subsystem.
+    #[must_use]
+    pub const fn planner(&self) -> &PlanningSubsystem {
+        &self.planner
+    }
+
+    /// Mutable access to the planner (offline training, warm starts).
+    pub fn planner_mut(&mut self) -> &mut PlanningSubsystem {
+        &mut self.planner
+    }
+
+    /// The sensing subsystem.
+    #[must_use]
+    pub const fn sensing(&self) -> &SensingSubsystem {
+        &self.sensing
+    }
+
+    /// The node attached to `tool`, if any.
+    #[must_use]
+    pub fn node(&self, tool: ToolId) -> Option<&PavenetNode> {
+        let uid: coreda_sensornet::node::NodeId = tool.into();
+        self.nodes.iter().map(|(n, _)| n).find(|n| n.uid() == uid)
+    }
+
+    /// Iterates over every tool node.
+    pub fn nodes(&self) -> impl Iterator<Item = &PavenetNode> {
+        self.nodes.iter().map(|(n, _)| n)
+    }
+
+    /// Total energy consumed across all nodes, in microjoules.
+    #[must_use]
+    pub fn total_energy_uj(&self) -> f64 {
+        self.nodes.iter().map(|(n, _)| n.energy().consumed_uj()).sum()
+    }
+
+    /// Adds a caregiver-supplied rich description for `tool`, used in
+    /// specific-level reminder texts ("the black tea-box").
+    pub fn describe_tool(&mut self, tool: ToolId, description: impl Into<String>) {
+        // Rebuild-free: RemindingSubsystem's builder method consumes self,
+        // so swap through a temporary.
+        let reminding = std::mem::replace(&mut self.reminding, RemindingSubsystem::new(""));
+        self.reminding = reminding.with_description(tool, description);
+    }
+
+    /// Trains the planner on recorded episodes (the paper's offline
+    /// protocol).
+    pub fn train_offline(&mut self, episodes: &[Episode], rng: &mut SimRng) {
+        for ep in episodes {
+            self.planner.train_episode(&ep.step_ids(), rng);
+        }
+    }
+
+    /// Runs one live episode: `behavior` performs `routine` while the
+    /// full pipeline senses, predicts and reminds. Returns the timeline.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_live(
+        &mut self,
+        routine: &Routine,
+        behavior: &mut dyn PatientBehavior,
+        rng: &mut SimRng,
+    ) -> EpisodeLog {
+        let mut log = EpisodeLog::new();
+        self.sensing.reset();
+        for (node, _) in &mut self.nodes {
+            node.reset_detector();
+        }
+
+        let first_step = self.spec.step(routine.first()).expect("routine step in spec");
+        let first_duration = behavior.step_duration(first_step, rng);
+        let mut phase = Phase::Performing { idx: 0, until: SimTime::ZERO + first_duration };
+        log.push(SimTime::ZERO, LogKind::PatientStarted(routine.first()));
+
+        // Prediction state: the last two *accepted* steps.
+        let mut tracked: Option<(StepId, StepId)> = None;
+        // Outstanding prompt awaiting the patient's reaction.
+        let mut pending: Option<(SimTime, Prompt)> = None;
+        let mut last_reminder: Option<SimTime> = None;
+        let mut reminders_since_advance = 0u32;
+        let mut completed = false;
+
+        let ticks = self.config.max_episode.as_millis() / Self::TICK.as_millis();
+        for tick in 0..ticks {
+            let now = SimTime::ZERO + Self::TICK * tick;
+
+            // 1. Patient state-machine transitions. Completion is logged
+            //    from ground truth — the patient actually finishing — so
+            //    the log stays meaningful even when the planner is wrong.
+            phase = self.advance_patient(phase, routine, behavior, now, &mut log, rng);
+            if matches!(phase, Phase::Done) && !completed {
+                completed = true;
+                log.push(now, LogKind::AdlCompleted);
+            }
+
+            // 2. Outstanding prompt reaction.
+            if let Some((due, prompt)) = pending {
+                if now >= due {
+                    pending = None;
+                    phase = self.react_to_prompt(phase, prompt, routine, behavior, now, &mut log, rng);
+                }
+            }
+
+            // 3. Sensor sampling and uplink.
+            let active_tool = match phase {
+                Phase::Performing { idx, .. } => routine.steps()[idx].tool(),
+                Phase::Misusing { tool, .. } => Some(tool),
+                Phase::Frozen { .. } | Phase::Done => None,
+            };
+            let mut events = Vec::new();
+            // Sample every node first: transmissions raised in the same
+            // 100 ms tick contend for the shared medium (CSMA/CA).
+            let mut outbox: Vec<(usize, coreda_sensornet::packet::Packet)> = Vec::new();
+            for (idx, (node, node_rng)) in self.nodes.iter_mut().enumerate() {
+                let in_use = active_tool == Some(ToolId::new(node.uid().raw()));
+                if let Some(packet) = node.sample_tick(in_use, now.as_millis(), node_rng) {
+                    outbox.push((idx, packet));
+                }
+            }
+            let slots = self.config.medium.resolve_slot(outbox.len(), &mut self.net_rng);
+            for ((idx, packet), won_medium) in outbox.into_iter().zip(slots) {
+                let node = &mut self.nodes[idx].0;
+                if !won_medium {
+                    // Collision: the frame is lost before the link layer;
+                    // the energy was still spent.
+                    node.energy_mut().charge_tx(packet.encoded_len());
+                    continue;
+                }
+                let outcome = self.network.send_uplink(&packet, &mut self.net_rng);
+                let (attempts, delivered) = match outcome {
+                    coreda_sensornet::network::SendOutcome::Delivered { attempts, .. } => {
+                        (attempts, true)
+                    }
+                    coreda_sensornet::network::SendOutcome::Lost { attempts } => {
+                        (attempts, false)
+                    }
+                };
+                // Radio energy: every attempt transmits the frame;
+                // a delivery also receives one acknowledgement.
+                node.energy_mut().charge_tx(packet.encoded_len() * usize::from(attempts));
+                if delivered {
+                    node.energy_mut().charge_rx(8);
+                    if let Some(p) = self.base.receive(packet) {
+                        if let Some(ev) = self.sensing.on_report(p.src, now) {
+                            events.push(ev);
+                        }
+                    }
+                }
+            }
+
+            // 4. Idle detection (situation 1).
+            if !completed {
+                if let Some(ev) = self.sensing.check_idle(now) {
+                    events.push(ev);
+                }
+            }
+
+            // 5. Interpret step events.
+            for ev in events {
+                if completed {
+                    break;
+                }
+                log.push(ev.at, LogKind::StepSensed(ev.step));
+                match tracked {
+                    None => {
+                        if !ev.step.is_idle() {
+                            // First step triggers the start of prediction
+                            // (Table 4's note).
+                            tracked = Some((StepId::IDLE, ev.step));
+                            reminders_since_advance = 0;
+                        }
+                    }
+                    Some((prev, cur)) => {
+                        let predicted = self.planner.predict_tool(prev, cur);
+                        if ev.step.is_idle() {
+                            // Situation 1: idle past the timeout.
+                            if let Some((reminder_prompt, reminder)) = self.issue_reminder(
+                                prev,
+                                cur,
+                                Trigger::IdleTimeout,
+                                reminders_since_advance,
+                            ) {
+                                self.deliver_led_commands(&reminder);
+                                log.push(now, LogKind::ReminderIssued(reminder));
+                                pending = Some((now + self.config.response_delay, reminder_prompt));
+                                last_reminder = Some(now);
+                                reminders_since_advance += 1;
+                            }
+                        } else if ev.step.tool() == predicted {
+                            // The expected step: advance, praise if we had
+                            // been prompting, learn online.
+                            if reminders_since_advance > 0 {
+                                log.push(now, LogKind::Praised(self.reminding.praise()));
+                            }
+                            let is_last = ev.step == routine.last();
+                            if self.config.online_learning {
+                                if let Some(tool) = predicted {
+                                    let prompt = Prompt { tool, level: ReminderLevel::Minimal };
+                                    self.planner
+                                        .observe_transition(prev, cur, ev.step, prompt, is_last);
+                                }
+                            }
+                            tracked = Some((cur, ev.step));
+                            reminders_since_advance = 0;
+                            pending = None;
+                            self.clear_all_leds();
+                        } else if ev.step == cur {
+                            // Sensing re-opened the current step; ignore.
+                        } else if self.resync_lookahead(prev, cur, ev.step) {
+                            // A missed detection: the sensed step is the one
+                            // *after* the expected one. Jump forward.
+                            let expected =
+                                predicted.map(StepId::from_tool).unwrap_or(StepId::IDLE);
+                            tracked = Some((expected, ev.step));
+                            reminders_since_advance = 0;
+                            pending = None;
+                        } else {
+                            // Situation 2: the wrong tool is in use.
+                            if let Some((reminder_prompt, reminder)) = self.issue_reminder(
+                                prev,
+                                cur,
+                                Trigger::WrongTool {
+                                    used: ev.step.tool().expect("non-idle step has a tool"),
+                                },
+                                reminders_since_advance,
+                            ) {
+                                self.deliver_led_commands(&reminder);
+                                log.push(now, LogKind::ReminderIssued(reminder));
+                                pending = Some((now + self.config.response_delay, reminder_prompt));
+                                last_reminder = Some(now);
+                                reminders_since_advance += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 6. Re-prompt an unanswered reminder, escalated.
+            if !completed && pending.is_none() && matches!(phase, Phase::Frozen { .. } | Phase::Misusing { .. }) {
+                if let (Some((prev, cur)), Some(last)) = (tracked, last_reminder) {
+                    if now.saturating_duration_since(last) >= self.config.reprompt_interval {
+                        let trigger = match phase {
+                            Phase::Misusing { tool, .. } => Trigger::WrongTool { used: tool },
+                            _ => Trigger::IdleTimeout,
+                        };
+                        if let Some((reminder_prompt, reminder)) =
+                            self.issue_reminder(prev, cur, trigger, reminders_since_advance)
+                        {
+                            self.deliver_led_commands(&reminder);
+                            log.push(now, LogKind::ReminderIssued(reminder));
+                            pending = Some((now + self.config.response_delay, reminder_prompt));
+                            last_reminder = Some(now);
+                            reminders_since_advance += 1;
+                        }
+                    }
+                }
+            }
+
+            if completed && matches!(phase, Phase::Done) {
+                break;
+            }
+        }
+        log
+    }
+
+    /// Whether `sensed` matches the prediction *two* steps ahead of the
+    /// tracked state — the signature of one missed detection.
+    fn resync_lookahead(&self, prev: StepId, cur: StepId, sensed: StepId) -> bool {
+        let _ = prev;
+        let Some(expected_tool) = self.planner.predict_tool(prev, cur) else {
+            return false;
+        };
+        let expected = StepId::from_tool(expected_tool);
+        self.planner.predict_tool(cur, expected).map(StepId::from_tool) == Some(sensed)
+    }
+
+    /// Radios the reminder's LED blink commands down to the tool nodes.
+    /// Lost frames simply leave that LED dark — the display methods (text
+    /// and picture) are wired and always shown.
+    fn deliver_led_commands(&mut self, reminder: &crate::reminding::Reminder) {
+        use crate::reminding::ReminderMethod;
+        use coreda_sensornet::led::LedColor;
+        use coreda_sensornet::packet::{Packet, Payload};
+        for method in &reminder.methods {
+            let (tool, pattern, color) = match method {
+                ReminderMethod::GreenLed { tool, pattern } => (*tool, *pattern, LedColor::Green),
+                ReminderMethod::RedLed { tool, pattern } => (*tool, *pattern, LedColor::Red),
+                ReminderMethod::TextMessage(_) | ReminderMethod::ToolPicture(_) => continue,
+            };
+            let dest: coreda_sensornet::node::NodeId = tool.into();
+            let seq = self.downlink_seq;
+            self.downlink_seq = self.downlink_seq.wrapping_add(1);
+            let packet = Packet::new(dest, seq, 0, Payload::Led { pattern });
+            let delivered =
+                self.network.send_downlink(dest, &packet, &mut self.net_rng).is_delivered();
+            if delivered {
+                if let Some((node, _)) = self.nodes.iter_mut().find(|(n, _)| n.uid() == dest) {
+                    node.energy_mut().charge_rx(packet.encoded_len());
+                    node.energy_mut().charge_led(pattern.duration().as_millis());
+                    node.set_led(color, true);
+                }
+            }
+        }
+    }
+
+    /// Turns every node's LEDs off (the user advanced; the reminder is
+    /// over).
+    fn clear_all_leds(&mut self) {
+        for (node, _) in &mut self.nodes {
+            node.clear_leds();
+        }
+    }
+
+    fn issue_reminder(
+        &self,
+        prev: StepId,
+        cur: StepId,
+        trigger: Trigger,
+        escalations: u32,
+    ) -> Option<(Prompt, crate::reminding::Reminder)> {
+        if self.config.min_prompt_confidence > 0.0 {
+            let confidence = self.planner.prediction_confidence(prev, cur)?;
+            if confidence < self.config.min_prompt_confidence {
+                return None;
+            }
+        }
+        let mut prompt = self.planner.predict(prev, cur)?;
+        if escalations > 0 {
+            // Unanswered reminders escalate to the specific level.
+            prompt.level = ReminderLevel::Specific;
+        }
+        // A prompt for a tool outside the ADL cannot be rendered.
+        self.spec.tool(prompt.tool)?;
+        let reminder = self.reminding.compose(prompt, trigger, &self.spec);
+        Some((prompt, reminder))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn advance_patient(
+        &mut self,
+        phase: Phase,
+        routine: &Routine,
+        behavior: &mut dyn PatientBehavior,
+        now: SimTime,
+        log: &mut EpisodeLog,
+        rng: &mut SimRng,
+    ) -> Phase {
+        match phase {
+            Phase::Performing { idx, until } if now >= until => {
+                let next_idx = idx + 1;
+                if next_idx >= routine.len() {
+                    return Phase::Done;
+                }
+                match behavior.at_boundary(next_idx, routine, &self.spec, rng) {
+                    PatientAction::Proceed => {
+                        self.start_step(next_idx, routine, behavior, now, log, rng)
+                    }
+                    PatientAction::WrongTool(tool) => {
+                        log.push(now, LogKind::PatientMisused(tool));
+                        Phase::Misusing { tool, since: now, resume_idx: next_idx }
+                    }
+                    PatientAction::Freeze => {
+                        log.push(now, LogKind::PatientFroze);
+                        Phase::Frozen { since: now, resume_idx: next_idx }
+                    }
+                }
+            }
+            Phase::Misusing { since, resume_idx, .. }
+                if now.saturating_duration_since(since) >= self.config.misuse_recovery =>
+            {
+                self.start_step(resume_idx, routine, behavior, now, log, rng)
+            }
+            Phase::Frozen { since, resume_idx }
+                if now.saturating_duration_since(since) >= self.config.freeze_recovery =>
+            {
+                self.start_step(resume_idx, routine, behavior, now, log, rng)
+            }
+            other => other,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn react_to_prompt(
+        &mut self,
+        phase: Phase,
+        prompt: Prompt,
+        routine: &Routine,
+        behavior: &mut dyn PatientBehavior,
+        now: SimTime,
+        log: &mut EpisodeLog,
+        rng: &mut SimRng,
+    ) -> Phase {
+        let resume_idx = match phase {
+            Phase::Misusing { resume_idx, .. } | Phase::Frozen { resume_idx, .. } => resume_idx,
+            // Performing / Done patients ignore prompts.
+            other => return other,
+        };
+        let correct = routine.steps()[resume_idx];
+        // A prompt only helps if it points at the user's actual next step
+        // and the user complies with it.
+        if correct.tool() == Some(prompt.tool) && behavior.complies(&prompt, rng) {
+            self.start_step(resume_idx, routine, behavior, now, log, rng)
+        } else {
+            phase
+        }
+    }
+
+    fn start_step(
+        &mut self,
+        idx: usize,
+        routine: &Routine,
+        behavior: &mut dyn PatientBehavior,
+        now: SimTime,
+        log: &mut EpisodeLog,
+        rng: &mut SimRng,
+    ) -> Phase {
+        let step_id = routine.steps()[idx];
+        let step = self.spec.step(step_id).expect("routine step in spec");
+        let duration = behavior.step_duration(step, rng);
+        log.push(now, LogKind::PatientStarted(step_id));
+        Phase::Performing { idx, until: now + duration }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::{ScriptedBehavior, StochasticBehavior};
+    use coreda_adl::activity::catalog;
+    use coreda_adl::patient::PatientProfile;
+
+    fn trained_system(seed: u64) -> (Coreda, Routine) {
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let mut system = Coreda::new(tea, "Mr. Tanaka", CoredaConfig::default(), seed);
+        let mut rng = SimRng::seed_from(seed ^ 0xABCD);
+        for _ in 0..250 {
+            system.planner_mut().train_episode(routine.steps(), &mut rng);
+        }
+        (system, routine)
+    }
+
+    #[test]
+    fn clean_live_episode_completes_without_reminders() {
+        let (mut system, routine) = trained_system(1);
+        let mut behavior = StochasticBehavior::new(PatientProfile::unimpaired("x"));
+        let mut rng = SimRng::seed_from(2);
+        let log = system.run_live(&routine, &mut behavior, &mut rng);
+        assert!(log.completed_at().is_some(), "episode should complete:\n{}", log.render());
+        assert_eq!(log.reminders().len(), 0, "no errors → no reminders:\n{}", log.render());
+        assert_eq!(log.praise_count(), 0);
+    }
+
+    #[test]
+    fn frozen_patient_gets_idle_reminder_and_completes() {
+        let (mut system, routine) = trained_system(3);
+        let mut behavior = ScriptedBehavior::new().with_error(2, PatientAction::Freeze);
+        let mut rng = SimRng::seed_from(4);
+        let log = system.run_live(&routine, &mut behavior, &mut rng);
+        let reminders = log.reminders();
+        assert!(!reminders.is_empty(), "freeze should trigger a reminder:\n{}", log.render());
+        assert!(
+            matches!(reminders[0].1.trigger, Trigger::IdleTimeout),
+            "trigger should be the idle timeout"
+        );
+        assert!(log.completed_at().is_some(), "prompt should unblock:\n{}", log.render());
+        assert!(log.praise_count() >= 1, "correct resumption is praised");
+    }
+
+    #[test]
+    fn wrong_tool_gets_red_led_reminder() {
+        let (mut system, routine) = trained_system(5);
+        let wrong = ToolId::new(catalog::TEA_CUP);
+        let mut behavior =
+            ScriptedBehavior::new().with_error(1, PatientAction::WrongTool(wrong));
+        let mut rng = SimRng::seed_from(6);
+        let log = system.run_live(&routine, &mut behavior, &mut rng);
+        let reminders = log.reminders();
+        assert!(!reminders.is_empty(), "wrong tool should trigger:\n{}", log.render());
+        let (_, first) = reminders[0];
+        assert_eq!(first.trigger, Trigger::WrongTool { used: wrong });
+        assert_eq!(first.method_count(), 4, "wrong-tool reminders carry 4 methods");
+        assert!(log.completed_at().is_some(), "episode should recover:\n{}", log.render());
+    }
+
+    #[test]
+    fn untrained_planner_fails_to_help() {
+        // With a fresh (untrained) planner, the prompt after a freeze is
+        // wrong, so the patient stays frozen until self-recovery — the
+        // episode takes much longer.
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let mut fresh = Coreda::new(tea, "x", CoredaConfig::default(), 7);
+        let mut behavior = ScriptedBehavior::new().with_error(2, PatientAction::Freeze);
+        let mut rng = SimRng::seed_from(8);
+        let log_fresh = fresh.run_live(&routine, &mut behavior, &mut rng);
+
+        let (mut trained, _) = trained_system(7);
+        let mut behavior2 = ScriptedBehavior::new().with_error(2, PatientAction::Freeze);
+        let mut rng2 = SimRng::seed_from(8);
+        let log_trained = trained.run_live(&routine, &mut behavior2, &mut rng2);
+
+        let t_fresh = log_fresh.completed_at().expect("self-recovery still completes");
+        let t_trained = log_trained.completed_at().expect("prompt completes");
+        assert!(
+            t_fresh > t_trained,
+            "trained system should finish sooner: fresh {t_fresh} vs trained {t_trained}"
+        );
+    }
+
+    #[test]
+    fn live_runs_are_deterministic_under_seed() {
+        let run = || {
+            let (mut system, routine) = trained_system(11);
+            let mut behavior = StochasticBehavior::new(PatientProfile::moderate("x"));
+            let mut rng = SimRng::seed_from(12);
+            system.run_live(&routine, &mut behavior, &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn online_learning_updates_planner_during_live_run() {
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let config = CoredaConfig { online_learning: true, ..CoredaConfig::default() };
+        let mut system = Coreda::new(tea, "x", config, 13);
+        // Warm-start so predictions are right and transitions are accepted.
+        let mut rng = SimRng::seed_from(14);
+        for _ in 0..250 {
+            system.planner_mut().train_episode(routine.steps(), &mut rng);
+        }
+        let before = system.planner().q_table().clone();
+        let mut behavior = StochasticBehavior::new(PatientProfile::unimpaired("x"));
+        let log = system.run_live(&routine, &mut behavior, &mut rng);
+        assert!(log.completed_at().is_some());
+        assert_ne!(&before, system.planner().q_table(), "online learning should move Q");
+    }
+
+    #[test]
+    fn reminder_lights_the_target_led_and_advance_clears_it() {
+        let (mut system, routine) = trained_system(17);
+        let mut behavior = ScriptedBehavior::new().with_error(2, PatientAction::Freeze);
+        let mut rng = SimRng::seed_from(18);
+        let log = system.run_live(&routine, &mut behavior, &mut rng);
+        assert!(!log.reminders().is_empty(), "{}", log.render());
+        // After the episode ends the user had advanced, so every LED is
+        // dark again.
+        use coreda_sensornet::led::LedColor;
+        for node in system.nodes() {
+            assert!(!node.leds().is_on(LedColor::Green));
+            assert!(!node.leds().is_on(LedColor::Red));
+        }
+    }
+
+    #[test]
+    fn live_episode_consumes_node_energy() {
+        let (mut system, routine) = trained_system(19);
+        assert_eq!(system.total_energy_uj(), 0.0);
+        let mut behavior = StochasticBehavior::new(PatientProfile::unimpaired("x"));
+        let mut rng = SimRng::seed_from(20);
+        let log = system.run_live(&routine, &mut behavior, &mut rng);
+        assert!(log.completed_at().is_some());
+        let total = system.total_energy_uj();
+        assert!(total > 0.0, "sampling and radio must cost energy");
+        // The active tools (which transmitted) consumed more than a tool
+        // that was never used would from sampling alone — compare the
+        // tea-box (used) against the sampling-only floor.
+        let teabox = system
+            .node(ToolId::new(coreda_adl::activity::catalog::TEA_BOX))
+            .unwrap()
+            .energy();
+        let (samples, tx, _, _, _) = teabox.breakdown();
+        assert!(samples > 0);
+        assert!(tx > 0, "the used tool should have transmitted reports");
+    }
+
+    #[test]
+    fn tool_descriptions_reach_live_reminders() {
+        let (mut system, routine) = trained_system(27);
+        system.describe_tool(
+            ToolId::new(catalog::TEA_CUP),
+            "blue tea-cup on the left shelf",
+        );
+        // Force an escalated (specific) reminder by having the patient
+        // ignore the first prompt: freeze with low compliance.
+        let profile = coreda_adl::patient::PatientProfile::builder("Mr. Tanaka")
+            .forget_prob(0.0)
+            .compliance(0.0)
+            .build();
+        let _ = profile; // scripted behavior drives the freeze below
+        #[derive(Debug)]
+        struct IgnoresOnce {
+            ignored: bool,
+            inner: ScriptedBehavior,
+        }
+        impl crate::live::PatientBehavior for IgnoresOnce {
+            fn at_boundary(
+                &mut self,
+                idx: usize,
+                routine: &Routine,
+                spec: &coreda_adl::activity::AdlSpec,
+                rng: &mut SimRng,
+            ) -> PatientAction {
+                self.inner.at_boundary(idx, routine, spec, rng)
+            }
+            fn step_duration(
+                &mut self,
+                step: &coreda_adl::step::Step,
+                rng: &mut SimRng,
+            ) -> coreda_des::time::SimDuration {
+                self.inner.step_duration(step, rng)
+            }
+            fn complies(&mut self, _p: &crate::reminding::Prompt, _rng: &mut SimRng) -> bool {
+                if self.ignored {
+                    true
+                } else {
+                    self.ignored = true;
+                    false
+                }
+            }
+        }
+        let mut behavior = IgnoresOnce {
+            ignored: false,
+            inner: ScriptedBehavior::new().with_error(3, PatientAction::Freeze),
+        };
+        let mut rng = SimRng::seed_from(28);
+        let log = system.run_live(&routine, &mut behavior, &mut rng);
+        let texts: Vec<String> = log
+            .reminders()
+            .iter()
+            .flat_map(|(_, r)| r.methods.iter())
+            .filter_map(|m| match m {
+                crate::reminding::ReminderMethod::TextMessage(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            texts.iter().any(|t| t.contains("blue tea-cup on the left shelf")),
+            "the escalated reminder should use the description: {texts:?}\n{}",
+            log.render()
+        );
+    }
+
+    #[test]
+    fn confidence_gating_silences_an_untrained_planner() {
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let gated = CoredaConfig { min_prompt_confidence: 0.5, ..CoredaConfig::default() };
+
+        // Untrained + gated: the system holds its tongue.
+        let mut fresh = Coreda::new(tea.clone(), "x", gated, 23);
+        let mut behavior = ScriptedBehavior::new().with_error(2, PatientAction::Freeze);
+        let mut rng = SimRng::seed_from(24);
+        let log = fresh.run_live(&routine, &mut behavior, &mut rng);
+        assert_eq!(log.reminders().len(), 0, "no confident prediction → no reminder:\n{}", log.render());
+
+        // Untrained + ungated: it guesses (and is usually wrong).
+        let mut noisy = Coreda::new(tea.clone(), "x", CoredaConfig::default(), 23);
+        let mut behavior = ScriptedBehavior::new().with_error(2, PatientAction::Freeze);
+        let mut rng = SimRng::seed_from(24);
+        let log = noisy.run_live(&routine, &mut behavior, &mut rng);
+        assert!(!log.reminders().is_empty(), "ungated untrained planner guesses:\n{}", log.render());
+
+        // Trained + gated: confidence is high, reminders flow again.
+        let mut trained = Coreda::new(tea, "x", gated, 23);
+        let mut train_rng = SimRng::seed_from(25);
+        for _ in 0..250 {
+            trained.planner_mut().train_episode(routine.steps(), &mut train_rng);
+        }
+        let mut behavior = ScriptedBehavior::new().with_error(2, PatientAction::Freeze);
+        let mut rng = SimRng::seed_from(24);
+        let log = trained.run_live(&routine, &mut behavior, &mut rng);
+        assert!(!log.reminders().is_empty(), "trained planner is confident:\n{}", log.render());
+        assert!(log.praise_count() >= 1);
+    }
+
+    #[test]
+    fn confidence_rises_with_training() {
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let mut planner = crate::planning::PlanningSubsystem::new(&tea, crate::planning::PlanningConfig::default());
+        let (prev, cur, _) = routine.transitions()[1];
+        let before = planner.prediction_confidence(prev, cur).unwrap();
+        let mut rng = SimRng::seed_from(26);
+        for _ in 0..250 {
+            planner.train_episode(routine.steps(), &mut rng);
+        }
+        let after = planner.prediction_confidence(prev, cur).unwrap();
+        assert_eq!(before, 0.0, "untrained states have zero confidence");
+        assert!(after > 0.5, "trained states are confident, got {after}");
+    }
+
+    #[test]
+    fn offline_training_via_episodes() {
+        use coreda_adl::episode::EpisodeGenerator;
+        use coreda_adl::routine::RoutineSet;
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let gen = EpisodeGenerator::new(
+            tea.clone(),
+            RoutineSet::single(routine.clone()),
+            PatientProfile::unimpaired("x"),
+        );
+        let mut rng = SimRng::seed_from(15);
+        let episodes = gen.generate_batch(200, &mut rng);
+        let mut system = Coreda::new(tea, "x", CoredaConfig::default(), 16);
+        system.train_offline(&episodes, &mut rng);
+        assert_eq!(system.planner().accuracy_vs_routine(&routine), 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for CoReDA's core invariants.
+
+use coreda_adl::activity::{catalog, AdlSpec};
+use coreda_adl::routine::Routine;
+use coreda_adl::step::{Step, StepId};
+use coreda_adl::tool::{Tool, ToolId};
+use coreda_core::persistence;
+use coreda_core::planning::{PlanningConfig, PlanningSubsystem, RewardConfig, StateEncoder};
+use coreda_core::reminding::{Prompt, ReminderLevel};
+use coreda_core::sensing::SensingSubsystem;
+use coreda_des::rng::SimRng;
+use coreda_des::time::SimTime;
+use coreda_sensornet::node::NodeId;
+use coreda_sensornet::signal::SignalModel;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = AdlSpec> {
+    (2usize..=7).prop_map(|n| {
+        let tools: Vec<Tool> = (0..n)
+            .map(|i| {
+                Tool::new(
+                    ToolId::new(50 + i as u16),
+                    format!("tool-{i}"),
+                    SignalModel::accelerometer(0.03, 0.45, 0.5),
+                )
+            })
+            .collect();
+        let steps: Vec<Step> = (0..n)
+            .map(|i| Step::new(format!("step {i}"), ToolId::new(50 + i as u16), 4.0, 0.5))
+            .collect();
+        AdlSpec::new("Generated", tools, steps)
+    })
+}
+
+proptest! {
+    /// State and action encodings are bijections for any generated ADL.
+    #[test]
+    fn encoder_bijection(spec in arb_spec()) {
+        let enc = StateEncoder::new(&spec);
+        let shape = enc.shape();
+        let n = spec.steps().len() + 1;
+        prop_assert_eq!(shape.states(), n * n);
+        prop_assert_eq!(shape.actions(), spec.tools().len() * 2);
+        for s in shape.state_ids() {
+            let (prev, cur) = enc.decode_state(s);
+            prop_assert_eq!(enc.state_of(prev, cur), Some(s));
+        }
+        for a in shape.action_ids() {
+            let prompt = enc.decode_action(a);
+            prop_assert_eq!(enc.action_of(prompt), Some(a));
+        }
+    }
+
+    /// The reward function only ever returns one of the four configured
+    /// values, and matching beats mismatching at every level.
+    #[test]
+    fn reward_is_closed_and_ordered(
+        terminal in 100.0f64..10_000.0,
+        minimal in 10.0f64..100.0,
+        specific in 1.0f64..10.0,
+    ) {
+        let r = RewardConfig { terminal, minimal, specific, mismatch: 0.0 };
+        let pot = ToolId::new(catalog::POT);
+        let kettle = ToolId::new(catalog::KETTLE);
+        for level in ReminderLevel::ALL {
+            for is_terminal in [false, true] {
+                let matched = r.reward(
+                    Prompt { tool: pot, level },
+                    StepId::from_tool(pot),
+                    is_terminal,
+                );
+                let mismatched = r.reward(
+                    Prompt { tool: kettle, level },
+                    StepId::from_tool(pot),
+                    is_terminal,
+                );
+                prop_assert!([terminal, minimal, specific, 0.0].contains(&matched));
+                prop_assert_eq!(mismatched, 0.0);
+                prop_assert!(matched > mismatched);
+            }
+        }
+    }
+
+    /// After arbitrary-length training on a random permutation routine,
+    /// every Q-value stays within the reward-derived bound
+    /// `(terminal + minimal) / (1 − γ)`.
+    #[test]
+    fn q_values_bounded(spec in arb_spec(), seed in any::<u64>(), episodes in 1usize..120) {
+        let mut ids = spec.step_ids();
+        let mut rng = SimRng::seed_from(seed);
+        rng.shuffle(&mut ids);
+        let routine = Routine::new(&spec, ids);
+        let cfg = PlanningConfig::default();
+        let mut planner = PlanningSubsystem::new(&spec, cfg);
+        for _ in 0..episodes {
+            planner.train_episode(routine.steps(), &mut rng);
+        }
+        let bound = (cfg.reward.terminal + cfg.reward.minimal) / (1.0 - cfg.gamma) + 1e-6;
+        prop_assert!(
+            planner.q_table().max_abs_value() <= bound,
+            "max |Q| = {} exceeds bound {}",
+            planner.q_table().max_abs_value(),
+            bound
+        );
+    }
+
+    /// A trained planner's prediction is always one of the ADL's own
+    /// tools, at one of the two levels.
+    #[test]
+    fn predictions_stay_in_domain(spec in arb_spec(), seed in any::<u64>()) {
+        let routine = Routine::canonical(&spec);
+        let mut planner = PlanningSubsystem::new(&spec, PlanningConfig::default());
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..30 {
+            planner.train_episode(routine.steps(), &mut rng);
+        }
+        let tool_ids: Vec<ToolId> =
+            spec.tools().iter().map(coreda_adl::tool::Tool::id).collect();
+        for &(prev, cur, _) in &routine.transitions() {
+            let prompt = planner.predict(prev, cur).expect("in-domain state");
+            prop_assert!(tool_ids.contains(&prompt.tool));
+        }
+    }
+
+    /// Sensing never emits two consecutive identical steps, whatever the
+    /// report stream.
+    #[test]
+    fn sensing_sequence_is_deduplicated(
+        reports in proptest::collection::vec((5u16..9, 0u64..200), 1..80),
+    ) {
+        let tea = catalog::tea_making();
+        let mut sensing = SensingSubsystem::new(&tea);
+        let mut sorted = reports;
+        sorted.sort_by_key(|&(_, t)| t);
+        for (tool, t) in sorted {
+            let _ = sensing.on_report(NodeId::new(tool), SimTime::from_secs(t));
+        }
+        let seq = sensing.step_sequence();
+        for w in seq.windows(2) {
+            prop_assert_ne!(w[0], w[1], "consecutive duplicates in {:?}", seq);
+        }
+    }
+
+    /// Persistence round-trips for any generated ADL after any amount of
+    /// training, and restoring into a *different* generated ADL fails.
+    #[test]
+    fn persistence_roundtrip_any_adl(seed in any::<u64>(), episodes in 0usize..60) {
+        let spec = {
+            // Two fixed distinct generated specs (sizes 3 and 4).
+            let mk = |n: usize, base: u16| {
+                let tools: Vec<Tool> = (0..n)
+                    .map(|i| Tool::new(
+                        ToolId::new(base + i as u16),
+                        format!("t{i}"),
+                        SignalModel::accelerometer(0.03, 0.45, 0.5),
+                    ))
+                    .collect();
+                let steps: Vec<Step> = (0..n)
+                    .map(|i| Step::new(format!("s{i}"), ToolId::new(base + i as u16), 4.0, 0.5))
+                    .collect();
+                AdlSpec::new("G", tools, steps)
+            };
+            (mk(3, 60), mk(4, 70))
+        };
+        let routine = Routine::canonical(&spec.0);
+        let mut planner = PlanningSubsystem::new(&spec.0, PlanningConfig::default());
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..episodes {
+            planner.train_episode(routine.steps(), &mut rng);
+        }
+        let blob = persistence::save_policy(&planner);
+        let mut same = PlanningSubsystem::new(&spec.0, PlanningConfig::default());
+        prop_assert!(persistence::restore_policy(&mut same, &blob).is_ok());
+        prop_assert_eq!(same.episodes_trained(), planner.episodes_trained());
+        let mut other = PlanningSubsystem::new(&spec.1, PlanningConfig::default());
+        prop_assert!(persistence::restore_policy(&mut other, &blob).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! A deterministic time-ordered event queue.
+//!
+//! Events scheduled for the same instant are delivered in the order they
+//! were scheduled (FIFO), which keeps simulations reproducible regardless
+//! of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An entry in the queue: the payload plus its due time and a sequence
+/// number used to break ties deterministically.
+#[derive(Debug)]
+struct Scheduled<E> {
+    due: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (due, seq) pops first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// A min-priority queue of events keyed by [`SimTime`], with FIFO
+/// tie-breaking among events due at the same instant.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_des::event::EventQueue;
+/// use coreda_des::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime::from_secs(2), "later");
+/// q.schedule_at(SimTime::from_secs(1), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "sooner")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at the absolute instant `due`.
+    pub fn schedule_at(&mut self, due: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { due, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after `now`.
+    pub fn schedule_after(&mut self, now: SimTime, delay: SimDuration, event: E) {
+        self.schedule_at(now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, with its due time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.due, s.event))
+    }
+
+    /// The due time of the earliest event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.due)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), 3);
+        q.schedule_at(SimTime::from_millis(10), 1);
+        q.schedule_at(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_after_offsets_from_now() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimTime::from_secs(10), SimDuration::from_secs(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(13)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(SimTime::ZERO, 'a');
+        q.schedule_at(SimTime::ZERO, 'b');
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(5), "a");
+        q.schedule_at(SimTime::from_millis(1), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        q.schedule_at(SimTime::from_millis(2), "c");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic randomness for simulations.
+//!
+//! Every stochastic component in CoReDA draws from a [`SimRng`] seeded from
+//! the experiment configuration, so a run is a pure function of its seed.
+//! Independent sub-streams (one per sensor node, per patient, …) are derived
+//! with [`SimRng::substream`] so adding a component never perturbs the draws
+//! of another.
+
+use rand::distributions::{Bernoulli, Distribution};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seedable deterministic random source.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_des::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    base_seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed), base_seed: seed }
+    }
+
+    /// Derives an independent sub-stream for the component labelled
+    /// `(domain, index)`.
+    ///
+    /// Two distinct labels produce streams that do not collide, and the
+    /// derivation does not consume randomness from `self`.
+    #[must_use]
+    pub fn substream(&self, domain: &str, index: u64) -> SimRng {
+        // FNV-1a over (domain, index); cheap, stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in domain.bytes().chain(index.to_le_bytes()) {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        SimRng::seed_from(h ^ self.base_seed)
+    }
+
+    /// The next uniformly distributed `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform draw from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform integer draw from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        let d = Bernoulli::new(p).expect("probability must be in [0, 1]");
+        d.sample(&mut self.inner)
+    }
+
+    /// A standard-normal draw via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        // Box–Muller keeps us independent of rand_distr (not on the
+        // approved dependency list).
+        loop {
+            let u1 = self.inner.gen::<f64>();
+            if u1 > f64::EPSILON {
+                let u2 = self.inner.gen::<f64>();
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+
+    /// A normal draw with the given `mean` and standard deviation `sd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sd` is negative.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        assert!(sd >= 0.0, "standard deviation must be non-negative");
+        mean + sd * self.gaussian()
+    }
+
+    /// An exponential draw with the given `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// A uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from an empty slice");
+        &items[self.uniform_usize(0, items.len())]
+    }
+
+    /// Shuffles `items` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams with different seeds should diverge");
+    }
+
+    #[test]
+    fn substreams_are_stable_and_distinct() {
+        let root = SimRng::seed_from(99);
+        let mut s1 = root.substream("node", 1);
+        let mut s1_again = root.substream("node", 1);
+        let mut s2 = root.substream("node", 2);
+        assert_eq!(s1.next_u64(), s1_again.next_u64());
+        let mut s1b = root.substream("node", 1);
+        assert_ne!(s1b.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn substream_derivation_does_not_consume() {
+        let mut root = SimRng::seed_from(5);
+        let _ = root.substream("x", 0);
+        let mut fresh = SimRng::seed_from(5);
+        assert_eq!(root.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = SimRng::seed_from(123);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut rng = SimRng::seed_from(321);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean} too far from 3");
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut rng = SimRng::seed_from(55);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2200..2800).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn choose_empty_panics() {
+        let mut rng = SimRng::seed_from(1);
+        let empty: [u8; 0] = [];
+        let _ = rng.choose(&empty);
+    }
+}

@@ -1,0 +1,214 @@
+//! The simulation driver: a clock plus an event queue.
+//!
+//! [`Simulator`] is intentionally *poll based*: the owner schedules typed
+//! events and repeatedly calls [`Simulator::step`], handling each event and
+//! scheduling follow-ups. This avoids callback-style borrow tangles and
+//! keeps the control flow of an experiment readable top to bottom.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulator over a user-chosen event type `E`.
+///
+/// The clock only moves when an event is popped, and never moves backwards.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_des::sim::Simulator;
+/// use coreda_des::time::{SimDuration, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Ping, Pong }
+///
+/// let mut sim = Simulator::new();
+/// sim.schedule_after(SimDuration::from_secs(1), Ev::Ping);
+/// while let Some(ev) = sim.step() {
+///     if ev == Ev::Ping && sim.now() < SimTime::from_secs(3) {
+///         sim.schedule_after(SimDuration::from_secs(1), Ev::Pong);
+///     }
+/// }
+/// assert_eq!(sim.now(), SimTime::from_secs(2));
+/// ```
+#[derive(Debug)]
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Simulator { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+    }
+
+    /// The current simulation instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at the absolute instant `due`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `due` is in the past (before [`Simulator::now`]); scheduling
+    /// into the past would make the clock non-monotonic.
+    pub fn schedule_at(&mut self, due: SimTime, event: E) {
+        assert!(
+            due >= self.now,
+            "cannot schedule into the past: due {due} < now {now}",
+            now = self.now
+        );
+        self.queue.schedule_at(due, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule_after(self.now, delay, event);
+    }
+
+    /// Advances the clock to the next event and returns it, or `None` when
+    /// the queue is empty (the clock then stays where it is).
+    pub fn step(&mut self) -> Option<E> {
+        let (due, event) = self.queue.pop()?;
+        debug_assert!(due >= self.now);
+        self.now = due;
+        self.processed += 1;
+        Some(event)
+    }
+
+    /// Like [`Simulator::step`], but refuses to move the clock past
+    /// `deadline`: an event due after it is left in the queue and the clock
+    /// is advanced exactly to `deadline`.
+    pub fn step_until(&mut self, deadline: SimTime) -> Option<E> {
+        match self.queue.peek_time() {
+            Some(due) if due <= deadline => self.step(),
+            _ => {
+                if deadline > self.now {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
+    }
+
+    /// Advances the clock to `instant` without processing events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event is due before `instant` (it would be skipped), or
+    /// if `instant` is in the past.
+    pub fn advance_to(&mut self, instant: SimTime) {
+        assert!(instant >= self.now, "cannot rewind the clock");
+        if let Some(due) = self.queue.peek_time() {
+            assert!(due >= instant, "advancing past a pending event due at {due}");
+        }
+        self.now = instant;
+    }
+
+    /// Drops every pending event.
+    pub fn clear_pending(&mut self) {
+        self.queue.clear();
+    }
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_follows_events() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(2), "b");
+        sim.schedule_at(SimTime::from_secs(1), "a");
+        assert_eq!(sim.step(), Some("a"));
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        assert_eq!(sim.step(), Some("b"));
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut sim = Simulator::new();
+        sim.schedule_after(SimDuration::from_secs(5), 1);
+        sim.step();
+        sim.schedule_after(SimDuration::from_secs(5), 2);
+        sim.step();
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(1), ());
+        sim.step();
+        sim.schedule_at(SimTime::ZERO, ());
+    }
+
+    #[test]
+    fn step_until_respects_deadline() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(10), "late");
+        assert_eq!(sim.step_until(SimTime::from_secs(5)), None);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.step_until(SimTime::from_secs(10)), Some("late"));
+    }
+
+    #[test]
+    fn advance_to_moves_clock_when_idle() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.advance_to(SimTime::from_secs(30));
+        assert_eq!(sim.now(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "advancing past a pending event")]
+    fn advance_to_cannot_skip_events() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(1), ());
+        sim.advance_to(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn processed_counts_events() {
+        let mut sim = Simulator::new();
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_secs(i), i);
+        }
+        while sim.step().is_some() {}
+        assert_eq!(sim.processed(), 5);
+    }
+
+    #[test]
+    fn clear_pending_empties_queue() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(1), ());
+        sim.clear_pending();
+        assert_eq!(sim.step(), None);
+    }
+}

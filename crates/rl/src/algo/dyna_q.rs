@@ -1,0 +1,219 @@
+//! Dyna-Q: model-based acceleration of Q-learning (Sutton 1990).
+//!
+//! The paper's future-work section asks for "fast learning — the elderly
+//! may be not so patient to wait for it". Dyna-Q answers that: every real
+//! transition is also recorded in a learned model, and after each real
+//! update the learner replays `planning_steps` simulated transitions from
+//! the model. For the near-deterministic routines CoReDA learns, this cuts
+//! the number of *real* episodes needed to converge dramatically (see the
+//! `repro_ablation` harness).
+
+use std::collections::HashMap;
+
+use coreda_des::rng::SimRng;
+
+use crate::algo::{Outcome, TdConfig, TdControl};
+use crate::qtable::QTable;
+use crate::space::{ActionId, ProblemShape, StateId};
+
+/// A deterministic last-observation world model: `(s, a) → (r, s')`.
+///
+/// Sufficient for CoReDA's near-deterministic routine MDPs; a stochastic
+/// environment would overwrite entries and the planner would chase the
+/// most recent sample, which still converges in practice.
+#[derive(Debug, Clone, Default)]
+struct WorldModel {
+    transitions: HashMap<(StateId, ActionId), (f64, Option<StateId>)>,
+    keys: Vec<(StateId, ActionId)>,
+}
+
+impl WorldModel {
+    fn record(&mut self, s: StateId, a: ActionId, reward: f64, next: Option<StateId>) {
+        if self.transitions.insert((s, a), (reward, next)).is_none() {
+            self.keys.push((s, a));
+        }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> Option<(StateId, ActionId, f64, Option<StateId>)> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let key = *rng.choose(&self.keys);
+        let (reward, next) = self.transitions[&key];
+        Some((key.0, key.1, reward, next))
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Dyna-Q: one-step Q-learning plus `planning_steps` model-replay updates
+/// per real transition.
+///
+/// The learner owns a private RNG (seeded at construction) for sampling
+/// the model, so runs remain deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::algo::{DynaQ, Outcome, TdConfig, TdControl};
+/// use coreda_rl::schedule::Schedule;
+/// use coreda_rl::space::{ActionId, ProblemShape, StateId};
+///
+/// let cfg = TdConfig::new(Schedule::constant(0.5), 0.9);
+/// let mut learner = DynaQ::new(ProblemShape::new(2, 2), cfg, 10, 77);
+/// learner.begin_episode();
+/// learner.observe(StateId::new(0), ActionId::new(0), 5.0, Outcome::Terminal);
+/// assert!(learner.q().value(StateId::new(0), ActionId::new(0)) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynaQ {
+    q: QTable,
+    cfg: TdConfig,
+    planning_steps: usize,
+    model: WorldModel,
+    rng: SimRng,
+    updates: u64,
+}
+
+impl DynaQ {
+    /// Creates a learner that performs `planning_steps` model-based updates
+    /// after every real one, sampling with a private RNG seeded by `seed`.
+    #[must_use]
+    pub fn new(shape: ProblemShape, cfg: TdConfig, planning_steps: usize, seed: u64) -> Self {
+        DynaQ {
+            q: QTable::new(shape),
+            cfg,
+            planning_steps,
+            model: WorldModel::default(),
+            rng: SimRng::seed_from(seed),
+            updates: 0,
+        }
+    }
+
+    /// Number of planning (model-replay) updates per real transition.
+    #[must_use]
+    pub const fn planning_steps(&self) -> usize {
+        self.planning_steps
+    }
+
+    /// Number of distinct `(state, action)` pairs in the learned model.
+    #[must_use]
+    pub fn model_size(&self) -> usize {
+        self.model.len()
+    }
+
+    fn q_update(&mut self, s: StateId, a: ActionId, reward: f64, next: Option<StateId>) {
+        let bootstrap = next.map_or(0.0, |ns| self.q.max_value(ns));
+        let delta = reward + self.cfg.gamma() * bootstrap - self.q.value(s, a);
+        let alpha = self.cfg.alpha_at(self.updates);
+        self.q.nudge(s, a, alpha * delta);
+    }
+}
+
+impl TdControl for DynaQ {
+    fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    fn q_mut(&mut self) -> &mut QTable {
+        &mut self.q
+    }
+
+    fn begin_episode(&mut self) {}
+
+    fn observe(&mut self, s: StateId, a: ActionId, reward: f64, outcome: Outcome) {
+        let next = match outcome {
+            Outcome::Terminal => None,
+            Outcome::Continue { next_state, .. } => Some(next_state),
+        };
+        self.q_update(s, a, reward, next);
+        self.model.record(s, a, reward, next);
+        for _ in 0..self.planning_steps {
+            let Some((ms, ma, mr, mnext)) = self.model.sample(&mut self.rng) else {
+                break;
+            };
+            self.q_update(ms, ma, mr, mnext);
+        }
+        self.updates += 1;
+    }
+
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{testutil, QLearning};
+    use crate::schedule::Schedule;
+
+    fn cfg() -> TdConfig {
+        TdConfig::new(Schedule::constant(0.3), 0.9)
+    }
+
+    #[test]
+    fn zero_planning_steps_matches_q_learning() {
+        let shape = ProblemShape::new(3, 2);
+        let mut dq = DynaQ::new(shape, cfg(), 0, 1);
+        let mut ql = QLearning::new(shape, cfg());
+        let out = Outcome::Continue { next_state: StateId::new(1), next_action: ActionId::new(0) };
+        dq.observe(StateId::new(0), ActionId::new(0), 2.0, out);
+        ql.observe(StateId::new(0), ActionId::new(0), 2.0, out);
+        assert_eq!(
+            dq.q().value(StateId::new(0), ActionId::new(0)),
+            ql.q().value(StateId::new(0), ActionId::new(0))
+        );
+    }
+
+    #[test]
+    fn model_records_transitions() {
+        let mut dq = DynaQ::new(ProblemShape::new(3, 2), cfg(), 5, 1);
+        assert_eq!(dq.model_size(), 0);
+        dq.observe(StateId::new(0), ActionId::new(0), 0.0, Outcome::Terminal);
+        dq.observe(StateId::new(1), ActionId::new(1), 0.0, Outcome::Terminal);
+        // Re-observing the same pair must not duplicate it.
+        dq.observe(StateId::new(0), ActionId::new(0), 0.0, Outcome::Terminal);
+        assert_eq!(dq.model_size(), 2);
+    }
+
+    #[test]
+    fn planning_propagates_reward_without_revisits() {
+        // Observe the chain once, then watch planning back-propagate the
+        // terminal reward to the start state without further real episodes.
+        let mut dq = DynaQ::new(ProblemShape::new(3, 1), cfg(), 50, 3);
+        let fwd = |_s: usize, ns: usize| Outcome::Continue {
+            next_state: StateId::new(ns),
+            next_action: ActionId::new(0),
+        };
+        dq.observe(StateId::new(0), ActionId::new(0), 0.0, fwd(0, 1));
+        dq.observe(StateId::new(1), ActionId::new(0), 0.0, fwd(1, 2));
+        dq.observe(StateId::new(2), ActionId::new(0), 10.0, Outcome::Terminal);
+        // A couple more planning-only batches via dummy re-observations.
+        dq.observe(StateId::new(0), ActionId::new(0), 0.0, fwd(0, 1));
+        assert!(
+            dq.q().value(StateId::new(0), ActionId::new(0)) > 0.5,
+            "planning should have propagated the terminal reward back: {:?}",
+            dq.q().row(StateId::new(0))
+        );
+    }
+
+    #[test]
+    fn solves_the_chain_with_few_episodes() {
+        let mut dq = DynaQ::new(testutil::chain_shape(), cfg(), 20, 5);
+        testutil::train_on_chain(&mut dq, 15, 21);
+        testutil::assert_chain_solved(&dq);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let run = || {
+            let mut dq = DynaQ::new(testutil::chain_shape(), cfg(), 10, 9);
+            testutil::train_on_chain(&mut dq, 20, 2);
+            dq.q().clone()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,150 @@
+//! Expected SARSA (van Seijen et al. 2009).
+
+use crate::algo::{Outcome, TdConfig, TdControl};
+use crate::qtable::QTable;
+use crate::space::{ActionId, ProblemShape, StateId};
+
+/// Expected SARSA with an ε-greedy behaviour model:
+/// `Q(s,a) ← Q(s,a) + α [r + γ Σ_a' π(a'|s') Q(s',a') − Q(s,a)]`.
+///
+/// Bootstrapping from the *expectation* under the policy instead of the
+/// sampled next action removes the variance SARSA inherits from
+/// exploration. The ε used for the expectation should match the behaviour
+/// policy's ε.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::algo::{ExpectedSarsa, Outcome, TdConfig, TdControl};
+/// use coreda_rl::schedule::Schedule;
+/// use coreda_rl::space::{ActionId, ProblemShape, StateId};
+///
+/// let cfg = TdConfig::new(Schedule::constant(1.0), 1.0);
+/// let mut learner = ExpectedSarsa::new(ProblemShape::new(2, 2), cfg, 0.0);
+/// learner.begin_episode();
+/// learner.observe(StateId::new(0), ActionId::new(0), 3.0, Outcome::Terminal);
+/// assert_eq!(learner.q().value(StateId::new(0), ActionId::new(0)), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpectedSarsa {
+    q: QTable,
+    cfg: TdConfig,
+    epsilon: f64,
+    updates: u64,
+}
+
+impl ExpectedSarsa {
+    /// Creates a learner whose expectation assumes an ε-greedy policy with
+    /// the given `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(shape: ProblemShape, cfg: TdConfig, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1], got {epsilon}");
+        ExpectedSarsa { q: QTable::new(shape), cfg, epsilon, updates: 0 }
+    }
+
+    /// The ε assumed by the expectation.
+    #[must_use]
+    pub const fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn expected_value(&self, s: StateId) -> f64 {
+        let row = self.q.row(s);
+        let n = row.len() as f64;
+        let greedy = self.q.greedy_action(s).index();
+        let uniform: f64 = row.iter().sum::<f64>() / n;
+        self.epsilon * uniform + (1.0 - self.epsilon) * row[greedy]
+    }
+}
+
+impl TdControl for ExpectedSarsa {
+    fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    fn q_mut(&mut self) -> &mut QTable {
+        &mut self.q
+    }
+
+    fn begin_episode(&mut self) {}
+
+    fn observe(&mut self, s: StateId, a: ActionId, reward: f64, outcome: Outcome) {
+        let bootstrap = match outcome {
+            Outcome::Terminal => 0.0,
+            Outcome::Continue { next_state, .. } => self.expected_value(next_state),
+        };
+        let delta = reward + self.cfg.gamma() * bootstrap - self.q.value(s, a);
+        let alpha = self.cfg.alpha_at(self.updates);
+        self.q.nudge(s, a, alpha * delta);
+        self.updates += 1;
+    }
+
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{testutil, QLearning};
+    use crate::schedule::Schedule;
+
+    fn cfg() -> TdConfig {
+        TdConfig::new(Schedule::constant(0.3), 0.9)
+    }
+
+    #[test]
+    fn epsilon_zero_matches_q_learning() {
+        let shape = ProblemShape::new(3, 2);
+        let mut es = ExpectedSarsa::new(shape, cfg(), 0.0);
+        let mut ql = QLearning::new(shape, cfg());
+        let script = [
+            (0, 0, 1.0, Some((1, 0))),
+            (1, 0, -0.5, Some((2, 1))),
+            (2, 1, 4.0, None),
+        ];
+        for &(s, a, r, next) in &script {
+            let out = match next {
+                None => Outcome::Terminal,
+                Some((ns, na)) => Outcome::Continue {
+                    next_state: StateId::new(ns),
+                    next_action: ActionId::new(na),
+                },
+            };
+            es.observe(StateId::new(s), ActionId::new(a), r, out);
+            ql.observe(StateId::new(s), ActionId::new(a), r, out);
+        }
+        for s in shape.state_ids() {
+            for a in shape.action_ids() {
+                assert!((es.q().value(s, a) - ql.q().value(s, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_mixes_greedy_and_uniform() {
+        let mut es = ExpectedSarsa::new(ProblemShape::new(2, 2), cfg(), 0.5);
+        es.q_mut().set(StateId::new(1), ActionId::new(0), 0.0);
+        es.q_mut().set(StateId::new(1), ActionId::new(1), 8.0);
+        // Expected value in s1: 0.5 * mean(0, 8) + 0.5 * 8 = 2 + 4 = 6.
+        assert!((es.expected_value(StateId::new(1)) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_the_chain() {
+        let mut l = ExpectedSarsa::new(testutil::chain_shape(), cfg(), 0.2);
+        testutil::train_on_chain(&mut l, 300, 13);
+        testutil::assert_chain_solved(&l);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1]")]
+    fn bad_epsilon_rejected() {
+        let _ = ExpectedSarsa::new(ProblemShape::new(1, 1), cfg(), -0.1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Temporal-difference control algorithms.
+//!
+//! All learners share the [`TdControl`] interface: an episode loop selects
+//! actions with a [`Policy`](crate::policy::Policy) and feeds each observed
+//! transition to the learner. The paper's planning subsystem uses
+//! [`WatkinsQLambda`] (TD(λ) Q-learning); the others are provided for the
+//! ablation studies and the "fast learning" future-work experiment
+//! ([`DynaQ`]).
+
+mod double_q;
+mod dyna_q;
+mod expected_sarsa;
+mod q_learning;
+mod q_lambda;
+mod sarsa;
+
+pub use double_q::DoubleQLearning;
+pub use dyna_q::DynaQ;
+pub use expected_sarsa::ExpectedSarsa;
+pub use q_learning::QLearning;
+pub use q_lambda::WatkinsQLambda;
+pub use sarsa::Sarsa;
+
+use serde::{Deserialize, Serialize};
+
+use crate::qtable::QTable;
+use crate::schedule::Schedule;
+use crate::space::{ActionId, StateId};
+
+/// What happened after taking an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The episode ended.
+    Terminal,
+    /// The episode continues in `next_state`, where the policy has already
+    /// committed to `next_action` (needed by SARSA-family methods; Watkins
+    /// Q(λ) uses it to detect exploratory actions).
+    Continue {
+        /// The state the environment moved to.
+        next_state: StateId,
+        /// The action the policy will take there.
+        next_action: ActionId,
+    },
+}
+
+/// Shared hyper-parameters for TD learners.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::algo::TdConfig;
+/// use coreda_rl::schedule::Schedule;
+///
+/// let cfg = TdConfig::new(Schedule::constant(0.1), 0.9);
+/// assert_eq!(cfg.alpha_at(0), 0.1);
+/// assert_eq!(cfg.gamma(), 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TdConfig {
+    alpha: Schedule,
+    gamma: f64,
+}
+
+impl TdConfig {
+    /// Creates a configuration with learning-rate schedule `alpha` and
+    /// discount factor `gamma` (the paper's "converge factor" β).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not in `[0, 1]` or the initial learning rate is
+    /// not in `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: Schedule, gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1], got {gamma}");
+        let a0 = alpha.value(0);
+        assert!(a0 > 0.0 && a0 <= 1.0, "initial learning rate must be in (0, 1], got {a0}");
+        TdConfig { alpha, gamma }
+    }
+
+    /// The learning rate at update `step`.
+    #[must_use]
+    pub fn alpha_at(&self, step: u64) -> f64 {
+        self.alpha.value(step)
+    }
+
+    /// The discount factor.
+    #[must_use]
+    pub const fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+/// A tabular TD-control learner.
+pub trait TdControl: std::fmt::Debug {
+    /// The learner's current value estimates.
+    fn q(&self) -> &QTable;
+
+    /// Mutable access to the value estimates (for warm starts and tests).
+    fn q_mut(&mut self) -> &mut QTable;
+
+    /// Resets per-episode state (eligibility traces, pending bookkeeping).
+    /// Must be called before the first transition of each episode.
+    fn begin_episode(&mut self);
+
+    /// Feeds one observed transition `(s, a) → reward, outcome`.
+    fn observe(&mut self, s: StateId, a: ActionId, reward: f64, outcome: Outcome);
+
+    /// Number of transitions observed so far (drives learning-rate
+    /// schedules).
+    fn updates(&self) -> u64;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! A tiny deterministic 4-state chain shared by the learner tests.
+    //!
+    //! States 0→1→2→3(terminal). Action 0 moves forward with reward 0
+    //! (and 10 on reaching the terminal); action 1 stays put with reward −1.
+    //! The optimal policy is "always action 0".
+
+    use super::*;
+    use crate::space::ProblemShape;
+
+    /// The chain's 3-state × 2-action shape.
+    pub fn chain_shape() -> ProblemShape {
+        ProblemShape::new(3, 2)
+    }
+
+    /// One step of the chain dynamics. Returns (reward, outcome-state).
+    pub fn chain_step(s: StateId, a: ActionId) -> (f64, Option<StateId>) {
+        if a == ActionId::new(0) {
+            if s.index() == 2 {
+                (10.0, None)
+            } else {
+                (0.0, Some(StateId::new(s.index() + 1)))
+            }
+        } else {
+            (-1.0, Some(s))
+        }
+    }
+
+    /// Trains `learner` greedily-on-chain for `episodes`, always choosing
+    /// the action the ε-greedy hand-rolled explorer picks.
+    pub fn train_on_chain(learner: &mut dyn TdControl, episodes: usize, seed: u64) {
+        let mut rng = coreda_des::rng::SimRng::seed_from(seed);
+        for _ in 0..episodes {
+            learner.begin_episode();
+            let mut s = StateId::new(0);
+            let mut a = explore(learner.q(), s, &mut rng);
+            for _ in 0..50 {
+                let (r, next) = chain_step(s, a);
+                match next {
+                    None => {
+                        learner.observe(s, a, r, Outcome::Terminal);
+                        break;
+                    }
+                    Some(s2) => {
+                        let a2 = explore(learner.q(), s2, &mut rng);
+                        learner.observe(
+                            s,
+                            a,
+                            r,
+                            Outcome::Continue { next_state: s2, next_action: a2 },
+                        );
+                        s = s2;
+                        a = a2;
+                    }
+                }
+            }
+        }
+    }
+
+    fn explore(q: &QTable, s: StateId, rng: &mut coreda_des::rng::SimRng) -> ActionId {
+        if rng.chance(0.2) {
+            ActionId::new(rng.uniform_usize(0, 2))
+        } else {
+            q.greedy_action(s)
+        }
+    }
+
+    /// Asserts that the learner found the optimal "always forward" policy.
+    pub fn assert_chain_solved(learner: &dyn TdControl) {
+        for s in 0..3 {
+            assert_eq!(
+                learner.q().greedy_action(StateId::new(s)),
+                ActionId::new(0),
+                "state {s} should prefer moving forward; row {:?}",
+                learner.q().row(StateId::new(s))
+            );
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Watkins Q(λ): TD(λ) Q-learning with eligibility traces.
+//!
+//! This is the algorithm the paper's planning subsystem uses ("we use the
+//! TD(λ) Q-Learning algorithm in Reinforcement Learning Toolbox 2.0").
+//! Traces propagate each temporal-difference error back along the visited
+//! trajectory, which is what lets CoReDA learn a whole ADL routine from a
+//! single terminal reward in tens rather than thousands of episodes.
+
+use crate::algo::{Outcome, TdConfig, TdControl};
+use crate::qtable::QTable;
+use crate::space::{ActionId, ProblemShape, StateId};
+use crate::traces::{EligibilityTraces, TraceKind};
+
+/// Watkins Q(λ) (Watkins 1989; Sutton & Barto 1998, §7.6).
+///
+/// Per transition:
+///
+/// 1. `δ = r + γ max_a' Q(s',a') − Q(s,a)`
+/// 2. bump the trace of `(s,a)`, then `Q ← Q + α δ e` for every live trace
+/// 3. if the episode ended, clear traces; if the committed next action is
+///    exploratory (non-greedy), clear traces (the return no longer follows
+///    the greedy policy); otherwise decay all traces by `γλ`.
+///
+/// With `λ = 0` this reduces exactly to one-step Q-learning.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::algo::{Outcome, TdConfig, TdControl, WatkinsQLambda};
+/// use coreda_rl::schedule::Schedule;
+/// use coreda_rl::space::{ActionId, ProblemShape, StateId};
+/// use coreda_rl::traces::TraceKind;
+///
+/// let cfg = TdConfig::new(Schedule::constant(0.5), 0.9);
+/// let mut learner = WatkinsQLambda::new(ProblemShape::new(3, 2), cfg, 0.8, TraceKind::Replacing);
+/// learner.begin_episode();
+/// learner.observe(StateId::new(0), ActionId::new(0), 0.0,
+///     Outcome::Continue { next_state: StateId::new(1), next_action: ActionId::new(0) });
+/// learner.observe(StateId::new(1), ActionId::new(0), 10.0, Outcome::Terminal);
+/// // The terminal reward reached state 0's entry through the trace.
+/// assert!(learner.q().value(StateId::new(0), ActionId::new(0)) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WatkinsQLambda {
+    q: QTable,
+    cfg: TdConfig,
+    lambda: f64,
+    traces: EligibilityTraces,
+    updates: u64,
+}
+
+impl WatkinsQLambda {
+    /// Creates a learner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(shape: ProblemShape, cfg: TdConfig, lambda: f64, kind: TraceKind) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1], got {lambda}");
+        WatkinsQLambda {
+            q: QTable::new(shape),
+            cfg,
+            lambda,
+            traces: EligibilityTraces::new(kind),
+            updates: 0,
+        }
+    }
+
+    /// The trace-decay parameter λ.
+    #[must_use]
+    pub const fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The learner's configuration.
+    #[must_use]
+    pub const fn config(&self) -> TdConfig {
+        self.cfg
+    }
+
+    /// Number of currently live eligibility traces (diagnostics).
+    #[must_use]
+    pub fn live_traces(&self) -> usize {
+        self.traces.len()
+    }
+}
+
+impl TdControl for WatkinsQLambda {
+    fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    fn q_mut(&mut self) -> &mut QTable {
+        &mut self.q
+    }
+
+    fn begin_episode(&mut self) {
+        self.traces.clear();
+    }
+
+    fn observe(&mut self, s: StateId, a: ActionId, reward: f64, outcome: Outcome) {
+        let bootstrap = match outcome {
+            Outcome::Terminal => 0.0,
+            Outcome::Continue { next_state, .. } => self.q.max_value(next_state),
+        };
+        let delta = reward + self.cfg.gamma() * bootstrap - self.q.value(s, a);
+        let alpha = self.cfg.alpha_at(self.updates);
+
+        self.traces.visit(s, a);
+        let q = &mut self.q;
+        self.traces.for_each(|ts, ta, e| {
+            q.nudge(ts, ta, alpha * delta * e);
+        });
+
+        match outcome {
+            Outcome::Terminal => self.traces.clear(),
+            Outcome::Continue { next_state, next_action } => {
+                if next_action == self.q.greedy_action(next_state) {
+                    self.traces.decay(self.cfg.gamma() * self.lambda);
+                } else {
+                    // Exploratory action: the sampled return stops following
+                    // the greedy policy, so earlier pairs are no longer
+                    // eligible (Watkins' cut).
+                    self.traces.clear();
+                }
+            }
+        }
+        self.updates += 1;
+    }
+
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{testutil, QLearning};
+    use crate::schedule::Schedule;
+
+    fn cfg() -> TdConfig {
+        TdConfig::new(Schedule::constant(0.3), 0.9)
+    }
+
+    fn continue_to(s: usize, a: usize) -> Outcome {
+        Outcome::Continue { next_state: StateId::new(s), next_action: ActionId::new(a) }
+    }
+
+    #[test]
+    fn lambda_zero_matches_one_step_q_learning() {
+        let shape = ProblemShape::new(4, 2);
+        let mut ql = QLearning::new(shape, cfg());
+        let mut qlam = WatkinsQLambda::new(shape, cfg(), 0.0, TraceKind::Accumulating);
+        let script = [
+            (0, 0, 0.0, continue_to(1, 0)),
+            (1, 0, -1.0, continue_to(2, 1)),
+            (2, 1, 0.5, continue_to(3, 0)),
+            (3, 0, 10.0, Outcome::Terminal),
+        ];
+        ql.begin_episode();
+        qlam.begin_episode();
+        for &(s, a, r, out) in &script {
+            ql.observe(StateId::new(s), ActionId::new(a), r, out);
+            qlam.observe(StateId::new(s), ActionId::new(a), r, out);
+        }
+        for s in shape.state_ids() {
+            for a in shape.action_ids() {
+                assert!(
+                    (ql.q().value(s, a) - qlam.q().value(s, a)).abs() < 1e-12,
+                    "λ=0 must equal one-step Q-learning at ({s}, {a})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traces_propagate_terminal_reward_backwards() {
+        let mut l = WatkinsQLambda::new(ProblemShape::new(3, 1), cfg(), 0.9, TraceKind::Replacing);
+        l.begin_episode();
+        l.observe(StateId::new(0), ActionId::new(0), 0.0, continue_to(1, 0));
+        l.observe(StateId::new(1), ActionId::new(0), 0.0, continue_to(2, 0));
+        l.observe(StateId::new(2), ActionId::new(0), 10.0, Outcome::Terminal);
+        // All three entries moved in one episode — with one-step Q-learning
+        // only state 2 would have.
+        for s in 0..3 {
+            assert!(
+                l.q().value(StateId::new(s), ActionId::new(0)) > 0.0,
+                "state {s} untouched"
+            );
+        }
+        // And earlier states moved less than later ones.
+        let v0 = l.q().value(StateId::new(0), ActionId::new(0));
+        let v2 = l.q().value(StateId::new(2), ActionId::new(0));
+        assert!(v0 < v2);
+    }
+
+    #[test]
+    fn exploratory_action_cuts_traces() {
+        let shape = ProblemShape::new(3, 2);
+        let mut l = WatkinsQLambda::new(shape, cfg(), 0.9, TraceKind::Replacing);
+        // Make action 1 greedy in state 1 so that committing to action 0
+        // there is exploratory.
+        l.q_mut().set(StateId::new(1), ActionId::new(1), 5.0);
+        l.begin_episode();
+        l.observe(StateId::new(0), ActionId::new(0), 0.0, continue_to(1, 0));
+        assert_eq!(l.live_traces(), 0, "non-greedy committed action must clear traces");
+    }
+
+    #[test]
+    fn greedy_continuation_decays_traces() {
+        let shape = ProblemShape::new(3, 2);
+        let mut l = WatkinsQLambda::new(shape, cfg(), 0.5, TraceKind::Replacing);
+        l.begin_episode();
+        // Zero table: greedy action everywhere is action 0 (tie-break).
+        l.observe(StateId::new(0), ActionId::new(0), 0.0, continue_to(1, 0));
+        assert_eq!(l.live_traces(), 1);
+        assert!(
+            (l.traces.value(StateId::new(0), ActionId::new(0)) - 0.45).abs() < 1e-12,
+            "trace should decay by gamma*lambda = 0.45"
+        );
+    }
+
+    #[test]
+    fn terminal_clears_traces() {
+        let mut l =
+            WatkinsQLambda::new(ProblemShape::new(2, 1), cfg(), 0.9, TraceKind::Accumulating);
+        l.begin_episode();
+        l.observe(StateId::new(0), ActionId::new(0), 1.0, Outcome::Terminal);
+        assert_eq!(l.live_traces(), 0);
+    }
+
+    #[test]
+    fn begin_episode_clears_stale_traces() {
+        let mut l =
+            WatkinsQLambda::new(ProblemShape::new(2, 1), cfg(), 0.9, TraceKind::Accumulating);
+        l.begin_episode();
+        l.observe(StateId::new(0), ActionId::new(0), 0.0, continue_to(1, 0));
+        l.begin_episode();
+        assert_eq!(l.live_traces(), 0);
+    }
+
+    #[test]
+    fn solves_the_chain_faster_than_one_step() {
+        // With only 30 noisy episodes, Q(λ) should already have the optimal
+        // policy on the 3-chain.
+        let mut l = WatkinsQLambda::new(testutil::chain_shape(), cfg(), 0.9, TraceKind::Replacing);
+        testutil::train_on_chain(&mut l, 30, 11);
+        testutil::assert_chain_solved(&l);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in [0, 1]")]
+    fn bad_lambda_rejected() {
+        let _ = WatkinsQLambda::new(ProblemShape::new(1, 1), cfg(), 1.5, TraceKind::Replacing);
+    }
+}

@@ -1,0 +1,129 @@
+//! One-step Q-learning (Watkins 1989).
+
+use crate::algo::{Outcome, TdConfig, TdControl};
+use crate::qtable::QTable;
+use crate::space::{ActionId, ProblemShape, StateId};
+
+/// Off-policy one-step Q-learning:
+/// `Q(s,a) ← Q(s,a) + α [r + γ max_a' Q(s',a') − Q(s,a)]`.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::algo::{Outcome, QLearning, TdConfig, TdControl};
+/// use coreda_rl::schedule::Schedule;
+/// use coreda_rl::space::{ActionId, ProblemShape, StateId};
+///
+/// let cfg = TdConfig::new(Schedule::constant(0.5), 0.9);
+/// let mut learner = QLearning::new(ProblemShape::new(2, 2), cfg);
+/// learner.begin_episode();
+/// learner.observe(StateId::new(0), ActionId::new(0), 10.0, Outcome::Terminal);
+/// assert_eq!(learner.q().value(StateId::new(0), ActionId::new(0)), 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QLearning {
+    q: QTable,
+    cfg: TdConfig,
+    updates: u64,
+}
+
+impl QLearning {
+    /// Creates a learner with a zero-initialised table.
+    #[must_use]
+    pub fn new(shape: ProblemShape, cfg: TdConfig) -> Self {
+        QLearning { q: QTable::new(shape), cfg, updates: 0 }
+    }
+
+    /// The learner's configuration.
+    #[must_use]
+    pub const fn config(&self) -> TdConfig {
+        self.cfg
+    }
+}
+
+impl TdControl for QLearning {
+    fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    fn q_mut(&mut self) -> &mut QTable {
+        &mut self.q
+    }
+
+    fn begin_episode(&mut self) {}
+
+    fn observe(&mut self, s: StateId, a: ActionId, reward: f64, outcome: Outcome) {
+        let bootstrap = match outcome {
+            Outcome::Terminal => 0.0,
+            Outcome::Continue { next_state, .. } => self.q.max_value(next_state),
+        };
+        let delta = reward + self.cfg.gamma() * bootstrap - self.q.value(s, a);
+        let alpha = self.cfg.alpha_at(self.updates);
+        self.q.nudge(s, a, alpha * delta);
+        self.updates += 1;
+    }
+
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::testutil;
+    use crate::schedule::Schedule;
+
+    fn cfg() -> TdConfig {
+        TdConfig::new(Schedule::constant(0.3), 0.9)
+    }
+
+    #[test]
+    fn terminal_update_has_no_bootstrap() {
+        let mut l = QLearning::new(ProblemShape::new(1, 1), cfg());
+        l.observe(StateId::new(0), ActionId::new(0), 100.0, Outcome::Terminal);
+        assert!((l.q().value(StateId::new(0), ActionId::new(0)) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_uses_max_over_next_actions() {
+        let mut l = QLearning::new(ProblemShape::new(2, 2), cfg());
+        l.q_mut().set(StateId::new(1), ActionId::new(1), 10.0);
+        l.observe(
+            StateId::new(0),
+            ActionId::new(0),
+            0.0,
+            // SARSA would bootstrap from next_action=0 (value 0); Q-learning
+            // must use the max (value 10) regardless.
+            Outcome::Continue { next_state: StateId::new(1), next_action: ActionId::new(0) },
+        );
+        assert!((l.q().value(StateId::new(0), ActionId::new(0)) - 0.3 * 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_the_chain() {
+        let mut l = QLearning::new(testutil::chain_shape(), cfg());
+        testutil::train_on_chain(&mut l, 200, 42);
+        testutil::assert_chain_solved(&l);
+    }
+
+    #[test]
+    fn updates_counter_increments() {
+        let mut l = QLearning::new(ProblemShape::new(1, 1), cfg());
+        assert_eq!(l.updates(), 0);
+        l.observe(StateId::new(0), ActionId::new(0), 1.0, Outcome::Terminal);
+        l.observe(StateId::new(0), ActionId::new(0), 1.0, Outcome::Terminal);
+        assert_eq!(l.updates(), 2);
+    }
+
+    #[test]
+    fn decaying_alpha_shrinks_step_size() {
+        let cfg = TdConfig::new(Schedule::exponential(1.0, 0.5, 0.0), 0.0);
+        let mut l = QLearning::new(ProblemShape::new(1, 1), cfg);
+        let (s, a) = (StateId::new(0), ActionId::new(0));
+        l.observe(s, a, 1.0, Outcome::Terminal); // alpha=1: Q = 1
+        assert!((l.q().value(s, a) - 1.0).abs() < 1e-12);
+        l.observe(s, a, 2.0, Outcome::Terminal); // alpha=0.5: Q = 1 + 0.5*(2-1)
+        assert!((l.q().value(s, a) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! One-step SARSA (on-policy TD control).
+
+use crate::algo::{Outcome, TdConfig, TdControl};
+use crate::qtable::QTable;
+use crate::space::{ActionId, ProblemShape, StateId};
+
+/// On-policy one-step SARSA:
+/// `Q(s,a) ← Q(s,a) + α [r + γ Q(s',a') − Q(s,a)]`
+/// where `a'` is the action the policy actually takes in `s'`.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::algo::{Outcome, Sarsa, TdConfig, TdControl};
+/// use coreda_rl::schedule::Schedule;
+/// use coreda_rl::space::{ActionId, ProblemShape, StateId};
+///
+/// let cfg = TdConfig::new(Schedule::constant(1.0), 1.0);
+/// let mut learner = Sarsa::new(ProblemShape::new(2, 2), cfg);
+/// learner.begin_episode();
+/// learner.observe(StateId::new(0), ActionId::new(0), 2.0, Outcome::Terminal);
+/// assert_eq!(learner.q().value(StateId::new(0), ActionId::new(0)), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sarsa {
+    q: QTable,
+    cfg: TdConfig,
+    updates: u64,
+}
+
+impl Sarsa {
+    /// Creates a learner with a zero-initialised table.
+    #[must_use]
+    pub fn new(shape: ProblemShape, cfg: TdConfig) -> Self {
+        Sarsa { q: QTable::new(shape), cfg, updates: 0 }
+    }
+
+    /// The learner's configuration.
+    #[must_use]
+    pub const fn config(&self) -> TdConfig {
+        self.cfg
+    }
+}
+
+impl TdControl for Sarsa {
+    fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    fn q_mut(&mut self) -> &mut QTable {
+        &mut self.q
+    }
+
+    fn begin_episode(&mut self) {}
+
+    fn observe(&mut self, s: StateId, a: ActionId, reward: f64, outcome: Outcome) {
+        let bootstrap = match outcome {
+            Outcome::Terminal => 0.0,
+            Outcome::Continue { next_state, next_action } => self.q.value(next_state, next_action),
+        };
+        let delta = reward + self.cfg.gamma() * bootstrap - self.q.value(s, a);
+        let alpha = self.cfg.alpha_at(self.updates);
+        self.q.nudge(s, a, alpha * delta);
+        self.updates += 1;
+    }
+
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::testutil;
+    use crate::schedule::Schedule;
+
+    fn cfg() -> TdConfig {
+        TdConfig::new(Schedule::constant(0.3), 0.9)
+    }
+
+    #[test]
+    fn bootstrap_uses_committed_next_action() {
+        let mut l = Sarsa::new(ProblemShape::new(2, 2), cfg());
+        l.q_mut().set(StateId::new(1), ActionId::new(1), 10.0);
+        l.observe(
+            StateId::new(0),
+            ActionId::new(0),
+            0.0,
+            // next_action=0 has value 0, so SARSA's target is 0 even though
+            // the max over s' is 10.
+            Outcome::Continue { next_state: StateId::new(1), next_action: ActionId::new(0) },
+        );
+        assert_eq!(l.q().value(StateId::new(0), ActionId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn differs_from_q_learning_on_exploratory_next_action() {
+        use crate::algo::QLearning;
+        let transition = |l: &mut dyn TdControl| {
+            l.q_mut().set(StateId::new(1), ActionId::new(1), 10.0);
+            l.observe(
+                StateId::new(0),
+                ActionId::new(0),
+                1.0,
+                Outcome::Continue { next_state: StateId::new(1), next_action: ActionId::new(0) },
+            );
+        };
+        let mut sarsa = Sarsa::new(ProblemShape::new(2, 2), cfg());
+        let mut ql = QLearning::new(ProblemShape::new(2, 2), cfg());
+        transition(&mut sarsa);
+        transition(&mut ql);
+        let s0a0 = (StateId::new(0), ActionId::new(0));
+        assert!(ql.q().value(s0a0.0, s0a0.1) > sarsa.q().value(s0a0.0, s0a0.1));
+    }
+
+    #[test]
+    fn solves_the_chain() {
+        let mut l = Sarsa::new(testutil::chain_shape(), cfg());
+        testutil::train_on_chain(&mut l, 300, 7);
+        testutil::assert_chain_solved(&l);
+    }
+
+    #[test]
+    fn terminal_is_pure_reward_target() {
+        let cfg = TdConfig::new(Schedule::constant(1.0), 0.5);
+        let mut l = Sarsa::new(ProblemShape::new(1, 1), cfg);
+        l.observe(StateId::new(0), ActionId::new(0), 8.0, Outcome::Terminal);
+        assert_eq!(l.q().value(StateId::new(0), ActionId::new(0)), 8.0);
+    }
+}

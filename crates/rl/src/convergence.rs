@@ -1,0 +1,233 @@
+//! Convergence measurement.
+//!
+//! The paper's Figure 4 plots a "learning curve" and reads off the episode
+//! at which the policy passes a *converging condition* of 95 % or 98 %.
+//! We interpret the condition as prediction accuracy: the fraction of
+//! reference transitions for which the greedy policy proposes the correct
+//! action. [`LearningCurve`] records that accuracy per training episode
+//! and answers "when did it first (sustainably) cross a threshold?".
+
+use serde::{Deserialize, Serialize};
+
+use crate::qtable::QTable;
+use crate::space::{ActionId, StateId};
+
+/// A labelled evaluation set: for each state, the action the learned
+/// policy is expected to take.
+pub type ReferencePairs = Vec<(StateId, ActionId)>;
+
+/// Fraction of `pairs` on which `q`'s greedy policy agrees with the label.
+///
+/// Returns 1.0 for an empty reference set (nothing to get wrong).
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::convergence::prediction_accuracy;
+/// use coreda_rl::qtable::QTable;
+/// use coreda_rl::space::{ActionId, ProblemShape, StateId};
+///
+/// let mut q = QTable::new(ProblemShape::new(2, 2));
+/// q.set(StateId::new(0), ActionId::new(1), 1.0);
+/// let refs = vec![(StateId::new(0), ActionId::new(1)), (StateId::new(1), ActionId::new(1))];
+/// assert_eq!(prediction_accuracy(&q, &refs), 0.5);
+/// ```
+#[must_use]
+pub fn prediction_accuracy(q: &QTable, pairs: &[(StateId, ActionId)]) -> f64 {
+    if pairs.is_empty() {
+        return 1.0;
+    }
+    let hits = pairs.iter().filter(|&&(s, a)| q.greedy_action(s) == a).count();
+    hits as f64 / pairs.len() as f64
+}
+
+/// Fraction of states whose greedy action differs between two tables
+/// (policy instability; 0.0 means the greedy policies are identical).
+///
+/// # Panics
+///
+/// Panics if the tables have different shapes.
+#[must_use]
+pub fn policy_disagreement(a: &QTable, b: &QTable) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "tables must share a shape");
+    let n = a.shape().states();
+    let diff = a
+        .shape()
+        .state_ids()
+        .filter(|&s| a.greedy_action(s) != b.greedy_action(s))
+        .count();
+    diff as f64 / n as f64
+}
+
+/// Accuracy-per-episode record with threshold queries.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::convergence::LearningCurve;
+///
+/// let mut curve = LearningCurve::new();
+/// for acc in [0.2, 0.5, 0.96, 0.94, 0.97, 0.99, 1.0] {
+///     curve.record(acc);
+/// }
+/// assert_eq!(curve.first_reaching(0.95), Some(2));
+/// assert_eq!(curve.converged_at(0.95, 3), Some(4));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LearningCurve {
+    accuracies: Vec<f64>,
+}
+
+impl LearningCurve {
+    /// An empty curve.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one episode's accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy` is not in `[0, 1]`.
+    pub fn record(&mut self, accuracy: f64) {
+        assert!((0.0..=1.0).contains(&accuracy), "accuracy must be in [0, 1], got {accuracy}");
+        self.accuracies.push(accuracy);
+    }
+
+    /// The recorded accuracies, in episode order.
+    #[must_use]
+    pub fn accuracies(&self) -> &[f64] {
+        &self.accuracies
+    }
+
+    /// Number of recorded episodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accuracies.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accuracies.is_empty()
+    }
+
+    /// The first episode index whose accuracy is at least `threshold`.
+    #[must_use]
+    pub fn first_reaching(&self, threshold: f64) -> Option<usize> {
+        self.accuracies.iter().position(|&a| a >= threshold)
+    }
+
+    /// The first episode index from which accuracy stays at or above
+    /// `threshold` for at least `window` consecutive episodes (including
+    /// a terminal run shorter than `window` only if it ends the curve at
+    /// or above the threshold for `window` episodes).
+    ///
+    /// This is the "converging condition" read-out used for Figure 4: a
+    /// single lucky episode does not count as convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn converged_at(&self, threshold: f64, window: usize) -> Option<usize> {
+        assert!(window > 0, "window must be positive");
+        if self.accuracies.len() < window {
+            return None;
+        }
+        (0..=self.accuracies.len() - window)
+            .find(|&i| self.accuracies[i..i + window].iter().all(|&a| a >= threshold))
+    }
+
+    /// The final accuracy, if any episodes were recorded.
+    #[must_use]
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.accuracies.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ProblemShape;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let mut q = QTable::new(ProblemShape::new(3, 2));
+        q.set(StateId::new(0), ActionId::new(1), 1.0);
+        q.set(StateId::new(1), ActionId::new(1), 1.0);
+        let refs = vec![
+            (StateId::new(0), ActionId::new(1)),
+            (StateId::new(1), ActionId::new(1)),
+            (StateId::new(2), ActionId::new(1)), // greedy is 0 here → miss
+        ];
+        let acc = prediction_accuracy(&q, &refs);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_reference_set_is_perfect() {
+        let q = QTable::new(ProblemShape::new(1, 1));
+        assert_eq!(prediction_accuracy(&q, &[]), 1.0);
+    }
+
+    #[test]
+    fn disagreement_is_zero_for_identical_tables() {
+        let q = QTable::new(ProblemShape::new(4, 3));
+        assert_eq!(policy_disagreement(&q, &q.clone()), 0.0);
+    }
+
+    #[test]
+    fn disagreement_counts_changed_states() {
+        let a = QTable::new(ProblemShape::new(4, 2));
+        let mut b = a.clone();
+        b.set(StateId::new(0), ActionId::new(1), 1.0);
+        b.set(StateId::new(3), ActionId::new(1), 1.0);
+        assert_eq!(policy_disagreement(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn first_reaching_finds_spikes() {
+        let mut c = LearningCurve::new();
+        for a in [0.1, 0.96, 0.2] {
+            c.record(a);
+        }
+        assert_eq!(c.first_reaching(0.95), Some(1));
+        assert_eq!(c.first_reaching(0.99), None);
+    }
+
+    #[test]
+    fn converged_at_requires_sustained_run() {
+        let mut c = LearningCurve::new();
+        for a in [0.96, 0.2, 0.97, 0.98, 0.99, 0.95] {
+            c.record(a);
+        }
+        // The spike at 0 does not count with window 2; episodes 2.. do.
+        assert_eq!(c.converged_at(0.95, 2), Some(2));
+        assert_eq!(c.converged_at(0.95, 4), Some(2));
+        assert_eq!(c.converged_at(0.95, 5), None);
+    }
+
+    #[test]
+    fn converged_at_window_one_equals_first_reaching() {
+        let mut c = LearningCurve::new();
+        for a in [0.5, 0.96, 0.3] {
+            c.record(a);
+        }
+        assert_eq!(c.converged_at(0.95, 1), c.first_reaching(0.95));
+    }
+
+    #[test]
+    fn short_curve_cannot_converge() {
+        let mut c = LearningCurve::new();
+        c.record(1.0);
+        assert_eq!(c.converged_at(0.9, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy must be in [0, 1]")]
+    fn bad_accuracy_rejected() {
+        LearningCurve::new().record(1.5);
+    }
+}

@@ -1,0 +1,401 @@
+//! Reference environments for tests, benchmarks and examples.
+//!
+//! These are not part of CoReDA's domain; they are small, well-understood
+//! MDPs used to validate the learners and to benchmark update throughput.
+
+use coreda_des::rng::SimRng;
+
+use crate::env::{EnvStep, Environment};
+use crate::space::{ActionId, ProblemShape, StateId};
+
+/// A deterministic corridor of `n` states.
+///
+/// - Action 0: stay put, reward −0.1 (a do-nothing trap for greedy
+///   zero-initialised policies).
+/// - Action 1: move right, reward 0; entering the last state ends the
+///   episode with reward +10.
+///
+/// Optimal policy: always action 1; optimal return is exactly 10.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_des::rng::SimRng;
+/// use coreda_rl::env::Environment;
+/// use coreda_rl::envs::ChainEnv;
+/// use coreda_rl::space::ActionId;
+///
+/// let mut env = ChainEnv::new(3);
+/// let mut rng = SimRng::seed_from(0);
+/// let s0 = env.reset(&mut rng);
+/// assert_eq!(s0.index(), 0);
+/// let step = env.step(ActionId::new(1), &mut rng);
+/// assert_eq!(step.reward, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainEnv {
+    len: usize,
+    pos: usize,
+}
+
+impl ChainEnv {
+    /// Action index for "stay put".
+    pub const STAY: ActionId = ActionId::new(0);
+    /// Action index for "move right".
+    pub const FORWARD: ActionId = ActionId::new(1);
+
+    /// Creates a chain of `len` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 2`.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        assert!(len >= 2, "chain needs at least two states");
+        ChainEnv { len, pos: 0 }
+    }
+}
+
+impl Environment for ChainEnv {
+    fn shape(&self) -> ProblemShape {
+        ProblemShape::new(self.len, 2)
+    }
+
+    fn reset(&mut self, _rng: &mut SimRng) -> StateId {
+        self.pos = 0;
+        StateId::new(0)
+    }
+
+    fn step(&mut self, action: ActionId, _rng: &mut SimRng) -> EnvStep {
+        if action == Self::FORWARD {
+            self.pos += 1;
+            if self.pos == self.len - 1 {
+                EnvStep { reward: 10.0, next: None }
+            } else {
+                EnvStep { reward: 0.0, next: Some(StateId::new(self.pos)) }
+            }
+        } else {
+            EnvStep { reward: -0.1, next: Some(StateId::new(self.pos)) }
+        }
+    }
+}
+
+/// A `width × height` grid world with a goal in the bottom-right corner
+/// and optional slip noise.
+///
+/// Actions: 0 = up, 1 = right, 2 = down, 3 = left. Moving into a wall
+/// stays put. Each step costs −1; reaching the goal ends the episode with
+/// +20. With probability `slip`, the executed action is replaced by a
+/// uniformly random one (stochasticity for the robustness tests).
+#[derive(Debug, Clone)]
+pub struct GridWorld {
+    width: usize,
+    height: usize,
+    slip: f64,
+    pos: (usize, usize),
+}
+
+impl GridWorld {
+    /// Creates a deterministic grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the grid is 1×1.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::with_slip(width, height, 0.0)
+    }
+
+    /// Creates a grid where each action is replaced by a random one with
+    /// probability `slip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slip` is not in `[0, 1]`, either dimension is zero, or
+    /// the grid is 1×1.
+    #[must_use]
+    pub fn with_slip(width: usize, height: usize, slip: f64) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        assert!(width * height > 1, "grid must have more than one cell");
+        assert!((0.0..=1.0).contains(&slip), "slip must be in [0, 1]");
+        GridWorld { width, height, slip, pos: (0, 0) }
+    }
+
+    fn state_of(&self, (x, y): (usize, usize)) -> StateId {
+        StateId::new(y * self.width + x)
+    }
+
+    fn goal(&self) -> (usize, usize) {
+        (self.width - 1, self.height - 1)
+    }
+
+    /// The number of steps an optimal policy needs from the start.
+    #[must_use]
+    pub fn optimal_steps(&self) -> usize {
+        (self.width - 1) + (self.height - 1)
+    }
+}
+
+impl Environment for GridWorld {
+    fn shape(&self) -> ProblemShape {
+        ProblemShape::new(self.width * self.height, 4)
+    }
+
+    fn reset(&mut self, _rng: &mut SimRng) -> StateId {
+        self.pos = (0, 0);
+        self.state_of(self.pos)
+    }
+
+    fn step(&mut self, action: ActionId, rng: &mut SimRng) -> EnvStep {
+        let a = if self.slip > 0.0 && rng.chance(self.slip) {
+            rng.uniform_usize(0, 4)
+        } else {
+            action.index()
+        };
+        let (x, y) = self.pos;
+        self.pos = match a {
+            0 => (x, y.saturating_sub(1)),
+            1 => ((x + 1).min(self.width - 1), y),
+            2 => (x, (y + 1).min(self.height - 1)),
+            3 => (x.saturating_sub(1), y),
+            _ => unreachable!("actions are 0..4"),
+        };
+        if self.pos == self.goal() {
+            EnvStep { reward: 20.0, next: None }
+        } else {
+            EnvStep { reward: -1.0, next: Some(self.state_of(self.pos)) }
+        }
+    }
+}
+
+/// Sutton & Barto's cliff walk (Example 6.6): a 12×4 grid whose bottom
+/// edge between start and goal is a cliff. Stepping off costs −100 and
+/// teleports back to the start; every other step costs −1.
+///
+/// The classic result: Q-learning learns the *optimal* path hugging the
+/// cliff, while SARSA (which accounts for its own exploration) learns the
+/// safer path one row up — and collects more reward per episode while
+/// still exploring.
+#[derive(Debug, Clone)]
+pub struct CliffWalk {
+    pos: (usize, usize),
+}
+
+impl CliffWalk {
+    /// Grid width.
+    pub const WIDTH: usize = 12;
+    /// Grid height (row 0 is the top, row 3 holds start/cliff/goal).
+    pub const HEIGHT: usize = 4;
+
+    /// Creates the environment at the start cell.
+    #[must_use]
+    pub fn new() -> Self {
+        CliffWalk { pos: (0, Self::HEIGHT - 1) }
+    }
+
+    fn state_of(&self, (x, y): (usize, usize)) -> StateId {
+        StateId::new(y * Self::WIDTH + x)
+    }
+}
+
+impl Default for CliffWalk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Environment for CliffWalk {
+    fn shape(&self) -> ProblemShape {
+        ProblemShape::new(Self::WIDTH * Self::HEIGHT, 4)
+    }
+
+    fn reset(&mut self, _rng: &mut SimRng) -> StateId {
+        self.pos = (0, Self::HEIGHT - 1);
+        self.state_of(self.pos)
+    }
+
+    fn step(&mut self, action: ActionId, _rng: &mut SimRng) -> EnvStep {
+        let (x, y) = self.pos;
+        let next = match action.index() {
+            0 => (x, y.saturating_sub(1)),
+            1 => ((x + 1).min(Self::WIDTH - 1), y),
+            2 => (x, (y + 1).min(Self::HEIGHT - 1)),
+            3 => (x.saturating_sub(1), y),
+            _ => unreachable!("actions are 0..4"),
+        };
+        let bottom = Self::HEIGHT - 1;
+        if next.1 == bottom && next.0 > 0 && next.0 < Self::WIDTH - 1 {
+            // Off the cliff: big penalty, back to start.
+            self.pos = (0, bottom);
+            return EnvStep { reward: -100.0, next: Some(self.state_of(self.pos)) };
+        }
+        self.pos = next;
+        if next == (Self::WIDTH - 1, bottom) {
+            EnvStep { reward: -1.0, next: None }
+        } else {
+            EnvStep { reward: -1.0, next: Some(self.state_of(next)) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{TdConfig, WatkinsQLambda};
+    use crate::env::EpisodeRunner;
+    use crate::policy::EpsilonGreedy;
+    use crate::schedule::Schedule;
+    use crate::traces::TraceKind;
+
+    #[test]
+    fn chain_forward_reaches_goal() {
+        let mut env = ChainEnv::new(4);
+        let mut rng = SimRng::seed_from(0);
+        env.reset(&mut rng);
+        assert_eq!(env.step(ChainEnv::FORWARD, &mut rng).next, Some(StateId::new(1)));
+        assert_eq!(env.step(ChainEnv::FORWARD, &mut rng).next, Some(StateId::new(2)));
+        let last = env.step(ChainEnv::FORWARD, &mut rng);
+        assert_eq!(last.next, None);
+        assert_eq!(last.reward, 10.0);
+    }
+
+    #[test]
+    fn chain_stay_loops_with_penalty() {
+        let mut env = ChainEnv::new(3);
+        let mut rng = SimRng::seed_from(0);
+        let s0 = env.reset(&mut rng);
+        let step = env.step(ChainEnv::STAY, &mut rng);
+        assert_eq!(step.next, Some(s0));
+        assert!(step.reward < 0.0);
+    }
+
+    #[test]
+    fn gridworld_walls_block() {
+        let mut env = GridWorld::new(3, 3);
+        let mut rng = SimRng::seed_from(0);
+        let s0 = env.reset(&mut rng);
+        // Up and left from the origin are walls.
+        assert_eq!(env.step(ActionId::new(0), &mut rng).next, Some(s0));
+        assert_eq!(env.step(ActionId::new(3), &mut rng).next, Some(s0));
+    }
+
+    #[test]
+    fn gridworld_goal_terminates() {
+        let mut env = GridWorld::new(2, 2);
+        let mut rng = SimRng::seed_from(0);
+        env.reset(&mut rng);
+        env.step(ActionId::new(1), &mut rng);
+        let last = env.step(ActionId::new(2), &mut rng);
+        assert_eq!(last.next, None);
+        assert_eq!(last.reward, 20.0);
+    }
+
+    #[test]
+    fn q_lambda_solves_gridworld() {
+        let mut env = GridWorld::new(4, 4);
+        let cfg = TdConfig::new(Schedule::constant(0.2), 0.95);
+        let mut learner = WatkinsQLambda::new(env.shape(), cfg, 0.8, TraceKind::Replacing);
+        let policy = EpsilonGreedy::new(Schedule::exponential(0.4, 0.99, 0.05));
+        let mut runner = EpisodeRunner::new(500);
+        let mut rng = SimRng::seed_from(17);
+        for _ in 0..400 {
+            runner.run_episode(&mut env, &mut learner, &policy, &mut rng);
+        }
+        let eval = runner.evaluate_episode(&mut env, &learner, &mut rng);
+        assert!(eval.terminated, "greedy policy should reach the goal");
+        assert_eq!(eval.steps, env.optimal_steps(), "greedy path should be optimal");
+    }
+
+    #[test]
+    fn slippery_gridworld_still_learnable() {
+        let mut env = GridWorld::with_slip(3, 3, 0.1);
+        let cfg = TdConfig::new(Schedule::constant(0.2), 0.95);
+        let mut learner = WatkinsQLambda::new(env.shape(), cfg, 0.5, TraceKind::Replacing);
+        let policy = EpsilonGreedy::constant(0.15);
+        let mut runner = EpisodeRunner::new(500);
+        let mut rng = SimRng::seed_from(23);
+        for _ in 0..600 {
+            runner.run_episode(&mut env, &mut learner, &policy, &mut rng);
+        }
+        // Average greedy return over a few evaluation episodes should be
+        // close to optimal (4 steps → 20 − 3 = 17 deterministic).
+        let mean: f64 = (0..20)
+            .map(|_| runner.evaluate_episode(&mut env, &learner, &mut rng).total_reward)
+            .sum::<f64>()
+            / 20.0;
+        assert!(mean > 10.0, "mean greedy return {mean} too low");
+    }
+
+    #[test]
+    #[should_panic(expected = "chain needs at least two states")]
+    fn tiny_chain_rejected() {
+        let _ = ChainEnv::new(1);
+    }
+
+    #[test]
+    fn cliff_fall_resets_to_start() {
+        let mut env = CliffWalk::new();
+        let mut rng = SimRng::seed_from(0);
+        let start = env.reset(&mut rng);
+        // Step right from the start walks straight off the cliff.
+        let step = env.step(ActionId::new(1), &mut rng);
+        assert_eq!(step.reward, -100.0);
+        assert_eq!(step.next, Some(start));
+    }
+
+    #[test]
+    fn optimal_cliff_path_is_13_steps() {
+        // Up, 11 × right, down.
+        let mut env = CliffWalk::new();
+        let mut rng = SimRng::seed_from(0);
+        env.reset(&mut rng);
+        let mut steps = 0;
+        let _ = env.step(ActionId::new(0), &mut rng);
+        steps += 1;
+        for _ in 0..11 {
+            let _ = env.step(ActionId::new(1), &mut rng);
+            steps += 1;
+        }
+        let last = env.step(ActionId::new(2), &mut rng);
+        steps += 1;
+        assert_eq!(last.next, None, "should have reached the goal");
+        assert_eq!(steps, 13);
+    }
+
+    /// The textbook result: under continued ε-greedy exploration, SARSA's
+    /// *online* return beats Q-learning's (Q-learning keeps walking the
+    /// cliff edge and keeps falling off while exploring), even though
+    /// Q-learning's greedy policy is the shorter path.
+    #[test]
+    fn sarsa_outperforms_q_learning_online() {
+        use crate::algo::{QLearning, Sarsa};
+        let cfg = TdConfig::new(Schedule::constant(0.5), 1.0);
+        let policy = EpsilonGreedy::constant(0.1);
+        let mut rng = SimRng::seed_from(33);
+
+        let run = |learner: &mut dyn crate::algo::TdControl,
+                   rng: &mut SimRng| {
+            let mut env = CliffWalk::new();
+            let mut runner = EpisodeRunner::new(500);
+            let mut last_100 = 0.0;
+            for ep in 0..500 {
+                let stats = runner.run_episode(&mut env, learner, &policy, rng);
+                if ep >= 400 {
+                    last_100 += stats.total_reward;
+                }
+            }
+            last_100 / 100.0
+        };
+
+        let mut sarsa = Sarsa::new(CliffWalk::new().shape(), cfg);
+        let sarsa_return = run(&mut sarsa, &mut rng);
+        let mut ql = QLearning::new(CliffWalk::new().shape(), cfg);
+        let ql_return = run(&mut ql, &mut rng);
+        assert!(
+            sarsa_return > ql_return,
+            "SARSA should earn more online: {sarsa_return:.1} vs {ql_return:.1}"
+        );
+        // And both are far better than random flailing.
+        assert!(sarsa_return > -60.0, "SARSA online return {sarsa_return:.1}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Empirical MDP estimation (certainty equivalence).
+//!
+//! Count what you saw, normalise, and pretend the estimate is the truth:
+//! the *certainty-equivalence* approach. For small tabular problems like
+//! CoReDA's it is the most sample-efficient learner there is — every
+//! observation improves the model everywhere — at the price of storing
+//! counts and re-solving. Pair with [`solve::value_iteration`].
+//!
+//! [`solve::value_iteration`]: crate::solve::value_iteration
+
+use std::collections::HashMap;
+
+use crate::solve::TabularMdp;
+use crate::space::{ActionId, ProblemShape, StateId};
+
+/// Transition counts and reward sums for one `(state, action)` pair.
+#[derive(Debug, Clone, Default)]
+struct PairStats {
+    /// Next-state counts (`None` = terminal).
+    counts: HashMap<Option<StateId>, u64>,
+    /// Reward sums per next state.
+    reward_sums: HashMap<Option<StateId>, f64>,
+    total: u64,
+}
+
+/// An empirical MDP built from observed transitions.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::model::EmpiricalMdp;
+/// use coreda_rl::solve::value_iteration;
+/// use coreda_rl::space::{ActionId, ProblemShape, StateId};
+///
+/// let mut model = EmpiricalMdp::new(ProblemShape::new(2, 2));
+/// model.record(StateId::new(0), ActionId::new(1), 0.0, Some(StateId::new(1)));
+/// model.record(StateId::new(1), ActionId::new(0), 10.0, None);
+/// let (q, _) = value_iteration(&model.to_mdp(), 0.9, 1e-9, 100);
+/// assert_eq!(q.greedy_action(StateId::new(0)), ActionId::new(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmpiricalMdp {
+    shape: ProblemShape,
+    stats: HashMap<(StateId, ActionId), PairStats>,
+    observations: u64,
+}
+
+impl EmpiricalMdp {
+    /// An empty model over `shape`.
+    #[must_use]
+    pub fn new(shape: ProblemShape) -> Self {
+        EmpiricalMdp { shape, stats: HashMap::new(), observations: 0 }
+    }
+
+    /// The model's dimensions.
+    #[must_use]
+    pub const fn shape(&self) -> ProblemShape {
+        self.shape
+    }
+
+    /// Total transitions recorded.
+    #[must_use]
+    pub const fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Records one observed transition (`next = None` for termination).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s`, `a` or `next` is out of range.
+    pub fn record(&mut self, s: StateId, a: ActionId, reward: f64, next: Option<StateId>) {
+        assert!(self.shape.contains_state(s), "state {s} out of range");
+        assert!(self.shape.contains_action(a), "action {a} out of range");
+        if let Some(n) = next {
+            assert!(self.shape.contains_state(n), "next state {n} out of range");
+        }
+        let pair = self.stats.entry((s, a)).or_default();
+        *pair.counts.entry(next).or_insert(0) += 1;
+        *pair.reward_sums.entry(next).or_insert(0.0) += reward;
+        pair.total += 1;
+        self.observations += 1;
+    }
+
+    /// Times `(s, a)` has been observed.
+    #[must_use]
+    pub fn visits(&self, s: StateId, a: ActionId) -> u64 {
+        self.stats.get(&(s, a)).map_or(0, |p| p.total)
+    }
+
+    /// The maximum-likelihood [`TabularMdp`]: transition probabilities are
+    /// relative frequencies, rewards are per-outcome means. Unvisited
+    /// pairs stay unspecified (terminate with zero reward), which is the
+    /// pessimistic-but-safe completion for CoReDA's reward structure.
+    #[must_use]
+    pub fn to_mdp(&self) -> TabularMdp {
+        let mut mdp = TabularMdp::new(self.shape);
+        for (&(s, a), pair) in &self.stats {
+            for (&next, &count) in &pair.counts {
+                let probability = count as f64 / pair.total as f64;
+                let mean_reward = pair.reward_sums[&next] / count as f64;
+                mdp.add(s, a, probability, next, mean_reward);
+            }
+        }
+        mdp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::value_iteration;
+    use coreda_des::rng::SimRng;
+
+    #[test]
+    fn frequencies_become_probabilities() {
+        let mut m = EmpiricalMdp::new(ProblemShape::new(2, 1));
+        let (s, a) = (StateId::new(0), ActionId::new(0));
+        for _ in 0..3 {
+            m.record(s, a, 1.0, Some(StateId::new(1)));
+        }
+        m.record(s, a, 5.0, None);
+        assert_eq!(m.visits(s, a), 4);
+        let mdp = m.to_mdp();
+        assert!(mdp.validate().is_ok());
+        let outs = mdp.outcomes(s, a);
+        assert_eq!(outs.len(), 2);
+        let to_one = outs.iter().find(|o| o.next == Some(StateId::new(1))).unwrap();
+        assert!((to_one.probability - 0.75).abs() < 1e-12);
+        assert!((to_one.reward - 1.0).abs() < 1e-12);
+        let terminal = outs.iter().find(|o| o.next.is_none()).unwrap();
+        assert!((terminal.probability - 0.25).abs() < 1e-12);
+        assert!((terminal.reward - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rewards_are_averaged_per_outcome() {
+        let mut m = EmpiricalMdp::new(ProblemShape::new(1, 1));
+        m.record(StateId::new(0), ActionId::new(0), 2.0, None);
+        m.record(StateId::new(0), ActionId::new(0), 4.0, None);
+        let mdp = m.to_mdp();
+        let out = &mdp.outcomes(StateId::new(0), ActionId::new(0))[0];
+        assert!((out.reward - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_model_solves_to_zero() {
+        let m = EmpiricalMdp::new(ProblemShape::new(3, 2));
+        let (q, _) = value_iteration(&m.to_mdp(), 0.9, 1e-9, 10);
+        assert_eq!(q.max_abs_value(), 0.0);
+    }
+
+    #[test]
+    fn recovers_a_stochastic_chain_from_samples() {
+        // True model: action 1 advances w.p. 0.8, stays w.p. 0.2.
+        let mut rng = SimRng::seed_from(5);
+        let mut m = EmpiricalMdp::new(ProblemShape::new(3, 2));
+        for _ in 0..4000 {
+            let s = StateId::new(rng.uniform_usize(0, 3));
+            let a = ActionId::new(rng.uniform_usize(0, 2));
+            if a.index() == 1 {
+                if rng.chance(0.8) {
+                    if s.index() == 2 {
+                        m.record(s, a, 10.0, None);
+                    } else {
+                        m.record(s, a, 0.0, Some(StateId::new(s.index() + 1)));
+                    }
+                } else {
+                    m.record(s, a, 0.0, Some(s));
+                }
+            } else {
+                m.record(s, a, -1.0, Some(s));
+            }
+        }
+        let (q, _) = value_iteration(&m.to_mdp(), 0.9, 1e-9, 10_000);
+        for s in 0..3 {
+            assert_eq!(
+                q.greedy_action(StateId::new(s)),
+                ActionId::new(1),
+                "state {s} should advance"
+            );
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Action-selection policies.
+
+use coreda_des::rng::SimRng;
+
+use crate::qtable::QTable;
+use crate::schedule::Schedule;
+use crate::space::{ActionId, StateId};
+
+/// Selects actions given the current value estimates.
+///
+/// `step` is a monotone counter (CoReDA uses the episode index) consumed by
+/// schedules inside the policy; the policy itself is stateless so it can be
+/// shared across learners.
+pub trait Policy: std::fmt::Debug {
+    /// Chooses an action for state `s`.
+    fn select(&self, q: &QTable, s: StateId, step: u64, rng: &mut SimRng) -> ActionId;
+
+    /// The probability of taking each action in `s` (a simplex over the
+    /// action space). Used by Expected SARSA and by tests.
+    fn probabilities(&self, q: &QTable, s: StateId, step: u64) -> Vec<f64>;
+}
+
+/// Always the greedy action (pure exploitation).
+///
+/// # Examples
+///
+/// ```
+/// use coreda_des::rng::SimRng;
+/// use coreda_rl::policy::{Greedy, Policy};
+/// use coreda_rl::qtable::QTable;
+/// use coreda_rl::space::{ActionId, ProblemShape, StateId};
+///
+/// let mut q = QTable::new(ProblemShape::new(1, 2));
+/// q.set(StateId::new(0), ActionId::new(1), 1.0);
+/// let mut rng = SimRng::seed_from(0);
+/// assert_eq!(Greedy.select(&q, StateId::new(0), 0, &mut rng), ActionId::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy;
+
+impl Policy for Greedy {
+    fn select(&self, q: &QTable, s: StateId, _step: u64, _rng: &mut SimRng) -> ActionId {
+        q.greedy_action(s)
+    }
+
+    fn probabilities(&self, q: &QTable, s: StateId, _step: u64) -> Vec<f64> {
+        let mut p = vec![0.0; q.shape().actions()];
+        p[q.greedy_action(s).index()] = 1.0;
+        p
+    }
+}
+
+/// ε-greedy: the greedy action with probability `1 − ε`, otherwise a
+/// uniformly random one. `ε` follows a [`Schedule`].
+#[derive(Debug, Clone, Copy)]
+pub struct EpsilonGreedy {
+    epsilon: Schedule,
+}
+
+impl EpsilonGreedy {
+    /// Creates a policy whose exploration rate follows `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule can produce values outside `[0, 1]` at step 0.
+    #[must_use]
+    pub fn new(epsilon: Schedule) -> Self {
+        let e0 = epsilon.value(0);
+        assert!((0.0..=1.0).contains(&e0), "epsilon must start within [0, 1], got {e0}");
+        EpsilonGreedy { epsilon }
+    }
+
+    /// A fixed exploration rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside `[0, 1]`.
+    #[must_use]
+    pub fn constant(epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1], got {epsilon}");
+        EpsilonGreedy { epsilon: Schedule::constant(epsilon) }
+    }
+
+    /// The exploration rate at `step`.
+    #[must_use]
+    pub fn epsilon_at(&self, step: u64) -> f64 {
+        self.epsilon.value(step).clamp(0.0, 1.0)
+    }
+}
+
+impl Policy for EpsilonGreedy {
+    fn select(&self, q: &QTable, s: StateId, step: u64, rng: &mut SimRng) -> ActionId {
+        let eps = self.epsilon_at(step);
+        if eps > 0.0 && rng.chance(eps) {
+            ActionId::new(rng.uniform_usize(0, q.shape().actions()))
+        } else {
+            q.greedy_action(s)
+        }
+    }
+
+    fn probabilities(&self, q: &QTable, s: StateId, step: u64) -> Vec<f64> {
+        let n = q.shape().actions();
+        let eps = self.epsilon_at(step);
+        let mut p = vec![eps / n as f64; n];
+        p[q.greedy_action(s).index()] += 1.0 - eps;
+        p
+    }
+}
+
+/// Softmax (Boltzmann) exploration: actions are drawn proportionally to
+/// `exp(Q / τ)`, with temperature `τ` on a [`Schedule`].
+#[derive(Debug, Clone, Copy)]
+pub struct Softmax {
+    temperature: Schedule,
+}
+
+impl Softmax {
+    /// Creates a policy whose temperature follows `temperature`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's value at step 0 is not strictly positive.
+    #[must_use]
+    pub fn new(temperature: Schedule) -> Self {
+        assert!(temperature.value(0) > 0.0, "softmax temperature must be positive");
+        Softmax { temperature }
+    }
+
+    /// A fixed temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature` is not strictly positive.
+    #[must_use]
+    pub fn constant(temperature: f64) -> Self {
+        assert!(temperature > 0.0, "softmax temperature must be positive");
+        Softmax { temperature: Schedule::constant(temperature) }
+    }
+}
+
+impl Policy for Softmax {
+    fn select(&self, q: &QTable, s: StateId, step: u64, rng: &mut SimRng) -> ActionId {
+        let p = self.probabilities(q, s, step);
+        let draw = rng.uniform();
+        let mut acc = 0.0;
+        for (i, pi) in p.iter().enumerate() {
+            acc += pi;
+            if draw < acc {
+                return ActionId::new(i);
+            }
+        }
+        // Floating-point slack: fall back to the last action.
+        ActionId::new(p.len() - 1)
+    }
+
+    fn probabilities(&self, q: &QTable, s: StateId, step: u64) -> Vec<f64> {
+        let tau = self.temperature.value(step).max(1e-6);
+        let row = q.row(s);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = row.iter().map(|v| ((v - max) / tau).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / z).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ProblemShape;
+
+    fn table() -> QTable {
+        let mut q = QTable::new(ProblemShape::new(2, 3));
+        q.set(StateId::new(0), ActionId::new(2), 10.0);
+        q.set(StateId::new(1), ActionId::new(0), 1.0);
+        q
+    }
+
+    #[test]
+    fn greedy_picks_best() {
+        let q = table();
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(Greedy.select(&q, StateId::new(0), 0, &mut rng), ActionId::new(2));
+        let p = Greedy.probabilities(&q, StateId::new(0), 0);
+        assert_eq!(p, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy() {
+        let q = table();
+        let pol = EpsilonGreedy::constant(0.0);
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..100 {
+            assert_eq!(pol.select(&q, StateId::new(0), 0, &mut rng), ActionId::new(2));
+        }
+    }
+
+    #[test]
+    fn epsilon_one_is_uniformish() {
+        let q = table();
+        let pol = EpsilonGreedy::constant(1.0);
+        let mut rng = SimRng::seed_from(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..3_000 {
+            counts[pol.select(&q, StateId::new(0), 0, &mut rng).index()] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "counts {counts:?} not uniform");
+        }
+    }
+
+    #[test]
+    fn epsilon_probabilities_sum_to_one() {
+        let q = table();
+        let pol = EpsilonGreedy::constant(0.3);
+        let p = pol.probabilities(&q, StateId::new(0), 0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p[2] - (0.7 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_schedule_decays() {
+        let pol = EpsilonGreedy::new(Schedule::exponential(1.0, 0.5, 0.0));
+        assert_eq!(pol.epsilon_at(0), 1.0);
+        assert_eq!(pol.epsilon_at(1), 0.5);
+    }
+
+    #[test]
+    fn softmax_prefers_high_values() {
+        let q = table();
+        let pol = Softmax::constant(1.0);
+        let p = pol.probabilities(&q, StateId::new(0), 0);
+        assert!(p[2] > p[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_high_temperature_flattens() {
+        let q = table();
+        let pol = Softmax::constant(1e6);
+        let p = pol.probabilities(&q, StateId::new(0), 0);
+        for pi in &p {
+            assert!((pi - 1.0 / 3.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_sampling_matches_probabilities() {
+        let q = table();
+        let pol = Softmax::constant(5.0);
+        let p = pol.probabilities(&q, StateId::new(0), 0);
+        let mut rng = SimRng::seed_from(7);
+        let n = 20_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[pol.select(&q, StateId::new(0), 0, &mut rng).index()] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let freq = *c as f64 / n as f64;
+            assert!((freq - p[i]).abs() < 0.02, "action {i}: freq {freq} vs p {}", p[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1]")]
+    fn bad_epsilon_rejected() {
+        let _ = EpsilonGreedy::constant(1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn bad_temperature_rejected() {
+        let _ = Softmax::constant(0.0);
+    }
+}

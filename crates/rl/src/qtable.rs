@@ -1,0 +1,267 @@
+//! Dense tabular action-value storage.
+
+use serde::{Deserialize, Serialize};
+
+use crate::space::{ActionId, ProblemShape, StateId};
+
+/// A dense `states × actions` table of action values with per-pair visit
+/// counts.
+///
+/// Greedy look-ups break ties toward the lowest action index, which keeps
+/// learned policies deterministic under a fixed seed.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::qtable::QTable;
+/// use coreda_rl::space::{ActionId, ProblemShape, StateId};
+///
+/// let mut q = QTable::new(ProblemShape::new(2, 3));
+/// q.set(StateId::new(0), ActionId::new(2), 5.0);
+/// assert_eq!(q.greedy_action(StateId::new(0)), ActionId::new(2));
+/// assert_eq!(q.max_value(StateId::new(0)), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    shape: ProblemShape,
+    values: Vec<f64>,
+    visits: Vec<u64>,
+}
+
+impl QTable {
+    /// Creates a zero-initialised table for `shape`.
+    #[must_use]
+    pub fn new(shape: ProblemShape) -> Self {
+        QTable {
+            shape,
+            values: vec![0.0; shape.table_len()],
+            visits: vec![0; shape.table_len()],
+        }
+    }
+
+    /// Creates a table with every entry set to `value` (optimistic
+    /// initialisation encourages exploration).
+    #[must_use]
+    pub fn with_initial_value(shape: ProblemShape, value: f64) -> Self {
+        QTable {
+            shape,
+            values: vec![value; shape.table_len()],
+            visits: vec![0; shape.table_len()],
+        }
+    }
+
+    /// The table's problem shape.
+    #[must_use]
+    pub const fn shape(&self) -> ProblemShape {
+        self.shape
+    }
+
+    fn idx(&self, s: StateId, a: ActionId) -> usize {
+        assert!(
+            self.shape.contains_state(s),
+            "state {s} out of range for shape {shape}",
+            shape = self.shape
+        );
+        assert!(
+            self.shape.contains_action(a),
+            "action {a} out of range for shape {shape}",
+            shape = self.shape
+        );
+        s.index() * self.shape.actions() + a.index()
+    }
+
+    /// The value of `(s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `a` is out of range.
+    #[must_use]
+    pub fn value(&self, s: StateId, a: ActionId) -> f64 {
+        self.values[self.idx(s, a)]
+    }
+
+    /// Overwrites the value of `(s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `a` is out of range, or `value` is not finite.
+    pub fn set(&mut self, s: StateId, a: ActionId, value: f64) {
+        assert!(value.is_finite(), "Q-values must be finite, got {value}");
+        let i = self.idx(s, a);
+        self.values[i] = value;
+    }
+
+    /// Adds `delta` to the value of `(s, a)` and bumps its visit count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `a` is out of range, or `delta` is not finite.
+    pub fn nudge(&mut self, s: StateId, a: ActionId, delta: f64) {
+        assert!(delta.is_finite(), "Q-value updates must be finite, got {delta}");
+        let i = self.idx(s, a);
+        self.values[i] += delta;
+        self.visits[i] += 1;
+    }
+
+    /// How many times `(s, a)` has been updated via [`QTable::nudge`].
+    #[must_use]
+    pub fn visits(&self, s: StateId, a: ActionId) -> u64 {
+        self.visits[self.idx(s, a)]
+    }
+
+    /// The greedy action in `s` (ties broken toward the lowest index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn greedy_action(&self, s: StateId) -> ActionId {
+        let row = self.row(s);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate().skip(1) {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        ActionId::new(best)
+    }
+
+    /// The maximum action value in `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn max_value(&self, s: StateId) -> f64 {
+        self.row(s).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The full action-value row for `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn row(&self, s: StateId) -> &[f64] {
+        let start = self.idx(s, ActionId::new(0));
+        &self.values[start..start + self.shape.actions()]
+    }
+
+    /// The greedy policy over every state.
+    #[must_use]
+    pub fn greedy_policy(&self) -> Vec<ActionId> {
+        self.shape.state_ids().map(|s| self.greedy_action(s)).collect()
+    }
+
+    /// Largest absolute value anywhere in the table.
+    #[must_use]
+    pub fn max_abs_value(&self) -> f64 {
+        self.values.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Resets every value and visit count to zero.
+    pub fn clear(&mut self) {
+        self.values.fill(0.0);
+        self.visits.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ProblemShape {
+        ProblemShape::new(3, 4)
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        let q = QTable::new(shape());
+        for s in shape().state_ids() {
+            for a in shape().action_ids() {
+                assert_eq!(q.value(s, a), 0.0);
+                assert_eq!(q.visits(s, a), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn optimistic_init() {
+        let q = QTable::with_initial_value(shape(), 10.0);
+        assert_eq!(q.value(StateId::new(2), ActionId::new(3)), 10.0);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut q = QTable::new(shape());
+        q.set(StateId::new(1), ActionId::new(2), -3.5);
+        assert_eq!(q.value(StateId::new(1), ActionId::new(2)), -3.5);
+    }
+
+    #[test]
+    fn nudge_accumulates_and_counts() {
+        let mut q = QTable::new(shape());
+        let (s, a) = (StateId::new(0), ActionId::new(1));
+        q.nudge(s, a, 2.0);
+        q.nudge(s, a, 0.5);
+        assert_eq!(q.value(s, a), 2.5);
+        assert_eq!(q.visits(s, a), 2);
+    }
+
+    #[test]
+    fn greedy_prefers_highest_then_lowest_index() {
+        let mut q = QTable::new(shape());
+        let s = StateId::new(0);
+        q.set(s, ActionId::new(1), 4.0);
+        q.set(s, ActionId::new(3), 4.0);
+        assert_eq!(q.greedy_action(s), ActionId::new(1));
+        q.set(s, ActionId::new(3), 4.1);
+        assert_eq!(q.greedy_action(s), ActionId::new(3));
+    }
+
+    #[test]
+    fn all_zero_row_is_action_zero() {
+        let q = QTable::new(shape());
+        assert_eq!(q.greedy_action(StateId::new(2)), ActionId::new(0));
+    }
+
+    #[test]
+    fn max_value_matches_row() {
+        let mut q = QTable::new(shape());
+        let s = StateId::new(1);
+        q.set(s, ActionId::new(0), -5.0);
+        q.set(s, ActionId::new(2), 7.0);
+        assert_eq!(q.max_value(s), 7.0);
+        assert_eq!(q.row(s), &[-5.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn greedy_policy_covers_all_states() {
+        let q = QTable::new(shape());
+        assert_eq!(q.greedy_policy().len(), 3);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut q = QTable::new(shape());
+        q.nudge(StateId::new(0), ActionId::new(0), 9.0);
+        q.clear();
+        assert_eq!(q.value(StateId::new(0), ActionId::new(0)), 0.0);
+        assert_eq!(q.visits(StateId::new(0), ActionId::new(0)), 0);
+        assert_eq!(q.max_abs_value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_state_panics() {
+        let q = QTable::new(shape());
+        let _ = q.value(StateId::new(99), ActionId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_value_rejected() {
+        let mut q = QTable::new(shape());
+        q.set(StateId::new(0), ActionId::new(0), f64::NAN);
+    }
+}

@@ -1,0 +1,180 @@
+//! Parameter schedules for learning rates and exploration.
+//!
+//! The paper notes that CoReDA's parameters ("converging condition,
+//! learning rate, etc.") can be set either to converge or to track a
+//! drifting routine forever; schedules are how that knob is expressed.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic scalar schedule over discrete steps (episodes or
+/// updates).
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::schedule::Schedule;
+///
+/// let eps = Schedule::exponential(1.0, 0.9, 0.05);
+/// assert_eq!(eps.value(0), 1.0);
+/// assert!(eps.value(50) >= 0.05);
+/// let flat = Schedule::constant(0.1);
+/// assert_eq!(flat.value(1_000), 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Always the same value.
+    Constant(f64),
+    /// `max(min, init * rate^step)`.
+    Exponential {
+        /// Value at step 0.
+        init: f64,
+        /// Per-step multiplier in `(0, 1]`.
+        rate: f64,
+        /// Floor.
+        min: f64,
+    },
+    /// `max(min, init / (1 + step))` — the classic Robbins–Monro decay.
+    Harmonic {
+        /// Value at step 0.
+        init: f64,
+        /// Floor.
+        min: f64,
+    },
+    /// Linear interpolation from `init` to `end` over `steps`, then flat.
+    Linear {
+        /// Value at step 0.
+        init: f64,
+        /// Value from step `steps` on.
+        end: f64,
+        /// Number of steps over which to interpolate.
+        steps: u64,
+    },
+}
+
+impl Schedule {
+    /// A constant schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    #[must_use]
+    pub fn constant(value: f64) -> Self {
+        assert!(value.is_finite(), "schedule value must be finite");
+        Schedule::Constant(value)
+    }
+
+    /// An exponentially decaying schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]` or `min > init`.
+    #[must_use]
+    pub fn exponential(init: f64, rate: f64, min: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "decay rate must be in (0, 1], got {rate}");
+        assert!(min <= init, "floor {min} must not exceed initial value {init}");
+        Schedule::Exponential { init, rate, min }
+    }
+
+    /// A harmonically decaying schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > init`.
+    #[must_use]
+    pub fn harmonic(init: f64, min: f64) -> Self {
+        assert!(min <= init, "floor {min} must not exceed initial value {init}");
+        Schedule::Harmonic { init, min }
+    }
+
+    /// A linearly interpolated schedule.
+    #[must_use]
+    pub fn linear(init: f64, end: f64, steps: u64) -> Self {
+        Schedule::Linear { init, end, steps }
+    }
+
+    /// The schedule's value at `step`.
+    #[must_use]
+    pub fn value(&self, step: u64) -> f64 {
+        match *self {
+            Schedule::Constant(v) => v,
+            Schedule::Exponential { init, rate, min } => {
+                (init * rate.powf(step as f64)).max(min)
+            }
+            Schedule::Harmonic { init, min } => (init / (1.0 + step as f64)).max(min),
+            Schedule::Linear { init, end, steps } => {
+                if steps == 0 || step >= steps {
+                    end
+                } else {
+                    let t = step as f64 / steps as f64;
+                    init + (end - init) * t
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_moves() {
+        let s = Schedule::constant(0.3);
+        assert_eq!(s.value(0), 0.3);
+        assert_eq!(s.value(u64::MAX), 0.3);
+    }
+
+    #[test]
+    fn exponential_decays_to_floor() {
+        let s = Schedule::exponential(1.0, 0.5, 0.1);
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value(1), 0.5);
+        assert_eq!(s.value(2), 0.25);
+        assert_eq!(s.value(100), 0.1);
+    }
+
+    #[test]
+    fn harmonic_decay() {
+        let s = Schedule::harmonic(1.0, 0.0);
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value(1), 0.5);
+        assert_eq!(s.value(9), 0.1);
+    }
+
+    #[test]
+    fn linear_interpolates_then_flat() {
+        let s = Schedule::linear(1.0, 0.0, 10);
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.value(10), 0.0);
+        assert_eq!(s.value(999), 0.0);
+    }
+
+    #[test]
+    fn linear_zero_steps_is_end() {
+        let s = Schedule::linear(1.0, 0.25, 0);
+        assert_eq!(s.value(0), 0.25);
+    }
+
+    #[test]
+    fn schedules_are_monotone_non_increasing_when_decaying() {
+        for s in [
+            Schedule::exponential(1.0, 0.9, 0.01),
+            Schedule::harmonic(1.0, 0.01),
+            Schedule::linear(1.0, 0.01, 100),
+        ] {
+            let mut last = f64::INFINITY;
+            for step in 0..200 {
+                let v = s.value(step);
+                assert!(v <= last + 1e-12, "{s:?} increased at step {step}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "decay rate must be in (0, 1]")]
+    fn bad_rate_rejected() {
+        let _ = Schedule::exponential(1.0, 1.5, 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Exact solvers for explicitly specified MDPs.
+//!
+//! When the model is known (as in the Boger et al. planning baseline the
+//! paper cites), there is no reason to learn: value iteration converges
+//! to the optimal action values directly. [`TabularMdp`] is an explicit
+//! sparse model; [`value_iteration`] and [`policy_iteration`] solve it.
+
+use std::collections::HashMap;
+
+use crate::qtable::QTable;
+use crate::space::{ActionId, ProblemShape, StateId};
+
+/// One probabilistic outcome of taking an action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionOutcome {
+    /// Probability of this outcome.
+    pub probability: f64,
+    /// Next state, or `None` for termination.
+    pub next: Option<StateId>,
+    /// Immediate reward.
+    pub reward: f64,
+}
+
+/// An explicit sparse tabular MDP.
+///
+/// Unspecified `(state, action)` pairs default to "terminate with zero
+/// reward", which keeps small models concise.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::solve::{value_iteration, TabularMdp};
+/// use coreda_rl::space::{ActionId, ProblemShape, StateId};
+///
+/// // Two states; action 1 moves 0 → 1; in state 1 action 0 wins +10.
+/// let mut mdp = TabularMdp::new(ProblemShape::new(2, 2));
+/// mdp.add(StateId::new(0), ActionId::new(1), 1.0, Some(StateId::new(1)), 0.0);
+/// mdp.add(StateId::new(1), ActionId::new(0), 1.0, None, 10.0);
+/// let (q, _iters) = value_iteration(&mdp, 0.9, 1e-9, 1_000);
+/// assert_eq!(q.greedy_action(StateId::new(0)), ActionId::new(1));
+/// assert!((q.value(StateId::new(0), ActionId::new(1)) - 9.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TabularMdp {
+    shape: ProblemShape,
+    transitions: HashMap<(StateId, ActionId), Vec<TransitionOutcome>>,
+}
+
+impl TabularMdp {
+    /// An empty model over `shape`.
+    #[must_use]
+    pub fn new(shape: ProblemShape) -> Self {
+        TabularMdp { shape, transitions: HashMap::new() }
+    }
+
+    /// The model's dimensions.
+    #[must_use]
+    pub const fn shape(&self) -> ProblemShape {
+        self.shape
+    }
+
+    /// Adds one outcome to `(s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s`, `a` or `next` is out of range, or `probability` is
+    /// not in `(0, 1]`.
+    pub fn add(
+        &mut self,
+        s: StateId,
+        a: ActionId,
+        probability: f64,
+        next: Option<StateId>,
+        reward: f64,
+    ) {
+        assert!(self.shape.contains_state(s), "state {s} out of range");
+        assert!(self.shape.contains_action(a), "action {a} out of range");
+        if let Some(n) = next {
+            assert!(self.shape.contains_state(n), "next state {n} out of range");
+        }
+        assert!(
+            probability > 0.0 && probability <= 1.0,
+            "probability must be in (0, 1], got {probability}"
+        );
+        self.transitions
+            .entry((s, a))
+            .or_default()
+            .push(TransitionOutcome { probability, next, reward });
+    }
+
+    /// The outcomes of `(s, a)` (empty = terminate with zero reward).
+    #[must_use]
+    pub fn outcomes(&self, s: StateId, a: ActionId) -> &[TransitionOutcome] {
+        self.transitions.get(&(s, a)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Checks that every specified pair's probabilities sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending pair and its probability sum.
+    pub fn validate(&self) -> Result<(), ((StateId, ActionId), f64)> {
+        for (&key, outs) in &self.transitions {
+            let sum: f64 = outs.iter().map(|o| o.probability).sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err((key, sum));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves `mdp` by value iteration; returns the optimal action values and
+/// the number of sweeps performed.
+///
+/// Stops when the largest Bellman update falls below `tolerance` or after
+/// `max_sweeps`.
+///
+/// # Panics
+///
+/// Panics if `gamma` is not in `[0, 1)`, `tolerance` is not positive, or
+/// the model fails [`TabularMdp::validate`].
+#[must_use]
+pub fn value_iteration(
+    mdp: &TabularMdp,
+    gamma: f64,
+    tolerance: f64,
+    max_sweeps: usize,
+) -> (QTable, usize) {
+    assert!((0.0..1.0).contains(&gamma), "gamma must be in [0, 1)");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    assert!(mdp.validate().is_ok(), "transition probabilities must sum to 1");
+    let shape = mdp.shape();
+    let mut q = QTable::new(shape);
+    let mut sweeps = 0;
+    while sweeps < max_sweeps {
+        sweeps += 1;
+        let mut delta = 0.0_f64;
+        for s in shape.state_ids() {
+            for a in shape.action_ids() {
+                let target: f64 = mdp
+                    .outcomes(s, a)
+                    .iter()
+                    .map(|o| {
+                        o.probability
+                            * (o.reward + gamma * o.next.map_or(0.0, |n| q.max_value(n)))
+                    })
+                    .sum();
+                delta = delta.max((target - q.value(s, a)).abs());
+                q.set(s, a, target);
+            }
+        }
+        if delta < tolerance {
+            break;
+        }
+    }
+    (q, sweeps)
+}
+
+/// Solves `mdp` by policy iteration; returns the optimal action values,
+/// the greedy policy, and the number of policy-improvement rounds.
+///
+/// Policy evaluation is iterative (to `tolerance`), improvement is exact.
+///
+/// # Panics
+///
+/// Same conditions as [`value_iteration`].
+#[must_use]
+pub fn policy_iteration(
+    mdp: &TabularMdp,
+    gamma: f64,
+    tolerance: f64,
+) -> (QTable, Vec<ActionId>, usize) {
+    assert!((0.0..1.0).contains(&gamma), "gamma must be in [0, 1)");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    assert!(mdp.validate().is_ok(), "transition probabilities must sum to 1");
+    let shape = mdp.shape();
+    let mut policy: Vec<ActionId> = vec![ActionId::new(0); shape.states()];
+    let mut q = QTable::new(shape);
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        // Evaluate the current policy.
+        let mut v = vec![0.0_f64; shape.states()];
+        loop {
+            let mut delta = 0.0_f64;
+            #[allow(clippy::needless_range_loop)]
+            for s in shape.state_ids() {
+                let a = policy[s.index()];
+                let target: f64 = mdp
+                    .outcomes(s, a)
+                    .iter()
+                    .map(|o| {
+                        o.probability * (o.reward + gamma * o.next.map_or(0.0, |n| v[n.index()]))
+                    })
+                    .sum();
+                delta = delta.max((target - v[s.index()]).abs());
+                v[s.index()] = target;
+            }
+            if delta < tolerance {
+                break;
+            }
+        }
+        // Improve.
+        let mut stable = true;
+        for s in shape.state_ids() {
+            for a in shape.action_ids() {
+                let target: f64 = mdp
+                    .outcomes(s, a)
+                    .iter()
+                    .map(|o| {
+                        o.probability * (o.reward + gamma * o.next.map_or(0.0, |n| v[n.index()]))
+                    })
+                    .sum();
+                q.set(s, a, target);
+            }
+            let best = q.greedy_action(s);
+            if best != policy[s.index()] {
+                policy[s.index()] = best;
+                stable = false;
+            }
+        }
+        if stable || rounds > shape.table_len() {
+            break;
+        }
+    }
+    (q, policy, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-state chain: action 1 advances (terminal reward 10), action 0
+    /// self-loops with −1.
+    fn chain() -> TabularMdp {
+        let mut m = TabularMdp::new(ProblemShape::new(3, 2));
+        for s in 0..3 {
+            m.add(StateId::new(s), ActionId::new(0), 1.0, Some(StateId::new(s)), -1.0);
+            let (next, r) =
+                if s == 2 { (None, 10.0) } else { (Some(StateId::new(s + 1)), 0.0) };
+            m.add(StateId::new(s), ActionId::new(1), 1.0, next, r);
+        }
+        m
+    }
+
+    #[test]
+    fn value_iteration_solves_the_chain() {
+        let (q, sweeps) = value_iteration(&chain(), 0.9, 1e-12, 10_000);
+        for s in 0..3 {
+            assert_eq!(q.greedy_action(StateId::new(s)), ActionId::new(1));
+        }
+        // Q*(s0, forward) = 0.9² · 10.
+        assert!((q.value(StateId::new(0), ActionId::new(1)) - 8.1).abs() < 1e-9);
+        assert!(sweeps >= 3);
+    }
+
+    #[test]
+    fn policy_iteration_agrees_with_value_iteration() {
+        let (qv, _) = value_iteration(&chain(), 0.9, 1e-12, 10_000);
+        let (qp, policy, rounds) = policy_iteration(&chain(), 0.9, 1e-12);
+        for (s, &chosen) in policy.iter().enumerate() {
+            let sid = StateId::new(s);
+            assert_eq!(chosen, qv.greedy_action(sid));
+            for a in 0..2 {
+                let aid = ActionId::new(a);
+                assert!(
+                    (qv.value(sid, aid) - qp.value(sid, aid)).abs() < 1e-6,
+                    "Q mismatch at ({s}, {a})"
+                );
+            }
+        }
+        assert!(rounds <= 4, "tiny MDPs converge in a few rounds, took {rounds}");
+    }
+
+    #[test]
+    fn stochastic_transitions_are_averaged() {
+        // One state, one action: 50/50 terminal reward 0 or 10.
+        let mut m = TabularMdp::new(ProblemShape::new(1, 1));
+        m.add(StateId::new(0), ActionId::new(0), 0.5, None, 0.0);
+        m.add(StateId::new(0), ActionId::new(0), 0.5, None, 10.0);
+        let (q, _) = value_iteration(&m, 0.5, 1e-12, 100);
+        assert!((q.value(StateId::new(0), ActionId::new(0)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unspecified_pairs_terminate_with_zero() {
+        let m = TabularMdp::new(ProblemShape::new(2, 2));
+        let (q, sweeps) = value_iteration(&m, 0.9, 1e-12, 100);
+        assert_eq!(q.max_abs_value(), 0.0);
+        assert_eq!(sweeps, 1, "already converged");
+    }
+
+    #[test]
+    fn validation_catches_bad_probabilities() {
+        let mut m = TabularMdp::new(ProblemShape::new(1, 1));
+        m.add(StateId::new(0), ActionId::new(0), 0.5, None, 0.0);
+        let err = m.validate().unwrap_err();
+        assert_eq!(err.0, (StateId::new(0), ActionId::new(0)));
+        assert!((err.1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_q_learning_on_the_chain() {
+        use crate::algo::{QLearning, TdConfig, TdControl};
+        use crate::algo::Outcome;
+        use crate::schedule::Schedule;
+        use coreda_des::rng::SimRng;
+        let (q_star, _) = value_iteration(&chain(), 0.9, 1e-12, 10_000);
+        let mut learner =
+            QLearning::new(ProblemShape::new(3, 2), TdConfig::new(Schedule::harmonic(1.0, 0.001), 0.9));
+        let mut rng = SimRng::seed_from(1);
+        let m = chain();
+        for _ in 0..60_000 {
+            let s = StateId::new(rng.uniform_usize(0, 3));
+            let a = ActionId::new(rng.uniform_usize(0, 2));
+            // Sample the model.
+            let outs = m.outcomes(s, a);
+            let draw = rng.uniform();
+            let mut acc = 0.0;
+            let mut chosen = outs[0];
+            for &o in outs {
+                acc += o.probability;
+                if draw < acc {
+                    chosen = o;
+                    break;
+                }
+            }
+            let outcome = match chosen.next {
+                None => Outcome::Terminal,
+                Some(n) => Outcome::Continue { next_state: n, next_action: ActionId::new(0) },
+            };
+            learner.observe(s, a, chosen.reward, outcome);
+        }
+        for s in 0..3 {
+            for a in 0..2 {
+                let (sid, aid) = (StateId::new(s), ActionId::new(a));
+                assert!(
+                    (learner.q().value(sid, aid) - q_star.value(sid, aid)).abs() < 0.5,
+                    "Q-learning should approach Q* at ({s}, {a}): {} vs {}",
+                    learner.q().value(sid, aid),
+                    q_star.value(sid, aid)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must sum to 1")]
+    fn solver_rejects_invalid_models() {
+        let mut m = TabularMdp::new(ProblemShape::new(1, 1));
+        m.add(StateId::new(0), ActionId::new(0), 0.3, None, 0.0);
+        let _ = value_iteration(&m, 0.9, 1e-9, 10);
+    }
+}

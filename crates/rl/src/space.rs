@@ -1,0 +1,201 @@
+//! Discrete state and action spaces.
+//!
+//! All CoReDA learning problems are small and tabular (the planning
+//! subsystem's state is a pair of step IDs, its action a prompt), so states
+//! and actions are dense indices. The newtypes keep them from being mixed
+//! up with each other or with raw `usize` arithmetic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a state in a discrete state space.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::space::StateId;
+///
+/// let s = StateId::new(3);
+/// assert_eq!(s.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId(usize);
+
+impl StateId {
+    /// Wraps a raw state index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        StateId(index)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Index of an action in a discrete action space.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::space::ActionId;
+///
+/// let a = ActionId::new(1);
+/// assert_eq!(a.index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActionId(usize);
+
+impl ActionId {
+    /// Wraps a raw action index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        ActionId(index)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The dimensions of a tabular learning problem.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::space::ProblemShape;
+///
+/// let shape = ProblemShape::new(25, 10);
+/// assert_eq!(shape.states(), 25);
+/// assert_eq!(shape.actions(), 10);
+/// assert_eq!(shape.table_len(), 250);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProblemShape {
+    states: usize,
+    actions: usize,
+}
+
+impl ProblemShape {
+    /// Creates a shape with `states` × `actions` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(states: usize, actions: usize) -> Self {
+        assert!(states > 0, "state space must be non-empty");
+        assert!(actions > 0, "action space must be non-empty");
+        ProblemShape { states, actions }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub const fn states(self) -> usize {
+        self.states
+    }
+
+    /// Number of actions.
+    #[must_use]
+    pub const fn actions(self) -> usize {
+        self.actions
+    }
+
+    /// Number of `(state, action)` pairs.
+    #[must_use]
+    pub const fn table_len(self) -> usize {
+        self.states * self.actions
+    }
+
+    /// Whether `s` is a valid state for this shape.
+    #[must_use]
+    pub const fn contains_state(self, s: StateId) -> bool {
+        s.index() < self.states
+    }
+
+    /// Whether `a` is a valid action for this shape.
+    #[must_use]
+    pub const fn contains_action(self, a: ActionId) -> bool {
+        a.index() < self.actions
+    }
+
+    /// Iterator over every state.
+    pub fn state_ids(self) -> impl Iterator<Item = StateId> {
+        (0..self.states).map(StateId::new)
+    }
+
+    /// Iterator over every action.
+    pub fn action_ids(self) -> impl Iterator<Item = ActionId> {
+        (0..self.actions).map(ActionId::new)
+    }
+}
+
+impl fmt::Display for ProblemShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.states, self.actions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        assert_eq!(StateId::new(7).index(), 7);
+        assert_eq!(ActionId::new(0).index(), 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(StateId::new(4).to_string(), "s4");
+        assert_eq!(ActionId::new(2).to_string(), "a2");
+        assert_eq!(ProblemShape::new(3, 2).to_string(), "3x2");
+    }
+
+    #[test]
+    fn shape_bounds() {
+        let shape = ProblemShape::new(5, 3);
+        assert!(shape.contains_state(StateId::new(4)));
+        assert!(!shape.contains_state(StateId::new(5)));
+        assert!(shape.contains_action(ActionId::new(2)));
+        assert!(!shape.contains_action(ActionId::new(3)));
+    }
+
+    #[test]
+    fn shape_iterators_cover_space() {
+        let shape = ProblemShape::new(4, 2);
+        assert_eq!(shape.state_ids().count(), 4);
+        assert_eq!(shape.action_ids().count(), 2);
+        assert_eq!(shape.state_ids().last(), Some(StateId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "state space must be non-empty")]
+    fn empty_state_space_rejected() {
+        let _ = ProblemShape::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "action space must be non-empty")]
+    fn empty_action_space_rejected() {
+        let _ = ProblemShape::new(1, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Eligibility traces for TD(λ) methods.
+//!
+//! A trace records how "eligible" each `(state, action)` pair is for the
+//! current temporal-difference error. CoReDA's planner uses Watkins Q(λ),
+//! which decays traces by `γλ` each step and clears them after exploratory
+//! actions.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::space::{ActionId, StateId};
+
+/// How a revisited pair's trace is refreshed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Add 1 to the existing trace (classic TD(λ)).
+    Accumulating,
+    /// Reset the trace to exactly 1 (often more stable; Singh & Sutton 1996).
+    Replacing,
+}
+
+/// A sparse map of eligibility values.
+///
+/// Entries that decay below a cut-off are dropped, so the cost of a decay
+/// pass is proportional to the number of recently visited pairs rather
+/// than the full table.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_rl::space::{ActionId, StateId};
+/// use coreda_rl::traces::{EligibilityTraces, TraceKind};
+///
+/// let mut tr = EligibilityTraces::new(TraceKind::Replacing);
+/// tr.visit(StateId::new(0), ActionId::new(1));
+/// tr.decay(0.9 * 0.8);
+/// assert!((tr.value(StateId::new(0), ActionId::new(1)) - 0.72).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EligibilityTraces {
+    kind: TraceKind,
+    values: HashMap<(StateId, ActionId), f64>,
+    cutoff: f64,
+}
+
+impl EligibilityTraces {
+    /// Default cut-off below which traces are pruned.
+    pub const DEFAULT_CUTOFF: f64 = 1e-4;
+
+    /// Creates an empty trace store.
+    #[must_use]
+    pub fn new(kind: TraceKind) -> Self {
+        Self::with_cutoff(kind, Self::DEFAULT_CUTOFF)
+    }
+
+    /// Creates an empty trace store with a custom pruning cut-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` is negative or not finite.
+    #[must_use]
+    pub fn with_cutoff(kind: TraceKind, cutoff: f64) -> Self {
+        assert!(cutoff.is_finite() && cutoff >= 0.0, "cutoff must be finite and non-negative");
+        EligibilityTraces { kind, values: HashMap::new(), cutoff }
+    }
+
+    /// The refresh rule in use.
+    #[must_use]
+    pub const fn kind(&self) -> TraceKind {
+        self.kind
+    }
+
+    /// Marks `(s, a)` as just visited.
+    pub fn visit(&mut self, s: StateId, a: ActionId) {
+        let e = self.values.entry((s, a)).or_insert(0.0);
+        match self.kind {
+            TraceKind::Accumulating => *e += 1.0,
+            TraceKind::Replacing => *e = 1.0,
+        }
+    }
+
+    /// Current trace value of `(s, a)` (zero if never visited or pruned).
+    #[must_use]
+    pub fn value(&self, s: StateId, a: ActionId) -> f64 {
+        self.values.get(&(s, a)).copied().unwrap_or(0.0)
+    }
+
+    /// Multiplies every trace by `factor` (typically `γλ`), pruning entries
+    /// that fall below the cut-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `[0, 1]`.
+    pub fn decay(&mut self, factor: f64) {
+        assert!((0.0..=1.0).contains(&factor), "decay factor must be in [0, 1], got {factor}");
+        if factor == 0.0 {
+            self.values.clear();
+            return;
+        }
+        let cutoff = self.cutoff;
+        self.values.retain(|_, e| {
+            *e *= factor;
+            *e >= cutoff
+        });
+    }
+
+    /// Applies `f(s, a, trace)` to every live trace.
+    pub fn for_each(&self, mut f: impl FnMut(StateId, ActionId, f64)) {
+        for (&(s, a), &e) in &self.values {
+            f(s, a, e);
+        }
+    }
+
+    /// Number of live traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no traces are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Clears all traces (start of an episode, or after an exploratory
+    /// action under Watkins Q(λ)).
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: StateId = StateId::new(1);
+    const A: ActionId = ActionId::new(0);
+
+    #[test]
+    fn unvisited_is_zero() {
+        let tr = EligibilityTraces::new(TraceKind::Accumulating);
+        assert_eq!(tr.value(S, A), 0.0);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn accumulating_adds() {
+        let mut tr = EligibilityTraces::new(TraceKind::Accumulating);
+        tr.visit(S, A);
+        tr.visit(S, A);
+        assert_eq!(tr.value(S, A), 2.0);
+    }
+
+    #[test]
+    fn replacing_caps_at_one() {
+        let mut tr = EligibilityTraces::new(TraceKind::Replacing);
+        tr.visit(S, A);
+        tr.decay(0.5);
+        tr.visit(S, A);
+        assert_eq!(tr.value(S, A), 1.0);
+    }
+
+    #[test]
+    fn decay_scales_all() {
+        let mut tr = EligibilityTraces::new(TraceKind::Accumulating);
+        tr.visit(S, A);
+        tr.visit(StateId::new(2), A);
+        tr.decay(0.25);
+        assert_eq!(tr.value(S, A), 0.25);
+        assert_eq!(tr.value(StateId::new(2), A), 0.25);
+    }
+
+    #[test]
+    fn decay_prunes_small_traces() {
+        let mut tr = EligibilityTraces::with_cutoff(TraceKind::Accumulating, 0.1);
+        tr.visit(S, A);
+        tr.decay(0.05);
+        assert!(tr.is_empty(), "trace below cut-off should be pruned");
+    }
+
+    #[test]
+    fn decay_zero_clears() {
+        let mut tr = EligibilityTraces::new(TraceKind::Accumulating);
+        tr.visit(S, A);
+        tr.decay(0.0);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn for_each_sees_every_live_trace() {
+        let mut tr = EligibilityTraces::new(TraceKind::Replacing);
+        tr.visit(S, A);
+        tr.visit(StateId::new(3), ActionId::new(2));
+        let mut seen = 0;
+        tr.for_each(|_, _, e| {
+            assert_eq!(e, 1.0);
+            seen += 1;
+        });
+        assert_eq!(seen, 2);
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut tr = EligibilityTraces::new(TraceKind::Replacing);
+        tr.visit(S, A);
+        tr.clear();
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor must be in [0, 1]")]
+    fn decay_rejects_bad_factor() {
+        let mut tr = EligibilityTraces::new(TraceKind::Replacing);
+        tr.decay(1.5);
+    }
+}

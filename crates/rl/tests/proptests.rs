@@ -1,0 +1,169 @@
+//! Property-based tests for RL invariants.
+
+use coreda_des::rng::SimRng;
+use coreda_rl::algo::{Outcome, QLearning, TdConfig, TdControl, WatkinsQLambda};
+use coreda_rl::policy::{EpsilonGreedy, Policy, Softmax};
+use coreda_rl::qtable::QTable;
+use coreda_rl::schedule::Schedule;
+use coreda_rl::space::{ActionId, ProblemShape, StateId};
+use coreda_rl::traces::{EligibilityTraces, TraceKind};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = ProblemShape> {
+    (1usize..8, 1usize..6).prop_map(|(s, a)| ProblemShape::new(s, a))
+}
+
+proptest! {
+    /// Greedy action always has the row's maximum value.
+    #[test]
+    fn greedy_action_is_argmax(
+        values in proptest::collection::vec(-100.0f64..100.0, 1..6),
+    ) {
+        let shape = ProblemShape::new(1, values.len());
+        let mut q = QTable::new(shape);
+        for (i, &v) in values.iter().enumerate() {
+            q.set(StateId::new(0), ActionId::new(i), v);
+        }
+        let g = q.greedy_action(StateId::new(0));
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(q.value(StateId::new(0), g), max);
+    }
+
+    /// Policy probability vectors are simplexes (non-negative, sum 1).
+    #[test]
+    fn policy_probabilities_are_simplex(
+        shape in arb_shape(),
+        eps in 0.0f64..=1.0,
+        tau in 0.01f64..50.0,
+        seed in any::<u64>(),
+    ) {
+        let mut q = QTable::new(shape);
+        let mut rng = SimRng::seed_from(seed);
+        for s in shape.state_ids() {
+            for a in shape.action_ids() {
+                q.set(s, a, rng.normal(0.0, 10.0));
+            }
+        }
+        for s in shape.state_ids() {
+            for p in [
+                EpsilonGreedy::constant(eps).probabilities(&q, s, 0),
+                Softmax::constant(tau).probabilities(&q, s, 0),
+            ] {
+                prop_assert!(p.iter().all(|&x| x >= -1e-12));
+                prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// With rewards bounded by R and gamma < 1, Q-learning estimates stay
+    /// within R / (1 - gamma).
+    #[test]
+    fn q_values_respect_reward_bound(
+        seed in any::<u64>(),
+        gamma in 0.0f64..0.99,
+        transitions in proptest::collection::vec(
+            (0usize..4, 0usize..3, -1.0f64..1.0, proptest::option::of((0usize..4, 0usize..3))),
+            1..200,
+        ),
+    ) {
+        let shape = ProblemShape::new(4, 3);
+        let cfg = TdConfig::new(Schedule::constant(0.5), gamma);
+        let mut l = QLearning::new(shape, cfg);
+        let _ = seed;
+        l.begin_episode();
+        for (s, a, r, next) in transitions {
+            let outcome = match next {
+                None => Outcome::Terminal,
+                Some((ns, na)) => Outcome::Continue {
+                    next_state: StateId::new(ns),
+                    next_action: ActionId::new(na),
+                },
+            };
+            l.observe(StateId::new(s), ActionId::new(a), r, outcome);
+        }
+        let bound = 1.0 / (1.0 - gamma) + 1e-9;
+        prop_assert!(l.q().max_abs_value() <= bound,
+            "max |Q| = {} exceeds bound {}", l.q().max_abs_value(), bound);
+    }
+
+    /// Eligibility traces never grow under decay and never go negative.
+    #[test]
+    fn traces_bounded(
+        visits in proptest::collection::vec((0usize..5, 0usize..3), 1..50),
+        factor in 0.0f64..=1.0,
+    ) {
+        for kind in [TraceKind::Accumulating, TraceKind::Replacing] {
+            let mut tr = EligibilityTraces::new(kind);
+            for &(s, a) in &visits {
+                tr.visit(StateId::new(s), ActionId::new(a));
+            }
+            let before: Vec<f64> = {
+                let mut v = Vec::new();
+                tr.for_each(|_, _, e| v.push(e));
+                v
+            };
+            tr.decay(factor);
+            let after: Vec<f64> = {
+                let mut v = Vec::new();
+                tr.for_each(|_, _, e| v.push(e));
+                v
+            };
+            for &e in &after {
+                prop_assert!(e >= 0.0);
+                if kind == TraceKind::Replacing {
+                    prop_assert!(e <= 1.0);
+                }
+            }
+            let total_before: f64 = before.iter().sum();
+            let total_after: f64 = after.iter().sum();
+            prop_assert!(total_after <= total_before * factor + 1e-9);
+        }
+    }
+
+    /// Watkins Q(λ) with λ = 0 equals one-step Q-learning on any script.
+    #[test]
+    fn q_lambda_zero_equals_q_learning(
+        transitions in proptest::collection::vec(
+            (0usize..4, 0usize..2, -5.0f64..5.0, proptest::option::of((0usize..4, 0usize..2))),
+            1..100,
+        ),
+    ) {
+        let shape = ProblemShape::new(4, 2);
+        let cfg = TdConfig::new(Schedule::constant(0.3), 0.9);
+        let mut ql = QLearning::new(shape, cfg);
+        let mut qz = WatkinsQLambda::new(shape, cfg, 0.0, TraceKind::Accumulating);
+        ql.begin_episode();
+        qz.begin_episode();
+        for (s, a, r, next) in transitions {
+            let outcome = match next {
+                None => Outcome::Terminal,
+                Some((ns, na)) => Outcome::Continue {
+                    next_state: StateId::new(ns),
+                    next_action: ActionId::new(na),
+                },
+            };
+            ql.observe(StateId::new(s), ActionId::new(a), r, outcome);
+            qz.observe(StateId::new(s), ActionId::new(a), r, outcome);
+        }
+        for s in shape.state_ids() {
+            for a in shape.action_ids() {
+                prop_assert!((ql.q().value(s, a) - qz.q().value(s, a)).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// Schedules never produce values above their initial value (for the
+    /// decaying families) nor below their floor.
+    #[test]
+    fn schedules_stay_in_band(
+        init in 0.01f64..1.0,
+        rate in 0.1f64..=1.0,
+        step in 0u64..10_000,
+    ) {
+        let min = init / 10.0;
+        let sched = Schedule::exponential(init, rate, min);
+        let v = sched.value(step);
+        prop_assert!(v <= init + 1e-12);
+        prop_assert!(v >= min - 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! The node's external EEPROM (16 KiB, Table 1).
+//!
+//! PAVENET nodes buffer configuration (their uid-as-tool-ID binding) and
+//! unreported detections here. The model enforces the real part's size.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hw::EEPROM_BYTES;
+
+/// A bounds-checked byte store the size of the real part.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_sensornet::eeprom::Eeprom;
+///
+/// let mut rom = Eeprom::new();
+/// rom.write(0x10, &[1, 2, 3])?;
+/// assert_eq!(rom.read(0x10, 3)?, &[1, 2, 3]);
+/// # Ok::<(), coreda_sensornet::eeprom::EepromError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Eeprom {
+    data: Vec<u8>,
+}
+
+impl Default for Eeprom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Eeprom {
+    /// A zero-filled EEPROM of the hardware's capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Eeprom { data: vec![0; EEPROM_BYTES] }
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EepromError`] if the write would run past the end.
+    pub fn write(&mut self, addr: usize, bytes: &[u8]) -> Result<(), EepromError> {
+        let end = addr.checked_add(bytes.len()).ok_or(EepromError {
+            addr,
+            len: bytes.len(),
+            capacity: self.capacity(),
+        })?;
+        if end > self.data.len() {
+            return Err(EepromError { addr, len: bytes.len(), capacity: self.capacity() });
+        }
+        self.data[addr..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EepromError`] if the read would run past the end.
+    pub fn read(&self, addr: usize, len: usize) -> Result<&[u8], EepromError> {
+        let end = addr
+            .checked_add(len)
+            .ok_or(EepromError { addr, len, capacity: self.capacity() })?;
+        if end > self.data.len() {
+            return Err(EepromError { addr, len, capacity: self.capacity() });
+        }
+        Ok(&self.data[addr..end])
+    }
+}
+
+/// An out-of-bounds EEPROM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EepromError {
+    /// Requested start address.
+    pub addr: usize,
+    /// Requested length.
+    pub len: usize,
+    /// Device capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for EepromError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "eeprom access [{}, {}) exceeds capacity {}",
+            self.addr,
+            self.addr + self.len,
+            self.capacity
+        )
+    }
+}
+
+impl Error for EepromError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_matches_table1() {
+        assert_eq!(Eeprom::new().capacity(), 16 * 1024);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut rom = Eeprom::new();
+        rom.write(100, b"coreda").unwrap();
+        assert_eq!(rom.read(100, 6).unwrap(), b"coreda");
+    }
+
+    #[test]
+    fn boundary_write_is_allowed() {
+        let mut rom = Eeprom::new();
+        let cap = rom.capacity();
+        assert!(rom.write(cap - 4, &[9; 4]).is_ok());
+        assert_eq!(rom.read(cap - 4, 4).unwrap(), &[9; 4]);
+    }
+
+    #[test]
+    fn overflow_write_rejected() {
+        let mut rom = Eeprom::new();
+        let cap = rom.capacity();
+        let err = rom.write(cap - 2, &[0; 4]).unwrap_err();
+        assert_eq!(err.capacity, cap);
+        assert!(err.to_string().contains("exceeds capacity"));
+    }
+
+    #[test]
+    fn overflow_read_rejected() {
+        let rom = Eeprom::new();
+        assert!(rom.read(rom.capacity(), 1).is_err());
+        assert!(rom.read(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn fresh_eeprom_is_zeroed() {
+        let rom = Eeprom::new();
+        assert!(rom.read(0, 64).unwrap().iter().all(|&b| b == 0));
+    }
+}

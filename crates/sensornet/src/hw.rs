@@ -1,0 +1,71 @@
+//! PAVENET hardware constants (paper, Table 1).
+//!
+//! These mirror the mote the original prototype ran on. They are encoded
+//! as constants so the simulation's resource models (EEPROM size, radio
+//! bitrate, LED count) stay within what the real hardware could do, and so
+//! Table 1 of the paper can be asserted in tests.
+
+/// Microcontroller part number.
+pub const CPU: &str = "Microchip PIC18LF4620";
+
+/// On-chip RAM in bytes (4 KB).
+pub const RAM_BYTES: usize = 4 * 1024;
+
+/// On-chip program ROM in bytes (64 KB).
+pub const ROM_BYTES: usize = 64 * 1024;
+
+/// Radio transceiver part number.
+pub const RADIO: &str = "ChipCon CC1000";
+
+/// CC1000 maximum over-the-air bitrate in bits per second (76.8 kBaud).
+pub const RADIO_BITRATE_BPS: u64 = 76_800;
+
+/// External EEPROM size in bytes (16 KB).
+pub const EEPROM_BYTES: usize = 16 * 1024;
+
+/// Number of on-board LEDs.
+pub const LED_COUNT: usize = 4;
+
+/// Sensor sampling rate used by CoReDA's sensing subsystem (paper §2.1:
+/// "The sampling rate of each sensor is 10 times in one second").
+pub const SAMPLE_RATE_HZ: u64 = 10;
+
+/// Samples per detection window (one second at 10 Hz).
+pub const SAMPLES_PER_WINDOW: usize = 10;
+
+/// Samples within a window that must surpass the threshold for the tool to
+/// count as "in use" (paper §2.1: "If three of these 10 samples surpass a
+/// pre-defined threshold").
+pub const DETECTION_VOTES: usize = 3;
+
+/// I/O interfaces listed in Table 1.
+pub const IO: &[&str] = &["UART", "GPIO", "I2C"];
+
+/// On-board sensors listed in Table 1.
+pub const SENSORS: &[&str] =
+    &["3-axis accelerometer", "Pressure", "Brightness", "Temperature", "Motion"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 of the paper, verbatim.
+    #[test]
+    fn table1_matches_paper() {
+        assert_eq!(CPU, "Microchip PIC18LF4620");
+        assert_eq!(RAM_BYTES, 4096);
+        assert_eq!(ROM_BYTES, 65_536);
+        assert_eq!(RADIO, "ChipCon CC1000");
+        assert_eq!(EEPROM_BYTES, 16_384);
+        assert_eq!(LED_COUNT, 4);
+        assert_eq!(SENSORS.len(), 5);
+    }
+
+    /// Section 2.1's sampling and voting rule.
+    #[test]
+    fn detection_rule_matches_paper() {
+        assert_eq!(SAMPLE_RATE_HZ, 10);
+        assert_eq!(SAMPLES_PER_WINDOW, 10);
+        assert_eq!(DETECTION_VOTES, 3);
+    }
+}

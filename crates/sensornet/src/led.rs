@@ -1,0 +1,179 @@
+//! LED blink patterns.
+//!
+//! The reminding subsystem drives the LEDs on the tool-attached nodes:
+//! "The green LED indicates the tool should be used. The red LED indicates
+//! the tool is incorrectly used." Minimal reminders use fewer blinks,
+//! specific reminders more (paper §2.3).
+
+use coreda_des::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The two reminding LED colours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LedColor {
+    /// "Use this tool."
+    Green,
+    /// "You are using the wrong tool."
+    Red,
+}
+
+impl std::fmt::Display for LedColor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LedColor::Green => "green",
+            LedColor::Red => "red",
+        })
+    }
+}
+
+/// A blink request: `blinks` on/off cycles of `period_ms` each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlinkPattern {
+    /// Which LED to blink.
+    pub color: LedColor,
+    /// Number of on/off cycles.
+    pub blinks: u8,
+    /// Length of one full on/off cycle in milliseconds.
+    pub period_ms: u64,
+}
+
+impl BlinkPattern {
+    /// Blink count used for *minimal*-level reminders ("less blinks").
+    pub const MINIMAL_BLINKS: u8 = 3;
+    /// Blink count used for *specific*-level reminders ("more blinks").
+    pub const SPECIFIC_BLINKS: u8 = 8;
+    /// Default cycle period.
+    pub const DEFAULT_PERIOD_MS: u64 = 500;
+
+    /// The minimal-level pattern in `color`.
+    #[must_use]
+    pub const fn minimal(color: LedColor) -> Self {
+        BlinkPattern { color, blinks: Self::MINIMAL_BLINKS, period_ms: Self::DEFAULT_PERIOD_MS }
+    }
+
+    /// The specific-level pattern in `color`.
+    #[must_use]
+    pub const fn specific(color: LedColor) -> Self {
+        BlinkPattern { color, blinks: Self::SPECIFIC_BLINKS, period_ms: Self::DEFAULT_PERIOD_MS }
+    }
+
+    /// Total time the pattern takes to play.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_millis(u64::from(self.blinks) * self.period_ms)
+    }
+
+    /// The on/off toggle schedule starting at `start`: pairs of
+    /// `(instant, led_on)`.
+    #[must_use]
+    pub fn schedule(&self, start: SimTime) -> Vec<(SimTime, bool)> {
+        let half = SimDuration::from_millis(self.period_ms / 2);
+        let mut out = Vec::with_capacity(usize::from(self.blinks) * 2);
+        let mut t = start;
+        for _ in 0..self.blinks {
+            out.push((t, true));
+            out.push((t + half, false));
+            t += SimDuration::from_millis(self.period_ms);
+        }
+        out
+    }
+}
+
+/// The on/off state of one node's LED bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedBank {
+    green: bool,
+    red: bool,
+}
+
+impl LedBank {
+    /// All LEDs off.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets one LED.
+    pub fn set(&mut self, color: LedColor, on: bool) {
+        match color {
+            LedColor::Green => self.green = on,
+            LedColor::Red => self.red = on,
+        }
+    }
+
+    /// Reads one LED.
+    #[must_use]
+    pub fn is_on(&self, color: LedColor) -> bool {
+        match color {
+            LedColor::Green => self.green,
+            LedColor::Red => self.red,
+        }
+    }
+
+    /// Turns everything off.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_has_fewer_blinks_than_specific() {
+        let min = BlinkPattern::minimal(LedColor::Green);
+        let spec = BlinkPattern::specific(LedColor::Green);
+        assert!(min.blinks < spec.blinks, "paper: minimal gives less blinks");
+    }
+
+    #[test]
+    fn duration_scales_with_blinks() {
+        let p = BlinkPattern { color: LedColor::Red, blinks: 4, period_ms: 500 };
+        assert_eq!(p.duration(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn schedule_alternates_on_off() {
+        let p = BlinkPattern { color: LedColor::Green, blinks: 2, period_ms: 1000 };
+        let sched = p.schedule(SimTime::from_secs(10));
+        assert_eq!(
+            sched,
+            vec![
+                (SimTime::from_millis(10_000), true),
+                (SimTime::from_millis(10_500), false),
+                (SimTime::from_millis(11_000), true),
+                (SimTime::from_millis(11_500), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn schedule_is_time_sorted() {
+        let p = BlinkPattern::specific(LedColor::Red);
+        let sched = p.schedule(SimTime::ZERO);
+        for w in sched.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(sched.len(), usize::from(p.blinks) * 2);
+    }
+
+    #[test]
+    fn led_bank_tracks_state() {
+        let mut bank = LedBank::new();
+        assert!(!bank.is_on(LedColor::Green));
+        bank.set(LedColor::Green, true);
+        bank.set(LedColor::Red, true);
+        assert!(bank.is_on(LedColor::Green) && bank.is_on(LedColor::Red));
+        bank.set(LedColor::Green, false);
+        assert!(!bank.is_on(LedColor::Green) && bank.is_on(LedColor::Red));
+        bank.clear();
+        assert_eq!(bank, LedBank::new());
+    }
+
+    #[test]
+    fn colors_display() {
+        assert_eq!(LedColor::Green.to_string(), "green");
+        assert_eq!(LedColor::Red.to_string(), "red");
+    }
+}

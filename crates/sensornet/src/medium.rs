@@ -1,0 +1,174 @@
+//! The shared radio medium: CSMA/CA contention between nodes.
+//!
+//! [`RadioLink`](crate::radio::RadioLink) models *channel* impairments
+//! per node; this module models what links cannot see — several nodes
+//! keying up in the same slot. PAVENET's CC1000 MAC does carrier-sense
+//! with a random backoff over a small contention window; two nodes that
+//! draw the same backoff slot collide and both frames die (to be
+//! recovered by the ARQ layer above).
+
+use coreda_des::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A slotted CSMA/CA contention model.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_des::rng::SimRng;
+/// use coreda_sensornet::medium::SharedMedium;
+///
+/// let medium = SharedMedium::new(8);
+/// let mut rng = SimRng::seed_from(1);
+/// // A single transmitter never collides.
+/// assert_eq!(medium.resolve_slot(1, &mut rng), vec![true]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedMedium {
+    /// Number of backoff slots in the contention window.
+    contention_window: u8,
+}
+
+impl SharedMedium {
+    /// Creates a medium with the given contention window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contention_window` is zero.
+    #[must_use]
+    pub fn new(contention_window: u8) -> Self {
+        assert!(contention_window > 0, "contention window must be positive");
+        SharedMedium { contention_window }
+    }
+
+    /// The contention window size.
+    #[must_use]
+    pub const fn contention_window(&self) -> u8 {
+        self.contention_window
+    }
+
+    /// Resolves one slot with `transmitters` simultaneous senders:
+    /// each draws a uniform backoff; a sender whose backoff is unique
+    /// *and* earliest-or-backed-off-behind-a-visible-winner delivers.
+    ///
+    /// Concretely (standard slotted CSMA idealisation): senders sharing
+    /// their drawn slot with someone else collide; senders alone in their
+    /// slot succeed (carrier sense lets later unique slots wait out
+    /// earlier transmissions).
+    ///
+    /// Returns one success flag per transmitter, in order.
+    pub fn resolve_slot(&self, transmitters: usize, rng: &mut SimRng) -> Vec<bool> {
+        if transmitters <= 1 {
+            return vec![true; transmitters];
+        }
+        let draws: Vec<usize> = (0..transmitters)
+            .map(|_| rng.uniform_usize(0, usize::from(self.contention_window)))
+            .collect();
+        draws
+            .iter()
+            .map(|&d| draws.iter().filter(|&&o| o == d).count() == 1)
+            .collect()
+    }
+
+    /// The analytic per-sender collision probability with `k` contenders.
+    #[must_use]
+    pub fn collision_probability(&self, k: usize) -> f64 {
+        if k <= 1 {
+            return 0.0;
+        }
+        let b = f64::from(self.contention_window);
+        1.0 - ((b - 1.0) / b).powi(i32::try_from(k - 1).unwrap_or(i32::MAX))
+    }
+}
+
+impl Default for SharedMedium {
+    /// An 8-slot contention window (CC1000-class MACs are small).
+    fn default() -> Self {
+        SharedMedium::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_sender_always_succeeds() {
+        let m = SharedMedium::default();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..100 {
+            assert_eq!(m.resolve_slot(1, &mut rng), vec![true]);
+        }
+        assert_eq!(m.resolve_slot(0, &mut rng), Vec::<bool>::new());
+        assert_eq!(m.collision_probability(1), 0.0);
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_analytic() {
+        let m = SharedMedium::new(8);
+        let mut rng = SimRng::seed_from(2);
+        for k in [2usize, 4, 8] {
+            let trials = 20_000;
+            let mut collisions = 0usize;
+            for _ in 0..trials {
+                collisions += m.resolve_slot(k, &mut rng).iter().filter(|&&ok| !ok).count();
+            }
+            let empirical = collisions as f64 / (trials * k) as f64;
+            let analytic = m.collision_probability(k);
+            assert!(
+                (empirical - analytic).abs() < 0.01,
+                "k={k}: empirical {empirical:.3} vs analytic {analytic:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_contenders_collide_more() {
+        let m = SharedMedium::new(8);
+        let mut last = 0.0;
+        for k in 1..10 {
+            let p = m.collision_probability(k);
+            assert!(p >= last, "collision probability must grow with k");
+            last = p;
+        }
+        assert!(last > 0.5, "nine contenders in eight slots collide a lot");
+    }
+
+    #[test]
+    fn wider_window_reduces_collisions() {
+        let narrow = SharedMedium::new(4);
+        let wide = SharedMedium::new(64);
+        assert!(wide.collision_probability(4) < narrow.collision_probability(4));
+    }
+
+    #[test]
+    fn outcomes_are_symmetric_in_expectation() {
+        // No transmitter is privileged: success rates across positions
+        // should be statistically equal.
+        let m = SharedMedium::new(8);
+        let mut rng = SimRng::seed_from(3);
+        let k = 3;
+        let mut wins = vec![0usize; k];
+        let trials = 30_000;
+        for _ in 0..trials {
+            for (i, ok) in m.resolve_slot(k, &mut rng).into_iter().enumerate() {
+                if ok {
+                    wins[i] += 1;
+                }
+            }
+        }
+        let expect = wins.iter().sum::<usize>() as f64 / k as f64;
+        for (i, &w) in wins.iter().enumerate() {
+            assert!(
+                (w as f64 - expect).abs() < expect * 0.05,
+                "position {i} won {w} vs mean {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contention window must be positive")]
+    fn zero_window_rejected() {
+        let _ = SharedMedium::new(0);
+    }
+}

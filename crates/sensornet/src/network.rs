@@ -1,0 +1,355 @@
+//! The star network: tool nodes → base station.
+//!
+//! The prototype's topology is a single-hop star — every PAVENET node
+//! talks directly to the server's base station. This module adds the
+//! link-layer behaviour the paper's server relied on: ARQ retransmission
+//! with acknowledgements, and duplicate suppression at the base station
+//! (a retransmitted frame whose ack was lost arrives twice).
+
+use std::collections::HashMap;
+
+use coreda_des::rng::SimRng;
+use coreda_des::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::packet::{Packet, Payload};
+use crate::radio::{LossModel, RadioLink};
+
+/// Link-layer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Loss process applied to every frame (data and acks alike).
+    pub loss: LossModel,
+    /// Retransmissions after the first attempt.
+    pub max_retries: u8,
+    /// Pause before each retransmission.
+    pub retry_backoff: SimDuration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            loss: LossModel::Perfect,
+            max_retries: 3,
+            retry_backoff: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Outcome of an uplink send.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SendOutcome {
+    /// The base station received the frame (possibly more than once).
+    Delivered {
+        /// Time from first transmission to the first successful delivery.
+        latency: SimDuration,
+        /// Transmissions attempted (1 = no retries needed).
+        attempts: u8,
+        /// 1-based index of the attempt that first got through.
+        first_delivery_attempt: u8,
+        /// Extra copies the base station received because acks were lost.
+        duplicates: u8,
+    },
+    /// Every attempt was lost.
+    Lost {
+        /// Transmissions attempted.
+        attempts: u8,
+    },
+}
+
+impl SendOutcome {
+    /// Whether the frame got through at least once.
+    #[must_use]
+    pub const fn is_delivered(&self) -> bool {
+        matches!(self, SendOutcome::Delivered { .. })
+    }
+}
+
+/// The single-hop network connecting every tool node to the base station.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_des::rng::SimRng;
+/// use coreda_sensornet::network::{LinkConfig, StarNetwork};
+/// use coreda_sensornet::node::NodeId;
+/// use coreda_sensornet::packet::{Packet, Payload};
+///
+/// let mut net = StarNetwork::new(LinkConfig::default());
+/// net.register(NodeId::new(1));
+/// let p = Packet::new(NodeId::new(1), 0, 0, Payload::Heartbeat);
+/// let mut rng = SimRng::seed_from(0);
+/// assert!(net.send_uplink(&p, &mut rng).is_delivered());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StarNetwork {
+    cfg: LinkConfig,
+    links: HashMap<NodeId, RadioLink>,
+}
+
+impl StarNetwork {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new(cfg: LinkConfig) -> Self {
+        StarNetwork { cfg, links: HashMap::new() }
+    }
+
+    /// Registers a node, creating its link. Re-registering resets the link.
+    pub fn register(&mut self, node: NodeId) {
+        self.links.insert(node, RadioLink::new(self.cfg.loss));
+    }
+
+    /// Number of registered nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link configuration.
+    #[must_use]
+    pub const fn config(&self) -> LinkConfig {
+        self.cfg
+    }
+
+    /// Sends `packet` from its source node to the base station with
+    /// stop-and-wait ARQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's source node was never [`register`ed](Self::register).
+    pub fn send_uplink(&mut self, packet: &Packet, rng: &mut SimRng) -> SendOutcome {
+        self.send_via(packet.src, packet, rng)
+    }
+
+    /// Sends `packet` from the base station down to `dest` (LED commands
+    /// from the reminding subsystem) with the same stop-and-wait ARQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` was never [`register`ed](Self::register).
+    pub fn send_downlink(&mut self, dest: NodeId, packet: &Packet, rng: &mut SimRng) -> SendOutcome {
+        self.send_via(dest, packet, rng)
+    }
+
+    fn send_via(&mut self, node: NodeId, packet: &Packet, rng: &mut SimRng) -> SendOutcome {
+        let link = self
+            .links
+            .get_mut(&node)
+            .unwrap_or_else(|| panic!("node {node} is not registered"));
+        let data_len = packet.encoded_len();
+        let ack_len =
+            Packet::new(packet.src, 0, 0, Payload::Ack { acked_seq: packet.seq }).encoded_len();
+        let per_attempt = RadioLink::airtime(data_len) + RadioLink::airtime(ack_len);
+
+        let mut latency = SimDuration::ZERO;
+        let mut delivered_at: Option<(SimDuration, u8)> = None;
+        let mut deliveries: u8 = 0;
+        let mut attempts: u8 = 0;
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                latency += self.cfg.retry_backoff;
+            }
+            attempts += 1;
+            latency += per_attempt;
+            let data_ok = link.transmit(data_len, rng);
+            if data_ok {
+                deliveries += 1;
+                if delivered_at.is_none() {
+                    delivered_at = Some((latency, attempts));
+                }
+                let ack_ok = link.transmit(ack_len, rng);
+                if ack_ok {
+                    break; // sender hears the ack and stops.
+                }
+                // Ack lost: sender will retry, producing a duplicate.
+            }
+        }
+        match delivered_at {
+            Some((first, first_delivery_attempt)) => SendOutcome::Delivered {
+                latency: first,
+                attempts,
+                first_delivery_attempt,
+                duplicates: deliveries.saturating_sub(1),
+            },
+            None => SendOutcome::Lost { attempts },
+        }
+    }
+}
+
+/// The server-side frame sink with duplicate suppression.
+#[derive(Debug, Clone, Default)]
+pub struct BaseStation {
+    last_seq: HashMap<NodeId, u16>,
+    accepted: u64,
+    duplicates: u64,
+}
+
+impl BaseStation {
+    /// Creates a base station with no history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one received frame. Returns the packet if it is new, or
+    /// `None` if it repeats the last sequence number seen from its source.
+    pub fn receive(&mut self, packet: Packet) -> Option<Packet> {
+        match self.last_seq.get(&packet.src) {
+            Some(&last) if last == packet.seq => {
+                self.duplicates += 1;
+                None
+            }
+            _ => {
+                self.last_seq.insert(packet.src, packet.seq);
+                self.accepted += 1;
+                Some(packet)
+            }
+        }
+    }
+
+    /// Frames accepted as new.
+    #[must_use]
+    pub const fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Frames suppressed as duplicates.
+    #[must_use]
+    pub const fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tool_use(src: u16, seq: u16) -> Packet {
+        Packet::new(NodeId::new(src), seq, 0, Payload::ToolUse { activation_milli: 100 })
+    }
+
+    #[test]
+    fn perfect_link_delivers_first_try() {
+        let mut net = StarNetwork::new(LinkConfig::default());
+        net.register(NodeId::new(1));
+        let mut rng = SimRng::seed_from(1);
+        match net.send_uplink(&tool_use(1, 0), &mut rng) {
+            SendOutcome::Delivered { attempts, duplicates, latency, first_delivery_attempt } => {
+                assert_eq!(attempts, 1);
+                assert_eq!(first_delivery_attempt, 1);
+                assert_eq!(duplicates, 0);
+                assert!(!latency.is_zero());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_link_retries_and_mostly_succeeds() {
+        let cfg = LinkConfig {
+            loss: LossModel::Bernoulli { p: 0.3 },
+            max_retries: 5,
+            ..LinkConfig::default()
+        };
+        let mut net = StarNetwork::new(cfg);
+        net.register(NodeId::new(1));
+        let mut rng = SimRng::seed_from(2);
+        let trials = 2_000;
+        let delivered = (0..trials)
+            .filter(|&i| net.send_uplink(&tool_use(1, i as u16), &mut rng).is_delivered())
+            .count();
+        // P(all 6 attempts lose the data frame) = 0.3^6 ≈ 0.07 %.
+        assert!(delivered as f64 / trials as f64 > 0.99, "delivered {delivered}/{trials}");
+    }
+
+    #[test]
+    fn total_loss_reports_lost() {
+        let cfg = LinkConfig {
+            loss: LossModel::Bernoulli { p: 1.0 },
+            max_retries: 2,
+            ..LinkConfig::default()
+        };
+        let mut net = StarNetwork::new(cfg);
+        net.register(NodeId::new(1));
+        let mut rng = SimRng::seed_from(3);
+        assert_eq!(
+            net.send_uplink(&tool_use(1, 0), &mut rng),
+            SendOutcome::Lost { attempts: 3 }
+        );
+    }
+
+    #[test]
+    fn lost_acks_cause_duplicates_sometimes() {
+        let cfg = LinkConfig {
+            loss: LossModel::Bernoulli { p: 0.4 },
+            max_retries: 4,
+            ..LinkConfig::default()
+        };
+        let mut net = StarNetwork::new(cfg);
+        net.register(NodeId::new(1));
+        let mut rng = SimRng::seed_from(4);
+        let mut dup_total = 0u32;
+        for i in 0..2_000 {
+            if let SendOutcome::Delivered { duplicates, .. } =
+                net.send_uplink(&tool_use(1, i as u16), &mut rng)
+            {
+                dup_total += u32::from(duplicates);
+            }
+        }
+        assert!(dup_total > 0, "a 40% lossy link should produce some duplicates");
+    }
+
+    #[test]
+    fn retry_latency_grows() {
+        let cfg = LinkConfig {
+            loss: LossModel::Bernoulli { p: 0.9 },
+            max_retries: 8,
+            retry_backoff: SimDuration::from_millis(50),
+        };
+        let mut net = StarNetwork::new(cfg);
+        net.register(NodeId::new(1));
+        let mut rng = SimRng::seed_from(5);
+        // Latency to first delivery must include the backoff of every
+        // failed attempt before it.
+        for i in 0..400 {
+            if let SendOutcome::Delivered { latency, first_delivery_attempt, .. } =
+                net.send_uplink(&tool_use(1, i), &mut rng)
+            {
+                if first_delivery_attempt > 1 {
+                    let floor = 50 * u64::from(first_delivery_attempt - 1);
+                    assert!(latency >= SimDuration::from_millis(floor));
+                    return;
+                }
+            }
+        }
+        panic!("expected at least one multi-attempt delivery");
+    }
+
+    #[test]
+    fn base_station_dedups_repeated_seq() {
+        let mut bs = BaseStation::new();
+        assert!(bs.receive(tool_use(1, 0)).is_some());
+        assert!(bs.receive(tool_use(1, 0)).is_none());
+        assert!(bs.receive(tool_use(1, 1)).is_some());
+        // Same seq from a *different* node is not a duplicate.
+        assert!(bs.receive(tool_use(2, 1)).is_some());
+        assert_eq!(bs.accepted(), 3);
+        assert_eq!(bs.duplicates(), 1);
+    }
+
+    #[test]
+    fn base_station_handles_seq_wrap() {
+        let mut bs = BaseStation::new();
+        assert!(bs.receive(tool_use(1, u16::MAX)).is_some());
+        assert!(bs.receive(tool_use(1, 0)).is_some(), "wrapped seq is a new frame");
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_node_panics() {
+        let mut net = StarNetwork::new(LinkConfig::default());
+        let mut rng = SimRng::seed_from(6);
+        let _ = net.send_uplink(&tool_use(9, 0), &mut rng);
+    }
+}

@@ -1,0 +1,303 @@
+//! The PAVENET sensor node model.
+//!
+//! One node is strapped to each tool ("What we need do is only attach one
+//! PAVENET to a tool, and configure its uid as the tool ID"). The node
+//! samples its sensor at 10 Hz, runs the 3-of-10 detector, and emits a
+//! `ToolUse` packet whenever a window closes with a positive verdict.
+
+use coreda_des::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::detect::{Detector, Thresholds};
+use crate::eeprom::Eeprom;
+use crate::energy::{EnergyMeter, EnergyModel};
+use crate::led::{LedBank, LedColor};
+use crate::packet::{Packet, Payload};
+use crate::signal::SignalModel;
+
+/// A PAVENET unique ID. CoReDA uses it directly as the tool ID.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_sensornet::node::NodeId;
+///
+/// let id = NodeId::new(3);
+/// assert_eq!(id.raw(), 3);
+/// assert_eq!(format!("{id}"), "node-3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Wraps a raw uid.
+    #[must_use]
+    pub const fn new(raw: u16) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw uid.
+    #[must_use]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// A simulated PAVENET mote: sensor + detector + LEDs + EEPROM + radio
+/// sequence counter.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_des::rng::SimRng;
+/// use coreda_sensornet::detect::Thresholds;
+/// use coreda_sensornet::node::{NodeId, PavenetNode};
+/// use coreda_sensornet::signal::SignalModel;
+///
+/// let mut node = PavenetNode::new(
+///     NodeId::new(1),
+///     SignalModel::accelerometer(0.03, 0.5, 0.9),
+///     Thresholds::default(),
+/// );
+/// let mut rng = SimRng::seed_from(0);
+/// // Ten ticks of vigorous use close one detection window.
+/// let mut report = None;
+/// for _ in 0..10 {
+///     if let Some(p) = node.sample_tick(true, 0, &mut rng) {
+///         report = Some(p);
+///     }
+/// }
+/// assert!(report.is_some(), "an active window should report tool use");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PavenetNode {
+    uid: NodeId,
+    signal: SignalModel,
+    detector: Detector,
+    leds: LedBank,
+    eeprom: Eeprom,
+    energy: EnergyMeter,
+    next_seq: u16,
+    window_peak_activation: f64,
+    windows_closed: u64,
+    reports_sent: u64,
+}
+
+impl PavenetNode {
+    /// Creates a node attached to a tool with the given signal behaviour.
+    #[must_use]
+    pub fn new(uid: NodeId, signal: SignalModel, thresholds: Thresholds) -> Self {
+        PavenetNode {
+            uid,
+            signal,
+            detector: Detector::new(thresholds),
+            leds: LedBank::new(),
+            eeprom: Eeprom::new(),
+            energy: EnergyMeter::new(EnergyModel::default()),
+            next_seq: 0,
+            window_peak_activation: 0.0,
+            windows_closed: 0,
+            reports_sent: 0,
+        }
+    }
+
+    /// The node's uid (and therefore the tool ID it reports).
+    #[must_use]
+    pub const fn uid(&self) -> NodeId {
+        self.uid
+    }
+
+    /// The node's signal model.
+    #[must_use]
+    pub const fn signal(&self) -> SignalModel {
+        self.signal
+    }
+
+    /// Read access to the LED bank (tests and the scenario renderer).
+    #[must_use]
+    pub const fn leds(&self) -> &LedBank {
+        &self.leds
+    }
+
+    /// Sets an LED (applied by the network layer when an LED command
+    /// arrives).
+    pub fn set_led(&mut self, color: LedColor, on: bool) {
+        self.leds.set(color, on);
+    }
+
+    /// Mutable access to the EEPROM.
+    pub fn eeprom_mut(&mut self) -> &mut Eeprom {
+        &mut self.eeprom
+    }
+
+    /// The node's energy meter.
+    #[must_use]
+    pub const fn energy(&self) -> &EnergyMeter {
+        &self.energy
+    }
+
+    /// Mutable access to the energy meter (the network layer charges
+    /// radio activity here; LEDs are charged when commands are applied).
+    pub fn energy_mut(&mut self) -> &mut EnergyMeter {
+        &mut self.energy
+    }
+
+    /// Turns all LEDs off (end of a reminder).
+    pub fn clear_leds(&mut self) {
+        self.leds.clear();
+    }
+
+    /// Number of detection windows completed.
+    #[must_use]
+    pub const fn windows_closed(&self) -> u64 {
+        self.windows_closed
+    }
+
+    /// Number of `ToolUse` reports emitted.
+    #[must_use]
+    pub const fn reports_sent(&self) -> u64 {
+        self.reports_sent
+    }
+
+    /// One 100 ms sampling tick. `in_use` is ground truth from the
+    /// behaviour simulation: is the person manipulating this tool right
+    /// now? Returns a `ToolUse` packet when a detection window closes with
+    /// a positive verdict.
+    pub fn sample_tick(&mut self, in_use: bool, now_ms: u64, rng: &mut SimRng) -> Option<Packet> {
+        self.energy.charge_samples(1);
+        let reading = self.signal.sample(in_use, rng);
+        self.window_peak_activation = self.window_peak_activation.max(reading.activation());
+        let verdict = self.detector.push(reading)?;
+        self.windows_closed += 1;
+        let peak = self.window_peak_activation;
+        self.window_peak_activation = 0.0;
+        if !verdict {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.reports_sent += 1;
+        let activation_milli = (peak * 1000.0).clamp(0.0, f64::from(u16::MAX)) as u16;
+        Some(Packet::new(self.uid, seq, now_ms, Payload::ToolUse { activation_milli }))
+    }
+
+    /// Resets detector state (e.g. between experiment trials).
+    pub fn reset_detector(&mut self) {
+        self.detector.reset();
+        self.window_peak_activation = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> PavenetNode {
+        PavenetNode::new(
+            NodeId::new(7),
+            SignalModel::accelerometer(0.03, 0.5, 0.9),
+            Thresholds::default(),
+        )
+    }
+
+    #[test]
+    fn idle_tool_stays_silent() {
+        let mut n = node();
+        let mut rng = SimRng::seed_from(1);
+        let mut reports = 0;
+        for t in 0..300 {
+            if n.sample_tick(false, t * 100, &mut rng).is_some() {
+                reports += 1;
+            }
+        }
+        assert_eq!(reports, 0, "a still tool should never report use");
+        assert_eq!(n.windows_closed(), 30);
+    }
+
+    #[test]
+    fn used_tool_reports_most_windows() {
+        let mut n = node();
+        let mut rng = SimRng::seed_from(2);
+        let mut reports = 0;
+        for t in 0..300 {
+            if n.sample_tick(true, t * 100, &mut rng).is_some() {
+                reports += 1;
+            }
+        }
+        assert!(reports >= 28, "expected nearly every active window to report, got {reports}/30");
+        assert_eq!(n.reports_sent(), reports);
+    }
+
+    #[test]
+    fn report_carries_uid_and_increasing_seq() {
+        let mut n = node();
+        let mut rng = SimRng::seed_from(3);
+        let mut seqs = Vec::new();
+        for t in 0..200 {
+            if let Some(p) = n.sample_tick(true, t * 100, &mut rng) {
+                assert_eq!(p.src, NodeId::new(7));
+                assert!(matches!(p.payload, Payload::ToolUse { .. }));
+                seqs.push(p.seq);
+            }
+        }
+        for w in seqs.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "sequence numbers must increment");
+        }
+    }
+
+    #[test]
+    fn activation_milli_reflects_signal_strength() {
+        let mut n = node();
+        let mut rng = SimRng::seed_from(4);
+        let mut activations = Vec::new();
+        for t in 0..200 {
+            if let Some(Packet { payload: Payload::ToolUse { activation_milli }, .. }) =
+                n.sample_tick(true, t * 100, &mut rng)
+            {
+                activations.push(activation_milli);
+            }
+        }
+        let mean: f64 =
+            activations.iter().map(|&a| f64::from(a)).sum::<f64>() / activations.len() as f64;
+        assert!(mean > 150.0, "peak activations should exceed threshold scale, mean {mean}");
+    }
+
+    #[test]
+    fn leds_respond_to_commands() {
+        let mut n = node();
+        n.set_led(LedColor::Green, true);
+        assert!(n.leds().is_on(LedColor::Green));
+        assert!(!n.leds().is_on(LedColor::Red));
+    }
+
+    #[test]
+    fn eeprom_is_usable() {
+        let mut n = node();
+        n.eeprom_mut().write(0, &[7, 0]).unwrap();
+        assert_eq!(n.eeprom_mut().read(0, 2).unwrap(), &[7, 0]);
+    }
+
+    #[test]
+    fn reset_detector_drops_partial_window() {
+        let mut n = node();
+        let mut rng = SimRng::seed_from(5);
+        for t in 0..5 {
+            let _ = n.sample_tick(true, t * 100, &mut rng);
+        }
+        n.reset_detector();
+        // The next 9 ticks must not close a window (it restarts at 0).
+        let mut verdicts = 0;
+        for t in 0..9 {
+            if n.sample_tick(true, t * 100, &mut rng).is_some() {
+                verdicts += 1;
+            }
+        }
+        assert_eq!(verdicts, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Sensor kinds and readings.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The sensors a PAVENET node can carry (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// 3-axis accelerometer (used on tea-box, kettle, tea-cup, toothpaste
+    /// tube, brush, cup, towel).
+    Accelerometer,
+    /// Pressure sensor (used on the electronic pot).
+    Pressure,
+    /// Ambient brightness.
+    Brightness,
+    /// Temperature.
+    Temperature,
+    /// Passive-infrared motion.
+    Motion,
+}
+
+impl fmt::Display for SensorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SensorKind::Accelerometer => "3-axis accelerometer",
+            SensorKind::Pressure => "pressure",
+            SensorKind::Brightness => "brightness",
+            SensorKind::Temperature => "temperature",
+            SensorKind::Motion => "motion",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A 3-axis acceleration vector in units of g.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Creates a vector.
+    #[must_use]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn magnitude(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+}
+
+/// One sensor sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Reading {
+    /// Acceleration in g.
+    Accel(Vec3),
+    /// Pressure in kilopascal.
+    Pressure(f64),
+    /// Brightness in lux.
+    Brightness(f64),
+    /// Temperature in °C.
+    Temperature(f64),
+    /// Motion detected this sample.
+    Motion(bool),
+}
+
+impl Reading {
+    /// The sensor kind that produced this reading.
+    #[must_use]
+    pub fn kind(&self) -> SensorKind {
+        match self {
+            Reading::Accel(_) => SensorKind::Accelerometer,
+            Reading::Pressure(_) => SensorKind::Pressure,
+            Reading::Brightness(_) => SensorKind::Brightness,
+            Reading::Temperature(_) => SensorKind::Temperature,
+            Reading::Motion(_) => SensorKind::Motion,
+        }
+    }
+
+    /// The scalar *activation* of the reading: how far it deviates from
+    /// the quiescent baseline, in the units the detection threshold is
+    /// expressed in.
+    ///
+    /// - Accelerometer: `| ‖a‖ − 1 g |` (a still tool reads exactly
+    ///   gravity).
+    /// - Pressure: deviation from ambient (`101.3 kPa`).
+    /// - Brightness / temperature: deviation from typical indoor baseline.
+    /// - Motion: 1.0 if triggered, else 0.0.
+    #[must_use]
+    pub fn activation(&self) -> f64 {
+        match *self {
+            Reading::Accel(v) => (v.magnitude() - 1.0).abs(),
+            Reading::Pressure(kpa) => (kpa - AMBIENT_PRESSURE_KPA).abs(),
+            Reading::Brightness(lux) => (lux - AMBIENT_BRIGHTNESS_LUX).abs(),
+            Reading::Temperature(c) => (c - AMBIENT_TEMPERATURE_C).abs(),
+            Reading::Motion(hit) => f64::from(u8::from(hit)),
+        }
+    }
+}
+
+/// Sea-level ambient pressure baseline, kPa.
+pub const AMBIENT_PRESSURE_KPA: f64 = 101.3;
+/// Typical indoor brightness baseline, lux.
+pub const AMBIENT_BRIGHTNESS_LUX: f64 = 300.0;
+/// Typical indoor temperature baseline, °C.
+pub const AMBIENT_TEMPERATURE_C: f64 = 22.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec3_magnitude() {
+        assert_eq!(Vec3::new(3.0, 4.0, 0.0).magnitude(), 5.0);
+        assert_eq!(Vec3::default().magnitude(), 0.0);
+    }
+
+    #[test]
+    fn reading_kind_roundtrip() {
+        assert_eq!(Reading::Accel(Vec3::default()).kind(), SensorKind::Accelerometer);
+        assert_eq!(Reading::Pressure(100.0).kind(), SensorKind::Pressure);
+        assert_eq!(Reading::Motion(true).kind(), SensorKind::Motion);
+    }
+
+    #[test]
+    fn still_accelerometer_has_zero_activation() {
+        let g = Reading::Accel(Vec3::new(0.0, 0.0, 1.0));
+        assert!(g.activation() < 1e-12);
+    }
+
+    #[test]
+    fn shaken_accelerometer_activates() {
+        let shaken = Reading::Accel(Vec3::new(0.5, 0.5, 1.2));
+        assert!(shaken.activation() > 0.2);
+    }
+
+    #[test]
+    fn pressure_activation_is_deviation_from_ambient() {
+        assert!((Reading::Pressure(103.3).activation() - 2.0).abs() < 1e-12);
+        assert_eq!(Reading::Pressure(AMBIENT_PRESSURE_KPA).activation(), 0.0);
+    }
+
+    #[test]
+    fn motion_activation_is_binary() {
+        assert_eq!(Reading::Motion(true).activation(), 1.0);
+        assert_eq!(Reading::Motion(false).activation(), 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SensorKind::Accelerometer.to_string(), "3-axis accelerometer");
+        assert_eq!(SensorKind::Pressure.to_string(), "pressure");
+    }
+}

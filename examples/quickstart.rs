@@ -1,0 +1,48 @@
+//! Quick start: learn Mr. Tanaka's tea-making routine and ask CoReDA what
+//! he should do next at every point of the activity.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use coreda::prelude::*;
+
+fn main() {
+    // The paper's Tea-making ADL: four steps, four instrumented tools.
+    let tea = catalog::tea_making();
+    println!("Activity: {tea}");
+    for (i, step) in tea.steps().iter().enumerate() {
+        let tool = tea.tool(step.tool()).expect("spec is validated");
+        println!("  step {}: {:<28} ({} on {})", i + 1, step.name(), tool.sensor(), tool.name());
+    }
+
+    // Mr. Tanaka's personal routine happens to follow the canonical order.
+    let routine = Routine::canonical(&tea);
+
+    // Learn it from 120 recorded episodes, as in the paper's evaluation.
+    let mut planner = PlanningSubsystem::new(&tea, PlanningConfig::default());
+    let mut rng = SimRng::seed_from(2007);
+    for _ in 0..120 {
+        planner.train_episode(routine.steps(), &mut rng);
+    }
+    println!("\nTrained on {} episodes.", planner.episodes_trained());
+
+    // Ask for the prompt at every state along the routine.
+    let reminding = RemindingSubsystem::new("Mr. Tanaka");
+    println!("\nLearned guidance:");
+    for (prev, cur, next) in routine.transitions() {
+        let prompt = planner.predict(prev, cur).expect("states are in the ADL");
+        let reminder = reminding.compose(prompt, Trigger::IdleTimeout, &tea);
+        let text = reminder
+            .methods
+            .iter()
+            .find_map(|m| match m {
+                ReminderMethod::TextMessage(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .expect("reminders always carry text");
+        let ok = if Some(prompt.tool) == next.tool() { "✓" } else { "✗" };
+        println!("  after ({prev}, {cur}): {text} [{}] {ok}", prompt.level);
+    }
+
+    let accuracy = planner.accuracy_vs_routine(&routine);
+    println!("\nRoutine prediction accuracy: {:.0}%", accuracy * 100.0);
+}

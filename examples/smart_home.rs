@@ -1,0 +1,70 @@
+//! A whole instrumented home: several activities, one user — with the
+//! learned routines persisted across a (simulated) server restart.
+//!
+//! Run with: `cargo run --example smart_home [seed]`
+
+use coreda::core::persistence;
+use coreda::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2007);
+
+    // Install both of the paper's activities behind one base station.
+    let mut home = CoredaHome::new("Mr. Tanaka", CoredaConfig::default(), seed);
+    home.install(catalog::tea_making()).expect("fresh home");
+    home.install(catalog::tooth_brushing()).expect("distinct tools");
+    println!("Installed activities:");
+    for name in home.activities() {
+        println!("  - {name}");
+    }
+    println!(
+        "\nTool routing: pot → {:?}, brush → {:?}",
+        home.owner_of(ToolId::new(catalog::POT)).unwrap(),
+        home.owner_of(ToolId::new(catalog::BRUSH)).unwrap()
+    );
+
+    // Weeks of recordings teach each activity's routine.
+    let mut rng = SimRng::seed_from(seed ^ 0xC0FFEE);
+    let mut blobs = Vec::new();
+    for name in ["Tea-making", "Tooth-brushing"] {
+        let spec = home.system(name).expect("installed").spec().clone();
+        let routine = Routine::canonical(&spec);
+        for _ in 0..200 {
+            home.system_mut(name)
+                .expect("installed")
+                .planner_mut()
+                .train_episode(routine.steps(), &mut rng);
+        }
+        let acc = home.system(name).expect("installed").planner().accuracy_vs_routine(&routine);
+        let blob = persistence::save_policy(home.system(name).expect("installed").planner());
+        println!("\n{name}: learned to {:.0}%, policy saved ({} bytes)", acc * 100.0, blob.len());
+        blobs.push((name, spec, routine, blob));
+    }
+
+    // The server reboots: all learned state is gone…
+    println!("\n-- server restart --");
+    let mut home = CoredaHome::new("Mr. Tanaka", CoredaConfig::default(), seed + 1);
+    home.install(catalog::tea_making()).expect("fresh home");
+    home.install(catalog::tooth_brushing()).expect("distinct tools");
+
+    // …until the persisted policies are restored.
+    for (name, _spec, routine, blob) in &blobs {
+        let planner = home.system_mut(name).expect("installed").planner_mut();
+        persistence::restore_policy(planner, blob).expect("valid blob");
+        let acc = home.system(name).expect("installed").planner().accuracy_vs_routine(routine);
+        println!("{name}: restored, accuracy {:.0}%", acc * 100.0);
+    }
+
+    // And guidance works immediately, no retraining.
+    let (_, spec, routine, _) = &blobs[0];
+    let mut behavior = StochasticBehavior::new(PatientProfile::moderate("Mr. Tanaka"));
+    let log = home
+        .run_live(spec.name(), routine, &mut behavior, &mut rng)
+        .expect("installed");
+    println!("\nFirst episode after restart ({}):", spec.name());
+    print!("{}", log.render());
+    println!(
+        "\nHome-wide energy so far: {:.1} mJ",
+        home.total_energy_uj() / 1000.0
+    );
+}

@@ -1,0 +1,53 @@
+//! The paper's Figure 1 scenario, end to end: Mr. Tanaka makes tea, grabs
+//! the tea-cup too early, freezes before drinking — and CoReDA prompts
+//! him through both lapses over the full sensor → radio → sensing →
+//! planning → reminding pipeline.
+//!
+//! Run with: `cargo run --example tea_making [seed]`
+
+use coreda::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2007);
+
+    println!("CoReDA — Figure 1 scenario (seed {seed})");
+    println!("----------------------------------------");
+    println!("Mr. Tanaka always makes tea in four steps:");
+    println!("  1) take tea-leaf from the tea-box and put it in the kettle");
+    println!("  2) pour hot water from the electronic pot into the kettle");
+    println!("  3) pour tea into the tea-cup");
+    println!("  4) drink a cup of tea");
+    println!();
+    println!("Today his dementia acts up twice: he grabs the tea-cup after");
+    println!("step 1, and freezes after step 3.\n");
+
+    let log = scenario::figure1(seed);
+    print!("{}", log.render());
+
+    println!();
+    for (t, reminder) in log.reminders() {
+        let methods: Vec<String> = reminder
+            .methods
+            .iter()
+            .map(|m| match m {
+                ReminderMethod::TextMessage(s) => format!("text {s:?}"),
+                ReminderMethod::ToolPicture(p) => format!("picture of {p}"),
+                ReminderMethod::GreenLed { tool, pattern } => {
+                    format!("green LED on {tool} ({} blinks)", pattern.blinks)
+                }
+                ReminderMethod::RedLed { tool, pattern } => {
+                    format!("red LED on {tool} ({} blinks)", pattern.blinks)
+                }
+            })
+            .collect();
+        println!("reminder at {t}:");
+        for m in methods {
+            println!("    - {m}");
+        }
+    }
+
+    match log.completed_at() {
+        Some(t) => println!("\nTea made at {t}, with {} praises.", log.praise_count()),
+        None => println!("\nThe episode did not complete — try another seed."),
+    }
+}

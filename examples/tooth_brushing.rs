@@ -1,0 +1,66 @@
+//! Tooth-brushing with a moderately impaired patient, watched over many
+//! mornings: CoReDA learns the routine offline, then guides live episodes
+//! while continuing to learn online, and we track how its help evolves.
+//!
+//! Run with: `cargo run --example tooth_brushing [mornings] [seed]`
+
+use coreda::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mornings: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+
+    let tooth = catalog::tooth_brushing();
+    let routine = Routine::canonical(&tooth);
+
+    // This user has moderate dementia: frequent freezes and wrong grabs.
+    let profile = PatientProfile::moderate("Mrs. Sato");
+    println!(
+        "Patient: {} (wrong-tool {:.0}%, freeze {:.0}%, compliance {:.0}%)\n",
+        profile.name(),
+        profile.wrong_tool_prob() * 100.0,
+        profile.forget_prob() * 100.0,
+        profile.compliance() * 100.0
+    );
+
+    // Offline training from recorded episodes (with realistic slips in
+    // the recordings — the planner filters what it can't use).
+    let config = CoredaConfig { online_learning: true, ..CoredaConfig::default() };
+    let mut system = Coreda::new(tooth.clone(), "Mrs. Sato", config, seed);
+    let generator = EpisodeGenerator::new(
+        tooth.clone(),
+        RoutineSet::single(routine.clone()),
+        PatientProfile::mild("Mrs. Sato"),
+    );
+    let mut rng = SimRng::seed_from(seed ^ 0xAAAA);
+    let episodes = generator.generate_batch(120, &mut rng);
+    system.train_offline(&episodes, &mut rng);
+    println!(
+        "Offline training done: routine accuracy {:.0}%\n",
+        system.planner().accuracy_vs_routine(&routine) * 100.0
+    );
+
+    // Live mornings.
+    println!("{:<9} {:>11} {:>10} {:>8}", "morning", "completion", "reminders", "praises");
+    let mut live_rng = SimRng::seed_from(seed ^ 0xBBBB);
+    for morning in 1..=mornings {
+        let mut behavior = StochasticBehavior::new(profile.clone());
+        let log = system.run_live(&routine, &mut behavior, &mut live_rng);
+        let completion = log
+            .completed_at()
+            .map_or("timed out".to_owned(), |t| format!("{:.1}s", t.as_secs_f64()));
+        println!(
+            "{:<9} {:>11} {:>10} {:>8}",
+            morning,
+            completion,
+            log.reminders().len(),
+            log.praise_count()
+        );
+    }
+
+    println!(
+        "\nPlanner has now seen {} episodes (offline + online).",
+        system.planner().episodes_trained()
+    );
+}

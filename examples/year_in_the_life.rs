@@ -1,0 +1,70 @@
+//! A year in the life: dementia progresses, CoReDA keeps up, the care
+//! team gets quarterly reports.
+//!
+//! Ties the longitudinal pieces together: the severity trajectory from
+//! `coreda-adl::drift`, live guided episodes, caregiver `DailyReport`s
+//! aggregated per quarter, and policy persistence between "server
+//! restarts" at each quarter boundary.
+//!
+//! Run with: `cargo run --release --example year_in_the_life [seed]`
+
+use coreda::adl::drift::SeverityTrajectory;
+use coreda::core::persistence;
+use coreda::core::report::DailyReport;
+use coreda::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2007);
+
+    let tea = catalog::tea_making();
+    let routine = Routine::canonical(&tea);
+    let trajectory = SeverityTrajectory::default();
+
+    // Initial deployment: learn the routine from recordings.
+    let mut system = Coreda::new(tea.clone(), "Mr. Tanaka", CoredaConfig::default(), seed);
+    let mut rng = SimRng::seed_from(seed ^ 0x1EA);
+    for _ in 0..200 {
+        system.planner_mut().train_episode(routine.steps(), &mut rng);
+    }
+    let mut policy_blob = persistence::save_policy(system.planner());
+    println!("Deployed. Learned policy is {} bytes.\n", policy_blob.len());
+
+    let episodes_per_sampled_day = 3;
+    for quarter in 0..4u32 {
+        // Simulate a server restart at each quarter: rebuild, restore.
+        let mut system =
+            Coreda::new(tea.clone(), "Mr. Tanaka", CoredaConfig::default(), seed + u64::from(quarter));
+        persistence::restore_policy(system.planner_mut(), &policy_blob)
+            .expect("the saved policy matches the ADL");
+
+        let mut logs = Vec::new();
+        for week in 0..3u32 {
+            let day = quarter * 90 + week * 30;
+            let profile = trajectory.profile_on_day("Mr. Tanaka", day);
+            for _ in 0..episodes_per_sampled_day {
+                let mut behavior = StochasticBehavior::new(profile.clone());
+                logs.push(system.run_live(&routine, &mut behavior, &mut rng));
+            }
+        }
+        let report = DailyReport::from_logs(
+            "Mr. Tanaka",
+            format!("Q{} (days {}-{})", quarter + 1, quarter * 90, quarter * 90 + 89),
+            &logs,
+        );
+        print!("{}", report.render());
+        println!(
+            "  minimal-level share: {:.0}%\n",
+            report.minimal_fraction() * 100.0
+        );
+        policy_blob = persistence::save_policy(system.planner());
+    }
+
+    let late = trajectory.profile_on_day("Mr. Tanaka", 360);
+    println!(
+        "By year's end the patient freezes at {:.0}% of boundaries (was {:.0}%),\n\
+         yet the learned policy — persisted across every restart — keeps\n\
+         guiding each episode to completion.",
+        late.forget_prob() * 100.0,
+        trajectory.profile_on_day("Mr. Tanaka", 0).forget_prob() * 100.0
+    );
+}

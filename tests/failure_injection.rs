@@ -1,0 +1,171 @@
+//! Robustness integration tests: lossy radios, non-compliant patients,
+//! severe dementia — does the system stay safe and productive?
+
+use coreda::prelude::*;
+
+fn train(system: &mut Coreda, routine: &Routine, seed: u64) {
+    let mut rng = SimRng::seed_from(seed);
+    for _ in 0..200 {
+        system.planner_mut().train_episode(routine.steps(), &mut rng);
+    }
+}
+
+#[test]
+fn episodes_complete_over_a_lossy_radio() {
+    let tea = catalog::tea_making();
+    let routine = Routine::canonical(&tea);
+    let config = CoredaConfig {
+        link: LinkConfig { loss: LossModel::Bernoulli { p: 0.3 }, ..LinkConfig::default() },
+        ..CoredaConfig::default()
+    };
+    let mut system = Coreda::new(tea, "x", config, 1);
+    train(&mut system, &routine, 2);
+    let mut rng = SimRng::seed_from(3);
+    let mut completed = 0;
+    for _ in 0..10 {
+        let mut behavior = StochasticBehavior::new(PatientProfile::mild("x"));
+        let log = system.run_live(&routine, &mut behavior, &mut rng);
+        if log.completed_at().is_some() {
+            completed += 1;
+        }
+    }
+    assert!(completed >= 9, "30% frame loss should be absorbed by ARQ: {completed}/10");
+}
+
+#[test]
+fn bursty_channel_is_survivable() {
+    let tea = catalog::tea_making();
+    let routine = Routine::canonical(&tea);
+    let config = CoredaConfig {
+        link: LinkConfig {
+            loss: LossModel::GilbertElliott {
+                p_good_to_bad: 0.05,
+                p_bad_to_good: 0.2,
+                loss_good: 0.02,
+                loss_bad: 0.7,
+            },
+            ..LinkConfig::default()
+        },
+        ..CoredaConfig::default()
+    };
+    let mut system = Coreda::new(tea, "x", config, 4);
+    train(&mut system, &routine, 5);
+    let mut rng = SimRng::seed_from(6);
+    let mut behavior = StochasticBehavior::new(PatientProfile::unimpaired("x"));
+    let log = system.run_live(&routine, &mut behavior, &mut rng);
+    assert!(log.completed_at().is_some(), "{}", log.render());
+}
+
+#[test]
+fn unanswered_reminders_escalate_to_specific() {
+    // A patient who ignores the first few prompts: re-prompts must come,
+    // escalated to the specific level ("more blinks", personalised text).
+    #[derive(Debug)]
+    struct StubbornPatient {
+        ignored: usize,
+        inner: ScriptedBehavior,
+    }
+    impl PatientBehavior for StubbornPatient {
+        fn at_boundary(
+            &mut self,
+            idx: usize,
+            routine: &Routine,
+            spec: &AdlSpec,
+            rng: &mut SimRng,
+        ) -> PatientAction {
+            self.inner.at_boundary(idx, routine, spec, rng)
+        }
+        fn step_duration(
+            &mut self,
+            step: &Step,
+            rng: &mut SimRng,
+        ) -> coreda::des::time::SimDuration {
+            self.inner.step_duration(step, rng)
+        }
+        fn complies(&mut self, _prompt: &Prompt, _rng: &mut SimRng) -> bool {
+            if self.ignored < 2 {
+                self.ignored += 1;
+                false
+            } else {
+                true
+            }
+        }
+    }
+
+    let tea = catalog::tea_making();
+    let routine = Routine::canonical(&tea);
+    let mut system = Coreda::new(tea, "Mr. Kim", CoredaConfig::default(), 7);
+    train(&mut system, &routine, 8);
+    let mut behavior = StubbornPatient {
+        ignored: 0,
+        inner: ScriptedBehavior::new().with_error(1, PatientAction::Freeze),
+    };
+    let mut rng = SimRng::seed_from(9);
+    let log = system.run_live(&routine, &mut behavior, &mut rng);
+    let reminders = log.reminders();
+    assert!(
+        reminders.len() >= 2,
+        "ignored prompts should be repeated:\n{}",
+        log.render()
+    );
+    assert_eq!(
+        reminders[1].1.prompt.level,
+        ReminderLevel::Specific,
+        "the re-prompt escalates:\n{}",
+        log.render()
+    );
+    // The specific text is personalised.
+    let text = reminders[1]
+        .1
+        .methods
+        .iter()
+        .find_map(|m| match m {
+            ReminderMethod::TextMessage(t) => Some(t.clone()),
+            _ => None,
+        })
+        .unwrap();
+    assert!(text.contains("Mr. Kim"), "specific text is personalised: {text}");
+    assert!(log.completed_at().is_some());
+}
+
+#[test]
+fn severe_patient_eventually_finishes_every_episode() {
+    let tooth = catalog::tooth_brushing();
+    let routine = Routine::canonical(&tooth);
+    let mut system = Coreda::new(tooth, "x", CoredaConfig::default(), 10);
+    train(&mut system, &routine, 11);
+    let mut rng = SimRng::seed_from(12);
+    for trial in 0..8 {
+        let mut behavior = StochasticBehavior::new(PatientProfile::severe("x"));
+        let log = system.run_live(&routine, &mut behavior, &mut rng);
+        assert!(
+            log.completed_at().is_some(),
+            "trial {trial} did not complete:\n{}",
+            log.render()
+        );
+    }
+}
+
+#[test]
+fn totally_dead_radio_means_no_reminders_but_patient_self_recovers() {
+    let tea = catalog::tea_making();
+    let routine = Routine::canonical(&tea);
+    let config = CoredaConfig {
+        link: LinkConfig {
+            loss: LossModel::Bernoulli { p: 1.0 },
+            max_retries: 1,
+            ..LinkConfig::default()
+        },
+        ..CoredaConfig::default()
+    };
+    let mut system = Coreda::new(tea, "x", config, 13);
+    train(&mut system, &routine, 14);
+    let mut behavior = ScriptedBehavior::new().with_error(1, PatientAction::Freeze);
+    let mut rng = SimRng::seed_from(15);
+    let log = system.run_live(&routine, &mut behavior, &mut rng);
+    // Nothing is sensed, so nothing can be prompted…
+    assert_eq!(log.reminders().len(), 0, "{}", log.render());
+    assert!(log.sensed_steps().is_empty());
+    // …but the behaviour model's self-recovery still finishes the ADL.
+    assert!(log.completed_at().is_some(), "{}", log.render());
+}

@@ -1,0 +1,172 @@
+//! Home-level integration: the session tracker watching a realistic
+//! report stream produced by the actual sensing pipeline (nodes → CSMA
+//! medium → ARQ → base station), across two activities performed back to
+//! back with a mid-activity confusion.
+
+use coreda::core::sessions::{SessionEvent, SessionTracker};
+use coreda::prelude::*;
+use coreda::sensornet::{BaseStation, LinkConfig, PavenetNode, StarNetwork};
+
+/// Simulates `tool` being used for `secs` seconds starting at `start`,
+/// pushing every accepted report into `tracker` and collecting events.
+#[allow(clippy::too_many_arguments)]
+fn use_tool(
+    spec: &AdlSpec,
+    tool: ToolId,
+    start_s: u64,
+    secs: u64,
+    net: &mut StarNetwork,
+    base: &mut BaseStation,
+    nodes: &mut Vec<PavenetNode>,
+    tracker: &mut SessionTracker,
+    rng: &mut SimRng,
+) -> Vec<SessionEvent> {
+    let t = spec.tool(tool).expect("tool in spec");
+    if !nodes.iter().any(|n| n.uid() == t.id().into()) {
+        let node = PavenetNode::new(t.id().into(), t.signal(), Thresholds::default());
+        net.register(node.uid());
+        nodes.push(node);
+    }
+    let node = nodes
+        .iter_mut()
+        .find(|n| n.uid() == t.id().into())
+        .expect("just ensured");
+    let mut events = Vec::new();
+    for tick in 0..secs * 10 {
+        let now_ms = start_s * 1000 + tick * 100;
+        if let Some(p) = node.sample_tick(true, now_ms, rng) {
+            if net.send_uplink(&p, rng).is_delivered() {
+                if let Some(accepted) = base.receive(p) {
+                    events.extend(
+                        tracker.on_report(accepted.src, SimTime::from_millis(now_ms)),
+                    );
+                }
+            }
+        }
+    }
+    events
+}
+
+#[test]
+fn a_morning_at_home_is_recognised() {
+    let tea = catalog::tea_making();
+    let tooth = catalog::tooth_brushing();
+    let mut tracker = SessionTracker::new(
+        &[tea.clone(), tooth.clone()],
+        SimDuration::from_secs(90),
+    );
+    let mut net = StarNetwork::new(LinkConfig::default());
+    let mut base = BaseStation::new();
+    let mut nodes = Vec::new();
+    let mut rng = SimRng::seed_from(2007);
+    let mut all_events = Vec::new();
+
+    // 07:00 — tooth-brushing, all four steps.
+    let mut t = 0u64;
+    for step in tooth.steps() {
+        all_events.extend(use_tool(
+            &tooth, step.tool(), t, 6, &mut net, &mut base, &mut nodes, &mut tracker, &mut rng,
+        ));
+        t += 7;
+    }
+    // A long quiet gap closes the session (checked via on_tick).
+    if let Some(ev) = tracker.on_tick(SimTime::from_secs(t + 120)) {
+        all_events.push(ev);
+    }
+    t += 150;
+
+    // 07:03 — tea-making, but mid-way the user wanders to the toothbrush
+    // once (a cross-activity confusion), then finishes the tea.
+    let tea_steps = tea.step_ids();
+    for (i, &step) in tea_steps.iter().enumerate() {
+        all_events.extend(use_tool(
+            &tea,
+            step.tool().unwrap(),
+            t,
+            6,
+            &mut net,
+            &mut base,
+            &mut nodes,
+            &mut tracker,
+            &mut rng,
+        ));
+        t += 7;
+        if i == 1 {
+            // The confusion: two seconds on the toothbrush.
+            all_events.extend(use_tool(
+                &tooth,
+                ToolId::new(catalog::BRUSH),
+                t,
+                2,
+                &mut net,
+                &mut base,
+                &mut nodes,
+                &mut tracker,
+                &mut rng,
+            ));
+            t += 3;
+        }
+    }
+    if let Some(ev) = tracker.on_tick(SimTime::from_secs(t + 120)) {
+        all_events.push(ev);
+    }
+
+    // The recognised story: tooth session (completed), tea session with a
+    // cross-activity flag (completed).
+    let starts: Vec<&str> = all_events
+        .iter()
+        .filter_map(|e| match e {
+            SessionEvent::Started { activity, .. } => Some(activity.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts, vec!["Tooth-brushing", "Tea-making"], "{all_events:#?}");
+
+    let ends: Vec<(&str, bool)> = all_events
+        .iter()
+        .filter_map(|e| match e {
+            SessionEvent::Ended { activity, completed, .. } => {
+                Some((activity.as_str(), *completed))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        ends,
+        vec![("Tooth-brushing", true), ("Tea-making", true)],
+        "{all_events:#?}"
+    );
+
+    let confusions: Vec<_> = all_events
+        .iter()
+        .filter(|e| matches!(e, SessionEvent::CrossActivityUse { .. }))
+        .collect();
+    assert!(
+        !confusions.is_empty(),
+        "the toothbrush grab mid-tea must be flagged: {all_events:#?}"
+    );
+    for c in confusions {
+        if let SessionEvent::CrossActivityUse { active, foreign, tool, .. } = c {
+            assert_eq!(active, "Tea-making");
+            assert_eq!(foreign, "Tooth-brushing");
+            assert_eq!(*tool, ToolId::new(catalog::BRUSH));
+        }
+    }
+}
+
+#[test]
+fn home_and_tracker_agree_on_tool_ownership() {
+    let mut home = CoredaHome::new("x", CoredaConfig::default(), 1);
+    home.install(catalog::tea_making()).unwrap();
+    home.install(catalog::tooth_brushing()).unwrap();
+    let tracker = SessionTracker::new(
+        &[catalog::tea_making(), catalog::tooth_brushing()],
+        SimDuration::from_secs(60),
+    );
+    let _ = tracker; // ownership checked through the home below
+    for adl in [catalog::tea_making(), catalog::tooth_brushing()] {
+        for tool in adl.tools() {
+            assert_eq!(home.owner_of(tool.id()), Some(adl.name()));
+        }
+    }
+}
