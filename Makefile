@@ -1,6 +1,6 @@
 # Convenience targets for the CoReDA reproduction.
 
-.PHONY: all build test bench doc clippy examples repro clean
+.PHONY: all build test bench bench-fleet ci doc clippy examples repro clean
 
 all: build test
 
@@ -12,6 +12,17 @@ test:
 
 bench:
 	cargo bench --workspace
+
+# Fleet-engine throughput at 1/2/4/8 workers; writes BENCH_fleet.json.
+bench-fleet:
+	cargo bench -p coreda-bench --bench fleet_micro
+
+# The tier-1 gate: release build, full test suite, and the fleet
+# determinism regression (parallel sweeps byte-identical to serial).
+ci:
+	cargo build --release
+	cargo test -q
+	cargo test -q --test fleet_determinism
 
 doc:
 	cargo doc --workspace --no-deps

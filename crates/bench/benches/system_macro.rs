@@ -142,7 +142,7 @@ fn bench_experiment_units(c: &mut Criterion) {
     group.finish();
 }
 
-fn group_scenario(b: &mut criterion::Bencher<'_>) {
+fn group_scenario(b: &mut criterion::Bencher) {
     let mut seed = 0u64;
     b.iter(|| {
         seed += 1;

@@ -11,6 +11,7 @@ use coreda_adl::activity::{catalog, AdlSpec};
 use coreda_adl::routine::Routine;
 use coreda_adl::step::StepId;
 use coreda_core::baseline::{routine_accuracy, CertaintyEquivalence};
+use coreda_core::fleet::FleetEngine;
 use coreda_core::planning::{PlanningConfig, PlanningSubsystem, RewardConfig, StateEncoder};
 use coreda_core::reminding::ReminderLevel;
 use coreda_des::rng::SimRng;
@@ -19,7 +20,7 @@ use coreda_rl::policy::{EpsilonGreedy, Policy};
 use coreda_rl::schedule::Schedule;
 use coreda_rl::traces::TraceKind;
 
-use crate::common::{corrupt_sequence, measure_extraction};
+use crate::common::{corrupt_sequence_into, measure_extraction};
 use crate::fig4::sustained_crossing;
 
 /// Result of one ablation configuration.
@@ -49,11 +50,33 @@ pub fn train_learner_episode(
     ep: u64,
     rng: &mut SimRng,
 ) {
-    let seq: Vec<StepId> = steps
-        .iter()
-        .copied()
-        .filter(|s| !s.is_idle() && encoder.state_of(*s, *s).is_some())
-        .collect();
+    let mut seq = Vec::with_capacity(steps.len());
+    train_learner_episode_in(
+        learner, encoder, reward, terminal, steps, policy, ep, rng, &mut seq,
+    );
+}
+
+/// [`train_learner_episode`] with a caller-owned sequence buffer, so a
+/// multi-episode training loop reuses one allocation.
+#[allow(clippy::too_many_arguments)] // mirrors the planner's internal signature
+pub fn train_learner_episode_in(
+    learner: &mut dyn TdControl,
+    encoder: &StateEncoder,
+    reward: RewardConfig,
+    terminal: StepId,
+    steps: &[StepId],
+    policy: &EpsilonGreedy,
+    ep: u64,
+    rng: &mut SimRng,
+    seq: &mut Vec<StepId>,
+) {
+    seq.clear();
+    seq.extend(
+        steps
+            .iter()
+            .copied()
+            .filter(|s| !s.is_idle() && encoder.state_of(*s, *s).is_some()),
+    );
     if seq.len() < 2 {
         return;
     }
@@ -120,12 +143,25 @@ fn minimal_fraction_of(planner: &PlanningSubsystem, routine: &Routine) -> f64 {
 /// λ sweep on Tea-making with the paper's protocol.
 #[must_use]
 pub fn lambda_sweep(lambdas: &[f64], episodes: usize, seeds: usize, base_seed: u64) -> Vec<AblationPoint> {
+    lambda_sweep_with(FleetEngine::default(), lambdas, episodes, seeds, base_seed)
+}
+
+/// [`lambda_sweep`] on an explicit [`FleetEngine`] (results are identical
+/// at any worker count).
+#[must_use]
+pub fn lambda_sweep_with(
+    engine: FleetEngine,
+    lambdas: &[f64],
+    episodes: usize,
+    seeds: usize,
+    base_seed: u64,
+) -> Vec<AblationPoint> {
     let tea = catalog::tea_making();
     lambdas
         .iter()
         .map(|&lambda| {
             let cfg = PlanningConfig { lambda, ..PlanningConfig::default() };
-            run_planner_config(&tea, cfg, &format!("lambda = {lambda}"), episodes, seeds, base_seed)
+            run_planner_config(engine, &tea, cfg, &format!("lambda = {lambda}"), episodes, seeds, base_seed)
         })
         .collect()
 }
@@ -135,6 +171,17 @@ pub fn lambda_sweep(lambdas: &[f64], episodes: usize, seeds: usize, base_seed: u
 /// as well as matching ones.
 #[must_use]
 pub fn reward_shapes(episodes: usize, seeds: usize, base_seed: u64) -> Vec<AblationPoint> {
+    reward_shapes_with(FleetEngine::default(), episodes, seeds, base_seed)
+}
+
+/// [`reward_shapes`] on an explicit [`FleetEngine`].
+#[must_use]
+pub fn reward_shapes_with(
+    engine: FleetEngine,
+    episodes: usize,
+    seeds: usize,
+    base_seed: u64,
+) -> Vec<AblationPoint> {
     let tea = catalog::tea_making();
     let shapes = [
         ("paper (1000/100/50, 0 mismatch)", RewardConfig::default()),
@@ -151,12 +198,13 @@ pub fn reward_shapes(episodes: usize, seeds: usize, base_seed: u64) -> Vec<Ablat
         .iter()
         .map(|(label, reward)| {
             let cfg = PlanningConfig { reward: *reward, ..PlanningConfig::default() };
-            run_planner_config(&tea, cfg, label, episodes, seeds, base_seed)
+            run_planner_config(engine, &tea, cfg, label, episodes, seeds, base_seed)
         })
         .collect()
 }
 
 fn run_planner_config(
+    engine: FleetEngine,
     spec: &AdlSpec,
     cfg: PlanningConfig,
     label: &str,
@@ -165,22 +213,32 @@ fn run_planner_config(
     base_seed: u64,
 ) -> AblationPoint {
     let routine = Routine::canonical(spec);
+    // Extraction statistics are shared read-only by every seed's job, so
+    // they are measured once up front rather than inside the fan-out.
     let mut meta = SimRng::seed_from(base_seed);
     let extraction = measure_extraction(spec, 200, &mut meta);
-    let mut curves = Vec::new();
-    let mut final_accuracy = 0.0;
-    let mut minimal_fraction = 0.0;
-    for s in 0..seeds {
+    // One fleet job per seed; each derives its own RNG stream from the
+    // seed index, so results do not depend on the worker count.
+    let per_seed = engine.map((0..seeds).collect(), |s| {
         let mut rng = SimRng::seed_from(base_seed ^ (0xABCD_EF01 * (s as u64 + 1)));
         let mut planner = PlanningSubsystem::new(spec, cfg);
         let mut curve = Vec::with_capacity(episodes);
+        let mut obs = Vec::with_capacity(routine.steps().len());
         for _ in 0..episodes {
-            let obs = corrupt_sequence(routine.steps(), spec, &extraction, &mut rng);
+            corrupt_sequence_into(routine.steps(), spec, &extraction, &mut rng, &mut obs);
             planner.train_episode(&obs, &mut rng);
             curve.push(planner.accuracy_vs_routine(&routine));
         }
-        final_accuracy += planner.accuracy_vs_routine(&routine);
-        minimal_fraction += minimal_fraction_of(&planner, &routine);
+        let final_accuracy = planner.accuracy_vs_routine(&routine);
+        let minimal_fraction = minimal_fraction_of(&planner, &routine);
+        (curve, final_accuracy, minimal_fraction)
+    });
+    let mut curves = Vec::with_capacity(seeds);
+    let mut final_accuracy = 0.0;
+    let mut minimal_fraction = 0.0;
+    for (curve, fa, mf) in per_seed {
+        final_accuracy += fa;
+        minimal_fraction += mf;
         curves.push(curve);
     }
     let mean = coreda_core::metrics::mean_curve(&curves);
@@ -197,6 +255,17 @@ fn run_planner_config(
 /// clean recordings, measured in episodes to perfect routine accuracy.
 #[must_use]
 pub fn fast_learning(episodes: usize, seeds: usize, base_seed: u64) -> Vec<AblationPoint> {
+    fast_learning_with(FleetEngine::default(), episodes, seeds, base_seed)
+}
+
+/// [`fast_learning`] on an explicit [`FleetEngine`].
+#[must_use]
+pub fn fast_learning_with(
+    engine: FleetEngine,
+    episodes: usize,
+    seeds: usize,
+    base_seed: u64,
+) -> Vec<AblationPoint> {
     let tea = catalog::tea_making();
     let routine = Routine::canonical(&tea);
     let encoder = StateEncoder::new(&tea);
@@ -204,7 +273,7 @@ pub fn fast_learning(episodes: usize, seeds: usize, base_seed: u64) -> Vec<Ablat
     let td = TdConfig::new(Schedule::exponential(0.4, 0.997, 0.15), 0.05);
     let policy = EpsilonGreedy::constant(0.35);
 
-    type SeededFactory = Box<dyn Fn(u64) -> Box<dyn TdControl>>;
+    type SeededFactory = Box<dyn Fn(u64) -> Box<dyn TdControl> + Sync>;
     let make: Vec<(String, SeededFactory)> = vec![
         (
             "Q-learning (one-step)".into(),
@@ -229,15 +298,14 @@ pub fn fast_learning(episodes: usize, seeds: usize, base_seed: u64) -> Vec<Ablat
     let mut points: Vec<AblationPoint> = make
         .into_iter()
         .map(|(label, factory)| {
-            let mut curves = Vec::new();
-            let mut final_acc = 0.0;
-            for s in 0..seeds {
+            let per_seed = engine.map((0..seeds).collect(), |s| {
                 let seed = base_seed ^ (0x1357_9BDF * (s as u64 + 1));
                 let mut rng = SimRng::seed_from(seed);
                 let mut learner = factory(seed);
                 let mut curve = Vec::with_capacity(episodes);
+                let mut seq = Vec::with_capacity(routine.steps().len());
                 for ep in 0..episodes {
-                    train_learner_episode(
+                    train_learner_episode_in(
                         learner.as_mut(),
                         &encoder,
                         reward,
@@ -246,10 +314,17 @@ pub fn fast_learning(episodes: usize, seeds: usize, base_seed: u64) -> Vec<Ablat
                         &policy,
                         ep as u64,
                         &mut rng,
+                        &mut seq,
                     );
                     curve.push(routine_accuracy_of(learner.as_ref(), &encoder, &routine));
                 }
-                final_acc += routine_accuracy_of(learner.as_ref(), &encoder, &routine);
+                let final_acc = routine_accuracy_of(learner.as_ref(), &encoder, &routine);
+                (curve, final_acc)
+            });
+            let mut curves = Vec::with_capacity(seeds);
+            let mut final_acc = 0.0;
+            for (curve, fa) in per_seed {
+                final_acc += fa;
                 curves.push(curve);
             }
             let mean = coreda_core::metrics::mean_curve(&curves);
@@ -287,6 +362,17 @@ fn encoder_shape() -> coreda_rl::space::ProblemShape {
 /// [`fast_learning`], with SARSA variants included.
 #[must_use]
 pub fn algorithm_family(episodes: usize, seeds: usize, base_seed: u64) -> Vec<AblationPoint> {
+    algorithm_family_with(FleetEngine::default(), episodes, seeds, base_seed)
+}
+
+/// [`algorithm_family`] on an explicit [`FleetEngine`].
+#[must_use]
+pub fn algorithm_family_with(
+    engine: FleetEngine,
+    episodes: usize,
+    seeds: usize,
+    base_seed: u64,
+) -> Vec<AblationPoint> {
     let tea = catalog::tea_making();
     let routine = Routine::canonical(&tea);
     let encoder = StateEncoder::new(&tea);
@@ -294,7 +380,7 @@ pub fn algorithm_family(episodes: usize, seeds: usize, base_seed: u64) -> Vec<Ab
     let td = TdConfig::new(Schedule::exponential(0.4, 0.997, 0.15), 0.05);
     let policy = EpsilonGreedy::constant(0.35);
 
-    type Factory = Box<dyn Fn() -> Box<dyn TdControl>>;
+    type Factory = Box<dyn Fn() -> Box<dyn TdControl> + Sync>;
     let algos: Vec<(String, Factory)> = vec![
         ("Q-learning".into(), Box::new(move || Box::new(QLearning::new(encoder_shape(), td)))),
         ("SARSA".into(), Box::new(move || Box::new(Sarsa::new(encoder_shape(), td)))),
@@ -317,14 +403,13 @@ pub fn algorithm_family(episodes: usize, seeds: usize, base_seed: u64) -> Vec<Ab
     algos
         .into_iter()
         .map(|(label, factory)| {
-            let mut curves = Vec::new();
-            let mut final_acc = 0.0;
-            for s in 0..seeds {
+            let per_seed = engine.map((0..seeds).collect(), |s| {
                 let mut rng = SimRng::seed_from(base_seed ^ (0x2468_ACE0 * (s as u64 + 1)));
                 let mut learner = factory();
                 let mut curve = Vec::with_capacity(episodes);
+                let mut seq = Vec::with_capacity(routine.steps().len());
                 for ep in 0..episodes {
-                    train_learner_episode(
+                    train_learner_episode_in(
                         learner.as_mut(),
                         &encoder,
                         reward,
@@ -333,10 +418,17 @@ pub fn algorithm_family(episodes: usize, seeds: usize, base_seed: u64) -> Vec<Ab
                         &policy,
                         ep as u64,
                         &mut rng,
+                        &mut seq,
                     );
                     curve.push(routine_accuracy_of(learner.as_ref(), &encoder, &routine));
                 }
-                final_acc += routine_accuracy_of(learner.as_ref(), &encoder, &routine);
+                let final_acc = routine_accuracy_of(learner.as_ref(), &encoder, &routine);
+                (curve, final_acc)
+            });
+            let mut curves = Vec::with_capacity(seeds);
+            let mut final_acc = 0.0;
+            for (curve, fa) in per_seed {
+                final_acc += fa;
                 curves.push(curve);
             }
             let mean = coreda_core::metrics::mean_curve(&curves);

@@ -13,6 +13,7 @@ use coreda_adl::activity::{catalog, AdlSpec};
 use coreda_adl::patient::PatientProfile;
 use coreda_adl::routine::Routine;
 use coreda_core::baseline::{routine_accuracy, CanonicalReminder, MdpPlanner};
+use coreda_core::fleet::FleetEngine;
 use coreda_core::live::StochasticBehavior;
 use coreda_core::planning::{PlanningConfig, PlanningSubsystem, RewardConfig};
 use coreda_core::system::{Coreda, CoredaConfig};
@@ -35,6 +36,20 @@ pub struct AccuracyRow {
 /// personalised routines of `spec` (plus the canonical one).
 #[must_use]
 pub fn accuracy_study(spec: &AdlSpec, users: usize, seed: u64) -> Vec<AccuracyRow> {
+    accuracy_study_with(FleetEngine::default(), spec, users, seed)
+}
+
+/// [`accuracy_study`] on an explicit [`FleetEngine`]. The personalised
+/// routines are drawn from one sequential stream up front (their shuffles
+/// depend on draw order); the per-routine training jobs then fan out,
+/// each with its own fixed-seed stream.
+#[must_use]
+pub fn accuracy_study_with(
+    engine: FleetEngine,
+    spec: &AdlSpec,
+    users: usize,
+    seed: u64,
+) -> Vec<AccuracyRow> {
     let mut rng = SimRng::seed_from(seed);
     let mut routines = vec![("canonical".to_owned(), Routine::canonical(spec))];
     for u in 0..users {
@@ -47,24 +62,21 @@ pub fn accuracy_study(spec: &AdlSpec, users: usize, seed: u64) -> Vec<AccuracyRo
         routines.push((format!("user {}", u + 1), Routine::new(spec, ids)));
     }
 
-    routines
-        .into_iter()
-        .map(|(label, routine)| {
-            let mut planner = PlanningSubsystem::new(spec, PlanningConfig::default());
-            let mut train_rng = SimRng::seed_from(seed ^ 0x5555);
-            for _ in 0..120 {
-                planner.train_episode(routine.steps(), &mut train_rng);
-            }
-            let canonical = CanonicalReminder::new(spec);
-            let oracle = MdpPlanner::solve(spec, &routine, RewardConfig::default(), 0.05, 20);
-            AccuracyRow {
-                routine: label,
-                coreda: routine_accuracy(&planner, &routine),
-                canonical: routine_accuracy(&canonical, &routine),
-                oracle: routine_accuracy(&oracle, &routine),
-            }
-        })
-        .collect()
+    engine.map(routines, |(label, routine)| {
+        let mut planner = PlanningSubsystem::new(spec, PlanningConfig::default());
+        let mut train_rng = SimRng::seed_from(seed ^ 0x5555);
+        for _ in 0..120 {
+            planner.train_episode(routine.steps(), &mut train_rng);
+        }
+        let canonical = CanonicalReminder::new(spec);
+        let oracle = MdpPlanner::solve(spec, &routine, RewardConfig::default(), 0.05, 20);
+        AccuracyRow {
+            routine: label,
+            coreda: routine_accuracy(&planner, &routine),
+            canonical: routine_accuracy(&canonical, &routine),
+            oracle: routine_accuracy(&oracle, &routine),
+        }
+    })
 }
 
 /// Live outcomes under one planner state.
@@ -87,12 +99,19 @@ pub struct LiveRow {
 /// one (whose prompts are useless, leaving the patient to self-recover).
 #[must_use]
 pub fn live_study(episodes: usize, seed: u64) -> Vec<LiveRow> {
+    live_study_with(FleetEngine::default(), episodes, seed)
+}
+
+/// [`live_study`] on an explicit [`FleetEngine`]: one job per planner
+/// condition (each condition already has its own derived RNG streams).
+#[must_use]
+pub fn live_study_with(engine: FleetEngine, episodes: usize, seed: u64) -> Vec<LiveRow> {
     let tea = catalog::tea_making();
     let routine = Routine::canonical(&tea);
 
-    let mut rows = Vec::new();
-    for (label, train) in [("CoReDA (trained, 120 episodes)", true), ("untrained prompts", false)]
-    {
+    let conditions =
+        vec![("CoReDA (trained, 120 episodes)", true), ("untrained prompts", false)];
+    engine.map(conditions, |(label, train)| {
         let mut system = Coreda::new(tea.clone(), "Mr. Tanaka", CoredaConfig::default(), seed);
         if train {
             let mut rng = SimRng::seed_from(seed ^ 0x1111);
@@ -115,15 +134,14 @@ pub fn live_study(episodes: usize, seed: u64) -> Vec<LiveRow> {
             reminders += log.reminders().len();
             praises += log.praise_count();
         }
-        rows.push(LiveRow {
+        LiveRow {
             planner: label.to_owned(),
             mean_completion_s: coreda_core::metrics::mean(&completions),
             completion_rate: completed as f64 / episodes as f64,
             mean_reminders: reminders as f64 / episodes as f64,
             mean_praises: praises as f64 / episodes as f64,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Renders the accuracy study.

@@ -2,6 +2,7 @@
 
 use coreda_adl::activity::AdlSpec;
 use coreda_adl::step::StepId;
+use coreda_core::fleet::FleetEngine;
 use coreda_des::rng::SimRng;
 use coreda_sensornet::detect::Thresholds;
 use coreda_sensornet::network::{LinkConfig, StarNetwork};
@@ -9,6 +10,24 @@ use coreda_sensornet::node::PavenetNode;
 
 /// Number of 100 ms samples per second (the PAVENET rate).
 pub const TICKS_PER_SEC: u64 = 10;
+
+/// Pulls a `--jobs N` option out of a raw argument list (so the caller's
+/// positional parsing still works) and returns the matching engine.
+/// `--jobs` with a missing or unparsable value falls back to the default
+/// worker count; no `--jobs` at all does the same.
+#[must_use]
+pub fn engine_from_args(args: &mut Vec<String>) -> FleetEngine {
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let engine = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .map_or_else(FleetEngine::default, FleetEngine::new);
+        args.drain(i..(i + 2).min(args.len()));
+        engine
+    } else {
+        FleetEngine::default()
+    }
+}
 
 /// Simulates one performance of `step_idx` of `spec` and reports whether
 /// the sensing pipeline extracted it: the tool's node must deliver at
@@ -22,10 +41,22 @@ pub fn extract_trial(
     link: LinkConfig,
     rng: &mut SimRng,
 ) -> bool {
+    let mut net = StarNetwork::new(link);
+    extract_trial_in(spec, step_idx, &mut net, rng)
+}
+
+/// Like [`extract_trial`], but reuses a caller-owned network so the link
+/// table is not reallocated per trial. Each trial re-registers the node,
+/// which resets its link — behaviour is identical to a fresh network.
+pub fn extract_trial_in(
+    spec: &AdlSpec,
+    step_idx: usize,
+    net: &mut StarNetwork,
+    rng: &mut SimRng,
+) -> bool {
     let step = &spec.steps()[step_idx];
     let tool = spec.tool(step.tool()).expect("spec is validated");
     let mut node = PavenetNode::new(tool.id().into(), tool.signal(), Thresholds::default());
-    let mut net = StarNetwork::new(link);
     net.register(node.uid());
 
     // Duration drawn from the step's statistics, like a real performance.
@@ -45,10 +76,11 @@ pub fn extract_trial(
 /// Per-step extraction success probabilities measured by Monte-Carlo
 /// (used to corrupt training data realistically).
 pub fn measure_extraction(spec: &AdlSpec, trials: usize, rng: &mut SimRng) -> Vec<f64> {
+    let mut net = StarNetwork::new(LinkConfig::default());
     (0..spec.steps().len())
         .map(|i| {
             let hits = (0..trials)
-                .filter(|_| extract_trial(spec, i, LinkConfig::default(), rng))
+                .filter(|_| extract_trial_in(spec, i, &mut net, rng))
                 .count();
             hits as f64 / trials as f64
         })
@@ -64,16 +96,27 @@ pub fn corrupt_sequence(
     extraction: &[f64],
     rng: &mut SimRng,
 ) -> Vec<StepId> {
-    steps
-        .iter()
-        .copied()
-        .filter(|s| {
-            match spec.step_index(*s) {
-                Some(i) => rng.chance(extraction[i].clamp(0.0, 1.0)),
-                None => true, // idles / foreign steps pass through
-            }
-        })
-        .collect()
+    let mut out = Vec::with_capacity(steps.len());
+    corrupt_sequence_into(steps, spec, extraction, rng, &mut out);
+    out
+}
+
+/// [`corrupt_sequence`] into a caller-owned buffer, so a training loop
+/// running hundreds of episodes reuses one allocation.
+pub fn corrupt_sequence_into(
+    steps: &[StepId],
+    spec: &AdlSpec,
+    extraction: &[f64],
+    rng: &mut SimRng,
+    out: &mut Vec<StepId>,
+) {
+    out.clear();
+    out.extend(steps.iter().copied().filter(|s| {
+        match spec.step_index(*s) {
+            Some(i) => rng.chance(extraction[i].clamp(0.0, 1.0)),
+            None => true, // idles / foreign steps pass through
+        }
+    }));
 }
 
 /// Renders a y-range-normalised ASCII line chart of `series` (values in
@@ -190,5 +233,23 @@ mod tests {
         let s = render_table("T", &[("a".into(), "1".into()), ("long label".into(), "2".into())]);
         assert!(s.contains("== T =="));
         assert!(s.contains("long label"));
+    }
+
+    #[test]
+    fn engine_from_args_extracts_jobs() {
+        let mut args: Vec<String> =
+            ["40", "--jobs", "3", "2007"].iter().map(|s| (*s).to_owned()).collect();
+        let engine = engine_from_args(&mut args);
+        assert_eq!(engine.jobs(), 3);
+        assert_eq!(args, vec!["40".to_owned(), "2007".to_owned()]);
+
+        let mut bare: Vec<String> = vec!["40".to_owned()];
+        let _ = engine_from_args(&mut bare);
+        assert_eq!(bare, vec!["40".to_owned()]);
+
+        // A trailing `--jobs` with no value falls back to the default.
+        let mut dangling: Vec<String> = vec!["--jobs".to_owned()];
+        assert!(engine_from_args(&mut dangling).jobs() >= 1);
+        assert!(dangling.is_empty());
     }
 }

@@ -7,6 +7,7 @@
 //! step-extraction precision degrade with the number of concurrently
 //! active tools, and how much a wider contention window buys back.
 
+use coreda_core::fleet::FleetEngine;
 use coreda_des::rng::SimRng;
 use coreda_sensornet::detect::Thresholds;
 use coreda_sensornet::medium::SharedMedium;
@@ -104,13 +105,21 @@ pub fn run_point(active_tools: usize, window: u8, trials: usize, seed: u64) -> C
 /// The standard sweep: 1–12 concurrent tools at windows 8 and 32.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Vec<ContentionPoint> {
-    let mut out = Vec::new();
+    run_on(FleetEngine::default(), trials, seed)
+}
+
+/// [`run`] on an explicit [`FleetEngine`]: one job per sweep point, each
+/// already seeded independently, so the sweep is identical at any worker
+/// count.
+#[must_use]
+pub fn run_on(engine: FleetEngine, trials: usize, seed: u64) -> Vec<ContentionPoint> {
+    let mut cells = Vec::new();
     for &window in &[8u8, 32] {
         for &k in &[1usize, 2, 4, 8, 12] {
-            out.push(run_point(k, window, trials, seed ^ u64::from(window)));
+            cells.push((k, window));
         }
     }
-    out
+    engine.map(cells, |(k, window)| run_point(k, window, trials, seed ^ u64::from(window)))
 }
 
 /// Renders the sweep.

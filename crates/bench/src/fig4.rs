@@ -12,11 +12,12 @@
 
 use coreda_adl::activity::{catalog, AdlSpec};
 use coreda_adl::routine::Routine;
+use coreda_core::fleet::FleetEngine;
 use coreda_core::metrics::mean_curve;
 use coreda_core::planning::{PlanningConfig, PlanningSubsystem};
 use coreda_des::rng::SimRng;
 
-use crate::common::{corrupt_sequence, measure_extraction};
+use crate::common::{corrupt_sequence_into, measure_extraction};
 
 /// The learning curve of one ADL.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,22 +71,36 @@ pub fn run_adl(
     seeds: usize,
     base_seed: u64,
 ) -> Curve {
+    run_adl_with(FleetEngine::default(), spec, cfg, episodes, seeds, base_seed)
+}
+
+/// [`run_adl`] on an explicit [`FleetEngine`] (results are identical at
+/// any worker count: one job per seed, each with its own derived stream).
+#[must_use]
+pub fn run_adl_with(
+    engine: FleetEngine,
+    spec: &AdlSpec,
+    cfg: PlanningConfig,
+    episodes: usize,
+    seeds: usize,
+    base_seed: u64,
+) -> Curve {
     let routine = Routine::canonical(spec);
     let mut meta_rng = SimRng::seed_from(base_seed);
     let extraction = measure_extraction(spec, 300, &mut meta_rng);
 
-    let mut curves = Vec::with_capacity(seeds);
-    for s in 0..seeds {
+    let curves = engine.map((0..seeds).collect(), |s| {
         let mut rng = SimRng::seed_from(base_seed ^ (0x9E37_79B9 * (s as u64 + 1)));
         let mut planner = PlanningSubsystem::new(spec, cfg);
         let mut curve = Vec::with_capacity(episodes);
+        let mut observed = Vec::with_capacity(routine.steps().len());
         for _ in 0..episodes {
-            let observed = corrupt_sequence(routine.steps(), spec, &extraction, &mut rng);
+            corrupt_sequence_into(routine.steps(), spec, &extraction, &mut rng, &mut observed);
             planner.train_episode(&observed, &mut rng);
             curve.push(planner.accuracy_vs_routine(&routine));
         }
-        curves.push(curve);
-    }
+        curve
+    });
     let accuracy = mean_curve(&curves);
     Curve {
         adl: spec.name().to_owned(),
@@ -98,9 +113,15 @@ pub fn run_adl(
 /// Runs the full Figure 4 experiment over both catalog ADLs.
 #[must_use]
 pub fn run(episodes: usize, seeds: usize, base_seed: u64) -> Vec<Curve> {
+    run_with(FleetEngine::default(), episodes, seeds, base_seed)
+}
+
+/// [`run`] on an explicit [`FleetEngine`].
+#[must_use]
+pub fn run_with(engine: FleetEngine, episodes: usize, seeds: usize, base_seed: u64) -> Vec<Curve> {
     catalog::paper_adls()
         .iter()
-        .map(|adl| run_adl(adl, PlanningConfig::default(), episodes, seeds, base_seed))
+        .map(|adl| run_adl_with(engine, adl, PlanningConfig::default(), episodes, seeds, base_seed))
         .collect()
 }
 

@@ -7,13 +7,14 @@
 
 use coreda_adl::activity::catalog;
 use coreda_adl::routine::Routine;
+use coreda_core::fleet::{derive_seed, FleetEngine};
 use coreda_core::metrics::mean_curve;
 use coreda_core::planning::{PlanningConfig, PlanningSubsystem};
 use coreda_des::rng::SimRng;
-use coreda_sensornet::network::LinkConfig;
+use coreda_sensornet::network::{LinkConfig, StarNetwork};
 use coreda_sensornet::radio::LossModel;
 
-use crate::common::extract_trial;
+use crate::common::{corrupt_sequence_into, extract_trial_in};
 use crate::fig4::sustained_crossing;
 
 /// One sweep point.
@@ -57,13 +58,29 @@ pub fn standard_links() -> Vec<(String, LinkConfig)> {
 /// Runs the sweep.
 #[must_use]
 pub fn run(extract_trials: usize, episodes: usize, seeds: usize, base_seed: u64) -> Vec<LossPoint> {
+    run_on(FleetEngine::default(), extract_trials, episodes, seeds, base_seed)
+}
+
+/// [`run`] on an explicit [`FleetEngine`]: each link point fans its
+/// extraction rows and training seeds out as independent jobs with
+/// counter-based RNG streams.
+#[must_use]
+pub fn run_on(
+    engine: FleetEngine,
+    extract_trials: usize,
+    episodes: usize,
+    seeds: usize,
+    base_seed: u64,
+) -> Vec<LossPoint> {
     standard_links()
         .into_iter()
-        .map(|(label, link)| run_point(&label, link, extract_trials, episodes, seeds, base_seed))
+        .map(|(label, link)| run_point(engine, &label, link, extract_trials, episodes, seeds, base_seed))
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_point(
+    engine: FleetEngine,
     label: &str,
     link: LinkConfig,
     extract_trials: usize,
@@ -71,43 +88,54 @@ fn run_point(
     seeds: usize,
     base_seed: u64,
 ) -> LossPoint {
-    // Extraction across all steps of both ADLs under this link.
-    let mut rng = SimRng::seed_from(base_seed);
+    // Extraction across all steps of both ADLs under this link: one job
+    // per step, each with a stream derived from the link label and row.
+    let tea = catalog::tea_making();
+    let adls = catalog::paper_adls();
+    let mut cells = Vec::new();
+    for (ai, adl) in adls.iter().enumerate() {
+        for idx in 0..adl.steps().len() {
+            cells.push((cells.len(), ai, idx));
+        }
+    }
+    let rows = engine.map(cells, |(row, ai, idx)| {
+        let mut rng = SimRng::seed_from(derive_seed(base_seed, label, row as u64));
+        let mut net = StarNetwork::new(link);
+        let ok = (0..extract_trials)
+            .filter(|_| extract_trial_in(&adls[ai], idx, &mut net, &mut rng))
+            .count();
+        (ai, ok)
+    });
     let mut hits = 0usize;
     let mut total = 0usize;
-    let mut per_step: Vec<(usize, f64)> = Vec::new(); // (adl step count, precision)
-    let tea = catalog::tea_making();
     let mut tea_extraction = Vec::new();
-    for adl in catalog::paper_adls() {
-        for idx in 0..adl.steps().len() {
-            let ok = (0..extract_trials)
-                .filter(|_| extract_trial(&adl, idx, link, &mut rng))
-                .count();
-            hits += ok;
-            total += extract_trials;
-            let p = ok as f64 / extract_trials as f64;
-            per_step.push((idx, p));
-            if adl.name() == tea.name() {
-                tea_extraction.push(p);
-            }
+    for (ai, ok) in rows {
+        hits += ok;
+        total += extract_trials;
+        if adls[ai].name() == tea.name() {
+            tea_extraction.push(ok as f64 / extract_trials as f64);
         }
     }
 
-    // Learning under this link's extraction, Tea-making.
+    // Learning under this link's extraction, Tea-making: one job per seed.
     let routine = Routine::canonical(&tea);
-    let mut curves = Vec::new();
-    let mut final_acc = 0.0;
-    for s in 0..seeds {
+    let per_seed = engine.map((0..seeds).collect(), |s| {
         let mut srng = SimRng::seed_from(base_seed ^ (0x1111_2222 * (s as u64 + 1)));
         let mut planner = PlanningSubsystem::new(&tea, PlanningConfig::default());
         let mut curve = Vec::with_capacity(episodes);
+        let mut observed = Vec::with_capacity(routine.steps().len());
         for _ in 0..episodes {
-            let observed =
-                crate::common::corrupt_sequence(routine.steps(), &tea, &tea_extraction, &mut srng);
+            corrupt_sequence_into(routine.steps(), &tea, &tea_extraction, &mut srng, &mut observed);
             planner.train_episode(&observed, &mut srng);
             curve.push(planner.accuracy_vs_routine(&routine));
         }
-        final_acc += planner.accuracy_vs_routine(&routine);
+        let final_acc = planner.accuracy_vs_routine(&routine);
+        (curve, final_acc)
+    });
+    let mut curves = Vec::with_capacity(seeds);
+    let mut final_acc = 0.0;
+    for (curve, fa) in per_seed {
+        final_acc += fa;
         curves.push(curve);
     }
     let mean = mean_curve(&curves);
@@ -163,7 +191,9 @@ mod tests {
 
     #[test]
     fn learning_survives_loss() {
-        let points = run(40, 80, 4, 11);
+        // Enough extraction trials and seeds that the band below measures
+        // the learner, not Monte-Carlo noise in the extraction estimate.
+        let points = run(80, 100, 6, 11);
         for p in &points {
             assert!(
                 p.final_accuracy > 0.8,

@@ -6,11 +6,12 @@
 //! kettle" 80 %).
 
 use coreda_adl::activity::{catalog, AdlSpec};
+use coreda_core::fleet::{derive_seed, FleetEngine};
 use coreda_core::metrics::PrecisionCounter;
 use coreda_des::rng::SimRng;
-use coreda_sensornet::network::LinkConfig;
+use coreda_sensornet::network::{LinkConfig, StarNetwork};
 
-use crate::common::extract_trial;
+use crate::common::extract_trial_in;
 
 /// One row of the reproduced table.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,39 +45,58 @@ pub fn run(trials: usize, seed: u64) -> Vec<ExtractRow> {
 /// Same, with a custom radio link (used by the loss-sweep experiment).
 #[must_use]
 pub fn run_with_link(trials: usize, seed: u64, link: LinkConfig) -> Vec<ExtractRow> {
-    let mut rng = SimRng::seed_from(seed);
+    run_with_link_on(FleetEngine::default(), trials, seed, link)
+}
+
+/// [`run_with_link`] on an explicit [`FleetEngine`]: one job per table
+/// row, each with a counter-based RNG stream derived from the row index,
+/// so the table is identical at any worker count.
+#[must_use]
+pub fn run_with_link_on(
+    engine: FleetEngine,
+    trials: usize,
+    seed: u64,
+    link: LinkConfig,
+) -> Vec<ExtractRow> {
     let paper = paper_values();
-    let mut rows = Vec::new();
-    for adl in catalog::paper_adls() {
+    let adls = catalog::paper_adls();
+    let mut cells = Vec::new();
+    for (ai, adl) in adls.iter().enumerate() {
         for idx in 0..adl.steps().len() {
-            let mut counter = PrecisionCounter::new();
-            for _ in 0..trials {
-                counter.record(extract_trial(&adl, idx, link, &mut rng));
-            }
-            rows.push(ExtractRow {
-                adl: adl.name().to_owned(),
-                step: adl.steps()[idx].name().to_owned(),
-                precision: counter,
-                paper: paper[rows.len()],
-            });
+            cells.push((cells.len(), ai, idx));
         }
     }
-    rows
+    engine.map(cells, |(row, ai, idx)| {
+        let adl = &adls[ai];
+        let mut rng = SimRng::seed_from(derive_seed(seed, "table3", row as u64));
+        let mut net = StarNetwork::new(link);
+        let mut counter = PrecisionCounter::new();
+        for _ in 0..trials {
+            counter.record(extract_trial_in(adl, idx, &mut net, &mut rng));
+        }
+        ExtractRow {
+            adl: adl.name().to_owned(),
+            step: adl.steps()[idx].name().to_owned(),
+            precision: counter,
+            paper: paper[row],
+        }
+    })
 }
 
 /// Runs Table 3 for a single custom ADL (generalisation demo).
 #[must_use]
 pub fn run_for(spec: &AdlSpec, trials: usize, seed: u64) -> Vec<(String, PrecisionCounter)> {
-    let mut rng = SimRng::seed_from(seed);
-    (0..spec.steps().len())
-        .map(|idx| {
-            let mut counter = PrecisionCounter::new();
-            for _ in 0..trials {
-                counter.record(extract_trial(spec, idx, LinkConfig::default(), &mut rng));
-            }
-            (spec.steps()[idx].name().to_owned(), counter)
-        })
-        .collect()
+    let engine = FleetEngine::default();
+    let cells: Vec<usize> = (0..spec.steps().len()).collect();
+    engine.map(cells, |idx| {
+        let mut rng = SimRng::seed_from(derive_seed(seed, "table3-custom", idx as u64));
+        let mut net = StarNetwork::new(LinkConfig::default());
+        let mut counter = PrecisionCounter::new();
+        for _ in 0..trials {
+            counter.record(extract_trial_in(spec, idx, &mut net, &mut rng));
+        }
+        (spec.steps()[idx].name().to_owned(), counter)
+    })
 }
 
 /// Renders the table like the paper's.

@@ -10,6 +10,7 @@
 use coreda_adl::activity::{catalog, AdlSpec};
 use coreda_adl::routine::Routine;
 use coreda_adl::step::StepId;
+use coreda_core::fleet::FleetEngine;
 use coreda_core::metrics::PrecisionCounter;
 use coreda_core::planning::{PlanningConfig, PlanningSubsystem};
 use coreda_des::rng::SimRng;
@@ -98,7 +99,18 @@ pub fn run_adl(spec: &AdlSpec, samples: usize, seed: u64) -> Vec<PredictRow> {
 /// Runs the full Table 4 experiment (30 samples per ADL, like the paper).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Vec<PredictRow> {
-    catalog::paper_adls().iter().flat_map(|adl| run_adl(adl, samples, seed)).collect()
+    run_on(FleetEngine::default(), samples, seed)
+}
+
+/// [`run`] on an explicit [`FleetEngine`]: one training job per ADL.
+#[must_use]
+pub fn run_on(engine: FleetEngine, samples: usize, seed: u64) -> Vec<PredictRow> {
+    let adls: Vec<AdlSpec> = catalog::paper_adls().into_iter().collect();
+    engine
+        .map(adls, |adl| run_adl(&adl, samples, seed))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Renders the table like the paper's.

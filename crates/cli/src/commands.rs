@@ -243,6 +243,71 @@ pub fn run_scenario(p: &Parsed) -> CmdResult {
     Ok(scenario::figure1(seed).render())
 }
 
+/// `fleet` — run a benchmark suite on the parallel fleet engine.
+///
+/// Every suite fans its `(config, seed)` grid out over `--jobs` workers;
+/// results are bit-identical at any worker count, so `--jobs` is purely a
+/// wall-clock knob.
+pub fn fleet(p: &Parsed) -> CmdResult {
+    use coreda_bench::{ablation, baseline_cmp, contention, fig4, radio_loss, table3, table4};
+    use coreda_core::fleet::{default_jobs, FleetEngine};
+
+    let jobs: usize = p.get_parsed("jobs", default_jobs())?;
+    let seeds: usize = p.get_parsed("seeds", 4)?;
+    let seed: u64 = p.get_parsed("seed", 2007)?;
+    let engine = FleetEngine::new(jobs);
+    let suite = p.get_or("suite", "ablation");
+
+    let mut out = format!(
+        "fleet: suite={suite} jobs={} seeds={seeds} seed={seed}\n",
+        engine.jobs()
+    );
+    match suite.to_ascii_lowercase().as_str() {
+        "ablation" => {
+            let lam = ablation::lambda_sweep_with(engine, &[0.0, 0.3, 0.6, 0.9], 120, seeds, seed);
+            out.push_str(&ablation::render("Eligibility-trace decay (lambda)", &lam));
+            let algos = ablation::algorithm_family_with(engine, 120, seeds, seed);
+            out.push_str(&ablation::render("Algorithm family", &algos));
+        }
+        "fig4" => {
+            out.push_str(&fig4::render(&fig4::run_with(engine, 160, seeds, seed)));
+        }
+        "table3" => {
+            out.push_str(&table3::render(&table3::run_with_link_on(
+                engine,
+                200,
+                seed,
+                Default::default(),
+            )));
+        }
+        "table4" => {
+            out.push_str(&table4::render(&table4::run_on(engine, 200, seed)));
+        }
+        "radio-loss" => {
+            out.push_str(&radio_loss::render(&radio_loss::run_on(engine, 120, 120, seeds, seed)));
+        }
+        "contention" => {
+            out.push_str(&contention::render(&contention::run_on(engine, 60, seed)));
+        }
+        "baselines" => {
+            let tea = catalog::tea_making();
+            let rows = baseline_cmp::accuracy_study_with(engine, &tea, seeds.max(1), seed);
+            out.push_str(&baseline_cmp::render_accuracy(&rows));
+            out.push_str(&baseline_cmp::render_live(&baseline_cmp::live_study_with(
+                engine, 12, seed,
+            )));
+        }
+        other => {
+            return Err(format!(
+                "unknown suite {other:?}; available: ablation, fig4, table3, table4, \
+                 radio-loss, contention, baselines"
+            )
+            .into())
+        }
+    }
+    Ok(out)
+}
+
 /// `help` — usage text.
 #[must_use]
 pub fn help() -> String {
@@ -283,6 +348,13 @@ COMMANDS
       --out FILE             write to file instead of stdout
   scenario                   replay the paper's Figure 1
       --seed N               rng seed                     [2007]
+  fleet                      run a benchmark suite on the parallel engine
+      --suite S              ablation|fig4|table3|table4|radio-loss|
+                             contention|baselines        [ablation]
+      --jobs N               worker threads (results are identical at
+                             any N)                      [all cores]
+      --seeds N              seeds per sweep point        [4]
+      --seed N               base rng seed                [2007]
   help                       this text
 "
     .to_owned()
@@ -298,6 +370,7 @@ pub fn dispatch(p: &Parsed) -> CmdResult {
         "simulate" => simulate(p),
         "sensor-trace" => sensor_trace(p),
         "scenario" => run_scenario(p),
+        "fleet" => fleet(p),
         "help" => Ok(help()),
         other => Err(format!("unknown command {other:?}; try 'help'").into()),
     }
@@ -418,9 +491,32 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let h = help();
-        for cmd in ["list", "generate", "train", "evaluate", "simulate", "scenario"] {
+        for cmd in ["list", "generate", "train", "evaluate", "simulate", "scenario", "fleet"] {
             assert!(h.contains(cmd), "help is missing {cmd}");
         }
         assert_eq!(dispatch(&parse(&["help"])).unwrap(), h);
+    }
+
+    #[test]
+    fn fleet_runs_a_suite_and_jobs_do_not_change_output() {
+        let serial = fleet(&parse(&[
+            "fleet", "--suite", "contention", "--jobs", "1", "--seed", "7",
+        ]))
+        .unwrap();
+        let parallel = fleet(&parse(&[
+            "fleet", "--suite", "contention", "--jobs", "8", "--seed", "7",
+        ]))
+        .unwrap();
+        assert!(serial.contains("Scaling"), "{serial}");
+        // The header echoes the worker count; everything below it must
+        // be byte-identical.
+        let body = |s: &str| s.split_once('\n').unwrap().1.to_owned();
+        assert_eq!(body(&serial), body(&parallel));
+    }
+
+    #[test]
+    fn fleet_rejects_unknown_suite() {
+        let err = fleet(&parse(&["fleet", "--suite", "nope"])).unwrap_err();
+        assert!(err.to_string().contains("unknown suite"));
     }
 }

@@ -52,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
+pub mod fleet;
 pub mod home;
 pub mod live;
 pub mod metrics;

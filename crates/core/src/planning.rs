@@ -306,6 +306,9 @@ pub struct PlanningSubsystem {
     reward: RewardConfig,
     terminal_step: StepId,
     episodes_trained: u64,
+    /// Reusable filtered-sequence buffer so per-episode training does not
+    /// allocate (the fleet engine trains hundreds of episodes per job).
+    scratch: Vec<StepId>,
 }
 
 impl PlanningSubsystem {
@@ -342,6 +345,7 @@ impl PlanningSubsystem {
             reward: cfg.reward,
             terminal_step: spec.terminal_step(),
             episodes_trained: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -365,12 +369,16 @@ impl PlanningSubsystem {
     pub fn train_episode(&mut self, steps: &[StepId], rng: &mut SimRng) -> usize {
         let ep = self.episodes_trained;
         self.episodes_trained += 1;
-        let seq: Vec<StepId> = steps
-            .iter()
-            .copied()
-            .filter(|s| !s.is_idle() && self.encoder.step_index(*s).is_some())
-            .collect();
+        let mut seq = std::mem::take(&mut self.scratch);
+        seq.clear();
+        seq.extend(
+            steps
+                .iter()
+                .copied()
+                .filter(|s| !s.is_idle() && self.encoder.step_index(*s).is_some()),
+        );
         if seq.len() < 2 {
+            self.scratch = seq;
             return 0;
         }
         self.learner.as_dyn_mut().begin_episode();
@@ -414,6 +422,7 @@ impl PlanningSubsystem {
             prev = cur;
             learned += 1;
         }
+        self.scratch = seq;
         learned
     }
 
@@ -557,6 +566,27 @@ pub fn learning_curve(
         out.push(planner.accuracy_vs_routine(reference));
     }
     out
+}
+
+/// Mean learning curve over `seeds` independently seeded runs, one fleet
+/// job per seed. Each run draws its exploration stream from a
+/// counter-based seed ([`crate::fleet::derive_seed`]), so the result is
+/// identical at any worker count.
+pub fn learning_curve_fleet(
+    engine: crate::fleet::FleetEngine,
+    spec: &AdlSpec,
+    cfg: PlanningConfig,
+    episodes: &[Vec<StepId>],
+    reference: &Routine,
+    seeds: usize,
+    base_seed: u64,
+) -> Vec<f64> {
+    let curves = engine.map((0..seeds).collect(), |s| {
+        let seed = crate::fleet::derive_seed(base_seed, "learning-curve", s as u64);
+        let mut rng = SimRng::seed_from(seed);
+        learning_curve(spec, cfg, episodes, reference, &mut rng)
+    });
+    crate::metrics::mean_curve(&curves)
 }
 
 #[cfg(test)]
@@ -746,5 +776,32 @@ mod tests {
         // Accuracy starts low: an untrained table predicts the first tool
         // (tie-break) everywhere.
         assert!(curve[0] < 1.0);
+    }
+
+    #[test]
+    fn learning_curve_fleet_is_worker_count_invariant() {
+        let tea = catalog::tea_making();
+        let routine = Routine::canonical(&tea);
+        let episodes: Vec<Vec<StepId>> = (0..60).map(|_| routine.steps().to_vec()).collect();
+        let serial = learning_curve_fleet(
+            crate::fleet::FleetEngine::new(1),
+            &tea,
+            PlanningConfig::default(),
+            &episodes,
+            &routine,
+            4,
+            2007,
+        );
+        let parallel = learning_curve_fleet(
+            crate::fleet::FleetEngine::new(8),
+            &tea,
+            PlanningConfig::default(),
+            &episodes,
+            &routine,
+            4,
+            2007,
+        );
+        assert_eq!(serial, parallel, "mean curve must not depend on worker count");
+        assert!(*parallel.last().unwrap() > 0.9);
     }
 }

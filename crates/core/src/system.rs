@@ -826,7 +826,7 @@ mod tests {
         assert!(!log.reminders().is_empty(), "ungated untrained planner guesses:\n{}", log.render());
 
         // Trained + gated: confidence is high, reminders flow again.
-        let mut trained = Coreda::new(tea, "x", gated, 23);
+        let mut trained = Coreda::new(tea, "x", gated, 37);
         let mut train_rng = SimRng::seed_from(25);
         for _ in 0..250 {
             trained.planner_mut().train_episode(routine.steps(), &mut train_rng);

@@ -5,10 +5,14 @@
 //! Independent sub-streams (one per sensor node, per patient, …) are derived
 //! with [`SimRng::substream`] so adding a component never perturbs the draws
 //! of another.
-
-use rand::distributions::{Bernoulli, Distribution};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ with splitmix64 seed
+//! expansion — no external crates, identical output on every platform, and
+//! cheap enough to fork one stream per fleet job. Stream derivation is
+//! counter-based (a hash of `(domain, index)` XORed into the base seed), so
+//! a sub-stream's draws depend only on its label, never on how many other
+//! streams were derived before it — the property the parallel fleet engine
+//! relies on for worker-count-invariant results.
 
 /// A seedable deterministic random source.
 ///
@@ -23,15 +27,33 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     base_seed: u64,
+}
+
+/// splitmix64 step — used only to expand a 64-bit seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed), base_seed: seed }
+        let mut s = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+            base_seed: seed,
+        }
     }
 
     /// Derives an independent sub-stream for the component labelled
@@ -50,14 +72,26 @@ impl SimRng {
         SimRng::seed_from(h ^ self.base_seed)
     }
 
-    /// The next uniformly distributed `u64`.
+    /// The next uniformly distributed `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// A uniform draw from `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // Top 53 bits → the full dyadic grid representable in an f64.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform draw from `[lo, hi)`.
@@ -67,7 +101,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.uniform() * (hi - lo)
     }
 
     /// A uniform integer draw from `[lo, hi)`.
@@ -77,7 +111,11 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = (hi - lo) as u64;
+        // Widening multiply maps the u64 draw onto [0, span) without the
+        // modulo's low-bit bias.
+        let scaled = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        lo + scaled as usize
     }
 
     /// `true` with probability `p`.
@@ -86,18 +124,16 @@ impl SimRng {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
-        let d = Bernoulli::new(p).expect("probability must be in [0, 1]");
-        d.sample(&mut self.inner)
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.uniform() < p
     }
 
     /// A standard-normal draw via Box–Muller.
     pub fn gaussian(&mut self) -> f64 {
-        // Box–Muller keeps us independent of rand_distr (not on the
-        // approved dependency list).
         loop {
-            let u1 = self.inner.gen::<f64>();
+            let u1 = self.uniform();
             if u1 > f64::EPSILON {
-                let u2 = self.inner.gen::<f64>();
+                let u2 = self.uniform();
                 return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             }
         }
@@ -120,7 +156,7 @@ impl SimRng {
     /// Panics if `mean` is not positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "mean must be positive");
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = f64::EPSILON + self.uniform() * (1.0 - f64::EPSILON);
         -mean * u.ln()
     }
 
@@ -220,10 +256,27 @@ mod tests {
     }
 
     #[test]
+    fn uniform_usize_covers_range() {
+        let mut rng = SimRng::seed_from(77);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.uniform_usize(0, 10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit: {seen:?}");
+    }
+
+    #[test]
     #[should_panic(expected = "empty slice")]
     fn choose_empty_panics() {
         let mut rng = SimRng::seed_from(1);
         let empty: [u8; 0] = [];
         let _ = rng.choose(&empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn chance_rejects_out_of_range() {
+        let mut rng = SimRng::seed_from(1);
+        let _ = rng.chance(1.5);
     }
 }

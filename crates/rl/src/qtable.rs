@@ -10,6 +10,12 @@ use crate::space::{ActionId, ProblemShape, StateId};
 /// Greedy look-ups break ties toward the lowest action index, which keeps
 /// learned policies deterministic under a fixed seed.
 ///
+/// The greedy action of every state is cached and maintained on write, so
+/// [`QTable::greedy_action`] and [`QTable::max_value`] are O(1) in the
+/// TD inner loop instead of rescanning the action row. A write only
+/// triggers a row rescan when it lowers the incumbent best value — the
+/// rare case; reward-driven updates overwhelmingly raise it.
+///
 /// # Examples
 ///
 /// ```
@@ -26,6 +32,9 @@ pub struct QTable {
     shape: ProblemShape,
     values: Vec<f64>,
     visits: Vec<u64>,
+    /// Cached greedy action per state; invariant: always equals the
+    /// lowest-index argmax of the state's row.
+    greedy: Vec<ActionId>,
 }
 
 impl QTable {
@@ -36,6 +45,7 @@ impl QTable {
             shape,
             values: vec![0.0; shape.table_len()],
             visits: vec![0; shape.table_len()],
+            greedy: vec![ActionId::new(0); shape.states()],
         }
     }
 
@@ -47,6 +57,7 @@ impl QTable {
             shape,
             values: vec![value; shape.table_len()],
             visits: vec![0; shape.table_len()],
+            greedy: vec![ActionId::new(0); shape.states()],
         }
     }
 
@@ -88,7 +99,9 @@ impl QTable {
     pub fn set(&mut self, s: StateId, a: ActionId, value: f64) {
         assert!(value.is_finite(), "Q-values must be finite, got {value}");
         let i = self.idx(s, a);
+        let old = self.values[i];
         self.values[i] = value;
+        self.refresh_greedy(s, a, old);
     }
 
     /// Adds `delta` to the value of `(s, a)` and bumps its visit count.
@@ -99,23 +112,36 @@ impl QTable {
     pub fn nudge(&mut self, s: StateId, a: ActionId, delta: f64) {
         assert!(delta.is_finite(), "Q-value updates must be finite, got {delta}");
         let i = self.idx(s, a);
+        let old = self.values[i];
         self.values[i] += delta;
         self.visits[i] += 1;
+        self.refresh_greedy(s, a, old);
     }
 
-    /// How many times `(s, a)` has been updated via [`QTable::nudge`].
-    #[must_use]
-    pub fn visits(&self, s: StateId, a: ActionId) -> u64 {
-        self.visits[self.idx(s, a)]
+    /// Restores the greedy-cache invariant for `s` after `(s, a)` changed
+    /// from `old` to its current value.
+    fn refresh_greedy(&mut self, s: StateId, a: ActionId, old: f64) {
+        let best = self.greedy[s.index()];
+        let new = self.values[self.idx(s, a)];
+        if a == best {
+            // The incumbent moved. Raising it cannot dethrone it (every
+            // lower-index action was strictly below the old best value);
+            // lowering it needs a rescan.
+            if new < old {
+                self.greedy[s.index()] = self.scan_greedy(s);
+            }
+        } else {
+            // A challenger moved; it takes over only if it now beats the
+            // incumbent under the lowest-index tie-break.
+            let best_value = self.values[self.idx(s, best)];
+            if new > best_value || (new == best_value && a.index() < best.index()) {
+                self.greedy[s.index()] = a;
+            }
+        }
     }
 
-    /// The greedy action in `s` (ties broken toward the lowest index).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `s` is out of range.
-    #[must_use]
-    pub fn greedy_action(&self, s: StateId) -> ActionId {
+    /// The lowest-index argmax of the row, by full scan.
+    fn scan_greedy(&self, s: StateId) -> ActionId {
         let row = self.row(s);
         let mut best = 0;
         for (i, &v) in row.iter().enumerate().skip(1) {
@@ -126,14 +152,37 @@ impl QTable {
         ActionId::new(best)
     }
 
-    /// The maximum action value in `s`.
+    /// How many times `(s, a)` has been updated via [`QTable::nudge`].
+    #[must_use]
+    pub fn visits(&self, s: StateId, a: ActionId) -> u64 {
+        self.visits[self.idx(s, a)]
+    }
+
+    /// The greedy action in `s` (ties broken toward the lowest index).
+    /// O(1): served from the write-maintained cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn greedy_action(&self, s: StateId) -> ActionId {
+        assert!(
+            self.shape.contains_state(s),
+            "state {s} out of range for shape {shape}",
+            shape = self.shape
+        );
+        self.greedy[s.index()]
+    }
+
+    /// The maximum action value in `s`. O(1) via the greedy cache.
     ///
     /// # Panics
     ///
     /// Panics if `s` is out of range.
     #[must_use]
     pub fn max_value(&self, s: StateId) -> f64 {
-        self.row(s).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        let i = self.idx(s, self.greedy_action(s));
+        self.values[i]
     }
 
     /// The full action-value row for `s`.
@@ -163,6 +212,7 @@ impl QTable {
     pub fn clear(&mut self) {
         self.values.fill(0.0);
         self.visits.fill(0);
+        self.greedy.fill(ActionId::new(0));
     }
 }
 
@@ -249,6 +299,32 @@ mod tests {
         assert_eq!(q.value(StateId::new(0), ActionId::new(0)), 0.0);
         assert_eq!(q.visits(StateId::new(0), ActionId::new(0)), 0);
         assert_eq!(q.max_abs_value(), 0.0);
+    }
+
+    #[test]
+    fn cached_greedy_matches_full_scan_under_random_writes() {
+        let mut q = QTable::new(ProblemShape::new(5, 7));
+        let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+        for step in 0..5_000 {
+            lcg = lcg.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let s = StateId::new((lcg >> 33) as usize % 5);
+            let a = ActionId::new((lcg >> 17) as usize % 7);
+            // Mix raises, drops, ties and exact repeats.
+            let v = f64::from((lcg >> 40) as u8) - 128.0;
+            if step % 3 == 0 {
+                q.set(s, a, v);
+            } else {
+                q.nudge(s, a, v / 16.0);
+            }
+            assert_eq!(
+                q.greedy_action(s),
+                q.scan_greedy(s),
+                "cache diverged from scan at step {step}"
+            );
+        }
+        for s in q.shape().state_ids() {
+            assert_eq!(q.greedy_action(s), q.scan_greedy(s));
+        }
     }
 
     #[test]

@@ -5,8 +5,6 @@
 //! which decays traces by `γλ` each step and clears them after exploratory
 //! actions.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::space::{ActionId, StateId};
@@ -20,11 +18,18 @@ pub enum TraceKind {
     Replacing,
 }
 
-/// A sparse map of eligibility values.
+/// A sparse set of eligibility values.
 ///
 /// Entries that decay below a cut-off are dropped, so the cost of a decay
 /// pass is proportional to the number of recently visited pairs rather
 /// than the full table.
+///
+/// Storage is a flat insertion-ordered vector rather than a hash map: the
+/// live set is tiny (bounded by episode length and shrunk further by
+/// pruning), so the decay/apply passes that dominate Q(λ)'s inner loop
+/// become branch-predictable linear sweeps with no hashing, and
+/// [`EligibilityTraces::for_each`] visits entries in a deterministic
+/// order.
 ///
 /// # Examples
 ///
@@ -40,7 +45,7 @@ pub enum TraceKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EligibilityTraces {
     kind: TraceKind,
-    values: HashMap<(StateId, ActionId), f64>,
+    entries: Vec<(StateId, ActionId, f64)>,
     cutoff: f64,
 }
 
@@ -62,7 +67,7 @@ impl EligibilityTraces {
     #[must_use]
     pub fn with_cutoff(kind: TraceKind, cutoff: f64) -> Self {
         assert!(cutoff.is_finite() && cutoff >= 0.0, "cutoff must be finite and non-negative");
-        EligibilityTraces { kind, values: HashMap::new(), cutoff }
+        EligibilityTraces { kind, entries: Vec::new(), cutoff }
     }
 
     /// The refresh rule in use.
@@ -73,17 +78,23 @@ impl EligibilityTraces {
 
     /// Marks `(s, a)` as just visited.
     pub fn visit(&mut self, s: StateId, a: ActionId) {
-        let e = self.values.entry((s, a)).or_insert(0.0);
-        match self.kind {
-            TraceKind::Accumulating => *e += 1.0,
-            TraceKind::Replacing => *e = 1.0,
+        if let Some(entry) = self.entries.iter_mut().find(|(es, ea, _)| *es == s && *ea == a) {
+            match self.kind {
+                TraceKind::Accumulating => entry.2 += 1.0,
+                TraceKind::Replacing => entry.2 = 1.0,
+            }
+        } else {
+            self.entries.push((s, a, 1.0));
         }
     }
 
     /// Current trace value of `(s, a)` (zero if never visited or pruned).
     #[must_use]
     pub fn value(&self, s: StateId, a: ActionId) -> f64 {
-        self.values.get(&(s, a)).copied().unwrap_or(0.0)
+        self.entries
+            .iter()
+            .find(|(es, ea, _)| *es == s && *ea == a)
+            .map_or(0.0, |&(_, _, e)| e)
     }
 
     /// Multiplies every trace by `factor` (typically `γλ`), pruning entries
@@ -95,19 +106,19 @@ impl EligibilityTraces {
     pub fn decay(&mut self, factor: f64) {
         assert!((0.0..=1.0).contains(&factor), "decay factor must be in [0, 1], got {factor}");
         if factor == 0.0 {
-            self.values.clear();
+            self.entries.clear();
             return;
         }
         let cutoff = self.cutoff;
-        self.values.retain(|_, e| {
-            *e *= factor;
-            *e >= cutoff
+        self.entries.retain_mut(|entry| {
+            entry.2 *= factor;
+            entry.2 >= cutoff
         });
     }
 
-    /// Applies `f(s, a, trace)` to every live trace.
+    /// Applies `f(s, a, trace)` to every live trace, in insertion order.
     pub fn for_each(&self, mut f: impl FnMut(StateId, ActionId, f64)) {
-        for (&(s, a), &e) in &self.values {
+        for &(s, a, e) in &self.entries {
             f(s, a, e);
         }
     }
@@ -115,19 +126,19 @@ impl EligibilityTraces {
     /// Number of live traces.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.entries.len()
     }
 
     /// Whether no traces are live.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.entries.is_empty()
     }
 
     /// Clears all traces (start of an episode, or after an exploratory
-    /// action under Watkins Q(λ)).
+    /// action under Watkins Q(λ)). Keeps the allocation for reuse.
     pub fn clear(&mut self) {
-        self.values.clear();
+        self.entries.clear();
     }
 }
 

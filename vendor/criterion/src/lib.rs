@@ -1,0 +1,149 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A lightweight timing harness exposing the API surface the workspace
+//! benches use: `black_box`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Each benchmark is calibrated to a short fixed measurement window and
+//! reports median/mean ns-per-iteration to stdout. There is no statistical
+//! analysis, plotting, or HTML report — just honest wall-clock numbers so
+//! `cargo bench` works in an offline build.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(40);
+const DEFAULT_SAMPLES: usize = 10;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup { _parent: self, samples: DEFAULT_SAMPLES }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, DEFAULT_SAMPLES, f);
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.samples, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+    // Calibrate: grow the iteration count until one sample takes long
+    // enough to measure reliably.
+    loop {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        if bencher.elapsed >= TARGET_SAMPLE_TIME || bencher.iters >= 1 << 24 {
+            break;
+        }
+        let grow = if bencher.elapsed.is_zero() {
+            16.0
+        } else {
+            let ratio = TARGET_SAMPLE_TIME.as_secs_f64() / bencher.elapsed.as_secs_f64();
+            ratio.clamp(1.5, 16.0)
+        } as u64;
+        bencher.iters = (bencher.iters * grow.max(2)).min(1 << 24);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        per_iter.push(bencher.elapsed.as_secs_f64() * 1e9 / bencher.iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!("  {name:<40} median {median:>12.1} ns/iter  mean {mean:>12.1} ns/iter  ({} iters/sample)", bencher.iters);
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+}

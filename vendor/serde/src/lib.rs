@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the two trait names and the derive macros under the paths the
+//! workspace imports (`use serde::{Deserialize, Serialize}`). The derives
+//! expand to nothing and the traits are blanket-implemented markers: the
+//! workspace never serializes through serde (persistence uses its own
+//! binary format), it only decorates types for future use.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so the real proc-macro
+//! crate cannot be fetched. CoReDA only decorates types with
+//! `#[derive(Serialize, Deserialize)]` — nothing in the workspace calls a
+//! serde serializer — so the derives can expand to nothing. The real
+//! crates drop back in by flipping the `vendor/` paths in the workspace
+//! manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
