@@ -1,6 +1,6 @@
 # Convenience targets for the CoReDA reproduction.
 
-.PHONY: all build test bench bench-fleet ci doc clippy examples repro clean
+.PHONY: all build test bench bench-fleet bench-scale ci doc clippy examples repro clean
 
 all: build test
 
@@ -17,12 +17,20 @@ bench:
 bench-fleet:
 	cargo bench -p coreda-bench --bench fleet_micro
 
-# The tier-1 gate: release build, full test suite, and the fleet
-# determinism regression (parallel sweeps byte-identical to serial).
+# Metro-scale serving grid (100/1k/10k homes) and the timing-wheel vs
+# binary-heap engine duel; writes BENCH_scale.json (release builds only).
+bench-scale:
+	cargo bench -p coreda-bench --bench scale_micro
+
+# The tier-1 gate: release build, full test suite, and the determinism
+# regressions (parallel sweeps and metro serving byte-identical to
+# serial; timing wheel byte-identical to the heap queue).
 ci:
 	cargo build --release
 	cargo test -q
 	cargo test -q --test fleet_determinism
+	cargo test -q --test scale_determinism
+	cargo test -q -p coreda-des --test proptests
 
 doc:
 	cargo doc --workspace --no-deps

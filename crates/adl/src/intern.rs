@@ -1,0 +1,128 @@
+//! String interning for hot-path event payloads.
+//!
+//! Session tracking and live-episode logging emit events thousands of
+//! times per simulated hour across a metro-scale run; carrying `String`
+//! activity and tool names in those events means a clone per event. A
+//! [`NameTable`] interns each distinct name once and hands out [`NameId`]s
+//! — `Copy` `u32` handles — so events stay allocation-free and names are
+//! resolved back to `&str` only at render time.
+
+use std::collections::HashMap;
+
+/// A compact, `Copy` handle to a name interned in a [`NameTable`].
+///
+/// Ids are only meaningful relative to the table that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The id's raw index into its table.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only intern table mapping names to stable [`NameId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use coreda_adl::intern::NameTable;
+///
+/// let mut names = NameTable::new();
+/// let tea = names.intern("Tea-making");
+/// assert_eq!(names.intern("Tea-making"), tea); // stable
+/// assert_eq!(names.resolve(tea), "Tea-making");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    names: Vec<String>,
+    index: HashMap<String, NameId>,
+}
+
+impl NameTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, interning it on first sight.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = NameId(u32::try_from(self.names.len()).expect("more than u32::MAX names"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name without inserting.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<NameId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was issued by a different table.
+    #[must_use]
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct names interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = NameTable::new();
+        let a = t.intern("kettle");
+        let b = t.intern("cup");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("kettle"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = NameTable::new();
+        let id = t.intern("Tooth-brushing");
+        assert_eq!(t.resolve(id), "Tooth-brushing");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut t = NameTable::new();
+        assert_eq!(t.get("absent"), None);
+        let id = t.intern("present");
+        assert_eq!(t.get("present"), Some(id));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_index_in_insertion_order() {
+        let mut t = NameTable::new();
+        assert_eq!(t.intern("a").index(), 0);
+        assert_eq!(t.intern("b").index(), 1);
+        assert_eq!(t.intern("a").index(), 0);
+    }
+}

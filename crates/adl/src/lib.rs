@@ -45,12 +45,14 @@ pub mod activity;
 pub mod dataset;
 pub mod drift;
 pub mod episode;
+pub mod intern;
 pub mod patient;
 pub mod routine;
 pub mod step;
 pub mod tool;
 
 pub use activity::AdlSpec;
+pub use intern::{NameId, NameTable};
 pub use drift::SeverityTrajectory;
 pub use episode::{Episode, EpisodeEvent, EpisodeGenerator};
 pub use patient::{PatientAction, PatientProfile};

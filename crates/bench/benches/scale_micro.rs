@@ -1,0 +1,129 @@
+//! Metro-scale serving throughput: homes/sec and events/sec across the
+//! fleet-size grid, plus the timing-wheel vs binary-heap engine duel.
+//!
+//! Besides the criterion group printed to stdout, this bench writes
+//! `BENCH_scale.json` at the repository root: the serving grid (100, 1k
+//! and 10k homes at 1/2/4/8 workers) and an `engine_compare` entry
+//! measuring the wheel + interned zero-alloc pipeline against the seed's
+//! dense heap-polling path at 1 000 homes on one worker — the speedup
+//! figure the ISSUE's acceptance bar reads. `events_per_sec` counts 100 ms
+//! pipeline ticks, which both engines execute in identical number, so the
+//! ratio of their rates is exactly the wall-clock speedup. The host core
+//! count ships with the numbers, and a debug build refuses to write the
+//! file at all — unoptimised timings would be noise.
+
+use std::time::Instant;
+
+use coreda_core::fleet::default_jobs;
+use coreda_core::metro::{run_scale, EngineKind, MetroConfig};
+use coreda_des::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const JOB_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// (homes, simulated seconds): bigger fleets get shorter walls so every
+/// grid cell does comparable total work.
+const GRID: [(usize, u64); 3] = [(100, 3600), (1000, 1800), (10_000, 360)];
+const SEED: u64 = 2007;
+
+fn cfg(homes: usize, secs: u64, jobs: usize, engine: EngineKind) -> MetroConfig {
+    MetroConfig {
+        homes,
+        horizon: SimDuration::from_secs(secs),
+        seed: SEED,
+        jobs,
+        engine,
+        ..MetroConfig::default()
+    }
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metro_scale");
+    group.sample_size(2);
+    for engine in [EngineKind::Wheel, EngineKind::Heap] {
+        group.bench_function(&format!("serve/homes=100/engine={engine}"), |b| {
+            b.iter(|| run_scale(&cfg(100, 600, 1, engine)));
+        });
+    }
+    group.finish();
+}
+
+/// Wall clock of the best of two timed runs after one warm-up, plus the
+/// pipeline-tick count (identical across runs of the same config).
+fn measure(config: &MetroConfig) -> (f64, u64) {
+    let ticks = run_scale(config).pipeline_ticks();
+    let secs = (0..2)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = run_scale(config);
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    (secs, ticks)
+}
+
+fn grid_json() -> String {
+    let rows: Vec<String> = GRID
+        .iter()
+        .flat_map(|&(homes, sim_secs)| {
+            JOB_COUNTS.iter().map(move |&jobs| {
+                let (secs, ticks) = measure(&cfg(homes, sim_secs, jobs, EngineKind::Wheel));
+                format!(
+                    "    {{\"homes\": {homes}, \"sim_secs\": {sim_secs}, \"jobs\": {jobs}, \
+                     \"secs\": {secs:.4}, \"homes_per_sec\": {:.1}, \
+                     \"events_per_sec\": {:.0}}}",
+                    homes as f64 / secs,
+                    ticks as f64 / secs
+                )
+            })
+        })
+        .collect();
+    format!("  \"grid\": [\n{}\n  ]", rows.join(",\n"))
+}
+
+fn engine_compare_json() -> String {
+    let wheel_cfg = cfg(1000, 1800, 1, EngineKind::Wheel);
+    let heap_cfg = cfg(1000, 1800, 1, EngineKind::Heap);
+    // The two engines must agree home for home before their wall clocks
+    // mean anything.
+    assert_eq!(
+        run_scale(&wheel_cfg).per_home,
+        run_scale(&heap_cfg).per_home,
+        "engines diverged; timings would compare different work"
+    );
+    let (wheel_secs, ticks) = measure(&wheel_cfg);
+    let (heap_secs, _) = measure(&heap_cfg);
+    format!(
+        "  \"engine_compare\": {{\"homes\": 1000, \"sim_secs\": 1800, \"jobs\": 1, \
+         \"pipeline_ticks\": {ticks}, \
+         \"wheel_secs\": {wheel_secs:.4}, \"heap_secs\": {heap_secs:.4}, \
+         \"wheel_events_per_sec\": {:.0}, \"heap_events_per_sec\": {:.0}, \
+         \"speedup\": {:.2}}}",
+        ticks as f64 / wheel_secs,
+        ticks as f64 / heap_secs,
+        heap_secs / wheel_secs
+    )
+}
+
+fn emit_report(_c: &mut Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "\nscale_micro: debug build — refusing to write {path}; \
+             run under --release for committable numbers"
+        );
+        return;
+    }
+    let json = format!(
+        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{}\n}}\n",
+        default_jobs(),
+        grid_json(),
+        engine_compare_json()
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}\n{json}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_scale, emit_report);
+criterion_main!(benches);

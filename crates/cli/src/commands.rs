@@ -308,6 +308,44 @@ pub fn fleet(p: &Parsed) -> CmdResult {
     Ok(out)
 }
 
+/// `scale` — serve a metro fleet of independent homes.
+///
+/// Runs `--homes` full CoReDA households for `--hours` of simulated time
+/// on the multi-home serving engine, sharded over `--jobs` workers.
+/// Results are bit-identical at any worker count and for either queue
+/// engine; only the header echoes the knobs.
+pub fn scale(p: &Parsed) -> CmdResult {
+    use coreda_core::fleet::default_jobs;
+    use coreda_core::metro::{run_scale, EngineKind, MetroConfig};
+    use coreda_des::time::SimDuration;
+
+    let homes: usize = p.get_parsed("homes", 16)?;
+    let hours: f64 = p.get_parsed("hours", 0.5)?;
+    let jobs: usize = p.get_parsed("jobs", default_jobs())?;
+    let seed: u64 = p.get_parsed("seed", 2007)?;
+    let engine = match p.get_or("engine", "wheel").to_ascii_lowercase().as_str() {
+        "wheel" => EngineKind::Wheel,
+        "heap" => EngineKind::Heap,
+        other => {
+            return Err(format!("unknown engine {other:?}; available: wheel, heap").into())
+        }
+    };
+    if homes == 0 {
+        return Err("--homes must be at least 1".into());
+    }
+    if !hours.is_finite() || hours <= 0.0 {
+        return Err("--hours must be a positive number".into());
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let horizon = SimDuration::from_millis((hours * 3_600_000.0) as u64);
+    let cfg = MetroConfig { homes, horizon, seed, jobs, engine, ..MetroConfig::default() };
+    let report = run_scale(&cfg);
+    Ok(format!(
+        "scale: homes={homes} hours={hours} engine={engine} jobs={jobs} seed={seed}\n{}",
+        report.render()
+    ))
+}
+
 /// `help` — usage text.
 #[must_use]
 pub fn help() -> String {
@@ -355,6 +393,14 @@ COMMANDS
                              any N)                      [all cores]
       --seeds N              seeds per sweep point        [4]
       --seed N               base rng seed                [2007]
+  scale                      serve a metro fleet of homes
+      --homes N              independent households       [16]
+      --hours H              simulated horizon (fractional ok) [0.5]
+      --engine wheel|heap    timing-wheel wakes or dense heap
+                             polling (identical results) [wheel]
+      --jobs N               worker threads (results are identical at
+                             any N)                      [all cores]
+      --seed N               base rng seed                [2007]
   help                       this text
 "
     .to_owned()
@@ -371,6 +417,7 @@ pub fn dispatch(p: &Parsed) -> CmdResult {
         "sensor-trace" => sensor_trace(p),
         "scenario" => run_scenario(p),
         "fleet" => fleet(p),
+        "scale" => scale(p),
         "help" => Ok(help()),
         other => Err(format!("unknown command {other:?}; try 'help'").into()),
     }
@@ -491,7 +538,9 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let h = help();
-        for cmd in ["list", "generate", "train", "evaluate", "simulate", "scenario", "fleet"] {
+        for cmd in
+            ["list", "generate", "train", "evaluate", "simulate", "scenario", "fleet", "scale"]
+        {
             assert!(h.contains(cmd), "help is missing {cmd}");
         }
         assert_eq!(dispatch(&parse(&["help"])).unwrap(), h);
@@ -512,6 +561,34 @@ mod tests {
         // be byte-identical.
         let body = |s: &str| s.split_once('\n').unwrap().1.to_owned();
         assert_eq!(body(&serial), body(&parallel));
+    }
+
+    #[test]
+    fn scale_serves_homes_and_jobs_do_not_change_output() {
+        let serial = scale(&parse(&[
+            "scale", "--homes", "6", "--hours", "0.2", "--jobs", "1", "--seed", "11",
+        ]))
+        .unwrap();
+        let parallel = scale(&parse(&[
+            "scale", "--homes", "6", "--hours", "0.2", "--jobs", "8", "--seed", "11",
+        ]))
+        .unwrap();
+        assert!(serial.contains("6 homes"), "{serial}");
+        assert!(serial.contains("episodes:"), "{serial}");
+        // The header echoes the worker count; everything below it must
+        // be byte-identical.
+        let body = |s: &str| s.split_once('\n').unwrap().1.to_owned();
+        assert_eq!(body(&serial), body(&parallel));
+    }
+
+    #[test]
+    fn scale_rejects_bad_knobs() {
+        let err = scale(&parse(&["scale", "--engine", "quantum"])).unwrap_err();
+        assert!(err.to_string().contains("unknown engine"));
+        let err = scale(&parse(&["scale", "--hours", "-1"])).unwrap_err();
+        assert!(err.to_string().contains("positive"));
+        let err = scale(&parse(&["scale", "--homes", "0"])).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
     }
 
     #[test]

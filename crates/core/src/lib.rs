@@ -56,6 +56,7 @@ pub mod fleet;
 pub mod home;
 pub mod live;
 pub mod metrics;
+pub mod metro;
 pub mod persistence;
 pub mod planning;
 pub mod reminding;
@@ -70,7 +71,8 @@ pub use home::{CoredaHome, HomeError};
 pub use live::{EpisodeLog, LogKind, PatientBehavior, ScriptedBehavior, StochasticBehavior};
 pub use planning::{LearnerKind, PlanningConfig, PlanningSubsystem, RewardConfig, StateEncoder};
 pub use reminding::{Prompt, Reminder, ReminderLevel, ReminderMethod, RemindingSubsystem, Trigger};
+pub use metro::{run_scale, EngineKind, HomeStats, MetroConfig, ScaleReport};
 pub use report::DailyReport;
 pub use sensing::{SensingSubsystem, StepEvent};
-pub use sessions::{SessionEvent, SessionTracker};
-pub use system::{Coreda, CoredaConfig};
+pub use sessions::{SessionEvent, SessionEvents, SessionTracker};
+pub use system::{Coreda, CoredaConfig, LiveEpisode, TickOutcome};

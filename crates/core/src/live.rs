@@ -151,8 +151,9 @@ pub enum LogKind {
     StepSensed(StepId),
     /// A reminder was delivered.
     ReminderIssued(Reminder),
-    /// The user followed a prompt correctly and was praised.
-    Praised(String),
+    /// The user followed a prompt correctly and was praised (Figure 1's
+    /// fixed "Excellent!", so the entry carries no per-event string).
+    Praised,
     /// The ADL completed.
     AdlCompleted,
     /// Ground truth: the patient froze.
@@ -203,7 +204,7 @@ impl EpisodeLog {
     /// Number of praise events.
     #[must_use]
     pub fn praise_count(&self) -> usize {
-        self.entries.iter().filter(|(_, k)| matches!(k, LogKind::Praised(_))).count()
+        self.entries.iter().filter(|(_, k)| matches!(k, LogKind::Praised)).count()
     }
 
     /// When the ADL completed, if it did.
@@ -244,7 +245,7 @@ impl EpisodeLog {
                         text.unwrap_or("<no text>")
                     )
                 }
-                LogKind::Praised(p) => format!("praise: {p}"),
+                LogKind::Praised => "praise: Excellent!".to_owned(),
                 LogKind::AdlCompleted => "ADL completed".to_owned(),
                 LogKind::PatientFroze => "patient froze".to_owned(),
                 LogKind::PatientMisused(tool) => format!("patient misuses {tool}"),
@@ -309,7 +310,7 @@ mod tests {
         );
         log.push(SimTime::from_secs(1), LogKind::StepSensed(StepId::from_raw(catalog::TEA_BOX)));
         log.push(SimTime::from_secs(13), LogKind::ReminderIssued(reminder));
-        log.push(SimTime::from_secs(23), LogKind::Praised("Excellent!".into()));
+        log.push(SimTime::from_secs(23), LogKind::Praised);
         log.push(SimTime::from_secs(80), LogKind::AdlCompleted);
         assert_eq!(log.reminders().len(), 1);
         assert_eq!(log.praise_count(), 1);

@@ -1,0 +1,591 @@
+//! Metro-scale serving: many homes, one engine.
+//!
+//! The ROADMAP north star is a base-station fleet serving millions of
+//! users; this module is the serving-side counterpart of the PR-1
+//! training fleet. [`run_scale`] simulates N independent households —
+//! each a full CoReDA deployment: per-activity [`Coreda`] systems with
+//! their own sensornets and planners, plus a home-wide
+//! [`SessionTracker`] — for a wall of simulated hours, sharded across
+//! [`FleetEngine`](crate::fleet::FleetEngine) workers.
+//!
+//! Two engine modes run the *same* per-instant pipeline logic:
+//!
+//! - [`EngineKind::Wheel`] (the metro engine): each shard multiplexes its
+//!   homes over one timing-wheel [`Simulator`]; homes sleep through quiet
+//!   stretches and wake event-driven — at the next episode start, the
+//!   next 100 ms pipeline tick of a running episode, or the session
+//!   tracker's idle-close deadline.
+//! - [`EngineKind::Heap`] (the seed baseline): dense 10 Hz polling of
+//!   every home across the whole horizon on the original binary-heap
+//!   queue — what the pre-metro code would have done.
+//!
+//! Both produce bit-identical [`HomeStats`] because quiet instants draw
+//! no randomness, and results are bit-identical at any `jobs` count
+//! because every random stream is counter-derived per home
+//! ([`derive_seed`]) and homes never interact.
+
+use coreda_adl::activity::{catalog, AdlSpec};
+use coreda_adl::patient::PatientProfile;
+use coreda_adl::routine::Routine;
+use coreda_des::rng::SimRng;
+use coreda_des::sim::Simulator;
+use coreda_des::time::{SimDuration, SimTime};
+
+use crate::fleet::{default_jobs, derive_seed, FleetEngine};
+use crate::live::StochasticBehavior;
+use crate::planning::PlanningSubsystem;
+use crate::sessions::{SessionEvent, SessionTracker};
+use crate::system::{Coreda, CoredaConfig, LiveEpisode};
+
+/// Which event queue drives the serving loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Timing-wheel queue, event-driven wakes (the metro engine).
+    Wheel,
+    /// Binary-heap queue, dense 10 Hz polling (the seed baseline).
+    Heap,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineKind::Wheel => "wheel",
+            EngineKind::Heap => "heap",
+        })
+    }
+}
+
+/// Configuration of a metro-scale serving run.
+#[derive(Debug, Clone)]
+pub struct MetroConfig {
+    /// Number of independent households.
+    pub homes: usize,
+    /// Simulated wall of time to serve.
+    pub horizon: SimDuration,
+    /// Base seed; every home derives its own counter-based streams.
+    pub seed: u64,
+    /// Worker threads to shard homes across (results are identical at
+    /// any count).
+    pub jobs: usize,
+    /// Queue/scheduling mode.
+    pub engine: EngineKind,
+    /// Shortest quiet gap between a home's episodes.
+    pub gap_min: SimDuration,
+    /// Longest quiet gap between a home's episodes.
+    pub gap_max: SimDuration,
+    /// Per-system configuration (radio, thresholds, planner...).
+    pub system: CoredaConfig,
+    /// Offline training episodes for the per-activity planner templates.
+    pub train_episodes: usize,
+    /// Session-tracker idle-close window. Gaps shorter than this leave
+    /// the previous session open into the next episode, producing
+    /// cross-activity flags and abandoned closes — deliberate overlap.
+    pub idle_close: SimDuration,
+}
+
+impl Default for MetroConfig {
+    fn default() -> Self {
+        MetroConfig {
+            homes: 16,
+            horizon: SimDuration::from_secs(1800),
+            seed: 2007,
+            jobs: default_jobs(),
+            engine: EngineKind::Wheel,
+            gap_min: SimDuration::from_secs(60),
+            gap_max: SimDuration::from_secs(240),
+            system: CoredaConfig::default(),
+            train_episodes: 150,
+            idle_close: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// What one home did over the horizon. Identical across engines and at
+/// any worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HomeStats {
+    /// Live episodes begun.
+    pub episodes_started: u64,
+    /// Episodes the patient finished.
+    pub episodes_completed: u64,
+    /// Reminders issued.
+    pub reminders: u64,
+    /// Praises issued.
+    pub praises: u64,
+    /// Activity sessions the tracker opened.
+    pub sessions_started: u64,
+    /// Sessions closed with the terminal tool seen.
+    pub sessions_completed: u64,
+    /// Sessions closed without it.
+    pub sessions_abandoned: u64,
+    /// Foreign-tool-use flags raised.
+    pub cross_activity_flags: u64,
+    /// 100 ms pipeline ticks executed (the logical serving work — the
+    /// same count whichever engine ran them).
+    pub pipeline_ticks: u64,
+    /// Total sensor-node energy consumed, in microjoules.
+    pub energy_uj: f64,
+}
+
+impl HomeStats {
+    fn absorb(&mut self, other: &HomeStats) {
+        self.episodes_started += other.episodes_started;
+        self.episodes_completed += other.episodes_completed;
+        self.reminders += other.reminders;
+        self.praises += other.praises;
+        self.sessions_started += other.sessions_started;
+        self.sessions_completed += other.sessions_completed;
+        self.sessions_abandoned += other.sessions_abandoned;
+        self.cross_activity_flags += other.cross_activity_flags;
+        self.pipeline_ticks += other.pipeline_ticks;
+        self.energy_uj += other.energy_uj;
+    }
+}
+
+/// The result of a [`run_scale`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Homes served.
+    pub homes: usize,
+    /// Simulated horizon.
+    pub horizon: SimDuration,
+    /// Engine that ran the serve.
+    pub engine: EngineKind,
+    /// Per-home statistics, in home order.
+    pub per_home: Vec<HomeStats>,
+    /// Raw DES events processed across all shards. Jobs-invariant, but
+    /// engine-*dependent* (dense polling pops far more events than
+    /// event-driven wakes) — excluded from cross-engine comparisons.
+    pub des_events: u64,
+}
+
+impl ScaleReport {
+    /// Fleet-wide totals.
+    #[must_use]
+    pub fn totals(&self) -> HomeStats {
+        let mut t = HomeStats::default();
+        for h in &self.per_home {
+            t.absorb(h);
+        }
+        t
+    }
+
+    /// Total 100 ms pipeline ticks executed.
+    #[must_use]
+    pub fn pipeline_ticks(&self) -> u64 {
+        self.per_home.iter().map(|h| h.pipeline_ticks).sum()
+    }
+
+    /// Deterministic summary: no wall-clock, no worker count — byte-
+    /// identical for equal configurations at any `jobs`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let t = self.totals();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "metro-scale serve: {homes} homes x {secs} s ({engine} engine)",
+            homes = self.homes,
+            secs = self.horizon.as_millis() / 1000,
+            engine = self.engine,
+        );
+        let _ = writeln!(
+            out,
+            "  episodes: {started} started, {completed} completed",
+            started = t.episodes_started,
+            completed = t.episodes_completed,
+        );
+        let _ = writeln!(
+            out,
+            "  reminders: {rem} issued, {praise} praises",
+            rem = t.reminders,
+            praise = t.praises,
+        );
+        let _ = writeln!(
+            out,
+            "  sessions: {s} started, {c} completed, {a} abandoned, {x} cross-activity flags",
+            s = t.sessions_started,
+            c = t.sessions_completed,
+            a = t.sessions_abandoned,
+            x = t.cross_activity_flags,
+        );
+        let _ = writeln!(
+            out,
+            "  pipeline ticks: {ticks} ({des} des events)",
+            ticks = t.pipeline_ticks,
+            des = self.des_events,
+        );
+        let _ = writeln!(out, "  node energy: {:.3} mJ", t.energy_uj / 1000.0);
+        out
+    }
+}
+
+/// An episode in flight in one home.
+#[derive(Debug)]
+struct RunningEpisode {
+    /// Index into the home's systems (which activity).
+    act: usize,
+    ep: LiveEpisode,
+    /// The episode's own counter-derived random stream.
+    rng: SimRng,
+}
+
+/// One household: per-activity systems, a home-wide session tracker,
+/// and the scheduling state the serving engines drive.
+struct Home {
+    systems: Vec<(Coreda, Routine)>,
+    behavior: StochasticBehavior,
+    tracker: SessionTracker,
+    /// Root of the home's episode substreams.
+    root: SimRng,
+    /// Gap/start draws — drawn at the same points by both engines.
+    sched_rng: SimRng,
+    episode: Option<RunningEpisode>,
+    ep_index: u64,
+    next_start: SimTime,
+    /// Coalesces duplicate same-instant wakes in the wheel engine.
+    last_handled: Option<SimTime>,
+    /// Per-home 100 ms grid offset, spreading homes across wheel slots.
+    offset_ms: u64,
+    gap_min_ms: u64,
+    gap_max_ms: u64,
+    stats: HomeStats,
+}
+
+impl Home {
+    fn build(id: usize, cfg: &MetroConfig, specs: &[AdlSpec], templates: &[PlanningSubsystem]) -> Self {
+        let name = format!("home-{id}");
+        let systems = specs
+            .iter()
+            .enumerate()
+            .map(|(act, spec)| {
+                let seed =
+                    derive_seed(cfg.seed, "metro-system", (id as u64) * 16 + act as u64);
+                let mut system = Coreda::new(spec.clone(), &name, cfg.system.clone(), seed);
+                // Planners are trained once per activity and cloned in:
+                // building 10k homes must not cost 10k trainings.
+                *system.planner_mut() = templates[act].clone();
+                let routine = Routine::canonical(spec);
+                (system, routine)
+            })
+            .collect();
+        let root = SimRng::seed_from(derive_seed(cfg.seed, "metro-home", id as u64));
+        let sched_rng = root.substream("sched", 0);
+        let mut home = Home {
+            systems,
+            behavior: StochasticBehavior::new(PatientProfile::moderate(&name)),
+            tracker: SessionTracker::new(specs, cfg.idle_close),
+            root,
+            sched_rng,
+            episode: None,
+            ep_index: 0,
+            next_start: SimTime::ZERO,
+            last_handled: None,
+            offset_ms: (id as u64 * 7 + 3) % 100,
+            gap_min_ms: cfg.gap_min.as_millis(),
+            gap_max_ms: cfg.gap_max.as_millis(),
+            stats: HomeStats::default(),
+        };
+        let first = home.draw_gap();
+        home.next_start = home.align_up(SimTime::ZERO + first);
+        home
+    }
+
+    /// The smallest instant on this home's 100 ms grid at or after `t`.
+    fn align_up(&self, t: SimTime) -> SimTime {
+        let ms = t.as_millis();
+        let rel = ms.saturating_sub(self.offset_ms);
+        let steps = rel.div_ceil(Coreda::TICK.as_millis());
+        SimTime::from_millis(self.offset_ms + steps * Coreda::TICK.as_millis())
+    }
+
+    fn draw_gap(&mut self) -> SimDuration {
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let ms = self
+            .sched_rng
+            .uniform_range(self.gap_min_ms as f64, self.gap_max_ms as f64) as u64;
+        SimDuration::from_millis(ms)
+    }
+
+    fn count_session_event(stats: &mut HomeStats, ev: SessionEvent) {
+        match ev {
+            SessionEvent::Started { .. } => stats.sessions_started += 1,
+            SessionEvent::Ended { completed: true, .. } => stats.sessions_completed += 1,
+            SessionEvent::Ended { completed: false, .. } => stats.sessions_abandoned += 1,
+            SessionEvent::CrossActivityUse { .. } => stats.cross_activity_flags += 1,
+        }
+    }
+
+    /// The canonical per-instant sequence — identical code for both
+    /// engines, so cross-engine equality reduces to both engines calling
+    /// it at every instant where anything can change.
+    fn poll_instant(&mut self, now: SimTime) {
+        // 1. Begin the next episode when its start arrives.
+        if self.episode.is_none() && now >= self.next_start {
+            let act = usize::try_from(self.ep_index).unwrap_or(usize::MAX) % self.systems.len();
+            let mut rng = self.root.substream("episode", self.ep_index);
+            let (system, routine) = &mut self.systems[act];
+            let ep = system.begin_live(routine, &mut self.behavior, now, &mut rng, None);
+            self.episode = Some(RunningEpisode { act, ep, rng });
+            self.stats.episodes_started += 1;
+        }
+
+        // 2. Run the running episode's 100 ms pipeline tick.
+        let mut finished = false;
+        if let Some(run) = self.episode.as_mut() {
+            if now >= run.ep.next_tick_at() {
+                let (system, routine) = &mut self.systems[run.act];
+                let tracker = &mut self.tracker;
+                let stats = &mut self.stats;
+                let out = system.live_tick(
+                    &mut run.ep,
+                    routine,
+                    &mut self.behavior,
+                    now,
+                    &mut run.rng,
+                    None,
+                    &mut |src, at| {
+                        for ev in tracker.on_report(src, at) {
+                            Self::count_session_event(stats, ev);
+                        }
+                    },
+                );
+                self.stats.pipeline_ticks += 1;
+                self.stats.reminders += u64::from(out.reminders);
+                self.stats.praises += u64::from(out.praises);
+                if out.completed_now {
+                    self.stats.episodes_completed += 1;
+                }
+                finished = out.finished;
+            }
+        }
+
+        // 3. Home-wide idle close (the tracker's clock tick).
+        if let Some(ev) = self.tracker.on_tick(now) {
+            Self::count_session_event(&mut self.stats, ev);
+        }
+
+        // 4. Episode cleanup: draw the quiet gap and schedule the next.
+        if finished {
+            self.episode = None;
+            self.ep_index += 1;
+            let gap = self.draw_gap();
+            self.next_start = self.align_up(now + gap);
+        }
+    }
+}
+
+/// One wake of one home (index local to the shard).
+#[derive(Debug, Clone, Copy)]
+struct Wake(usize);
+
+struct ChunkOut {
+    stats: Vec<HomeStats>,
+    des_events: u64,
+}
+
+#[allow(clippy::needless_pass_by_value)]
+fn run_chunk(
+    cfg: &MetroConfig,
+    specs: &[AdlSpec],
+    templates: &[PlanningSubsystem],
+    first_home: usize,
+    count: usize,
+) -> ChunkOut {
+    let mut homes: Vec<Home> = (first_home..first_home + count)
+        .map(|id| Home::build(id, cfg, specs, templates))
+        .collect();
+    let horizon_end = SimTime::ZERO + cfg.horizon;
+
+    match cfg.engine {
+        EngineKind::Wheel => {
+            // Event-driven: a home wakes only when something can happen.
+            let mut sim: Simulator<Wake> = Simulator::new();
+            for (i, h) in homes.iter().enumerate() {
+                if h.next_start <= horizon_end {
+                    sim.schedule_at(h.next_start, Wake(i));
+                }
+            }
+            while let Some(Wake(i)) = sim.step_until(horizon_end) {
+                let now = sim.now();
+                let home = &mut homes[i];
+                if home.last_handled == Some(now) {
+                    // A duplicate wake for an instant already served (e.g.
+                    // a stale session check landing on an episode tick).
+                    continue;
+                }
+                home.last_handled = Some(now);
+                home.poll_instant(now);
+                if let Some(run) = &home.episode {
+                    let due = run.ep.next_tick_at();
+                    if due <= horizon_end {
+                        sim.schedule_at(due, Wake(i));
+                    }
+                } else {
+                    if home.next_start <= horizon_end {
+                        sim.schedule_at(home.next_start, Wake(i));
+                    }
+                    if let Some(deadline) = home.tracker.idle_deadline() {
+                        let due = home.align_up(deadline);
+                        if due <= horizon_end {
+                            sim.schedule_at(due, Wake(i));
+                        }
+                    }
+                }
+            }
+            finish(homes, sim.processed())
+        }
+        EngineKind::Heap => {
+            // The seed baseline: every home polled at 10 Hz wall-to-wall
+            // through the original binary-heap queue.
+            let mut sim: Simulator<Wake> = Simulator::with_heap_queue();
+            for (i, h) in homes.iter().enumerate() {
+                let first = SimTime::from_millis(h.offset_ms);
+                if first <= horizon_end {
+                    sim.schedule_at(first, Wake(i));
+                }
+            }
+            while let Some(Wake(i)) = sim.step_until(horizon_end) {
+                let now = sim.now();
+                let home = &mut homes[i];
+                home.last_handled = Some(now);
+                home.poll_instant(now);
+                let next = now + Coreda::TICK;
+                if next <= horizon_end {
+                    sim.schedule_at(next, Wake(i));
+                }
+            }
+            finish(homes, sim.processed())
+        }
+    }
+}
+
+fn finish(mut homes: Vec<Home>, des_events: u64) -> ChunkOut {
+    for h in &mut homes {
+        h.stats.energy_uj = h.systems.iter().map(|(s, _)| s.total_energy_uj()).sum();
+    }
+    ChunkOut { stats: homes.into_iter().map(|h| h.stats).collect(), des_events }
+}
+
+/// Serves `cfg.homes` households for `cfg.horizon`, sharded across
+/// `cfg.jobs` workers. Results are bit-identical at any worker count and
+/// across both [`EngineKind`]s (modulo [`ScaleReport::des_events`]).
+#[must_use]
+pub fn run_scale(cfg: &MetroConfig) -> ScaleReport {
+    let specs = vec![catalog::tea_making(), catalog::tooth_brushing()];
+    let templates: Vec<PlanningSubsystem> = specs
+        .iter()
+        .enumerate()
+        .map(|(act, spec)| {
+            let routine = Routine::canonical(spec);
+            let mut planner = PlanningSubsystem::new(spec, cfg.system.planning);
+            let mut rng = SimRng::seed_from(derive_seed(cfg.seed, "metro-train", act as u64));
+            for _ in 0..cfg.train_episodes {
+                planner.train_episode(routine.steps(), &mut rng);
+            }
+            planner
+        })
+        .collect();
+
+    // Contiguous chunks, one per worker: flattening shard results in
+    // chunk order reproduces home order whatever the worker count.
+    let shards = cfg.jobs.max(1).min(cfg.homes.max(1));
+    let base = cfg.homes / shards;
+    let extra = cfg.homes % shards;
+    let mut chunks = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let count = base + usize::from(s < extra);
+        if count > 0 {
+            chunks.push((start, count));
+        }
+        start += count;
+    }
+
+    let engine = FleetEngine::new(cfg.jobs);
+    let results =
+        engine.map(chunks, |(first, count)| run_chunk(cfg, &specs, &templates, first, count));
+
+    let mut per_home = Vec::with_capacity(cfg.homes);
+    let mut des_events = 0u64;
+    for chunk in results {
+        per_home.extend(chunk.stats);
+        des_events += chunk.des_events;
+    }
+    ScaleReport { homes: cfg.homes, horizon: cfg.horizon, engine: cfg.engine, per_home, des_events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> MetroConfig {
+        MetroConfig {
+            homes: 4,
+            horizon: SimDuration::from_secs(600),
+            jobs: 1,
+            gap_min: SimDuration::from_secs(60),
+            gap_max: SimDuration::from_secs(180),
+            train_episodes: 120,
+            ..MetroConfig::default()
+        }
+    }
+
+    #[test]
+    fn homes_actually_serve() {
+        let report = run_scale(&small_cfg());
+        let t = report.totals();
+        assert_eq!(report.per_home.len(), 4);
+        assert!(t.episodes_started >= 4, "every home should start an episode: {t:?}");
+        assert!(t.sessions_started > 0, "tool reports should open sessions: {t:?}");
+        assert!(t.pipeline_ticks > 0);
+        assert!(t.energy_uj > 0.0, "radio traffic costs energy");
+    }
+
+    #[test]
+    fn wheel_and_heap_engines_agree_per_home() {
+        let wheel = run_scale(&small_cfg());
+        let heap = run_scale(&MetroConfig { engine: EngineKind::Heap, ..small_cfg() });
+        assert_eq!(wheel.per_home, heap.per_home);
+        // Dense polling pops far more raw DES events for the same work.
+        assert!(
+            heap.des_events > wheel.des_events,
+            "heap {h} should exceed wheel {w}",
+            h = heap.des_events,
+            w = wheel.des_events
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let serial = run_scale(&small_cfg());
+        let parallel = run_scale(&MetroConfig { jobs: 3, ..small_cfg() });
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.render(), parallel.render());
+    }
+
+    #[test]
+    fn render_is_complete_and_deterministic() {
+        let report = run_scale(&small_cfg());
+        let text = report.render();
+        assert!(text.contains("4 homes"));
+        assert!(text.contains("wheel engine"));
+        assert!(text.contains("episodes:"));
+        assert!(text.contains("sessions:"));
+        assert!(text.contains("pipeline ticks:"));
+        assert_eq!(text, run_scale(&small_cfg()).render());
+    }
+
+    #[test]
+    fn seeds_differentiate_homes() {
+        let report = run_scale(&small_cfg());
+        // Independent RNG streams: not every home behaves identically.
+        let first = report.per_home[0];
+        assert!(
+            report.per_home.iter().any(|h| h != &first),
+            "homes should diverge: {:?}",
+            report.per_home
+        );
+    }
+}

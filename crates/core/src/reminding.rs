@@ -187,8 +187,8 @@ impl RemindingSubsystem {
     /// The praise issued when the user takes the correct step
     /// (Figure 1: "Excellent!").
     #[must_use]
-    pub fn praise(&self) -> String {
-        "Excellent!".to_owned()
+    pub fn praise(&self) -> &'static str {
+        "Excellent!"
     }
 }
 

@@ -91,10 +91,10 @@ mod tests {
         let mut kinds = log.entries().iter().map(|(_, k)| k);
         assert!(kinds.any(|k| matches!(k, LogKind::ReminderIssued(r)
             if matches!(r.trigger, Trigger::WrongTool { .. }))));
-        assert!(kinds.any(|k| matches!(k, LogKind::Praised(_))));
+        assert!(kinds.any(|k| matches!(k, LogKind::Praised)));
         assert!(kinds.any(|k| matches!(k, LogKind::ReminderIssued(r)
             if r.trigger == Trigger::IdleTimeout)));
-        assert!(kinds.any(|k| matches!(k, LogKind::Praised(_))));
+        assert!(kinds.any(|k| matches!(k, LogKind::Praised)));
         assert!(kinds.any(|k| matches!(k, LogKind::AdlCompleted)));
     }
 

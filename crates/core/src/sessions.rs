@@ -14,26 +14,34 @@
 //!   the tracker ends the session (abandoned) and opens the new one;
 //! - a session closes as *completed* if its terminal tool was seen, or as
 //!   *abandoned* after a long silence otherwise.
+//!
+//! Activity names are interned into a per-tracker [`NameTable`], so a
+//! [`SessionEvent`] is a small `Copy` value carrying [`NameId`]s — no
+//! `String` clones on the per-report hot path. Resolve ids back to names
+//! only at render time, via [`SessionTracker::activity_name`] or
+//! [`SessionTracker::render_event`].
 
 use coreda_adl::activity::AdlSpec;
+use coreda_adl::intern::{NameId, NameTable};
 use coreda_adl::tool::ToolId;
 use coreda_des::time::{SimDuration, SimTime};
 use coreda_sensornet::node::NodeId;
 
-/// Events recognised by the tracker.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Events recognised by the tracker. `Copy`: activity names are carried
+/// as interned [`NameId`]s into the issuing tracker's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionEvent {
     /// A new activity session opened.
     Started {
         /// Activity name.
-        activity: String,
+        activity: NameId,
         /// When.
         at: SimTime,
     },
     /// A session closed.
     Ended {
         /// Activity name.
-        activity: String,
+        activity: NameId,
         /// When.
         at: SimTime,
         /// Whether its terminal tool had been used.
@@ -42,9 +50,9 @@ pub enum SessionEvent {
     /// A tool of *another* activity was used during an open session.
     CrossActivityUse {
         /// The activity currently in session.
-        active: String,
+        active: NameId,
         /// The foreign activity the tool belongs to.
-        foreign: String,
+        foreign: NameId,
         /// The tool used.
         tool: ToolId,
         /// When.
@@ -52,9 +60,71 @@ pub enum SessionEvent {
     },
 }
 
+/// Maximum events a single report can produce (flag + end + start).
+const MAX_EVENTS_PER_REPORT: usize = 3;
+
+/// The events recognised from one report, returned inline — no heap
+/// allocation per report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionEvents {
+    events: [Option<SessionEvent>; MAX_EVENTS_PER_REPORT],
+    len: u8,
+}
+
+impl SessionEvents {
+    fn push(&mut self, ev: SessionEvent) {
+        self.events[self.len as usize] = Some(ev);
+        self.len += 1;
+    }
+
+    /// Number of events recognised.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the report produced no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the events in recognition order.
+    pub fn iter(&self) -> impl Iterator<Item = &SessionEvent> {
+        self.events[..self.len as usize].iter().map(|e| e.as_ref().expect("filled up to len"))
+    }
+}
+
+impl std::ops::Index<usize> for SessionEvents {
+    type Output = SessionEvent;
+
+    fn index(&self, i: usize) -> &SessionEvent {
+        assert!(i < self.len as usize, "event index {i} out of bounds (len {})", self.len);
+        self.events[i].as_ref().expect("filled up to len")
+    }
+}
+
+impl IntoIterator for SessionEvents {
+    type Item = SessionEvent;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<SessionEvent>, 3>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter().flatten()
+    }
+}
+
+impl<'a> IntoIterator for &'a SessionEvents {
+    type Item = &'a SessionEvent;
+    type IntoIter = std::iter::Flatten<std::slice::Iter<'a, Option<SessionEvent>>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter().flatten()
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ActivityInfo {
-    name: String,
+    name: NameId,
     tools: Vec<ToolId>,
     terminal_tool: ToolId,
 }
@@ -83,11 +153,15 @@ struct Active {
 ///     SimDuration::from_secs(120),
 /// );
 /// let events = tracker.on_report(NodeId::new(catalog::TEA_BOX), SimTime::from_secs(1));
-/// assert!(matches!(&events[0], SessionEvent::Started { activity, .. } if activity == "Tea-making"));
+/// assert!(matches!(
+///     events[0],
+///     SessionEvent::Started { activity, .. } if tracker.activity_name(activity) == "Tea-making"
+/// ));
 /// ```
 #[derive(Debug, Clone)]
 pub struct SessionTracker {
     activities: Vec<ActivityInfo>,
+    names: NameTable,
     active: Option<Active>,
     /// Silence after which an open session is closed.
     idle_close: SimDuration,
@@ -108,6 +182,7 @@ impl SessionTracker {
     pub fn new(specs: &[AdlSpec], idle_close: SimDuration) -> Self {
         assert!(!specs.is_empty(), "tracker needs at least one activity");
         let mut seen = std::collections::HashSet::new();
+        let mut names = NameTable::new();
         let activities = specs
             .iter()
             .map(|spec| {
@@ -119,7 +194,7 @@ impl SessionTracker {
                     );
                 }
                 ActivityInfo {
-                    name: spec.name().to_owned(),
+                    name: names.intern(spec.name()),
                     tools: spec.tools().iter().map(coreda_adl::tool::Tool::id).collect(),
                     terminal_tool: spec
                         .terminal_step()
@@ -130,6 +205,7 @@ impl SessionTracker {
             .collect();
         SessionTracker {
             activities,
+            names,
             active: None,
             idle_close,
             switch_threshold: Self::DEFAULT_SWITCH_THRESHOLD,
@@ -151,7 +227,46 @@ impl SessionTracker {
     /// The activity currently in session, if any.
     #[must_use]
     pub fn active_activity(&self) -> Option<&str> {
-        self.active.as_ref().map(|a| self.activities[a.idx].name.as_str())
+        self.active.as_ref().map(|a| self.names.resolve(self.activities[a.idx].name))
+    }
+
+    /// Resolves an interned activity name id issued by this tracker.
+    #[must_use]
+    pub fn activity_name(&self, id: NameId) -> &str {
+        self.names.resolve(id)
+    }
+
+    /// The id this tracker interned `name` under, if it tracks it.
+    #[must_use]
+    pub fn activity_id(&self, name: &str) -> Option<NameId> {
+        self.names.get(name)
+    }
+
+    /// Renders an event with its names resolved, for logs and caregiver
+    /// reports.
+    #[must_use]
+    pub fn render_event(&self, ev: &SessionEvent) -> String {
+        match *ev {
+            SessionEvent::Started { activity, at } => {
+                format!("[{at}] session started: {}", self.names.resolve(activity))
+            }
+            SessionEvent::Ended { activity, at, completed } => {
+                let how = if completed { "completed" } else { "abandoned" };
+                format!("[{at}] session ended ({how}): {}", self.names.resolve(activity))
+            }
+            SessionEvent::CrossActivityUse { active, foreign, tool, at } => format!(
+                "[{at}] cross-activity use: tool {tool} of {} during {}",
+                self.names.resolve(foreign),
+                self.names.resolve(active)
+            ),
+        }
+    }
+
+    /// When the open session will be closed by silence, if a session is
+    /// open: the instant [`SessionTracker::on_tick`] first fires.
+    #[must_use]
+    pub fn idle_deadline(&self) -> Option<SimTime> {
+        self.active.as_ref().map(|a| a.last_report + self.idle_close)
     }
 
     fn owner_of(&self, tool: ToolId) -> Option<usize> {
@@ -160,12 +275,12 @@ impl SessionTracker {
 
     /// Feeds one accepted tool report; returns the recognised events, in
     /// order. Reports from unknown tools are ignored.
-    pub fn on_report(&mut self, node: NodeId, at: SimTime) -> Vec<SessionEvent> {
+    pub fn on_report(&mut self, node: NodeId, at: SimTime) -> SessionEvents {
         let tool = ToolId::new(node.raw());
+        let mut events = SessionEvents::default();
         let Some(owner) = self.owner_of(tool) else {
-            return Vec::new();
+            return events;
         };
-        let mut events = Vec::new();
         match self.active.as_mut() {
             None => {
                 self.active = Some(Active {
@@ -174,10 +289,7 @@ impl SessionTracker {
                     saw_terminal: tool == self.activities[owner].terminal_tool,
                     foreign_run: None,
                 });
-                events.push(SessionEvent::Started {
-                    activity: self.activities[owner].name.clone(),
-                    at,
-                });
+                events.push(SessionEvent::Started { activity: self.activities[owner].name, at });
             }
             Some(active) if active.idx == owner => {
                 active.last_report = at;
@@ -194,8 +306,8 @@ impl SessionTracker {
                 };
                 active.foreign_run = Some((owner, run));
                 events.push(SessionEvent::CrossActivityUse {
-                    active: self.activities[active.idx].name.clone(),
-                    foreign: self.activities[owner].name.clone(),
+                    active: self.activities[active.idx].name,
+                    foreign: self.activities[owner].name,
                     tool,
                     at,
                 });
@@ -204,7 +316,7 @@ impl SessionTracker {
                     let old = active.idx;
                     let completed = active.saw_terminal;
                     events.push(SessionEvent::Ended {
-                        activity: self.activities[old].name.clone(),
+                        activity: self.activities[old].name,
                         at,
                         completed,
                     });
@@ -215,7 +327,7 @@ impl SessionTracker {
                         foreign_run: None,
                     });
                     events.push(SessionEvent::Started {
-                        activity: self.activities[owner].name.clone(),
+                        activity: self.activities[owner].name,
                         at,
                     });
                 }
@@ -232,7 +344,7 @@ impl SessionTracker {
             return None;
         }
         let ev = SessionEvent::Ended {
-            activity: self.activities[active.idx].name.clone(),
+            activity: self.activities[active.idx].name,
             at: now,
             completed: active.saw_terminal,
         };
@@ -261,10 +373,9 @@ mod tests {
     fn first_report_starts_the_owning_session() {
         let mut tr = tracker();
         let ev = tr.on_report(NodeId::new(catalog::BRUSH), t(5));
-        assert_eq!(
-            ev,
-            vec![SessionEvent::Started { activity: "Tooth-brushing".into(), at: t(5) }]
-        );
+        let brushing = tr.activity_id("Tooth-brushing").unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0], SessionEvent::Started { activity: brushing, at: t(5) });
         assert_eq!(tr.active_activity(), Some("Tooth-brushing"));
     }
 
@@ -290,10 +401,8 @@ mod tests {
         }
         assert!(tr.on_tick(t(60)).is_none(), "not silent long enough yet");
         let ev = tr.on_tick(t(200)).unwrap();
-        assert_eq!(
-            ev,
-            SessionEvent::Ended { activity: "Tea-making".into(), at: t(200), completed: true }
-        );
+        let tea = tr.activity_id("Tea-making").unwrap();
+        assert_eq!(ev, SessionEvent::Ended { activity: tea, at: t(200), completed: true });
         assert_eq!(tr.active_activity(), None);
     }
 
@@ -306,17 +415,32 @@ mod tests {
     }
 
     #[test]
+    fn idle_deadline_tracks_last_report() {
+        let mut tr = tracker();
+        assert_eq!(tr.idle_deadline(), None);
+        tr.on_report(NodeId::new(catalog::TEA_BOX), t(1));
+        assert_eq!(tr.idle_deadline(), Some(t(121)));
+        tr.on_report(NodeId::new(catalog::POT), t(30));
+        assert_eq!(tr.idle_deadline(), Some(t(150)));
+        // The deadline is exactly when on_tick first closes the session.
+        assert!(tr.on_tick(t(149)).is_none());
+        assert!(tr.on_tick(t(150)).is_some());
+        assert_eq!(tr.idle_deadline(), None);
+    }
+
+    #[test]
     fn single_foreign_report_is_flagged_not_switched() {
         let mut tr = tracker();
         tr.on_report(NodeId::new(catalog::TEA_BOX), t(1));
         // Mid-tea, the user picks up the toothbrush once — confusion.
         let ev = tr.on_report(NodeId::new(catalog::BRUSH), t(10));
+        let tea = tr.activity_id("Tea-making").unwrap();
+        let brushing = tr.activity_id("Tooth-brushing").unwrap();
         assert_eq!(ev.len(), 1);
         assert!(matches!(
-            &ev[0],
+            ev[0],
             SessionEvent::CrossActivityUse { active, foreign, tool, .. }
-                if active == "Tea-making" && foreign == "Tooth-brushing"
-                    && *tool == ToolId::new(catalog::BRUSH)
+                if active == tea && foreign == brushing && tool == ToolId::new(catalog::BRUSH)
         ));
         assert_eq!(tr.active_activity(), Some("Tea-making"));
         // Returning to tea clears the foreign run.
@@ -332,16 +456,18 @@ mod tests {
         tr.on_report(NodeId::new(catalog::PASTE_TUBE), t(10));
         tr.on_report(NodeId::new(catalog::BRUSH), t(14));
         let ev = tr.on_report(NodeId::new(catalog::BRUSH), t(18));
+        let tea = tr.activity_id("Tea-making").unwrap();
+        let brushing = tr.activity_id("Tooth-brushing").unwrap();
         // Third consecutive foreign report: flag + end(abandoned) + start.
         assert_eq!(ev.len(), 3, "{ev:#?}");
         assert!(matches!(ev[0], SessionEvent::CrossActivityUse { .. }));
         assert!(matches!(
-            &ev[1],
-            SessionEvent::Ended { activity, completed: false, .. } if activity == "Tea-making"
+            ev[1],
+            SessionEvent::Ended { activity, completed: false, .. } if activity == tea
         ));
         assert!(matches!(
-            &ev[2],
-            SessionEvent::Started { activity, .. } if activity == "Tooth-brushing"
+            ev[2],
+            SessionEvent::Started { activity, .. } if activity == brushing
         ));
         assert_eq!(tr.active_activity(), Some("Tooth-brushing"));
     }
@@ -360,10 +486,27 @@ mod tests {
         tr.on_report(NodeId::new(catalog::TEA_CUP), t(20));
         tr.on_tick(t(300)).unwrap();
         let ev = tr.on_report(NodeId::new(catalog::PASTE_TUBE), t(400));
+        let brushing = tr.activity_id("Tooth-brushing").unwrap();
         assert!(matches!(
-            &ev[0],
-            SessionEvent::Started { activity, .. } if activity == "Tooth-brushing"
+            ev[0],
+            SessionEvent::Started { activity, .. } if activity == brushing
         ));
+    }
+
+    #[test]
+    fn events_iterate_and_render() {
+        let mut tr = tracker();
+        tr.on_report(NodeId::new(catalog::TEA_BOX), t(1));
+        tr.on_report(NodeId::new(catalog::PASTE_TUBE), t(10));
+        tr.on_report(NodeId::new(catalog::BRUSH), t(14));
+        let ev = tr.on_report(NodeId::new(catalog::BRUSH), t(18));
+        assert_eq!(ev.iter().count(), 3);
+        assert_eq!((&ev).into_iter().count(), 3);
+        assert_eq!(ev.into_iter().count(), 3);
+        let rendered: Vec<String> = ev.iter().map(|e| tr.render_event(e)).collect();
+        assert!(rendered[0].contains("cross-activity use"));
+        assert!(rendered[1].contains("session ended (abandoned): Tea-making"));
+        assert!(rendered[2].contains("session started: Tooth-brushing"));
     }
 
     #[test]

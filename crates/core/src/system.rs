@@ -122,6 +122,83 @@ pub struct Coreda {
     reminding: RemindingSubsystem,
     net_rng: SimRng,
     downlink_seq: u16,
+    /// Reused per-tick buffers so live ticks allocate nothing in steady
+    /// state (taken with `mem::take` for the duration of a tick).
+    scratch_outbox: Vec<(usize, coreda_sensornet::packet::Packet)>,
+    scratch_slots: Vec<bool>,
+    scratch_events: Vec<crate::sensing::StepEvent>,
+}
+
+/// An episode log that may be absent: metro-scale serving runs thousands
+/// of episodes and only wants counters, not timelines.
+struct MaybeLog<'a>(Option<&'a mut EpisodeLog>);
+
+impl MaybeLog<'_> {
+    fn push(&mut self, at: SimTime, kind: LogKind) {
+        if let Some(log) = self.0.as_deref_mut() {
+            log.push(at, kind);
+        }
+    }
+}
+
+/// Resumable state of one live episode, advanced one 100 ms tick at a
+/// time by [`Coreda::live_tick`]. [`Coreda::run_live`] drives it over a
+/// dense tick loop; the metro engine drives many of them event-driven,
+/// interleaved across homes.
+#[derive(Debug, Clone)]
+pub struct LiveEpisode {
+    phase: Phase,
+    /// Prediction state: the last two *accepted* steps.
+    tracked: Option<(StepId, StepId)>,
+    /// Outstanding prompt awaiting the patient's reaction.
+    pending: Option<(SimTime, Prompt)>,
+    last_reminder: Option<SimTime>,
+    reminders_since_advance: u32,
+    completed: bool,
+    ticks_done: u64,
+    max_ticks: u64,
+    start: SimTime,
+    finished: bool,
+}
+
+impl LiveEpisode {
+    /// When the episode started.
+    #[must_use]
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// The instant the next tick should run at.
+    #[must_use]
+    pub fn next_tick_at(&self) -> SimTime {
+        self.start + Coreda::TICK * self.ticks_done
+    }
+
+    /// Whether the patient finished the ADL.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Whether the episode is over (completed, or out of ticks).
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+}
+
+/// What one live tick produced — the counters a serving engine keeps
+/// when it isn't recording a full [`EpisodeLog`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickOutcome {
+    /// Reminders issued this tick.
+    pub reminders: u32,
+    /// Praises issued this tick.
+    pub praises: u32,
+    /// Whether the ADL completed this tick.
+    pub completed_now: bool,
+    /// Whether the episode is now finished.
+    pub finished: bool,
 }
 
 impl Coreda {
@@ -154,6 +231,9 @@ impl Coreda {
             reminding: RemindingSubsystem::new(user_name),
             net_rng: root.substream("network", 0),
             downlink_seq: 0,
+            scratch_outbox: Vec::new(),
+            scratch_slots: Vec::new(),
+            scratch_events: Vec::new(),
         }
     }
 
@@ -178,6 +258,12 @@ impl Coreda {
     #[must_use]
     pub const fn sensing(&self) -> &SensingSubsystem {
         &self.sensing
+    }
+
+    /// The reminding subsystem.
+    #[must_use]
+    pub const fn reminding(&self) -> &RemindingSubsystem {
+        &self.reminding
     }
 
     /// The node attached to `tool`, if any.
@@ -217,7 +303,6 @@ impl Coreda {
 
     /// Runs one live episode: `behavior` performs `routine` while the
     /// full pipeline senses, predicts and reminds. Returns the timeline.
-    #[allow(clippy::too_many_lines)]
     pub fn run_live(
         &mut self,
         routine: &Routine,
@@ -225,205 +310,259 @@ impl Coreda {
         rng: &mut SimRng,
     ) -> EpisodeLog {
         let mut log = EpisodeLog::new();
+        let mut ep = self.begin_live(routine, behavior, SimTime::ZERO, rng, Some(&mut log));
+        while !ep.finished {
+            let now = ep.next_tick_at();
+            self.live_tick(&mut ep, routine, behavior, now, rng, Some(&mut log), &mut |_, _| {});
+        }
+        log
+    }
+
+    /// Starts a live episode at `start` without running any ticks: the
+    /// sensing pipeline is reset, the first step's duration drawn, and
+    /// the patient logged as starting. Drive it with [`Coreda::live_tick`]
+    /// at [`LiveEpisode::next_tick_at`] instants.
+    pub fn begin_live(
+        &mut self,
+        routine: &Routine,
+        behavior: &mut dyn PatientBehavior,
+        start: SimTime,
+        rng: &mut SimRng,
+        log: Option<&mut EpisodeLog>,
+    ) -> LiveEpisode {
+        let mut log = MaybeLog(log);
         self.sensing.reset();
         for (node, _) in &mut self.nodes {
             node.reset_detector();
         }
-
         let first_step = self.spec.step(routine.first()).expect("routine step in spec");
         let first_duration = behavior.step_duration(first_step, rng);
-        let mut phase = Phase::Performing { idx: 0, until: SimTime::ZERO + first_duration };
-        log.push(SimTime::ZERO, LogKind::PatientStarted(routine.first()));
+        log.push(start, LogKind::PatientStarted(routine.first()));
+        let max_ticks = self.config.max_episode.as_millis() / Self::TICK.as_millis();
+        LiveEpisode {
+            phase: Phase::Performing { idx: 0, until: start + first_duration },
+            tracked: None,
+            pending: None,
+            last_reminder: None,
+            reminders_since_advance: 0,
+            completed: false,
+            ticks_done: 0,
+            max_ticks,
+            start,
+            finished: max_ticks == 0,
+        }
+    }
 
-        // Prediction state: the last two *accepted* steps.
-        let mut tracked: Option<(StepId, StepId)> = None;
-        // Outstanding prompt awaiting the patient's reaction.
-        let mut pending: Option<(SimTime, Prompt)> = None;
-        let mut last_reminder: Option<SimTime> = None;
-        let mut reminders_since_advance = 0u32;
-        let mut completed = false;
+    /// Runs one 100 ms pipeline tick of `ep` at `now`: patient state
+    /// machine, sensor sampling, CSMA/CA medium contention, uplink,
+    /// sensing, prediction, reminding. Every report the base station
+    /// accepts is also handed to `report_sink` (home-wide session
+    /// tracking). Operation and RNG-draw order are exactly those of the
+    /// dense [`Coreda::run_live`] loop — the behavioural test suite holds
+    /// the two paths to identical timelines.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    pub fn live_tick(
+        &mut self,
+        ep: &mut LiveEpisode,
+        routine: &Routine,
+        behavior: &mut dyn PatientBehavior,
+        now: SimTime,
+        rng: &mut SimRng,
+        log: Option<&mut EpisodeLog>,
+        report_sink: &mut dyn FnMut(coreda_sensornet::node::NodeId, SimTime),
+    ) -> TickOutcome {
+        let mut log = MaybeLog(log);
+        let mut out = TickOutcome::default();
 
-        let ticks = self.config.max_episode.as_millis() / Self::TICK.as_millis();
-        for tick in 0..ticks {
-            let now = SimTime::ZERO + Self::TICK * tick;
+        // 1. Patient state-machine transitions. Completion is logged
+        //    from ground truth — the patient actually finishing — so
+        //    the log stays meaningful even when the planner is wrong.
+        ep.phase = self.advance_patient(ep.phase, routine, behavior, now, &mut log, rng);
+        if matches!(ep.phase, Phase::Done) && !ep.completed {
+            ep.completed = true;
+            out.completed_now = true;
+            log.push(now, LogKind::AdlCompleted);
+        }
 
-            // 1. Patient state-machine transitions. Completion is logged
-            //    from ground truth — the patient actually finishing — so
-            //    the log stays meaningful even when the planner is wrong.
-            phase = self.advance_patient(phase, routine, behavior, now, &mut log, rng);
-            if matches!(phase, Phase::Done) && !completed {
-                completed = true;
-                log.push(now, LogKind::AdlCompleted);
-            }
-
-            // 2. Outstanding prompt reaction.
-            if let Some((due, prompt)) = pending {
-                if now >= due {
-                    pending = None;
-                    phase = self.react_to_prompt(phase, prompt, routine, behavior, now, &mut log, rng);
-                }
-            }
-
-            // 3. Sensor sampling and uplink.
-            let active_tool = match phase {
-                Phase::Performing { idx, .. } => routine.steps()[idx].tool(),
-                Phase::Misusing { tool, .. } => Some(tool),
-                Phase::Frozen { .. } | Phase::Done => None,
-            };
-            let mut events = Vec::new();
-            // Sample every node first: transmissions raised in the same
-            // 100 ms tick contend for the shared medium (CSMA/CA).
-            let mut outbox: Vec<(usize, coreda_sensornet::packet::Packet)> = Vec::new();
-            for (idx, (node, node_rng)) in self.nodes.iter_mut().enumerate() {
-                let in_use = active_tool == Some(ToolId::new(node.uid().raw()));
-                if let Some(packet) = node.sample_tick(in_use, now.as_millis(), node_rng) {
-                    outbox.push((idx, packet));
-                }
-            }
-            let slots = self.config.medium.resolve_slot(outbox.len(), &mut self.net_rng);
-            for ((idx, packet), won_medium) in outbox.into_iter().zip(slots) {
-                let node = &mut self.nodes[idx].0;
-                if !won_medium {
-                    // Collision: the frame is lost before the link layer;
-                    // the energy was still spent.
-                    node.energy_mut().charge_tx(packet.encoded_len());
-                    continue;
-                }
-                let outcome = self.network.send_uplink(&packet, &mut self.net_rng);
-                let (attempts, delivered) = match outcome {
-                    coreda_sensornet::network::SendOutcome::Delivered { attempts, .. } => {
-                        (attempts, true)
-                    }
-                    coreda_sensornet::network::SendOutcome::Lost { attempts } => {
-                        (attempts, false)
-                    }
-                };
-                // Radio energy: every attempt transmits the frame;
-                // a delivery also receives one acknowledgement.
-                node.energy_mut().charge_tx(packet.encoded_len() * usize::from(attempts));
-                if delivered {
-                    node.energy_mut().charge_rx(8);
-                    if let Some(p) = self.base.receive(packet) {
-                        if let Some(ev) = self.sensing.on_report(p.src, now) {
-                            events.push(ev);
-                        }
-                    }
-                }
-            }
-
-            // 4. Idle detection (situation 1).
-            if !completed {
-                if let Some(ev) = self.sensing.check_idle(now) {
-                    events.push(ev);
-                }
-            }
-
-            // 5. Interpret step events.
-            for ev in events {
-                if completed {
-                    break;
-                }
-                log.push(ev.at, LogKind::StepSensed(ev.step));
-                match tracked {
-                    None => {
-                        if !ev.step.is_idle() {
-                            // First step triggers the start of prediction
-                            // (Table 4's note).
-                            tracked = Some((StepId::IDLE, ev.step));
-                            reminders_since_advance = 0;
-                        }
-                    }
-                    Some((prev, cur)) => {
-                        let predicted = self.planner.predict_tool(prev, cur);
-                        if ev.step.is_idle() {
-                            // Situation 1: idle past the timeout.
-                            if let Some((reminder_prompt, reminder)) = self.issue_reminder(
-                                prev,
-                                cur,
-                                Trigger::IdleTimeout,
-                                reminders_since_advance,
-                            ) {
-                                self.deliver_led_commands(&reminder);
-                                log.push(now, LogKind::ReminderIssued(reminder));
-                                pending = Some((now + self.config.response_delay, reminder_prompt));
-                                last_reminder = Some(now);
-                                reminders_since_advance += 1;
-                            }
-                        } else if ev.step.tool() == predicted {
-                            // The expected step: advance, praise if we had
-                            // been prompting, learn online.
-                            if reminders_since_advance > 0 {
-                                log.push(now, LogKind::Praised(self.reminding.praise()));
-                            }
-                            let is_last = ev.step == routine.last();
-                            if self.config.online_learning {
-                                if let Some(tool) = predicted {
-                                    let prompt = Prompt { tool, level: ReminderLevel::Minimal };
-                                    self.planner
-                                        .observe_transition(prev, cur, ev.step, prompt, is_last);
-                                }
-                            }
-                            tracked = Some((cur, ev.step));
-                            reminders_since_advance = 0;
-                            pending = None;
-                            self.clear_all_leds();
-                        } else if ev.step == cur {
-                            // Sensing re-opened the current step; ignore.
-                        } else if self.resync_lookahead(prev, cur, ev.step) {
-                            // A missed detection: the sensed step is the one
-                            // *after* the expected one. Jump forward.
-                            let expected =
-                                predicted.map(StepId::from_tool).unwrap_or(StepId::IDLE);
-                            tracked = Some((expected, ev.step));
-                            reminders_since_advance = 0;
-                            pending = None;
-                        } else {
-                            // Situation 2: the wrong tool is in use.
-                            if let Some((reminder_prompt, reminder)) = self.issue_reminder(
-                                prev,
-                                cur,
-                                Trigger::WrongTool {
-                                    used: ev.step.tool().expect("non-idle step has a tool"),
-                                },
-                                reminders_since_advance,
-                            ) {
-                                self.deliver_led_commands(&reminder);
-                                log.push(now, LogKind::ReminderIssued(reminder));
-                                pending = Some((now + self.config.response_delay, reminder_prompt));
-                                last_reminder = Some(now);
-                                reminders_since_advance += 1;
-                            }
-                        }
-                    }
-                }
-            }
-
-            // 6. Re-prompt an unanswered reminder, escalated.
-            if !completed && pending.is_none() && matches!(phase, Phase::Frozen { .. } | Phase::Misusing { .. }) {
-                if let (Some((prev, cur)), Some(last)) = (tracked, last_reminder) {
-                    if now.saturating_duration_since(last) >= self.config.reprompt_interval {
-                        let trigger = match phase {
-                            Phase::Misusing { tool, .. } => Trigger::WrongTool { used: tool },
-                            _ => Trigger::IdleTimeout,
-                        };
-                        if let Some((reminder_prompt, reminder)) =
-                            self.issue_reminder(prev, cur, trigger, reminders_since_advance)
-                        {
-                            self.deliver_led_commands(&reminder);
-                            log.push(now, LogKind::ReminderIssued(reminder));
-                            pending = Some((now + self.config.response_delay, reminder_prompt));
-                            last_reminder = Some(now);
-                            reminders_since_advance += 1;
-                        }
-                    }
-                }
-            }
-
-            if completed && matches!(phase, Phase::Done) {
-                break;
+        // 2. Outstanding prompt reaction.
+        if let Some((due, prompt)) = ep.pending {
+            if now >= due {
+                ep.pending = None;
+                ep.phase =
+                    self.react_to_prompt(ep.phase, prompt, routine, behavior, now, &mut log, rng);
             }
         }
-        log
+
+        // 3. Sensor sampling and uplink.
+        let active_tool = match ep.phase {
+            Phase::Performing { idx, .. } => routine.steps()[idx].tool(),
+            Phase::Misusing { tool, .. } => Some(tool),
+            Phase::Frozen { .. } | Phase::Done => None,
+        };
+        let mut events = std::mem::take(&mut self.scratch_events);
+        // Sample every node first: transmissions raised in the same
+        // 100 ms tick contend for the shared medium (CSMA/CA).
+        let mut outbox = std::mem::take(&mut self.scratch_outbox);
+        for (idx, (node, node_rng)) in self.nodes.iter_mut().enumerate() {
+            let in_use = active_tool == Some(ToolId::new(node.uid().raw()));
+            if let Some(packet) = node.sample_tick(in_use, now.as_millis(), node_rng) {
+                outbox.push((idx, packet));
+            }
+        }
+        let mut slots = std::mem::take(&mut self.scratch_slots);
+        self.config.medium.resolve_slot_into(outbox.len(), &mut self.net_rng, &mut slots);
+        for ((idx, packet), won_medium) in outbox.drain(..).zip(slots.iter().copied()) {
+            let node = &mut self.nodes[idx].0;
+            if !won_medium {
+                // Collision: the frame is lost before the link layer;
+                // the energy was still spent.
+                node.energy_mut().charge_tx(packet.encoded_len());
+                continue;
+            }
+            let outcome = self.network.send_uplink(&packet, &mut self.net_rng);
+            let (attempts, delivered) = match outcome {
+                coreda_sensornet::network::SendOutcome::Delivered { attempts, .. } => {
+                    (attempts, true)
+                }
+                coreda_sensornet::network::SendOutcome::Lost { attempts } => (attempts, false),
+            };
+            // Radio energy: every attempt transmits the frame;
+            // a delivery also receives one acknowledgement.
+            node.energy_mut().charge_tx(packet.encoded_len() * usize::from(attempts));
+            if delivered {
+                node.energy_mut().charge_rx(8);
+                if let Some(p) = self.base.receive(packet) {
+                    report_sink(p.src, now);
+                    if let Some(ev) = self.sensing.on_report(p.src, now) {
+                        events.push(ev);
+                    }
+                }
+            }
+        }
+        self.scratch_outbox = outbox;
+        self.scratch_slots = slots;
+
+        // 4. Idle detection (situation 1).
+        if !ep.completed {
+            if let Some(ev) = self.sensing.check_idle(now) {
+                events.push(ev);
+            }
+        }
+
+        // 5. Interpret step events.
+        for ev in events.drain(..) {
+            if ep.completed {
+                break;
+            }
+            log.push(ev.at, LogKind::StepSensed(ev.step));
+            match ep.tracked {
+                None => {
+                    if !ev.step.is_idle() {
+                        // First step triggers the start of prediction
+                        // (Table 4's note).
+                        ep.tracked = Some((StepId::IDLE, ev.step));
+                        ep.reminders_since_advance = 0;
+                    }
+                }
+                Some((prev, cur)) => {
+                    let predicted = self.planner.predict_tool(prev, cur);
+                    if ev.step.is_idle() {
+                        // Situation 1: idle past the timeout.
+                        if let Some((reminder_prompt, reminder)) = self.issue_reminder(
+                            prev,
+                            cur,
+                            Trigger::IdleTimeout,
+                            ep.reminders_since_advance,
+                        ) {
+                            self.deliver_led_commands(&reminder);
+                            log.push(now, LogKind::ReminderIssued(reminder));
+                            out.reminders += 1;
+                            ep.pending = Some((now + self.config.response_delay, reminder_prompt));
+                            ep.last_reminder = Some(now);
+                            ep.reminders_since_advance += 1;
+                        }
+                    } else if ev.step.tool() == predicted {
+                        // The expected step: advance, praise if we had
+                        // been prompting, learn online.
+                        if ep.reminders_since_advance > 0 {
+                            log.push(now, LogKind::Praised);
+                            out.praises += 1;
+                        }
+                        let is_last = ev.step == routine.last();
+                        if self.config.online_learning {
+                            if let Some(tool) = predicted {
+                                let prompt = Prompt { tool, level: ReminderLevel::Minimal };
+                                self.planner
+                                    .observe_transition(prev, cur, ev.step, prompt, is_last);
+                            }
+                        }
+                        ep.tracked = Some((cur, ev.step));
+                        ep.reminders_since_advance = 0;
+                        ep.pending = None;
+                        self.clear_all_leds();
+                    } else if ev.step == cur {
+                        // Sensing re-opened the current step; ignore.
+                    } else if self.resync_lookahead(prev, cur, ev.step) {
+                        // A missed detection: the sensed step is the one
+                        // *after* the expected one. Jump forward.
+                        let expected = predicted.map(StepId::from_tool).unwrap_or(StepId::IDLE);
+                        ep.tracked = Some((expected, ev.step));
+                        ep.reminders_since_advance = 0;
+                        ep.pending = None;
+                    } else {
+                        // Situation 2: the wrong tool is in use.
+                        if let Some((reminder_prompt, reminder)) = self.issue_reminder(
+                            prev,
+                            cur,
+                            Trigger::WrongTool {
+                                used: ev.step.tool().expect("non-idle step has a tool"),
+                            },
+                            ep.reminders_since_advance,
+                        ) {
+                            self.deliver_led_commands(&reminder);
+                            log.push(now, LogKind::ReminderIssued(reminder));
+                            out.reminders += 1;
+                            ep.pending = Some((now + self.config.response_delay, reminder_prompt));
+                            ep.last_reminder = Some(now);
+                            ep.reminders_since_advance += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.scratch_events = events;
+
+        // 6. Re-prompt an unanswered reminder, escalated.
+        if !ep.completed
+            && ep.pending.is_none()
+            && matches!(ep.phase, Phase::Frozen { .. } | Phase::Misusing { .. })
+        {
+            if let (Some((prev, cur)), Some(last)) = (ep.tracked, ep.last_reminder) {
+                if now.saturating_duration_since(last) >= self.config.reprompt_interval {
+                    let trigger = match ep.phase {
+                        Phase::Misusing { tool, .. } => Trigger::WrongTool { used: tool },
+                        _ => Trigger::IdleTimeout,
+                    };
+                    if let Some((reminder_prompt, reminder)) =
+                        self.issue_reminder(prev, cur, trigger, ep.reminders_since_advance)
+                    {
+                        self.deliver_led_commands(&reminder);
+                        log.push(now, LogKind::ReminderIssued(reminder));
+                        out.reminders += 1;
+                        ep.pending = Some((now + self.config.response_delay, reminder_prompt));
+                        ep.last_reminder = Some(now);
+                        ep.reminders_since_advance += 1;
+                    }
+                }
+            }
+        }
+
+        ep.ticks_done += 1;
+        if (ep.completed && matches!(ep.phase, Phase::Done)) || ep.ticks_done >= ep.max_ticks {
+            ep.finished = true;
+        }
+        out.finished = ep.finished;
+        out
     }
 
     /// Whether `sensed` matches the prediction *two* steps ahead of the
@@ -505,7 +644,7 @@ impl Coreda {
         routine: &Routine,
         behavior: &mut dyn PatientBehavior,
         now: SimTime,
-        log: &mut EpisodeLog,
+        log: &mut MaybeLog<'_>,
         rng: &mut SimRng,
     ) -> Phase {
         match phase {
@@ -550,7 +689,7 @@ impl Coreda {
         routine: &Routine,
         behavior: &mut dyn PatientBehavior,
         now: SimTime,
-        log: &mut EpisodeLog,
+        log: &mut MaybeLog<'_>,
         rng: &mut SimRng,
     ) -> Phase {
         let resume_idx = match phase {
@@ -574,7 +713,7 @@ impl Coreda {
         routine: &Routine,
         behavior: &mut dyn PatientBehavior,
         now: SimTime,
-        log: &mut EpisodeLog,
+        log: &mut MaybeLog<'_>,
         rng: &mut SimRng,
     ) -> Phase {
         let step_id = routine.steps()[idx];

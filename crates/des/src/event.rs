@@ -1,15 +1,33 @@
-//! A deterministic time-ordered event queue.
+//! Deterministic time-ordered event queues.
 //!
 //! Events scheduled for the same instant are delivered in the order they
 //! were scheduled (FIFO), which keeps simulations reproducible regardless
-//! of heap internals.
+//! of queue internals.
+//!
+//! Two implementations share the [`EventQueueBackend`] contract:
+//!
+//! - [`EventQueue`] — a hierarchical timing wheel (bucketed calendar
+//!   queue). Four levels of 256 slots cover dues up to 2³² ms ahead of
+//!   the queue's cursor at 1 ms / 256 ms / ~65 s / ~4.7 h granularity;
+//!   anything farther sits in an overflow heap until the cursor reaches
+//!   its 2³²-ms block. Push and pop are O(1) on the dense schedules a
+//!   metro-scale serving run produces (thousands of homes ticking every
+//!   100 ms), where a binary heap pays O(log n) cache-missing compares
+//!   per operation.
+//! - [`HeapEventQueue`] — the original `BinaryHeap` implementation, kept
+//!   as the reference for order-equivalence tests and as the baseline
+//!   the `scale_micro` bench measures the wheel against.
+//!
+//! Both order events by `(due, seq)` where `seq` is a global insertion
+//! counter, so their dispatch orders are byte-identical (a property
+//! test in `tests/proptests.rs` holds the wheel to that).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
-/// An entry in the queue: the payload plus its due time and a sequence
+/// An entry in a queue: the payload plus its due time and a sequence
 /// number used to break ties deterministically.
 #[derive(Debug)]
 struct Scheduled<E> {
@@ -39,8 +57,64 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// The contract both queue implementations satisfy: a min-priority queue
+/// of events keyed by [`SimTime`] with FIFO tie-breaking at equal dues.
+pub trait EventQueueBackend<E> {
+    /// Schedules `event` to fire at the absolute instant `due`.
+    fn schedule_at(&mut self, due: SimTime, event: E);
+
+    /// Schedules `event` to fire `delay` after `now`.
+    fn schedule_after(&mut self, now: SimTime, delay: SimDuration, event: E) {
+        self.schedule_at(now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, with its due time.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// The due time of the earliest event, if any.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all pending events.
+    fn clear(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// Timing wheel
+// ---------------------------------------------------------------------------
+
+/// Bits per wheel level: 256 slots each.
+const SLOT_BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels. Level `l` spans dues sharing the cursor's bits above
+/// `8·(l+1)`; beyond level 3 (2³² ms ≈ 49.7 days) events overflow to a heap.
+const LEVELS: usize = 4;
+/// `u64` words in one level's occupancy bitmap.
+const OCC_WORDS: usize = SLOTS / 64;
+
 /// A min-priority queue of events keyed by [`SimTime`], with FIFO
-/// tie-breaking among events due at the same instant.
+/// tie-breaking among events due at the same instant — implemented as a
+/// hierarchical timing wheel.
+///
+/// The wheel keeps a monotone *cursor* (the due of the last event popped
+/// from its slots). An event lands at the lowest level whose granularity
+/// still separates it from the cursor: level `l` holds dues whose bits
+/// above `8·(l+1)` equal the cursor's, indexed by due bits
+/// `[8·l, 8·(l+1))`. When level 0 runs dry the first occupied slot of the
+/// lowest non-empty level is *cascaded* — its events are redistributed to
+/// finer levels — after the cursor teleports to that slot's base, so
+/// quiet stretches cost a 4×4-word bitmap scan instead of slot-by-slot
+/// stepping. Events scheduled before the cursor (the old heap allowed
+/// that) go to a small "overdue" heap that always pops first, preserving
+/// the global `(due, seq)` order of [`HeapEventQueue`] exactly.
 ///
 /// # Examples
 ///
@@ -57,7 +131,19 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// `slots[l][s]` holds level `l`'s bucket `s`. Level-0 buckets hold a
+    /// single exact due; higher buckets mix dues within their span.
+    slots: Vec<Vec<Vec<Scheduled<E>>>>,
+    /// One bit per slot, per level: non-empty buckets.
+    occupancy: [[u64; OCC_WORDS]; LEVELS],
+    /// Due of the last event popped from the wheel; every wheel/overflow
+    /// entry is at or after it, every overdue entry strictly before.
+    cursor: u64,
+    /// Events scheduled with `due < cursor` (pops first, min (due, seq)).
+    overdue: BinaryHeap<Scheduled<E>>,
+    /// Events more than 2³² ms past the cursor's block.
+    overflow: BinaryHeap<Scheduled<E>>,
+    len: usize,
     next_seq: u64,
 }
 
@@ -65,7 +151,232 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            slots: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
+            occupancy: [[0; OCC_WORDS]; LEVELS],
+            cursor: 0,
+            overdue: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at the absolute instant `due`.
+    pub fn schedule_at(&mut self, due: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        self.insert(Scheduled { due, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after `now`.
+    pub fn schedule_after(&mut self, now: SimTime, delay: SimDuration, event: E) {
+        self.schedule_at(now + delay, event);
+    }
+
+    /// The lowest level whose window around the cursor contains `due`,
+    /// or `None` when `due` is beyond the wheel's 2³²-ms horizon.
+    fn level_for(&self, due: u64) -> Option<usize> {
+        (0..LEVELS).find(|&l| {
+            let shift = SLOT_BITS * (l as u32 + 1);
+            due >> shift == self.cursor >> shift
+        })
+    }
+
+    fn insert(&mut self, s: Scheduled<E>) {
+        let due = s.due.as_millis();
+        if due < self.cursor {
+            self.overdue.push(s);
+            return;
+        }
+        match self.level_for(due) {
+            Some(level) => {
+                let slot = ((due >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+                self.slots[level][slot].push(s);
+                self.occupancy[level][slot >> 6] |= 1u64 << (slot & 63);
+            }
+            None => self.overflow.push(s),
+        }
+    }
+
+    /// The lowest non-empty level and its first occupied slot. Lower
+    /// levels always hold earlier dues than higher ones, and within a
+    /// level the slot order is the due order, so this is the bucket that
+    /// contains the wheel's minimum.
+    fn first_occupied(&self) -> Option<(usize, usize)> {
+        for (level, words) in self.occupancy.iter().enumerate() {
+            for (w, &bits) in words.iter().enumerate() {
+                if bits != 0 {
+                    return Some((level, (w << 6) | bits.trailing_zeros() as usize));
+                }
+            }
+        }
+        None
+    }
+
+    fn clear_bit(&mut self, level: usize, slot: usize) {
+        self.occupancy[level][slot >> 6] &= !(1u64 << (slot & 63));
+    }
+
+    /// Jumps the cursor to the overflow's first 2³²-ms block and pulls
+    /// every overflow entry of that block into the wheel. Called only
+    /// when the wheel itself is empty, so the jump skips nothing.
+    fn refill_from_overflow(&mut self) {
+        let block = self.overflow.peek().expect("refill with empty overflow").due.as_millis()
+            >> (SLOT_BITS * LEVELS as u32);
+        self.cursor = block << (SLOT_BITS * LEVELS as u32);
+        while let Some(top) = self.overflow.peek() {
+            if top.due.as_millis() >> (SLOT_BITS * LEVELS as u32) != block {
+                break;
+            }
+            let s = self.overflow.pop().expect("peeked entry exists");
+            self.insert(s);
+        }
+    }
+
+    /// Removes and returns the earliest event, with its due time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Overdue entries are strictly before the cursor, and the wheel
+        // and overflow hold nothing before it — so they are the global
+        // minimum, in (due, seq) heap order.
+        if let Some(s) = self.overdue.pop() {
+            self.len -= 1;
+            return Some((s.due, s.event));
+        }
+        loop {
+            let Some((level, slot)) = self.first_occupied() else {
+                // The wheel is drained; teleport to the overflow's block.
+                self.refill_from_overflow();
+                continue;
+            };
+            if level == 0 {
+                // A level-0 bucket is one exact millisecond; the minimum
+                // (due, seq) entry is simply the minimum seq. Selecting by
+                // scan (rather than keeping the bucket sorted) stays
+                // correct however cascades and live inserts interleave.
+                let bucket = &mut self.slots[0][slot];
+                let best = bucket
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.seq)
+                    .map(|(i, _)| i)
+                    .expect("occupied slot is non-empty");
+                let s = bucket.swap_remove(best);
+                if self.slots[0][slot].is_empty() {
+                    self.clear_bit(0, slot);
+                }
+                self.cursor = s.due.as_millis();
+                self.len -= 1;
+                return Some((s.due, s.event));
+            }
+            // Cascade: advance the cursor to the slot's base and
+            // redistribute its events to finer levels.
+            let bucket = std::mem::take(&mut self.slots[level][slot]);
+            self.clear_bit(level, slot);
+            let upper_shift = SLOT_BITS * (level as u32 + 1);
+            self.cursor = (self.cursor >> upper_shift << upper_shift)
+                | ((slot as u64) << (SLOT_BITS * level as u32));
+            for s in bucket {
+                self.insert(s);
+            }
+        }
+    }
+
+    /// The due time of the earliest event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(s) = self.overdue.peek() {
+            return Some(s.due);
+        }
+        if let Some((level, slot)) = self.first_occupied() {
+            if level == 0 {
+                // Level-0 slots hold one exact due.
+                let base = self.cursor >> SLOT_BITS << SLOT_BITS;
+                return Some(SimTime::from_millis(base | slot as u64));
+            }
+            return self.slots[level][slot].iter().map(|s| s.due).min();
+        }
+        self.overflow.peek().map(|s| s.due)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all pending events. The cursor (and with it the monotone
+    /// ordering guarantee relative to already-popped events) is kept.
+    pub fn clear(&mut self) {
+        for (level, words) in self.occupancy.iter_mut().enumerate() {
+            for (w, bits) in words.iter_mut().enumerate() {
+                let mut b = *bits;
+                while b != 0 {
+                    let slot = (w << 6) | b.trailing_zeros() as usize;
+                    self.slots[level][slot].clear();
+                    b &= b - 1;
+                }
+                *bits = 0;
+            }
+        }
+        self.overdue.clear();
+        self.overflow.clear();
+        self.len = 0;
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueueBackend<E> for EventQueue<E> {
+    fn schedule_at(&mut self, due: SimTime, event: E) {
+        EventQueue::schedule_at(self, due, event);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn clear(&mut self) {
+        EventQueue::clear(self);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary-heap reference implementation
+// ---------------------------------------------------------------------------
+
+/// The original `BinaryHeap`-backed queue: same API and same dispatch
+/// order as [`EventQueue`], retained as the order-equivalence reference
+/// and as the seed baseline in the scale benchmarks.
+#[derive(Debug)]
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> HeapEventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        HeapEventQueue { heap: BinaryHeap::new(), next_seq: 0 }
     }
 
     /// Schedules `event` to fire at the absolute instant `due`.
@@ -109,9 +420,27 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<E> EventQueueBackend<E> for HeapEventQueue<E> {
+    fn schedule_at(&mut self, due: SimTime, event: E) {
+        HeapEventQueue::schedule_at(self, due, event);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        HeapEventQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        HeapEventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        HeapEventQueue::len(self)
+    }
+    fn clear(&mut self) {
+        HeapEventQueue::clear(self);
     }
 }
 
@@ -168,5 +497,101 @@ mod tests {
         q.schedule_at(SimTime::from_millis(2), "c");
         assert_eq!(q.pop().unwrap().1, "c");
         assert_eq!(q.pop().unwrap().1, "a");
+    }
+
+    #[test]
+    fn far_future_events_cascade_between_levels() {
+        let mut q = EventQueue::new();
+        // One due per wheel level plus one beyond the 2^32 ms horizon.
+        let dues = [
+            7u64,                  // level 0
+            300,                   // level 1
+            70_000,                // level 2
+            20_000_000,            // level 3
+            (1u64 << 33) + 5,      // overflow
+        ];
+        for (i, &d) in dues.iter().enumerate().rev() {
+            q.schedule_at(SimTime::from_millis(d), i);
+        }
+        let order: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_millis(), e))).collect();
+        assert_eq!(
+            order,
+            dues.iter().copied().enumerate().map(|(i, d)| (d, i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cascaded_ties_keep_fifo() {
+        // Two events at the same far-future instant plus a nearer one:
+        // the far pair must survive its cascade in insertion order.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_millis(1 << 20);
+        q.schedule_at(far, "first");
+        q.schedule_at(SimTime::from_millis(3), "near");
+        q.schedule_at(far, "second");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn scheduling_before_the_cursor_still_pops_in_global_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(1_000), "late");
+        q.schedule_at(SimTime::from_millis(500), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid"); // cursor now at 500
+        q.schedule_at(SimTime::from_millis(100), "overdue-b");
+        q.schedule_at(SimTime::from_millis(50), "overdue-a");
+        assert_eq!(q.pop().unwrap().1, "overdue-a");
+        assert_eq!(q.pop().unwrap().1, "overdue-b");
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_entries_migrate_when_their_block_arrives() {
+        let mut q = EventQueue::new();
+        let block = 1u64 << 32;
+        q.schedule_at(SimTime::from_millis(block + 10), "b");
+        q.schedule_at(SimTime::from_millis(block + 5), "a");
+        q.schedule_at(SimTime::from_millis(block + 10), "c"); // tie with "b"
+        // After the jump into the overflow block, later inserts near the
+        // cursor must not overtake still-pending same-block entries.
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule_at(SimTime::from_millis(block + 20), "d");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "d");
+    }
+
+    #[test]
+    fn peek_time_matches_pop_across_levels() {
+        let mut q = EventQueue::new();
+        for d in [9_999_999u64, 123, 70_000, (1 << 33) + 1, 0] {
+            q.schedule_at(SimTime::from_millis(d), d);
+        }
+        while let Some(peeked) = q.peek_time() {
+            let (due, _) = q.pop().unwrap();
+            assert_eq!(peeked, due);
+        }
+    }
+
+    #[test]
+    fn wheel_and_heap_agree_on_a_mixed_schedule() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let dues = [5u64, 5, 0, 300, 300, 65_536, 1 << 24, (1 << 32) + 3, 100, 5];
+        for (i, &d) in dues.iter().enumerate() {
+            wheel.schedule_at(SimTime::from_millis(d), i);
+            heap.schedule_at(SimTime::from_millis(d), i);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -11,7 +11,9 @@
 //!
 //! - [`time`]: [`SimTime`]/[`SimDuration`] millisecond-resolution newtypes.
 //! - [`event`] and [`sim`]: a min-priority [`EventQueue`] with FIFO
-//!   tie-breaking, wrapped by the poll-based [`Simulator`] driver.
+//!   tie-breaking — a hierarchical timing wheel, with the original
+//!   binary heap kept as [`HeapEventQueue`] for baselining — wrapped by
+//!   the poll-based [`Simulator`] driver.
 //! - [`rng`]: [`SimRng`], a seedable random source with stable independent
 //!   sub-streams per component.
 //!
@@ -45,7 +47,7 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, EventQueueBackend, HeapEventQueue};
 pub use rng::SimRng;
 pub use sim::Simulator;
 pub use stats::{Histogram, RunningStats};

@@ -5,8 +5,61 @@
 //! scheduling follow-ups. This avoids callback-style borrow tangles and
 //! keeps the control flow of an experiment readable top to bottom.
 
-use crate::event::EventQueue;
+use crate::event::{EventQueue, HeapEventQueue};
 use crate::time::{SimDuration, SimTime};
+
+/// The queue implementation behind a [`Simulator`]. Both dispatch in the
+/// same order; the wheel is the default, the heap is kept selectable for
+/// baseline benchmarking and cross-checks.
+#[derive(Debug)]
+enum Queue<E> {
+    Wheel(EventQueue<E>),
+    Heap(HeapEventQueue<E>),
+}
+
+impl<E> Queue<E> {
+    fn schedule_at(&mut self, due: SimTime, event: E) {
+        match self {
+            Queue::Wheel(q) => q.schedule_at(due, event),
+            Queue::Heap(q) => q.schedule_at(due, event),
+        }
+    }
+
+    fn schedule_after(&mut self, now: SimTime, delay: SimDuration, event: E) {
+        match self {
+            Queue::Wheel(q) => q.schedule_after(now, delay, event),
+            Queue::Heap(q) => q.schedule_after(now, delay, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            Queue::Wheel(q) => q.pop(),
+            Queue::Heap(q) => q.pop(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            Queue::Wheel(q) => q.peek_time(),
+            Queue::Heap(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Queue::Wheel(q) => q.len(),
+            Queue::Heap(q) => q.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Queue::Wheel(q) => q.clear(),
+            Queue::Heap(q) => q.clear(),
+        }
+    }
+}
 
 /// A discrete-event simulator over a user-chosen event type `E`.
 ///
@@ -32,16 +85,27 @@ use crate::time::{SimDuration, SimTime};
 /// ```
 #[derive(Debug)]
 pub struct Simulator<E> {
-    queue: EventQueue<E>,
+    queue: Queue<E>,
     now: SimTime,
     processed: u64,
 }
 
 impl<E> Simulator<E> {
-    /// Creates a simulator with the clock at [`SimTime::ZERO`].
+    /// Creates a simulator with the clock at [`SimTime::ZERO`], backed by
+    /// the timing-wheel [`EventQueue`].
     #[must_use]
     pub fn new() -> Self {
-        Simulator { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+        Simulator { queue: Queue::Wheel(EventQueue::new()), now: SimTime::ZERO, processed: 0 }
+    }
+
+    /// Creates a simulator backed by the reference [`HeapEventQueue`].
+    ///
+    /// Dispatch order is identical to [`Simulator::new`]; this exists so
+    /// benchmarks can measure the seed `BinaryHeap` baseline and tests can
+    /// cross-check the two queue implementations.
+    #[must_use]
+    pub fn with_heap_queue() -> Self {
+        Simulator { queue: Queue::Heap(HeapEventQueue::new()), now: SimTime::ZERO, processed: 0 }
     }
 
     /// The current simulation instant.
@@ -202,6 +266,25 @@ mod tests {
         }
         while sim.step().is_some() {}
         assert_eq!(sim.processed(), 5);
+    }
+
+    #[test]
+    fn heap_backed_simulator_matches_wheel() {
+        let mut wheel = Simulator::new();
+        let mut heap = Simulator::with_heap_queue();
+        for sim in [&mut wheel, &mut heap] {
+            sim.schedule_at(SimTime::from_secs(2), "b");
+            sim.schedule_at(SimTime::from_secs(1), "a");
+            sim.schedule_at(SimTime::from_secs(1), "a2");
+        }
+        loop {
+            let (w, h) = (wheel.step(), heap.step());
+            assert_eq!(w, h);
+            assert_eq!(wheel.now(), heap.now());
+            if w.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

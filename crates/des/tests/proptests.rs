@@ -1,7 +1,36 @@
 //! Property-based tests for the simulation kernel invariants.
 
+use coreda_des::event::HeapEventQueue;
 use coreda_des::prelude::*;
 use proptest::prelude::*;
+
+/// One step of a queue workload: schedule an event at an absolute due, or
+/// pop the current minimum.
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule(u64),
+    Pop,
+}
+
+/// Dues spanning every wheel regime: same-tick ties and near dues
+/// (level 0), mid-range dues that cascade down from higher levels, and
+/// far-future dues beyond the 2^32 ms wheel horizon (overflow heap).
+fn due_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..2_000,
+        0u64..(1 << 20),
+        0u64..(1 << 36),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        due_strategy().prop_map(Op::Schedule),
+        due_strategy().prop_map(Op::Schedule),
+        due_strategy().prop_map(Op::Schedule),
+        Just(Op::Pop),
+    ]
+}
 
 proptest! {
     /// Events always pop in non-decreasing time order, whatever the
@@ -70,6 +99,60 @@ proptest! {
         let mut s1 = root.substream("d", domain_idx);
         let mut s2 = root.substream("d", domain_idx);
         prop_assert_eq!(s1.next_u64(), s2.next_u64());
+    }
+
+    /// The timing-wheel queue dispatches in byte-identical order to the
+    /// reference binary heap under arbitrary interleaved schedules and
+    /// pops, including same-tick FIFO ties and far-future events that
+    /// cascade between wheel levels or overflow the wheel horizon.
+    #[test]
+    fn wheel_matches_heap_dispatch_order(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Schedule(due) => {
+                    let t = SimTime::from_millis(due);
+                    wheel.schedule_at(t, i);
+                    heap.schedule_at(t, i);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain both; every remaining event must match exactly.
+        loop {
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Same-tick bursts pop FIFO from the wheel even when the burst was
+    /// scheduled across a cascade boundary.
+    #[test]
+    fn wheel_fifo_survives_cascades(tie_due in (1u64 << 16)..(1 << 24), n in 2usize..20) {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(tie_due);
+        // Half the burst before a near event forces a cascade, half after.
+        for i in 0..n / 2 {
+            q.schedule_at(t, i);
+        }
+        q.schedule_at(SimTime::from_millis(1), usize::MAX);
+        prop_assert_eq!(q.pop().map(|(_, e)| e), Some(usize::MAX));
+        for i in n / 2..n {
+            q.schedule_at(t, i);
+        }
+        for want in 0..n {
+            prop_assert_eq!(q.pop(), Some((t, want)));
+        }
+        prop_assert!(q.is_empty());
     }
 
     /// Time arithmetic: (t + d) - t == d for in-range values.

@@ -58,16 +58,35 @@ impl SharedMedium {
     ///
     /// Returns one success flag per transmitter, in order.
     pub fn resolve_slot(&self, transmitters: usize, rng: &mut SimRng) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.resolve_slot_into(transmitters, rng, &mut out);
+        out
+    }
+
+    /// [`SharedMedium::resolve_slot`] into a caller-provided buffer —
+    /// the allocation-free form for per-tick hot paths. `out` is cleared
+    /// first; the RNG draw sequence is identical to `resolve_slot`.
+    pub fn resolve_slot_into(&self, transmitters: usize, rng: &mut SimRng, out: &mut Vec<bool>) {
+        out.clear();
         if transmitters <= 1 {
-            return vec![true; transmitters];
+            out.resize(transmitters, true);
+            return;
         }
-        let draws: Vec<usize> = (0..transmitters)
-            .map(|_| rng.uniform_usize(0, usize::from(self.contention_window)))
-            .collect();
-        draws
-            .iter()
-            .map(|&d| draws.iter().filter(|&&o| o == d).count() == 1)
-            .collect()
+        // A home has a handful of instrumented tools, so the draws fit a
+        // stack array in practice; spill to the heap only beyond that.
+        const INLINE: usize = 32;
+        let mut inline = [0usize; INLINE];
+        let mut spill;
+        let draws: &mut [usize] = if transmitters <= INLINE {
+            &mut inline[..transmitters]
+        } else {
+            spill = vec![0usize; transmitters];
+            &mut spill
+        };
+        for d in draws.iter_mut() {
+            *d = rng.uniform_usize(0, usize::from(self.contention_window));
+        }
+        out.extend(draws.iter().map(|&d| draws.iter().filter(|&&o| o == d).count() == 1));
     }
 
     /// The analytic per-sender collision probability with `k` contenders.
@@ -170,5 +189,18 @@ mod tests {
     #[should_panic(expected = "contention window must be positive")]
     fn zero_window_rejected() {
         let _ = SharedMedium::new(0);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let m = SharedMedium::new(8);
+        // Same seed → same draw sequence → same outcomes, buffer reused.
+        let mut rng_a = SimRng::seed_from(7);
+        let mut rng_b = SimRng::seed_from(7);
+        let mut buf = Vec::new();
+        for k in [0usize, 1, 2, 5, 33, 40] {
+            m.resolve_slot_into(k, &mut rng_a, &mut buf);
+            assert_eq!(buf, m.resolve_slot(k, &mut rng_b), "k={k}");
+        }
     }
 }

@@ -142,13 +142,12 @@ fn praise_text_matches_figure1() {
     let mut behavior = ScriptedBehavior::new().with_error(2, PatientAction::Freeze);
     let mut rng = SimRng::seed_from(56);
     let log = system.run_live(&routine, &mut behavior, &mut rng);
-    let praised = log
-        .entries()
-        .iter()
-        .find_map(|(_, k)| match k {
-            LogKind::Praised(p) => Some(p.clone()),
-            _ => None,
-        })
-        .expect("rescue should end in praise");
-    assert_eq!(praised, "Excellent!");
+    assert!(
+        log.entries().iter().any(|(_, k)| matches!(k, LogKind::Praised)),
+        "rescue should end in praise"
+    );
+    // The praise text itself is fixed system-wide and surfaces at render
+    // time (the log entry carries no string).
+    assert_eq!(system.reminding().praise(), "Excellent!");
+    assert!(log.render().contains("Excellent!"));
 }

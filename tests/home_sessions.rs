@@ -112,11 +112,12 @@ fn a_morning_at_home_is_recognised() {
     }
 
     // The recognised story: tooth session (completed), tea session with a
-    // cross-activity flag (completed).
+    // cross-activity flag (completed). Events carry interned name ids;
+    // resolve through the tracker that issued them.
     let starts: Vec<&str> = all_events
         .iter()
         .filter_map(|e| match e {
-            SessionEvent::Started { activity, .. } => Some(activity.as_str()),
+            SessionEvent::Started { activity, .. } => Some(tracker.activity_name(*activity)),
             _ => None,
         })
         .collect();
@@ -126,7 +127,7 @@ fn a_morning_at_home_is_recognised() {
         .iter()
         .filter_map(|e| match e {
             SessionEvent::Ended { activity, completed, .. } => {
-                Some((activity.as_str(), *completed))
+                Some((tracker.activity_name(*activity), *completed))
             }
             _ => None,
         })
@@ -147,8 +148,8 @@ fn a_morning_at_home_is_recognised() {
     );
     for c in confusions {
         if let SessionEvent::CrossActivityUse { active, foreign, tool, .. } = c {
-            assert_eq!(active, "Tea-making");
-            assert_eq!(foreign, "Tooth-brushing");
+            assert_eq!(tracker.activity_name(*active), "Tea-making");
+            assert_eq!(tracker.activity_name(*foreign), "Tooth-brushing");
             assert_eq!(*tool, ToolId::new(catalog::BRUSH));
         }
     }
