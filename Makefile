@@ -1,6 +1,6 @@
 # Convenience targets for the CoReDA reproduction.
 
-.PHONY: all build test bench bench-fleet bench-scale ci doc clippy examples repro clean
+.PHONY: all build test bench bench-fleet bench-scale ci fuzz doc clippy examples repro clean
 
 all: build test
 
@@ -22,15 +22,23 @@ bench-fleet:
 bench-scale:
 	cargo bench -p coreda-bench --bench scale_micro
 
-# The tier-1 gate: release build, full test suite, and the determinism
+# The tier-1 gate: release build, full test suite, the determinism
 # regressions (parallel sweeps and metro serving byte-identical to
-# serial; timing wheel byte-identical to the heap queue).
+# serial; timing wheel byte-identical to the heap queue), a fixed-seed
+# simulation-testing fuzz budget, and the DST regression corpus replay.
 ci:
 	cargo build --release
 	cargo test -q
 	cargo test -q --test fleet_determinism
 	cargo test -q --test scale_determinism
 	cargo test -q -p coreda-des --test proptests
+	cargo run --release -p coreda-cli -- fuzz --seconds 30 --seed 2007
+	cargo run --release -p coreda-cli -- replay --dir tests/corpus
+
+# Longer fuzzing session under a fresh seed; violations shrink to
+# .seed.json repros under fuzz-out/ for triage and corpus promotion.
+fuzz:
+	cargo run --release -p coreda-cli -- fuzz --seconds 300 --seed $$(date +%s) --out fuzz-out
 
 doc:
 	cargo doc --workspace --no-deps

@@ -2,6 +2,7 @@
 
 use coreda_adl::activity::{catalog, AdlSpec};
 use coreda_adl::dataset;
+use coreda_adl::intern::NameTable;
 use coreda_adl::episode::{Episode, EpisodeEvent, EpisodeGenerator};
 use coreda_adl::patient::PatientProfile;
 use coreda_adl::routine::{Routine, RoutineSet};
@@ -178,5 +179,55 @@ proptest! {
         let expected = (step.mean_duration_s() * speed).max(1.0);
         prop_assert!((mean - expected).abs() < expected * 0.2 + 0.5,
             "mean {mean:.2} vs expected {expected:.2}");
+    }
+
+    /// Interned names round-trip: every id resolves back to the exact
+    /// string that produced it, and `get` agrees with `intern`.
+    #[test]
+    fn intern_round_trips(names in proptest::collection::vec("\\PC{1,12}", 1..20)) {
+        let mut table = NameTable::new();
+        let ids: Vec<_> = names.iter().map(|n| table.intern(n)).collect();
+        for (name, id) in names.iter().zip(&ids) {
+            prop_assert_eq!(table.resolve(*id), name.as_str());
+            prop_assert_eq!(table.get(name), Some(*id));
+        }
+    }
+
+    /// Re-interning is idempotent: a second pass returns the same ids and
+    /// grows nothing, and `len` counts distinct names only.
+    #[test]
+    fn intern_is_idempotent(names in proptest::collection::vec("\\PC{1,12}", 1..20)) {
+        let mut table = NameTable::new();
+        let first: Vec<_> = names.iter().map(|n| table.intern(n)).collect();
+        let len_after_first = table.len();
+        let second: Vec<_> = names.iter().map(|n| table.intern(n)).collect();
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(table.len(), len_after_first);
+        let distinct: std::collections::BTreeSet<&str> =
+            names.iter().map(String::as_str).collect();
+        prop_assert_eq!(table.len(), distinct.len());
+    }
+
+    /// Once issued, an id is pinned to its name: re-interning the same
+    /// names in any other order never reassigns them, and fresh ids stay
+    /// dense.
+    #[test]
+    fn intern_ids_survive_reordered_reinserts(
+        names in proptest::collection::vec("\\PC{1,12}", 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut table = NameTable::new();
+        let original: Vec<_> = names.iter().map(|n| table.intern(n)).collect();
+        let mut shuffled = names.clone();
+        SimRng::seed_from(seed).shuffle(&mut shuffled);
+        for n in &shuffled {
+            let again = table.intern(n);
+            let first_seen = names.iter().position(|m| m == n).expect("from the same list");
+            prop_assert_eq!(again, original[first_seen], "{n:?} was reassigned");
+        }
+        // Ids index densely into the table.
+        for id in original {
+            prop_assert!(id.index() < table.len());
+        }
     }
 }

@@ -346,6 +346,64 @@ pub fn scale(p: &Parsed) -> CmdResult {
     ))
 }
 
+/// `fuzz` — deterministic simulation-testing campaign.
+///
+/// Expands `--seed` into a stream of fault plans (radio loss bursts,
+/// node crashes, sensor flips, clock skew, non-compliance, severe
+/// lapses, routine drift), serves each under the real pipeline on both
+/// queue engines with every invariant oracle attached, and shrinks any
+/// violation to a minimal `.seed.json` repro. Fails (non-zero exit) if
+/// any oracle fires.
+pub fn fuzz(p: &Parsed) -> CmdResult {
+    use coreda_testkit::fuzz::{fuzz, FuzzConfig};
+
+    let defaults = FuzzConfig::default();
+    let cfg = FuzzConfig {
+        seconds: p.get_parsed("seconds", defaults.seconds)?,
+        seed: p.get_parsed("seed", defaults.seed)?,
+        jobs: p.get_parsed("jobs", defaults.jobs)?,
+        out_dir: p.get("out").map(std::path::PathBuf::from),
+        max_plans: p.get_parsed("plans", defaults.max_plans)?,
+    };
+    let report = fuzz(&cfg)?;
+    let rendered = report.render();
+    if report.passed() {
+        Ok(rendered)
+    } else {
+        Err(rendered.into())
+    }
+}
+
+/// `replay` — re-run `.seed.json` fault plans from the regression corpus.
+///
+/// Each entry must reproduce its recorded expectation exactly: the named
+/// oracle fires again, or (for clean entries) every oracle stays silent.
+pub fn replay(p: &Parsed) -> CmdResult {
+    use coreda_testkit::corpus;
+    use coreda_testkit::harness::Harness;
+
+    let harness = Harness::new();
+    let outcomes = match (p.get("file"), p.get("dir")) {
+        (Some(file), None) => {
+            vec![corpus::replay_file(&harness, std::path::Path::new(file))?]
+        }
+        (None, Some(dir)) => corpus::replay_dir(&harness, std::path::Path::new(dir))?,
+        _ => return Err("replay needs exactly one of --file FILE or --dir DIR".into()),
+    };
+    let mut out = String::new();
+    for o in &outcomes {
+        out.push_str(&o.render());
+        out.push('\n');
+    }
+    let failed = outcomes.iter().filter(|o| !o.pass).count();
+    out.push_str(&format!("replayed {}, {failed} failed\n", outcomes.len()));
+    if failed == 0 {
+        Ok(out)
+    } else {
+        Err(out.into())
+    }
+}
+
 /// `help` — usage text.
 #[must_use]
 pub fn help() -> String {
@@ -401,6 +459,15 @@ COMMANDS
       --jobs N               worker threads (results are identical at
                              any N)                      [all cores]
       --seed N               base rng seed                [2007]
+  fuzz                       deterministic simulation-testing campaign
+      --seconds N            wall-clock budget            [60]
+      --seed N               campaign seed                [2007]
+      --jobs N               workers for the jobs differential [3]
+      --plans N              hard cap on fault plans      [unlimited]
+      --out DIR              write shrunken .seed.json repros here
+  replay                     re-run .seed.json fault-plan repros
+      --file FILE            one corpus entry
+      --dir DIR              every *.seed.json in a directory
   help                       this text
 "
     .to_owned()
@@ -418,6 +485,8 @@ pub fn dispatch(p: &Parsed) -> CmdResult {
         "scenario" => run_scenario(p),
         "fleet" => fleet(p),
         "scale" => scale(p),
+        "fuzz" => fuzz(p),
+        "replay" => replay(p),
         "help" => Ok(help()),
         other => Err(format!("unknown command {other:?}; try 'help'").into()),
     }
@@ -538,9 +607,10 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let h = help();
-        for cmd in
-            ["list", "generate", "train", "evaluate", "simulate", "scenario", "fleet", "scale"]
-        {
+        for cmd in [
+            "list", "generate", "train", "evaluate", "simulate", "scenario", "fleet", "scale",
+            "fuzz", "replay",
+        ] {
             assert!(h.contains(cmd), "help is missing {cmd}");
         }
         assert_eq!(dispatch(&parse(&["help"])).unwrap(), h);

@@ -128,18 +128,44 @@ pub struct HomeStats {
 }
 
 impl HomeStats {
+    /// Fleet-wide totals must survive pathological inputs (a fuzzed or
+    /// hand-built report), so aggregation saturates instead of wrapping.
     fn absorb(&mut self, other: &HomeStats) {
-        self.episodes_started += other.episodes_started;
-        self.episodes_completed += other.episodes_completed;
-        self.reminders += other.reminders;
-        self.praises += other.praises;
-        self.sessions_started += other.sessions_started;
-        self.sessions_completed += other.sessions_completed;
-        self.sessions_abandoned += other.sessions_abandoned;
-        self.cross_activity_flags += other.cross_activity_flags;
-        self.pipeline_ticks += other.pipeline_ticks;
+        self.episodes_started = self.episodes_started.saturating_add(other.episodes_started);
+        self.episodes_completed = self.episodes_completed.saturating_add(other.episodes_completed);
+        self.reminders = self.reminders.saturating_add(other.reminders);
+        self.praises = self.praises.saturating_add(other.praises);
+        self.sessions_started = self.sessions_started.saturating_add(other.sessions_started);
+        self.sessions_completed = self.sessions_completed.saturating_add(other.sessions_completed);
+        self.sessions_abandoned = self.sessions_abandoned.saturating_add(other.sessions_abandoned);
+        self.cross_activity_flags =
+            self.cross_activity_flags.saturating_add(other.cross_activity_flags);
+        self.pipeline_ticks = self.pipeline_ticks.saturating_add(other.pipeline_ticks);
         self.energy_uj += other.energy_uj;
     }
+}
+
+/// One event on a home's serving tap — the ordered stream a differential
+/// harness compares across engines and worker counts (exact per-home
+/// equality is a much stronger check than equal counters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TapEvent {
+    /// A live episode began for the home's activity `act`.
+    EpisodeStarted {
+        /// Instant the episode began.
+        at: SimTime,
+        /// Index into the home's activities.
+        act: usize,
+    },
+    /// A pipeline tick produced something user-visible.
+    Tick {
+        /// Instant of the tick.
+        at: SimTime,
+        /// What the tick produced.
+        out: crate::system::TickOutcome,
+    },
+    /// The session tracker recognised an event.
+    Session(SessionEvent),
 }
 
 /// The result of a [`run_scale`] call.
@@ -157,6 +183,10 @@ pub struct ScaleReport {
     /// engine-*dependent* (dense polling pops far more events than
     /// event-driven wakes) — excluded from cross-engine comparisons.
     pub des_events: u64,
+    /// Per-home serving taps, in home order. `None` unless the run was
+    /// made through [`run_scale_recorded`]; when present, the streams are
+    /// bit-identical across engines and worker counts.
+    pub events: Option<Vec<Vec<TapEvent>>>,
 }
 
 impl ScaleReport {
@@ -173,7 +203,7 @@ impl ScaleReport {
     /// Total 100 ms pipeline ticks executed.
     #[must_use]
     pub fn pipeline_ticks(&self) -> u64 {
-        self.per_home.iter().map(|h| h.pipeline_ticks).sum()
+        self.per_home.iter().fold(0u64, |t, h| t.saturating_add(h.pipeline_ticks))
     }
 
     /// Deterministic summary: no wall-clock, no worker count — byte-
@@ -251,10 +281,18 @@ struct Home {
     gap_min_ms: u64,
     gap_max_ms: u64,
     stats: HomeStats,
+    /// Serving tap: `Some` when the run records its event stream.
+    tap: Option<Vec<TapEvent>>,
 }
 
 impl Home {
-    fn build(id: usize, cfg: &MetroConfig, specs: &[AdlSpec], templates: &[PlanningSubsystem]) -> Self {
+    fn build(
+        id: usize,
+        cfg: &MetroConfig,
+        specs: &[AdlSpec],
+        templates: &[PlanningSubsystem],
+        record: bool,
+    ) -> Self {
         let name = format!("home-{id}");
         let systems = specs
             .iter()
@@ -286,6 +324,7 @@ impl Home {
             gap_min_ms: cfg.gap_min.as_millis(),
             gap_max_ms: cfg.gap_max.as_millis(),
             stats: HomeStats::default(),
+            tap: record.then(Vec::new),
         };
         let first = home.draw_gap();
         home.next_start = home.align_up(SimTime::ZERO + first);
@@ -329,6 +368,9 @@ impl Home {
             let ep = system.begin_live(routine, &mut self.behavior, now, &mut rng, None);
             self.episode = Some(RunningEpisode { act, ep, rng });
             self.stats.episodes_started += 1;
+            if let Some(tap) = self.tap.as_mut() {
+                tap.push(TapEvent::EpisodeStarted { at: now, act });
+            }
         }
 
         // 2. Run the running episode's 100 ms pipeline tick.
@@ -338,6 +380,7 @@ impl Home {
                 let (system, routine) = &mut self.systems[run.act];
                 let tracker = &mut self.tracker;
                 let stats = &mut self.stats;
+                let tap = &mut self.tap;
                 let out = system.live_tick(
                     &mut run.ep,
                     routine,
@@ -348,6 +391,9 @@ impl Home {
                     &mut |src, at| {
                         for ev in tracker.on_report(src, at) {
                             Self::count_session_event(stats, ev);
+                            if let Some(tap) = tap.as_mut() {
+                                tap.push(TapEvent::Session(ev));
+                            }
                         }
                     },
                 );
@@ -357,6 +403,11 @@ impl Home {
                 if out.completed_now {
                     self.stats.episodes_completed += 1;
                 }
+                if out != crate::system::TickOutcome::default() {
+                    if let Some(tap) = self.tap.as_mut() {
+                        tap.push(TapEvent::Tick { at: now, out });
+                    }
+                }
                 finished = out.finished;
             }
         }
@@ -364,6 +415,9 @@ impl Home {
         // 3. Home-wide idle close (the tracker's clock tick).
         if let Some(ev) = self.tracker.on_tick(now) {
             Self::count_session_event(&mut self.stats, ev);
+            if let Some(tap) = self.tap.as_mut() {
+                tap.push(TapEvent::Session(ev));
+            }
         }
 
         // 4. Episode cleanup: draw the quiet gap and schedule the next.
@@ -382,6 +436,7 @@ struct Wake(usize);
 
 struct ChunkOut {
     stats: Vec<HomeStats>,
+    taps: Option<Vec<Vec<TapEvent>>>,
     des_events: u64,
 }
 
@@ -392,9 +447,10 @@ fn run_chunk(
     templates: &[PlanningSubsystem],
     first_home: usize,
     count: usize,
+    record: bool,
 ) -> ChunkOut {
     let mut homes: Vec<Home> = (first_home..first_home + count)
-        .map(|id| Home::build(id, cfg, specs, templates))
+        .map(|id| Home::build(id, cfg, specs, templates, record))
         .collect();
     let horizon_end = SimTime::ZERO + cfg.horizon;
 
@@ -465,7 +521,16 @@ fn finish(mut homes: Vec<Home>, des_events: u64) -> ChunkOut {
     for h in &mut homes {
         h.stats.energy_uj = h.systems.iter().map(|(s, _)| s.total_energy_uj()).sum();
     }
-    ChunkOut { stats: homes.into_iter().map(|h| h.stats).collect(), des_events }
+    let recording = homes.first().is_some_and(|h| h.tap.is_some());
+    let mut stats = Vec::with_capacity(homes.len());
+    let mut taps = recording.then(|| Vec::with_capacity(homes.len()));
+    for h in homes {
+        stats.push(h.stats);
+        if let (Some(taps), Some(tap)) = (taps.as_mut(), h.tap) {
+            taps.push(tap);
+        }
+    }
+    ChunkOut { stats, taps, des_events }
 }
 
 /// Serves `cfg.homes` households for `cfg.horizon`, sharded across
@@ -473,6 +538,18 @@ fn finish(mut homes: Vec<Home>, des_events: u64) -> ChunkOut {
 /// across both [`EngineKind`]s (modulo [`ScaleReport::des_events`]).
 #[must_use]
 pub fn run_scale(cfg: &MetroConfig) -> ScaleReport {
+    run_scale_with(cfg, false)
+}
+
+/// [`run_scale`] with per-home serving taps recorded into
+/// [`ScaleReport::events`] — the input to differential oracles that
+/// compare whole event streams, not just counters.
+#[must_use]
+pub fn run_scale_recorded(cfg: &MetroConfig) -> ScaleReport {
+    run_scale_with(cfg, true)
+}
+
+fn run_scale_with(cfg: &MetroConfig, record: bool) -> ScaleReport {
     let specs = vec![catalog::tea_making(), catalog::tooth_brushing()];
     let templates: Vec<PlanningSubsystem> = specs
         .iter()
@@ -504,16 +581,27 @@ pub fn run_scale(cfg: &MetroConfig) -> ScaleReport {
     }
 
     let engine = FleetEngine::new(cfg.jobs);
-    let results =
-        engine.map(chunks, |(first, count)| run_chunk(cfg, &specs, &templates, first, count));
+    let results = engine
+        .map(chunks, |(first, count)| run_chunk(cfg, &specs, &templates, first, count, record));
 
     let mut per_home = Vec::with_capacity(cfg.homes);
+    let mut events = record.then(|| Vec::with_capacity(cfg.homes));
     let mut des_events = 0u64;
     for chunk in results {
         per_home.extend(chunk.stats);
+        if let (Some(events), Some(taps)) = (events.as_mut(), chunk.taps) {
+            events.extend(taps);
+        }
         des_events += chunk.des_events;
     }
-    ScaleReport { homes: cfg.homes, horizon: cfg.horizon, engine: cfg.engine, per_home, des_events }
+    ScaleReport {
+        homes: cfg.homes,
+        horizon: cfg.horizon,
+        engine: cfg.engine,
+        per_home,
+        des_events,
+        events,
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +663,21 @@ mod tests {
         assert!(text.contains("sessions:"));
         assert!(text.contains("pipeline ticks:"));
         assert_eq!(text, run_scale(&small_cfg()).render());
+    }
+
+    #[test]
+    fn recorded_taps_are_engine_and_jobs_invariant() {
+        let wheel = run_scale_recorded(&small_cfg());
+        let heap = run_scale_recorded(&MetroConfig { engine: EngineKind::Heap, ..small_cfg() });
+        let parallel = run_scale_recorded(&MetroConfig { jobs: 3, ..small_cfg() });
+        assert_eq!(wheel.events, heap.events);
+        assert_eq!(wheel.events, parallel.events);
+        let taps = wheel.events.as_ref().unwrap();
+        assert_eq!(taps.len(), 4);
+        assert!(taps.iter().any(|t| !t.is_empty()), "taps should carry events");
+        // The unrecorded path stays tap-free, so full-report equality
+        // tests keep comparing `None == None`.
+        assert_eq!(run_scale(&small_cfg()).events, None);
     }
 
     #[test]

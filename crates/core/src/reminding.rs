@@ -173,11 +173,18 @@ impl RemindingSubsystem {
         };
         let mut methods = vec![ReminderMethod::TextMessage(text)];
         if let Trigger::WrongTool { used } = trigger {
-            let red = match prompt.level {
-                ReminderLevel::Minimal => BlinkPattern::minimal(LedColor::Red),
-                ReminderLevel::Specific => BlinkPattern::specific(LedColor::Red),
-            };
-            methods.push(ReminderMethod::RedLed { tool: used, pattern: red });
+            // When the planner's prompt targets the very tool being
+            // misused (it predicted the step the user is fumbling), a red
+            // LED would contradict the green one on the same tool —
+            // "stop using the kettle, use the kettle". Only flag tools
+            // the prompt is steering *away* from.
+            if used != prompt.tool {
+                let red = match prompt.level {
+                    ReminderLevel::Minimal => BlinkPattern::minimal(LedColor::Red),
+                    ReminderLevel::Specific => BlinkPattern::specific(LedColor::Red),
+                };
+                methods.push(ReminderMethod::RedLed { tool: used, pattern: red });
+            }
         }
         methods.push(ReminderMethod::GreenLed { tool: prompt.tool, pattern });
         methods.push(ReminderMethod::ToolPicture(tool.name().to_owned()));
@@ -226,6 +233,24 @@ mod tests {
         assert!(matches!(&r.methods[1], ReminderMethod::RedLed { tool, .. }
             if *tool == ToolId::new(catalog::TEA_CUP)));
         assert!(matches!(&r.methods[2], ReminderMethod::GreenLed { tool, .. }
+            if *tool == ToolId::new(catalog::POT)));
+    }
+
+    #[test]
+    fn no_red_led_when_the_misused_tool_is_the_prompted_one() {
+        // Misusing the very tool the planner prompts for (the user is
+        // fumbling the right tool): the reminder must guide, not
+        // simultaneously red- and green-blink the same tool.
+        let tea = catalog::tea_making();
+        let prompt = Prompt { tool: ToolId::new(catalog::POT), level: ReminderLevel::Minimal };
+        let trigger = Trigger::WrongTool { used: ToolId::new(catalog::POT) };
+        let r = subsystem().compose(prompt, trigger, &tea);
+        assert!(
+            !r.methods.iter().any(|m| matches!(m, ReminderMethod::RedLed { .. })),
+            "{:?}",
+            r.methods
+        );
+        assert!(matches!(&r.methods[1], ReminderMethod::GreenLed { tool, .. }
             if *tool == ToolId::new(catalog::POT)));
     }
 

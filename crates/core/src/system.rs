@@ -284,6 +284,58 @@ impl Coreda {
         self.nodes.iter().map(|(n, _)| n.energy().consumed_uj()).sum()
     }
 
+    /// Fault injection: swaps the loss process on every radio link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model holds an invalid probability.
+    pub fn set_link_loss(&mut self, loss: coreda_sensornet::radio::LossModel) {
+        self.network.set_loss(loss);
+    }
+
+    /// Fault injection: crashes or reboots the node attached to `tool`.
+    /// Returns whether such a node exists.
+    pub fn set_node_failed(&mut self, tool: ToolId, failed: bool) -> bool {
+        let uid: coreda_sensornet::node::NodeId = tool.into();
+        match self.nodes.iter_mut().find(|(n, _)| n.uid() == uid) {
+            Some((node, _)) => {
+                node.set_failed(failed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fault injection: sets sensing flip rates on the node attached to
+    /// `tool`. Returns whether such a node exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]`.
+    pub fn set_sensor_flip(&mut self, tool: ToolId, false_positive: f64, false_negative: f64) -> bool {
+        let uid: coreda_sensornet::node::NodeId = tool.into();
+        match self.nodes.iter_mut().find(|(n, _)| n.uid() == uid) {
+            Some((node, _)) => {
+                node.set_sensor_flip(false_positive, false_negative);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fault injection: skews the report clock of the node attached to
+    /// `tool`. Returns whether such a node exists.
+    pub fn set_clock_skew(&mut self, tool: ToolId, skew_ms: i64) -> bool {
+        let uid: coreda_sensornet::node::NodeId = tool.into();
+        match self.nodes.iter_mut().find(|(n, _)| n.uid() == uid) {
+            Some((node, _)) => {
+                node.set_clock_skew_ms(skew_ms);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Adds a caregiver-supplied rich description for `tool`, used in
     /// specific-level reminder texts ("the black tea-box").
     pub fn describe_tool(&mut self, tool: ToolId, description: impl Into<String>) {
@@ -597,6 +649,10 @@ impl Coreda {
                 self.network.send_downlink(dest, &packet, &mut self.net_rng).is_delivered();
             if delivered {
                 if let Some((node, _)) = self.nodes.iter_mut().find(|(n, _)| n.uid() == dest) {
+                    // A crashed mote leaves the frame on the air unheard.
+                    if node.is_failed() {
+                        continue;
+                    }
                     node.energy_mut().charge_rx(packet.encoded_len());
                     node.energy_mut().charge_led(pattern.duration().as_millis());
                     node.set_led(color, true);

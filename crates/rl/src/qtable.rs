@@ -196,6 +196,12 @@ impl QTable {
         &self.values[start..start + self.shape.actions()]
     }
 
+    /// Iterates every action value in state-major order (invariant
+    /// checking, fingerprinting).
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+
     /// The greedy policy over every state.
     #[must_use]
     pub fn greedy_policy(&self) -> Vec<ActionId> {

@@ -112,6 +112,21 @@ impl StarNetwork {
         self.cfg
     }
 
+    /// Fault injection: swaps the loss process on every link (and on links
+    /// registered later). Frame counters are preserved; Gilbert–Elliott
+    /// channels restart in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model holds an invalid probability.
+    pub fn set_loss(&mut self, loss: LossModel) {
+        loss.validate();
+        self.cfg.loss = loss;
+        for link in self.links.values_mut() {
+            link.set_loss(loss);
+        }
+    }
+
     /// Sends `packet` from its source node to the base station with
     /// stop-and-wait ARQ.
     ///

@@ -87,6 +87,14 @@ pub struct PavenetNode {
     window_peak_activation: f64,
     windows_closed: u64,
     reports_sent: u64,
+    /// Fault injection: a crashed node neither samples nor reports.
+    failed: bool,
+    /// Fault injection: P(sample reads "in use" while the tool is idle).
+    flip_false_positive: f64,
+    /// Fault injection: P(sample reads "idle" while the tool is in use).
+    flip_false_negative: f64,
+    /// Fault injection: offset added to the node's report timestamps.
+    clock_skew_ms: i64,
 }
 
 impl PavenetNode {
@@ -104,6 +112,10 @@ impl PavenetNode {
             window_peak_activation: 0.0,
             windows_closed: 0,
             reports_sent: 0,
+            failed: false,
+            flip_false_positive: 0.0,
+            flip_false_negative: 0.0,
+            clock_skew_ms: 0,
         }
     }
 
@@ -170,7 +182,14 @@ impl PavenetNode {
     /// now? Returns a `ToolUse` packet when a detection window closes with
     /// a positive verdict.
     pub fn sample_tick(&mut self, in_use: bool, now_ms: u64, rng: &mut SimRng) -> Option<Packet> {
+        if self.failed {
+            // A crashed mote draws no power and produces nothing; its RNG
+            // stream is left untouched so a reboot resumes deterministically.
+            return None;
+        }
         self.energy.charge_samples(1);
+        let flip_p = if in_use { self.flip_false_negative } else { self.flip_false_positive };
+        let in_use = if flip_p > 0.0 && rng.chance(flip_p) { !in_use } else { in_use };
         let reading = self.signal.sample(in_use, rng);
         self.window_peak_activation = self.window_peak_activation.max(reading.activation());
         let verdict = self.detector.push(reading)?;
@@ -184,7 +203,41 @@ impl PavenetNode {
         self.next_seq = self.next_seq.wrapping_add(1);
         self.reports_sent += 1;
         let activation_milli = (peak * 1000.0).clamp(0.0, f64::from(u16::MAX)) as u16;
-        Some(Packet::new(self.uid, seq, now_ms, Payload::ToolUse { activation_milli }))
+        let stamped_ms = now_ms.saturating_add_signed(self.clock_skew_ms);
+        Some(Packet::new(self.uid, seq, stamped_ms, Payload::ToolUse { activation_milli }))
+    }
+
+    /// Fault injection: crashes (`true`) or reboots (`false`) the mote. A
+    /// crashed node stops sampling, reporting, and applying LED commands.
+    pub fn set_failed(&mut self, failed: bool) {
+        if !self.failed && failed {
+            // Power loss wipes the detector's in-flight window.
+            self.reset_detector();
+        }
+        self.failed = failed;
+    }
+
+    /// Whether the mote is currently crashed.
+    #[must_use]
+    pub const fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Fault injection: per-sample sensing flip probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]`.
+    pub fn set_sensor_flip(&mut self, false_positive: f64, false_negative: f64) {
+        assert!((0.0..=1.0).contains(&false_positive), "false_positive must be a probability");
+        assert!((0.0..=1.0).contains(&false_negative), "false_negative must be a probability");
+        self.flip_false_positive = false_positive;
+        self.flip_false_negative = false_negative;
+    }
+
+    /// Fault injection: skews the clock the mote stamps its reports with.
+    pub fn set_clock_skew_ms(&mut self, skew_ms: i64) {
+        self.clock_skew_ms = skew_ms;
     }
 
     /// Resets detector state (e.g. between experiment trials).

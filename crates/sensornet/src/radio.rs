@@ -91,6 +91,19 @@ impl RadioLink {
         RadioLink { loss, in_bad_state: false, frames_sent: 0, frames_lost: 0 }
     }
 
+    /// Swaps the loss process in place (fault-window injection). Resets
+    /// the Gilbert–Elliott channel to the good state; frame counters are
+    /// preserved so observed loss rates span the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new model holds an invalid probability.
+    pub fn set_loss(&mut self, loss: LossModel) {
+        loss.validate();
+        self.loss = loss;
+        self.in_bad_state = false;
+    }
+
     /// Time on air for a frame of `len_bytes` at the CC1000's bitrate,
     /// rounded up to the next millisecond (plus one ms of MAC overhead).
     #[must_use]

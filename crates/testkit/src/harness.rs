@@ -1,0 +1,710 @@
+//! The deterministic run harness: one simulated home served under a
+//! [`FaultPlan`], on either engine, with every observable event tapped.
+//!
+//! The home mirrors `coreda_core::metro`'s per-instant pipeline — one
+//! [`Coreda`] system per activity, a home-wide [`SessionTracker`], and
+//! counter-derived random streams — so what the fuzzer exercises is the
+//! real serving logic, not a test double. Fault windows are applied
+//! lazily at poll instants by comparing *desired* against *applied*
+//! state; because quiet stretches neither draw randomness nor transmit,
+//! lazy application is observationally identical across the wheel and
+//! heap engines.
+
+use coreda_adl::activity::{catalog, AdlSpec};
+use coreda_adl::patient::PatientProfile;
+use coreda_adl::routine::Routine;
+use coreda_adl::tool::ToolId;
+use coreda_core::fleet::derive_seed;
+use coreda_core::live::{EpisodeLog, LogKind, StochasticBehavior};
+use coreda_core::metro::EngineKind;
+use coreda_core::planning::PlanningSubsystem;
+use coreda_core::reminding::{ReminderLevel, ReminderMethod, Trigger};
+use coreda_core::sessions::{SessionEvent, SessionTracker};
+use coreda_core::system::{Coreda, CoredaConfig, LiveEpisode};
+use coreda_des::rng::SimRng;
+use coreda_des::sim::Simulator;
+use coreda_des::time::{SimDuration, SimTime};
+use coreda_sensornet::radio::LossModel;
+
+use crate::behavior::FaultyBehavior;
+use crate::oracles::{self, Violation};
+use crate::plan::{FaultKind, FaultPlan};
+
+/// One event on the run's observable tap, in stream order. `Copy` and
+/// fully comparable: differential oracles check whole traces for exact
+/// equality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A live episode began for activity `act`.
+    EpisodeStarted {
+        /// Instant, ms.
+        at_ms: u64,
+        /// Activity index within the home.
+        act: usize,
+    },
+    /// The running episode finished.
+    EpisodeEnded {
+        /// Instant, ms.
+        at_ms: u64,
+        /// Activity index within the home.
+        act: usize,
+        /// Whether the patient completed the ADL.
+        completed: bool,
+    },
+    /// The sensing subsystem recognised a step (raw [`StepId`], 0 = idle).
+    ///
+    /// [`StepId`]: coreda_adl::step::StepId
+    StepSensed {
+        /// Instant, ms.
+        at_ms: u64,
+        /// Raw step id (0 = idle).
+        step: u16,
+    },
+    /// A reminder was delivered.
+    Reminder {
+        /// Instant, ms.
+        at_ms: u64,
+        /// The prompted tool.
+        prompt_tool: u16,
+        /// Whether the reminder was at the specific level.
+        specific: bool,
+        /// The wrongly used tool, for wrong-tool triggers.
+        wrong_tool: Option<u16>,
+        /// The tool whose red LED the reminder blinks, if any.
+        red_led_tool: Option<u16>,
+    },
+    /// The user followed a prompt and was praised.
+    Praise {
+        /// Instant, ms.
+        at_ms: u64,
+    },
+    /// The session tracker opened a session.
+    SessionStarted {
+        /// Instant, ms.
+        at_ms: u64,
+        /// Interned activity name index.
+        activity: u32,
+    },
+    /// The session tracker closed a session.
+    SessionEnded {
+        /// Instant, ms.
+        at_ms: u64,
+        /// Interned activity name index.
+        activity: u32,
+        /// Whether the terminal tool was seen.
+        completed: bool,
+    },
+    /// A foreign tool was used during an open session.
+    CrossActivityUse {
+        /// Instant, ms.
+        at_ms: u64,
+        /// Interned name index of the open session's activity.
+        active: u32,
+        /// Interned name index of the foreign tool's activity.
+        foreign: u32,
+        /// The foreign tool.
+        tool: u16,
+    },
+}
+
+impl TraceEvent {
+    /// The instant the event happened, ms.
+    #[must_use]
+    pub const fn at_ms(&self) -> u64 {
+        match *self {
+            TraceEvent::EpisodeStarted { at_ms, .. }
+            | TraceEvent::EpisodeEnded { at_ms, .. }
+            | TraceEvent::StepSensed { at_ms, .. }
+            | TraceEvent::Reminder { at_ms, .. }
+            | TraceEvent::Praise { at_ms }
+            | TraceEvent::SessionStarted { at_ms, .. }
+            | TraceEvent::SessionEnded { at_ms, .. }
+            | TraceEvent::CrossActivityUse { at_ms, .. } => at_ms,
+        }
+    }
+}
+
+/// Counter summary of one run; part of the differential fingerprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Episodes begun.
+    pub episodes_started: u64,
+    /// Episodes the patient completed.
+    pub episodes_completed: u64,
+    /// Reminders issued.
+    pub reminders: u64,
+    /// Praises issued.
+    pub praises: u64,
+    /// 100 ms pipeline ticks executed.
+    pub pipeline_ticks: u64,
+    /// Total node energy, µJ.
+    pub energy_uj: f64,
+}
+
+/// Everything one run produced. Two runs of the same plan must compare
+/// equal whatever engine or worker count produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The observable event stream, in order.
+    pub trace: Vec<TraceEvent>,
+    /// Counter summary.
+    pub stats: RunStats,
+    /// Every Q value of every planner after the run (online learning is
+    /// on, so live serving moves these).
+    pub q_values: Vec<f64>,
+}
+
+/// The outcome of checking one plan: both engines run, all oracles
+/// applied, traces compared.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Oracle violations, in detection order (empty = plan passed).
+    pub violations: Vec<Violation>,
+    /// The wheel-engine run (the canonical result).
+    pub wheel: RunResult,
+}
+
+impl CheckOutcome {
+    /// Whether any oracle fired.
+    #[must_use]
+    pub fn violated(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+/// The reusable fixture: trained planner templates plus the system
+/// configuration every plan run clones from. Building one is the
+/// expensive part (offline training); running a plan is cheap.
+#[derive(Debug)]
+pub struct Harness {
+    specs: Vec<AdlSpec>,
+    templates: Vec<PlanningSubsystem>,
+    config: CoredaConfig,
+    tool_ids: Vec<u16>,
+}
+
+/// Seed domain for template training — fixed so every harness instance
+/// (and every fuzz process) starts from identical planners.
+const TRAIN_SEED: u64 = 2007;
+const TRAIN_EPISODES: usize = 150;
+/// Quiet-gap bounds between a home's episodes (shorter than metro's so a
+/// plan packs several episodes into a few simulated minutes).
+const GAP_MIN_MS: f64 = 20_000.0;
+const GAP_MAX_MS: f64 = 60_000.0;
+const IDLE_CLOSE: SimDuration = SimDuration::from_secs(120);
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// Builds the fixture: tea-making + tooth-brushing systems with
+    /// online learning enabled (so the Q-bound oracle watches live
+    /// updates) and planners trained on the canonical routines.
+    #[must_use]
+    pub fn new() -> Self {
+        let specs = vec![catalog::tea_making(), catalog::tooth_brushing()];
+        let config = CoredaConfig { online_learning: true, ..CoredaConfig::default() };
+        let templates: Vec<PlanningSubsystem> = specs
+            .iter()
+            .enumerate()
+            .map(|(act, spec)| {
+                let routine = Routine::canonical(spec);
+                let mut planner = PlanningSubsystem::new(spec, config.planning);
+                let mut rng =
+                    SimRng::seed_from(derive_seed(TRAIN_SEED, "dst-train", act as u64));
+                for _ in 0..TRAIN_EPISODES {
+                    planner.train_episode(routine.steps(), &mut rng);
+                }
+                planner
+            })
+            .collect();
+        let tool_ids = specs
+            .iter()
+            .flat_map(|s| s.tools().iter().map(|t| t.id().raw()))
+            .collect();
+        Harness { specs, templates, config, tool_ids }
+    }
+
+    /// Raw tool ids across every activity — the target space for plan
+    /// generation.
+    #[must_use]
+    pub fn tool_ids(&self) -> &[u16] {
+        &self.tool_ids
+    }
+
+    /// The Q-bound the oracle enforces: `terminal / (1 - γ)` with a 25 %
+    /// margin for eligibility-trace transients.
+    #[must_use]
+    pub fn q_bound(&self) -> f64 {
+        let planning = self.config.planning;
+        planning.reward.terminal.abs().max(planning.reward.minimal.abs()) / (1.0 - planning.gamma)
+            * 1.25
+    }
+
+    /// Runs `plan` once on the given engine.
+    #[must_use]
+    pub fn run(&self, plan: &FaultPlan, engine: EngineKind) -> RunResult {
+        HomeRun::new(self, plan).drive(engine)
+    }
+
+    /// The full check: run on both engines, stream the wheel trace
+    /// through every invariant oracle, verify the Q bound, and require
+    /// the two engine traces to be bit-identical.
+    #[must_use]
+    pub fn check(&self, plan: &FaultPlan) -> CheckOutcome {
+        let wheel = self.run(plan, EngineKind::Wheel);
+        let heap = self.run(plan, EngineKind::Heap);
+        let mut violations = oracles::check_trace(&wheel.trace, plan.horizon_ms);
+        if let Some(v) = oracles::check_q(&wheel.q_values, self.q_bound()) {
+            violations.push(v);
+        }
+        if let Some(v) = oracles::check_engines(&wheel, &heap) {
+            violations.push(v);
+        }
+        CheckOutcome { violations, wheel }
+    }
+}
+
+/// Aggregate fault state actually applied to the systems, compared by
+/// value against the desired state each poll.
+#[derive(Debug, Clone, PartialEq)]
+struct AppliedFaults {
+    link: LossModel,
+    /// Per targeted tool: (tool, failed, false_positive, false_negative,
+    /// skew_ms).
+    tools: Vec<(u16, bool, f64, f64, i64)>,
+    non_compliant: bool,
+    lapsing: bool,
+    drifting: bool,
+}
+
+/// One home being driven under a plan.
+struct HomeRun<'a> {
+    plan: &'a FaultPlan,
+    systems: Vec<(Coreda, Routine, Routine)>,
+    behavior: FaultyBehavior<StochasticBehavior>,
+    tracker: SessionTracker,
+    root: SimRng,
+    sched_rng: SimRng,
+    episode: Option<(usize, LiveEpisode, SimRng, EpisodeLog, usize)>,
+    ep_index: u64,
+    next_start: SimTime,
+    last_handled: Option<SimTime>,
+    applied: AppliedFaults,
+    base_link: LossModel,
+    trace: Vec<TraceEvent>,
+    stats: RunStats,
+}
+
+impl<'a> HomeRun<'a> {
+    fn new(harness: &Harness, plan: &'a FaultPlan) -> Self {
+        let name = "dst-home";
+        let systems: Vec<(Coreda, Routine, Routine)> = harness
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(act, spec)| {
+                let seed = derive_seed(plan.seed, "dst-system", act as u64);
+                let mut system = Coreda::new(spec.clone(), name, harness.config.clone(), seed);
+                *system.planner_mut() = harness.templates[act].clone();
+                let canonical = Routine::canonical(spec);
+                let drifted = drifted_routine(spec, &canonical, plan);
+                (system, canonical, drifted)
+            })
+            .collect();
+        let root = SimRng::seed_from(derive_seed(plan.seed, "dst-home", 0));
+        let sched_rng = root.substream("sched", 0);
+        let base_link = harness.config.link.loss;
+        let mut run = HomeRun {
+            plan,
+            systems,
+            behavior: FaultyBehavior::new(StochasticBehavior::new(PatientProfile::moderate(
+                name,
+            ))),
+            tracker: SessionTracker::new(&harness.specs, IDLE_CLOSE),
+            root,
+            sched_rng,
+            episode: None,
+            ep_index: 0,
+            next_start: SimTime::ZERO,
+            last_handled: None,
+            applied: AppliedFaults {
+                link: base_link,
+                tools: harness.tool_ids.iter().map(|&t| (t, false, 0.0, 0.0, 0)).collect(),
+                non_compliant: false,
+                lapsing: false,
+                drifting: false,
+            },
+            base_link,
+            trace: Vec::new(),
+            stats: RunStats::default(),
+        };
+        let first = run.draw_gap();
+        run.next_start = align_up(SimTime::ZERO + first);
+        run
+    }
+
+    fn draw_gap(&mut self) -> SimDuration {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let ms = self.sched_rng.uniform_range(GAP_MIN_MS, GAP_MAX_MS) as u64;
+        SimDuration::from_millis(ms)
+    }
+
+    /// Desired fault aggregates at `now`, derived purely from the plan.
+    fn desired(&self, now_ms: u64) -> AppliedFaults {
+        let mut want = AppliedFaults {
+            link: self.base_link,
+            tools: self.applied.tools.iter().map(|&(t, ..)| (t, false, 0.0, 0.0, 0)).collect(),
+            non_compliant: false,
+            lapsing: false,
+            drifting: false,
+        };
+        for fault in &self.plan.faults {
+            if !fault.active_at(now_ms) {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::RadioLoss { model, .. } => want.link = model,
+                FaultKind::NodeCrash { tool } => {
+                    if let Some(slot) = want.tools.iter_mut().find(|s| s.0 == tool) {
+                        slot.1 = true;
+                    }
+                }
+                FaultKind::SensorFlip { tool, false_positive, false_negative } => {
+                    if let Some(slot) = want.tools.iter_mut().find(|s| s.0 == tool) {
+                        slot.2 = false_positive;
+                        slot.3 = false_negative;
+                    }
+                }
+                FaultKind::ClockSkew { tool, skew_ms } => {
+                    if let Some(slot) = want.tools.iter_mut().find(|s| s.0 == tool) {
+                        slot.4 = skew_ms;
+                    }
+                }
+                FaultKind::NonCompliance => want.non_compliant = true,
+                FaultKind::SevereLapses => want.lapsing = true,
+                FaultKind::RoutineDrift { .. } => want.drifting = true,
+            }
+        }
+        want
+    }
+
+    /// Applies any delta between desired and applied fault state. Never
+    /// draws randomness, so it is engine-invariant to apply this lazily.
+    fn apply_faults(&mut self, now: SimTime) {
+        let want = self.desired(now.as_millis());
+        if want == self.applied {
+            return;
+        }
+        if want.link != self.applied.link {
+            for (system, _, _) in &mut self.systems {
+                system.set_link_loss(want.link);
+            }
+        }
+        for (want_slot, have_slot) in want.tools.iter().zip(&self.applied.tools) {
+            let &(tool, failed, fp, fne, skew) = want_slot;
+            let id = ToolId::new(tool);
+            if failed != have_slot.1 {
+                for (system, _, _) in &mut self.systems {
+                    system.set_node_failed(id, failed);
+                }
+            }
+            if (fp, fne) != (have_slot.2, have_slot.3) {
+                for (system, _, _) in &mut self.systems {
+                    system.set_sensor_flip(id, fp, fne);
+                }
+            }
+            if skew != have_slot.4 {
+                for (system, _, _) in &mut self.systems {
+                    system.set_clock_skew(id, skew);
+                }
+            }
+        }
+        self.behavior.non_compliant = want.non_compliant;
+        self.behavior.lapsing = want.lapsing;
+        self.applied = want;
+    }
+
+    /// Drains fresh episode-log entries into the trace.
+    fn drain_log(trace: &mut Vec<TraceEvent>, log: &EpisodeLog, cursor: &mut usize) {
+        for (at, kind) in &log.entries()[*cursor..] {
+            let at_ms = at.as_millis();
+            match kind {
+                LogKind::StepSensed(step) => {
+                    trace.push(TraceEvent::StepSensed { at_ms, step: step.raw() });
+                }
+                LogKind::ReminderIssued(rem) => {
+                    let wrong_tool = match rem.trigger {
+                        Trigger::WrongTool { used } => Some(used.raw()),
+                        Trigger::IdleTimeout => None,
+                    };
+                    let red_led_tool = rem.methods.iter().find_map(|m| match m {
+                        ReminderMethod::RedLed { tool, .. } => Some(tool.raw()),
+                        _ => None,
+                    });
+                    trace.push(TraceEvent::Reminder {
+                        at_ms,
+                        prompt_tool: rem.prompt.tool.raw(),
+                        specific: rem.prompt.level == ReminderLevel::Specific,
+                        wrong_tool,
+                        red_led_tool,
+                    });
+                }
+                LogKind::Praised => trace.push(TraceEvent::Praise { at_ms }),
+                // Ground-truth entries (patient froze/misused/started) are
+                // not system observations; oracles only see what the
+                // pipeline itself could know.
+                _ => {}
+            }
+        }
+        *cursor = log.entries().len();
+    }
+
+    fn trace_session_event(trace: &mut Vec<TraceEvent>, ev: SessionEvent) {
+        trace.push(match ev {
+            SessionEvent::Started { activity, at } => TraceEvent::SessionStarted {
+                at_ms: at.as_millis(),
+                activity: activity.index() as u32,
+            },
+            SessionEvent::Ended { activity, at, completed } => TraceEvent::SessionEnded {
+                at_ms: at.as_millis(),
+                activity: activity.index() as u32,
+                completed,
+            },
+            SessionEvent::CrossActivityUse { active, foreign, tool, at } => {
+                TraceEvent::CrossActivityUse {
+                    at_ms: at.as_millis(),
+                    active: active.index() as u32,
+                    foreign: foreign.index() as u32,
+                    tool: tool.raw(),
+                }
+            }
+        });
+    }
+
+    /// The canonical per-instant sequence, mirroring metro's
+    /// `poll_instant` with fault application in front.
+    fn poll_instant(&mut self, now: SimTime) {
+        self.apply_faults(now);
+
+        // 1. Begin the next episode when its start arrives.
+        if self.episode.is_none() && now >= self.next_start {
+            let act = usize::try_from(self.ep_index).unwrap_or(usize::MAX) % self.systems.len();
+            let mut rng = self.root.substream("episode", self.ep_index);
+            let mut log = EpisodeLog::new();
+            let drifting = self.applied.drifting;
+            let (system, canonical, drifted) = &mut self.systems[act];
+            let routine: &Routine = if drifting { drifted } else { canonical };
+            let ep =
+                system.begin_live(routine, &mut self.behavior, now, &mut rng, Some(&mut log));
+            let mut cursor = 0usize;
+            self.trace.push(TraceEvent::EpisodeStarted { at_ms: now.as_millis(), act });
+            Self::drain_log(&mut self.trace, &log, &mut cursor);
+            self.episode = Some((act, ep, rng, log, cursor));
+            self.stats.episodes_started += 1;
+        }
+
+        // 2. Run the running episode's 100 ms pipeline tick.
+        let mut finished = None;
+        if let Some((act, ep, rng, log, cursor)) = self.episode.as_mut() {
+            if now >= ep.next_tick_at() {
+                let drifting = self.applied.drifting;
+                let (system, canonical, drifted) = &mut self.systems[*act];
+                let routine: &Routine = if drifting { drifted } else { canonical };
+                let tracker = &mut self.tracker;
+                let trace = &mut self.trace;
+                let out = system.live_tick(
+                    ep,
+                    routine,
+                    &mut self.behavior,
+                    now,
+                    rng,
+                    Some(log),
+                    &mut |src, at| {
+                        for ev in tracker.on_report(src, at) {
+                            Self::trace_session_event(trace, ev);
+                        }
+                    },
+                );
+                Self::drain_log(&mut self.trace, log, cursor);
+                self.stats.pipeline_ticks += 1;
+                self.stats.reminders += u64::from(out.reminders);
+                self.stats.praises += u64::from(out.praises);
+                if out.completed_now {
+                    self.stats.episodes_completed += 1;
+                }
+                if out.finished {
+                    finished = Some((*act, ep.completed()));
+                }
+            }
+        }
+
+        // 3. Home-wide idle close (the tracker's clock tick).
+        if let Some(ev) = self.tracker.on_tick(now) {
+            Self::trace_session_event(&mut self.trace, ev);
+        }
+
+        // 4. Episode cleanup: draw the quiet gap and schedule the next.
+        if let Some((act, completed)) = finished {
+            self.trace.push(TraceEvent::EpisodeEnded { at_ms: now.as_millis(), act, completed });
+            self.episode = None;
+            self.ep_index += 1;
+            let gap = self.draw_gap();
+            self.next_start = align_up(now + gap);
+        }
+    }
+
+    fn drive(mut self, engine: EngineKind) -> RunResult {
+        let end = SimTime::ZERO + SimDuration::from_millis(self.plan.horizon_ms);
+        match engine {
+            EngineKind::Wheel => {
+                let mut sim: Simulator<()> = Simulator::new();
+                if self.next_start <= end {
+                    sim.schedule_at(self.next_start, ());
+                }
+                while sim.step_until(end).is_some() {
+                    let now = sim.now();
+                    if self.last_handled == Some(now) {
+                        continue;
+                    }
+                    self.last_handled = Some(now);
+                    self.poll_instant(now);
+                    if let Some((_, ep, ..)) = &self.episode {
+                        let due = ep.next_tick_at();
+                        if due <= end {
+                            sim.schedule_at(due, ());
+                        }
+                    } else {
+                        if self.next_start <= end {
+                            sim.schedule_at(self.next_start, ());
+                        }
+                        if let Some(deadline) = self.tracker.idle_deadline() {
+                            let due = align_up(deadline);
+                            if due <= end {
+                                sim.schedule_at(due, ());
+                            }
+                        }
+                    }
+                }
+            }
+            EngineKind::Heap => {
+                let mut sim: Simulator<()> = Simulator::with_heap_queue();
+                sim.schedule_at(SimTime::ZERO, ());
+                while sim.step_until(end).is_some() {
+                    let now = sim.now();
+                    self.last_handled = Some(now);
+                    self.poll_instant(now);
+                    let next = now + Coreda::TICK;
+                    if next <= end {
+                        sim.schedule_at(next, ());
+                    }
+                }
+            }
+        }
+        self.stats.energy_uj = self.systems.iter().map(|(s, ..)| s.total_energy_uj()).sum();
+        let q_values = self
+            .systems
+            .iter()
+            .flat_map(|(s, ..)| s.planner().q_table().values())
+            .collect();
+        RunResult { trace: self.trace, stats: self.stats, q_values }
+    }
+}
+
+/// The smallest instant on the 100 ms serving grid at or after `t`.
+fn align_up(t: SimTime) -> SimTime {
+    let tick = Coreda::TICK.as_millis();
+    SimTime::from_millis(t.as_millis().div_ceil(tick) * tick)
+}
+
+/// The routine the activity drifts to: the last `RoutineDrift` fault's
+/// swap applied to the canonical order (identical indices leave the
+/// routine unchanged — a vacuous drift).
+fn drifted_routine(spec: &AdlSpec, canonical: &Routine, plan: &FaultPlan) -> Routine {
+    let swap = plan.faults.iter().rev().find_map(|f| match f.kind {
+        FaultKind::RoutineDrift { swap_a, swap_b } => Some((swap_a, swap_b)),
+        _ => None,
+    });
+    let Some((a, b)) = swap else {
+        return canonical.clone();
+    };
+    let mut steps = canonical.steps().to_vec();
+    let len = steps.len();
+    let (a, b) = (a as usize % len, b as usize % len);
+    steps.swap(a, b);
+    Routine::new(spec, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> Harness {
+        Harness::new()
+    }
+
+    #[test]
+    fn clean_plan_runs_and_serves() {
+        let h = harness();
+        let plan = FaultPlan {
+            seed: 7,
+            horizon_ms: 240_000,
+            faults: vec![],
+            expect_violation: None,
+        };
+        let result = h.run(&plan, EngineKind::Wheel);
+        assert!(result.stats.episodes_started >= 2, "{:?}", result.stats);
+        assert!(result.stats.pipeline_ticks > 100);
+        assert!(result.trace.iter().any(|e| matches!(e, TraceEvent::SessionStarted { .. })));
+        assert!(result.q_values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let h = harness();
+        let plan = FaultPlan::generate(11, h.tool_ids());
+        assert_eq!(h.run(&plan, EngineKind::Wheel), h.run(&plan, EngineKind::Wheel));
+    }
+
+    #[test]
+    fn wheel_and_heap_traces_agree_under_faults() {
+        let h = harness();
+        for seed in [1u64, 2, 3] {
+            let plan = FaultPlan::generate(seed, h.tool_ids());
+            let wheel = h.run(&plan, EngineKind::Wheel);
+            let heap = h.run(&plan, EngineKind::Heap);
+            assert_eq!(wheel, heap, "engines diverged on seed {seed}: {plan:?}");
+        }
+    }
+
+    #[test]
+    fn crash_window_silences_the_node() {
+        let h = harness();
+        // Crash the tea activity's first tool for the whole run.
+        let tool = h.tool_ids()[0];
+        let plan = FaultPlan {
+            seed: 3,
+            horizon_ms: 240_000,
+            faults: vec![crate::plan::Fault {
+                kind: FaultKind::NodeCrash { tool },
+                from_ms: 0,
+                to_ms: 240_000,
+            }],
+            expect_violation: None,
+        };
+        let faulted = h.run(&plan, EngineKind::Wheel);
+        let clean = h.run(
+            &FaultPlan { faults: vec![], ..plan.clone() },
+            EngineKind::Wheel,
+        );
+        assert!(
+            faulted.stats.energy_uj < clean.stats.energy_uj,
+            "a crashed node must not burn sampling energy: {} vs {}",
+            faulted.stats.energy_uj,
+            clean.stats.energy_uj
+        );
+    }
+}

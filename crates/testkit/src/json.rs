@@ -1,0 +1,556 @@
+//! Hand-rolled `.seed.json` serialization for [`FaultPlan`].
+//!
+//! The repo is offline, so there is no serde; the format is small enough
+//! that a direct writer and a recursive-descent parser are simpler than a
+//! dependency anyway. Numbers round-trip exactly: integers are written as
+//! integers (seeds are full 64-bit values, beyond `f64` precision, so the
+//! parser keeps the raw digits), and floats are written with `{:?}`,
+//! which Rust guarantees re-parses to the same bits.
+
+use crate::plan::{Fault, FaultKind, FaultPlan};
+use coreda_sensornet::radio::LossModel;
+
+/// Format version stamped into every file; bump on breaking changes.
+pub const FORMAT_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serializes a plan to pretty-printed `.seed.json` text.
+#[must_use]
+pub fn to_json(plan: &FaultPlan) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"version\": {FORMAT_VERSION},\n"));
+    out.push_str(&format!("  \"seed\": {},\n", plan.seed));
+    out.push_str(&format!("  \"horizon_ms\": {},\n", plan.horizon_ms));
+    if let Some(oracle) = &plan.expect_violation {
+        out.push_str(&format!("  \"expect_violation\": {},\n", quote(oracle)));
+    }
+    out.push_str("  \"faults\": [");
+    for (i, fault) in plan.faults.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        write_fault(&mut out, fault);
+    }
+    if plan.faults.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn write_fault(out: &mut String, fault: &Fault) {
+    out.push_str(&format!(
+        "{{\"kind\": {}, \"from_ms\": {}, \"to_ms\": {}",
+        quote(fault.kind.name()),
+        fault.from_ms,
+        fault.to_ms
+    ));
+    match fault.kind {
+        FaultKind::RadioLoss { model, max_retries } => {
+            match model {
+                LossModel::Perfect => out.push_str(", \"model\": \"perfect\""),
+                LossModel::Bernoulli { p } => {
+                    out.push_str(&format!(", \"model\": \"bernoulli\", \"p\": {p:?}"));
+                }
+                LossModel::GilbertElliott {
+                    p_good_to_bad,
+                    p_bad_to_good,
+                    loss_good,
+                    loss_bad,
+                } => {
+                    out.push_str(&format!(
+                        ", \"model\": \"gilbert_elliott\", \"p_good_to_bad\": {p_good_to_bad:?}, \
+                         \"p_bad_to_good\": {p_bad_to_good:?}, \"loss_good\": {loss_good:?}, \
+                         \"loss_bad\": {loss_bad:?}"
+                    ));
+                }
+            }
+            out.push_str(&format!(", \"max_retries\": {max_retries}"));
+        }
+        FaultKind::NodeCrash { tool } => out.push_str(&format!(", \"tool\": {tool}")),
+        FaultKind::SensorFlip { tool, false_positive, false_negative } => {
+            out.push_str(&format!(
+                ", \"tool\": {tool}, \"false_positive\": {false_positive:?}, \
+                 \"false_negative\": {false_negative:?}"
+            ));
+        }
+        FaultKind::ClockSkew { tool, skew_ms } => {
+            out.push_str(&format!(", \"tool\": {tool}, \"skew_ms\": {skew_ms}"));
+        }
+        FaultKind::NonCompliance | FaultKind::SevereLapses => {}
+        FaultKind::RoutineDrift { swap_a, swap_b } => {
+            out.push_str(&format!(", \"swap_a\": {swap_a}, \"swap_b\": {swap_b}"));
+        }
+    }
+    out.push('}');
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parses `.seed.json` text back into a plan.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed JSON, unknown fields of
+/// the wrong type, an unsupported `version`, or an unknown fault kind.
+pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+    let value = Parser { bytes: text.as_bytes(), pos: 0 }.parse_document()?;
+    let obj = value.as_obj().ok_or("top level must be an object")?;
+    let version = get_u64(obj, "version")?;
+    if version != FORMAT_VERSION {
+        return Err(format!("unsupported version {version} (expected {FORMAT_VERSION})"));
+    }
+    let seed = get_u64(obj, "seed")?;
+    let horizon_ms = get_u64(obj, "horizon_ms")?;
+    let expect_violation = match find(obj, "expect_violation") {
+        None | Some(Value::Null) => None,
+        Some(Value::Str(s)) => Some(s.clone()),
+        Some(_) => return Err("expect_violation must be a string or null".into()),
+    };
+    let faults_val = find(obj, "faults").ok_or("missing field faults")?;
+    let faults_arr = faults_val.as_arr().ok_or("faults must be an array")?;
+    let mut faults = Vec::with_capacity(faults_arr.len());
+    for (i, fv) in faults_arr.iter().enumerate() {
+        faults.push(parse_fault(fv).map_err(|e| format!("fault #{i}: {e}"))?);
+    }
+    Ok(FaultPlan { seed, horizon_ms, faults, expect_violation })
+}
+
+fn parse_fault(value: &Value) -> Result<Fault, String> {
+    let obj = value.as_obj().ok_or("must be an object")?;
+    let from_ms = get_u64(obj, "from_ms")?;
+    let to_ms = get_u64(obj, "to_ms")?;
+    if to_ms < from_ms {
+        return Err(format!("window ends before it starts ({from_ms}..{to_ms})"));
+    }
+    let kind_name = get_str(obj, "kind")?;
+    let kind = match kind_name {
+        "radio_loss" => {
+            let model = match get_str(obj, "model")? {
+                "perfect" => LossModel::Perfect,
+                "bernoulli" => LossModel::Bernoulli { p: get_f64(obj, "p")? },
+                "gilbert_elliott" => LossModel::GilbertElliott {
+                    p_good_to_bad: get_f64(obj, "p_good_to_bad")?,
+                    p_bad_to_good: get_f64(obj, "p_bad_to_good")?,
+                    loss_good: get_f64(obj, "loss_good")?,
+                    loss_bad: get_f64(obj, "loss_bad")?,
+                },
+                other => return Err(format!("unknown loss model {other:?}")),
+            };
+            let max_retries = u8::try_from(get_u64(obj, "max_retries")?)
+                .map_err(|_| "max_retries out of range")?;
+            FaultKind::RadioLoss { model, max_retries }
+        }
+        "node_crash" => FaultKind::NodeCrash { tool: get_tool(obj)? },
+        "sensor_flip" => FaultKind::SensorFlip {
+            tool: get_tool(obj)?,
+            false_positive: get_f64(obj, "false_positive")?,
+            false_negative: get_f64(obj, "false_negative")?,
+        },
+        "clock_skew" => {
+            FaultKind::ClockSkew { tool: get_tool(obj)?, skew_ms: get_i64(obj, "skew_ms")? }
+        }
+        "non_compliance" => FaultKind::NonCompliance,
+        "severe_lapses" => FaultKind::SevereLapses,
+        "routine_drift" => FaultKind::RoutineDrift {
+            swap_a: u8::try_from(get_u64(obj, "swap_a")?).map_err(|_| "swap_a out of range")?,
+            swap_b: u8::try_from(get_u64(obj, "swap_b")?).map_err(|_| "swap_b out of range")?,
+        },
+        other => return Err(format!("unknown fault kind {other:?}")),
+    };
+    Ok(Fault { kind, from_ms, to_ms })
+}
+
+fn get_tool(obj: &[(String, Value)]) -> Result<u16, String> {
+    u16::try_from(get_u64(obj, "tool")?).map_err(|_| "tool id out of range".into())
+}
+
+// -- generic JSON value ------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    /// Raw digit run; converted on demand so 64-bit seeds survive intact.
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn find<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_num<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a str, String> {
+    match find(obj, key) {
+        Some(Value::Num(raw)) => Ok(raw),
+        Some(_) => Err(format!("field {key} must be a number")),
+        None => Err(format!("missing field {key}")),
+    }
+}
+
+fn get_u64(obj: &[(String, Value)], key: &str) -> Result<u64, String> {
+    get_num(obj, key)?.parse().map_err(|_| format!("field {key} is not a u64"))
+}
+
+fn get_i64(obj: &[(String, Value)], key: &str) -> Result<i64, String> {
+    get_num(obj, key)?.parse().map_err(|_| format!("field {key} is not an i64"))
+}
+
+fn get_f64(obj: &[(String, Value)], key: &str) -> Result<f64, String> {
+    get_num(obj, key)?.parse().map_err(|_| format!("field {key} is not an f64"))
+}
+
+fn get_str<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a str, String> {
+    match find(obj, key) {
+        Some(Value::Str(s)) => Ok(s),
+        Some(_) => Err(format!("field {key} must be a string")),
+        None => Err(format!("missing field {key}")),
+    }
+}
+
+// -- recursive descent -------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn parse_document(mut self) -> Result<Value, String> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b't' if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            b'f' if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            b'n' if self.eat_keyword("null") => Ok(Value::Null),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(format!("unexpected {:?} at byte {}", other as char, self.pos)),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => {
+                    return Err(format!("expected ',' or '}}' found {:?}", other as char));
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => {
+                    return Err(format!("expected ',' or ']' found {:?}", other as char));
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code).ok_or("\\u escape is not a scalar value")?,
+                            );
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                // Multi-byte UTF-8: copy the raw continuation bytes through.
+                b if b >= 0x80 => {
+                    let start = self.pos - 1;
+                    while matches!(self.bytes.get(self.pos), Some(c) if c & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                }
+                b => out.push(b as char),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err("empty number".into());
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .to_owned();
+        // Validate eagerly so garbage fails at parse time, not field access.
+        raw.parse::<f64>().map_err(|_| format!("malformed number {raw:?}"))?;
+        Ok(Value::Num(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_plan() -> FaultPlan {
+        FaultPlan {
+            seed: u64::MAX - 12345,
+            horizon_ms: 240_000,
+            faults: vec![
+                Fault {
+                    kind: FaultKind::RadioLoss {
+                        model: LossModel::Bernoulli { p: 0.372_519 },
+                        max_retries: 1,
+                    },
+                    from_ms: 0,
+                    to_ms: 60_000,
+                },
+                Fault {
+                    kind: FaultKind::RadioLoss {
+                        model: LossModel::GilbertElliott {
+                            p_good_to_bad: 0.05,
+                            p_bad_to_good: 0.2,
+                            loss_good: 0.02,
+                            loss_bad: 0.7,
+                        },
+                        max_retries: 3,
+                    },
+                    from_ms: 10_000,
+                    to_ms: 90_000,
+                },
+                Fault { kind: FaultKind::NodeCrash { tool: 4 }, from_ms: 5_000, to_ms: 25_000 },
+                Fault {
+                    kind: FaultKind::SensorFlip {
+                        tool: 5,
+                        false_positive: 0.012_345_678_9,
+                        false_negative: 0.4,
+                    },
+                    from_ms: 0,
+                    to_ms: 240_000,
+                },
+                Fault {
+                    kind: FaultKind::ClockSkew { tool: 6, skew_ms: -15_250 },
+                    from_ms: 100,
+                    to_ms: 200,
+                },
+                Fault { kind: FaultKind::NonCompliance, from_ms: 0, to_ms: 100 },
+                Fault { kind: FaultKind::SevereLapses, from_ms: 0, to_ms: 100 },
+                Fault {
+                    kind: FaultKind::RoutineDrift { swap_a: 1, swap_b: 3 },
+                    from_ms: 0,
+                    to_ms: 100,
+                },
+            ],
+            expect_violation: Some("no_red_blink_on_prompted_tool".into()),
+        }
+    }
+
+    #[test]
+    fn round_trips_every_fault_kind() {
+        let plan = full_plan();
+        let text = to_json(&plan);
+        assert_eq!(from_json(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn round_trips_without_expectation() {
+        let plan = FaultPlan { expect_violation: None, ..full_plan() };
+        let text = to_json(&plan);
+        assert!(!text.contains("expect_violation"));
+        assert_eq!(from_json(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn round_trips_generated_plans() {
+        for seed in 0..50 {
+            let plan = FaultPlan::generate(seed, &[3, 4, 5, 6]);
+            assert_eq!(from_json(&to_json(&plan)).unwrap(), plan, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn full_seed_precision_survives() {
+        let plan = FaultPlan {
+            seed: 0xDEAD_BEEF_CAFE_F00D,
+            horizon_ms: 120_000,
+            faults: vec![Fault { kind: FaultKind::NonCompliance, from_ms: 0, to_ms: 1 }],
+            expect_violation: None,
+        };
+        assert_eq!(from_json(&to_json(&plan)).unwrap().seed, 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_json("").is_err());
+        assert!(from_json("{").is_err());
+        assert!(from_json("[]").is_err());
+        assert!(from_json("{\"version\": 1}").is_err());
+        assert!(from_json("{\"version\": 99, \"seed\": 1, \"horizon_ms\": 1, \"faults\": []}")
+            .is_err());
+        let bad_kind = "{\"version\": 1, \"seed\": 1, \"horizon_ms\": 1, \
+                        \"faults\": [{\"kind\": \"warp_core\", \"from_ms\": 0, \"to_ms\": 1}]}";
+        assert!(from_json(bad_kind).unwrap_err().contains("warp_core"));
+    }
+
+    #[test]
+    fn accepts_null_expectation() {
+        let text = "{\"version\": 1, \"seed\": 7, \"horizon_ms\": 1000, \
+                    \"expect_violation\": null, \"faults\": []}";
+        assert_eq!(from_json(text).unwrap().expect_violation, None);
+    }
+}

@@ -1,0 +1,269 @@
+//! Fault plans: the single vocabulary of everything the harness can
+//! break, with timed activation windows.
+//!
+//! A plan is pure data derived from a seed — running the same plan twice
+//! is bit-identical, which is what makes shrinking and `.seed.json`
+//! replay possible.
+
+use coreda_des::rng::SimRng;
+use coreda_sensornet::network::LinkConfig;
+use coreda_sensornet::radio::LossModel;
+
+/// The serving pipeline's tick, mirrored here so plan windows can be
+/// reasoned about on the same 100 ms grid.
+pub const TICK_MS: u64 = 100;
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Every radio link switches to `model` for the window (burst noise,
+    /// microwave interference, a metal pot on the antenna...).
+    RadioLoss {
+        /// Loss process during the window.
+        model: LossModel,
+        /// ARQ retransmission budget during the window.
+        max_retries: u8,
+    },
+    /// The node strapped to `tool` crashes at the window start and
+    /// reboots at its end.
+    NodeCrash {
+        /// Raw tool id (= PAVENET uid).
+        tool: u16,
+    },
+    /// The sensor on `tool` mis-detects: spurious use while idle
+    /// (`false_positive`) and missed use while active (`false_negative`).
+    SensorFlip {
+        /// Raw tool id.
+        tool: u16,
+        /// P(report "in use" per sample while the tool is idle).
+        false_positive: f64,
+        /// P(report "idle" per sample while the tool is in use).
+        false_negative: f64,
+    },
+    /// The node on `tool` stamps its reports with a skewed clock.
+    ClockSkew {
+        /// Raw tool id.
+        tool: u16,
+        /// Offset added to the node's report timestamps.
+        skew_ms: i64,
+    },
+    /// The patient ignores every prompt during the window.
+    NonCompliance,
+    /// The patient's lapses spike: elevated freeze and wrong-tool rates
+    /// at step boundaries (a bad day, paper §2.2's severe profile).
+    SevereLapses,
+    /// During the window the patient's routine permutes: steps `swap_a`
+    /// and `swap_b` (mod routine length) trade places — even in the
+    /// middle of a running episode.
+    RoutineDrift {
+        /// First swapped position.
+        swap_a: u8,
+        /// Second swapped position.
+        swap_b: u8,
+    },
+}
+
+impl FaultKind {
+    /// Short stable name (file names, shrink logs).
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            FaultKind::RadioLoss { .. } => "radio_loss",
+            FaultKind::NodeCrash { .. } => "node_crash",
+            FaultKind::SensorFlip { .. } => "sensor_flip",
+            FaultKind::ClockSkew { .. } => "clock_skew",
+            FaultKind::NonCompliance => "non_compliance",
+            FaultKind::SevereLapses => "severe_lapses",
+            FaultKind::RoutineDrift { .. } => "routine_drift",
+        }
+    }
+
+    /// The link-layer configuration a radio fault corresponds to; `None`
+    /// for non-radio faults. Integration tests build their networks from
+    /// this so the two fault vocabularies cannot drift apart.
+    #[must_use]
+    pub fn link_config(&self) -> Option<LinkConfig> {
+        match *self {
+            FaultKind::RadioLoss { model, max_retries } => {
+                Some(LinkConfig { loss: model, max_retries, ..LinkConfig::default() })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A fault active over `[from_ms, to_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// What breaks.
+    pub kind: FaultKind,
+    /// Window start (inclusive), ms of simulated time.
+    pub from_ms: u64,
+    /// Window end (exclusive), ms of simulated time.
+    pub to_ms: u64,
+}
+
+impl Fault {
+    /// Whether the window covers `now_ms`.
+    #[must_use]
+    pub const fn active_at(&self, now_ms: u64) -> bool {
+        self.from_ms <= now_ms && now_ms < self.to_ms
+    }
+
+    /// Window length in ms.
+    #[must_use]
+    pub const fn window_ms(&self) -> u64 {
+        self.to_ms.saturating_sub(self.from_ms)
+    }
+}
+
+/// A complete deterministic test case: seed, horizon, fault windows, and
+/// (for corpus entries) the oracle the plan is expected to trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every random stream of the run (behavior, radios,
+    /// episode scheduling). Independent of the faults.
+    pub seed: u64,
+    /// Simulated horizon in ms.
+    pub horizon_ms: u64,
+    /// Fault windows, applied in order.
+    pub faults: Vec<Fault>,
+    /// `Some(oracle_name)` for corpus entries that must reproduce a
+    /// violation; `None` for plans expected to pass every oracle.
+    pub expect_violation: Option<String>,
+}
+
+impl FaultPlan {
+    /// Expands `seed` into a randomized plan over the given tool ids
+    /// (raw PAVENET uids across every activity in the home).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tools` is empty.
+    #[must_use]
+    pub fn generate(seed: u64, tools: &[u16]) -> FaultPlan {
+        assert!(!tools.is_empty(), "a fault plan needs at least one tool to target");
+        let mut rng = SimRng::seed_from(seed).substream("fault-plan", 0);
+        let horizon_ms = round_to_tick(rng.uniform_range(120_000.0, 480_000.0) as u64);
+        let n_faults = 1 + (rng.uniform_range(0.0, 4.0) as usize).min(3);
+        let faults = (0..n_faults).map(|_| generate_fault(&mut rng, tools, horizon_ms)).collect();
+        FaultPlan { seed, horizon_ms, faults, expect_violation: None }
+    }
+
+    /// All tool ids the plan's targeted faults touch.
+    pub fn targeted_tools(&self) -> impl Iterator<Item = u16> + '_ {
+        self.faults.iter().filter_map(|f| match f.kind {
+            FaultKind::NodeCrash { tool }
+            | FaultKind::SensorFlip { tool, .. }
+            | FaultKind::ClockSkew { tool, .. } => Some(tool),
+            _ => None,
+        })
+    }
+}
+
+fn round_to_tick(ms: u64) -> u64 {
+    (ms / TICK_MS).max(1) * TICK_MS
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn generate_fault(rng: &mut SimRng, tools: &[u16], horizon_ms: u64) -> Fault {
+    let from_ms = round_to_tick(rng.uniform_range(0.0, horizon_ms as f64 * 0.8) as u64);
+    let len_ms = round_to_tick(rng.uniform_range(5_000.0, horizon_ms as f64 * 0.5) as u64);
+    let to_ms = (from_ms + len_ms).min(horizon_ms);
+    let tool = *rng.choose(tools);
+    let kind = match (rng.uniform_range(0.0, 7.0) as usize).min(6) {
+        0 => {
+            let model = if rng.chance(0.5) {
+                LossModel::Bernoulli { p: rng.uniform_range(0.1, 1.0) }
+            } else {
+                LossModel::GilbertElliott {
+                    p_good_to_bad: rng.uniform_range(0.01, 0.2),
+                    p_bad_to_good: rng.uniform_range(0.05, 0.5),
+                    loss_good: rng.uniform_range(0.0, 0.1),
+                    loss_bad: rng.uniform_range(0.5, 1.0),
+                }
+            };
+            let max_retries = if rng.chance(0.2) { 1 } else { 3 };
+            FaultKind::RadioLoss { model, max_retries }
+        }
+        1 => FaultKind::NodeCrash { tool },
+        2 => FaultKind::SensorFlip {
+            tool,
+            false_positive: rng.uniform_range(0.0, 0.05),
+            false_negative: rng.uniform_range(0.0, 0.6),
+        },
+        3 => FaultKind::ClockSkew {
+            tool,
+            skew_ms: rng.uniform_range(-30_000.0, 30_000.0) as i64,
+        },
+        4 => FaultKind::NonCompliance,
+        5 => FaultKind::SevereLapses,
+        _ => FaultKind::RoutineDrift {
+            swap_a: rng.uniform_range(0.0, 8.0) as u8,
+            swap_b: rng.uniform_range(0.0, 8.0) as u8,
+        },
+    };
+    Fault { kind, from_ms, to_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOOLS: &[u16] = &[3, 4, 5, 6];
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(FaultPlan::generate(42, TOOLS), FaultPlan::generate(42, TOOLS));
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_plans() {
+        let plans: Vec<FaultPlan> = (0..50).map(|s| FaultPlan::generate(s, TOOLS)).collect();
+        let first = &plans[0];
+        assert!(plans.iter().any(|p| p.faults != first.faults));
+    }
+
+    #[test]
+    fn windows_fit_the_horizon_and_grid() {
+        for seed in 0..200 {
+            let plan = FaultPlan::generate(seed, TOOLS);
+            assert_eq!(plan.horizon_ms % TICK_MS, 0);
+            assert!(!plan.faults.is_empty());
+            for f in &plan.faults {
+                assert!(f.from_ms <= f.to_ms, "{f:?}");
+                assert!(f.to_ms <= plan.horizon_ms, "{f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_kind_is_eventually_generated() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..500 {
+            for f in FaultPlan::generate(seed, TOOLS).faults {
+                seen.insert(f.kind.name());
+            }
+        }
+        for kind in [
+            "radio_loss",
+            "node_crash",
+            "sensor_flip",
+            "clock_skew",
+            "non_compliance",
+            "severe_lapses",
+            "routine_drift",
+        ] {
+            assert!(seen.contains(kind), "fault kind {kind} never generated");
+        }
+    }
+
+    #[test]
+    fn radio_faults_convert_to_link_configs() {
+        let kind = FaultKind::RadioLoss { model: LossModel::Bernoulli { p: 0.3 }, max_retries: 1 };
+        let cfg = kind.link_config().unwrap();
+        assert_eq!(cfg.loss, LossModel::Bernoulli { p: 0.3 });
+        assert_eq!(cfg.max_retries, 1);
+        assert!(FaultKind::NonCompliance.link_config().is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! Replays the checked-in DST regression corpus (`tests/corpus/`).
+//!
+//! Each `.seed.json` entry is a deterministic fault plan. Entries with no
+//! `expect_violation` are regression guards: they once reproduced a real
+//! bug (or stress a fault kind) and must now pass every oracle; entries
+//! naming an oracle must still trip exactly it. The same corpus gates
+//! `make ci` via `coreda-cli replay --dir tests/corpus`.
+
+use std::path::{Path, PathBuf};
+
+use coreda::core::metro::EngineKind;
+use coreda::testkit::corpus;
+use coreda::testkit::harness::Harness;
+use coreda::testkit::json;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_replays_match_expectations() {
+    let harness = Harness::new();
+    let outcomes = corpus::replay_dir(&harness, &corpus_dir()).expect("corpus replays");
+    assert!(outcomes.len() >= 6, "corpus shrank to {} entries", outcomes.len());
+    let failed: Vec<String> =
+        outcomes.iter().filter(|o| !o.pass).map(|o| o.render()).collect();
+    assert!(failed.is_empty(), "corpus regressions:\n{}", failed.join("\n"));
+}
+
+#[test]
+fn corpus_plans_are_engine_invariant() {
+    let harness = Harness::new();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let path = entry.expect("dir entry").path();
+        if !path.to_string_lossy().ends_with(".seed.json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("corpus entry");
+        let plan = json::from_json(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        let wheel = harness.run(&plan, EngineKind::Wheel);
+        let heap = harness.run(&plan, EngineKind::Heap);
+        assert_eq!(wheel, heap, "engines diverged on {path:?}");
+        checked += 1;
+    }
+    assert!(checked >= 6, "only {checked} corpus entries checked");
+}
+
+#[test]
+fn corpus_round_trips_through_the_serializer() {
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let path = entry.expect("dir entry").path();
+        if !path.to_string_lossy().ends_with(".seed.json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("corpus entry");
+        let plan = json::from_json(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        let reparsed = json::from_json(&json::to_json(&plan)).expect("round trip");
+        assert_eq!(plan, reparsed, "{path:?} does not round-trip");
+    }
+}

@@ -1,7 +1,14 @@
 //! Robustness integration tests: lossy radios, non-compliant patients,
 //! severe dementia — does the system stay safe and productive?
+//!
+//! Radio faults are built from the DST harness's fault vocabulary
+//! ([`coreda::testkit::plan::FaultKind`]) via `link_config()`, so the
+//! conditions exercised here are exactly the ones the fuzzer generates —
+//! the two fault models cannot drift apart.
 
 use coreda::prelude::*;
+use coreda::testkit::behavior::StubbornBehavior;
+use coreda::testkit::plan::FaultKind;
 
 fn train(system: &mut Coreda, routine: &Routine, seed: u64) {
     let mut rng = SimRng::seed_from(seed);
@@ -10,14 +17,20 @@ fn train(system: &mut Coreda, routine: &Routine, seed: u64) {
     }
 }
 
+/// A `CoredaConfig` whose link layer runs under the given radio fault.
+fn config_under(fault: FaultKind) -> CoredaConfig {
+    let link = fault.link_config().expect("a radio fault");
+    CoredaConfig { link, ..CoredaConfig::default() }
+}
+
 #[test]
 fn episodes_complete_over_a_lossy_radio() {
     let tea = catalog::tea_making();
     let routine = Routine::canonical(&tea);
-    let config = CoredaConfig {
-        link: LinkConfig { loss: LossModel::Bernoulli { p: 0.3 }, ..LinkConfig::default() },
-        ..CoredaConfig::default()
-    };
+    let config = config_under(FaultKind::RadioLoss {
+        model: LossModel::Bernoulli { p: 0.3 },
+        max_retries: 3,
+    });
     let mut system = Coreda::new(tea, "x", config, 1);
     train(&mut system, &routine, 2);
     let mut rng = SimRng::seed_from(3);
@@ -36,18 +49,15 @@ fn episodes_complete_over_a_lossy_radio() {
 fn bursty_channel_is_survivable() {
     let tea = catalog::tea_making();
     let routine = Routine::canonical(&tea);
-    let config = CoredaConfig {
-        link: LinkConfig {
-            loss: LossModel::GilbertElliott {
-                p_good_to_bad: 0.05,
-                p_bad_to_good: 0.2,
-                loss_good: 0.02,
-                loss_bad: 0.7,
-            },
-            ..LinkConfig::default()
+    let config = config_under(FaultKind::RadioLoss {
+        model: LossModel::GilbertElliott {
+            p_good_to_bad: 0.05,
+            p_bad_to_good: 0.2,
+            loss_good: 0.02,
+            loss_bad: 0.7,
         },
-        ..CoredaConfig::default()
-    };
+        max_retries: 3,
+    });
     let mut system = Coreda::new(tea, "x", config, 4);
     train(&mut system, &routine, 5);
     let mut rng = SimRng::seed_from(6);
@@ -60,48 +70,15 @@ fn bursty_channel_is_survivable() {
 fn unanswered_reminders_escalate_to_specific() {
     // A patient who ignores the first few prompts: re-prompts must come,
     // escalated to the specific level ("more blinks", personalised text).
-    #[derive(Debug)]
-    struct StubbornPatient {
-        ignored: usize,
-        inner: ScriptedBehavior,
-    }
-    impl PatientBehavior for StubbornPatient {
-        fn at_boundary(
-            &mut self,
-            idx: usize,
-            routine: &Routine,
-            spec: &AdlSpec,
-            rng: &mut SimRng,
-        ) -> PatientAction {
-            self.inner.at_boundary(idx, routine, spec, rng)
-        }
-        fn step_duration(
-            &mut self,
-            step: &Step,
-            rng: &mut SimRng,
-        ) -> coreda::des::time::SimDuration {
-            self.inner.step_duration(step, rng)
-        }
-        fn complies(&mut self, _prompt: &Prompt, _rng: &mut SimRng) -> bool {
-            if self.ignored < 2 {
-                self.ignored += 1;
-                false
-            } else {
-                true
-            }
-        }
-    }
-
     let tea = catalog::tea_making();
     let routine = Routine::canonical(&tea);
     let mut system = Coreda::new(tea, "Mr. Kim", CoredaConfig::default(), 7);
     train(&mut system, &routine, 8);
-    let mut behavior = StubbornPatient {
-        ignored: 0,
-        inner: ScriptedBehavior::new().with_error(1, PatientAction::Freeze),
-    };
+    let mut behavior =
+        StubbornBehavior::new(ScriptedBehavior::new().with_error(1, PatientAction::Freeze), 2);
     let mut rng = SimRng::seed_from(9);
     let log = system.run_live(&routine, &mut behavior, &mut rng);
+    assert_eq!(behavior.ignored(), 2, "both early prompts were ignored");
     let reminders = log.reminders();
     assert!(
         reminders.len() >= 2,
@@ -150,14 +127,10 @@ fn severe_patient_eventually_finishes_every_episode() {
 fn totally_dead_radio_means_no_reminders_but_patient_self_recovers() {
     let tea = catalog::tea_making();
     let routine = Routine::canonical(&tea);
-    let config = CoredaConfig {
-        link: LinkConfig {
-            loss: LossModel::Bernoulli { p: 1.0 },
-            max_retries: 1,
-            ..LinkConfig::default()
-        },
-        ..CoredaConfig::default()
-    };
+    let config = config_under(FaultKind::RadioLoss {
+        model: LossModel::Bernoulli { p: 1.0 },
+        max_retries: 1,
+    });
     let mut system = Coreda::new(tea, "x", config, 13);
     train(&mut system, &routine, 14);
     let mut behavior = ScriptedBehavior::new().with_error(1, PatientAction::Freeze);
