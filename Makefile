@@ -23,15 +23,20 @@ bench-scale:
 	cargo bench -p coreda-bench --bench scale_micro
 
 # The tier-1 gate: release build, full test suite, the determinism
-# regressions (parallel sweeps and metro serving byte-identical to
-# serial; timing wheel byte-identical to the heap queue), a fixed-seed
-# simulation-testing fuzz budget, and the DST regression corpus replay.
+# regressions (parallel sweeps, metro serving, and flight-recorder
+# telemetry byte-identical to serial; timing wheel byte-identical to the
+# heap queue), the trace-summary golden, doc and clippy lints, a
+# fixed-seed simulation-testing fuzz budget, and the DST regression
+# corpus replay.
 ci:
 	cargo build --release
 	cargo test -q
 	cargo test -q --test fleet_determinism
 	cargo test -q --test scale_determinism
+	cargo test -q --test trace_summary
 	cargo test -q -p coreda-des --test proptests
+	cargo doc --workspace --no-deps
+	cargo clippy --workspace --all-targets -- -D warnings
 	cargo run --release -p coreda-cli -- fuzz --seconds 30 --seed 2007
 	cargo run --release -p coreda-cli -- replay --dir tests/corpus
 

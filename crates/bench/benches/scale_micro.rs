@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use coreda_core::fleet::default_jobs;
-use coreda_core::metro::{run_scale, EngineKind, MetroConfig};
+use coreda_core::metro::{run_scale, run_scale_traced, EngineKind, MetroConfig};
 use coreda_des::time::SimDuration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -104,6 +104,40 @@ fn engine_compare_json() -> String {
     )
 }
 
+/// Flight-recorder cost: the same 1k-home serve with the recorder off
+/// vs on. The acceptance bar is <= 5 % overhead; the recorded report is
+/// asserted bit-identical to the plain one first, so the timings compare
+/// the same work plus recording. The two arms are interleaved off/on and
+/// each keeps its best of five — this host's wall clock drifts by ~10 %
+/// over a bench run, so back-to-back blocks would charge the drift to
+/// whichever arm ran second.
+fn telemetry_overhead_json() -> String {
+    let config = cfg(1000, 1800, 1, EngineKind::Wheel);
+    let traced = run_scale_traced(&config);
+    let plain = run_scale(&config);
+    assert_eq!(
+        plain.per_home, traced.report.per_home,
+        "recording changed the serve; timings would compare different work"
+    );
+    let ticks = plain.pipeline_ticks();
+    let (mut off_secs, mut on_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        let t = Instant::now();
+        let _ = run_scale(&config);
+        off_secs = off_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let _ = run_scale_traced(&config);
+        on_secs = on_secs.min(t.elapsed().as_secs_f64());
+    }
+    format!(
+        "  \"telemetry_overhead\": {{\"homes\": 1000, \"sim_secs\": 1800, \"jobs\": 1, \
+         \"pipeline_ticks\": {ticks}, \
+         \"recorder_off_secs\": {off_secs:.4}, \"recorder_on_secs\": {on_secs:.4}, \
+         \"overhead_pct\": {:.2}}}",
+        (on_secs / off_secs - 1.0) * 100.0
+    )
+}
+
 fn emit_report(_c: &mut Criterion) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
     if cfg!(debug_assertions) {
@@ -114,10 +148,11 @@ fn emit_report(_c: &mut Criterion) {
         return;
     }
     let json = format!(
-        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{}\n}}\n",
+        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{},\n{}\n}}\n",
         default_jobs(),
         grid_json(),
-        engine_compare_json()
+        engine_compare_json(),
+        telemetry_overhead_json()
     );
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}\n{json}"),

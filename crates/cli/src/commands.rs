@@ -316,7 +316,7 @@ pub fn fleet(p: &Parsed) -> CmdResult {
 /// engine; only the header echoes the knobs.
 pub fn scale(p: &Parsed) -> CmdResult {
     use coreda_core::fleet::default_jobs;
-    use coreda_core::metro::{run_scale, EngineKind, MetroConfig};
+    use coreda_core::metro::{run_scale, run_scale_traced, EngineKind, MetroConfig};
     use coreda_des::time::SimDuration;
 
     let homes: usize = p.get_parsed("homes", 16)?;
@@ -339,11 +339,65 @@ pub fn scale(p: &Parsed) -> CmdResult {
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let horizon = SimDuration::from_millis((hours * 3_600_000.0) as u64);
     let cfg = MetroConfig { homes, horizon, seed, jobs, engine, ..MetroConfig::default() };
-    let report = run_scale(&cfg);
-    Ok(format!(
-        "scale: homes={homes} hours={hours} engine={engine} jobs={jobs} seed={seed}\n{}",
-        report.render()
-    ))
+    let header =
+        format!("scale: homes={homes} hours={hours} engine={engine} jobs={jobs} seed={seed}\n");
+    // --trace-out turns the flight recorder on; the report itself is
+    // bit-identical either way (recording draws no randomness).
+    match p.get("trace-out") {
+        Some(path) => {
+            let traced = run_scale_traced(&cfg);
+            std::fs::write(path, traced.telemetry.to_jsonl())?;
+            Ok(format!(
+                "{header}{}telemetry JSONL -> {path}\n",
+                traced.report.render()
+            ))
+        }
+        None => Ok(format!("{header}{}", run_scale(&cfg).render())),
+    }
+}
+
+/// `trace` — serve a metro fleet with the flight recorder on.
+///
+/// Same serving engine as `scale`, but every home collects pipeline
+/// counters, stage-latency histograms (idle-detect delay, wrong-tool to
+/// red-blink, prompt to compliance), and a bounded ring of trace events.
+/// Prints the deterministic telemetry summary; `--out` additionally
+/// writes the full JSONL export. The summary is bit-identical at any
+/// `--jobs` count; only the header (peak queue depth) varies.
+pub fn trace(p: &Parsed) -> CmdResult {
+    use coreda_core::fleet::default_jobs;
+    use coreda_core::metro::{run_scale_traced, MetroConfig};
+    use coreda_des::time::SimDuration;
+
+    let homes: usize = p.get_parsed("homes", 8)?;
+    let seconds: u64 = p.get_parsed("seconds", 900)?;
+    let jobs: usize = p.get_parsed("jobs", default_jobs())?;
+    let seed: u64 = p.get_parsed("seed", 2007)?;
+    if homes == 0 {
+        return Err("--homes must be at least 1".into());
+    }
+    if seconds == 0 {
+        return Err("--seconds must be at least 1".into());
+    }
+    let cfg = MetroConfig {
+        homes,
+        horizon: SimDuration::from_secs(seconds),
+        seed,
+        jobs,
+        ..MetroConfig::default()
+    };
+    let out = run_scale_traced(&cfg);
+    let mut text = format!(
+        "trace: homes={homes} seconds={seconds} jobs={jobs} seed={seed} \
+         (peak queue depth {peak})\n",
+        peak = out.peak_pending,
+    );
+    text.push_str(&out.telemetry.render_summary());
+    if let Some(path) = p.get("out") {
+        std::fs::write(path, out.telemetry.to_jsonl())?;
+        text.push_str(&format!("telemetry JSONL -> {path}\n"));
+    }
+    Ok(text)
 }
 
 /// `fuzz` — deterministic simulation-testing campaign.
@@ -363,6 +417,7 @@ pub fn fuzz(p: &Parsed) -> CmdResult {
         seed: p.get_parsed("seed", defaults.seed)?,
         jobs: p.get_parsed("jobs", defaults.jobs)?,
         out_dir: p.get("out").map(std::path::PathBuf::from),
+        trace_dir: p.get("trace-out").map(std::path::PathBuf::from),
         max_plans: p.get_parsed("plans", defaults.max_plans)?,
     };
     let report = fuzz(&cfg)?;
@@ -459,12 +514,23 @@ COMMANDS
       --jobs N               worker threads (results are identical at
                              any N)                      [all cores]
       --seed N               base rng seed                [2007]
+      --trace-out FILE       also run the flight recorder and write
+                             telemetry JSONL here
+  trace                      serve homes with the flight recorder on
+      --homes N              independent households       [8]
+      --seconds N            simulated horizon            [900]
+      --jobs N               worker threads (summary is identical at
+                             any N)                      [all cores]
+      --seed N               base rng seed                [2007]
+      --out FILE             write full telemetry JSONL here
   fuzz                       deterministic simulation-testing campaign
       --seconds N            wall-clock budget            [60]
       --seed N               campaign seed                [2007]
       --jobs N               workers for the jobs differential [3]
       --plans N              hard cap on fault plans      [unlimited]
       --out DIR              write shrunken .seed.json repros here
+      --trace-out DIR        write violation flight records (.trace.jsonl)
+                             here                        [--out dir]
   replay                     re-run .seed.json fault-plan repros
       --file FILE            one corpus entry
       --dir DIR              every *.seed.json in a directory
@@ -485,6 +551,7 @@ pub fn dispatch(p: &Parsed) -> CmdResult {
         "scenario" => run_scenario(p),
         "fleet" => fleet(p),
         "scale" => scale(p),
+        "trace" => trace(p),
         "fuzz" => fuzz(p),
         "replay" => replay(p),
         "help" => Ok(help()),
@@ -609,7 +676,7 @@ mod tests {
         let h = help();
         for cmd in [
             "list", "generate", "train", "evaluate", "simulate", "scenario", "fleet", "scale",
-            "fuzz", "replay",
+            "trace", "fuzz", "replay",
         ] {
             assert!(h.contains(cmd), "help is missing {cmd}");
         }
@@ -649,6 +716,64 @@ mod tests {
         // be byte-identical.
         let body = |s: &str| s.split_once('\n').unwrap().1.to_owned();
         assert_eq!(body(&serial), body(&parallel));
+    }
+
+    #[test]
+    fn trace_prints_summary_and_jobs_do_not_change_it() {
+        let serial = trace(&parse(&[
+            "trace", "--homes", "4", "--seconds", "300", "--jobs", "1", "--seed", "11",
+        ]))
+        .unwrap();
+        let parallel = trace(&parse(&[
+            "trace", "--homes", "4", "--seconds", "300", "--jobs", "8", "--seed", "11",
+        ]))
+        .unwrap();
+        assert!(serial.contains("telemetry: 4 home(s)"), "{serial}");
+        assert!(serial.contains("p95"), "{serial}");
+        // The header echoes jobs and the queue-depth gauge; everything
+        // below it must be byte-identical.
+        let body = |s: &str| s.split_once('\n').unwrap().1.to_owned();
+        assert_eq!(body(&serial), body(&parallel));
+    }
+
+    #[test]
+    fn trace_writes_jsonl_when_asked() {
+        let path = temp_path("trace.jsonl");
+        let out = trace(&parse(&[
+            "trace", "--homes", "2", "--seconds", "120",
+            "--out", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("telemetry JSONL ->"), "{out}");
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        assert!(jsonl.starts_with("{\"kind\":\"summary\""), "{jsonl}");
+        assert_eq!(jsonl.lines().count(), 3, "summary + one line per home");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn scale_trace_out_keeps_the_report_and_writes_jsonl() {
+        let path = temp_path("scale-trace.jsonl");
+        let plain = scale(&parse(&[
+            "scale", "--homes", "3", "--hours", "0.1", "--jobs", "1", "--seed", "5",
+        ]))
+        .unwrap();
+        let traced = scale(&parse(&[
+            "scale", "--homes", "3", "--hours", "0.1", "--jobs", "1", "--seed", "5",
+            "--trace-out", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(traced.starts_with(&plain), "recording must not change the report");
+        assert!(std::fs::read_to_string(&path).unwrap().contains("\"kind\":\"summary\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trace_rejects_bad_knobs() {
+        let err = trace(&parse(&["trace", "--homes", "0"])).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
+        let err = trace(&parse(&["trace", "--seconds", "0"])).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod scenario;
 pub mod sensing;
 pub mod sessions;
 pub mod system;
+pub mod telemetry;
 
 pub use baseline::{CanonicalReminder, MdpPlanner, NextStepPredictor};
 pub use home::{CoredaHome, HomeError};
@@ -76,3 +77,4 @@ pub use report::DailyReport;
 pub use sensing::{SensingSubsystem, StepEvent};
 pub use sessions::{SessionEvent, SessionEvents, SessionTracker};
 pub use system::{Coreda, CoredaConfig, LiveEpisode, TickOutcome};
+pub use telemetry::{Ctr, HomeRecorder, MaybeRec, Stage, Telemetry, TraceKind, TraceRecord};

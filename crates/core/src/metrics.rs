@@ -64,11 +64,24 @@ impl PrecisionCounter {
         self.hits += other.hits;
         self.total += other.total;
     }
+
+    /// Precision as a whole percentage, rounded half away from zero
+    /// (`2/3` → 67, `1/3` → 33, `1/2` → 50).
+    ///
+    /// [`Display`](std::fmt::Display) goes through this so the rendered
+    /// percentage is rounded by construction rather than by an accident
+    /// of float formatting.
+    #[must_use]
+    pub fn percent(&self) -> u64 {
+        // precision() ∈ [0, 1], so the product is in [0, 100] and the
+        // cast is lossless after rounding.
+        (self.precision() * 100.0).round() as u64
+    }
 }
 
 impl std::fmt::Display for PrecisionCounter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.0}% ({}/{})", self.precision() * 100.0, self.hits, self.total)
+        write!(f, "{}% ({}/{})", self.percent(), self.hits, self.total)
     }
 }
 
@@ -152,6 +165,27 @@ mod tests {
             p.record(false);
         }
         assert_eq!(p.to_string(), "85% (17/20)");
+    }
+
+    #[test]
+    fn display_rounds_at_the_boundaries() {
+        // (hits, total, rendered) at 0, 1/3, 1/2, 2/3, and 1: rounding
+        // must be explicit (half away from zero), not truncation —
+        // truncation would render 2/3 as 66%.
+        for (hits, total, want) in [
+            (0, 3, "0% (0/3)"),
+            (1, 3, "33% (1/3)"),
+            (1, 2, "50% (1/2)"),
+            (2, 3, "67% (2/3)"),
+            (3, 3, "100% (3/3)"),
+        ] {
+            let mut p = PrecisionCounter::new();
+            for i in 0..total {
+                p.record(i < hits);
+            }
+            assert_eq!(p.to_string(), want);
+        }
+        assert_eq!(PrecisionCounter::new().percent(), 100, "empty counter is vacuously perfect");
     }
 
     #[test]

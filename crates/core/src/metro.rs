@@ -6,7 +6,7 @@
 //! each a full CoReDA deployment: per-activity [`Coreda`] systems with
 //! their own sensornets and planners, plus a home-wide
 //! [`SessionTracker`] — for a wall of simulated hours, sharded across
-//! [`FleetEngine`](crate::fleet::FleetEngine) workers.
+//! [`FleetEngine`] workers.
 //!
 //! Two engine modes run the *same* per-instant pipeline logic:
 //!
@@ -36,6 +36,7 @@ use crate::live::StochasticBehavior;
 use crate::planning::PlanningSubsystem;
 use crate::sessions::{SessionEvent, SessionTracker};
 use crate::system::{Coreda, CoredaConfig, LiveEpisode};
+use crate::telemetry::{Ctr, HomeRecorder, Telemetry, TraceKind};
 
 /// Which event queue drives the serving loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,19 +130,32 @@ pub struct HomeStats {
 
 impl HomeStats {
     /// Fleet-wide totals must survive pathological inputs (a fuzzed or
-    /// hand-built report), so aggregation saturates instead of wrapping.
-    fn absorb(&mut self, other: &HomeStats) {
-        self.episodes_started = self.episodes_started.saturating_add(other.episodes_started);
-        self.episodes_completed = self.episodes_completed.saturating_add(other.episodes_completed);
-        self.reminders = self.reminders.saturating_add(other.reminders);
-        self.praises = self.praises.saturating_add(other.praises);
-        self.sessions_started = self.sessions_started.saturating_add(other.sessions_started);
-        self.sessions_completed = self.sessions_completed.saturating_add(other.sessions_completed);
-        self.sessions_abandoned = self.sessions_abandoned.saturating_add(other.sessions_abandoned);
-        self.cross_activity_flags =
-            self.cross_activity_flags.saturating_add(other.cross_activity_flags);
-        self.pipeline_ticks = self.pipeline_ticks.saturating_add(other.pipeline_ticks);
+    /// hand-built report), so aggregation saturates instead of wrapping —
+    /// but never *silently*: the return value counts how many fields hit
+    /// the clamp, so callers can surface that the totals are lower
+    /// bounds rather than exact counts.
+    fn absorb(&mut self, other: &HomeStats) -> u64 {
+        let mut clamped = 0u64;
+        let mut sat = |a: u64, b: u64| {
+            let (v, overflowed) = a.overflowing_add(b);
+            if overflowed {
+                clamped += 1;
+                u64::MAX
+            } else {
+                v
+            }
+        };
+        self.episodes_started = sat(self.episodes_started, other.episodes_started);
+        self.episodes_completed = sat(self.episodes_completed, other.episodes_completed);
+        self.reminders = sat(self.reminders, other.reminders);
+        self.praises = sat(self.praises, other.praises);
+        self.sessions_started = sat(self.sessions_started, other.sessions_started);
+        self.sessions_completed = sat(self.sessions_completed, other.sessions_completed);
+        self.sessions_abandoned = sat(self.sessions_abandoned, other.sessions_abandoned);
+        self.cross_activity_flags = sat(self.cross_activity_flags, other.cross_activity_flags);
+        self.pipeline_ticks = sat(self.pipeline_ticks, other.pipeline_ticks);
         self.energy_uj += other.energy_uj;
+        clamped
     }
 }
 
@@ -193,11 +207,20 @@ impl ScaleReport {
     /// Fleet-wide totals.
     #[must_use]
     pub fn totals(&self) -> HomeStats {
+        self.totals_checked().0
+    }
+
+    /// Fleet-wide totals plus the number of fields that saturated while
+    /// summing. A non-zero count means some totals are `u64::MAX` lower
+    /// bounds, not exact values.
+    #[must_use]
+    pub fn totals_checked(&self) -> (HomeStats, u64) {
         let mut t = HomeStats::default();
+        let mut clamped = 0u64;
         for h in &self.per_home {
-            t.absorb(h);
+            clamped += t.absorb(h);
         }
-        t
+        (t, clamped)
     }
 
     /// Total 100 ms pipeline ticks executed.
@@ -211,7 +234,7 @@ impl ScaleReport {
     #[must_use]
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let t = self.totals();
+        let (t, clamped) = self.totals_checked();
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -247,6 +270,12 @@ impl ScaleReport {
             des = self.des_events,
         );
         let _ = writeln!(out, "  node energy: {:.3} mJ", t.energy_uj / 1000.0);
+        if clamped > 0 {
+            let _ = writeln!(
+                out,
+                "  WARNING: {clamped} total(s) saturated at u64::MAX; counts above are lower bounds",
+            );
+        }
         out
     }
 }
@@ -283,6 +312,11 @@ struct Home {
     stats: HomeStats,
     /// Serving tap: `Some` when the run records its event stream.
     tap: Option<Vec<TapEvent>>,
+    /// Flight recorder: `Some` when the run collects telemetry.
+    rec: Option<HomeRecorder>,
+    /// Session events buffered during a tick (the report sink cannot
+    /// borrow the recorder while `live_tick` holds it).
+    scratch_sessions: Vec<SessionEvent>,
 }
 
 impl Home {
@@ -292,6 +326,7 @@ impl Home {
         specs: &[AdlSpec],
         templates: &[PlanningSubsystem],
         record: bool,
+        trace: bool,
     ) -> Self {
         let name = format!("home-{id}");
         let systems = specs
@@ -300,7 +335,7 @@ impl Home {
             .map(|(act, spec)| {
                 let seed =
                     derive_seed(cfg.seed, "metro-system", (id as u64) * 16 + act as u64);
-                let mut system = Coreda::new(spec.clone(), &name, cfg.system.clone(), seed);
+                let mut system = Coreda::new(spec.clone(), &name, cfg.system, seed);
                 // Planners are trained once per activity and cloned in:
                 // building 10k homes must not cost 10k trainings.
                 *system.planner_mut() = templates[act].clone();
@@ -325,6 +360,8 @@ impl Home {
             gap_max_ms: cfg.gap_max.as_millis(),
             stats: HomeStats::default(),
             tap: record.then(Vec::new),
+            rec: trace.then(HomeRecorder::new),
+            scratch_sessions: Vec::new(),
         };
         let first = home.draw_gap();
         home.next_start = home.align_up(SimTime::ZERO + first);
@@ -356,6 +393,26 @@ impl Home {
         }
     }
 
+    /// Mirrors a session event into the flight recorder, stamped with the
+    /// event's *own* instant (idle closes fire at the deadline, not at the
+    /// tick that noticed them).
+    fn record_session_event(rec: &mut HomeRecorder, ev: SessionEvent) {
+        match ev {
+            SessionEvent::Started { activity, at } => {
+                rec.inc(Ctr::SessionsStarted);
+                rec.event(at, TraceKind::SessionStarted { name: activity });
+            }
+            SessionEvent::Ended { activity, at, completed } => {
+                rec.inc(if completed { Ctr::SessionsCompleted } else { Ctr::SessionsAbandoned });
+                rec.event(at, TraceKind::SessionEnded { name: activity, completed });
+            }
+            SessionEvent::CrossActivityUse { active, at, .. } => {
+                rec.inc(Ctr::CrossActivityFlags);
+                rec.event(at, TraceKind::CrossActivity { name: active });
+            }
+        }
+    }
+
     /// The canonical per-instant sequence — identical code for both
     /// engines, so cross-engine equality reduces to both engines calling
     /// it at every instant where anything can change.
@@ -371,6 +428,14 @@ impl Home {
             if let Some(tap) = self.tap.as_mut() {
                 tap.push(TapEvent::EpisodeStarted { at: now, act });
             }
+            if let Some(rec) = self.rec.as_mut() {
+                rec.inc(Ctr::EpisodesStarted);
+                #[allow(clippy::cast_possible_truncation)]
+                rec.event(
+                    now,
+                    TraceKind::EpisodeStarted { episode: self.ep_index.min(u64::from(u32::MAX)) as u32 },
+                );
+            }
         }
 
         // 2. Run the running episode's 100 ms pipeline tick.
@@ -381,6 +446,7 @@ impl Home {
                 let tracker = &mut self.tracker;
                 let stats = &mut self.stats;
                 let tap = &mut self.tap;
+                let scratch = &mut self.scratch_sessions;
                 let out = system.live_tick(
                     &mut run.ep,
                     routine,
@@ -388,12 +454,14 @@ impl Home {
                     now,
                     &mut run.rng,
                     None,
+                    self.rec.as_mut(),
                     &mut |src, at| {
                         for ev in tracker.on_report(src, at) {
                             Self::count_session_event(stats, ev);
                             if let Some(tap) = tap.as_mut() {
                                 tap.push(TapEvent::Session(ev));
                             }
+                            scratch.push(ev);
                         }
                     },
                 );
@@ -408,6 +476,22 @@ impl Home {
                         tap.push(TapEvent::Tick { at: now, out });
                     }
                 }
+                if let Some(rec) = self.rec.as_mut() {
+                    // The report sink above could not borrow the recorder
+                    // while `live_tick` held it; drain the buffered
+                    // session events now, in arrival order.
+                    for ev in self.scratch_sessions.drain(..) {
+                        Self::record_session_event(rec, ev);
+                    }
+                    if out.completed_now {
+                        rec.inc(Ctr::EpisodesCompleted);
+                    }
+                    if out.finished {
+                        rec.event(now, TraceKind::EpisodeEnded { completed: out.completed_now });
+                    }
+                } else {
+                    self.scratch_sessions.clear();
+                }
                 finished = out.finished;
             }
         }
@@ -417,6 +501,9 @@ impl Home {
             Self::count_session_event(&mut self.stats, ev);
             if let Some(tap) = self.tap.as_mut() {
                 tap.push(TapEvent::Session(ev));
+            }
+            if let Some(rec) = self.rec.as_mut() {
+                Self::record_session_event(rec, ev);
             }
         }
 
@@ -437,7 +524,10 @@ struct Wake(usize);
 struct ChunkOut {
     stats: Vec<HomeStats>,
     taps: Option<Vec<Vec<TapEvent>>>,
+    recs: Option<Vec<HomeRecorder>>,
     des_events: u64,
+    /// Shard-local queue high-water mark — engine- and jobs-dependent.
+    max_pending: usize,
 }
 
 #[allow(clippy::needless_pass_by_value)]
@@ -448,9 +538,10 @@ fn run_chunk(
     first_home: usize,
     count: usize,
     record: bool,
+    trace: bool,
 ) -> ChunkOut {
     let mut homes: Vec<Home> = (first_home..first_home + count)
-        .map(|id| Home::build(id, cfg, specs, templates, record))
+        .map(|id| Home::build(id, cfg, specs, templates, record, trace))
         .collect();
     let horizon_end = SimTime::ZERO + cfg.horizon;
 
@@ -490,7 +581,7 @@ fn run_chunk(
                     }
                 }
             }
-            finish(homes, sim.processed())
+            finish(homes, sim.processed(), sim.max_pending())
         }
         EngineKind::Heap => {
             // The seed baseline: every home polled at 10 Hz wall-to-wall
@@ -512,25 +603,30 @@ fn run_chunk(
                     sim.schedule_at(next, Wake(i));
                 }
             }
-            finish(homes, sim.processed())
+            finish(homes, sim.processed(), sim.max_pending())
         }
     }
 }
 
-fn finish(mut homes: Vec<Home>, des_events: u64) -> ChunkOut {
+fn finish(mut homes: Vec<Home>, des_events: u64, max_pending: usize) -> ChunkOut {
     for h in &mut homes {
         h.stats.energy_uj = h.systems.iter().map(|(s, _)| s.total_energy_uj()).sum();
     }
     let recording = homes.first().is_some_and(|h| h.tap.is_some());
+    let tracing = homes.first().is_some_and(|h| h.rec.is_some());
     let mut stats = Vec::with_capacity(homes.len());
     let mut taps = recording.then(|| Vec::with_capacity(homes.len()));
+    let mut recs = tracing.then(|| Vec::with_capacity(homes.len()));
     for h in homes {
         stats.push(h.stats);
         if let (Some(taps), Some(tap)) = (taps.as_mut(), h.tap) {
             taps.push(tap);
         }
+        if let (Some(recs), Some(rec)) = (recs.as_mut(), h.rec) {
+            recs.push(rec);
+        }
     }
-    ChunkOut { stats, taps, des_events }
+    ChunkOut { stats, taps, recs, des_events, max_pending }
 }
 
 /// Serves `cfg.homes` households for `cfg.horizon`, sharded across
@@ -549,7 +645,38 @@ pub fn run_scale_recorded(cfg: &MetroConfig) -> ScaleReport {
     run_scale_with(cfg, true)
 }
 
+/// The result of a [`run_scale_traced`] call: the report plus the
+/// flight-recorder telemetry collected alongside it.
+#[derive(Debug)]
+pub struct TraceOutput {
+    /// The serving report — identical to what [`run_scale`] returns for
+    /// the same config (recording draws no randomness and mutates no
+    /// simulation state).
+    pub report: ScaleReport,
+    /// Per-home flight recorders, merged deterministically in home order.
+    pub telemetry: Telemetry,
+    /// Deepest any shard's event queue ever got. Engine- and
+    /// jobs-*dependent* (sharding changes how many homes share a queue),
+    /// so it lives outside [`Telemetry`] and is never part of
+    /// determinism comparisons.
+    pub peak_pending: usize,
+}
+
+/// [`run_scale`] with the flight recorder on: every home collects
+/// pipeline counters, stage-latency histograms, and a bounded ring of
+/// trace events. The report itself is bit-identical to an untraced run,
+/// and the telemetry is bit-identical at any worker count and across
+/// engines (recorders are merged in home order).
+#[must_use]
+pub fn run_scale_traced(cfg: &MetroConfig) -> TraceOutput {
+    run_scale_inner(cfg, false, true)
+}
+
 fn run_scale_with(cfg: &MetroConfig, record: bool) -> ScaleReport {
+    run_scale_inner(cfg, record, false).report
+}
+
+fn run_scale_inner(cfg: &MetroConfig, record: bool, trace: bool) -> TraceOutput {
     let specs = vec![catalog::tea_making(), catalog::tooth_brushing()];
     let templates: Vec<PlanningSubsystem> = specs
         .iter()
@@ -581,27 +708,41 @@ fn run_scale_with(cfg: &MetroConfig, record: bool) -> ScaleReport {
     }
 
     let engine = FleetEngine::new(cfg.jobs);
-    let results = engine
-        .map(chunks, |(first, count)| run_chunk(cfg, &specs, &templates, first, count, record));
+    let results = engine.map(chunks, |(first, count)| {
+        run_chunk(cfg, &specs, &templates, first, count, record, trace)
+    });
 
     let mut per_home = Vec::with_capacity(cfg.homes);
     let mut events = record.then(|| Vec::with_capacity(cfg.homes));
+    let mut telemetry = Telemetry::default();
     let mut des_events = 0u64;
+    let mut peak_pending = 0usize;
     for chunk in results {
         per_home.extend(chunk.stats);
         if let (Some(events), Some(taps)) = (events.as_mut(), chunk.taps) {
             events.extend(taps);
         }
+        if let Some(recs) = chunk.recs {
+            // Chunks are contiguous and flattened in chunk order, so this
+            // reproduces home order at any worker count.
+            telemetry.homes.extend(recs);
+        }
         des_events += chunk.des_events;
+        peak_pending = peak_pending.max(chunk.max_pending);
     }
-    ScaleReport {
+    let report = ScaleReport {
         homes: cfg.homes,
         horizon: cfg.horizon,
         engine: cfg.engine,
         per_home,
         des_events,
         events,
+    };
+    if trace {
+        let (_, clamped) = report.totals_checked();
+        telemetry.fleet.add(Ctr::TotalsSaturated, clamped);
     }
+    TraceOutput { report, telemetry, peak_pending }
 }
 
 #[cfg(test)]
@@ -678,6 +819,51 @@ mod tests {
         // The unrecorded path stays tap-free, so full-report equality
         // tests keep comparing `None == None`.
         assert_eq!(run_scale(&small_cfg()).events, None);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_report() {
+        let plain = run_scale(&small_cfg());
+        let traced = run_scale_traced(&small_cfg());
+        assert_eq!(plain, traced.report, "recording must not perturb the simulation");
+        assert_eq!(traced.telemetry.homes.len(), 4);
+        let agg = traced.telemetry.aggregate();
+        let t = plain.totals();
+        assert_eq!(agg.counter(Ctr::EpisodesStarted), t.episodes_started);
+        assert_eq!(agg.counter(Ctr::EpisodesCompleted), t.episodes_completed);
+        assert_eq!(agg.counter(Ctr::RemindersIssued), t.reminders);
+        assert_eq!(agg.counter(Ctr::Praises), t.praises);
+        assert_eq!(agg.counter(Ctr::SessionsStarted), t.sessions_started);
+        assert_eq!(agg.counter(Ctr::SessionsCompleted), t.sessions_completed);
+        assert_eq!(agg.counter(Ctr::SessionsAbandoned), t.sessions_abandoned);
+        assert_eq!(agg.counter(Ctr::CrossActivityFlags), t.cross_activity_flags);
+        assert_eq!(agg.counter(Ctr::TotalsSaturated), 0);
+        assert!(agg.counter(Ctr::SampleWindows) > 0, "sensing stage should be hot");
+        assert!(traced.telemetry.events_recorded() > 0, "trace rings should hold events");
+        assert!(traced.peak_pending > 0, "the serving queue is never empty mid-run");
+    }
+
+    #[test]
+    fn traced_run_is_jobs_and_engine_invariant() {
+        let wheel = run_scale_traced(&small_cfg());
+        let heap = run_scale_traced(&MetroConfig { engine: EngineKind::Heap, ..small_cfg() });
+        let parallel = run_scale_traced(&MetroConfig { jobs: 3, ..small_cfg() });
+        assert_eq!(wheel.telemetry, heap.telemetry);
+        assert_eq!(wheel.telemetry, parallel.telemetry);
+        assert_eq!(wheel.telemetry.to_jsonl(), parallel.telemetry.to_jsonl());
+    }
+
+    #[test]
+    fn saturated_totals_warn_in_render() {
+        let mut report = run_scale(&small_cfg());
+        report.per_home[0].reminders = u64::MAX;
+        report.per_home[1].reminders = u64::MAX;
+        let (t, clamped) = report.totals_checked();
+        assert_eq!(t.reminders, u64::MAX);
+        assert!(clamped > 0);
+        let text = report.render();
+        assert!(text.contains("WARNING"), "saturation must be loud: {text}");
+        assert!(text.contains("lower bounds"), "{text}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::live::{EpisodeLog, LogKind, PatientBehavior};
 use crate::planning::{PlanningConfig, PlanningSubsystem};
 use crate::reminding::{Prompt, ReminderLevel, RemindingSubsystem, Trigger};
 use crate::sensing::SensingSubsystem;
+use crate::telemetry::{Ctr, HomeRecorder, MaybeRec, Stage, TraceKind};
 
 /// System-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -365,7 +366,16 @@ impl Coreda {
         let mut ep = self.begin_live(routine, behavior, SimTime::ZERO, rng, Some(&mut log));
         while !ep.finished {
             let now = ep.next_tick_at();
-            self.live_tick(&mut ep, routine, behavior, now, rng, Some(&mut log), &mut |_, _| {});
+            self.live_tick(
+                &mut ep,
+                routine,
+                behavior,
+                now,
+                rng,
+                Some(&mut log),
+                None,
+                &mut |_, _| {},
+            );
         }
         log
     }
@@ -412,6 +422,11 @@ impl Coreda {
     /// tracking). Operation and RNG-draw order are exactly those of the
     /// dense [`Coreda::run_live`] loop — the behavioural test suite holds
     /// the two paths to identical timelines.
+    ///
+    /// `rec`, when present, captures flight-recorder telemetry
+    /// (counters, stage latencies, trace events). Recording reads state
+    /// but never mutates it and draws no randomness, so a recorded tick
+    /// is bit-identical to an unrecorded one.
     #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     pub fn live_tick(
         &mut self,
@@ -421,9 +436,11 @@ impl Coreda {
         now: SimTime,
         rng: &mut SimRng,
         log: Option<&mut EpisodeLog>,
+        rec: Option<&mut HomeRecorder>,
         report_sink: &mut dyn FnMut(coreda_sensornet::node::NodeId, SimTime),
     ) -> TickOutcome {
         let mut log = MaybeLog(log);
+        let mut rec = MaybeRec(rec);
         let mut out = TickOutcome::default();
 
         // 1. Patient state-machine transitions. Completion is logged
@@ -461,29 +478,44 @@ impl Coreda {
                 outbox.push((idx, packet));
             }
         }
+        rec.add(Ctr::SampleWindows, self.nodes.len() as u64);
+        rec.add(Ctr::ToolInUseWindows, outbox.len() as u64);
         let mut slots = std::mem::take(&mut self.scratch_slots);
         self.config.medium.resolve_slot_into(outbox.len(), &mut self.net_rng, &mut slots);
         for ((idx, packet), won_medium) in outbox.drain(..).zip(slots.iter().copied()) {
             let node = &mut self.nodes[idx].0;
+            rec.inc(Ctr::RadioFramesTx);
             if !won_medium {
                 // Collision: the frame is lost before the link layer;
                 // the energy was still spent.
                 node.energy_mut().charge_tx(packet.encoded_len());
+                rec.inc(Ctr::RadioLost);
+                rec.event(now, TraceKind::RadioLost { node: packet.src.raw(), attempts: 0 });
                 continue;
             }
             let outcome = self.network.send_uplink(&packet, &mut self.net_rng);
             let (attempts, delivered) = match outcome {
-                coreda_sensornet::network::SendOutcome::Delivered { attempts, .. } => {
+                coreda_sensornet::network::SendOutcome::Delivered {
+                    attempts, duplicates, ..
+                } => {
+                    rec.inc(Ctr::RadioDelivered);
+                    rec.add(Ctr::RadioDuplicates, u64::from(duplicates));
                     (attempts, true)
                 }
-                coreda_sensornet::network::SendOutcome::Lost { attempts } => (attempts, false),
+                coreda_sensornet::network::SendOutcome::Lost { attempts } => {
+                    rec.inc(Ctr::RadioLost);
+                    rec.event(now, TraceKind::RadioLost { node: packet.src.raw(), attempts });
+                    (attempts, false)
+                }
             };
+            rec.add(Ctr::RadioAttempts, u64::from(attempts));
             // Radio energy: every attempt transmits the frame;
             // a delivery also receives one acknowledgement.
             node.energy_mut().charge_tx(packet.encoded_len() * usize::from(attempts));
             if delivered {
                 node.energy_mut().charge_rx(8);
                 if let Some(p) = self.base.receive(packet) {
+                    rec.inc(Ctr::ReportsAccepted);
                     report_sink(p.src, now);
                     if let Some(ev) = self.sensing.on_report(p.src, now) {
                         events.push(ev);
@@ -507,6 +539,24 @@ impl Coreda {
                 break;
             }
             log.push(ev.at, LogKind::StepSensed(ev.step));
+            if ev.step.is_idle() {
+                rec.inc(Ctr::IdleEvents);
+                // Idle-detection delay: how long after the patient
+                // actually froze did sensing notice. Only measurable
+                // when the freeze instant is known.
+                let idle_ms = match ep.phase {
+                    Phase::Frozen { since, .. } => {
+                        let ms = now.saturating_duration_since(since).as_millis();
+                        rec.latency_ms(Stage::IdleDetect, ms as f64);
+                        ms.min(u64::from(u32::MAX)) as u32
+                    }
+                    _ => 0,
+                };
+                rec.event(ev.at, TraceKind::IdleDetected { idle_ms });
+            } else {
+                rec.inc(Ctr::StepsExtracted);
+                rec.event(ev.at, TraceKind::StepExtracted { step: ev.step });
+            }
             match ep.tracked {
                 None => {
                     if !ev.step.is_idle() {
@@ -518,6 +568,7 @@ impl Coreda {
                 }
                 Some((prev, cur)) => {
                     let predicted = self.planner.predict_tool(prev, cur);
+                    rec.inc(Ctr::PlannerDecisions);
                     if ev.step.is_idle() {
                         // Situation 1: idle past the timeout.
                         if let Some((reminder_prompt, reminder)) = self.issue_reminder(
@@ -526,7 +577,8 @@ impl Coreda {
                             Trigger::IdleTimeout,
                             ep.reminders_since_advance,
                         ) {
-                            self.deliver_led_commands(&reminder);
+                            self.record_reminder(&mut rec, now, &reminder_prompt, false);
+                            self.deliver_led_commands(&reminder, now, &mut rec);
                             log.push(now, LogKind::ReminderIssued(reminder));
                             out.reminders += 1;
                             ep.pending = Some((now + self.config.response_delay, reminder_prompt));
@@ -539,6 +591,18 @@ impl Coreda {
                         if ep.reminders_since_advance > 0 {
                             log.push(now, LogKind::Praised);
                             out.praises += 1;
+                            rec.inc(Ctr::Praises);
+                            let latency_ms = ep
+                                .last_reminder
+                                .map(|at| now.saturating_duration_since(at).as_millis())
+                                .unwrap_or(0);
+                            rec.latency_ms(Stage::PromptToCompliance, latency_ms as f64);
+                            rec.event(
+                                now,
+                                TraceKind::Praised {
+                                    latency_ms: latency_ms.min(u64::from(u32::MAX)) as u32,
+                                },
+                            );
                         }
                         let is_last = ev.step == routine.last();
                         if self.config.online_learning {
@@ -571,7 +635,14 @@ impl Coreda {
                             },
                             ep.reminders_since_advance,
                         ) {
-                            self.deliver_led_commands(&reminder);
+                            // Wrong-tool reaction time: misuse began →
+                            // red blink goes out.
+                            if let Phase::Misusing { since, .. } = ep.phase {
+                                let ms = now.saturating_duration_since(since).as_millis();
+                                rec.latency_ms(Stage::WrongToolRedBlink, ms as f64);
+                            }
+                            self.record_reminder(&mut rec, now, &reminder_prompt, true);
+                            self.deliver_led_commands(&reminder, now, &mut rec);
                             log.push(now, LogKind::ReminderIssued(reminder));
                             out.reminders += 1;
                             ep.pending = Some((now + self.config.response_delay, reminder_prompt));
@@ -598,7 +669,16 @@ impl Coreda {
                     if let Some((reminder_prompt, reminder)) =
                         self.issue_reminder(prev, cur, trigger, ep.reminders_since_advance)
                     {
-                        self.deliver_led_commands(&reminder);
+                        let wrong_tool = matches!(trigger, Trigger::WrongTool { .. });
+                        self.record_reminder(&mut rec, now, &reminder_prompt, wrong_tool);
+                        rec.inc(Ctr::RepromptEscalations);
+                        rec.event(
+                            now,
+                            TraceKind::Reprompt {
+                                escalations: ep.reminders_since_advance.min(255) as u8,
+                            },
+                        );
+                        self.deliver_led_commands(&reminder, now, &mut rec);
                         log.push(now, LogKind::ReminderIssued(reminder));
                         out.reminders += 1;
                         ep.pending = Some((now + self.config.response_delay, reminder_prompt));
@@ -628,10 +708,36 @@ impl Coreda {
         self.planner.predict_tool(cur, expected).map(StepId::from_tool) == Some(sensed)
     }
 
+    /// Records the counters and trace event common to every reminder
+    /// issue site (first prompt, wrong tool, re-prompt).
+    fn record_reminder(
+        &self,
+        rec: &mut MaybeRec<'_>,
+        now: SimTime,
+        prompt: &Prompt,
+        wrong_tool: bool,
+    ) {
+        rec.inc(Ctr::PromptsRendered);
+        rec.inc(Ctr::RemindersIssued);
+        rec.event(
+            now,
+            TraceKind::ReminderIssued {
+                tool: prompt.tool,
+                specific: matches!(prompt.level, ReminderLevel::Specific),
+                wrong_tool,
+            },
+        );
+    }
+
     /// Radios the reminder's LED blink commands down to the tool nodes.
     /// Lost frames simply leave that LED dark — the display methods (text
     /// and picture) are wired and always shown.
-    fn deliver_led_commands(&mut self, reminder: &crate::reminding::Reminder) {
+    fn deliver_led_commands(
+        &mut self,
+        reminder: &crate::reminding::Reminder,
+        now: SimTime,
+        rec: &mut MaybeRec<'_>,
+    ) {
         use crate::reminding::ReminderMethod;
         use coreda_sensornet::led::LedColor;
         use coreda_sensornet::packet::{Packet, Payload};
@@ -647,6 +753,12 @@ impl Coreda {
             let packet = Packet::new(dest, seq, 0, Payload::Led { pattern });
             let delivered =
                 self.network.send_downlink(dest, &packet, &mut self.net_rng).is_delivered();
+            rec.inc(Ctr::LedFramesTx);
+            rec.inc(if delivered { Ctr::LedDelivered } else { Ctr::LedLost });
+            rec.event(
+                now,
+                TraceKind::LedCommand { tool, red: color == LedColor::Red, delivered },
+            );
             if delivered {
                 if let Some((node, _)) = self.nodes.iter_mut().find(|(n, _)| n.uid() == dest) {
                     // A crashed mote leaves the frame on the air unheard.

@@ -88,6 +88,8 @@ pub struct Simulator<E> {
     queue: Queue<E>,
     now: SimTime,
     processed: u64,
+    scheduled: u64,
+    max_pending: usize,
 }
 
 impl<E> Simulator<E> {
@@ -95,7 +97,13 @@ impl<E> Simulator<E> {
     /// the timing-wheel [`EventQueue`].
     #[must_use]
     pub fn new() -> Self {
-        Simulator { queue: Queue::Wheel(EventQueue::new()), now: SimTime::ZERO, processed: 0 }
+        Simulator {
+            queue: Queue::Wheel(EventQueue::new()),
+            now: SimTime::ZERO,
+            processed: 0,
+            scheduled: 0,
+            max_pending: 0,
+        }
     }
 
     /// Creates a simulator backed by the reference [`HeapEventQueue`].
@@ -105,7 +113,13 @@ impl<E> Simulator<E> {
     /// cross-check the two queue implementations.
     #[must_use]
     pub fn with_heap_queue() -> Self {
-        Simulator { queue: Queue::Heap(HeapEventQueue::new()), now: SimTime::ZERO, processed: 0 }
+        Simulator {
+            queue: Queue::Heap(HeapEventQueue::new()),
+            now: SimTime::ZERO,
+            processed: 0,
+            scheduled: 0,
+            max_pending: 0,
+        }
     }
 
     /// The current simulation instant.
@@ -126,6 +140,21 @@ impl<E> Simulator<E> {
         self.queue.len()
     }
 
+    /// Total number of events ever scheduled.
+    #[must_use]
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// High-water mark of the pending-event count: the deepest the
+    /// queue has ever been. A dispatch-span gauge for telemetry — note
+    /// it depends on how homes are sharded onto simulators, so it is
+    /// *not* a jobs-invariant quantity.
+    #[must_use]
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
     /// Schedules `event` at the absolute instant `due`.
     ///
     /// # Panics
@@ -139,11 +168,18 @@ impl<E> Simulator<E> {
             now = self.now
         );
         self.queue.schedule_at(due, event);
+        self.note_scheduled();
     }
 
     /// Schedules `event` to fire `delay` after the current instant.
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
         self.queue.schedule_after(self.now, delay, event);
+        self.note_scheduled();
+    }
+
+    fn note_scheduled(&mut self) {
+        self.scheduled += 1;
+        self.max_pending = self.max_pending.max(self.queue.len());
     }
 
     /// Advances the clock to the next event and returns it, or `None` when
@@ -293,5 +329,21 @@ mod tests {
         sim.schedule_at(SimTime::from_secs(1), ());
         sim.clear_pending();
         assert_eq!(sim.step(), None);
+    }
+
+    #[test]
+    fn max_pending_tracks_the_high_water_mark() {
+        let mut sim = Simulator::new();
+        assert_eq!(sim.max_pending(), 0);
+        for i in 1..=4 {
+            sim.schedule_at(SimTime::from_secs(i), i);
+        }
+        assert_eq!(sim.scheduled(), 4);
+        assert_eq!(sim.max_pending(), 4);
+        while sim.step().is_some() {}
+        assert_eq!(sim.pending(), 0);
+        sim.schedule_after(SimDuration::from_secs(1), 9);
+        assert_eq!(sim.max_pending(), 4, "high-water mark survives the drain");
+        assert_eq!(sim.scheduled(), 5);
     }
 }

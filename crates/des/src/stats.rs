@@ -32,9 +32,15 @@ pub struct RunningStats {
 
 impl RunningStats {
     /// An empty accumulator.
+    ///
+    /// The empty state holds `min = max = 0.0` (not ±∞) so that a
+    /// serialized accumulator — this type derives `Serialize` and ends
+    /// up inside `BENCH_*.json` reports — never contains a non-finite
+    /// number, which plain JSON cannot represent. Use [`min`](Self::min)
+    /// / [`max`](Self::max) for emptiness-aware access.
     #[must_use]
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: 0.0, max: 0.0 }
     }
 
     /// Adds one observation.
@@ -45,11 +51,16 @@ impl RunningStats {
     pub fn push(&mut self, x: f64) {
         assert!(x.is_finite(), "observations must be finite, got {x}");
         self.count += 1;
+        if self.count == 1 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
         self.m2 += delta * (x - self.mean);
-        self.min = self.min.min(x);
-        self.max = self.max.max(x);
     }
 
     /// Number of observations.
@@ -203,6 +214,30 @@ impl Histogram {
         self.bins.iter().sum::<u64>() + self.underflow + self.overflow
     }
 
+    /// Merges another histogram's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ — merging histograms
+    /// over different ranges would silently misbin.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram shapes differ: [{}, {})x{} vs [{}, {})x{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len(),
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += *b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
     /// Approximate quantile `q ∈ [0, 1]` from bin midpoints (in-range
     /// observations only). `None` if nothing is in range.
     ///
@@ -255,6 +290,28 @@ mod tests {
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn empty_stats_serialize_without_non_finite_values() {
+        // Regression: the empty state used to hold min = +∞ / max = −∞,
+        // which leaked into every serialized report that included an
+        // idle accumulator (JSON cannot represent infinities).
+        let s = RunningStats::new();
+        let debug = format!("{s:?}");
+        assert!(!debug.contains("inf"), "empty stats leak non-finite values: {debug}");
+        assert_eq!(s, RunningStats::default(), "Default and new() must agree");
+    }
+
+    #[test]
+    fn first_push_sets_min_and_max() {
+        let mut s = RunningStats::new();
+        s.push(-3.5);
+        assert_eq!(s.min(), Some(-3.5));
+        assert_eq!(s.max(), Some(-3.5));
+        s.push(2.0);
+        assert_eq!(s.min(), Some(-3.5));
+        assert_eq!(s.max(), Some(2.0));
     }
 
     #[test]
@@ -326,6 +383,30 @@ mod tests {
         assert!((q50 - 50.0).abs() < 5.0, "median ≈ 50, got {q50}");
         assert!(h.quantile(0.0).is_some());
         assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn histogram_merge_is_element_wise() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        b.record(1.0);
+        b.record(9.0);
+        b.record(-1.0);
+        b.record(11.0);
+        a.merge(&b);
+        assert_eq!(a.bin_count(0), 2);
+        assert_eq!(a.bin_count(4), 1);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram shapes differ")]
+    fn histogram_merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.merge(&Histogram::new(0.0, 10.0, 4));
     }
 
     #[test]

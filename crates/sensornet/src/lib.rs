@@ -72,7 +72,7 @@ pub use detect::{Detector, Thresholds};
 pub use energy::{EnergyMeter, EnergyModel};
 pub use led::{BlinkPattern, LedColor};
 pub use medium::SharedMedium;
-pub use network::{BaseStation, LinkConfig, SendOutcome, StarNetwork};
+pub use network::{BaseStation, LinkConfig, LinkCounters, SendOutcome, StarNetwork};
 pub use node::{NodeId, PavenetNode};
 pub use packet::{Packet, PacketError, Payload};
 pub use radio::{LossModel, RadioLink};

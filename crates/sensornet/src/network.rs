@@ -66,6 +66,43 @@ impl SendOutcome {
     }
 }
 
+/// Cumulative link-layer tallies for one traffic direction.
+///
+/// The network updates these on every send; pull them with
+/// [`StarNetwork::take_counters`] to feed a telemetry recorder. Purely
+/// observational — reading or resetting them never touches link state
+/// or randomness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Logical frames offered to the link.
+    pub frames: u64,
+    /// Transmission attempts, retries included.
+    pub attempts: u64,
+    /// Frames that reached the receiver at least once.
+    pub delivered: u64,
+    /// Frames dropped after exhausting retries.
+    pub lost: u64,
+    /// Extra deliveries caused by lost acknowledgements.
+    pub duplicates: u64,
+}
+
+impl LinkCounters {
+    fn observe(&mut self, outcome: &SendOutcome) {
+        self.frames += 1;
+        match *outcome {
+            SendOutcome::Delivered { attempts, duplicates, .. } => {
+                self.attempts += u64::from(attempts);
+                self.delivered += 1;
+                self.duplicates += u64::from(duplicates);
+            }
+            SendOutcome::Lost { attempts } => {
+                self.attempts += u64::from(attempts);
+                self.lost += 1;
+            }
+        }
+    }
+}
+
 /// The single-hop network connecting every tool node to the base station.
 ///
 /// # Examples
@@ -86,13 +123,20 @@ impl SendOutcome {
 pub struct StarNetwork {
     cfg: LinkConfig,
     links: HashMap<NodeId, RadioLink>,
+    uplink: LinkCounters,
+    downlink: LinkCounters,
 }
 
 impl StarNetwork {
     /// Creates an empty network.
     #[must_use]
     pub fn new(cfg: LinkConfig) -> Self {
-        StarNetwork { cfg, links: HashMap::new() }
+        StarNetwork {
+            cfg,
+            links: HashMap::new(),
+            uplink: LinkCounters::default(),
+            downlink: LinkCounters::default(),
+        }
     }
 
     /// Registers a node, creating its link. Re-registering resets the link.
@@ -134,7 +178,9 @@ impl StarNetwork {
     ///
     /// Panics if the packet's source node was never [`register`ed](Self::register).
     pub fn send_uplink(&mut self, packet: &Packet, rng: &mut SimRng) -> SendOutcome {
-        self.send_via(packet.src, packet, rng)
+        let outcome = self.send_via(packet.src, packet, rng);
+        self.uplink.observe(&outcome);
+        outcome
     }
 
     /// Sends `packet` from the base station down to `dest` (LED commands
@@ -144,7 +190,29 @@ impl StarNetwork {
     ///
     /// Panics if `dest` was never [`register`ed](Self::register).
     pub fn send_downlink(&mut self, dest: NodeId, packet: &Packet, rng: &mut SimRng) -> SendOutcome {
-        self.send_via(dest, packet, rng)
+        let outcome = self.send_via(dest, packet, rng);
+        self.downlink.observe(&outcome);
+        outcome
+    }
+
+    /// Uplink tallies since construction (or the last
+    /// [`take_counters`](Self::take_counters)).
+    #[must_use]
+    pub const fn uplink_counters(&self) -> LinkCounters {
+        self.uplink
+    }
+
+    /// Downlink tallies since construction (or the last
+    /// [`take_counters`](Self::take_counters)).
+    #[must_use]
+    pub const fn downlink_counters(&self) -> LinkCounters {
+        self.downlink
+    }
+
+    /// Returns `(uplink, downlink)` tallies and resets both to zero, so
+    /// a caller polling once per tick sees per-tick deltas.
+    pub fn take_counters(&mut self) -> (LinkCounters, LinkCounters) {
+        (std::mem::take(&mut self.uplink), std::mem::take(&mut self.downlink))
     }
 
     fn send_via(&mut self, node: NodeId, packet: &Packet, rng: &mut SimRng) -> SendOutcome {
@@ -339,6 +407,30 @@ mod tests {
             }
         }
         panic!("expected at least one multi-attempt delivery");
+    }
+
+    #[test]
+    fn link_counters_tally_both_directions() {
+        let cfg = LinkConfig {
+            loss: LossModel::Bernoulli { p: 1.0 },
+            max_retries: 1,
+            ..LinkConfig::default()
+        };
+        let mut net = StarNetwork::new(cfg);
+        net.register(NodeId::new(1));
+        let mut rng = SimRng::seed_from(7);
+        let _ = net.send_uplink(&tool_use(1, 0), &mut rng);
+        net.set_loss(LossModel::Perfect);
+        let _ = net.send_uplink(&tool_use(1, 1), &mut rng);
+        let _ = net.send_downlink(NodeId::new(1), &tool_use(1, 2), &mut rng);
+        let up = net.uplink_counters();
+        assert_eq!((up.frames, up.delivered, up.lost), (2, 1, 1));
+        assert_eq!(up.attempts, 3, "2 attempts lost frame + 1 perfect");
+        let down = net.downlink_counters();
+        assert_eq!((down.frames, down.delivered, down.lost), (1, 1, 0));
+        let (up2, down2) = net.take_counters();
+        assert_eq!((up2, down2), (up, down));
+        assert_eq!(net.uplink_counters(), LinkCounters::default(), "take resets");
     }
 
     #[test]

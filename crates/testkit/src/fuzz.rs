@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use coreda_core::fleet::{derive_seed, FleetEngine};
 use coreda_core::metro::EngineKind;
+use coreda_core::telemetry::Telemetry;
 
 use crate::harness::{Harness, RunResult};
 use crate::json;
@@ -36,6 +37,9 @@ pub struct FuzzConfig {
     pub jobs: usize,
     /// Where to write shrunken `.seed.json` repros (`None` = don't).
     pub out_dir: Option<PathBuf>,
+    /// Where to write flight-record `.trace.jsonl` dumps for violations
+    /// (`None` = next to the repros in `out_dir`).
+    pub trace_dir: Option<PathBuf>,
     /// Hard cap on plans regardless of remaining budget.
     pub max_plans: usize,
 }
@@ -47,6 +51,7 @@ impl Default for FuzzConfig {
             seed: 2007,
             jobs: 3,
             out_dir: None,
+            trace_dir: None,
             max_plans: usize::MAX,
         }
     }
@@ -67,6 +72,10 @@ pub struct FoundViolation {
     pub shrink_runs: usize,
     /// Where the repro was written, when `out_dir` was set.
     pub file: Option<PathBuf>,
+    /// Where the flight record was written, when `out_dir` was set: a
+    /// JSONL dump of the shrunk plan re-run with the recorder on, whose
+    /// last trace events lead straight up to the violation.
+    pub trace_file: Option<PathBuf>,
 }
 
 /// Campaign summary.
@@ -124,6 +133,9 @@ impl FuzzReport {
                         .map(|p| format!(" -> {}", p.display()))
                         .unwrap_or_default(),
                 ));
+                if let Some(trace) = &v.trace_file {
+                    out.push_str(&format!("    flight record -> {}\n", trace.display()));
+                }
             }
         }
         out
@@ -223,6 +235,23 @@ fn record_violation(
         }
         None => None,
     };
+    // Flight record: re-run the shrunk plan with the recorder on
+    // (bit-identical to the violating run — recording draws no
+    // randomness) and dump it next to the repro. The ring's last events
+    // are the pipeline activity leading up to the violation.
+    let trace_file = match cfg.trace_dir.as_ref().or(cfg.out_dir.as_ref()) {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let (_, rec) = harness.run_recorded(&shrunk.plan, EngineKind::Wheel);
+            let telemetry = Telemetry { homes: vec![rec], ..Telemetry::default() };
+            let trace_path =
+                dir.join(format!("{}-{plan_seed:016x}.trace.jsonl", violation.oracle));
+            let mut tf = std::fs::File::create(&trace_path)?;
+            tf.write_all(telemetry.to_jsonl().as_bytes())?;
+            Some(trace_path)
+        }
+        None => None,
+    };
     report.violations.push(FoundViolation {
         plan_seed,
         oracle: violation.oracle.to_owned(),
@@ -230,6 +259,7 @@ fn record_violation(
         shrunk: shrunk.plan,
         shrink_runs: shrunk.runs,
         file,
+        trace_file,
     });
     Ok(())
 }
@@ -250,6 +280,33 @@ mod tests {
             assert_eq!(report.jobs_checked, report.plans_run, "{report:?}");
         }
         assert!(report.render().contains("3 plans"));
+    }
+
+    #[test]
+    fn violations_dump_an_explanatory_flight_record() {
+        let harness = Harness::new();
+        let dir = std::env::temp_dir()
+            .join(format!("coreda-fuzz-trace-test-{}", std::process::id()));
+        let cfg = FuzzConfig { out_dir: Some(dir.clone()), ..FuzzConfig::default() };
+        let plan = FaultPlan::generate(derive_seed(cfg.seed, "plan", 0), harness.tool_ids());
+        let violation = crate::oracles::Violation {
+            oracle: "synthetic",
+            detail: "forced for the dump test".to_owned(),
+        };
+        let mut report = FuzzReport::default();
+        record_violation(&harness, &cfg, &mut report, plan.seed, &plan, &violation).unwrap();
+        let found = &report.violations[0];
+        let trace_path = found.trace_file.as_ref().expect("flight record written");
+        let jsonl = std::fs::read_to_string(trace_path).unwrap();
+        assert!(jsonl.lines().count() >= 2, "summary line + home line: {jsonl}");
+        assert!(jsonl.contains("\"kind\":\"summary\""), "{jsonl}");
+        assert!(jsonl.contains("\"events\""), "per-home trace events: {jsonl}");
+        assert!(
+            jsonl.contains("episode_started"),
+            "ring should hold pipeline events leading to the violation: {jsonl}"
+        );
+        assert!(report.render().contains("flight record"), "{}", report.render());
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

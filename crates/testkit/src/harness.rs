@@ -21,6 +21,7 @@ use coreda_core::planning::PlanningSubsystem;
 use coreda_core::reminding::{ReminderLevel, ReminderMethod, Trigger};
 use coreda_core::sessions::{SessionEvent, SessionTracker};
 use coreda_core::system::{Coreda, CoredaConfig, LiveEpisode};
+use coreda_core::telemetry::{Ctr, HomeRecorder, TraceKind};
 use coreda_des::rng::SimRng;
 use coreda_des::sim::Simulator;
 use coreda_des::time::{SimDuration, SimTime};
@@ -247,7 +248,19 @@ impl Harness {
     /// Runs `plan` once on the given engine.
     #[must_use]
     pub fn run(&self, plan: &FaultPlan, engine: EngineKind) -> RunResult {
-        HomeRun::new(self, plan).drive(engine)
+        HomeRun::new(self, plan).drive(engine).0
+    }
+
+    /// [`Harness::run`] with the flight recorder on: returns the run
+    /// result (bit-identical to an unrecorded run — recording draws no
+    /// randomness) plus the home's recorder, whose trace ring holds the
+    /// last events leading up to whatever happened.
+    #[must_use]
+    pub fn run_recorded(&self, plan: &FaultPlan, engine: EngineKind) -> (RunResult, HomeRecorder) {
+        let mut home = HomeRun::new(self, plan);
+        home.rec = Some(HomeRecorder::new());
+        let (result, rec) = home.drive(engine);
+        (result, rec.unwrap_or_default())
     }
 
     /// The full check: run on both engines, stream the wheel trace
@@ -297,6 +310,10 @@ struct HomeRun<'a> {
     base_link: LossModel,
     trace: Vec<TraceEvent>,
     stats: RunStats,
+    /// Flight recorder: `Some` for [`Harness::run_recorded`] runs.
+    rec: Option<HomeRecorder>,
+    /// Session events buffered while `live_tick` holds the recorder.
+    scratch_sessions: Vec<SessionEvent>,
 }
 
 impl<'a> HomeRun<'a> {
@@ -308,7 +325,7 @@ impl<'a> HomeRun<'a> {
             .enumerate()
             .map(|(act, spec)| {
                 let seed = derive_seed(plan.seed, "dst-system", act as u64);
-                let mut system = Coreda::new(spec.clone(), name, harness.config.clone(), seed);
+                let mut system = Coreda::new(spec.clone(), name, harness.config, seed);
                 *system.planner_mut() = harness.templates[act].clone();
                 let canonical = Routine::canonical(spec);
                 let drifted = drifted_routine(spec, &canonical, plan);
@@ -341,6 +358,8 @@ impl<'a> HomeRun<'a> {
             base_link,
             trace: Vec::new(),
             stats: RunStats::default(),
+            rec: None,
+            scratch_sessions: Vec::new(),
         };
         let first = run.draw_gap();
         run.next_start = align_up(SimTime::ZERO + first);
@@ -463,6 +482,25 @@ impl<'a> HomeRun<'a> {
         *cursor = log.entries().len();
     }
 
+    /// Mirrors a session event into the flight recorder (same mapping as
+    /// metro's recorder, so fuzz flight dumps read like scale traces).
+    fn record_session_event(rec: &mut HomeRecorder, ev: SessionEvent) {
+        match ev {
+            SessionEvent::Started { activity, at } => {
+                rec.inc(Ctr::SessionsStarted);
+                rec.event(at, TraceKind::SessionStarted { name: activity });
+            }
+            SessionEvent::Ended { activity, at, completed } => {
+                rec.inc(if completed { Ctr::SessionsCompleted } else { Ctr::SessionsAbandoned });
+                rec.event(at, TraceKind::SessionEnded { name: activity, completed });
+            }
+            SessionEvent::CrossActivityUse { active, at, .. } => {
+                rec.inc(Ctr::CrossActivityFlags);
+                rec.event(at, TraceKind::CrossActivity { name: active });
+            }
+        }
+    }
+
     fn trace_session_event(trace: &mut Vec<TraceEvent>, ev: SessionEvent) {
         trace.push(match ev {
             SessionEvent::Started { activity, at } => TraceEvent::SessionStarted {
@@ -505,6 +543,16 @@ impl<'a> HomeRun<'a> {
             Self::drain_log(&mut self.trace, &log, &mut cursor);
             self.episode = Some((act, ep, rng, log, cursor));
             self.stats.episodes_started += 1;
+            if let Some(rec) = self.rec.as_mut() {
+                rec.inc(Ctr::EpisodesStarted);
+                #[allow(clippy::cast_possible_truncation)]
+                rec.event(
+                    now,
+                    TraceKind::EpisodeStarted {
+                        episode: self.ep_index.min(u64::from(u32::MAX)) as u32,
+                    },
+                );
+            }
         }
 
         // 2. Run the running episode's 100 ms pipeline tick.
@@ -516,6 +564,7 @@ impl<'a> HomeRun<'a> {
                 let routine: &Routine = if drifting { drifted } else { canonical };
                 let tracker = &mut self.tracker;
                 let trace = &mut self.trace;
+                let scratch = &mut self.scratch_sessions;
                 let out = system.live_tick(
                     ep,
                     routine,
@@ -523,9 +572,11 @@ impl<'a> HomeRun<'a> {
                     now,
                     rng,
                     Some(log),
+                    self.rec.as_mut(),
                     &mut |src, at| {
                         for ev in tracker.on_report(src, at) {
                             Self::trace_session_event(trace, ev);
+                            scratch.push(ev);
                         }
                     },
                 );
@@ -536,6 +587,19 @@ impl<'a> HomeRun<'a> {
                 if out.completed_now {
                     self.stats.episodes_completed += 1;
                 }
+                if let Some(rec) = self.rec.as_mut() {
+                    for ev in self.scratch_sessions.drain(..) {
+                        Self::record_session_event(rec, ev);
+                    }
+                    if out.completed_now {
+                        rec.inc(Ctr::EpisodesCompleted);
+                    }
+                    if out.finished {
+                        rec.event(now, TraceKind::EpisodeEnded { completed: out.completed_now });
+                    }
+                } else {
+                    self.scratch_sessions.clear();
+                }
                 if out.finished {
                     finished = Some((*act, ep.completed()));
                 }
@@ -545,6 +609,9 @@ impl<'a> HomeRun<'a> {
         // 3. Home-wide idle close (the tracker's clock tick).
         if let Some(ev) = self.tracker.on_tick(now) {
             Self::trace_session_event(&mut self.trace, ev);
+            if let Some(rec) = self.rec.as_mut() {
+                Self::record_session_event(rec, ev);
+            }
         }
 
         // 4. Episode cleanup: draw the quiet gap and schedule the next.
@@ -557,7 +624,7 @@ impl<'a> HomeRun<'a> {
         }
     }
 
-    fn drive(mut self, engine: EngineKind) -> RunResult {
+    fn drive(mut self, engine: EngineKind) -> (RunResult, Option<HomeRecorder>) {
         let end = SimTime::ZERO + SimDuration::from_millis(self.plan.horizon_ms);
         match engine {
             EngineKind::Wheel => {
@@ -610,7 +677,7 @@ impl<'a> HomeRun<'a> {
             .iter()
             .flat_map(|(s, ..)| s.planner().q_table().values())
             .collect();
-        RunResult { trace: self.trace, stats: self.stats, q_values }
+        (RunResult { trace: self.trace, stats: self.stats, q_values }, self.rec)
     }
 }
 
@@ -678,6 +745,21 @@ mod tests {
             let heap = h.run(&plan, EngineKind::Heap);
             assert_eq!(wheel, heap, "engines diverged on seed {seed}: {plan:?}");
         }
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_run() {
+        let h = harness();
+        let plan = FaultPlan::generate(5, h.tool_ids());
+        let plain = h.run(&plan, EngineKind::Wheel);
+        let (recorded, rec) = h.run_recorded(&plan, EngineKind::Wheel);
+        assert_eq!(plain, recorded, "recording must not perturb the run");
+        assert_eq!(rec.counter(Ctr::EpisodesStarted), plain.stats.episodes_started);
+        assert_eq!(rec.counter(Ctr::Praises), plain.stats.praises);
+        assert!(!rec.ring().is_empty(), "the trace ring should hold events");
+        let (heap, heap_rec) = h.run_recorded(&plan, EngineKind::Heap);
+        assert_eq!(recorded, heap);
+        assert_eq!(rec, heap_rec, "recorders must agree across engines");
     }
 
     #[test]

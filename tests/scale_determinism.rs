@@ -2,7 +2,7 @@
 //! wall-clock knob, and the timing-wheel engine reproduces the dense
 //! heap-polling baseline home for home.
 
-use coreda_core::metro::{run_scale, EngineKind, MetroConfig};
+use coreda_core::metro::{run_scale, run_scale_traced, EngineKind, MetroConfig};
 use coreda_des::time::SimDuration;
 
 fn metro_cfg(jobs: usize, engine: EngineKind) -> MetroConfig {
@@ -52,6 +52,29 @@ fn wheel_engine_reproduces_heap_baseline_per_home() {
         w = wheel.des_events,
         h = heap.des_events
     );
+}
+
+#[test]
+fn telemetry_is_byte_identical_at_jobs_1_and_8() {
+    let serial = run_scale_traced(&metro_cfg(1, EngineKind::Wheel));
+    let parallel = run_scale_traced(&metro_cfg(8, EngineKind::Wheel));
+    // Full structural equality of every recorder: counters, latency
+    // histograms, and trace-event rings, home for home.
+    assert_eq!(serial.telemetry, parallel.telemetry);
+    // And both exports are byte-identical.
+    assert_eq!(serial.telemetry.render_summary(), parallel.telemetry.render_summary());
+    assert_eq!(serial.telemetry.to_jsonl(), parallel.telemetry.to_jsonl());
+    // The traced report equals the untraced one: recording never
+    // perturbs the simulation.
+    assert_eq!(serial.report, run_scale(&metro_cfg(1, EngineKind::Wheel)));
+}
+
+#[test]
+fn telemetry_is_engine_invariant() {
+    let wheel = run_scale_traced(&metro_cfg(1, EngineKind::Wheel));
+    let heap = run_scale_traced(&metro_cfg(1, EngineKind::Heap));
+    assert_eq!(wheel.telemetry, heap.telemetry);
+    assert_eq!(wheel.telemetry.to_jsonl(), heap.telemetry.to_jsonl());
 }
 
 #[test]

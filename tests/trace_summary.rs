@@ -1,0 +1,32 @@
+//! Golden coverage for the flight-recorder summary render.
+//!
+//! The golden file (`tests/golden/trace_summary.txt`) pins the exact
+//! telemetry summary the `trace` CLI command prints below its header:
+//! the summary is part of the CLI contract and must not drift silently.
+//! It is also jobs- and engine-invariant, so one golden file covers
+//! every way of producing it.
+
+use coreda::core::metro::{run_scale_traced, MetroConfig};
+use coreda::des::time::SimDuration;
+
+#[test]
+fn trace_summary_matches_the_golden_file() {
+    let cfg = MetroConfig {
+        homes: 4,
+        horizon: SimDuration::from_secs(600),
+        seed: 2007,
+        jobs: 1,
+        ..MetroConfig::default()
+    };
+    let out = run_scale_traced(&cfg);
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_summary.txt");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    assert_eq!(
+        out.telemetry.render_summary(),
+        golden,
+        "Telemetry::render_summary drifted from the golden file; if the \
+         change is intentional, update tests/golden/trace_summary.txt"
+    );
+}
