@@ -17,27 +17,31 @@ bench:
 bench-fleet:
 	cargo bench -p coreda-bench --bench fleet_micro
 
-# Metro-scale serving grid (100/1k/10k homes) and the timing-wheel vs
-# binary-heap engine duel; writes BENCH_scale.json (release builds only).
+# Metro-scale serving grid (100/1k/10k homes), the timing-wheel vs
+# binary-heap engine duel, and snapshot encode/restore throughput for a
+# 1k-home checkpoint; writes BENCH_scale.json (release builds only).
 bench-scale:
 	cargo bench -p coreda-bench --bench scale_micro
 
 # The tier-1 gate: release build, full test suite, the determinism
 # regressions (parallel sweeps, metro serving, and flight-recorder
 # telemetry byte-identical to serial; timing wheel byte-identical to the
-# heap queue), the trace-summary golden, doc and clippy lints, a
-# fixed-seed simulation-testing fuzz budget, and the DST regression
-# corpus replay.
+# heap queue), the checkpoint/resume equivalence suite, the trace-summary
+# golden, doc and clippy lints, a fixed-seed simulation-testing fuzz
+# budget (plus a second budget with checkpoint-kill-resume faults
+# injected into every plan), and the DST regression corpus replay.
 ci:
 	cargo build --release
 	cargo test -q
 	cargo test -q --test fleet_determinism
 	cargo test -q --test scale_determinism
+	cargo test -q --test checkpoint_equivalence
 	cargo test -q --test trace_summary
 	cargo test -q -p coreda-des --test proptests
 	cargo doc --workspace --no-deps
 	cargo clippy --workspace --all-targets -- -D warnings
 	cargo run --release -p coreda-cli -- fuzz --seconds 30 --seed 2007
+	cargo run --release -p coreda-cli -- fuzz --seconds 15 --seed 2008 --kill-resume true
 	cargo run --release -p coreda-cli -- replay --dir tests/corpus
 
 # Longer fuzzing session under a fresh seed; violations shrink to

@@ -21,6 +21,18 @@ impl NameId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds an id from a raw index, e.g. when decoding a checkpoint.
+    /// Only meaningful against the same (deterministically rebuilt) table
+    /// that issued the original id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NameId(u32::try_from(index).expect("name index fits in u32"))
+    }
 }
 
 /// An append-only intern table mapping names to stable [`NameId`]s.

@@ -6,7 +6,9 @@
 //! and 10k homes at 1/2/4/8 workers) and an `engine_compare` entry
 //! measuring the wheel + interned zero-alloc pipeline against the seed's
 //! dense heap-polling path at 1 000 homes on one worker — the speedup
-//! figure the ISSUE's acceptance bar reads. `events_per_sec` counts 100 ms
+//! figure the ISSUE's acceptance bar reads — plus a `checkpoint` entry
+//! recording snapshot encode/restore throughput for a mid-run 1k-home
+//! fleet. `events_per_sec` counts 100 ms
 //! pipeline ticks, which both engines execute in identical number, so the
 //! ratio of their rates is exactly the wall-clock speedup. The host core
 //! count ships with the numbers, and a debug build refuses to write the
@@ -14,9 +16,10 @@
 
 use std::time::Instant;
 
+use coreda_core::checkpoint::{load_checkpoint, save_checkpoint};
 use coreda_core::fleet::default_jobs;
-use coreda_core::metro::{run_scale, run_scale_traced, EngineKind, MetroConfig};
-use coreda_des::time::SimDuration;
+use coreda_core::metro::{run_scale, run_scale_checkpointed, run_scale_traced, EngineKind, MetroConfig};
+use coreda_des::time::{SimDuration, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const JOB_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -138,6 +141,51 @@ fn telemetry_overhead_json() -> String {
     )
 }
 
+/// Snapshot codec throughput at fleet scale: encode and restore a
+/// mid-run 1k-home checkpoint, serial vs the sharded (`jobs = 8`) path.
+/// The round trip is asserted exact before anything is timed, so the
+/// rates describe a codec that actually preserves the fleet.
+fn checkpoint_json() -> String {
+    let config = cfg(1000, 1800, 1, EngineKind::Wheel);
+    let (_, snaps) = run_scale_checkpointed(&config, &[SimTime::from_secs(900)]);
+    let snap = &snaps[0];
+    let blob = save_checkpoint(snap, 1);
+    assert_eq!(
+        &load_checkpoint(&blob, 1).expect("fresh snapshot decodes"),
+        snap,
+        "codec round trip drifted; throughput would measure a broken codec"
+    );
+    let best = |f: &dyn Fn()| {
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let homes = snap.homes.len();
+    let encode_secs = best(&|| {
+        let _ = save_checkpoint(snap, 8);
+    });
+    let decode_secs = best(&|| {
+        let _ = load_checkpoint(&blob, 8).expect("decode");
+    });
+    let mb = blob.len() as f64 / 1e6;
+    format!(
+        "  \"checkpoint\": {{\"homes\": {homes}, \"at_secs\": 900, \
+         \"blob_bytes\": {}, \"jobs\": 8, \
+         \"encode_secs\": {encode_secs:.4}, \"decode_secs\": {decode_secs:.4}, \
+         \"encode_mb_per_sec\": {:.1}, \"decode_mb_per_sec\": {:.1}, \
+         \"encode_homes_per_sec\": {:.0}, \"decode_homes_per_sec\": {:.0}}}",
+        blob.len(),
+        mb / encode_secs,
+        mb / decode_secs,
+        homes as f64 / encode_secs,
+        homes as f64 / decode_secs
+    )
+}
+
 fn emit_report(_c: &mut Criterion) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
     if cfg!(debug_assertions) {
@@ -148,11 +196,12 @@ fn emit_report(_c: &mut Criterion) {
         return;
     }
     let json = format!(
-        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{},\n{}\n}}\n",
+        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{},\n{},\n{}\n}}\n",
         default_jobs(),
         grid_json(),
         engine_compare_json(),
-        telemetry_overhead_json()
+        telemetry_overhead_json(),
+        checkpoint_json()
     );
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}\n{json}"),

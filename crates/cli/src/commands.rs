@@ -308,19 +308,18 @@ pub fn fleet(p: &Parsed) -> CmdResult {
     Ok(out)
 }
 
-/// `scale` — serve a metro fleet of independent homes.
-///
-/// Runs `--homes` full CoReDA households for `--hours` of simulated time
-/// on the multi-home serving engine, sharded over `--jobs` workers.
-/// Results are bit-identical at any worker count and for either queue
-/// engine; only the header echoes the knobs.
-pub fn scale(p: &Parsed) -> CmdResult {
+/// Parses the metro knobs shared by `scale`, `checkpoint` and `resume`.
+fn metro_config(
+    p: &Parsed,
+    default_homes: usize,
+    default_hours: f64,
+) -> Result<coreda_core::metro::MetroConfig, Box<dyn Error>> {
     use coreda_core::fleet::default_jobs;
-    use coreda_core::metro::{run_scale, run_scale_traced, EngineKind, MetroConfig};
+    use coreda_core::metro::{EngineKind, MetroConfig};
     use coreda_des::time::SimDuration;
 
-    let homes: usize = p.get_parsed("homes", 16)?;
-    let hours: f64 = p.get_parsed("hours", 0.5)?;
+    let homes: usize = p.get_parsed("homes", default_homes)?;
+    let hours: f64 = p.get_parsed("hours", default_hours)?;
     let jobs: usize = p.get_parsed("jobs", default_jobs())?;
     let seed: u64 = p.get_parsed("seed", 2007)?;
     let engine = match p.get_or("engine", "wheel").to_ascii_lowercase().as_str() {
@@ -338,21 +337,207 @@ pub fn scale(p: &Parsed) -> CmdResult {
     }
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let horizon = SimDuration::from_millis((hours * 3_600_000.0) as u64);
-    let cfg = MetroConfig { homes, horizon, seed, jobs, engine, ..MetroConfig::default() };
-    let header =
-        format!("scale: homes={homes} hours={hours} engine={engine} jobs={jobs} seed={seed}\n");
+    Ok(MetroConfig { homes, horizon, seed, jobs, engine, ..MetroConfig::default() })
+}
+
+/// Encodes each fleet snapshot and writes it as `<prefix>-<N>s.ckpt`,
+/// appending a line per file to `out`.
+fn write_snapshots(
+    prefix: &str,
+    ckpts: &[coreda_core::MetroCheckpoint],
+    jobs: usize,
+    out: &mut String,
+) -> Result<(), Box<dyn Error>> {
+    for ckpt in ckpts {
+        let blob = coreda_core::save_checkpoint(ckpt, jobs);
+        let secs = ckpt.at.as_millis() / 1000;
+        let path = format!("{prefix}-{secs}s.ckpt");
+        std::fs::write(&path, &blob)?;
+        out.push_str(&format!("snapshot @ {secs}s -> {path} ({} bytes)\n", blob.len()));
+    }
+    Ok(())
+}
+
+/// `scale` — serve a metro fleet of independent homes.
+///
+/// Runs `--homes` full CoReDA households for `--hours` of simulated time
+/// on the multi-home serving engine, sharded over `--jobs` workers.
+/// Results are bit-identical at any worker count and for either queue
+/// engine; only the header echoes the knobs. `--checkpoint-every` writes
+/// durable fleet snapshots along the way; `--resume-from` continues one
+/// (the resumed report is bit-identical to never having stopped).
+pub fn scale(p: &Parsed) -> CmdResult {
+    use coreda_core::metro::{
+        resume_scale, resume_scale_checkpointed, resume_scale_traced, run_scale,
+        run_scale_checkpointed, run_scale_checkpointed_traced, run_scale_traced,
+    };
+    use coreda_des::time::SimTime;
+
+    let cfg = metro_config(p, 16, 0.5)?;
+    let hours: f64 = p.get_parsed("hours", 0.5)?;
+    let header = format!(
+        "scale: homes={} hours={hours} engine={} jobs={} seed={}\n",
+        cfg.homes, cfg.engine, cfg.jobs, cfg.seed
+    );
+
+    let every_s: u64 = p.get_parsed("checkpoint-every", 0)?;
+    let stops: Vec<SimTime> = if every_s == 0 {
+        Vec::new()
+    } else {
+        (1..)
+            .map(|k| k * every_s * 1000)
+            .take_while(|&ms| ms <= cfg.horizon.as_millis())
+            .map(SimTime::from_millis)
+            .collect()
+    };
+    if every_s > 0 && stops.is_empty() {
+        return Err("--checkpoint-every exceeds the horizon; nothing to snapshot".into());
+    }
+    let ckpt_prefix = p.get("checkpoint-out");
+    if !stops.is_empty() && ckpt_prefix.is_none() {
+        return Err("--checkpoint-every needs --checkpoint-out PREFIX".into());
+    }
+    let resume = match p.get("resume-from") {
+        Some(path) => {
+            let blob = std::fs::read(path)?;
+            let ckpt = coreda_core::load_checkpoint(&blob, cfg.jobs)?;
+            if ckpt.at.as_millis() >= cfg.horizon.as_millis() {
+                return Err(format!(
+                    "snapshot is at {}s but --hours ends the run at {}s; resume needs a \
+                     horizon past the snapshot",
+                    ckpt.at.as_millis() / 1000,
+                    cfg.horizon.as_millis() / 1000
+                )
+                .into());
+            }
+            Some(ckpt)
+        }
+        None => None,
+    };
+
     // --trace-out turns the flight recorder on; the report itself is
     // bit-identical either way (recording draws no randomness).
-    match p.get("trace-out") {
-        Some(path) => {
+    let mut out = header;
+    match (p.get("trace-out"), resume, stops.is_empty()) {
+        (None, None, true) => out.push_str(&run_scale(&cfg).render()),
+        (None, None, false) => {
+            let (report, ckpts) = run_scale_checkpointed(&cfg, &stops);
+            out.push_str(&report.render());
+            write_snapshots(ckpt_prefix.expect("checked above"), &ckpts, cfg.jobs, &mut out)?;
+        }
+        (Some(path), None, true) => {
             let traced = run_scale_traced(&cfg);
             std::fs::write(path, traced.telemetry.to_jsonl())?;
-            Ok(format!(
-                "{header}{}telemetry JSONL -> {path}\n",
-                traced.report.render()
-            ))
+            out.push_str(&traced.report.render());
+            out.push_str(&format!("telemetry JSONL -> {path}\n"));
         }
-        None => Ok(format!("{header}{}", run_scale(&cfg).render())),
+        (Some(path), None, false) => {
+            let (traced, ckpts) = run_scale_checkpointed_traced(&cfg, &stops);
+            std::fs::write(path, traced.telemetry.to_jsonl())?;
+            out.push_str(&traced.report.render());
+            out.push_str(&format!("telemetry JSONL -> {path}\n"));
+            write_snapshots(ckpt_prefix.expect("checked above"), &ckpts, cfg.jobs, &mut out)?;
+        }
+        (None, Some(ckpt), true) => out.push_str(&resume_scale(&cfg, &ckpt)?.render()),
+        (None, Some(ckpt), false) => {
+            let (report, ckpts) = resume_scale_checkpointed(&cfg, &ckpt, &stops)?;
+            out.push_str(&report.render());
+            write_snapshots(ckpt_prefix.expect("checked above"), &ckpts, cfg.jobs, &mut out)?;
+        }
+        (Some(path), Some(ckpt), true) => {
+            let traced = resume_scale_traced(&cfg, &ckpt)?;
+            std::fs::write(path, traced.telemetry.to_jsonl())?;
+            out.push_str(&traced.report.render());
+            out.push_str(&format!("telemetry JSONL -> {path}\n"));
+        }
+        (Some(_), Some(_), false) => {
+            return Err(
+                "--trace-out cannot combine with both --resume-from and --checkpoint-every; \
+                 drop one"
+                    .into(),
+            )
+        }
+    }
+    Ok(out)
+}
+
+/// `checkpoint` — run a metro fleet and write one durable snapshot.
+///
+/// Serves the fleet to `--hours`, capturing the complete resumable state
+/// at `--at` seconds (default: the horizon) into `--out`. The snapshot
+/// is versioned, checksummed, and config-fingerprinted; `resume`
+/// continues it bit-identically.
+pub fn checkpoint(p: &Parsed) -> CmdResult {
+    use coreda_core::metro::run_scale_checkpointed;
+    use coreda_des::time::SimTime;
+
+    let cfg = metro_config(p, 16, 0.5)?;
+    let out_path = p.require("out")?;
+    let at_s: u64 = p.get_parsed("at", cfg.horizon.as_millis() / 1000)?;
+    let at = SimTime::from_millis(at_s * 1000);
+    if at == SimTime::ZERO || at.as_millis() > cfg.horizon.as_millis() {
+        return Err(format!(
+            "--at must lie in (0, horizon]; got {at_s}s with a {}s horizon",
+            cfg.horizon.as_millis() / 1000
+        )
+        .into());
+    }
+    let (report, ckpts) = run_scale_checkpointed(&cfg, &[at]);
+    let blob = coreda_core::save_checkpoint(&ckpts[0], cfg.jobs);
+    std::fs::write(out_path, &blob)?;
+    Ok(format!(
+        "checkpoint: homes={} at={at_s}s engine={} jobs={} seed={}\n{}snapshot @ {at_s}s -> \
+         {out_path} ({} bytes)\n",
+        cfg.homes,
+        cfg.engine,
+        cfg.jobs,
+        cfg.seed,
+        report.render(),
+        blob.len()
+    ))
+}
+
+/// `resume` — continue a metro fleet from a snapshot file.
+///
+/// Loads `--from`, validates its version, checksum and config
+/// fingerprint (`--homes`/`--seed` must match the snapshotted run;
+/// `--jobs`, `--engine` and `--hours` may change freely), and serves to
+/// the new horizon. The report is bit-identical to a run that was never
+/// interrupted.
+pub fn resume(p: &Parsed) -> CmdResult {
+    use coreda_core::metro::{resume_scale, resume_scale_traced};
+
+    let from = p.require("from")?;
+    let blob = std::fs::read(from)?;
+    // Decoding is jobs-invariant, so one serial decode serves any run.
+    let ckpt = coreda_core::load_checkpoint(&blob, 1)?;
+    // Default --homes to what the snapshot holds; the digest still
+    // guards against resuming a genuinely different fleet.
+    let cfg = metro_config(p, ckpt.homes.len(), 0.5)?;
+    if ckpt.at.as_millis() >= cfg.horizon.as_millis() {
+        return Err(format!(
+            "snapshot is at {}s but --hours ends the run at {}s; resume needs a horizon \
+             past the snapshot",
+            ckpt.at.as_millis() / 1000,
+            cfg.horizon.as_millis() / 1000
+        )
+        .into());
+    }
+    let header = format!(
+        "resume: from={from} at={}s homes={} engine={} jobs={} seed={}\n",
+        ckpt.at.as_millis() / 1000,
+        cfg.homes,
+        cfg.engine,
+        cfg.jobs,
+        cfg.seed
+    );
+    match p.get("trace-out") {
+        Some(path) => {
+            let traced = resume_scale_traced(&cfg, &ckpt)?;
+            std::fs::write(path, traced.telemetry.to_jsonl())?;
+            Ok(format!("{header}{}telemetry JSONL -> {path}\n", traced.report.render()))
+        }
+        None => Ok(format!("{header}{}", resume_scale(&cfg, &ckpt)?.render())),
     }
 }
 
@@ -419,6 +604,7 @@ pub fn fuzz(p: &Parsed) -> CmdResult {
         out_dir: p.get("out").map(std::path::PathBuf::from),
         trace_dir: p.get("trace-out").map(std::path::PathBuf::from),
         max_plans: p.get_parsed("plans", defaults.max_plans)?,
+        kill_resume: p.get_parsed("kill-resume", defaults.kill_resume)?,
     };
     let report = fuzz(&cfg)?;
     let rendered = report.render();
@@ -516,6 +702,25 @@ COMMANDS
       --seed N               base rng seed                [2007]
       --trace-out FILE       also run the flight recorder and write
                              telemetry JSONL here
+      --checkpoint-every S   write a fleet snapshot every S simulated
+                             seconds (needs --checkpoint-out)
+      --checkpoint-out P     snapshot path prefix: writes P-<N>s.ckpt
+      --resume-from FILE     continue from a snapshot instead of starting
+                             fresh (bit-identical to never stopping)
+  checkpoint                 run a fleet and write one durable snapshot
+      --out FILE             snapshot file                  (required)
+      --at S                 snapshot instant, seconds    [the horizon]
+      --homes/--hours/--engine/--jobs/--seed as for scale
+  resume                     continue a fleet from a snapshot
+      --from FILE            snapshot from 'checkpoint' or
+                             --checkpoint-every             (required)
+      --hours H              new total horizon (must lie past the
+                             snapshot instant)            [0.5]
+      --homes/--seed         must match the snapshotted run (the config
+                             fingerprint is enforced)
+      --engine/--jobs        free to change; results are identical
+      --trace-out FILE       flight-record the resumed run; telemetry
+                             merges across the snapshot boundary
   trace                      serve homes with the flight recorder on
       --homes N              independent households       [8]
       --seconds N            simulated horizon            [900]
@@ -528,6 +733,9 @@ COMMANDS
       --seed N               campaign seed                [2007]
       --jobs N               workers for the jobs differential [3]
       --plans N              hard cap on fault plans      [unlimited]
+      --kill-resume true     also kill-and-resume every plan through the
+                             checkpoint codec, checking the resumed run
+                             against its uninterrupted ghost [false]
       --out DIR              write shrunken .seed.json repros here
       --trace-out DIR        write violation flight records (.trace.jsonl)
                              here                        [--out dir]
@@ -551,6 +759,8 @@ pub fn dispatch(p: &Parsed) -> CmdResult {
         "scenario" => run_scenario(p),
         "fleet" => fleet(p),
         "scale" => scale(p),
+        "checkpoint" => checkpoint(p),
+        "resume" => resume(p),
         "trace" => trace(p),
         "fuzz" => fuzz(p),
         "replay" => replay(p),
@@ -676,7 +886,7 @@ mod tests {
         let h = help();
         for cmd in [
             "list", "generate", "train", "evaluate", "simulate", "scenario", "fleet", "scale",
-            "trace", "fuzz", "replay",
+            "checkpoint", "resume", "trace", "fuzz", "replay",
         ] {
             assert!(h.contains(cmd), "help is missing {cmd}");
         }
@@ -790,5 +1000,111 @@ mod tests {
     fn fleet_rejects_unknown_suite() {
         let err = fleet(&parse(&["fleet", "--suite", "nope"])).unwrap_err();
         assert!(err.to_string().contains("unknown suite"));
+    }
+
+    /// The body of a report, skipping the command-specific header line.
+    fn body(s: &str) -> &str {
+        s.split_once('\n').unwrap().1
+    }
+
+    #[test]
+    fn checkpoint_then_resume_matches_an_uninterrupted_scale() {
+        let snap = temp_path("mid.ckpt");
+        let full = scale(&parse(&[
+            "scale", "--homes", "3", "--hours", "0.1", "--jobs", "1", "--seed", "5",
+        ]))
+        .unwrap();
+        let out = checkpoint(&parse(&[
+            "checkpoint", "--homes", "3", "--hours", "0.05", "--jobs", "1", "--seed", "5",
+            "--out", snap.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("snapshot @ 180s ->"), "{out}");
+        // The engine stays wheel (the report echoes it and counts raw DES
+        // events, which are engine-dependent); jobs may change freely.
+        let resumed = resume(&parse(&[
+            "resume", "--from", snap.to_str().unwrap(), "--hours", "0.1", "--jobs", "8",
+            "--seed", "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            body(&resumed),
+            body(&full),
+            "a resumed fleet must be bit-identical to one that never stopped"
+        );
+        let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn scale_checkpoint_every_writes_resumable_snapshots() {
+        let prefix = temp_path("periodic");
+        let out = scale(&parse(&[
+            "scale", "--homes", "2", "--hours", "0.05", "--jobs", "1", "--seed", "9",
+            "--checkpoint-every", "60", "--checkpoint-out", prefix.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for secs in [60, 120, 180] {
+            assert!(out.contains(&format!("snapshot @ {secs}s ->")), "{out}");
+        }
+        let full = scale(&parse(&[
+            "scale", "--homes", "2", "--hours", "0.05", "--jobs", "1", "--seed", "9",
+        ]))
+        .unwrap();
+        let mid = format!("{}-120s.ckpt", prefix.to_str().unwrap());
+        let resumed = scale(&parse(&[
+            "scale", "--homes", "2", "--hours", "0.05", "--jobs", "1", "--seed", "9",
+            "--resume-from", &mid,
+        ]))
+        .unwrap();
+        assert_eq!(body(&resumed), body(&full));
+        for secs in [60, 120, 180] {
+            let _ = std::fs::remove_file(format!("{}-{secs}s.ckpt", prefix.to_str().unwrap()));
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_config_and_a_short_horizon() {
+        let snap = temp_path("guard.ckpt");
+        checkpoint(&parse(&[
+            "checkpoint", "--homes", "2", "--hours", "0.05", "--jobs", "1", "--seed", "5",
+            "--out", snap.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = resume(&parse(&[
+            "resume", "--from", snap.to_str().unwrap(), "--hours", "0.1", "--seed", "6",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("different run configuration"), "{err}");
+        let err = resume(&parse(&[
+            "resume", "--from", snap.to_str().unwrap(), "--hours", "0.05", "--seed", "5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("past the snapshot"), "{err}");
+        let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn checkpoint_rejects_bad_knobs() {
+        let err = checkpoint(&parse(&["checkpoint", "--homes", "1"])).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+        let err = checkpoint(&parse(&[
+            "checkpoint", "--homes", "1", "--hours", "0.05", "--at", "999", "--out", "x.ckpt",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("(0, horizon]"), "{err}");
+        let err = scale(&parse(&[
+            "scale", "--homes", "1", "--hours", "0.05", "--checkpoint-every", "60",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--checkpoint-out"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_campaign_with_kill_resume_passes() {
+        let out = fuzz(&parse(&[
+            "fuzz", "--plans", "2", "--seconds", "30", "--kill-resume", "true", "--jobs", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 plans"), "{out}");
     }
 }

@@ -1,0 +1,1218 @@
+//! Durable snapshots of a metro-scale serve.
+//!
+//! A metro run serving thousands of homes for simulated days is exactly
+//! the kind of job that dies to a reboot at hour 19. This module
+//! serialises the *complete resumable state* of every home — learned
+//! Q-tables with eligibility traces, live-episode state machines,
+//! counter-based RNG stream positions, sensornet node/link/base-station
+//! state, session tracking, pending DES wakes, and flight-recorder
+//! telemetry — into a versioned, CRC-protected binary manifest, and
+//! restores it such that *run-to-T, snapshot, resume-to-2T* is
+//! bit-identical to an uninterrupted run to 2T, for any checkpoint tick,
+//! any worker count, and either queue engine.
+//!
+//! The format follows [`crate::persistence`]'s house style — magic +
+//! version + big-endian body + CRC-16 trailer, hand-rolled on [`bytes`]
+//! — scaled up with one structural addition: each home's snapshot is a
+//! self-contained length-prefixed blob inside the manifest, so the
+//! [`FleetEngine`] can encode and decode homes in parallel.
+//!
+//! What is *not* serialised is anything rebuilt deterministically from
+//! the [`MetroConfig`]: ADL specs, planner templates, routine tables,
+//! subsystem wiring, scratch buffers. A [`config_digest`] stored in the
+//! manifest rejects resumes against a different configuration — but
+//! deliberately excludes `jobs`, `horizon` and `engine`, which a resume
+//! is free to change (`jobs` by the determinism guarantee, `horizon`
+//! because the resume's horizon *is* the new target, `engine` because
+//! both engines produce identical per-home results).
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use coreda_adl::intern::NameId;
+use coreda_adl::step::StepId;
+use coreda_adl::tool::ToolId;
+use coreda_des::time::SimTime;
+use coreda_rl::space::{ActionId, StateId};
+use coreda_sensornet::network::LinkCounters;
+use coreda_sensornet::node::{NodeId, NodeState};
+use coreda_sensornet::packet::crc16;
+
+use crate::fleet::FleetEngine;
+use crate::metro::{HomeStats, MetroConfig};
+use crate::planning::LearnedState;
+use crate::reminding::{Prompt, ReminderLevel};
+use crate::sensing::StepEvent;
+use crate::sessions::ActiveSessionState;
+use crate::system::{EpisodeState, PhaseState, SystemState};
+use crate::telemetry::{RecorderState, TraceKind, TraceRecord};
+
+/// Magic prefix of a checkpoint manifest.
+pub const MAGIC: &[u8; 4] = b"CRCK";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// One home's complete resumable state at a checkpoint instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeCheckpoint {
+    /// Per-activity system states, in spec order.
+    pub systems: Vec<SystemState>,
+    /// Session-tracker live session, if one is open.
+    pub tracker: Option<ActiveSessionState>,
+    /// Home root RNG `(state, base seed)`.
+    pub root: ([u64; 4], u64),
+    /// Scheduling RNG `(state, base seed)`.
+    pub sched: ([u64; 4], u64),
+    /// In-flight episode: `(activity index, episode state, episode RNG)`.
+    pub episode: Option<(usize, EpisodeState, ([u64; 4], u64))>,
+    /// Episodes begun so far (also the next episode-substream index).
+    pub ep_index: u64,
+    /// When the next episode starts.
+    pub next_start: SimTime,
+    /// Last instant the home's wake handler served (wheel-engine dedup).
+    pub last_handled: Option<SimTime>,
+    /// Statistics so far. `energy_uj` is always zero here: energy lives
+    /// in the node meters (inside [`HomeCheckpoint::systems`]) and is
+    /// recomputed from them when the resumed run finishes.
+    pub stats: HomeStats,
+    /// The home's pending DES wakes at the snapshot, in dispatch order.
+    /// A wheel-engine home can hold more than one (an episode-start wake
+    /// plus a session idle-close wake).
+    pub pending: Vec<SimTime>,
+    /// Flight-recorder state, when the run was traced.
+    pub rec: Option<RecorderState>,
+}
+
+/// A whole fleet's snapshot: the manifest [`save_checkpoint`] encodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetroCheckpoint {
+    /// The checkpoint instant (every pending wake is strictly later).
+    pub at: SimTime,
+    /// [`config_digest`] of the run's configuration.
+    pub digest: u64,
+    /// Raw DES events processed up to the snapshot (engine-dependent,
+    /// like [`crate::metro::ScaleReport::des_events`]).
+    pub des_events: u64,
+    /// Per-home snapshots, in home-id order.
+    pub homes: Vec<HomeCheckpoint>,
+}
+
+/// Checkpoint codec failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointError {
+    /// The manifest is shorter than its declared contents.
+    Truncated {
+        /// Bytes remaining when the shortage was noticed.
+        len: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The manifest is from an unknown format version.
+    UnsupportedVersion(u8),
+    /// CRC mismatch (torn or corrupted write).
+    BadCrc {
+        /// CRC stored in the manifest.
+        expected: u16,
+        /// CRC computed over the body.
+        actual: u16,
+    },
+    /// The manifest belongs to a different run configuration.
+    ConfigMismatch {
+        /// Digest stored in the manifest.
+        expected: u64,
+        /// Digest of the configuration offered for resume.
+        actual: u64,
+    },
+    /// A stored float is not finite.
+    CorruptValue(f64),
+    /// An enum tag has no meaning in this version.
+    CorruptTag(u8),
+    /// Extra bytes after the declared contents.
+    TrailingBytes {
+        /// Number of unread bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated { len } => {
+                write!(f, "checkpoint truncated with {len} bytes remaining")
+            }
+            CheckpointError::BadMagic(m) => write!(f, "bad magic {m:?}"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::BadCrc { expected, actual } => {
+                write!(f, "crc mismatch: stored {expected:#06x}, computed {actual:#06x}")
+            }
+            CheckpointError::ConfigMismatch { expected, actual } => write!(
+                f,
+                "checkpoint belongs to a different run configuration \
+                 (stored digest {expected:#018x}, offered {actual:#018x})"
+            ),
+            CheckpointError::CorruptValue(v) => write!(f, "non-finite stored value {v}"),
+            CheckpointError::CorruptTag(t) => write!(f, "unknown tag {t}"),
+            CheckpointError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes"),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+/// Digest of everything in a [`MetroConfig`] that shapes the simulated
+/// trajectory: homes, seed, gaps, training, idle-close, and the whole
+/// per-system configuration. Excludes `jobs`, `horizon` and `engine` —
+/// the three knobs a resume may legitimately change (see the module
+/// docs).
+#[must_use]
+pub fn config_digest(cfg: &MetroConfig) -> u64 {
+    // CoredaConfig is a plain tree of numbers/enums; its Debug rendering
+    // is a deterministic, std-only serialisation of every field.
+    let key = format!(
+        "homes={} seed={} gap_min={} gap_max={} train={} idle_close={} system={:?}",
+        cfg.homes,
+        cfg.seed,
+        cfg.gap_min.as_millis(),
+        cfg.gap_max.as_millis(),
+        cfg.train_episodes,
+        cfg.idle_close.as_millis(),
+        cfg.system,
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Serialises a fleet snapshot. Per-home blobs are encoded in parallel
+/// across `jobs` workers; the output is identical at any worker count.
+#[must_use]
+pub fn save_checkpoint(ckpt: &MetroCheckpoint, jobs: usize) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64(ckpt.digest);
+    buf.put_u64(ckpt.at.as_millis());
+    buf.put_u64(ckpt.des_events);
+    buf.put_u32(u32::try_from(ckpt.homes.len()).expect("fleets fit in u32"));
+    let engine = FleetEngine::new(jobs);
+    let blobs = engine.map(ckpt.homes.iter().collect(), encode_home);
+    for blob in blobs {
+        buf.put_u32(u32::try_from(blob.len()).expect("home blobs fit in u32"));
+        buf.put_slice(&blob);
+    }
+    let crc = crc16(&buf);
+    buf.put_u16(crc);
+    buf.freeze()
+}
+
+/// Restores a fleet snapshot from a manifest produced by
+/// [`save_checkpoint`]. Per-home blobs are decoded in parallel across
+/// `jobs` workers.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] if the manifest is malformed,
+/// CRC-damaged, or from a different format version. Configuration
+/// compatibility is *not* checked here — compare
+/// [`MetroCheckpoint::digest`] against [`config_digest`] (the metro
+/// resume APIs do) before resuming.
+pub fn load_checkpoint(blob: &[u8], jobs: usize) -> Result<MetroCheckpoint, CheckpointError> {
+    const HEADER: usize = 4 + 1;
+    if blob.len() < HEADER + 2 {
+        return Err(CheckpointError::Truncated { len: blob.len() });
+    }
+    let (body, trailer) = blob.split_at(blob.len() - 2);
+    let expected = u16::from_be_bytes([trailer[0], trailer[1]]);
+    let actual = crc16(body);
+    if expected != actual {
+        return Err(CheckpointError::BadCrc { expected, actual });
+    }
+    let mut r = Reader { buf: body };
+    let mut magic = [0u8; 4];
+    r.need(4)?;
+    r.buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let digest = r.u64()?;
+    let at = r.time()?;
+    let des_events = r.u64()?;
+    let n_homes = r.len()?;
+    let mut slices = Vec::with_capacity(n_homes);
+    for _ in 0..n_homes {
+        let len = r.len()?;
+        r.need(len)?;
+        let (head, rest) = r.buf.split_at(len);
+        slices.push(head);
+        r.buf = rest;
+    }
+    if r.buf.has_remaining() {
+        return Err(CheckpointError::TrailingBytes { extra: r.buf.remaining() });
+    }
+    let engine = FleetEngine::new(jobs);
+    let homes = engine
+        .map(slices, decode_home)
+        .into_iter()
+        .collect::<Result<Vec<HomeCheckpoint>, CheckpointError>>()?;
+    Ok(MetroCheckpoint { at, digest, des_events, homes })
+}
+
+// ---------------------------------------------------------------------
+// Writer side
+// ---------------------------------------------------------------------
+
+fn put_len(buf: &mut Vec<u8>, len: usize) {
+    buf.put_u32(u32::try_from(len).expect("collection fits in u32"));
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.put_u8(u8::from(v));
+}
+
+fn put_time(buf: &mut Vec<u8>, t: SimTime) {
+    buf.put_u64(t.as_millis());
+}
+
+fn put_opt_time(buf: &mut Vec<u8>, t: Option<SimTime>) {
+    match t {
+        None => buf.put_u8(0),
+        Some(t) => {
+            buf.put_u8(1);
+            put_time(buf, t);
+        }
+    }
+}
+
+fn put_rng(buf: &mut Vec<u8>, (state, base): ([u64; 4], u64)) {
+    for w in state {
+        buf.put_u64(w);
+    }
+    buf.put_u64(base);
+}
+
+fn encode_home(h: &HomeCheckpoint) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_len(&mut buf, h.systems.len());
+    for sys in &h.systems {
+        encode_system(&mut buf, sys);
+    }
+    match &h.tracker {
+        None => buf.put_u8(0),
+        Some(a) => {
+            buf.put_u8(1);
+            put_len(&mut buf, a.activity_idx);
+            put_time(&mut buf, a.last_report);
+            put_bool(&mut buf, a.saw_terminal);
+            match a.foreign_run {
+                None => buf.put_u8(0),
+                Some((idx, run)) => {
+                    buf.put_u8(1);
+                    put_len(&mut buf, idx);
+                    buf.put_u32(run);
+                }
+            }
+        }
+    }
+    put_rng(&mut buf, h.root);
+    put_rng(&mut buf, h.sched);
+    match &h.episode {
+        None => buf.put_u8(0),
+        Some((act, ep, rng)) => {
+            buf.put_u8(1);
+            put_len(&mut buf, *act);
+            encode_episode(&mut buf, ep);
+            put_rng(&mut buf, *rng);
+        }
+    }
+    buf.put_u64(h.ep_index);
+    put_time(&mut buf, h.next_start);
+    put_opt_time(&mut buf, h.last_handled);
+    for v in [
+        h.stats.episodes_started,
+        h.stats.episodes_completed,
+        h.stats.reminders,
+        h.stats.praises,
+        h.stats.sessions_started,
+        h.stats.sessions_completed,
+        h.stats.sessions_abandoned,
+        h.stats.cross_activity_flags,
+        h.stats.pipeline_ticks,
+    ] {
+        buf.put_u64(v);
+    }
+    put_len(&mut buf, h.pending.len());
+    for &due in &h.pending {
+        put_time(&mut buf, due);
+    }
+    match &h.rec {
+        None => buf.put_u8(0),
+        Some(rec) => {
+            buf.put_u8(1);
+            encode_recorder(&mut buf, rec);
+        }
+    }
+    buf
+}
+
+fn encode_system(buf: &mut Vec<u8>, s: &SystemState) {
+    match &s.learned {
+        None => buf.put_u8(0),
+        Some(l) => {
+            buf.put_u8(1);
+            put_len(buf, l.values.len());
+            for &v in &l.values {
+                buf.put_f64(v);
+            }
+            put_len(buf, l.visits.len());
+            for &v in &l.visits {
+                buf.put_u64(v);
+            }
+            put_len(buf, l.traces.len());
+            for &(st, a, e) in &l.traces {
+                put_len(buf, st.index());
+                put_len(buf, a.index());
+                buf.put_f64(e);
+            }
+            buf.put_u64(l.updates);
+            buf.put_u64(l.episodes_trained);
+        }
+    }
+    match s.sensing_current {
+        None => buf.put_u8(0),
+        Some(step) => {
+            buf.put_u8(1);
+            buf.put_u16(step.raw());
+        }
+    }
+    put_opt_time(buf, s.sensing_last_report);
+    put_len(buf, s.sensing_history.len());
+    for ev in &s.sensing_history {
+        put_time(buf, ev.at);
+        buf.put_u16(ev.step.raw());
+    }
+    put_len(buf, s.nodes.len());
+    for (node, state, base) in &s.nodes {
+        encode_node(buf, node);
+        put_rng(buf, (*state, *base));
+    }
+    put_rng(buf, s.net_rng);
+    buf.put_u16(s.downlink_seq);
+    put_len(buf, s.channels.len());
+    for &(id, bad, sent, lost) in &s.channels {
+        buf.put_u16(id.raw());
+        put_bool(buf, bad);
+        buf.put_u64(sent);
+        buf.put_u64(lost);
+    }
+    for c in [&s.uplink, &s.downlink] {
+        buf.put_u64(c.frames);
+        buf.put_u64(c.attempts);
+        buf.put_u64(c.delivered);
+        buf.put_u64(c.lost);
+        buf.put_u64(c.duplicates);
+    }
+    put_len(buf, s.base_last_seqs.len());
+    for &(id, seq) in &s.base_last_seqs {
+        buf.put_u16(id.raw());
+        buf.put_u16(seq);
+    }
+    buf.put_u64(s.base_accepted);
+    buf.put_u64(s.base_duplicates);
+}
+
+fn encode_node(buf: &mut Vec<u8>, n: &NodeState) {
+    put_len(buf, n.detector_window.len());
+    for &vote in &n.detector_window {
+        put_bool(buf, vote);
+    }
+    put_bool(buf, n.led_green);
+    put_bool(buf, n.led_red);
+    buf.put_f64(n.energy_uj);
+    let (samples, tx, rx, led, sleep) = n.energy_breakdown;
+    for v in [samples, tx, rx, led, sleep] {
+        buf.put_u64(v);
+    }
+    buf.put_u16(n.next_seq);
+    buf.put_f64(n.window_peak_activation);
+    buf.put_u64(n.windows_closed);
+    buf.put_u64(n.reports_sent);
+    put_bool(buf, n.failed);
+    buf.put_f64(n.flip_false_positive);
+    buf.put_f64(n.flip_false_negative);
+    #[allow(clippy::cast_sign_loss)]
+    buf.put_u64(n.clock_skew_ms as u64);
+}
+
+fn encode_episode(buf: &mut Vec<u8>, ep: &EpisodeState) {
+    match ep.phase {
+        PhaseState::Performing { idx, until } => {
+            buf.put_u8(0);
+            put_len(buf, idx);
+            put_time(buf, until);
+        }
+        PhaseState::Misusing { tool, since, resume_idx } => {
+            buf.put_u8(1);
+            buf.put_u16(tool.raw());
+            put_time(buf, since);
+            put_len(buf, resume_idx);
+        }
+        PhaseState::Frozen { since, resume_idx } => {
+            buf.put_u8(2);
+            put_time(buf, since);
+            put_len(buf, resume_idx);
+        }
+        PhaseState::Done => buf.put_u8(3),
+    }
+    match ep.tracked {
+        None => buf.put_u8(0),
+        Some((prev, cur)) => {
+            buf.put_u8(1);
+            buf.put_u16(prev.raw());
+            buf.put_u16(cur.raw());
+        }
+    }
+    match ep.pending {
+        None => buf.put_u8(0),
+        Some((due, prompt)) => {
+            buf.put_u8(1);
+            put_time(buf, due);
+            buf.put_u16(prompt.tool.raw());
+            buf.put_u8(match prompt.level {
+                ReminderLevel::Minimal => 0,
+                ReminderLevel::Specific => 1,
+            });
+        }
+    }
+    put_opt_time(buf, ep.last_reminder);
+    buf.put_u32(ep.reminders_since_advance);
+    put_bool(buf, ep.completed);
+    buf.put_u64(ep.ticks_done);
+    buf.put_u64(ep.max_ticks);
+    put_time(buf, ep.start);
+    put_bool(buf, ep.finished);
+}
+
+fn encode_recorder(buf: &mut Vec<u8>, rec: &RecorderState) {
+    put_len(buf, rec.counters.len());
+    for &c in &rec.counters {
+        buf.put_u64(c);
+    }
+    put_len(buf, rec.stages.len());
+    for (bins, under, over) in &rec.stages {
+        put_len(buf, bins.len());
+        for &b in bins {
+            buf.put_u64(b);
+        }
+        buf.put_u64(*under);
+        buf.put_u64(*over);
+    }
+    put_len(buf, rec.ring_cap);
+    put_len(buf, rec.ring.len());
+    for r in &rec.ring {
+        encode_trace(buf, r);
+    }
+    buf.put_u64(rec.ring_dropped);
+}
+
+fn encode_trace(buf: &mut Vec<u8>, r: &TraceRecord) {
+    put_time(buf, r.at);
+    match r.kind {
+        TraceKind::EpisodeStarted { episode } => {
+            buf.put_u8(0);
+            buf.put_u32(episode);
+        }
+        TraceKind::EpisodeEnded { completed } => {
+            buf.put_u8(1);
+            put_bool(buf, completed);
+        }
+        TraceKind::ToolInUse { node } => {
+            buf.put_u8(2);
+            buf.put_u16(node);
+        }
+        TraceKind::RadioDelivered { node, attempts } => {
+            buf.put_u8(3);
+            buf.put_u16(node);
+            buf.put_u8(attempts);
+        }
+        TraceKind::RadioLost { node, attempts } => {
+            buf.put_u8(4);
+            buf.put_u16(node);
+            buf.put_u8(attempts);
+        }
+        TraceKind::StepExtracted { step } => {
+            buf.put_u8(5);
+            buf.put_u16(step.raw());
+        }
+        TraceKind::IdleDetected { idle_ms } => {
+            buf.put_u8(6);
+            buf.put_u32(idle_ms);
+        }
+        TraceKind::ReminderIssued { tool, specific, wrong_tool } => {
+            buf.put_u8(7);
+            buf.put_u16(tool.raw());
+            put_bool(buf, specific);
+            put_bool(buf, wrong_tool);
+        }
+        TraceKind::LedCommand { tool, red, delivered } => {
+            buf.put_u8(8);
+            buf.put_u16(tool.raw());
+            put_bool(buf, red);
+            put_bool(buf, delivered);
+        }
+        TraceKind::Praised { latency_ms } => {
+            buf.put_u8(9);
+            buf.put_u32(latency_ms);
+        }
+        TraceKind::Reprompt { escalations } => {
+            buf.put_u8(10);
+            buf.put_u8(escalations);
+        }
+        TraceKind::SessionStarted { name } => {
+            buf.put_u8(11);
+            buf.put_u32(u32::try_from(name.index()).expect("name ids are u32"));
+        }
+        TraceKind::SessionEnded { name, completed } => {
+            buf.put_u8(12);
+            buf.put_u32(u32::try_from(name.index()).expect("name ids are u32"));
+            put_bool(buf, completed);
+        }
+        TraceKind::CrossActivity { name } => {
+            buf.put_u8(13);
+            buf.put_u32(u32::try_from(name.index()).expect("name ids are u32"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader side
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl Reader<'_> {
+    fn need(&self, n: usize) -> Result<(), CheckpointError> {
+        if self.buf.remaining() < n {
+            Err(CheckpointError::Truncated { len: self.buf.remaining() })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16())
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    fn i64(&mut self) -> Result<i64, CheckpointError> {
+        #[allow(clippy::cast_possible_wrap)]
+        Ok(self.u64()? as i64)
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        let v = f64::from_bits(self.u64()?);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(CheckpointError::CorruptValue(v))
+        }
+    }
+
+    fn bool(&mut self) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CheckpointError::CorruptTag(t)),
+        }
+    }
+
+    fn opt(&mut self) -> Result<bool, CheckpointError> {
+        self.bool()
+    }
+
+    fn len(&mut self) -> Result<usize, CheckpointError> {
+        Ok(self.u32()? as usize)
+    }
+
+    fn time(&mut self) -> Result<SimTime, CheckpointError> {
+        Ok(SimTime::from_millis(self.u64()?))
+    }
+
+    fn opt_time(&mut self) -> Result<Option<SimTime>, CheckpointError> {
+        if self.opt()? {
+            Ok(Some(self.time()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn rng(&mut self) -> Result<([u64; 4], u64), CheckpointError> {
+        let state = [self.u64()?, self.u64()?, self.u64()?, self.u64()?];
+        let base = self.u64()?;
+        Ok((state, base))
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn decode_home(blob: &[u8]) -> Result<HomeCheckpoint, CheckpointError> {
+    let mut r = Reader { buf: blob };
+    let n_systems = r.len()?;
+    let mut systems = Vec::with_capacity(n_systems.min(64));
+    for _ in 0..n_systems {
+        systems.push(decode_system(&mut r)?);
+    }
+    let tracker = if r.opt()? {
+        let activity_idx = r.len()?;
+        let last_report = r.time()?;
+        let saw_terminal = r.bool()?;
+        let foreign_run = if r.opt()? { Some((r.len()?, r.u32()?)) } else { None };
+        Some(ActiveSessionState { activity_idx, last_report, saw_terminal, foreign_run })
+    } else {
+        None
+    };
+    let root = r.rng()?;
+    let sched = r.rng()?;
+    let episode = if r.opt()? {
+        let act = r.len()?;
+        let ep = decode_episode(&mut r)?;
+        let rng = r.rng()?;
+        Some((act, ep, rng))
+    } else {
+        None
+    };
+    let ep_index = r.u64()?;
+    let next_start = r.time()?;
+    let last_handled = r.opt_time()?;
+    let stats = HomeStats {
+        episodes_started: r.u64()?,
+        episodes_completed: r.u64()?,
+        reminders: r.u64()?,
+        praises: r.u64()?,
+        sessions_started: r.u64()?,
+        sessions_completed: r.u64()?,
+        sessions_abandoned: r.u64()?,
+        cross_activity_flags: r.u64()?,
+        pipeline_ticks: r.u64()?,
+        energy_uj: 0.0,
+    };
+    let n_pending = r.len()?;
+    let mut pending = Vec::with_capacity(n_pending.min(1024));
+    for _ in 0..n_pending {
+        pending.push(r.time()?);
+    }
+    let rec = if r.opt()? { Some(decode_recorder(&mut r)?) } else { None };
+    if r.buf.has_remaining() {
+        return Err(CheckpointError::TrailingBytes { extra: r.buf.remaining() });
+    }
+    Ok(HomeCheckpoint {
+        systems,
+        tracker,
+        root,
+        sched,
+        episode,
+        ep_index,
+        next_start,
+        last_handled,
+        stats,
+        pending,
+        rec,
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn decode_system(r: &mut Reader<'_>) -> Result<SystemState, CheckpointError> {
+    let learned = if r.opt()? {
+        let n = r.len()?;
+        let mut values = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            values.push(r.f64()?);
+        }
+        let n = r.len()?;
+        let mut visits = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            visits.push(r.u64()?);
+        }
+        let n = r.len()?;
+        let mut traces = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            let s = StateId::new(r.len()?);
+            let a = ActionId::new(r.len()?);
+            let e = r.f64()?;
+            traces.push((s, a, e));
+        }
+        let updates = r.u64()?;
+        let episodes_trained = r.u64()?;
+        Some(LearnedState { values, visits, traces, updates, episodes_trained })
+    } else {
+        None
+    };
+    let sensing_current = if r.opt()? { Some(StepId::from_raw(r.u16()?)) } else { None };
+    let sensing_last_report = r.opt_time()?;
+    let n = r.len()?;
+    let mut sensing_history = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        let at = r.time()?;
+        let step = StepId::from_raw(r.u16()?);
+        sensing_history.push(StepEvent { at, step });
+    }
+    let n = r.len()?;
+    let mut nodes = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        let node = decode_node(r)?;
+        let (state, base) = r.rng()?;
+        nodes.push((node, state, base));
+    }
+    let net_rng = r.rng()?;
+    let downlink_seq = r.u16()?;
+    let n = r.len()?;
+    let mut channels = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        let id = NodeId::new(r.u16()?);
+        let bad = r.bool()?;
+        let sent = r.u64()?;
+        let lost = r.u64()?;
+        channels.push((id, bad, sent, lost));
+    }
+    let mut counters = [LinkCounters::default(); 2];
+    for c in &mut counters {
+        c.frames = r.u64()?;
+        c.attempts = r.u64()?;
+        c.delivered = r.u64()?;
+        c.lost = r.u64()?;
+        c.duplicates = r.u64()?;
+    }
+    let n = r.len()?;
+    let mut base_last_seqs = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        let id = NodeId::new(r.u16()?);
+        let seq = r.u16()?;
+        base_last_seqs.push((id, seq));
+    }
+    let base_accepted = r.u64()?;
+    let base_duplicates = r.u64()?;
+    Ok(SystemState {
+        learned,
+        sensing_current,
+        sensing_last_report,
+        sensing_history,
+        nodes,
+        net_rng,
+        downlink_seq,
+        channels,
+        uplink: counters[0],
+        downlink: counters[1],
+        base_last_seqs,
+        base_accepted,
+        base_duplicates,
+    })
+}
+
+fn decode_node(r: &mut Reader<'_>) -> Result<NodeState, CheckpointError> {
+    let n = r.len()?;
+    let mut detector_window = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        detector_window.push(r.bool()?);
+    }
+    let led_green = r.bool()?;
+    let led_red = r.bool()?;
+    let energy_uj = r.f64()?;
+    let energy_breakdown = (r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+    let next_seq = r.u16()?;
+    let window_peak_activation = r.f64()?;
+    let windows_closed = r.u64()?;
+    let reports_sent = r.u64()?;
+    let failed = r.bool()?;
+    let flip_false_positive = r.f64()?;
+    let flip_false_negative = r.f64()?;
+    let clock_skew_ms = r.i64()?;
+    Ok(NodeState {
+        detector_window,
+        led_green,
+        led_red,
+        energy_uj,
+        energy_breakdown,
+        next_seq,
+        window_peak_activation,
+        windows_closed,
+        reports_sent,
+        failed,
+        flip_false_positive,
+        flip_false_negative,
+        clock_skew_ms,
+    })
+}
+
+fn decode_episode(r: &mut Reader<'_>) -> Result<EpisodeState, CheckpointError> {
+    let phase = match r.u8()? {
+        0 => {
+            let idx = r.len()?;
+            let until = r.time()?;
+            PhaseState::Performing { idx, until }
+        }
+        1 => {
+            let tool = ToolId::new(r.u16()?);
+            let since = r.time()?;
+            let resume_idx = r.len()?;
+            PhaseState::Misusing { tool, since, resume_idx }
+        }
+        2 => {
+            let since = r.time()?;
+            let resume_idx = r.len()?;
+            PhaseState::Frozen { since, resume_idx }
+        }
+        3 => PhaseState::Done,
+        t => return Err(CheckpointError::CorruptTag(t)),
+    };
+    let tracked = if r.opt()? {
+        let prev = StepId::from_raw(r.u16()?);
+        let cur = StepId::from_raw(r.u16()?);
+        Some((prev, cur))
+    } else {
+        None
+    };
+    let pending = if r.opt()? {
+        let due = r.time()?;
+        let tool = ToolId::new(r.u16()?);
+        let level = match r.u8()? {
+            0 => ReminderLevel::Minimal,
+            1 => ReminderLevel::Specific,
+            t => return Err(CheckpointError::CorruptTag(t)),
+        };
+        Some((due, Prompt { tool, level }))
+    } else {
+        None
+    };
+    let last_reminder = r.opt_time()?;
+    let reminders_since_advance = r.u32()?;
+    let completed = r.bool()?;
+    let ticks_done = r.u64()?;
+    let max_ticks = r.u64()?;
+    let start = r.time()?;
+    let finished = r.bool()?;
+    Ok(EpisodeState {
+        phase,
+        tracked,
+        pending,
+        last_reminder,
+        reminders_since_advance,
+        completed,
+        ticks_done,
+        max_ticks,
+        start,
+        finished,
+    })
+}
+
+fn decode_recorder(r: &mut Reader<'_>) -> Result<RecorderState, CheckpointError> {
+    let n = r.len()?;
+    let mut counters = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        counters.push(r.u64()?);
+    }
+    let n = r.len()?;
+    let mut stages = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let n_bins = r.len()?;
+        let mut bins = Vec::with_capacity(n_bins.min(65_536));
+        for _ in 0..n_bins {
+            bins.push(r.u64()?);
+        }
+        let under = r.u64()?;
+        let over = r.u64()?;
+        stages.push((bins, under, over));
+    }
+    let ring_cap = r.len()?;
+    let n = r.len()?;
+    let mut ring = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        ring.push(decode_trace(r)?);
+    }
+    let ring_dropped = r.u64()?;
+    Ok(RecorderState { counters, stages, ring_cap, ring, ring_dropped })
+}
+
+fn decode_trace(r: &mut Reader<'_>) -> Result<TraceRecord, CheckpointError> {
+    let at = r.time()?;
+    let kind = match r.u8()? {
+        0 => TraceKind::EpisodeStarted { episode: r.u32()? },
+        1 => TraceKind::EpisodeEnded { completed: r.bool()? },
+        2 => TraceKind::ToolInUse { node: r.u16()? },
+        3 => TraceKind::RadioDelivered { node: r.u16()?, attempts: r.u8()? },
+        4 => TraceKind::RadioLost { node: r.u16()?, attempts: r.u8()? },
+        5 => TraceKind::StepExtracted { step: StepId::from_raw(r.u16()?) },
+        6 => TraceKind::IdleDetected { idle_ms: r.u32()? },
+        7 => TraceKind::ReminderIssued {
+            tool: ToolId::new(r.u16()?),
+            specific: r.bool()?,
+            wrong_tool: r.bool()?,
+        },
+        8 => TraceKind::LedCommand {
+            tool: ToolId::new(r.u16()?),
+            red: r.bool()?,
+            delivered: r.bool()?,
+        },
+        9 => TraceKind::Praised { latency_ms: r.u32()? },
+        10 => TraceKind::Reprompt { escalations: r.u8()? },
+        11 => TraceKind::SessionStarted { name: NameId::from_index(r.u32()? as usize) },
+        12 => TraceKind::SessionEnded {
+            name: NameId::from_index(r.u32()? as usize),
+            completed: r.bool()?,
+        },
+        13 => TraceKind::CrossActivity { name: NameId::from_index(r.u32()? as usize) },
+        t => return Err(CheckpointError::CorruptTag(t)),
+    };
+    Ok(TraceRecord { at, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coreda_sensornet::network::LinkCounters;
+
+    /// A synthetic checkpoint exercising every optional branch and enum
+    /// variant the codec knows: live episode in each phase, open session
+    /// with a foreign run, traced recorder with a wrapped ring.
+    fn sample() -> MetroCheckpoint {
+        let node = NodeState {
+            detector_window: vec![true, false, true],
+            led_green: true,
+            led_red: false,
+            energy_uj: 1234.5,
+            energy_breakdown: (10, 20, 30, 40, 50),
+            next_seq: 7,
+            window_peak_activation: 0.75,
+            windows_closed: 11,
+            reports_sent: 3,
+            failed: false,
+            flip_false_positive: 0.01,
+            flip_false_negative: 0.02,
+            clock_skew_ms: -250,
+        };
+        let system = SystemState {
+            learned: Some(LearnedState {
+                values: vec![0.5, -1.25, 3.0],
+                visits: vec![1, 0, 9],
+                traces: vec![(StateId::new(2), ActionId::new(1), 0.125)],
+                updates: 42,
+                episodes_trained: 150,
+            }),
+            sensing_current: Some(StepId::from_raw(3)),
+            sensing_last_report: Some(SimTime::from_secs(12)),
+            sensing_history: vec![StepEvent { at: SimTime::from_secs(1), step: StepId::IDLE }],
+            nodes: vec![(node, [1, 2, 3, 4], 99)],
+            net_rng: ([5, 6, 7, 8], 100),
+            downlink_seq: 513,
+            channels: vec![(NodeId::new(1), true, 12, 2)],
+            uplink: LinkCounters { frames: 1, attempts: 2, delivered: 3, lost: 4, duplicates: 5 },
+            downlink: LinkCounters::default(),
+            base_last_seqs: vec![(NodeId::new(1), 6)],
+            base_accepted: 12,
+            base_duplicates: 1,
+        };
+        let episode = EpisodeState {
+            phase: PhaseState::Misusing {
+                tool: ToolId::new(4),
+                since: SimTime::from_secs(30),
+                resume_idx: 2,
+            },
+            tracked: Some((StepId::IDLE, StepId::from_raw(1))),
+            pending: Some((
+                SimTime::from_secs(31),
+                Prompt { tool: ToolId::new(2), level: ReminderLevel::Specific },
+            )),
+            last_reminder: Some(SimTime::from_secs(29)),
+            reminders_since_advance: 2,
+            completed: false,
+            ticks_done: 310,
+            max_ticks: 9000,
+            start: SimTime::ZERO,
+            finished: false,
+        };
+        let rec = RecorderState {
+            counters: vec![7; crate::telemetry::Ctr::COUNT],
+            stages: vec![
+                (vec![0; 300], 0, 1),
+                (vec![2; 300], 0, 0),
+                (vec![0; 300], 3, 0),
+            ],
+            ring_cap: 4,
+            ring: vec![
+                TraceRecord {
+                    at: SimTime::from_secs(1),
+                    kind: TraceKind::ReminderIssued {
+                        tool: ToolId::new(2),
+                        specific: true,
+                        wrong_tool: false,
+                    },
+                },
+                TraceRecord {
+                    at: SimTime::from_secs(2),
+                    kind: TraceKind::SessionEnded {
+                        name: NameId::from_index(1),
+                        completed: true,
+                    },
+                },
+            ],
+            ring_dropped: 6,
+        };
+        let busy = HomeCheckpoint {
+            systems: vec![system],
+            tracker: Some(ActiveSessionState {
+                activity_idx: 1,
+                last_report: SimTime::from_secs(40),
+                saw_terminal: false,
+                foreign_run: Some((0, 2)),
+            }),
+            root: ([11, 12, 13, 14], 200),
+            sched: ([15, 16, 17, 18], 201),
+            episode: Some((0, episode, ([19, 20, 21, 22], 202))),
+            ep_index: 5,
+            next_start: SimTime::from_secs(100),
+            last_handled: Some(SimTime::from_secs(45)),
+            stats: HomeStats { episodes_started: 5, reminders: 3, ..HomeStats::default() },
+            pending: vec![SimTime::from_secs(46), SimTime::from_secs(50)],
+            rec: Some(rec),
+        };
+        let idle = HomeCheckpoint {
+            systems: vec![SystemState {
+                learned: None,
+                sensing_current: None,
+                sensing_last_report: None,
+                sensing_history: Vec::new(),
+                nodes: Vec::new(),
+                net_rng: ([1, 1, 1, 1], 0),
+                downlink_seq: 0,
+                channels: Vec::new(),
+                uplink: LinkCounters::default(),
+                downlink: LinkCounters::default(),
+                base_last_seqs: Vec::new(),
+                base_accepted: 0,
+                base_duplicates: 0,
+            }],
+            tracker: None,
+            root: ([0, 0, 0, 1], 1),
+            sched: ([0, 0, 0, 2], 1),
+            episode: None,
+            ep_index: 0,
+            next_start: SimTime::from_secs(999),
+            last_handled: None,
+            stats: HomeStats::default(),
+            pending: Vec::new(),
+            rec: None,
+        };
+        MetroCheckpoint {
+            at: SimTime::from_secs(45),
+            digest: 0xDEAD_BEEF_F00D_CAFE,
+            des_events: 123_456,
+            homes: vec![busy, idle],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let ckpt = sample();
+        let blob = save_checkpoint(&ckpt, 1);
+        let back = load_checkpoint(&blob, 1).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn encoding_is_jobs_invariant() {
+        let ckpt = sample();
+        let serial = save_checkpoint(&ckpt, 1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(save_checkpoint(&ckpt, jobs), serial, "jobs={jobs}");
+            assert_eq!(load_checkpoint(&serial, jobs).unwrap(), ckpt, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let blob = save_checkpoint(&sample(), 1).to_vec();
+        for i in (0..blob.len()).step_by(97) {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x08;
+            assert!(load_checkpoint(&bad, 1).is_err(), "flipping byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let blob = save_checkpoint(&sample(), 1);
+        for n in [0, 4, 10, blob.len() / 2, blob.len() - 1] {
+            assert!(load_checkpoint(&blob[..n], 1).is_err(), "truncated at {n}");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut blob = save_checkpoint(&sample(), 1).to_vec();
+        blob[4] = 99;
+        // Re-stamp the CRC so only the version differs.
+        let body = blob.len() - 2;
+        let crc = crc16(&blob[..body]);
+        blob[body..].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            load_checkpoint(&blob, 1),
+            Err(CheckpointError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn digest_ignores_resume_knobs_but_pins_the_run() {
+        let base = MetroConfig::default();
+        let d = config_digest(&base);
+        // Knobs a resume may change leave the digest alone...
+        assert_eq!(d, config_digest(&MetroConfig { jobs: 99, ..base.clone() }));
+        assert_eq!(
+            d,
+            config_digest(&MetroConfig {
+                horizon: coreda_des::time::SimDuration::from_secs(1),
+                ..base.clone()
+            })
+        );
+        assert_eq!(
+            d,
+            config_digest(&MetroConfig { engine: crate::metro::EngineKind::Heap, ..base.clone() })
+        );
+        // ...while anything trajectory-shaping changes it.
+        assert_ne!(d, config_digest(&MetroConfig { homes: 17, ..base.clone() }));
+        assert_ne!(d, config_digest(&MetroConfig { seed: 3, ..base.clone() }));
+        assert_ne!(d, config_digest(&MetroConfig { train_episodes: 1, ..base }));
+    }
+
+    #[test]
+    fn error_messages_read_well() {
+        assert!(CheckpointError::ConfigMismatch { expected: 1, actual: 2 }
+            .to_string()
+            .contains("different run configuration"));
+        assert!(CheckpointError::Truncated { len: 3 }.to_string().contains("3 bytes"));
+        assert!(CheckpointError::CorruptTag(9).to_string().contains("tag 9"));
+    }
+}

@@ -52,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod fleet;
 pub mod home;
 pub mod live;
@@ -68,11 +69,19 @@ pub mod system;
 pub mod telemetry;
 
 pub use baseline::{CanonicalReminder, MdpPlanner, NextStepPredictor};
+pub use checkpoint::{
+    config_digest, load_checkpoint, save_checkpoint, CheckpointError, HomeCheckpoint,
+    MetroCheckpoint,
+};
 pub use home::{CoredaHome, HomeError};
 pub use live::{EpisodeLog, LogKind, PatientBehavior, ScriptedBehavior, StochasticBehavior};
 pub use planning::{LearnerKind, PlanningConfig, PlanningSubsystem, RewardConfig, StateEncoder};
 pub use reminding::{Prompt, Reminder, ReminderLevel, ReminderMethod, RemindingSubsystem, Trigger};
-pub use metro::{run_scale, EngineKind, HomeStats, MetroConfig, ScaleReport};
+pub use metro::{
+    resume_scale, resume_scale_checkpointed, resume_scale_traced, run_scale,
+    run_scale_checkpointed, run_scale_checkpointed_traced, EngineKind, HomeStats, MetroConfig,
+    ScaleReport,
+};
 pub use report::DailyReport;
 pub use sensing::{SensingSubsystem, StepEvent};
 pub use sessions::{SessionEvent, SessionEvents, SessionTracker};

@@ -31,6 +31,7 @@ use coreda_des::rng::SimRng;
 use coreda_des::sim::Simulator;
 use coreda_des::time::{SimDuration, SimTime};
 
+use crate::checkpoint::{config_digest, CheckpointError, HomeCheckpoint, MetroCheckpoint};
 use crate::fleet::{default_jobs, derive_seed, FleetEngine};
 use crate::live::StochasticBehavior;
 use crate::planning::PlanningSubsystem;
@@ -515,6 +516,70 @@ impl Home {
             self.next_start = self.align_up(now + gap);
         }
     }
+
+    /// Snapshots everything the home cannot rebuild from its config:
+    /// system states, live session, RNG positions, the in-flight episode,
+    /// scheduling state, statistics, and (when traced) the recorder.
+    /// `pending` is the home's share of the shard queue at the snapshot.
+    ///
+    /// Energy is *not* carried in the stats (it stays zero until
+    /// [`finish`] recomputes it from the restored node meters), and taps
+    /// are not checkpointed — a resumed recorded run taps only the
+    /// resumed segment.
+    fn capture(&self, pending: Vec<SimTime>) -> HomeCheckpoint {
+        HomeCheckpoint {
+            systems: self.systems.iter().map(|(s, _)| s.export_state()).collect(),
+            tracker: self.tracker.export_active(),
+            root: self.root.state_parts(),
+            sched: self.sched_rng.state_parts(),
+            episode: self
+                .episode
+                .as_ref()
+                .map(|run| (run.act, run.ep.export_state(), run.rng.state_parts())),
+            ep_index: self.ep_index,
+            next_start: self.next_start,
+            last_handled: self.last_handled,
+            stats: HomeStats { energy_uj: 0.0, ..self.stats },
+            pending,
+            rec: self.rec.as_ref().map(HomeRecorder::export_state),
+        }
+    }
+
+    /// Overwrites a freshly built home with checkpointed state. The
+    /// build-time gap draw is discarded wholesale: the restored
+    /// `sched_rng` position already accounts for every draw the original
+    /// run made. The caller re-schedules `ckpt.pending` itself.
+    fn restore(&mut self, ckpt: &HomeCheckpoint) {
+        assert_eq!(
+            self.systems.len(),
+            ckpt.systems.len(),
+            "checkpoint was taken with a different activity set"
+        );
+        for ((system, _), state) in self.systems.iter_mut().zip(&ckpt.systems) {
+            system
+                .restore_state(state)
+                .expect("config digest matched, so the rebuilt system accepts its state");
+        }
+        self.tracker.restore_active(ckpt.tracker);
+        self.root = SimRng::from_state_parts(ckpt.root.0, ckpt.root.1);
+        self.sched_rng = SimRng::from_state_parts(ckpt.sched.0, ckpt.sched.1);
+        self.episode = ckpt.episode.as_ref().map(|&(act, ref ep, rng)| RunningEpisode {
+            act,
+            ep: LiveEpisode::from_state(ep),
+            rng: SimRng::from_state_parts(rng.0, rng.1),
+        });
+        self.ep_index = ckpt.ep_index;
+        self.next_start = ckpt.next_start;
+        self.last_handled = ckpt.last_handled;
+        self.stats = HomeStats { energy_uj: 0.0, ..ckpt.stats };
+        // Counters merge across the snapshot boundary: a resumed traced
+        // run's summary covers the whole run, not just the tail. An
+        // untraced checkpoint resumed with tracing on simply starts a
+        // fresh recorder covering the resumed segment.
+        if let (Some(rec), Some(state)) = (self.rec.as_mut(), ckpt.rec.as_ref()) {
+            rec.restore_state(state);
+        }
+    }
 }
 
 /// One wake of one home (index local to the shard).
@@ -528,9 +593,80 @@ struct ChunkOut {
     des_events: u64,
     /// Shard-local queue high-water mark — engine- and jobs-dependent.
     max_pending: usize,
+    /// One entry per requested stop: `(processed events at the stop,
+    /// per-home snapshots)`, shard-local.
+    checkpoints: Vec<(u64, Vec<HomeCheckpoint>)>,
 }
 
-#[allow(clippy::needless_pass_by_value)]
+/// Serves every wake up to and including `until` with the wheel engine's
+/// scheduling policy. Shared between the inter-checkpoint segments and
+/// the final run to the horizon, so stopping mid-run reuses the exact
+/// loop body an uninterrupted run executes.
+///
+/// Follow-up wakes are scheduled *unconditionally*, even past the
+/// horizon: `step_until` never pops them, so they cost a queue slot and
+/// nothing else — and it keeps a snapshot's pending set independent of
+/// the horizon the capturing run happened to use. A checkpoint taken at
+/// the very end of a short run must still carry each home's natural next
+/// wake, or a resume with a longer `--hours` would find a dead fleet.
+fn wheel_segment(sim: &mut Simulator<Wake>, homes: &mut [Home], until: SimTime) {
+    while let Some(Wake(i)) = sim.step_until(until) {
+        let now = sim.now();
+        let home = &mut homes[i];
+        if home.last_handled == Some(now) {
+            // A duplicate wake for an instant already served (e.g.
+            // a stale session check landing on an episode tick).
+            continue;
+        }
+        home.last_handled = Some(now);
+        home.poll_instant(now);
+        if let Some(run) = &home.episode {
+            sim.schedule_at(run.ep.next_tick_at(), Wake(i));
+        } else {
+            sim.schedule_at(home.next_start, Wake(i));
+            if let Some(deadline) = home.tracker.idle_deadline() {
+                sim.schedule_at(home.align_up(deadline), Wake(i));
+            }
+        }
+    }
+}
+
+/// The heap engine's dense 10 Hz loop body, segment-shaped like
+/// [`wheel_segment`] (and scheduling unconditionally for the same
+/// reason).
+fn heap_segment(sim: &mut Simulator<Wake>, homes: &mut [Home], until: SimTime) {
+    while let Some(Wake(i)) = sim.step_until(until) {
+        let now = sim.now();
+        let home = &mut homes[i];
+        home.last_handled = Some(now);
+        home.poll_instant(now);
+        sim.schedule_at(now + Coreda::TICK, Wake(i));
+    }
+}
+
+/// Snapshots a shard at the current instant without perturbing it:
+/// drains the queue to learn each home's pending wakes, re-schedules
+/// every drained event in the same order (re-insertion assigns fresh
+/// ascending sequence numbers, so same-instant FIFO order is preserved),
+/// and captures each home with its share of the queue.
+fn capture_shard(sim: &mut Simulator<Wake>, homes: &[Home]) -> (u64, Vec<HomeCheckpoint>) {
+    let pending = sim.drain_pending();
+    let mut per_home: Vec<Vec<SimTime>> = vec![Vec::new(); homes.len()];
+    for &(due, Wake(i)) in &pending {
+        per_home[i].push(due);
+    }
+    for (due, wake) in pending {
+        sim.schedule_at(due, wake);
+    }
+    let snaps = homes
+        .iter()
+        .enumerate()
+        .map(|(i, h)| h.capture(std::mem::take(&mut per_home[i])))
+        .collect();
+    (sim.processed(), snaps)
+}
+
+#[allow(clippy::needless_pass_by_value, clippy::too_many_arguments)]
 fn run_chunk(
     cfg: &MetroConfig,
     specs: &[AdlSpec],
@@ -539,76 +675,65 @@ fn run_chunk(
     count: usize,
     record: bool,
     trace: bool,
+    stops: &[SimTime],
+    resume: Option<&[HomeCheckpoint]>,
 ) -> ChunkOut {
     let mut homes: Vec<Home> = (first_home..first_home + count)
         .map(|id| Home::build(id, cfg, specs, templates, record, trace))
         .collect();
     let horizon_end = SimTime::ZERO + cfg.horizon;
 
-    match cfg.engine {
-        EngineKind::Wheel => {
-            // Event-driven: a home wakes only when something can happen.
-            let mut sim: Simulator<Wake> = Simulator::new();
-            for (i, h) in homes.iter().enumerate() {
-                if h.next_start <= horizon_end {
+    let mut sim: Simulator<Wake> = match cfg.engine {
+        EngineKind::Wheel => Simulator::new(),
+        EngineKind::Heap => Simulator::with_heap_queue(),
+    };
+
+    // Initial scheduling: a fresh run wakes each home at its first
+    // instant of interest; a resumed run rehydrates the exact pending
+    // wakes the checkpoint drained, in their drained (dispatch) order.
+    match resume {
+        None => match cfg.engine {
+            EngineKind::Wheel => {
+                for (i, h) in homes.iter().enumerate() {
                     sim.schedule_at(h.next_start, Wake(i));
                 }
             }
-            while let Some(Wake(i)) = sim.step_until(horizon_end) {
-                let now = sim.now();
-                let home = &mut homes[i];
-                if home.last_handled == Some(now) {
-                    // A duplicate wake for an instant already served (e.g.
-                    // a stale session check landing on an episode tick).
-                    continue;
-                }
-                home.last_handled = Some(now);
-                home.poll_instant(now);
-                if let Some(run) = &home.episode {
-                    let due = run.ep.next_tick_at();
-                    if due <= horizon_end {
-                        sim.schedule_at(due, Wake(i));
-                    }
-                } else {
-                    if home.next_start <= horizon_end {
-                        sim.schedule_at(home.next_start, Wake(i));
-                    }
-                    if let Some(deadline) = home.tracker.idle_deadline() {
-                        let due = home.align_up(deadline);
-                        if due <= horizon_end {
-                            sim.schedule_at(due, Wake(i));
-                        }
-                    }
+            EngineKind::Heap => {
+                for (i, h) in homes.iter().enumerate() {
+                    sim.schedule_at(SimTime::from_millis(h.offset_ms), Wake(i));
                 }
             }
-            finish(homes, sim.processed(), sim.max_pending())
-        }
-        EngineKind::Heap => {
-            // The seed baseline: every home polled at 10 Hz wall-to-wall
-            // through the original binary-heap queue.
-            let mut sim: Simulator<Wake> = Simulator::with_heap_queue();
-            for (i, h) in homes.iter().enumerate() {
-                let first = SimTime::from_millis(h.offset_ms);
-                if first <= horizon_end {
-                    sim.schedule_at(first, Wake(i));
+        },
+        Some(ckpts) => {
+            assert_eq!(ckpts.len(), homes.len(), "resume shard size mismatch");
+            for (i, (home, ckpt)) in homes.iter_mut().zip(ckpts).enumerate() {
+                home.restore(ckpt);
+                for &due in &ckpt.pending {
+                    sim.schedule_at(due, Wake(i));
                 }
             }
-            while let Some(Wake(i)) = sim.step_until(horizon_end) {
-                let now = sim.now();
-                let home = &mut homes[i];
-                home.last_handled = Some(now);
-                home.poll_instant(now);
-                let next = now + Coreda::TICK;
-                if next <= horizon_end {
-                    sim.schedule_at(next, Wake(i));
-                }
-            }
-            finish(homes, sim.processed(), sim.max_pending())
         }
     }
+
+    let segment = match cfg.engine {
+        EngineKind::Wheel => wheel_segment,
+        EngineKind::Heap => heap_segment,
+    };
+    let mut checkpoints = Vec::with_capacity(stops.len());
+    for &stop in stops {
+        segment(&mut sim, &mut homes, stop);
+        checkpoints.push(capture_shard(&mut sim, &homes));
+    }
+    segment(&mut sim, &mut homes, horizon_end);
+    finish(homes, sim.processed(), sim.max_pending(), checkpoints)
 }
 
-fn finish(mut homes: Vec<Home>, des_events: u64, max_pending: usize) -> ChunkOut {
+fn finish(
+    mut homes: Vec<Home>,
+    des_events: u64,
+    max_pending: usize,
+    checkpoints: Vec<(u64, Vec<HomeCheckpoint>)>,
+) -> ChunkOut {
     for h in &mut homes {
         h.stats.energy_uj = h.systems.iter().map(|(s, _)| s.total_energy_uj()).sum();
     }
@@ -626,7 +751,7 @@ fn finish(mut homes: Vec<Home>, des_events: u64, max_pending: usize) -> ChunkOut
             recs.push(rec);
         }
     }
-    ChunkOut { stats, taps, recs, des_events, max_pending }
+    ChunkOut { stats, taps, recs, des_events, max_pending, checkpoints }
 }
 
 /// Serves `cfg.homes` households for `cfg.horizon`, sharded across
@@ -669,14 +794,138 @@ pub struct TraceOutput {
 /// engines (recorders are merged in home order).
 #[must_use]
 pub fn run_scale_traced(cfg: &MetroConfig) -> TraceOutput {
-    run_scale_inner(cfg, false, true)
+    run_scale_inner(cfg, false, true, &[], None)
+        .expect("a run without a resume source cannot mismatch")
+        .0
+}
+
+/// [`run_scale`] that additionally snapshots the whole fleet at each
+/// instant in `stops` — the run itself is unperturbed (capture drains
+/// and re-schedules the queue non-destructively), so the returned report
+/// is bit-identical to a plain [`run_scale`] of the same config.
+///
+/// # Panics
+///
+/// Panics if `stops` is not sorted ascending or reaches past the
+/// horizon. The CLI validates user input before calling; hitting this
+/// from code is a bug.
+#[must_use]
+pub fn run_scale_checkpointed(
+    cfg: &MetroConfig,
+    stops: &[SimTime],
+) -> (ScaleReport, Vec<MetroCheckpoint>) {
+    let (out, ckpts) = run_scale_inner(cfg, false, false, stops, None)
+        .expect("a run without a resume source cannot mismatch");
+    (out.report, ckpts)
+}
+
+/// [`run_scale_traced`] with fleet snapshots at each instant in `stops`;
+/// the snapshots carry the flight-recorder state, so a traced resume
+/// continues the same counters and trace rings.
+///
+/// # Panics
+///
+/// Panics on invalid `stops`, as [`run_scale_checkpointed`].
+#[must_use]
+pub fn run_scale_checkpointed_traced(
+    cfg: &MetroConfig,
+    stops: &[SimTime],
+) -> (TraceOutput, Vec<MetroCheckpoint>) {
+    run_scale_inner(cfg, false, true, stops, None)
+        .expect("a run without a resume source cannot mismatch")
+}
+
+/// Continues a serve from a fleet snapshot to `cfg.horizon`. The
+/// resumed report — statistics, energy, DES event count — is
+/// bit-identical to an uninterrupted [`run_scale`] of the same config,
+/// for any checkpoint instant, any `cfg.jobs`, and either engine.
+///
+/// # Errors
+///
+/// [`CheckpointError::ConfigMismatch`] when the snapshot's
+/// [`config_digest`] does not match `cfg` (a resume may change only
+/// `jobs`, `horizon` and `engine`).
+pub fn resume_scale(
+    cfg: &MetroConfig,
+    ckpt: &MetroCheckpoint,
+) -> Result<ScaleReport, CheckpointError> {
+    run_scale_inner(cfg, false, false, &[], Some(ckpt)).map(|(out, _)| out.report)
+}
+
+/// [`resume_scale`] with the flight recorder on. When the snapshot was
+/// itself traced, counters and trace rings merge across the boundary:
+/// the resumed telemetry describes the whole run, not just the tail.
+///
+/// # Errors
+///
+/// [`CheckpointError::ConfigMismatch`], as [`resume_scale`].
+pub fn resume_scale_traced(
+    cfg: &MetroConfig,
+    ckpt: &MetroCheckpoint,
+) -> Result<TraceOutput, CheckpointError> {
+    run_scale_inner(cfg, false, true, &[], Some(ckpt)).map(|(out, _)| out)
+}
+
+/// Resume *and* keep checkpointing: continues from `ckpt` and snapshots
+/// again at each instant in `stops` (which must lie past the snapshot).
+/// This is what a periodically checkpointing server restarts into.
+///
+/// # Errors
+///
+/// [`CheckpointError::ConfigMismatch`], as [`resume_scale`].
+///
+/// # Panics
+///
+/// Panics on invalid `stops`, as [`run_scale_checkpointed`].
+pub fn resume_scale_checkpointed(
+    cfg: &MetroConfig,
+    ckpt: &MetroCheckpoint,
+    stops: &[SimTime],
+) -> Result<(ScaleReport, Vec<MetroCheckpoint>), CheckpointError> {
+    run_scale_inner(cfg, false, false, stops, Some(ckpt))
+        .map(|(out, ckpts)| (out.report, ckpts))
 }
 
 fn run_scale_with(cfg: &MetroConfig, record: bool) -> ScaleReport {
-    run_scale_inner(cfg, record, false).report
+    run_scale_inner(cfg, record, false, &[], None)
+        .expect("a run without a resume source cannot mismatch")
+        .0
+        .report
 }
 
-fn run_scale_inner(cfg: &MetroConfig, record: bool, trace: bool) -> TraceOutput {
+fn run_scale_inner(
+    cfg: &MetroConfig,
+    record: bool,
+    trace: bool,
+    stops: &[SimTime],
+    resume: Option<&MetroCheckpoint>,
+) -> Result<(TraceOutput, Vec<MetroCheckpoint>), CheckpointError> {
+    let horizon_end = SimTime::ZERO + cfg.horizon;
+    assert!(
+        stops.windows(2).all(|w| w[0] <= w[1]),
+        "checkpoint stops must be sorted ascending"
+    );
+    assert!(
+        stops.iter().all(|&s| s <= horizon_end),
+        "checkpoint stops must lie within the horizon"
+    );
+    let digest = config_digest(cfg);
+    let mut base_des = 0u64;
+    if let Some(ckpt) = resume {
+        if ckpt.digest != digest {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: ckpt.digest,
+                actual: digest,
+            });
+        }
+        if ckpt.homes.len() != cfg.homes {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: ckpt.digest,
+                actual: digest,
+            });
+        }
+        base_des = ckpt.des_events;
+    }
     let specs = vec![catalog::tea_making(), catalog::tooth_brushing()];
     let templates: Vec<PlanningSubsystem> = specs
         .iter()
@@ -709,14 +958,24 @@ fn run_scale_inner(cfg: &MetroConfig, record: bool, trace: bool) -> TraceOutput 
 
     let engine = FleetEngine::new(cfg.jobs);
     let results = engine.map(chunks, |(first, count)| {
-        run_chunk(cfg, &specs, &templates, first, count, record, trace)
+        let shard_resume = resume.map(|ckpt| &ckpt.homes[first..first + count]);
+        run_chunk(cfg, &specs, &templates, first, count, record, trace, stops, shard_resume)
     });
 
     let mut per_home = Vec::with_capacity(cfg.homes);
     let mut events = record.then(|| Vec::with_capacity(cfg.homes));
     let mut telemetry = Telemetry::default();
-    let mut des_events = 0u64;
+    let mut des_events = base_des;
     let mut peak_pending = 0usize;
+    let mut checkpoints: Vec<MetroCheckpoint> = stops
+        .iter()
+        .map(|&at| MetroCheckpoint {
+            at,
+            digest,
+            des_events: base_des,
+            homes: Vec::with_capacity(cfg.homes),
+        })
+        .collect();
     for chunk in results {
         per_home.extend(chunk.stats);
         if let (Some(events), Some(taps)) = (events.as_mut(), chunk.taps) {
@@ -729,6 +988,12 @@ fn run_scale_inner(cfg: &MetroConfig, record: bool, trace: bool) -> TraceOutput 
         }
         des_events += chunk.des_events;
         peak_pending = peak_pending.max(chunk.max_pending);
+        for (ckpt, (processed, homes)) in checkpoints.iter_mut().zip(chunk.checkpoints) {
+            // Shard queues count their own events; fleet-level totals sum
+            // them (plus whatever the resume source had already served).
+            ckpt.des_events += processed;
+            ckpt.homes.extend(homes);
+        }
     }
     let report = ScaleReport {
         homes: cfg.homes,
@@ -742,7 +1007,7 @@ fn run_scale_inner(cfg: &MetroConfig, record: bool, trace: bool) -> TraceOutput 
         let (_, clamped) = report.totals_checked();
         telemetry.fleet.add(Ctr::TotalsSaturated, clamped);
     }
-    TraceOutput { report, telemetry, peak_pending }
+    Ok((TraceOutput { report, telemetry, peak_pending }, checkpoints))
 }
 
 #[cfg(test)]
@@ -864,6 +1129,104 @@ mod tests {
         let text = report.render();
         assert!(text.contains("WARNING"), "saturation must be loud: {text}");
         assert!(text.contains("lower bounds"), "{text}");
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_run() {
+        let plain = run_scale(&small_cfg());
+        let stops = [SimTime::from_secs(200), SimTime::from_secs(400)];
+        let (report, ckpts) = run_scale_checkpointed(&small_cfg(), &stops);
+        assert_eq!(plain, report, "capture must be non-destructive");
+        assert_eq!(ckpts.len(), 2);
+        assert_eq!(ckpts[0].at, stops[0]);
+        assert_eq!(ckpts[0].homes.len(), 4);
+        assert!(ckpts[0].des_events < ckpts[1].des_events);
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_run() {
+        let cfg = small_cfg();
+        let full = run_scale(&cfg);
+        let (_, ckpts) = run_scale_checkpointed(&cfg, &[SimTime::from_secs(300)]);
+        let resumed = resume_scale(&cfg, &ckpts[0]).unwrap();
+        assert_eq!(full, resumed, "snapshot-then-resume must be invisible");
+    }
+
+    #[test]
+    fn snapshot_survives_the_codec_and_resumes() {
+        let cfg = small_cfg();
+        let (_, ckpts) = run_scale_checkpointed(&cfg, &[SimTime::from_secs(300)]);
+        let blob = crate::checkpoint::save_checkpoint(&ckpts[0], 2);
+        let back = crate::checkpoint::load_checkpoint(&blob, 2).unwrap();
+        assert_eq!(back, ckpts[0]);
+        assert_eq!(resume_scale(&cfg, &back).unwrap(), run_scale(&cfg));
+    }
+
+    #[test]
+    fn resume_rejects_a_different_config_but_not_resume_knobs() {
+        let cfg = small_cfg();
+        let (_, ckpts) = run_scale_checkpointed(&cfg, &[SimTime::from_secs(300)]);
+        let reseeded = MetroConfig { seed: 9, ..small_cfg() };
+        assert!(matches!(
+            resume_scale(&reseeded, &ckpts[0]),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+        // Worker count is a resume-time free choice.
+        let parallel = MetroConfig { jobs: 3, ..small_cfg() };
+        assert_eq!(resume_scale(&parallel, &ckpts[0]).unwrap(), run_scale(&cfg));
+    }
+
+    #[test]
+    fn traced_resume_merges_counters_across_the_boundary() {
+        let cfg = small_cfg();
+        let full = run_scale_traced(&cfg);
+        let (_, ckpts) = run_scale_checkpointed_traced(&cfg, &[SimTime::from_secs(300)]);
+        let resumed = resume_scale_traced(&cfg, &ckpts[0]).unwrap();
+        assert_eq!(resumed.report, full.report);
+        assert_eq!(
+            resumed.telemetry, full.telemetry,
+            "telemetry must cover the whole run, not just the resumed tail"
+        );
+    }
+
+    #[test]
+    fn resume_can_keep_checkpointing() {
+        let cfg = small_cfg();
+        let (_, first) = run_scale_checkpointed(&cfg, &[SimTime::from_secs(200)]);
+        let (report, second) =
+            resume_scale_checkpointed(&cfg, &first[0], &[SimTime::from_secs(400)]).unwrap();
+        assert_eq!(report, run_scale(&cfg));
+        // A re-checkpointed snapshot is as good as one from the original
+        // run: resuming it still lands on the uninterrupted result.
+        assert_eq!(resume_scale(&cfg, &second[0]).unwrap(), run_scale(&cfg));
+        let (_, direct) = run_scale_checkpointed(&cfg, &[SimTime::from_secs(400)]);
+        assert_eq!(second[0], direct[0], "chained and direct snapshots agree");
+    }
+
+    #[test]
+    fn snapshot_at_the_horizon_resumes_into_a_longer_run() {
+        // The degenerate-but-natural CLI flow: serve to T, snapshot the
+        // *end* state, later resume to 2T. The snapshot must carry each
+        // home's natural next wake even though the capturing run's
+        // horizon ended — a pending set truncated at the old horizon
+        // would resume into a dead fleet.
+        let short = MetroConfig { horizon: SimDuration::from_secs(300), ..small_cfg() };
+        let long = MetroConfig { horizon: SimDuration::from_secs(600), ..small_cfg() };
+        let (_, ckpts) = run_scale_checkpointed(&short, &[SimTime::from_secs(300)]);
+        assert!(
+            ckpts[0].homes.iter().all(|h| !h.pending.is_empty()),
+            "an end-of-run snapshot must still hold every home's next wake"
+        );
+        let resumed = resume_scale(&long, &ckpts[0]).unwrap();
+        assert_eq!(resumed, run_scale(&long));
+        // Same through the heap engine.
+        let short_heap = MetroConfig { engine: EngineKind::Heap, ..short };
+        let long_heap = MetroConfig { engine: EngineKind::Heap, ..long };
+        let (_, heap_ckpts) = run_scale_checkpointed(&short_heap, &[SimTime::from_secs(300)]);
+        assert_eq!(
+            resume_scale(&long_heap, &heap_ckpts[0]).unwrap(),
+            run_scale(&long_heap)
+        );
     }
 
     #[test]

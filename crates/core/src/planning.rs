@@ -519,6 +519,53 @@ impl PlanningSubsystem {
         self.episodes_trained = episodes_trained;
     }
 
+    /// Captures the planner's complete resumable learned state, or `None`
+    /// for learner kinds other than [`LearnerKind::WatkinsQLambda`].
+    ///
+    /// Only the paper's default learner supports checkpointing: the
+    /// ablation learners with internal RNGs (`DoubleQ`, `DynaQ`) would
+    /// need their private stream positions serialized too, and nothing in
+    /// the metro/fuzzing paths instantiates them.
+    #[must_use]
+    pub fn capture_learned(&self) -> Option<LearnedState> {
+        let Learner::WatkinsQLambda(l) = &self.learner else {
+            return None;
+        };
+        Some(LearnedState {
+            values: l.q().values().collect(),
+            visits: l.q().visit_counts().collect(),
+            traces: l.trace_entries().to_vec(),
+            updates: l.updates(),
+            episodes_trained: self.episodes_trained,
+        })
+    }
+
+    /// Restores state captured by [`PlanningSubsystem::capture_learned`]
+    /// onto a planner freshly built from the same spec and config.
+    ///
+    /// Unlike [`PlanningSubsystem::restore_values`] (the persistence
+    /// path, which deliberately drops visit counts and traces), this is a
+    /// full-fidelity restore: the resumed planner's subsequent updates
+    /// are bit-identical to an uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the planner's learner is not
+    /// [`LearnerKind::WatkinsQLambda`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's table dimensions do not match this planner's
+    /// encoder.
+    pub fn apply_learned(&mut self, state: &LearnedState) -> Result<(), &'static str> {
+        let Learner::WatkinsQLambda(l) = &mut self.learner else {
+            return Err("checkpoint restore is only supported for the WatkinsQLambda learner");
+        };
+        l.restore_state(&state.values, &state.visits, &state.traces, state.updates);
+        self.episodes_trained = state.episodes_trained;
+        Ok(())
+    }
+
     /// Observe a single live transition (online learning while the system
     /// is deployed). `prev → cur` is the state the user was in, `next` the
     /// step they moved to, `prompt` what the system displayed (or would
@@ -546,6 +593,25 @@ impl PlanningSubsystem {
             _ => self.learner.as_dyn_mut().observe(s, a, r, Outcome::Terminal),
         }
     }
+}
+
+/// The planner's complete resumable learned state, as captured by
+/// [`PlanningSubsystem::capture_learned`]: Q-values with visit counts,
+/// live eligibility traces, the TD update counter (which positions the
+/// learning-rate schedule) and the episode counter (which positions the
+/// exploration schedule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedState {
+    /// Q-values in state-major order.
+    pub values: Vec<f64>,
+    /// Visit counts in state-major order.
+    pub visits: Vec<u64>,
+    /// Live eligibility-trace entries in insertion order.
+    pub traces: Vec<(StateId, ActionId, f64)>,
+    /// TD updates consumed so far.
+    pub updates: u64,
+    /// Training episodes consumed so far.
+    pub episodes_trained: u64,
 }
 
 /// Measures a learning curve by training a fresh planner and evaluating
@@ -737,6 +803,43 @@ mod tests {
         planner.observe_transition(StepId::IDLE, ids[0], ids[1], prompt, false);
         assert_ne!(&before, planner.q_table());
         let _ = routine;
+    }
+
+    #[test]
+    fn capture_apply_resumes_training_identically() {
+        let (_, routine, mut live) = tea_planner();
+        let (_, _, mut ghost) = tea_planner();
+        let mut live_rng = SimRng::seed_from(7);
+        let mut ghost_rng = SimRng::seed_from(7);
+        for _ in 0..40 {
+            live.train_episode(routine.steps(), &mut live_rng);
+            ghost.train_episode(routine.steps(), &mut ghost_rng);
+        }
+        let state = live.capture_learned().expect("default learner is Watkins");
+        let (tea, _, _) = tea_planner();
+        let mut resumed = PlanningSubsystem::new(&tea, PlanningConfig::default());
+        resumed.apply_learned(&state).unwrap();
+        let (s, b) = live_rng.state_parts();
+        let mut resumed_rng = SimRng::from_state_parts(s, b);
+        for _ in 0..40 {
+            resumed.train_episode(routine.steps(), &mut resumed_rng);
+            ghost.train_episode(routine.steps(), &mut ghost_rng);
+        }
+        let a: Vec<f64> = resumed.q_table().values().collect();
+        let e: Vec<f64> = ghost.q_table().values().collect();
+        assert_eq!(a, e, "resumed planner diverged from uninterrupted ghost");
+        assert_eq!(resumed.episodes_trained(), ghost.episodes_trained());
+    }
+
+    #[test]
+    fn apply_learned_rejects_non_watkins() {
+        let tea = catalog::tea_making();
+        let cfg = PlanningConfig { learner: LearnerKind::QLearning, ..PlanningConfig::default() };
+        let mut planner = PlanningSubsystem::new(&tea, cfg);
+        assert_eq!(planner.capture_learned(), None);
+        let (_, _, watkins) = tea_planner();
+        let state = watkins.capture_learned().unwrap();
+        assert!(planner.apply_learned(&state).is_err());
     }
 
     #[test]

@@ -151,6 +151,27 @@ impl SensingSubsystem {
         self.last_report_at = None;
         self.history.clear();
     }
+
+    /// Captures the subsystem's mutable state (checkpointing): the
+    /// believed current step, the last-report instant, and the recognised
+    /// history. Timeouts are derived from the spec and need no capture.
+    #[must_use]
+    pub fn export_state(&self) -> (Option<StepId>, Option<SimTime>, Vec<StepEvent>) {
+        (self.current, self.last_report_at, self.history.clone())
+    }
+
+    /// Restores state captured by [`SensingSubsystem::export_state`] onto
+    /// a subsystem freshly built from the same spec.
+    pub fn restore_state(
+        &mut self,
+        current: Option<StepId>,
+        last_report_at: Option<SimTime>,
+        history: Vec<StepEvent>,
+    ) {
+        self.current = current;
+        self.last_report_at = last_report_at;
+        self.history = history;
+    }
 }
 
 #[cfg(test)]

@@ -138,6 +138,22 @@ struct Active {
     foreign_run: Option<(usize, u32)>,
 }
 
+/// The resumable state of an open session, as captured by
+/// [`SessionTracker::export_active`]. Activity metadata and interned
+/// names are rebuilt from the specs (in the same order, so the same
+/// [`NameId`]s come out) and are not part of the snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveSessionState {
+    /// Index of the activity in session (spec order).
+    pub activity_idx: usize,
+    /// Last report instant.
+    pub last_report: SimTime,
+    /// Whether the terminal tool has been seen.
+    pub saw_terminal: bool,
+    /// In-progress foreign run: `(foreign activity index, run length)`.
+    pub foreign_run: Option<(usize, u32)>,
+}
+
 /// Recognises activity sessions from the home-wide report stream.
 ///
 /// # Examples
@@ -334,6 +350,39 @@ impl SessionTracker {
             }
         }
         events
+    }
+
+    /// Captures the open-session state, if any (checkpointing).
+    #[must_use]
+    pub fn export_active(&self) -> Option<ActiveSessionState> {
+        self.active.as_ref().map(|a| ActiveSessionState {
+            activity_idx: a.idx,
+            last_report: a.last_report,
+            saw_terminal: a.saw_terminal,
+            foreign_run: a.foreign_run,
+        })
+    }
+
+    /// Restores the open-session state captured by
+    /// [`SessionTracker::export_active`] onto a tracker freshly built
+    /// from the same specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced activity index is out of range.
+    pub fn restore_active(&mut self, state: Option<ActiveSessionState>) {
+        self.active = state.map(|s| {
+            assert!(s.activity_idx < self.activities.len(), "active activity index out of range");
+            if let Some((who, _)) = s.foreign_run {
+                assert!(who < self.activities.len(), "foreign activity index out of range");
+            }
+            Active {
+                idx: s.activity_idx,
+                last_report: s.last_report,
+                saw_terminal: s.saw_terminal,
+                foreign_run: s.foreign_run,
+            }
+        });
     }
 
     /// Periodic check: closes the open session after `idle_close` of

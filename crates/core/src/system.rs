@@ -21,13 +21,13 @@ use coreda_des::rng::SimRng;
 use coreda_des::time::{SimDuration, SimTime};
 use coreda_sensornet::detect::Thresholds;
 use coreda_sensornet::medium::SharedMedium;
-use coreda_sensornet::network::{BaseStation, LinkConfig, StarNetwork};
-use coreda_sensornet::node::PavenetNode;
+use coreda_sensornet::network::{BaseStation, LinkConfig, LinkCounters, StarNetwork};
+use coreda_sensornet::node::{NodeId, NodeState, PavenetNode};
 
 use crate::live::{EpisodeLog, LogKind, PatientBehavior};
-use crate::planning::{PlanningConfig, PlanningSubsystem};
+use crate::planning::{LearnedState, PlanningConfig, PlanningSubsystem};
 use crate::reminding::{Prompt, ReminderLevel, RemindingSubsystem, Trigger};
-use crate::sensing::SensingSubsystem;
+use crate::sensing::{SensingSubsystem, StepEvent};
 use crate::telemetry::{Ctr, HomeRecorder, MaybeRec, Stage, TraceKind};
 
 /// System-level configuration.
@@ -90,6 +90,61 @@ enum Phase {
     Frozen { since: SimTime, resume_idx: usize },
     /// Finished every step.
     Done,
+}
+
+/// The public, codec-friendly mirror of the private live-episode phase
+/// (checkpointing). Conversions are lossless in both directions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhaseState {
+    /// Performing routine step `idx` until the given instant.
+    Performing {
+        /// Routine step index.
+        idx: usize,
+        /// When the step completes.
+        until: SimTime,
+    },
+    /// Using the wrong tool since `since`; would resume at `resume_idx`.
+    Misusing {
+        /// The wrongly used tool.
+        tool: ToolId,
+        /// When the misuse began.
+        since: SimTime,
+        /// Routine index to resume at.
+        resume_idx: usize,
+    },
+    /// Doing nothing since `since`; would resume at `resume_idx`.
+    Frozen {
+        /// When the freeze began.
+        since: SimTime,
+        /// Routine index to resume at.
+        resume_idx: usize,
+    },
+    /// Finished every step.
+    Done,
+}
+
+impl Phase {
+    fn export(self) -> PhaseState {
+        match self {
+            Phase::Performing { idx, until } => PhaseState::Performing { idx, until },
+            Phase::Misusing { tool, since, resume_idx } => {
+                PhaseState::Misusing { tool, since, resume_idx }
+            }
+            Phase::Frozen { since, resume_idx } => PhaseState::Frozen { since, resume_idx },
+            Phase::Done => PhaseState::Done,
+        }
+    }
+
+    fn restore(state: PhaseState) -> Phase {
+        match state {
+            PhaseState::Performing { idx, until } => Phase::Performing { idx, until },
+            PhaseState::Misusing { tool, since, resume_idx } => {
+                Phase::Misusing { tool, since, resume_idx }
+            }
+            PhaseState::Frozen { since, resume_idx } => Phase::Frozen { since, resume_idx },
+            PhaseState::Done => Phase::Done,
+        }
+    }
 }
 
 /// The assembled CoReDA system for one ADL and one user.
@@ -186,6 +241,69 @@ impl LiveEpisode {
     pub fn finished(&self) -> bool {
         self.finished
     }
+
+    /// Captures the episode's complete state (checkpointing).
+    #[must_use]
+    pub fn export_state(&self) -> EpisodeState {
+        EpisodeState {
+            phase: self.phase.export(),
+            tracked: self.tracked,
+            pending: self.pending,
+            last_reminder: self.last_reminder,
+            reminders_since_advance: self.reminders_since_advance,
+            completed: self.completed,
+            ticks_done: self.ticks_done,
+            max_ticks: self.max_ticks,
+            start: self.start,
+            finished: self.finished,
+        }
+    }
+
+    /// Rebuilds an episode from state captured by
+    /// [`LiveEpisode::export_state`]. Driving the rebuilt episode from
+    /// [`LiveEpisode::next_tick_at`] continues the interrupted one
+    /// exactly (given the owning [`Coreda`] was restored too).
+    #[must_use]
+    pub fn from_state(state: &EpisodeState) -> Self {
+        LiveEpisode {
+            phase: Phase::restore(state.phase),
+            tracked: state.tracked,
+            pending: state.pending,
+            last_reminder: state.last_reminder,
+            reminders_since_advance: state.reminders_since_advance,
+            completed: state.completed,
+            ticks_done: state.ticks_done,
+            max_ticks: state.max_ticks,
+            start: state.start,
+            finished: state.finished,
+        }
+    }
+}
+
+/// A [`LiveEpisode`]'s captured state — every field of the live-episode
+/// state machine, public so the checkpoint codec can serialise it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeState {
+    /// Patient state-machine phase.
+    pub phase: PhaseState,
+    /// The last two accepted steps, if prediction has started.
+    pub tracked: Option<(StepId, StepId)>,
+    /// Outstanding prompt and its reaction instant.
+    pub pending: Option<(SimTime, Prompt)>,
+    /// When the last reminder was issued.
+    pub last_reminder: Option<SimTime>,
+    /// Reminders issued since the patient last advanced.
+    pub reminders_since_advance: u32,
+    /// Whether the ADL completed.
+    pub completed: bool,
+    /// Ticks run so far.
+    pub ticks_done: u64,
+    /// Hard tick cap.
+    pub max_ticks: u64,
+    /// Episode start instant.
+    pub start: SimTime,
+    /// Whether the episode is over.
+    pub finished: bool,
 }
 
 /// What one live tick produced — the counters a serving engine keeps
@@ -890,6 +1008,117 @@ impl Coreda {
         log.push(now, LogKind::PatientStarted(step_id));
         Phase::Performing { idx, until: now + duration }
     }
+
+    /// Captures the system's complete mutable state (checkpointing):
+    /// the learned planner state, the sensing pipeline, every node with
+    /// its RNG stream, the radio channels and counters, the base
+    /// station's dedup table, and the network RNG / downlink sequence.
+    ///
+    /// Everything else — the spec, config, subsystem wiring, scratch
+    /// buffers — is construction-time and rebuilt from the same inputs.
+    #[must_use]
+    pub fn export_state(&self) -> SystemState {
+        let (sensing_current, sensing_last_report, sensing_history) = self.sensing.export_state();
+        SystemState {
+            learned: self.planner.capture_learned(),
+            sensing_current,
+            sensing_last_report,
+            sensing_history,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|(n, rng)| {
+                    let (state, base) = rng.state_parts();
+                    (n.export_state(), state, base)
+                })
+                .collect(),
+            net_rng: self.net_rng.state_parts(),
+            downlink_seq: self.downlink_seq,
+            channels: self.network.channel_states(),
+            uplink: self.network.uplink_counters(),
+            downlink: self.network.downlink_counters(),
+            base_last_seqs: self.base.last_seqs(),
+            base_accepted: self.base.accepted(),
+            base_duplicates: self.base.duplicates(),
+        }
+    }
+
+    /// Restores state captured by [`Coreda::export_state`] onto a system
+    /// freshly built from the *same* spec, config and seed. Apply any
+    /// fault-injected link-loss model (via [`Coreda::set_link_loss`])
+    /// *before* calling — restoring channel states must come after the
+    /// loss model is in place, because swapping the loss model resets
+    /// per-link channel state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the captured planner state cannot be applied
+    /// to this system's learner kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node set differs from the capture (a checkpoint
+    /// from a different ADL spec).
+    pub fn restore_state(&mut self, state: &SystemState) -> Result<(), &'static str> {
+        if let Some(learned) = &state.learned {
+            self.planner.apply_learned(learned)?;
+        }
+        self.sensing.restore_state(
+            state.sensing_current,
+            state.sensing_last_report,
+            state.sensing_history.clone(),
+        );
+        assert_eq!(self.nodes.len(), state.nodes.len(), "checkpoint node count mismatch");
+        for ((node, rng), (node_state, rng_state, rng_base)) in
+            self.nodes.iter_mut().zip(&state.nodes)
+        {
+            node.restore_state(node_state);
+            *rng = SimRng::from_state_parts(*rng_state, *rng_base);
+        }
+        let (net_state, net_base) = state.net_rng;
+        self.net_rng = SimRng::from_state_parts(net_state, net_base);
+        self.downlink_seq = state.downlink_seq;
+        self.network.restore_channel_states(&state.channels);
+        self.network.restore_counters(state.uplink, state.downlink);
+        self.base.restore_state(
+            &state.base_last_seqs,
+            state.base_accepted,
+            state.base_duplicates,
+        );
+        Ok(())
+    }
+}
+
+/// A [`Coreda`] system's captured state — the checkpoint-codec view of
+/// one assembled reminding pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemState {
+    /// Learned planner state, when the learner supports capture.
+    pub learned: Option<LearnedState>,
+    /// Sensing: the believed current step.
+    pub sensing_current: Option<StepId>,
+    /// Sensing: when the last report arrived.
+    pub sensing_last_report: Option<SimTime>,
+    /// Sensing: the recognised step history.
+    pub sensing_history: Vec<StepEvent>,
+    /// Per-node `(state, rng state, rng base seed)` in spec tool order.
+    pub nodes: Vec<(NodeState, [u64; 4], u64)>,
+    /// Network RNG `(state, base seed)`.
+    pub net_rng: ([u64; 4], u64),
+    /// Next downlink sequence number.
+    pub downlink_seq: u16,
+    /// Per-link channel states, sorted by node id.
+    pub channels: Vec<(NodeId, bool, u64, u64)>,
+    /// Uplink aggregate counters.
+    pub uplink: LinkCounters,
+    /// Downlink aggregate counters.
+    pub downlink: LinkCounters,
+    /// Base-station dedup table, sorted by node id.
+    pub base_last_seqs: Vec<(NodeId, u16)>,
+    /// Reports the base station accepted.
+    pub base_accepted: u64,
+    /// Duplicate frames the base station suppressed.
+    pub base_duplicates: u64,
 }
 
 #[cfg(test)]
@@ -1159,6 +1388,49 @@ mod tests {
         let after = planner.prediction_confidence(prev, cur).unwrap();
         assert_eq!(before, 0.0, "untrained states have zero confidence");
         assert!(after > 0.5, "trained states are confident, got {after}");
+    }
+
+    #[test]
+    fn export_restore_resumes_live_episode_identically() {
+        // Ghost: an uninterrupted live episode.
+        let (mut ghost, routine) = trained_system(31);
+        let mut gb = StochasticBehavior::new(PatientProfile::moderate("x"));
+        let mut grng = SimRng::seed_from(32);
+        let glog = ghost.run_live(&routine, &mut gb, &mut grng);
+
+        // Interrupted: same construction, killed after 40 ticks.
+        let (mut sys, routine) = trained_system(31);
+        let mut b = StochasticBehavior::new(PatientProfile::moderate("x"));
+        let mut rng = SimRng::seed_from(32);
+        let mut log = EpisodeLog::new();
+        let mut ep = sys.begin_live(&routine, &mut b, SimTime::ZERO, &mut rng, Some(&mut log));
+        for _ in 0..40 {
+            assert!(!ep.finished, "episode should outlive the kill point");
+            let now = ep.next_tick_at();
+            sys.live_tick(&mut ep, &routine, &mut b, now, &mut rng, Some(&mut log), None, &mut |_, _| {});
+        }
+        let sys_state = sys.export_state();
+        let ep_state = ep.export_state();
+        let (rng_state, rng_base) = rng.state_parts();
+        drop(sys);
+
+        // Resume onto a freshly built twin.
+        let (mut resumed, routine) = trained_system(31);
+        resumed.restore_state(&sys_state).expect("watkins restore");
+        let mut ep = LiveEpisode::from_state(&ep_state);
+        let mut rng = SimRng::from_state_parts(rng_state, rng_base);
+        let mut b = StochasticBehavior::new(PatientProfile::moderate("x"));
+        while !ep.finished() {
+            let now = ep.next_tick_at();
+            resumed.live_tick(&mut ep, &routine, &mut b, now, &mut rng, Some(&mut log), None, &mut |_, _| {});
+        }
+        assert_eq!(log, glog, "resumed timeline must match the uninterrupted one");
+        assert_eq!(
+            resumed.total_energy_uj(),
+            ghost.total_energy_uj(),
+            "energy accumulators must carry across the snapshot bit-exactly"
+        );
+        assert_eq!(resumed.export_state(), ghost.export_state());
     }
 
     #[test]

@@ -325,13 +325,31 @@ pub const DEFAULT_RING_CAP: usize = 256;
 ///
 /// Pushing into a full ring overwrites the oldest record and bumps
 /// [`dropped`](Self::dropped); nothing allocates after construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality is *logical*: two rings compare equal when they hold the
+/// same records in the same oldest→newest order with the same capacity
+/// and drop count, regardless of where the write head physically sits.
+/// A ring restored from a checkpoint stores its records linearly from
+/// slot 0, so physical layout is not resume-invariant but the story the
+/// ring tells is.
+#[derive(Debug, Clone)]
 pub struct TraceRing {
     buf: Vec<TraceRecord>,
     cap: usize,
     head: usize,
     dropped: u64,
 }
+
+impl PartialEq for TraceRing {
+    fn eq(&self, other: &Self) -> bool {
+        self.cap == other.cap
+            && self.dropped == other.dropped
+            && self.buf.len() == other.buf.len()
+            && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for TraceRing {}
 
 impl TraceRing {
     /// An empty ring holding at most `cap` records.
@@ -379,6 +397,34 @@ impl TraceRing {
     pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
         let (wrapped, linear) = self.buf.split_at(self.head);
         linear.iter().chain(wrapped.iter())
+    }
+
+    /// The ring's capacity.
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Snapshots the held records, oldest → newest (checkpointing).
+    #[must_use]
+    pub fn export_records(&self) -> Vec<TraceRecord> {
+        self.iter().copied().collect()
+    }
+
+    /// Restores records captured by [`TraceRing::export_records`] plus
+    /// the drop count. The records are laid out linearly from slot 0
+    /// with the head on the oldest record, which reproduces the exact
+    /// drop-oldest behaviour of the original ring on subsequent pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more records are supplied than the ring can hold.
+    pub fn restore_state(&mut self, records: &[TraceRecord], dropped: u64) {
+        assert!(records.len() <= self.cap, "ring restore exceeds capacity");
+        self.buf.clear();
+        self.buf.extend_from_slice(records);
+        self.head = 0;
+        self.dropped = dropped;
     }
 }
 
@@ -477,6 +523,74 @@ impl HomeRecorder {
             mine.merge(theirs);
         }
     }
+
+    /// Captures the recorder's complete state (checkpointing): counters,
+    /// per-stage histogram counts, and the trace ring's records and drop
+    /// count. Histogram *shapes* are fixed by [`Stage::bins`] and are not
+    /// captured.
+    #[must_use]
+    pub fn export_state(&self) -> RecorderState {
+        RecorderState {
+            counters: self.counters.to_vec(),
+            stages: self
+                .stages
+                .iter()
+                .map(|h| {
+                    let bins = (0..h.bins()).map(|i| h.bin_count(i)).collect();
+                    (bins, h.underflow(), h.overflow())
+                })
+                .collect(),
+            ring_cap: self.ring.capacity(),
+            ring: self.ring.export_records(),
+            ring_dropped: self.ring.dropped(),
+        }
+    }
+
+    /// Restores state captured by [`HomeRecorder::export_state`],
+    /// replacing this recorder's counters, histograms and ring entirely
+    /// (including the ring capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's counter or stage count does not match this
+    /// build's registry, or if a stage's bin count differs from
+    /// [`Stage::bins`] — a checkpoint from an incompatible layout.
+    pub fn restore_state(&mut self, state: &RecorderState) {
+        assert_eq!(state.counters.len(), Ctr::COUNT, "counter registry size mismatch");
+        assert_eq!(state.stages.len(), Stage::COUNT, "stage registry size mismatch");
+        self.counters.copy_from_slice(&state.counters);
+        self.stages = Stage::ALL
+            .iter()
+            .zip(&state.stages)
+            .map(|(s, (bins, under, over))| {
+                let (lo, hi, n) = s.bins();
+                assert_eq!(bins.len(), n, "stage histogram bin count mismatch");
+                Histogram::from_parts(lo, hi, bins.clone(), *under, *over)
+            })
+            .collect();
+        self.ring = TraceRing::new(state.ring_cap);
+        self.ring.restore_state(&state.ring, state.ring_dropped);
+    }
+}
+
+/// A [`HomeRecorder`]'s captured state — the checkpoint-codec view of
+/// the flight recorder. Counters merge *across* a snapshot boundary on
+/// resume (they are restored, not reset), which is what keeps a resumed
+/// run's [`Telemetry::render_summary`] identical to an uninterrupted
+/// one's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecorderState {
+    /// Counter values in [`Ctr::ALL`] order.
+    pub counters: Vec<u64>,
+    /// Per-stage `(bin counts, underflow, overflow)` in [`Stage::ALL`]
+    /// order.
+    pub stages: Vec<(Vec<u64>, u64, u64)>,
+    /// Trace-ring capacity.
+    pub ring_cap: usize,
+    /// Held trace records, oldest → newest.
+    pub ring: Vec<TraceRecord>,
+    /// Trace records evicted before the snapshot.
+    pub ring_dropped: u64,
 }
 
 /// A recording hook that may be absent.
@@ -863,6 +977,26 @@ mod tests {
         assert_eq!(json_f64(1.5), "1.5");
         assert_eq!(json_f64(f64::INFINITY), "null");
         assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn recorder_state_round_trips_through_a_wrapped_ring() {
+        let mut r = HomeRecorder::with_ring_capacity(3);
+        r.add(Ctr::RadioFramesTx, 7);
+        r.latency_ms(Stage::IdleDetect, 12_000.0);
+        r.latency_ms(Stage::IdleDetect, 999_999.0); // overflow bin
+        for i in 0..5u32 {
+            r.event(SimTime::from_millis(u64::from(i)), TraceKind::EpisodeStarted { episode: i });
+        }
+        let state = r.export_state();
+        let mut restored = HomeRecorder::new();
+        restored.restore_state(&state);
+        assert_eq!(restored, r, "restore must be exact (logical ring equality)");
+        // Continued pushes behave identically on both sides.
+        r.event(SimTime::from_secs(9), TraceKind::Praised { latency_ms: 1 });
+        restored.event(SimTime::from_secs(9), TraceKind::Praised { latency_ms: 1 });
+        assert_eq!(restored, r);
+        assert_eq!(restored.ring().dropped(), 3);
     }
 
     #[test]

@@ -225,6 +225,19 @@ impl<E> Simulator<E> {
     pub fn clear_pending(&mut self) {
         self.queue.clear();
     }
+
+    /// Removes and returns every pending event in dispatch order
+    /// (`(time, seq)` FIFO), without advancing the clock or counting the
+    /// events as processed. This is the checkpoint path: the drained list
+    /// can be re-scheduled onto this or a fresh simulator (in the returned
+    /// order) to reproduce the exact dispatch sequence.
+    pub fn drain_pending(&mut self) -> Vec<(SimTime, E)> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(entry) = self.queue.pop() {
+            out.push(entry);
+        }
+        out
+    }
 }
 
 impl<E> Default for Simulator<E> {
@@ -329,6 +342,33 @@ mod tests {
         sim.schedule_at(SimTime::from_secs(1), ());
         sim.clear_pending();
         assert_eq!(sim.step(), None);
+    }
+
+    #[test]
+    fn drain_pending_preserves_dispatch_order_and_clock() {
+        for mut sim in [Simulator::new(), Simulator::with_heap_queue()] {
+            sim.schedule_at(SimTime::from_secs(1), "first");
+            sim.schedule_at(SimTime::from_secs(3), "late");
+            sim.schedule_at(SimTime::from_secs(1), "second");
+            assert_eq!(sim.step(), Some("first"));
+            let drained = sim.drain_pending();
+            assert_eq!(
+                drained,
+                vec![
+                    (SimTime::from_secs(1), "second"),
+                    (SimTime::from_secs(3), "late"),
+                ]
+            );
+            assert_eq!(sim.now(), SimTime::from_secs(1), "drain must not move the clock");
+            assert_eq!(sim.processed(), 1, "drained events are not processed");
+            assert_eq!(sim.pending(), 0);
+            // Rehydrating in drained order reproduces the dispatch sequence.
+            for (due, ev) in drained {
+                sim.schedule_at(due, ev);
+            }
+            assert_eq!(sim.step(), Some("second"));
+            assert_eq!(sim.step(), Some("late"));
+        }
     }
 
     #[test]

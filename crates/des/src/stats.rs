@@ -180,6 +180,32 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from the parts exposed by [`Histogram::lo`],
+    /// [`Histogram::hi`], the per-bin counts and the under/overflow
+    /// counters — the checkpoint restore path.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Histogram::new`].
+    #[must_use]
+    pub fn from_parts(lo: f64, hi: f64, bins: Vec<u64>, underflow: u64, overflow: u64) -> Self {
+        assert!(lo < hi, "empty histogram range [{lo}, {hi})");
+        assert!(!bins.is_empty(), "need at least one bin");
+        Histogram { lo, hi, bins, underflow, overflow }
+    }
+
+    /// Lower bound of the histogram range (inclusive).
+    #[must_use]
+    pub const fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the histogram range (exclusive).
+    #[must_use]
+    pub const fn hi(&self) -> f64 {
+        self.hi
+    }
+
     /// Count in bin `i`.
     ///
     /// # Panics
@@ -400,6 +426,17 @@ mod tests {
         assert_eq!(a.underflow(), 1);
         assert_eq!(a.overflow(), 1);
         assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    fn histogram_from_parts_round_trips() {
+        let mut h = Histogram::new(0.0, 50.0, 5);
+        for x in [-1.0, 3.0, 3.5, 49.0, 99.0] {
+            h.record(x);
+        }
+        let bins: Vec<u64> = (0..h.bins()).map(|i| h.bin_count(i)).collect();
+        let rebuilt = Histogram::from_parts(h.lo(), h.hi(), bins, h.underflow(), h.overflow());
+        assert_eq!(rebuilt, h);
     }
 
     #[test]

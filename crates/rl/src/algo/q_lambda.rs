@@ -84,6 +84,34 @@ impl WatkinsQLambda {
     pub fn live_traces(&self) -> usize {
         self.traces.len()
     }
+
+    /// The live eligibility-trace entries in insertion order
+    /// (checkpointing).
+    #[must_use]
+    pub fn trace_entries(&self) -> &[(StateId, ActionId, f64)] {
+        self.traces.entries()
+    }
+
+    /// Restores the learner's mutable state from a checkpoint: Q-table
+    /// values/visits, eligibility traces and the update counter (which
+    /// drives the learning-rate schedule, so it must round-trip for the
+    /// resumed stream of updates to match an uninterrupted one).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panics of [`QTable::restore_from_parts`] and
+    /// [`EligibilityTraces::restore_entries`] on malformed input.
+    pub fn restore_state(
+        &mut self,
+        values: &[f64],
+        visits: &[u64],
+        traces: &[(StateId, ActionId, f64)],
+        updates: u64,
+    ) {
+        self.q.restore_from_parts(values, visits);
+        self.traces.restore_entries(traces);
+        self.updates = updates;
+    }
 }
 
 impl TdControl for WatkinsQLambda {
@@ -248,6 +276,45 @@ mod tests {
         let mut l = WatkinsQLambda::new(testutil::chain_shape(), cfg(), 0.9, TraceKind::Replacing);
         testutil::train_on_chain(&mut l, 30, 11);
         testutil::assert_chain_solved(&l);
+    }
+
+    #[test]
+    fn restore_state_resumes_identically() {
+        let shape = ProblemShape::new(4, 2);
+        // Alpha schedule varies with the update counter, so a resumed
+        // learner only matches if `updates` round-trips too.
+        let decaying = TdConfig::new(Schedule::exponential(0.5, 0.9, 0.05), 0.9);
+        let script = [
+            (0, 0, 0.0, continue_to(1, 0)),
+            (1, 0, -1.0, continue_to(2, 0)),
+            (2, 0, 0.5, continue_to(3, 0)),
+            (3, 0, 10.0, Outcome::Terminal),
+        ];
+        let mut ghost = WatkinsQLambda::new(shape, decaying, 0.8, TraceKind::Replacing);
+        let mut live = WatkinsQLambda::new(shape, decaying, 0.8, TraceKind::Replacing);
+        for l in [&mut ghost, &mut live] {
+            l.begin_episode();
+            for &(s, a, r, out) in &script[..2] {
+                l.observe(StateId::new(s), ActionId::new(a), r, out);
+            }
+        }
+        // Kill `live` mid-episode and rebuild it from captured parts.
+        let values: Vec<f64> = live.q().values().collect();
+        let visits: Vec<u64> = live.q().visit_counts().collect();
+        let traces = live.trace_entries().to_vec();
+        let updates = live.updates();
+        let mut resumed = WatkinsQLambda::new(shape, decaying, 0.8, TraceKind::Replacing);
+        resumed.restore_state(&values, &visits, &traces, updates);
+
+        for l in [&mut ghost, &mut resumed] {
+            for &(s, a, r, out) in &script[2..] {
+                l.observe(StateId::new(s), ActionId::new(a), r, out);
+            }
+        }
+        assert_eq!(resumed.updates(), ghost.updates());
+        let ghost_vals: Vec<f64> = ghost.q().values().collect();
+        let resumed_vals: Vec<f64> = resumed.q().values().collect();
+        assert_eq!(resumed_vals, ghost_vals, "resumed learner diverged from ghost");
     }
 
     #[test]

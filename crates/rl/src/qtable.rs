@@ -220,6 +220,47 @@ impl QTable {
         self.visits.fill(0);
         self.greedy.fill(ActionId::new(0));
     }
+
+    /// Iterates every visit count in state-major order (checkpointing).
+    pub fn visit_counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.visits.iter().copied()
+    }
+
+    /// Overwrites the table with serialized `values` and `visits` (both in
+    /// state-major order, as produced by [`QTable::values`] and
+    /// [`QTable::visit_counts`]).
+    ///
+    /// The cached greedy action of every state is rebuilt by a full row
+    /// scan — a deserialized cache would otherwise go stale silently,
+    /// because the incremental maintenance in `set`/`nudge` assumes the
+    /// cache already satisfies its invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the table size, or any
+    /// value is non-finite.
+    pub fn restore_from_parts(&mut self, values: &[f64], visits: &[u64]) {
+        assert_eq!(
+            values.len(),
+            self.shape.table_len(),
+            "value count does not match shape {shape}",
+            shape = self.shape
+        );
+        assert_eq!(
+            visits.len(),
+            self.shape.table_len(),
+            "visit count does not match shape {shape}",
+            shape = self.shape
+        );
+        for &v in values {
+            assert!(v.is_finite(), "Q-values must be finite, got {v}");
+        }
+        self.values.copy_from_slice(values);
+        self.visits.copy_from_slice(visits);
+        for s in self.shape.state_ids() {
+            self.greedy[s.index()] = self.scan_greedy(s);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +372,40 @@ mod tests {
         for s in q.shape().state_ids() {
             assert_eq!(q.greedy_action(s), q.scan_greedy(s));
         }
+    }
+
+    #[test]
+    fn restore_rebuilds_stale_greedy_cache() {
+        // Regression: restoring raw values into a fresh table must not
+        // leave the default greedy cache (all action 0) in place when the
+        // row's argmax is elsewhere.
+        let mut src = QTable::new(shape());
+        let s = StateId::new(1);
+        src.set(s, ActionId::new(0), -2.0);
+        src.set(s, ActionId::new(3), 6.0);
+        src.nudge(StateId::new(2), ActionId::new(1), 1.5);
+        let values: Vec<f64> = src.values().collect();
+        let visits: Vec<u64> = src.visit_counts().collect();
+
+        let mut restored = QTable::new(shape());
+        restored.restore_from_parts(&values, &visits);
+        assert_eq!(restored, src);
+        for st in shape().state_ids() {
+            assert_eq!(
+                restored.greedy_action(st),
+                restored.scan_greedy(st),
+                "restored cache stale for state {st}"
+            );
+        }
+        assert_eq!(restored.greedy_action(s), ActionId::new(3));
+        assert_eq!(restored.visits(StateId::new(2), ActionId::new(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "value count does not match shape")]
+    fn restore_rejects_wrong_length() {
+        let mut q = QTable::new(shape());
+        q.restore_from_parts(&[0.0; 3], &[0; 3]);
     }
 
     #[test]

@@ -140,6 +140,27 @@ impl EligibilityTraces {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// The live entries in insertion order (checkpointing).
+    #[must_use]
+    pub fn entries(&self) -> &[(StateId, ActionId, f64)] {
+        &self.entries
+    }
+
+    /// Replaces the live set with `entries`, preserving their order —
+    /// [`EligibilityTraces::for_each`] then visits them exactly as the
+    /// captured store would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace value is non-finite or negative.
+    pub fn restore_entries(&mut self, entries: &[(StateId, ActionId, f64)]) {
+        for &(_, _, e) in entries {
+            assert!(e.is_finite() && e >= 0.0, "trace values must be finite and non-negative");
+        }
+        self.entries.clear();
+        self.entries.extend_from_slice(entries);
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +240,23 @@ mod tests {
         tr.visit(S, A);
         tr.clear();
         assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn restore_entries_round_trips_in_order() {
+        let mut tr = EligibilityTraces::new(TraceKind::Replacing);
+        tr.visit(StateId::new(3), ActionId::new(2));
+        tr.visit(S, A);
+        tr.decay(0.5);
+        tr.visit(StateId::new(4), ActionId::new(1));
+        let saved: Vec<_> = tr.entries().to_vec();
+
+        let mut restored = EligibilityTraces::new(TraceKind::Replacing);
+        restored.restore_entries(&saved);
+        assert_eq!(restored, tr);
+        let mut order = Vec::new();
+        restored.for_each(|s, a, e| order.push((s, a, e)));
+        assert_eq!(order, saved);
     }
 
     #[test]

@@ -174,6 +174,32 @@ impl Detector {
     pub fn reset(&mut self) {
         self.window.clear();
     }
+
+    /// The buffered per-sample votes of the partially filled window, in
+    /// arrival order (checkpointing).
+    #[must_use]
+    pub fn window_votes(&self) -> &[bool] {
+        &self.window
+    }
+
+    /// Replaces the partially filled window with `votes` so the next
+    /// verdict fires after exactly the same number of further samples as
+    /// in the captured detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` holds a full window or more — those samples
+    /// would already have produced a verdict.
+    pub fn restore_window(&mut self, votes: &[bool]) {
+        assert!(
+            votes.len() < SAMPLES_PER_WINDOW,
+            "a buffered window holds at most {} samples, got {}",
+            SAMPLES_PER_WINDOW - 1,
+            votes.len()
+        );
+        self.window.clear();
+        self.window.extend_from_slice(votes);
+    }
 }
 
 #[cfg(test)]

@@ -138,6 +138,36 @@ impl EnergyMeter {
     pub fn reset(&mut self) {
         *self = EnergyMeter::new(self.model);
     }
+
+    /// Restores the meter's accumulated totals from a checkpoint. The
+    /// consumed energy is restored as the raw accumulated `f64` (not
+    /// recomputed from the counters) so a resumed meter is bit-identical
+    /// to the captured one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumed_uj` is negative or non-finite.
+    #[allow(clippy::similar_names)]
+    pub fn restore_totals(
+        &mut self,
+        consumed_uj: f64,
+        samples: u64,
+        tx_bytes: u64,
+        rx_bytes: u64,
+        led_ms: u64,
+        sleep_ms: u64,
+    ) {
+        assert!(
+            consumed_uj.is_finite() && consumed_uj >= 0.0,
+            "consumed energy must be finite and non-negative, got {consumed_uj}"
+        );
+        self.consumed_uj = consumed_uj;
+        self.samples = samples;
+        self.tx_bytes = tx_bytes;
+        self.rx_bytes = rx_bytes;
+        self.led_ms = led_ms;
+        self.sleep_ms = sleep_ms;
+    }
 }
 
 /// Energy of two AA cells (~2×1.5 V · 2000 mAh ≈ 21.6 kJ usable at 3 V).

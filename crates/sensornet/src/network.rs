@@ -215,6 +215,46 @@ impl StarNetwork {
         (std::mem::take(&mut self.uplink), std::mem::take(&mut self.downlink))
     }
 
+    /// Per-node link state `(node, in_bad_state, frames_sent, frames_lost)`
+    /// sorted by node id — a deterministic export for checkpointing.
+    /// Loss models are not included: every link's model always equals
+    /// `config().loss` (registration and [`StarNetwork::set_loss`] both
+    /// maintain that invariant), so the snapshot stores it once.
+    #[must_use]
+    pub fn channel_states(&self) -> Vec<(NodeId, bool, u64, u64)> {
+        let mut out: Vec<_> = self
+            .links
+            .iter()
+            .map(|(&id, link)| (id, link.in_bad_state(), link.frames_sent(), link.frames_lost()))
+            .collect();
+        out.sort_unstable_by_key(|&(id, ..)| id.raw());
+        out
+    }
+
+    /// Restores per-node link state captured by
+    /// [`StarNetwork::channel_states`]. Apply the snapshot's loss model
+    /// via [`StarNetwork::set_loss`] *before* calling this — swapping the
+    /// model resets Gilbert–Elliott channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state refers to an unregistered node.
+    pub fn restore_channel_states(&mut self, states: &[(NodeId, bool, u64, u64)]) {
+        for &(id, bad, sent, lost) in states {
+            let link = self
+                .links
+                .get_mut(&id)
+                .unwrap_or_else(|| panic!("node {id} is not registered"));
+            link.restore_channel(bad, sent, lost);
+        }
+    }
+
+    /// Restores the direction tallies from a checkpoint.
+    pub fn restore_counters(&mut self, uplink: LinkCounters, downlink: LinkCounters) {
+        self.uplink = uplink;
+        self.downlink = downlink;
+    }
+
     fn send_via(&mut self, node: NodeId, packet: &Packet, rng: &mut SimRng) -> SendOutcome {
         let link = self
             .links
@@ -301,6 +341,26 @@ impl BaseStation {
     #[must_use]
     pub const fn duplicates(&self) -> u64 {
         self.duplicates
+    }
+
+    /// Per-node last-seen sequence numbers, sorted by node id
+    /// (checkpointing export).
+    #[must_use]
+    pub fn last_seqs(&self) -> Vec<(NodeId, u16)> {
+        let mut out: Vec<_> = self.last_seq.iter().map(|(&id, &seq)| (id, seq)).collect();
+        out.sort_unstable_by_key(|&(id, _)| id.raw());
+        out
+    }
+
+    /// Restores the dedup history and acceptance counters from a
+    /// checkpoint.
+    pub fn restore_state(&mut self, last_seqs: &[(NodeId, u16)], accepted: u64, duplicates: u64) {
+        self.last_seq.clear();
+        for &(id, seq) in last_seqs {
+            self.last_seq.insert(id, seq);
+        }
+        self.accepted = accepted;
+        self.duplicates = duplicates;
     }
 }
 

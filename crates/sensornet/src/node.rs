@@ -49,6 +49,41 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// The resumable mutable state of one [`PavenetNode`], as captured by
+/// [`PavenetNode::export_state`]. The signal model, thresholds and EEPROM
+/// are not included: they are construction-time configuration (the live
+/// pipeline never writes the EEPROM), so a restored node only needs to be
+/// built from the same spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeState {
+    /// Buffered detector votes of the partially filled window.
+    pub detector_window: Vec<bool>,
+    /// Green LED state.
+    pub led_green: bool,
+    /// Red LED state.
+    pub led_red: bool,
+    /// Accumulated energy in microjoules (raw accumulator).
+    pub energy_uj: f64,
+    /// Energy breakdown: (samples, tx bytes, rx bytes, led ms, sleep ms).
+    pub energy_breakdown: (u64, u64, u64, u64, u64),
+    /// Next radio sequence number.
+    pub next_seq: u16,
+    /// Peak activation seen in the current detection window.
+    pub window_peak_activation: f64,
+    /// Detection windows completed.
+    pub windows_closed: u64,
+    /// `ToolUse` reports emitted.
+    pub reports_sent: u64,
+    /// Whether the mote is crashed.
+    pub failed: bool,
+    /// False-positive flip probability.
+    pub flip_false_positive: f64,
+    /// False-negative flip probability.
+    pub flip_false_negative: f64,
+    /// Report-timestamp skew in milliseconds.
+    pub clock_skew_ms: i64,
+}
+
 /// A simulated PAVENET mote: sensor + detector + LEDs + EEPROM + radio
 /// sequence counter.
 ///
@@ -245,6 +280,53 @@ impl PavenetNode {
         self.detector.reset();
         self.window_peak_activation = 0.0;
     }
+
+    /// Captures the node's resumable mutable state (checkpointing).
+    #[must_use]
+    pub fn export_state(&self) -> NodeState {
+        NodeState {
+            detector_window: self.detector.window_votes().to_vec(),
+            led_green: self.leds.is_on(LedColor::Green),
+            led_red: self.leds.is_on(LedColor::Red),
+            energy_uj: self.energy.consumed_uj(),
+            energy_breakdown: self.energy.breakdown(),
+            next_seq: self.next_seq,
+            window_peak_activation: self.window_peak_activation,
+            windows_closed: self.windows_closed,
+            reports_sent: self.reports_sent,
+            failed: self.failed,
+            flip_false_positive: self.flip_false_positive,
+            flip_false_negative: self.flip_false_negative,
+            clock_skew_ms: self.clock_skew_ms,
+        }
+    }
+
+    /// Restores state captured by [`PavenetNode::export_state`] onto a
+    /// freshly built node with the same signal model and thresholds.
+    ///
+    /// The `failed` flag is written directly (not via
+    /// [`PavenetNode::set_failed`]) so the captured in-flight detector
+    /// window survives the restore.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panics of the underlying restore methods on
+    /// malformed input (oversized window, non-finite energy, flip rates
+    /// outside `[0, 1]`).
+    pub fn restore_state(&mut self, state: &NodeState) {
+        self.detector.restore_window(&state.detector_window);
+        self.leds.set(LedColor::Green, state.led_green);
+        self.leds.set(LedColor::Red, state.led_red);
+        let (samples, tx, rx, led, sleep) = state.energy_breakdown;
+        self.energy.restore_totals(state.energy_uj, samples, tx, rx, led, sleep);
+        self.next_seq = state.next_seq;
+        self.window_peak_activation = state.window_peak_activation;
+        self.windows_closed = state.windows_closed;
+        self.reports_sent = state.reports_sent;
+        self.failed = state.failed;
+        self.set_sensor_flip(state.flip_false_positive, state.flip_false_negative);
+        self.clock_skew_ms = state.clock_skew_ms;
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +416,34 @@ mod tests {
         let mut n = node();
         n.eeprom_mut().write(0, &[7, 0]).unwrap();
         assert_eq!(n.eeprom_mut().read(0, 2).unwrap(), &[7, 0]);
+    }
+
+    #[test]
+    fn export_restore_resumes_identically() {
+        let mut live = node();
+        let mut ghost = node();
+        let mut live_rng = SimRng::seed_from(6);
+        let mut ghost_rng = SimRng::seed_from(6);
+        // Advance both mid-window (37 ticks leaves 7 samples buffered).
+        for t in 0..37 {
+            let _ = live.sample_tick(true, t * 100, &mut live_rng);
+            let _ = ghost.sample_tick(true, t * 100, &mut ghost_rng);
+        }
+        live.set_clock_skew_ms(250);
+        ghost.set_clock_skew_ms(250);
+        let state = live.export_state();
+        let mut resumed = node();
+        resumed.restore_state(&state);
+        let (rng_state, rng_base) = live_rng.state_parts();
+        let mut resumed_rng = SimRng::from_state_parts(rng_state, rng_base);
+        for t in 37..80 {
+            let a = resumed.sample_tick(true, t * 100, &mut resumed_rng);
+            let b = ghost.sample_tick(true, t * 100, &mut ghost_rng);
+            assert_eq!(a, b, "resumed node diverged at tick {t}");
+        }
+        assert_eq!(resumed.windows_closed(), ghost.windows_closed());
+        assert_eq!(resumed.reports_sent(), ghost.reports_sent());
+        assert_eq!(resumed.energy().consumed_uj(), ghost.energy().consumed_uj());
     }
 
     #[test]

@@ -159,6 +159,22 @@ impl RadioLink {
             self.frames_lost as f64 / self.frames_sent as f64
         }
     }
+
+    /// Whether the Gilbert–Elliott channel is currently in the bad state
+    /// (always `false` for memoryless models). Checkpointing accessor.
+    #[must_use]
+    pub const fn in_bad_state(&self) -> bool {
+        self.in_bad_state
+    }
+
+    /// Restores the channel state and frame counters from a checkpoint.
+    /// Call this *after* any [`RadioLink::set_loss`], which resets the
+    /// channel to the good state.
+    pub fn restore_channel(&mut self, in_bad_state: bool, frames_sent: u64, frames_lost: u64) {
+        self.in_bad_state = in_bad_state;
+        self.frames_sent = frames_sent;
+        self.frames_lost = frames_lost;
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,10 @@ pub struct FuzzConfig {
     pub trace_dir: Option<PathBuf>,
     /// Hard cap on plans regardless of remaining budget.
     pub max_plans: usize,
+    /// Layer a [`FaultPlan::with_kill_resume`] process death onto every
+    /// generated plan, so each run also exercises the checkpoint codec
+    /// and the `resume_equivalence` oracle against its ghost.
+    pub kill_resume: bool,
 }
 
 impl Default for FuzzConfig {
@@ -53,6 +57,7 @@ impl Default for FuzzConfig {
             out_dir: None,
             trace_dir: None,
             max_plans: usize::MAX,
+            kill_resume: false,
         }
     }
 }
@@ -168,7 +173,10 @@ pub fn fuzz_with(harness: &Harness, cfg: &FuzzConfig) -> std::io::Result<FuzzRep
     while start.elapsed() < budget && report.plans_run < cfg.max_plans {
         let plan_seed = derive_seed(cfg.seed, "plan", index);
         index += 1;
-        let plan = FaultPlan::generate(plan_seed, harness.tool_ids());
+        let mut plan = FaultPlan::generate(plan_seed, harness.tool_ids());
+        if cfg.kill_resume {
+            plan = plan.with_kill_resume();
+        }
         let outcome = harness.check(&plan);
         report.plans_run += 1;
         if outcome.violations.is_empty() {

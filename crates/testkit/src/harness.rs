@@ -14,7 +14,9 @@ use coreda_adl::activity::{catalog, AdlSpec};
 use coreda_adl::patient::PatientProfile;
 use coreda_adl::routine::Routine;
 use coreda_adl::tool::ToolId;
+use coreda_core::checkpoint::{load_checkpoint, save_checkpoint, HomeCheckpoint, MetroCheckpoint};
 use coreda_core::fleet::derive_seed;
+use coreda_core::metro::HomeStats;
 use coreda_core::live::{EpisodeLog, LogKind, StochasticBehavior};
 use coreda_core::metro::EngineKind;
 use coreda_core::planning::PlanningSubsystem;
@@ -265,7 +267,10 @@ impl Harness {
 
     /// The full check: run on both engines, stream the wheel trace
     /// through every invariant oracle, verify the Q bound, and require
-    /// the two engine traces to be bit-identical.
+    /// the two engine traces to be bit-identical. Plans containing
+    /// [`FaultKind::CheckpointKillResume`] additionally run a *ghost* —
+    /// the same plan with the kills stripped — and require the
+    /// killed-and-resumed run to match it exactly.
     #[must_use]
     pub fn check(&self, plan: &FaultPlan) -> CheckOutcome {
         let wheel = self.run(plan, EngineKind::Wheel);
@@ -276,6 +281,21 @@ impl Harness {
         }
         if let Some(v) = oracles::check_engines(&wheel, &heap) {
             violations.push(v);
+        }
+        if plan.faults.iter().any(|f| f.kind == FaultKind::CheckpointKillResume) {
+            let ghost_plan = FaultPlan {
+                faults: plan
+                    .faults
+                    .iter()
+                    .filter(|f| f.kind != FaultKind::CheckpointKillResume)
+                    .cloned()
+                    .collect(),
+                ..plan.clone()
+            };
+            let ghost = self.run(&ghost_plan, EngineKind::Wheel);
+            if let Some(v) = oracles::check_resume(&wheel, &ghost) {
+                violations.push(v);
+            }
         }
         CheckOutcome { violations, wheel }
     }
@@ -296,6 +316,7 @@ struct AppliedFaults {
 
 /// One home being driven under a plan.
 struct HomeRun<'a> {
+    harness: &'a Harness,
     plan: &'a FaultPlan,
     systems: Vec<(Coreda, Routine, Routine)>,
     behavior: FaultyBehavior<StochasticBehavior>,
@@ -317,7 +338,7 @@ struct HomeRun<'a> {
 }
 
 impl<'a> HomeRun<'a> {
-    fn new(harness: &Harness, plan: &'a FaultPlan) -> Self {
+    fn new(harness: &'a Harness, plan: &'a FaultPlan) -> Self {
         let name = "dst-home";
         let systems: Vec<(Coreda, Routine, Routine)> = harness
             .specs
@@ -336,6 +357,7 @@ impl<'a> HomeRun<'a> {
         let sched_rng = root.substream("sched", 0);
         let base_link = harness.config.link.loss;
         let mut run = HomeRun {
+            harness,
             plan,
             systems,
             behavior: FaultyBehavior::new(StochasticBehavior::new(PatientProfile::moderate(
@@ -406,6 +428,9 @@ impl<'a> HomeRun<'a> {
                 FaultKind::NonCompliance => want.non_compliant = true,
                 FaultKind::SevereLapses => want.lapsing = true,
                 FaultKind::RoutineDrift { .. } => want.drifting = true,
+                // A kill is not a fault *window*: it interrupts the
+                // drive loop itself and leaves the aggregates alone.
+                FaultKind::CheckpointKillResume => {}
             }
         }
         want
@@ -415,6 +440,18 @@ impl<'a> HomeRun<'a> {
     /// draws randomness, so it is engine-invariant to apply this lazily.
     fn apply_faults(&mut self, now: SimTime) {
         let want = self.desired(now.as_millis());
+        self.apply_aggregate(want);
+    }
+
+    /// Applies `want` as the fault aggregate regardless of the plan's
+    /// windows. Resume uses this directly: faults are applied lazily at
+    /// poll instants and a kill tick need not be one, so the rebuilt
+    /// home must mirror the *dying* run's applied state — the state the
+    /// snapshot's node flags were captured under — not the plan's
+    /// desired state at the kill instant. Marking a window as applied
+    /// without its node-level effect would stop the delta machine from
+    /// ever applying it.
+    fn apply_aggregate(&mut self, want: AppliedFaults) {
         if want == self.applied {
             return;
         }
@@ -624,51 +661,179 @@ impl<'a> HomeRun<'a> {
         }
     }
 
+    /// Runs the wheel loop until `until`, scheduling follow-up events
+    /// against the full-run horizon `end` (so events past a kill point
+    /// land in the queue and get captured as pending).
+    fn wheel_segment(&mut self, sim: &mut Simulator<()>, until: SimTime, end: SimTime) {
+        while sim.step_until(until).is_some() {
+            let now = sim.now();
+            if self.last_handled == Some(now) {
+                continue;
+            }
+            self.last_handled = Some(now);
+            self.poll_instant(now);
+            if let Some((_, ep, ..)) = &self.episode {
+                let due = ep.next_tick_at();
+                if due <= end {
+                    sim.schedule_at(due, ());
+                }
+            } else {
+                if self.next_start <= end {
+                    sim.schedule_at(self.next_start, ());
+                }
+                if let Some(deadline) = self.tracker.idle_deadline() {
+                    let due = align_up(deadline);
+                    if due <= end {
+                        sim.schedule_at(due, ());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heap-engine counterpart of [`HomeRun::wheel_segment`].
+    fn heap_segment(&mut self, sim: &mut Simulator<()>, until: SimTime, end: SimTime) {
+        while sim.step_until(until).is_some() {
+            let now = sim.now();
+            self.last_handled = Some(now);
+            self.poll_instant(now);
+            let next = now + Coreda::TICK;
+            if next <= end {
+                sim.schedule_at(next, ());
+            }
+        }
+    }
+
+    /// The plan's process-death instants, sorted and clamped to the
+    /// horizon.
+    fn kill_ticks(&self) -> Vec<SimTime> {
+        let mut kills: Vec<SimTime> = self
+            .plan
+            .faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::CheckpointKillResume)
+            .map(|f| SimTime::from_millis(f.from_ms.min(self.plan.horizon_ms)))
+            .collect();
+        kills.sort();
+        kills
+    }
+
+    /// Simulates a process death at `kill`: the home's complete state
+    /// round-trips through the real binary checkpoint codec, the event
+    /// queue dies, and a freshly rebuilt home restores from the decoded
+    /// bytes and re-arms the queue. Harness bookkeeping that is not
+    /// system state — the observable trace, the episode log and its
+    /// drain cursor — survives in memory, exactly as a log shipped off
+    /// the box would.
+    fn kill_and_resume(mut self, sim: &mut Simulator<()>, kill: SimTime) -> HomeRun<'a> {
+        let pending: Vec<SimTime> =
+            sim.drain_pending().into_iter().map(|(due, ())| due).collect();
+        let snapshot = HomeCheckpoint {
+            systems: self.systems.iter().map(|(s, ..)| s.export_state()).collect(),
+            tracker: self.tracker.export_active(),
+            root: self.root.state_parts(),
+            sched: self.sched_rng.state_parts(),
+            episode: self
+                .episode
+                .as_ref()
+                .map(|(act, ep, rng, _, _)| (*act, ep.export_state(), rng.state_parts())),
+            ep_index: self.ep_index,
+            next_start: self.next_start,
+            last_handled: self.last_handled,
+            stats: HomeStats {
+                episodes_started: self.stats.episodes_started,
+                episodes_completed: self.stats.episodes_completed,
+                reminders: self.stats.reminders,
+                praises: self.stats.praises,
+                pipeline_ticks: self.stats.pipeline_ticks,
+                ..HomeStats::default()
+            },
+            pending,
+            rec: self.rec.as_ref().map(HomeRecorder::export_state),
+        };
+        let manifest = MetroCheckpoint {
+            at: kill,
+            digest: 0,
+            des_events: sim.processed(),
+            homes: vec![snapshot],
+        };
+        let blob = save_checkpoint(&manifest, 1);
+        let decoded = load_checkpoint(&blob, 1).expect("a self-made checkpoint must decode");
+        let ck = &decoded.homes[0];
+
+        let mut fresh = HomeRun::new(self.harness, self.plan);
+        // Fault *configuration* (loss model, behavior flags) is not in
+        // the snapshot and must be applied before state restore:
+        // installing a loss model resets channel state, which the
+        // snapshot then overwrites with the exact values. Crucially the
+        // dying run's lazily-*applied* aggregate is replayed, not the
+        // plan's desired state at the kill instant — a fault window that
+        // opened between two poll instants has not touched the systems
+        // yet, and pretending it had would leave its node-level effect
+        // unapplied forever (caught by the kill-resume fuzzer:
+        // tests/corpus/kill-resume-lazy-crash.seed.json).
+        fresh.apply_aggregate(self.applied.clone());
+        for ((system, ..), state) in fresh.systems.iter_mut().zip(&ck.systems) {
+            system.restore_state(state).expect("checkpoint matches the rebuilt home");
+        }
+        fresh.tracker.restore_active(ck.tracker);
+        fresh.root = SimRng::from_state_parts(ck.root.0, ck.root.1);
+        fresh.sched_rng = SimRng::from_state_parts(ck.sched.0, ck.sched.1);
+        fresh.episode = ck.episode.as_ref().map(|&(act, ref eps, rng)| {
+            let (_, _, _, log, cursor) = self
+                .episode
+                .take()
+                .expect("the snapshot has a live episode, so the killed run had one");
+            (act, LiveEpisode::from_state(eps), SimRng::from_state_parts(rng.0, rng.1), log, cursor)
+        });
+        fresh.ep_index = ck.ep_index;
+        fresh.next_start = ck.next_start;
+        fresh.last_handled = ck.last_handled;
+        fresh.stats = RunStats {
+            episodes_started: ck.stats.episodes_started,
+            episodes_completed: ck.stats.episodes_completed,
+            reminders: ck.stats.reminders,
+            praises: ck.stats.praises,
+            pipeline_ticks: ck.stats.pipeline_ticks,
+            energy_uj: 0.0,
+        };
+        fresh.trace = std::mem::take(&mut self.trace);
+        if self.rec.is_some() {
+            let mut rec = HomeRecorder::new();
+            if let Some(state) = &ck.rec {
+                rec.restore_state(state);
+            }
+            fresh.rec = Some(rec);
+        }
+        for &due in &ck.pending {
+            sim.schedule_at(due, ());
+        }
+        fresh
+    }
+
     fn drive(mut self, engine: EngineKind) -> (RunResult, Option<HomeRecorder>) {
         let end = SimTime::ZERO + SimDuration::from_millis(self.plan.horizon_ms);
+        let kills = self.kill_ticks();
         match engine {
             EngineKind::Wheel => {
                 let mut sim: Simulator<()> = Simulator::new();
                 if self.next_start <= end {
                     sim.schedule_at(self.next_start, ());
                 }
-                while sim.step_until(end).is_some() {
-                    let now = sim.now();
-                    if self.last_handled == Some(now) {
-                        continue;
-                    }
-                    self.last_handled = Some(now);
-                    self.poll_instant(now);
-                    if let Some((_, ep, ..)) = &self.episode {
-                        let due = ep.next_tick_at();
-                        if due <= end {
-                            sim.schedule_at(due, ());
-                        }
-                    } else {
-                        if self.next_start <= end {
-                            sim.schedule_at(self.next_start, ());
-                        }
-                        if let Some(deadline) = self.tracker.idle_deadline() {
-                            let due = align_up(deadline);
-                            if due <= end {
-                                sim.schedule_at(due, ());
-                            }
-                        }
-                    }
+                for &kill in &kills {
+                    self.wheel_segment(&mut sim, kill, end);
+                    self = self.kill_and_resume(&mut sim, kill);
                 }
+                self.wheel_segment(&mut sim, end, end);
             }
             EngineKind::Heap => {
                 let mut sim: Simulator<()> = Simulator::with_heap_queue();
                 sim.schedule_at(SimTime::ZERO, ());
-                while sim.step_until(end).is_some() {
-                    let now = sim.now();
-                    self.last_handled = Some(now);
-                    self.poll_instant(now);
-                    let next = now + Coreda::TICK;
-                    if next <= end {
-                        sim.schedule_at(next, ());
-                    }
+                for &kill in &kills {
+                    self.heap_segment(&mut sim, kill, end);
+                    self = self.kill_and_resume(&mut sim, kill);
                 }
+                self.heap_segment(&mut sim, end, end);
             }
         }
         self.stats.energy_uj = self.systems.iter().map(|(s, ..)| s.total_energy_uj()).sum();
@@ -760,6 +925,85 @@ mod tests {
         let (heap, heap_rec) = h.run_recorded(&plan, EngineKind::Heap);
         assert_eq!(recorded, heap);
         assert_eq!(rec, heap_rec, "recorders must agree across engines");
+    }
+
+
+    #[test]
+    fn kill_and_resume_matches_the_ghost_run() {
+        let h = harness();
+        for seed in [4u64, 9, 21] {
+            let killed = FaultPlan::generate(seed, h.tool_ids()).with_kill_resume();
+            let ghost = FaultPlan {
+                faults: killed
+                    .faults
+                    .iter()
+                    .filter(|f| f.kind != FaultKind::CheckpointKillResume)
+                    .cloned()
+                    .collect(),
+                ..killed.clone()
+            };
+            for engine in [EngineKind::Wheel, EngineKind::Heap] {
+                assert_eq!(
+                    h.run(&killed, engine),
+                    h.run(&ghost, engine),
+                    "resume diverged from the uninterrupted run: seed {seed}, {engine:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_kill_still_matches_the_ghost() {
+        let h = harness();
+        let base = FaultPlan::generate(13, h.tool_ids());
+        let mut killed = base.clone();
+        for at in [30_000, 90_000] {
+            killed.faults.push(crate::plan::Fault {
+                kind: FaultKind::CheckpointKillResume,
+                from_ms: at,
+                to_ms: at,
+            });
+        }
+        assert_eq!(h.run(&killed, EngineKind::Wheel), h.run(&base, EngineKind::Wheel));
+    }
+
+    #[test]
+    fn recorder_survives_the_kill() {
+        let h = harness();
+        let killed = FaultPlan::generate(6, h.tool_ids()).with_kill_resume();
+        let ghost = FaultPlan {
+            faults: killed
+                .faults
+                .iter()
+                .filter(|f| f.kind != FaultKind::CheckpointKillResume)
+                .cloned()
+                .collect(),
+            ..killed.clone()
+        };
+        let (killed_run, killed_rec) = h.run_recorded(&killed, EngineKind::Wheel);
+        let (ghost_run, ghost_rec) = h.run_recorded(&ghost, EngineKind::Wheel);
+        assert_eq!(killed_run, ghost_run);
+        assert_eq!(
+            killed_rec, ghost_rec,
+            "telemetry must merge across the snapshot boundary, not reset"
+        );
+    }
+
+    #[test]
+    fn check_flags_nothing_on_a_killed_clean_plan() {
+        let h = harness();
+        let plan = FaultPlan {
+            seed: 7,
+            horizon_ms: 240_000,
+            faults: vec![crate::plan::Fault {
+                kind: FaultKind::CheckpointKillResume,
+                from_ms: 60_000,
+                to_ms: 60_000,
+            }],
+            expect_violation: None,
+        };
+        let outcome = h.check(&plan);
+        assert!(!outcome.violated(), "{:?}", outcome.violations);
     }
 
     #[test]

@@ -84,7 +84,7 @@ fn write_fault(out: &mut String, fault: &Fault) {
         FaultKind::ClockSkew { tool, skew_ms } => {
             out.push_str(&format!(", \"tool\": {tool}, \"skew_ms\": {skew_ms}"));
         }
-        FaultKind::NonCompliance | FaultKind::SevereLapses => {}
+        FaultKind::NonCompliance | FaultKind::SevereLapses | FaultKind::CheckpointKillResume => {}
         FaultKind::RoutineDrift { swap_a, swap_b } => {
             out.push_str(&format!(", \"swap_a\": {swap_a}, \"swap_b\": {swap_b}"));
         }
@@ -179,6 +179,7 @@ fn parse_fault(value: &Value) -> Result<Fault, String> {
         }
         "non_compliance" => FaultKind::NonCompliance,
         "severe_lapses" => FaultKind::SevereLapses,
+        "checkpoint_kill_resume" => FaultKind::CheckpointKillResume,
         "routine_drift" => FaultKind::RoutineDrift {
             swap_a: u8::try_from(get_u64(obj, "swap_a")?).map_err(|_| "swap_a out of range")?,
             swap_b: u8::try_from(get_u64(obj, "swap_b")?).map_err(|_| "swap_b out of range")?,
@@ -490,6 +491,11 @@ mod tests {
                 },
                 Fault { kind: FaultKind::NonCompliance, from_ms: 0, to_ms: 100 },
                 Fault { kind: FaultKind::SevereLapses, from_ms: 0, to_ms: 100 },
+                Fault {
+                    kind: FaultKind::CheckpointKillResume,
+                    from_ms: 60_000,
+                    to_ms: 60_000,
+                },
                 Fault {
                     kind: FaultKind::RoutineDrift { swap_a: 1, swap_b: 3 },
                     from_ms: 0,

@@ -98,6 +98,14 @@ pub fn check_engines(wheel: &RunResult, heap: &RunResult) -> Option<Violation> {
     differential("engine_equivalence", "wheel", wheel, "heap", heap)
 }
 
+/// Differential oracle: a run that died at a checkpoint and resumed from
+/// the decoded snapshot must be bit-identical to the ghost run that was
+/// never interrupted.
+#[must_use]
+pub fn check_resume(resumed: &RunResult, ghost: &RunResult) -> Option<Violation> {
+    differential("resume_equivalence", "resumed", resumed, "ghost", ghost)
+}
+
 ///// Differential oracle: a batch re-run at `jobs > 1` must reproduce the
 /// serial results element for element.
 #[must_use]

@@ -61,6 +61,14 @@ pub enum FaultKind {
         /// Second swapped position.
         swap_b: u8,
     },
+    /// The serving process dies at the window start (`from_ms`): the
+    /// home's complete state round-trips through the binary checkpoint
+    /// codec, the event queue is lost, and a freshly rebuilt home
+    /// resumes from the decoded snapshot. The window end is ignored — a
+    /// kill is an instant, not an interval. Not drawn by
+    /// [`FaultPlan::generate`]; injected via
+    /// [`FaultPlan::with_kill_resume`] or written by hand.
+    CheckpointKillResume,
 }
 
 impl FaultKind {
@@ -75,6 +83,7 @@ impl FaultKind {
             FaultKind::NonCompliance => "non_compliance",
             FaultKind::SevereLapses => "severe_lapses",
             FaultKind::RoutineDrift { .. } => "routine_drift",
+            FaultKind::CheckpointKillResume => "checkpoint_kill_resume",
         }
     }
 
@@ -148,6 +157,22 @@ impl FaultPlan {
         let n_faults = 1 + (rng.uniform_range(0.0, 4.0) as usize).min(3);
         let faults = (0..n_faults).map(|_| generate_fault(&mut rng, tools, horizon_ms)).collect();
         FaultPlan { seed, horizon_ms, faults, expect_violation: None }
+    }
+
+    /// Adds a [`FaultKind::CheckpointKillResume`] at a seed-derived tick
+    /// strictly inside the horizon, so a fuzz campaign exercises
+    /// kill-and-resume on top of whatever else the plan breaks. The tick
+    /// comes from its own substream — plans with and without the kill
+    /// are otherwise identical, which is exactly what the
+    /// `resume_equivalence` oracle compares.
+    #[must_use]
+    pub fn with_kill_resume(mut self) -> FaultPlan {
+        let mut rng = SimRng::seed_from(self.seed).substream("kill-tick", 0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_precision_loss)]
+        let at_ms =
+            round_to_tick(rng.uniform_range(TICK_MS as f64, self.horizon_ms as f64 * 0.9) as u64);
+        self.faults.push(Fault { kind: FaultKind::CheckpointKillResume, from_ms: at_ms, to_ms: at_ms });
+        self
     }
 
     /// All tool ids the plan's targeted faults touch.
@@ -255,6 +280,26 @@ mod tests {
             "routine_drift",
         ] {
             assert!(seen.contains(kind), "fault kind {kind} never generated");
+        }
+    }
+
+    #[test]
+    fn kill_resume_is_opt_in_and_lands_on_the_grid() {
+        // generate() never draws the kind: it is injected, not random.
+        for seed in 0..500 {
+            assert!(FaultPlan::generate(seed, TOOLS)
+                .faults
+                .iter()
+                .all(|f| f.kind != FaultKind::CheckpointKillResume));
+        }
+        for seed in 0..50 {
+            let plan = FaultPlan::generate(seed, TOOLS).with_kill_resume();
+            let kill = plan.faults.last().unwrap();
+            assert_eq!(kill.kind, FaultKind::CheckpointKillResume);
+            assert_eq!(kill.from_ms, kill.to_ms, "a kill is an instant");
+            assert_eq!(kill.from_ms % TICK_MS, 0);
+            assert!(kill.from_ms >= TICK_MS && kill.from_ms < plan.horizon_ms, "{kill:?}");
+            assert_eq!(plan, FaultPlan::generate(seed, TOOLS).with_kill_resume());
         }
     }
 

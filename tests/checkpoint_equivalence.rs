@@ -1,0 +1,154 @@
+//! The durability headline guarantee, as a differential suite:
+//! run-to-T-then-snapshot-then-resume is bit-identical to an
+//! uninterrupted run — for any checkpoint tick, any `jobs` count, and
+//! either queue engine — plus codec-robustness proptests (round-trip
+//! exactness; corruption, truncation, and unknown-version rejection).
+
+use std::sync::OnceLock;
+
+use coreda_core::checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
+use coreda_core::metro::{
+    resume_scale, resume_scale_traced, run_scale, run_scale_checkpointed,
+    run_scale_checkpointed_traced, run_scale_traced, EngineKind, MetroConfig,
+};
+use coreda_des::time::{SimDuration, SimTime};
+use coreda_sensornet::packet::crc16;
+use proptest::prelude::*;
+
+fn cfg(jobs: usize, engine: EngineKind) -> MetroConfig {
+    MetroConfig {
+        homes: 6,
+        horizon: SimDuration::from_secs(600),
+        seed: 2007,
+        jobs,
+        engine,
+        gap_min: SimDuration::from_secs(60),
+        gap_max: SimDuration::from_secs(180),
+        train_episodes: 120,
+        ..MetroConfig::default()
+    }
+}
+
+#[test]
+fn resume_equals_uninterrupted_across_the_grid() {
+    // Checkpoint ticks spanning the run: the first serving instant, an
+    // off-gap mid-run tick, a late tick, and the horizon itself.
+    let ticks = [
+        SimTime::from_millis(100),
+        SimTime::from_secs(59),
+        SimTime::from_secs(300),
+        SimTime::from_secs(600),
+    ];
+    for engine in [EngineKind::Wheel, EngineKind::Heap] {
+        let full = run_scale(&cfg(1, engine));
+        let (_, snaps) = run_scale_checkpointed(&cfg(1, engine), &ticks);
+        for (tick, snap) in ticks.iter().zip(&snaps) {
+            for jobs in [1usize, 8] {
+                let resumed = resume_scale(&cfg(jobs, engine), snap)
+                    .unwrap_or_else(|e| panic!("resume at {tick:?}: {e}"));
+                assert_eq!(
+                    resumed, full,
+                    "resume diverged: tick {tick:?}, jobs {jobs}, {engine:?} engine"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshots_are_jobs_invariant_down_to_the_bytes() {
+    let ticks = [SimTime::from_secs(120), SimTime::from_secs(480)];
+    let (_, serial) = run_scale_checkpointed(&cfg(1, EngineKind::Wheel), &ticks);
+    let (_, parallel) = run_scale_checkpointed(&cfg(8, EngineKind::Wheel), &ticks);
+    assert_eq!(serial, parallel, "snapshot structs must not depend on sharding");
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            save_checkpoint(a, 1).to_vec(),
+            save_checkpoint(b, 8).to_vec(),
+            "snapshot bytes must not depend on encode parallelism either"
+        );
+    }
+}
+
+#[test]
+fn resumed_telemetry_merges_and_matches_at_any_jobs() {
+    let full = run_scale_traced(&cfg(1, EngineKind::Wheel));
+    let (_, snaps) =
+        run_scale_checkpointed_traced(&cfg(1, EngineKind::Wheel), &[SimTime::from_secs(240)]);
+    for jobs in [1usize, 8] {
+        let resumed = resume_scale_traced(&cfg(jobs, EngineKind::Wheel), &snaps[0]).unwrap();
+        assert_eq!(resumed.report, full.report, "jobs {jobs}");
+        assert_eq!(
+            resumed.telemetry, full.telemetry,
+            "counters and trace rings must merge across the boundary, not reset (jobs {jobs})"
+        );
+    }
+}
+
+/// One mid-run snapshot, encoded once and shared by the robustness
+/// proptests below (capturing it is the expensive part).
+fn blob() -> &'static [u8] {
+    static BLOB: OnceLock<Vec<u8>> = OnceLock::new();
+    BLOB.get_or_init(|| {
+        let (_, snaps) =
+            run_scale_checkpointed(&cfg(1, EngineKind::Wheel), &[SimTime::from_secs(120)]);
+        save_checkpoint(&snaps[0], 1).to_vec()
+    })
+}
+
+proptest! {
+    /// decode(encode(s)) == s for snapshots captured at arbitrary ticks.
+    #[test]
+    fn codec_round_trip_is_exact(tick_ms in 100u64..300_000, jobs in 1usize..9) {
+        let tick = SimTime::from_millis(tick_ms);
+        let short = MetroConfig {
+            horizon: SimDuration::from_secs(300),
+            ..cfg(jobs, EngineKind::Wheel)
+        };
+        let (_, snaps) = run_scale_checkpointed(&short, &[tick]);
+        let encoded = save_checkpoint(&snaps[0], jobs);
+        let decoded = load_checkpoint(&encoded, jobs).expect("fresh snapshot decodes");
+        prop_assert_eq!(decoded, snaps[0].clone());
+    }
+
+    /// Flipping any single bit anywhere in a snapshot is detected.
+    #[test]
+    fn corrupted_snapshots_are_rejected(frac in 0.0f64..1.0, bit in 0u32..8) {
+        let blob = blob();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = ((frac * blob.len() as f64) as usize).min(blob.len() - 1);
+        let mut bad = blob.to_vec();
+        bad[idx] ^= 1 << bit;
+        prop_assert!(
+            load_checkpoint(&bad, 1).is_err(),
+            "a flipped bit at byte {} slipped through", idx
+        );
+    }
+
+    /// Every strict prefix of a snapshot is rejected, not misparsed.
+    #[test]
+    fn truncated_snapshots_are_rejected(frac in 0.0f64..1.0) {
+        let blob = blob();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let keep = ((frac * blob.len() as f64) as usize).min(blob.len() - 1);
+        prop_assert!(load_checkpoint(&blob[..keep], 1).is_err());
+    }
+
+    /// Any version byte other than the supported one is rejected by the
+    /// version field itself (the checksum is re-stamped, so this is not
+    /// the CRC catching it).
+    #[test]
+    fn unknown_versions_are_rejected(v in 0u8..=255) {
+        let version = if v == coreda_core::checkpoint::VERSION { v.wrapping_add(1) } else { v };
+        let blob = blob();
+        let mut bad = blob.to_vec();
+        bad[4] = version;
+        let body = bad.len() - 2;
+        let crc = crc16(&bad[..body]);
+        bad[body..].copy_from_slice(&crc.to_be_bytes());
+        prop_assert_eq!(
+            load_checkpoint(&bad, 1).unwrap_err(),
+            CheckpointError::UnsupportedVersion(version)
+        );
+    }
+}

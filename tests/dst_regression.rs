@@ -21,7 +21,7 @@ fn corpus_dir() -> PathBuf {
 fn corpus_replays_match_expectations() {
     let harness = Harness::new();
     let outcomes = corpus::replay_dir(&harness, &corpus_dir()).expect("corpus replays");
-    assert!(outcomes.len() >= 6, "corpus shrank to {} entries", outcomes.len());
+    assert!(outcomes.len() >= 8, "corpus shrank to {} entries", outcomes.len());
     let failed: Vec<String> =
         outcomes.iter().filter(|o| !o.pass).map(|o| o.render()).collect();
     assert!(failed.is_empty(), "corpus regressions:\n{}", failed.join("\n"));
@@ -43,7 +43,30 @@ fn corpus_plans_are_engine_invariant() {
         assert_eq!(wheel, heap, "engines diverged on {path:?}");
         checked += 1;
     }
-    assert!(checked >= 6, "only {checked} corpus entries checked");
+    assert!(checked >= 8, "only {checked} corpus entries checked");
+}
+
+/// The kill-resume corpus entry dies mid-run (radio loss and severe
+/// lapses both active), round-trips through the binary checkpoint codec,
+/// and must replay clean — including the `resume_equivalence` oracle,
+/// which [`Harness::check`] runs against the uninterrupted ghost
+/// whenever the plan contains a kill.
+#[test]
+fn kill_resume_corpus_entry_matches_its_ghost() {
+    let harness = Harness::new();
+    let path = corpus_dir().join("kill-resume-mid-lapse.seed.json");
+    let text = std::fs::read_to_string(&path).expect("kill-resume corpus entry");
+    let plan = json::from_json(&text).expect("parse kill-resume entry");
+    assert!(
+        plan.faults.iter().any(|f| f.kind == coreda::testkit::plan::FaultKind::CheckpointKillResume),
+        "entry lost its kill fault: {plan:?}"
+    );
+    let outcome = harness.check(&plan);
+    assert!(
+        outcome.violations.is_empty(),
+        "kill-resume replay regressed: {:?}",
+        outcome.violations
+    );
 }
 
 #[test]

@@ -6,27 +6,52 @@
 //! It is also jobs- and engine-invariant, so one golden file covers
 //! every way of producing it.
 
-use coreda::core::metro::{run_scale_traced, MetroConfig};
-use coreda::des::time::SimDuration;
+use coreda::core::metro::{
+    resume_scale_traced, run_scale_checkpointed_traced, run_scale_traced, MetroConfig,
+};
+use coreda::des::time::{SimDuration, SimTime};
 
-#[test]
-fn trace_summary_matches_the_golden_file() {
-    let cfg = MetroConfig {
+fn golden_cfg() -> MetroConfig {
+    MetroConfig {
         homes: 4,
         horizon: SimDuration::from_secs(600),
         seed: 2007,
         jobs: 1,
         ..MetroConfig::default()
-    };
-    let out = run_scale_traced(&cfg);
+    }
+}
+
+fn golden() -> String {
     let golden_path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_summary.txt");
-    let golden = std::fs::read_to_string(&golden_path)
-        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()))
+}
+
+#[test]
+fn trace_summary_matches_the_golden_file() {
+    let out = run_scale_traced(&golden_cfg());
     assert_eq!(
         out.telemetry.render_summary(),
-        golden,
+        golden(),
         "Telemetry::render_summary drifted from the golden file; if the \
          change is intentional, update tests/golden/trace_summary.txt"
+    );
+}
+
+/// A run snapshotted mid-way and resumed must render the *same* golden
+/// summary: telemetry counters, latency histograms and trace rings merge
+/// across the snapshot boundary instead of resetting. (A reset would
+/// roughly halve every counter and be caught byte-for-byte here.)
+#[test]
+fn resumed_trace_summary_matches_the_same_golden_file() {
+    let cfg = golden_cfg();
+    let (_, snaps) = run_scale_checkpointed_traced(&cfg, &[SimTime::from_secs(300)]);
+    let resumed = resume_scale_traced(&cfg, &snaps[0]).expect("snapshot matches its own config");
+    assert_eq!(
+        resumed.telemetry.render_summary(),
+        golden(),
+        "a resumed run's telemetry summary must describe the whole run, \
+         not just the tail after the snapshot"
     );
 }
