@@ -26,16 +26,20 @@ bench-scale:
 # The tier-1 gate: release build, full test suite, the determinism
 # regressions (parallel sweeps, metro serving, and flight-recorder
 # telemetry byte-identical to serial; timing wheel byte-identical to the
-# heap queue), the checkpoint/resume equivalence suite, the trace-summary
-# golden, doc and clippy lints, a fixed-seed simulation-testing fuzz
-# budget (plus a second budget with checkpoint-kill-resume faults
-# injected into every plan), and the DST regression corpus replay.
+# heap queue), the checkpoint/resume equivalence suite, the wire-format
+# fixture replay, the trace-summary golden, doc and clippy lints, a
+# fixed-seed simulation-testing fuzz budget (plus a second budget with
+# checkpoint-kill-resume faults injected into every plan), the DST
+# regression corpus replay, a 100k-home arena smoke serve, and the
+# bench-regression gate (fails if fresh 10k-home throughput drops more
+# than 10 % below the committed BENCH_scale.json figure).
 ci:
 	cargo build --release
 	cargo test -q
 	cargo test -q --test fleet_determinism
 	cargo test -q --test scale_determinism
 	cargo test -q --test checkpoint_equivalence
+	cargo test -q --test wire_format
 	cargo test -q --test trace_summary
 	cargo test -q -p coreda-des --test proptests
 	cargo doc --workspace --no-deps
@@ -43,6 +47,8 @@ ci:
 	cargo run --release -p coreda-cli -- fuzz --seconds 30 --seed 2007
 	cargo run --release -p coreda-cli -- fuzz --seconds 15 --seed 2008 --kill-resume true
 	cargo run --release -p coreda-cli -- replay --dir tests/corpus
+	cargo run --release -p coreda-cli -- scale --homes 100000 --hours 0.1 --seed 2007
+	cargo run --release -p coreda-bench --bin bench_check
 
 # Longer fuzzing session under a fresh seed; violations shrink to
 # .seed.json repros under fuzz-out/ for triage and corpus promotion.

@@ -1,0 +1,110 @@
+//! Bench-regression gate: re-measures the 10k-home serving cell and
+//! fails (exit 1) when fresh throughput drops more than 10 % below the
+//! `events_per_sec` committed in `BENCH_scale.json` — the `make ci` hook
+//! that keeps the scale numbers honest without re-running the full
+//! criterion suite.
+//!
+//! Usage: `bench_check [--tolerance-pct N] [--measure-only]`
+//!
+//! `--measure-only` prints the fresh measurement and exits 0 — the
+//! iteration loop while optimising. A debug build refuses to judge
+//! anything: unoptimised timings would fail every time, meaninglessly.
+
+use std::time::Instant;
+
+use coreda_core::metro::{run_scale, EngineKind, MetroConfig};
+use coreda_des::time::SimDuration;
+
+const HOMES: usize = 10_000;
+const SIM_SECS: u64 = 360;
+const JOBS: usize = 1;
+
+fn cfg() -> MetroConfig {
+    MetroConfig {
+        homes: HOMES,
+        horizon: SimDuration::from_secs(SIM_SECS),
+        seed: 2007,
+        jobs: JOBS,
+        engine: EngineKind::Wheel,
+        ..MetroConfig::default()
+    }
+}
+
+/// Best of two timed runs after one warm-up — the same protocol
+/// `scale_micro`'s `measure()` uses, so the comparison is apples to
+/// apples with the committed file.
+fn measure() -> (f64, u64) {
+    let config = cfg();
+    let ticks = run_scale(&config).pipeline_ticks();
+    let secs = (0..2)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = run_scale(&config);
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    (secs, ticks)
+}
+
+/// Pulls `events_per_sec` out of the committed grid row for
+/// (`HOMES`, `JOBS`) with a hand-rolled scan — the committed file is
+/// written by our own bench, so its shape is stable and a JSON crate
+/// would be a dependency for one line.
+fn committed_events_per_sec(json: &str) -> Option<f64> {
+    let row_key = format!("\"homes\": {HOMES}, \"sim_secs\": {SIM_SECS}, \"jobs\": {JOBS},");
+    let row_at = json.find(&row_key)?;
+    let tail = &json[row_at..];
+    let field = "\"events_per_sec\": ";
+    let val_at = tail.find(field)? + field.len();
+    let val = &tail[val_at..];
+    let end = val.find(|c: char| c != '.' && !c.is_ascii_digit())?;
+    val[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let measure_only = args.iter().any(|a| a == "--measure-only");
+    let tolerance_pct: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance-pct")
+        .and_then(|i| args.get(i + 1))
+        .map_or(10.0, |v| v.parse().expect("--tolerance-pct takes a number"));
+
+    if cfg!(debug_assertions) {
+        println!("bench_check: debug build — skipping (run under --release)");
+        return;
+    }
+
+    let (secs, ticks) = measure();
+    #[allow(clippy::cast_precision_loss)]
+    let fresh = ticks as f64 / secs;
+    println!("bench_check: {HOMES} homes x {SIM_SECS} s, jobs={JOBS}: {fresh:.0} events/s ({secs:.3} s)");
+    if measure_only {
+        return;
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(committed) = committed_events_per_sec(&json) else {
+        eprintln!("bench_check: no grid row for homes={HOMES} jobs={JOBS} in {path}");
+        std::process::exit(1);
+    };
+    let floor = committed * (1.0 - tolerance_pct / 100.0);
+    println!(
+        "bench_check: committed {committed:.0} events/s, floor {floor:.0} (-{tolerance_pct}%)"
+    );
+    if fresh < floor {
+        eprintln!(
+            "bench_check: REGRESSION — fresh {fresh:.0} events/s is more than \
+             {tolerance_pct}% below the committed {committed:.0}"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_check: ok");
+}

@@ -45,13 +45,17 @@ pub trait PatientBehavior: fmt::Debug {
 #[derive(Debug, Clone)]
 pub struct StochasticBehavior {
     profile: PatientProfile,
+    /// Reused candidate-tool buffer so step boundaries allocate nothing
+    /// in steady state. Pure scratch: contents never survive a call, so
+    /// one behaviour instance can serve a whole fleet of homes.
+    scratch_others: Vec<ToolId>,
 }
 
 impl StochasticBehavior {
     /// Wraps a profile.
     #[must_use]
     pub fn new(profile: PatientProfile) -> Self {
-        StochasticBehavior { profile }
+        StochasticBehavior { profile, scratch_others: Vec::new() }
     }
 
     /// The underlying profile.
@@ -70,13 +74,14 @@ impl PatientBehavior for StochasticBehavior {
         rng: &mut SimRng,
     ) -> PatientAction {
         let correct = routine.steps()[idx];
-        let others: Vec<ToolId> = spec
-            .tools()
-            .iter()
-            .map(coreda_adl::tool::Tool::id)
-            .filter(|&t| StepId::from_tool(t) != correct)
-            .collect();
-        self.profile.decide_next(routine, idx.saturating_sub(1), &others, rng)
+        self.scratch_others.clear();
+        self.scratch_others.extend(
+            spec.tools()
+                .iter()
+                .map(coreda_adl::tool::Tool::id)
+                .filter(|&t| StepId::from_tool(t) != correct),
+        );
+        self.profile.decide_next(routine, idx.saturating_sub(1), &self.scratch_others, rng)
     }
 
     fn step_duration(&mut self, step: &Step, rng: &mut SimRng) -> SimDuration {

@@ -23,8 +23,22 @@
 //! no randomness, and results are bit-identical at any `jobs` count
 //! because every random stream is counter-derived per home
 //! ([`derive_seed`]) and homes never interact.
+//!
+//! Home state is laid out struct-of-arrays: each worker owns a [`Shard`]
+//! of parallel vectors indexed by shard-local home id (the per-activity
+//! [`Coreda`] systems live in one home-major arena), and everything
+//! immutable — ADL specs, trained planner templates, the reminding
+//! renderer, the session-tracker name tables — is built once per run in
+//! a [`FleetCtx`] and shared by reference or `Arc`. The wake loop also
+//! batches every wake sharing an instant and sweeps the due homes in
+//! ascending index order, so same-instant work walks the arenas in
+//! memory order. See DESIGN.md "Memory layout & cache locality" for the
+//! ownership map and the bytes-per-home budget.
 
-use coreda_adl::activity::{catalog, AdlSpec};
+use std::sync::Arc;
+
+use coreda_adl::activity::catalog;
+use coreda_adl::activity::AdlSpec;
 use coreda_adl::patient::PatientProfile;
 use coreda_adl::routine::Routine;
 use coreda_des::rng::SimRng;
@@ -35,6 +49,7 @@ use crate::checkpoint::{config_digest, CheckpointError, HomeCheckpoint, MetroChe
 use crate::fleet::{default_jobs, derive_seed, FleetEngine};
 use crate::live::StochasticBehavior;
 use crate::planning::PlanningSubsystem;
+use crate::reminding::RemindingSubsystem;
 use crate::sessions::{SessionEvent, SessionTracker};
 use crate::system::{Coreda, CoredaConfig, LiveEpisode};
 use crate::telemetry::{Ctr, HomeRecorder, Telemetry, TraceKind};
@@ -291,198 +306,287 @@ struct RunningEpisode {
     rng: SimRng,
 }
 
-/// One household: per-activity systems, a home-wide session tracker,
-/// and the scheduling state the serving engines drive.
-struct Home {
-    systems: Vec<(Coreda, Routine)>,
-    behavior: StochasticBehavior,
-    tracker: SessionTracker,
-    /// Root of the home's episode substreams.
-    root: SimRng,
-    /// Gap/start draws — drawn at the same points by both engines.
-    sched_rng: SimRng,
-    episode: Option<RunningEpisode>,
+/// The resident label shared by every home. Every profile is
+/// statistically identical and the name is display-only (it reaches
+/// reminder texts, which scale serving never renders — only per-episode
+/// logs do, and metro runs collect none), so one interned label replaces
+/// the per-home `format!("home-{id}")` the boxed layout allocated.
+const RESIDENT: &str = "resident";
+
+/// Everything immutable a fleet shares, built once per run: ADL specs,
+/// canonical routines, trained planner templates, the reminding renderer
+/// and the session-tracker prototype (whose activity/name tables are
+/// `Arc`-shared, so cloning it per home is two reference bumps). Worker
+/// shards borrow it read-only.
+struct FleetCtx {
+    specs: Vec<Arc<AdlSpec>>,
+    routines: Vec<Routine>,
+    templates: Vec<Arc<PlanningSubsystem>>,
+    reminding: Arc<RemindingSubsystem>,
+    tracker_proto: SessionTracker,
+}
+
+impl FleetCtx {
+    /// Builds the shared context: specs from the catalog, one trained
+    /// planner template per activity (building 10k homes must not cost
+    /// 10k trainings — nor, now, 10k Q-table clones).
+    fn build(cfg: &MetroConfig) -> Self {
+        let specs = vec![catalog::tea_making(), catalog::tooth_brushing()];
+        let tracker_proto = SessionTracker::new(&specs, cfg.idle_close);
+        let routines: Vec<Routine> = specs.iter().map(Routine::canonical).collect();
+        let templates = specs
+            .iter()
+            .enumerate()
+            .map(|(act, spec)| {
+                let mut planner = PlanningSubsystem::new(spec, cfg.system.planning);
+                let mut rng = SimRng::seed_from(derive_seed(cfg.seed, "metro-train", act as u64));
+                for _ in 0..cfg.train_episodes {
+                    planner.train_episode(routines[act].steps(), &mut rng);
+                }
+                Arc::new(planner)
+            })
+            .collect();
+        FleetCtx {
+            specs: specs.into_iter().map(Arc::new).collect(),
+            routines,
+            templates,
+            reminding: Arc::new(RemindingSubsystem::new(RESIDENT)),
+            tracker_proto,
+        }
+    }
+}
+
+/// Hot per-home scheduling state — one `Copy` record per home, packed
+/// contiguously so the wake loop touches a single cache line per idle
+/// home instead of chasing a `Home` box.
+#[derive(Debug, Clone, Copy)]
+struct SchedState {
     ep_index: u64,
     next_start: SimTime,
     /// Coalesces duplicate same-instant wakes in the wheel engine.
     last_handled: Option<SimTime>,
     /// Per-home 100 ms grid offset, spreading homes across wheel slots.
     offset_ms: u64,
-    gap_min_ms: u64,
-    gap_max_ms: u64,
-    stats: HomeStats,
-    /// Serving tap: `Some` when the run records its event stream.
-    tap: Option<Vec<TapEvent>>,
-    /// Flight recorder: `Some` when the run collects telemetry.
-    rec: Option<HomeRecorder>,
+}
+
+/// The smallest instant on a home's 100 ms grid at or after `t`.
+fn align_up(offset_ms: u64, t: SimTime) -> SimTime {
+    let ms = t.as_millis();
+    let rel = ms.saturating_sub(offset_ms);
+    let steps = rel.div_ceil(Coreda::TICK.as_millis());
+    SimTime::from_millis(offset_ms + steps * Coreda::TICK.as_millis())
+}
+
+fn draw_gap(rng: &mut SimRng, gap_min_ms: u64, gap_max_ms: u64) -> SimDuration {
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let ms = rng.uniform_range(gap_min_ms as f64, gap_max_ms as f64) as u64;
+    SimDuration::from_millis(ms)
+}
+
+fn count_session_event(stats: &mut HomeStats, ev: SessionEvent) {
+    match ev {
+        SessionEvent::Started { .. } => stats.sessions_started += 1,
+        SessionEvent::Ended { completed: true, .. } => stats.sessions_completed += 1,
+        SessionEvent::Ended { completed: false, .. } => stats.sessions_abandoned += 1,
+        SessionEvent::CrossActivityUse { .. } => stats.cross_activity_flags += 1,
+    }
+}
+
+/// Mirrors a session event into the flight recorder, stamped with the
+/// event's *own* instant (idle closes fire at the deadline, not at the
+/// tick that noticed them).
+fn record_session_event(rec: &mut HomeRecorder, ev: SessionEvent) {
+    match ev {
+        SessionEvent::Started { activity, at } => {
+            rec.inc(Ctr::SessionsStarted);
+            rec.event(at, TraceKind::SessionStarted { name: activity });
+        }
+        SessionEvent::Ended { activity, at, completed } => {
+            rec.inc(if completed { Ctr::SessionsCompleted } else { Ctr::SessionsAbandoned });
+            rec.event(at, TraceKind::SessionEnded { name: activity, completed });
+        }
+        SessionEvent::CrossActivityUse { active, at, .. } => {
+            rec.inc(Ctr::CrossActivityFlags);
+            rec.event(at, TraceKind::CrossActivity { name: active });
+        }
+    }
+}
+
+/// One worker's contiguous slice of the fleet, struct-of-arrays: parallel
+/// vectors indexed by shard-local home index, the per-activity [`Coreda`]
+/// systems in one home-major arena (`systems[home * acts + act]`).
+/// Same-phase work sweeps these arrays in index order, and the borrow
+/// checker splits mutable access field-by-field — no per-home box ever
+/// holds unrelated state hostage.
+///
+/// State that is identical across homes is hoisted to one instance per
+/// shard: the stochastic behaviour (profile + pure scratch) and the
+/// session-event buffer serve every home in turn.
+struct Shard<'a> {
+    ctx: &'a FleetCtx,
+    /// Activities per home — the arena row width.
+    acts: usize,
+    systems: Vec<Coreda>,
+    trackers: Vec<SessionTracker>,
+    /// Root of each home's episode substreams.
+    roots: Vec<SimRng>,
+    /// Gap/start draws — drawn at the same points by both engines.
+    sched_rngs: Vec<SimRng>,
+    episodes: Vec<Option<RunningEpisode>>,
+    sched: Vec<SchedState>,
+    stats: Vec<HomeStats>,
+    /// Serving taps: outer `Some` when the run records event streams.
+    taps: Option<Vec<Vec<TapEvent>>>,
+    /// Flight recorders: outer `Some` when the run collects telemetry.
+    recs: Option<Vec<HomeRecorder>>,
+    /// One behaviour serves the whole shard: it holds only the shared
+    /// profile and call-local scratch, never per-home state.
+    behavior: StochasticBehavior,
     /// Session events buffered during a tick (the report sink cannot
     /// borrow the recorder while `live_tick` holds it).
     scratch_sessions: Vec<SessionEvent>,
+    /// Same-instant wake batch — wake-loop scratch.
+    batch: Vec<usize>,
+    gap_min_ms: u64,
+    gap_max_ms: u64,
 }
 
-impl Home {
+impl<'a> Shard<'a> {
     fn build(
-        id: usize,
         cfg: &MetroConfig,
-        specs: &[AdlSpec],
-        templates: &[PlanningSubsystem],
+        ctx: &'a FleetCtx,
+        first_home: usize,
+        count: usize,
         record: bool,
         trace: bool,
     ) -> Self {
-        let name = format!("home-{id}");
-        let systems = specs
-            .iter()
-            .enumerate()
-            .map(|(act, spec)| {
-                let seed =
-                    derive_seed(cfg.seed, "metro-system", (id as u64) * 16 + act as u64);
-                let mut system = Coreda::new(spec.clone(), &name, cfg.system, seed);
-                // Planners are trained once per activity and cloned in:
-                // building 10k homes must not cost 10k trainings.
-                *system.planner_mut() = templates[act].clone();
-                let routine = Routine::canonical(spec);
-                (system, routine)
-            })
-            .collect();
-        let root = SimRng::seed_from(derive_seed(cfg.seed, "metro-home", id as u64));
-        let sched_rng = root.substream("sched", 0);
-        let mut home = Home {
+        let acts = ctx.specs.len();
+        let mut systems = Vec::with_capacity(count * acts);
+        let mut roots = Vec::with_capacity(count);
+        let mut sched_rngs = Vec::with_capacity(count);
+        let mut sched = Vec::with_capacity(count);
+        for id in first_home..first_home + count {
+            for (act, (spec, template)) in ctx.specs.iter().zip(&ctx.templates).enumerate() {
+                let seed = derive_seed(cfg.seed, "metro-system", (id as u64) * 16 + act as u64);
+                systems.push(Coreda::with_shared(
+                    Arc::clone(spec),
+                    Arc::clone(template),
+                    Arc::clone(&ctx.reminding),
+                    cfg.system,
+                    seed,
+                ));
+            }
+            let root = SimRng::seed_from(derive_seed(cfg.seed, "metro-home", id as u64));
+            let mut sched_rng = root.substream("sched", 0);
+            let offset_ms = (id as u64 * 7 + 3) % 100;
+            let first = draw_gap(&mut sched_rng, cfg.gap_min.as_millis(), cfg.gap_max.as_millis());
+            sched.push(SchedState {
+                ep_index: 0,
+                next_start: align_up(offset_ms, SimTime::ZERO + first),
+                last_handled: None,
+                offset_ms,
+            });
+            roots.push(root);
+            sched_rngs.push(sched_rng);
+        }
+        Shard {
+            ctx,
+            acts,
             systems,
-            behavior: StochasticBehavior::new(PatientProfile::moderate(&name)),
-            tracker: SessionTracker::new(specs, cfg.idle_close),
-            root,
-            sched_rng,
-            episode: None,
-            ep_index: 0,
-            next_start: SimTime::ZERO,
-            last_handled: None,
-            offset_ms: (id as u64 * 7 + 3) % 100,
+            trackers: (0..count).map(|_| ctx.tracker_proto.clone()).collect(),
+            roots,
+            sched_rngs,
+            episodes: (0..count).map(|_| None).collect(),
+            sched,
+            stats: vec![HomeStats::default(); count],
+            taps: record.then(|| (0..count).map(|_| Vec::new()).collect()),
+            recs: trace.then(|| (0..count).map(|_| HomeRecorder::new()).collect()),
+            behavior: StochasticBehavior::new(PatientProfile::moderate(RESIDENT)),
+            scratch_sessions: Vec::new(),
+            batch: Vec::new(),
             gap_min_ms: cfg.gap_min.as_millis(),
             gap_max_ms: cfg.gap_max.as_millis(),
-            stats: HomeStats::default(),
-            tap: record.then(Vec::new),
-            rec: trace.then(HomeRecorder::new),
-            scratch_sessions: Vec::new(),
-        };
-        let first = home.draw_gap();
-        home.next_start = home.align_up(SimTime::ZERO + first);
-        home
-    }
-
-    /// The smallest instant on this home's 100 ms grid at or after `t`.
-    fn align_up(&self, t: SimTime) -> SimTime {
-        let ms = t.as_millis();
-        let rel = ms.saturating_sub(self.offset_ms);
-        let steps = rel.div_ceil(Coreda::TICK.as_millis());
-        SimTime::from_millis(self.offset_ms + steps * Coreda::TICK.as_millis())
-    }
-
-    fn draw_gap(&mut self) -> SimDuration {
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let ms = self
-            .sched_rng
-            .uniform_range(self.gap_min_ms as f64, self.gap_max_ms as f64) as u64;
-        SimDuration::from_millis(ms)
-    }
-
-    fn count_session_event(stats: &mut HomeStats, ev: SessionEvent) {
-        match ev {
-            SessionEvent::Started { .. } => stats.sessions_started += 1,
-            SessionEvent::Ended { completed: true, .. } => stats.sessions_completed += 1,
-            SessionEvent::Ended { completed: false, .. } => stats.sessions_abandoned += 1,
-            SessionEvent::CrossActivityUse { .. } => stats.cross_activity_flags += 1,
         }
     }
 
-    /// Mirrors a session event into the flight recorder, stamped with the
-    /// event's *own* instant (idle closes fire at the deadline, not at the
-    /// tick that noticed them).
-    fn record_session_event(rec: &mut HomeRecorder, ev: SessionEvent) {
-        match ev {
-            SessionEvent::Started { activity, at } => {
-                rec.inc(Ctr::SessionsStarted);
-                rec.event(at, TraceKind::SessionStarted { name: activity });
-            }
-            SessionEvent::Ended { activity, at, completed } => {
-                rec.inc(if completed { Ctr::SessionsCompleted } else { Ctr::SessionsAbandoned });
-                rec.event(at, TraceKind::SessionEnded { name: activity, completed });
-            }
-            SessionEvent::CrossActivityUse { active, at, .. } => {
-                rec.inc(Ctr::CrossActivityFlags);
-                rec.event(at, TraceKind::CrossActivity { name: active });
-            }
-        }
+    fn len(&self) -> usize {
+        self.sched.len()
     }
 
-    /// The canonical per-instant sequence — identical code for both
-    /// engines, so cross-engine equality reduces to both engines calling
-    /// it at every instant where anything can change.
-    fn poll_instant(&mut self, now: SimTime) {
+    /// The canonical per-instant sequence for home `i` — identical code
+    /// for both engines, so cross-engine equality reduces to both engines
+    /// calling it at every instant where anything can change.
+    fn poll_instant(&mut self, i: usize, now: SimTime) {
         // 1. Begin the next episode when its start arrives.
-        if self.episode.is_none() && now >= self.next_start {
-            let act = usize::try_from(self.ep_index).unwrap_or(usize::MAX) % self.systems.len();
-            let mut rng = self.root.substream("episode", self.ep_index);
-            let (system, routine) = &mut self.systems[act];
-            let ep = system.begin_live(routine, &mut self.behavior, now, &mut rng, None);
-            self.episode = Some(RunningEpisode { act, ep, rng });
-            self.stats.episodes_started += 1;
-            if let Some(tap) = self.tap.as_mut() {
-                tap.push(TapEvent::EpisodeStarted { at: now, act });
+        if self.episodes[i].is_none() && now >= self.sched[i].next_start {
+            let ep_index = self.sched[i].ep_index;
+            let act = usize::try_from(ep_index).unwrap_or(usize::MAX) % self.acts;
+            let mut rng = self.roots[i].substream("episode", ep_index);
+            let system = &mut self.systems[i * self.acts + act];
+            let ep =
+                system.begin_live(&self.ctx.routines[act], &mut self.behavior, now, &mut rng, None);
+            self.episodes[i] = Some(RunningEpisode { act, ep, rng });
+            self.stats[i].episodes_started += 1;
+            if let Some(taps) = self.taps.as_mut() {
+                taps[i].push(TapEvent::EpisodeStarted { at: now, act });
             }
-            if let Some(rec) = self.rec.as_mut() {
+            if let Some(recs) = self.recs.as_mut() {
+                let rec = &mut recs[i];
                 rec.inc(Ctr::EpisodesStarted);
                 #[allow(clippy::cast_possible_truncation)]
                 rec.event(
                     now,
-                    TraceKind::EpisodeStarted { episode: self.ep_index.min(u64::from(u32::MAX)) as u32 },
+                    TraceKind::EpisodeStarted { episode: ep_index.min(u64::from(u32::MAX)) as u32 },
                 );
             }
         }
 
         // 2. Run the running episode's 100 ms pipeline tick.
         let mut finished = false;
-        if let Some(run) = self.episode.as_mut() {
+        if let Some(run) = self.episodes[i].as_mut() {
             if now >= run.ep.next_tick_at() {
-                let (system, routine) = &mut self.systems[run.act];
-                let tracker = &mut self.tracker;
-                let stats = &mut self.stats;
-                let tap = &mut self.tap;
+                let system = &mut self.systems[i * self.acts + run.act];
+                let tracker = &mut self.trackers[i];
+                let stats = &mut self.stats[i];
+                let taps = &mut self.taps;
                 let scratch = &mut self.scratch_sessions;
                 let out = system.live_tick(
                     &mut run.ep,
-                    routine,
+                    &self.ctx.routines[run.act],
                     &mut self.behavior,
                     now,
                     &mut run.rng,
                     None,
-                    self.rec.as_mut(),
+                    self.recs.as_mut().map(|r| &mut r[i]),
                     &mut |src, at| {
                         for ev in tracker.on_report(src, at) {
-                            Self::count_session_event(stats, ev);
-                            if let Some(tap) = tap.as_mut() {
-                                tap.push(TapEvent::Session(ev));
+                            count_session_event(stats, ev);
+                            if let Some(taps) = taps.as_mut() {
+                                taps[i].push(TapEvent::Session(ev));
                             }
                             scratch.push(ev);
                         }
                     },
                 );
-                self.stats.pipeline_ticks += 1;
-                self.stats.reminders += u64::from(out.reminders);
-                self.stats.praises += u64::from(out.praises);
+                let stats = &mut self.stats[i];
+                stats.pipeline_ticks += 1;
+                stats.reminders += u64::from(out.reminders);
+                stats.praises += u64::from(out.praises);
                 if out.completed_now {
-                    self.stats.episodes_completed += 1;
+                    stats.episodes_completed += 1;
                 }
                 if out != crate::system::TickOutcome::default() {
-                    if let Some(tap) = self.tap.as_mut() {
-                        tap.push(TapEvent::Tick { at: now, out });
+                    if let Some(taps) = self.taps.as_mut() {
+                        taps[i].push(TapEvent::Tick { at: now, out });
                     }
                 }
-                if let Some(rec) = self.rec.as_mut() {
+                if let Some(recs) = self.recs.as_mut() {
                     // The report sink above could not borrow the recorder
                     // while `live_tick` held it; drain the buffered
                     // session events now, in arrival order.
+                    let rec = &mut recs[i];
                     for ev in self.scratch_sessions.drain(..) {
-                        Self::record_session_event(rec, ev);
+                        record_session_event(rec, ev);
                     }
                     if out.completed_now {
                         rec.inc(Ctr::EpisodesCompleted);
@@ -498,86 +602,101 @@ impl Home {
         }
 
         // 3. Home-wide idle close (the tracker's clock tick).
-        if let Some(ev) = self.tracker.on_tick(now) {
-            Self::count_session_event(&mut self.stats, ev);
-            if let Some(tap) = self.tap.as_mut() {
-                tap.push(TapEvent::Session(ev));
+        if let Some(ev) = self.trackers[i].on_tick(now) {
+            count_session_event(&mut self.stats[i], ev);
+            if let Some(taps) = self.taps.as_mut() {
+                taps[i].push(TapEvent::Session(ev));
             }
-            if let Some(rec) = self.rec.as_mut() {
-                Self::record_session_event(rec, ev);
+            if let Some(recs) = self.recs.as_mut() {
+                record_session_event(&mut recs[i], ev);
             }
         }
 
         // 4. Episode cleanup: draw the quiet gap and schedule the next.
         if finished {
-            self.episode = None;
-            self.ep_index += 1;
-            let gap = self.draw_gap();
-            self.next_start = self.align_up(now + gap);
+            self.episodes[i] = None;
+            let gap = draw_gap(&mut self.sched_rngs[i], self.gap_min_ms, self.gap_max_ms);
+            let s = &mut self.sched[i];
+            s.ep_index += 1;
+            s.next_start = align_up(s.offset_ms, now + gap);
         }
     }
 
-    /// Snapshots everything the home cannot rebuild from its config:
+    /// Snapshots everything home `i` cannot rebuild from its config:
     /// system states, live session, RNG positions, the in-flight episode,
     /// scheduling state, statistics, and (when traced) the recorder.
     /// `pending` is the home's share of the shard queue at the snapshot.
     ///
     /// Energy is *not* carried in the stats (it stays zero until
-    /// [`finish`] recomputes it from the restored node meters), and taps
-    /// are not checkpointed — a resumed recorded run taps only the
-    /// resumed segment.
-    fn capture(&self, pending: Vec<SimTime>) -> HomeCheckpoint {
+    /// [`Shard::finish`] recomputes it from the restored node meters),
+    /// and taps are not checkpointed — a resumed recorded run taps only
+    /// the resumed segment.
+    fn capture_home(&self, i: usize, pending: Vec<SimTime>) -> HomeCheckpoint {
+        let s = self.sched[i];
         HomeCheckpoint {
-            systems: self.systems.iter().map(|(s, _)| s.export_state()).collect(),
-            tracker: self.tracker.export_active(),
-            root: self.root.state_parts(),
-            sched: self.sched_rng.state_parts(),
-            episode: self
-                .episode
+            systems: self.systems[i * self.acts..(i + 1) * self.acts]
+                .iter()
+                .map(Coreda::export_state)
+                .collect(),
+            tracker: self.trackers[i].export_active(),
+            root: self.roots[i].state_parts(),
+            sched: self.sched_rngs[i].state_parts(),
+            episode: self.episodes[i]
                 .as_ref()
                 .map(|run| (run.act, run.ep.export_state(), run.rng.state_parts())),
-            ep_index: self.ep_index,
-            next_start: self.next_start,
-            last_handled: self.last_handled,
-            stats: HomeStats { energy_uj: 0.0, ..self.stats },
+            ep_index: s.ep_index,
+            next_start: s.next_start,
+            last_handled: s.last_handled,
+            stats: HomeStats { energy_uj: 0.0, ..self.stats[i] },
             pending,
-            rec: self.rec.as_ref().map(HomeRecorder::export_state),
+            rec: self.recs.as_ref().map(|r| r[i].export_state()),
         }
     }
 
-    /// Overwrites a freshly built home with checkpointed state. The
+    /// Overwrites freshly built home `i` with checkpointed state. The
     /// build-time gap draw is discarded wholesale: the restored
     /// `sched_rng` position already accounts for every draw the original
     /// run made. The caller re-schedules `ckpt.pending` itself.
-    fn restore(&mut self, ckpt: &HomeCheckpoint) {
+    ///
+    /// `restore_state` on a system whose captured learned weights match
+    /// the shared template (always, for a read-only serve) keeps the home
+    /// on the template `Arc` — a resumed fleet stays as deduplicated as a
+    /// fresh one.
+    fn restore_home(&mut self, i: usize, ckpt: &HomeCheckpoint) {
         assert_eq!(
-            self.systems.len(),
+            self.acts,
             ckpt.systems.len(),
             "checkpoint was taken with a different activity set"
         );
-        for ((system, _), state) in self.systems.iter_mut().zip(&ckpt.systems) {
+        for (system, state) in
+            self.systems[i * self.acts..(i + 1) * self.acts].iter_mut().zip(&ckpt.systems)
+        {
             system
                 .restore_state(state)
                 .expect("config digest matched, so the rebuilt system accepts its state");
         }
-        self.tracker.restore_active(ckpt.tracker);
-        self.root = SimRng::from_state_parts(ckpt.root.0, ckpt.root.1);
-        self.sched_rng = SimRng::from_state_parts(ckpt.sched.0, ckpt.sched.1);
-        self.episode = ckpt.episode.as_ref().map(|&(act, ref ep, rng)| RunningEpisode {
+        self.trackers[i].restore_active(ckpt.tracker);
+        self.roots[i] = SimRng::from_state_parts(ckpt.root.0, ckpt.root.1);
+        self.sched_rngs[i] = SimRng::from_state_parts(ckpt.sched.0, ckpt.sched.1);
+        self.episodes[i] = ckpt.episode.as_ref().map(|&(act, ref ep, rng)| RunningEpisode {
             act,
             ep: LiveEpisode::from_state(ep),
             rng: SimRng::from_state_parts(rng.0, rng.1),
         });
-        self.ep_index = ckpt.ep_index;
-        self.next_start = ckpt.next_start;
-        self.last_handled = ckpt.last_handled;
-        self.stats = HomeStats { energy_uj: 0.0, ..ckpt.stats };
+        let offset_ms = self.sched[i].offset_ms;
+        self.sched[i] = SchedState {
+            ep_index: ckpt.ep_index,
+            next_start: ckpt.next_start,
+            last_handled: ckpt.last_handled,
+            offset_ms,
+        };
+        self.stats[i] = HomeStats { energy_uj: 0.0, ..ckpt.stats };
         // Counters merge across the snapshot boundary: a resumed traced
         // run's summary covers the whole run, not just the tail. An
         // untraced checkpoint resumed with tracing on simply starts a
         // fresh recorder covering the resumed segment.
-        if let (Some(rec), Some(state)) = (self.rec.as_mut(), ckpt.rec.as_ref()) {
-            rec.restore_state(state);
+        if let (Some(recs), Some(state)) = (self.recs.as_mut(), ckpt.rec.as_ref()) {
+            recs[i].restore_state(state);
         }
     }
 }
@@ -598,79 +717,136 @@ struct ChunkOut {
     checkpoints: Vec<(u64, Vec<HomeCheckpoint>)>,
 }
 
-/// Serves every wake up to and including `until` with the wheel engine's
-/// scheduling policy. Shared between the inter-checkpoint segments and
-/// the final run to the horizon, so stopping mid-run reuses the exact
-/// loop body an uninterrupted run executes.
-///
-/// Follow-up wakes are scheduled *unconditionally*, even past the
-/// horizon: `step_until` never pops them, so they cost a queue slot and
-/// nothing else — and it keeps a snapshot's pending set independent of
-/// the horizon the capturing run happened to use. A checkpoint taken at
-/// the very end of a short run must still carry each home's natural next
-/// wake, or a resume with a longer `--hours` would find a dead fleet.
-fn wheel_segment(sim: &mut Simulator<Wake>, homes: &mut [Home], until: SimTime) {
-    while let Some(Wake(i)) = sim.step_until(until) {
+impl Shard<'_> {
+    /// Pops every wake sharing the current instant into `self.batch` and
+    /// returns the instant. The due homes are then swept in ascending
+    /// index order — homes are independent, so cross-home order within
+    /// one instant cannot change any per-home result, and the ascending
+    /// sweep walks the shard's arenas in memory order instead of queue
+    /// order. Each home's own follow-ups keep their relative dispatch
+    /// order (they are always strictly future, so none joins the batch
+    /// being swept).
+    fn collect_batch(&mut self, sim: &mut Simulator<Wake>, first: usize) -> SimTime {
         let now = sim.now();
-        let home = &mut homes[i];
-        if home.last_handled == Some(now) {
-            // A duplicate wake for an instant already served (e.g.
-            // a stale session check landing on an episode tick).
-            continue;
-        }
-        home.last_handled = Some(now);
-        home.poll_instant(now);
-        if let Some(run) = &home.episode {
-            sim.schedule_at(run.ep.next_tick_at(), Wake(i));
-        } else {
-            sim.schedule_at(home.next_start, Wake(i));
-            if let Some(deadline) = home.tracker.idle_deadline() {
-                sim.schedule_at(home.align_up(deadline), Wake(i));
+        self.batch.clear();
+        self.batch.push(first);
+        while sim.next_due() == Some(now) {
+            if let Some(Wake(i)) = sim.step() {
+                self.batch.push(i);
             }
         }
+        self.batch.sort_unstable();
+        self.batch.dedup();
+        now
+    }
+
+    /// Serves every wake up to and including `until` with the wheel
+    /// engine's scheduling policy. Shared between the inter-checkpoint
+    /// segments and the final run to the horizon, so stopping mid-run
+    /// reuses the exact loop body an uninterrupted run executes.
+    ///
+    /// Follow-up wakes are scheduled *unconditionally*, even past the
+    /// horizon: `step_until` never pops them, so they cost a queue slot
+    /// and nothing else — and it keeps a snapshot's pending set
+    /// independent of the horizon the capturing run happened to use. A
+    /// checkpoint taken at the very end of a short run must still carry
+    /// each home's natural next wake, or a resume with a longer
+    /// `--hours` would find a dead fleet.
+    fn wheel_segment(&mut self, sim: &mut Simulator<Wake>, until: SimTime) {
+        while let Some(Wake(first)) = sim.step_until(until) {
+            let now = self.collect_batch(sim, first);
+            let mut batch = std::mem::take(&mut self.batch);
+            for &i in &batch {
+                if self.sched[i].last_handled == Some(now) {
+                    // A duplicate wake for an instant already served
+                    // (dedup above catches these; kept for parity with
+                    // the pre-batching loop).
+                    continue;
+                }
+                self.sched[i].last_handled = Some(now);
+                self.poll_instant(i, now);
+                if let Some(run) = &self.episodes[i] {
+                    sim.schedule_at(run.ep.next_tick_at(), Wake(i));
+                } else {
+                    sim.schedule_at(self.sched[i].next_start, Wake(i));
+                    if let Some(deadline) = self.trackers[i].idle_deadline() {
+                        sim.schedule_at(align_up(self.sched[i].offset_ms, deadline), Wake(i));
+                    }
+                }
+            }
+            batch.clear();
+            self.batch = batch;
+        }
+    }
+
+    /// The heap engine's dense 10 Hz loop body, segment-shaped like
+    /// [`Shard::wheel_segment`] (and scheduling unconditionally for the
+    /// same reason). Dense polling makes whole-fleet instants the common
+    /// case, so the same-instant batch sweep pays off most here.
+    fn heap_segment(&mut self, sim: &mut Simulator<Wake>, until: SimTime) {
+        while let Some(Wake(first)) = sim.step_until(until) {
+            let now = self.collect_batch(sim, first);
+            let mut batch = std::mem::take(&mut self.batch);
+            for &i in &batch {
+                self.sched[i].last_handled = Some(now);
+                self.poll_instant(i, now);
+                sim.schedule_at(now + Coreda::TICK, Wake(i));
+            }
+            batch.clear();
+            self.batch = batch;
+        }
+    }
+
+    fn segment(&mut self, sim: &mut Simulator<Wake>, engine: EngineKind, until: SimTime) {
+        match engine {
+            EngineKind::Wheel => self.wheel_segment(sim, until),
+            EngineKind::Heap => self.heap_segment(sim, until),
+        }
+    }
+
+    /// Snapshots the shard at the current instant without perturbing it:
+    /// drains the queue to learn each home's pending wakes, re-schedules
+    /// every drained event in the same order (re-insertion assigns fresh
+    /// ascending sequence numbers, so same-instant FIFO order is
+    /// preserved), and captures each home with its share of the queue.
+    fn capture(&self, sim: &mut Simulator<Wake>) -> (u64, Vec<HomeCheckpoint>) {
+        let pending = sim.drain_pending();
+        let mut per_home: Vec<Vec<SimTime>> = vec![Vec::new(); self.len()];
+        for &(due, Wake(i)) in &pending {
+            per_home[i].push(due);
+        }
+        for (due, wake) in pending {
+            sim.schedule_at(due, wake);
+        }
+        let snaps = (0..self.len())
+            .map(|i| self.capture_home(i, std::mem::take(&mut per_home[i])))
+            .collect();
+        (sim.processed(), snaps)
+    }
+
+    /// Folds the shard's arenas into a [`ChunkOut`], recomputing each
+    /// home's energy from its (possibly restored) node meters.
+    fn finish(mut self, des_events: u64, max_pending: usize, checkpoints: Vec<(u64, Vec<HomeCheckpoint>)>) -> ChunkOut {
+        let acts = self.acts;
+        for (i, stats) in self.stats.iter_mut().enumerate() {
+            stats.energy_uj =
+                self.systems[i * acts..(i + 1) * acts].iter().map(Coreda::total_energy_uj).sum();
+        }
+        ChunkOut {
+            stats: self.stats,
+            taps: self.taps,
+            recs: self.recs,
+            des_events,
+            max_pending,
+            checkpoints,
+        }
     }
 }
 
-/// The heap engine's dense 10 Hz loop body, segment-shaped like
-/// [`wheel_segment`] (and scheduling unconditionally for the same
-/// reason).
-fn heap_segment(sim: &mut Simulator<Wake>, homes: &mut [Home], until: SimTime) {
-    while let Some(Wake(i)) = sim.step_until(until) {
-        let now = sim.now();
-        let home = &mut homes[i];
-        home.last_handled = Some(now);
-        home.poll_instant(now);
-        sim.schedule_at(now + Coreda::TICK, Wake(i));
-    }
-}
-
-/// Snapshots a shard at the current instant without perturbing it:
-/// drains the queue to learn each home's pending wakes, re-schedules
-/// every drained event in the same order (re-insertion assigns fresh
-/// ascending sequence numbers, so same-instant FIFO order is preserved),
-/// and captures each home with its share of the queue.
-fn capture_shard(sim: &mut Simulator<Wake>, homes: &[Home]) -> (u64, Vec<HomeCheckpoint>) {
-    let pending = sim.drain_pending();
-    let mut per_home: Vec<Vec<SimTime>> = vec![Vec::new(); homes.len()];
-    for &(due, Wake(i)) in &pending {
-        per_home[i].push(due);
-    }
-    for (due, wake) in pending {
-        sim.schedule_at(due, wake);
-    }
-    let snaps = homes
-        .iter()
-        .enumerate()
-        .map(|(i, h)| h.capture(std::mem::take(&mut per_home[i])))
-        .collect();
-    (sim.processed(), snaps)
-}
-
-#[allow(clippy::needless_pass_by_value, clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
 fn run_chunk(
     cfg: &MetroConfig,
-    specs: &[AdlSpec],
-    templates: &[PlanningSubsystem],
+    ctx: &FleetCtx,
     first_home: usize,
     count: usize,
     record: bool,
@@ -678,9 +854,7 @@ fn run_chunk(
     stops: &[SimTime],
     resume: Option<&[HomeCheckpoint]>,
 ) -> ChunkOut {
-    let mut homes: Vec<Home> = (first_home..first_home + count)
-        .map(|id| Home::build(id, cfg, specs, templates, record, trace))
-        .collect();
+    let mut shard = Shard::build(cfg, ctx, first_home, count, record, trace);
     let horizon_end = SimTime::ZERO + cfg.horizon;
 
     let mut sim: Simulator<Wake> = match cfg.engine {
@@ -694,20 +868,20 @@ fn run_chunk(
     match resume {
         None => match cfg.engine {
             EngineKind::Wheel => {
-                for (i, h) in homes.iter().enumerate() {
-                    sim.schedule_at(h.next_start, Wake(i));
+                for (i, s) in shard.sched.iter().enumerate() {
+                    sim.schedule_at(s.next_start, Wake(i));
                 }
             }
             EngineKind::Heap => {
-                for (i, h) in homes.iter().enumerate() {
-                    sim.schedule_at(SimTime::from_millis(h.offset_ms), Wake(i));
+                for (i, s) in shard.sched.iter().enumerate() {
+                    sim.schedule_at(SimTime::from_millis(s.offset_ms), Wake(i));
                 }
             }
         },
         Some(ckpts) => {
-            assert_eq!(ckpts.len(), homes.len(), "resume shard size mismatch");
-            for (i, (home, ckpt)) in homes.iter_mut().zip(ckpts).enumerate() {
-                home.restore(ckpt);
+            assert_eq!(ckpts.len(), count, "resume shard size mismatch");
+            for (i, ckpt) in ckpts.iter().enumerate() {
+                shard.restore_home(i, ckpt);
                 for &due in &ckpt.pending {
                     sim.schedule_at(due, Wake(i));
                 }
@@ -715,43 +889,13 @@ fn run_chunk(
         }
     }
 
-    let segment = match cfg.engine {
-        EngineKind::Wheel => wheel_segment,
-        EngineKind::Heap => heap_segment,
-    };
     let mut checkpoints = Vec::with_capacity(stops.len());
     for &stop in stops {
-        segment(&mut sim, &mut homes, stop);
-        checkpoints.push(capture_shard(&mut sim, &homes));
+        shard.segment(&mut sim, cfg.engine, stop);
+        checkpoints.push(shard.capture(&mut sim));
     }
-    segment(&mut sim, &mut homes, horizon_end);
-    finish(homes, sim.processed(), sim.max_pending(), checkpoints)
-}
-
-fn finish(
-    mut homes: Vec<Home>,
-    des_events: u64,
-    max_pending: usize,
-    checkpoints: Vec<(u64, Vec<HomeCheckpoint>)>,
-) -> ChunkOut {
-    for h in &mut homes {
-        h.stats.energy_uj = h.systems.iter().map(|(s, _)| s.total_energy_uj()).sum();
-    }
-    let recording = homes.first().is_some_and(|h| h.tap.is_some());
-    let tracing = homes.first().is_some_and(|h| h.rec.is_some());
-    let mut stats = Vec::with_capacity(homes.len());
-    let mut taps = recording.then(|| Vec::with_capacity(homes.len()));
-    let mut recs = tracing.then(|| Vec::with_capacity(homes.len()));
-    for h in homes {
-        stats.push(h.stats);
-        if let (Some(taps), Some(tap)) = (taps.as_mut(), h.tap) {
-            taps.push(tap);
-        }
-        if let (Some(recs), Some(rec)) = (recs.as_mut(), h.rec) {
-            recs.push(rec);
-        }
-    }
-    ChunkOut { stats, taps, recs, des_events, max_pending, checkpoints }
+    shard.segment(&mut sim, cfg.engine, horizon_end);
+    shard.finish(sim.processed(), sim.max_pending(), checkpoints)
 }
 
 /// Serves `cfg.homes` households for `cfg.horizon`, sharded across
@@ -926,20 +1070,7 @@ fn run_scale_inner(
         }
         base_des = ckpt.des_events;
     }
-    let specs = vec![catalog::tea_making(), catalog::tooth_brushing()];
-    let templates: Vec<PlanningSubsystem> = specs
-        .iter()
-        .enumerate()
-        .map(|(act, spec)| {
-            let routine = Routine::canonical(spec);
-            let mut planner = PlanningSubsystem::new(spec, cfg.system.planning);
-            let mut rng = SimRng::seed_from(derive_seed(cfg.seed, "metro-train", act as u64));
-            for _ in 0..cfg.train_episodes {
-                planner.train_episode(routine.steps(), &mut rng);
-            }
-            planner
-        })
-        .collect();
+    let ctx = FleetCtx::build(cfg);
 
     // Contiguous chunks, one per worker: flattening shard results in
     // chunk order reproduces home order whatever the worker count.
@@ -959,7 +1090,7 @@ fn run_scale_inner(
     let engine = FleetEngine::new(cfg.jobs);
     let results = engine.map(chunks, |(first, count)| {
         let shard_resume = resume.map(|ckpt| &ckpt.homes[first..first + count]);
-        run_chunk(cfg, &specs, &templates, first, count, record, trace, stops, shard_resume)
+        run_chunk(cfg, &ctx, first, count, record, trace, stops, shard_resume)
     });
 
     let mut per_home = Vec::with_capacity(cfg.homes);
@@ -986,12 +1117,12 @@ fn run_scale_inner(
             // reproduces home order at any worker count.
             telemetry.homes.extend(recs);
         }
-        des_events += chunk.des_events;
+        des_events = des_events.saturating_add(chunk.des_events);
         peak_pending = peak_pending.max(chunk.max_pending);
         for (ckpt, (processed, homes)) in checkpoints.iter_mut().zip(chunk.checkpoints) {
             // Shard queues count their own events; fleet-level totals sum
             // them (plus whatever the resume source had already served).
-            ckpt.des_events += processed;
+            ckpt.des_events = ckpt.des_events.saturating_add(processed);
             ckpt.homes.extend(homes);
         }
     }
@@ -1013,6 +1144,33 @@ fn run_scale_inner(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The arena build must point every home's planner and renderer at
+    /// the `FleetCtx`'s shared allocations — per-home copies would put
+    /// the Q-tables back on the per-home budget. Address equality of
+    /// the `Deref` targets proves the `Arc`s share storage.
+    #[test]
+    fn fleet_homes_share_planner_and_renderer_allocations() {
+        let cfg = small_cfg();
+        let ctx = FleetCtx::build(&cfg);
+        let shard = Shard::build(&cfg, &ctx, 0, cfg.homes, false, false);
+        let acts = ctx.specs.len();
+        assert!(acts >= 2, "catalog should exercise >1 activity");
+        for act in 0..acts {
+            let template: &PlanningSubsystem = &ctx.templates[act];
+            for home in 0..cfg.homes {
+                let sys = &shard.systems[home * acts + act];
+                assert!(
+                    std::ptr::eq(sys.planner(), template),
+                    "home {home} act {act} carries a private planner copy"
+                );
+                assert!(
+                    std::ptr::eq(sys.reminding(), &*ctx.reminding),
+                    "home {home} act {act} carries a private renderer copy"
+                );
+            }
+        }
+    }
 
     fn small_cfg() -> MetroConfig {
         MetroConfig {

@@ -540,6 +540,27 @@ impl PlanningSubsystem {
         })
     }
 
+    /// Whether `state` is exactly what [`capture_learned`] would return
+    /// right now, compared without allocating. Fleet restores use this to
+    /// keep homes on a shared trained planner instead of splitting off a
+    /// per-home copy whose contents would be identical anyway.
+    ///
+    /// `false` for learner kinds that cannot capture at all (they could
+    /// never have produced `state`).
+    ///
+    /// [`capture_learned`]: PlanningSubsystem::capture_learned
+    #[must_use]
+    pub fn learned_matches(&self, state: &LearnedState) -> bool {
+        let Learner::WatkinsQLambda(l) = &self.learner else {
+            return false;
+        };
+        self.episodes_trained == state.episodes_trained
+            && l.updates() == state.updates
+            && l.trace_entries() == state.traces.as_slice()
+            && l.q().values().eq(state.values.iter().copied())
+            && l.q().visit_counts().eq(state.visits.iter().copied())
+    }
+
     /// Restores state captured by [`PlanningSubsystem::capture_learned`]
     /// onto a planner freshly built from the same spec and config.
     ///

@@ -21,6 +21,8 @@
 //! only at render time, via [`SessionTracker::activity_name`] or
 //! [`SessionTracker::render_event`].
 
+use std::sync::Arc;
+
 use coreda_adl::activity::AdlSpec;
 use coreda_adl::intern::{NameId, NameTable};
 use coreda_adl::tool::ToolId;
@@ -176,8 +178,11 @@ pub struct ActiveSessionState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SessionTracker {
-    activities: Vec<ActivityInfo>,
-    names: NameTable,
+    /// Immutable after construction and shared: cloning a tracker (one
+    /// per home in a metro fleet) costs two `Arc` bumps, not a rebuild of
+    /// the activity metadata and interner.
+    activities: Arc<Vec<ActivityInfo>>,
+    names: Arc<NameTable>,
     active: Option<Active>,
     /// Silence after which an open session is closed.
     idle_close: SimDuration,
@@ -220,8 +225,8 @@ impl SessionTracker {
             })
             .collect();
         SessionTracker {
-            activities,
-            names,
+            activities: Arc::new(activities),
+            names: Arc::new(names),
             active: None,
             idle_close,
             switch_threshold: Self::DEFAULT_SWITCH_THRESHOLD,

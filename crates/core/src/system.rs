@@ -11,6 +11,8 @@
 //!   radio transmission, step extraction, prediction, reminding, praise
 //!   and (optionally) online learning all run against the virtual clock.
 
+use std::sync::Arc;
+
 use coreda_adl::activity::AdlSpec;
 use coreda_adl::episode::Episode;
 use coreda_adl::patient::PatientAction;
@@ -168,14 +170,22 @@ impl Phase {
 /// ```
 #[derive(Debug)]
 pub struct Coreda {
-    spec: AdlSpec,
+    /// Immutable after construction; metro fleets share one copy across
+    /// every home serving the same activity instead of cloning it.
+    spec: Arc<AdlSpec>,
     config: CoredaConfig,
     nodes: Vec<(PavenetNode, SimRng)>,
     network: StarNetwork,
     base: BaseStation,
     sensing: SensingSubsystem,
-    planner: PlanningSubsystem,
-    reminding: RemindingSubsystem,
+    /// Clone-on-write: read-only serving (the metro default,
+    /// `online_learning: false`) shares one trained planner — Q-table,
+    /// eligibility traces and all — across every home; the first mutable
+    /// access ([`Coreda::planner_mut`]) splits off a private copy.
+    planner: Arc<PlanningSubsystem>,
+    /// Clone-on-write like `planner`: mutated only by
+    /// [`Coreda::describe_tool`] at setup time.
+    reminding: Arc<RemindingSubsystem>,
     net_rng: SimRng,
     downlink_seq: u16,
     /// Reused per-tick buffers so live ticks allocate nothing in steady
@@ -326,8 +336,34 @@ impl Coreda {
 
     /// Builds the system: one PAVENET node per tool, a star network, and
     /// the three subsystems. `seed` drives every internal random stream.
+    /// The spec may come in owned or already shared (`Arc<AdlSpec>`) —
+    /// fleet builders pass the same `Arc` to every home.
     #[must_use]
-    pub fn new(spec: AdlSpec, user_name: &str, config: CoredaConfig, seed: u64) -> Self {
+    pub fn new(
+        spec: impl Into<Arc<AdlSpec>>,
+        user_name: &str,
+        config: CoredaConfig,
+        seed: u64,
+    ) -> Self {
+        let spec = spec.into();
+        let planner = Arc::new(PlanningSubsystem::new(&spec, config.planning));
+        let reminding = Arc::new(RemindingSubsystem::new(user_name));
+        Self::with_shared(spec, planner, reminding, config, seed)
+    }
+
+    /// Builds a system wired to an already-shared planner and reminding
+    /// renderer — the fleet path. Building N homes this way costs N `Arc`
+    /// bumps instead of N planner constructions (Q-table, traces,
+    /// encoder) plus N renderer allocations that would be overwritten
+    /// right after.
+    #[must_use]
+    pub fn with_shared(
+        spec: Arc<AdlSpec>,
+        planner: Arc<PlanningSubsystem>,
+        reminding: Arc<RemindingSubsystem>,
+        config: CoredaConfig,
+        seed: u64,
+    ) -> Self {
         let root = SimRng::seed_from(seed);
         let mut network = StarNetwork::new(config.link);
         let mut nodes = Vec::with_capacity(spec.tools().len());
@@ -338,7 +374,6 @@ impl Coreda {
             nodes.push((node, stream));
         }
         let sensing = SensingSubsystem::new(&spec);
-        let planner = PlanningSubsystem::new(&spec, config.planning);
         Coreda {
             spec,
             config,
@@ -347,7 +382,7 @@ impl Coreda {
             base: BaseStation::new(),
             sensing,
             planner,
-            reminding: RemindingSubsystem::new(user_name),
+            reminding,
             net_rng: root.substream("network", 0),
             downlink_seq: 0,
             scratch_outbox: Vec::new(),
@@ -358,19 +393,37 @@ impl Coreda {
 
     /// The ADL this system guides.
     #[must_use]
-    pub const fn spec(&self) -> &AdlSpec {
+    pub fn spec(&self) -> &AdlSpec {
         &self.spec
     }
 
     /// The planning subsystem.
     #[must_use]
-    pub const fn planner(&self) -> &PlanningSubsystem {
+    pub fn planner(&self) -> &PlanningSubsystem {
         &self.planner
     }
 
     /// Mutable access to the planner (offline training, warm starts).
+    /// When the planner is shared across a fleet this splits off a
+    /// private copy first (clone-on-write), so training one home never
+    /// leaks into its neighbours.
     pub fn planner_mut(&mut self) -> &mut PlanningSubsystem {
-        &mut self.planner
+        Arc::make_mut(&mut self.planner)
+    }
+
+    /// Replaces the planner with a shared, already-trained one. Every
+    /// home serving the same activity points at the same allocation: no
+    /// per-home Q-table, trace or encoder copies. Read-only serving
+    /// never splits the share; see [`Coreda::planner_mut`].
+    pub fn share_planner(&mut self, planner: &Arc<PlanningSubsystem>) {
+        self.planner = Arc::clone(planner);
+    }
+
+    /// Replaces the reminding renderer with a shared one (fleet builds:
+    /// one renderer for every home rather than a per-home name string and
+    /// description map).
+    pub fn share_reminding(&mut self, reminding: &Arc<RemindingSubsystem>) {
+        self.reminding = Arc::clone(reminding);
     }
 
     /// The sensing subsystem.
@@ -381,7 +434,7 @@ impl Coreda {
 
     /// The reminding subsystem.
     #[must_use]
-    pub const fn reminding(&self) -> &RemindingSubsystem {
+    pub fn reminding(&self) -> &RemindingSubsystem {
         &self.reminding
     }
 
@@ -458,17 +511,19 @@ impl Coreda {
     /// Adds a caregiver-supplied rich description for `tool`, used in
     /// specific-level reminder texts ("the black tea-box").
     pub fn describe_tool(&mut self, tool: ToolId, description: impl Into<String>) {
-        // Rebuild-free: RemindingSubsystem's builder method consumes self,
-        // so swap through a temporary.
-        let reminding = std::mem::replace(&mut self.reminding, RemindingSubsystem::new(""));
-        self.reminding = reminding.with_description(tool, description);
+        // Clone-on-write if shared, then swap through a temporary because
+        // the builder method consumes self.
+        let reminding = Arc::make_mut(&mut self.reminding);
+        let taken = std::mem::replace(reminding, RemindingSubsystem::new(""));
+        *reminding = taken.with_description(tool, description);
     }
 
     /// Trains the planner on recorded episodes (the paper's offline
     /// protocol).
     pub fn train_offline(&mut self, episodes: &[Episode], rng: &mut SimRng) {
+        let planner = Arc::make_mut(&mut self.planner);
         for ep in episodes {
-            self.planner.train_episode(&ep.step_ids(), rng);
+            planner.train_episode(&ep.step_ids(), rng);
         }
     }
 
@@ -726,7 +781,7 @@ impl Coreda {
                         if self.config.online_learning {
                             if let Some(tool) = predicted {
                                 let prompt = Prompt { tool, level: ReminderLevel::Minimal };
-                                self.planner
+                                Arc::make_mut(&mut self.planner)
                                     .observe_transition(prev, cur, ev.step, prompt, is_last);
                             }
                         }
@@ -1061,7 +1116,13 @@ impl Coreda {
     /// from a different ADL spec).
     pub fn restore_state(&mut self, state: &SystemState) -> Result<(), &'static str> {
         if let Some(learned) = &state.learned {
-            self.planner.apply_learned(learned)?;
+            // A fleet restore would otherwise split every home off the
+            // shared trained planner: when the captured state is exactly
+            // what this planner already holds (read-only serving never
+            // moves it), keep the share and skip the copy.
+            if !self.planner.learned_matches(learned) {
+                Arc::make_mut(&mut self.planner).apply_learned(learned)?;
+            }
         }
         self.sensing.restore_state(
             state.sensing_current,

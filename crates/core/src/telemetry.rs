@@ -470,13 +470,14 @@ impl HomeRecorder {
     /// Bumps a counter by one.
     #[inline]
     pub fn inc(&mut self, c: Ctr) {
-        self.counters[c as usize] += 1;
+        self.counters[c as usize] = self.counters[c as usize].saturating_add(1);
     }
 
-    /// Bumps a counter by `n`.
+    /// Bumps a counter by `n`. Saturates at `u64::MAX` — a pinned
+    /// counter is a visible lower bound, a wrapped one is a silent lie.
     #[inline]
     pub fn add(&mut self, c: Ctr, n: u64) {
-        self.counters[c as usize] += n;
+        self.counters[c as usize] = self.counters[c as usize].saturating_add(n);
     }
 
     /// Current value of a counter.
@@ -515,9 +516,25 @@ impl HomeRecorder {
     /// interleaving two of them would produce a story nobody lived.
     /// The absorbed recorder's ring (and drops) are simply discarded;
     /// keep per-home recorders around when the rings matter.
+    ///
+    /// Counter sums saturate rather than wrap: absorbing a whole metro
+    /// fleet (100k–1M homes) into one recorder multiplies every counter
+    /// by the fleet size, and a wrapped total would lie silently. Each
+    /// clamp bumps [`Ctr::TotalsSaturated`], the same flag the report
+    /// totals use, so a saturated aggregate is visible in the summary.
     pub fn absorb(&mut self, other: &HomeRecorder) {
+        let mut clamped = 0u64;
         for i in 0..Ctr::COUNT {
-            self.counters[i] += other.counters[i];
+            let (sum, overflowed) = self.counters[i].overflowing_add(other.counters[i]);
+            self.counters[i] = if overflowed {
+                clamped += 1;
+                u64::MAX
+            } else {
+                sum
+            };
+        }
+        if clamped > 0 {
+            self.add(Ctr::TotalsSaturated, clamped);
         }
         for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
             mine.merge(theirs);
@@ -954,6 +971,33 @@ mod tests {
         assert_eq!(a.counter(Ctr::RemindersIssued), 3);
         assert_eq!(a.stage(Stage::IdleDetect).total(), 2);
         assert!(a.ring().is_empty(), "rings are per-home, not merged");
+    }
+
+    #[test]
+    fn absorb_saturates_and_flags_instead_of_wrapping() {
+        let mut a = HomeRecorder::new();
+        let mut b = HomeRecorder::new();
+        a.add(Ctr::RemindersIssued, u64::MAX - 1);
+        b.add(Ctr::RemindersIssued, 5);
+        b.inc(Ctr::Praises);
+        a.absorb(&b);
+        assert_eq!(
+            a.counter(Ctr::RemindersIssued),
+            u64::MAX,
+            "an overflowing counter sum must clamp, not wrap"
+        );
+        assert_eq!(a.counter(Ctr::Praises), 1, "non-overflowing sums stay exact");
+        assert_eq!(
+            a.counter(Ctr::TotalsSaturated),
+            1,
+            "each clamped counter surfaces in TotalsSaturated"
+        );
+
+        // `add` itself pins at the ceiling rather than wrapping past it.
+        let mut c = HomeRecorder::new();
+        c.add(Ctr::RepromptEscalations, u64::MAX);
+        c.inc(Ctr::RepromptEscalations);
+        assert_eq!(c.counter(Ctr::RepromptEscalations), u64::MAX);
     }
 
     #[test]

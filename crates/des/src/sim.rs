@@ -182,6 +182,15 @@ impl<E> Simulator<E> {
         self.max_pending = self.max_pending.max(self.queue.len());
     }
 
+    /// The due instant of the next pending event, without popping it.
+    /// Callers that process many independent actors on one queue use this
+    /// to collect every event sharing an instant into one batch and sweep
+    /// the actors in memory order instead of queue order.
+    #[must_use]
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Advances the clock to the next event and returns it, or `None` when
     /// the queue is empty (the clock then stays where it is).
     pub fn step(&mut self) -> Option<E> {
@@ -333,6 +342,19 @@ mod tests {
             if w.is_none() {
                 break;
             }
+        }
+    }
+
+    #[test]
+    fn next_due_peeks_without_popping() {
+        for mut sim in [Simulator::new(), Simulator::with_heap_queue()] {
+            assert_eq!(sim.next_due(), None);
+            sim.schedule_at(SimTime::from_secs(2), "b");
+            sim.schedule_at(SimTime::from_secs(1), "a");
+            assert_eq!(sim.next_due(), Some(SimTime::from_secs(1)));
+            assert_eq!(sim.pending(), 2, "peeking must not pop");
+            assert_eq!(sim.step(), Some("a"));
+            assert_eq!(sim.next_due(), Some(SimTime::from_secs(2)));
         }
     }
 

@@ -122,7 +122,7 @@ impl RunningStats {
         let total = n1 + n2;
         self.mean += delta * n2 / total;
         self.m2 += other.m2 + delta * delta * n1 * n2 / total;
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -169,14 +169,14 @@ impl Histogram {
     /// Records one observation.
     pub fn record(&mut self, x: f64) {
         if x < self.lo {
-            self.underflow += 1;
+            self.underflow = self.underflow.saturating_add(1);
         } else if x >= self.hi {
-            self.overflow += 1;
+            self.overflow = self.overflow.saturating_add(1);
         } else {
             let w = (self.hi - self.lo) / self.bins.len() as f64;
             let idx = ((x - self.lo) / w) as usize;
             let idx = idx.min(self.bins.len() - 1);
-            self.bins[idx] += 1;
+            self.bins[idx] = self.bins[idx].saturating_add(1);
         }
     }
 
@@ -234,10 +234,15 @@ impl Histogram {
         self.overflow
     }
 
-    /// Total observations including under/overflow.
+    /// Total observations including under/overflow. Saturates at
+    /// `u64::MAX` like [`Histogram::merge`].
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+        self.bins
+            .iter()
+            .fold(0u64, |t, &b| t.saturating_add(b))
+            .saturating_add(self.underflow)
+            .saturating_add(self.overflow)
     }
 
     /// Merges another histogram's counts into this one.
@@ -257,11 +262,13 @@ impl Histogram {
             other.hi,
             other.bins.len(),
         );
+        // Saturating: a fleet-wide merge multiplies bin counts by the
+        // number of homes, and a wrapped count would silently misreport.
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
-            *a += *b;
+            *a = a.saturating_add(*b);
         }
-        self.underflow += other.underflow;
-        self.overflow += other.overflow;
+        self.underflow = self.underflow.saturating_add(other.underflow);
+        self.overflow = self.overflow.saturating_add(other.overflow);
     }
 
     /// Approximate quantile `q ∈ [0, 1]` from bin midpoints (in-range

@@ -214,6 +214,16 @@ impl QTable {
         self.values.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
     }
 
+    /// Heap bytes behind this table (values, visits, greedy cache) —
+    /// the metro memory budget's accounting hook. A fleet sharing one
+    /// trained table via `Arc` pays this once, not per home.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<f64>()
+            + self.visits.capacity() * std::mem::size_of::<u64>()
+            + self.greedy.capacity() * std::mem::size_of::<ActionId>()
+    }
+
     /// Resets every value and visit count to zero.
     pub fn clear(&mut self) {
         self.values.fill(0.0);
@@ -269,6 +279,14 @@ mod tests {
 
     fn shape() -> ProblemShape {
         ProblemShape::new(3, 4)
+    }
+
+    #[test]
+    fn heap_bytes_counts_all_three_arrays() {
+        let t = QTable::new(shape());
+        // 12 cells of f64 values + u64 visits, 3 greedy cache entries.
+        let floor = 12 * (8 + 8) + 3 * std::mem::size_of::<crate::space::ActionId>();
+        assert!(t.heap_bytes() >= floor, "{} < {floor}", t.heap_bytes());
     }
 
     #[test]

@@ -138,7 +138,15 @@ impl Detector {
     /// Pushes one sample. Returns `Some(in_use)` when this sample closes a
     /// ten-sample window, `None` otherwise.
     pub fn push(&mut self, reading: Reading) -> Option<bool> {
-        self.window.push(self.surpasses(&reading));
+        self.push_activation(reading.kind(), reading.activation())
+    }
+
+    /// [`Detector::push`] with the activation precomputed by the caller.
+    /// The sampling hot path already evaluates `activation()` for the
+    /// per-window peak tracker; this entry point lets it vote on the same
+    /// value instead of recomputing it (an extra `sqrt` per accel sample).
+    pub fn push_activation(&mut self, kind: SensorKind, activation: f64) -> Option<bool> {
+        self.window.push(activation > self.thresholds.for_kind(kind));
         if self.window.len() == SAMPLES_PER_WINDOW {
             let votes = self.window.iter().filter(|&&v| v).count();
             self.window.clear();

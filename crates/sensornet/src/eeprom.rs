@@ -12,6 +12,13 @@ use crate::hw::EEPROM_BYTES;
 
 /// A bounds-checked byte store the size of the real part.
 ///
+/// The backing heap is allocated on first write: the serving pipeline
+/// never writes the EEPROM, so a metro fleet's million nodes share the
+/// one static zero page below instead of paying 16 KiB each (the
+/// dominant per-home heap cost before this). An untouched device is
+/// indistinguishable from a zero-filled one through every method,
+/// including equality.
+///
 /// # Examples
 ///
 /// ```
@@ -22,10 +29,15 @@ use crate::hw::EEPROM_BYTES;
 /// assert_eq!(rom.read(0x10, 3)?, &[1, 2, 3]);
 /// # Ok::<(), coreda_sensornet::eeprom::EepromError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Eq, Serialize, Deserialize)]
 pub struct Eeprom {
+    /// Either empty (device never written) or exactly [`EEPROM_BYTES`].
     data: Vec<u8>,
 }
+
+/// What every unwritten device reads as: one 16 KiB zero block in
+/// rodata, shared by the whole fleet.
+static ZEROS: [u8; EEPROM_BYTES] = [0; EEPROM_BYTES];
 
 impl Default for Eeprom {
     fn default() -> Self {
@@ -33,17 +45,34 @@ impl Default for Eeprom {
     }
 }
 
+/// Logical-content equality: an unwritten device equals a zero-filled
+/// one (a deserialised eager-layout blob must match a fresh lazy one).
+impl PartialEq for Eeprom {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes() == other.bytes()
+    }
+}
+
 impl Eeprom {
     /// A zero-filled EEPROM of the hardware's capacity.
     #[must_use]
     pub fn new() -> Self {
-        Eeprom { data: vec![0; EEPROM_BYTES] }
+        Eeprom { data: Vec::new() }
     }
 
     /// Capacity in bytes.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.data.len()
+        EEPROM_BYTES
+    }
+
+    /// The full logical contents, materialised or not.
+    fn bytes(&self) -> &[u8] {
+        if self.data.is_empty() {
+            &ZEROS
+        } else {
+            &self.data
+        }
     }
 
     /// Writes `bytes` starting at `addr`.
@@ -57,8 +86,11 @@ impl Eeprom {
             len: bytes.len(),
             capacity: self.capacity(),
         })?;
-        if end > self.data.len() {
+        if end > EEPROM_BYTES {
             return Err(EepromError { addr, len: bytes.len(), capacity: self.capacity() });
+        }
+        if self.data.is_empty() {
+            self.data = vec![0; EEPROM_BYTES];
         }
         self.data[addr..end].copy_from_slice(bytes);
         Ok(())
@@ -73,10 +105,10 @@ impl Eeprom {
         let end = addr
             .checked_add(len)
             .ok_or(EepromError { addr, len, capacity: self.capacity() })?;
-        if end > self.data.len() {
+        if end > EEPROM_BYTES {
             return Err(EepromError { addr, len, capacity: self.capacity() });
         }
-        Ok(&self.data[addr..end])
+        Ok(&self.bytes()[addr..end])
     }
 }
 
@@ -149,5 +181,18 @@ mod tests {
     fn fresh_eeprom_is_zeroed() {
         let rom = Eeprom::new();
         assert!(rom.read(0, 64).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unwritten_equals_explicitly_zero_filled() {
+        let lazy = Eeprom::new();
+        let mut eager = Eeprom::new();
+        eager.write(0, &[0u8; EEPROM_BYTES]).unwrap();
+        assert_eq!(lazy, eager, "materialisation must be unobservable");
+        assert_eq!(lazy.read(0, EEPROM_BYTES), eager.read(0, EEPROM_BYTES));
+
+        let mut written = Eeprom::new();
+        written.write(7, &[1]).unwrap();
+        assert_ne!(lazy, written);
     }
 }

@@ -226,8 +226,9 @@ impl PavenetNode {
         let flip_p = if in_use { self.flip_false_negative } else { self.flip_false_positive };
         let in_use = if flip_p > 0.0 && rng.chance(flip_p) { !in_use } else { in_use };
         let reading = self.signal.sample(in_use, rng);
-        self.window_peak_activation = self.window_peak_activation.max(reading.activation());
-        let verdict = self.detector.push(reading)?;
+        let activation = reading.activation();
+        self.window_peak_activation = self.window_peak_activation.max(activation);
+        let verdict = self.detector.push_activation(reading.kind(), activation)?;
         self.windows_closed += 1;
         let peak = self.window_peak_activation;
         self.window_peak_activation = 0.0;

@@ -100,8 +100,17 @@ impl SignalModel {
                     rng.normal(0.0, self.noise_sd),
                 );
                 let theta = rng.uniform_range(0.0, std::f64::consts::TAU);
-                let burst =
-                    Vec3::new(amplitude * theta.cos(), amplitude * theta.sin(), amplitude * 0.5);
+                // Idle samples (the vast majority) have a zero-amplitude
+                // burst: skip the trig but keep the theta draw so the RNG
+                // stream is identical either way. (`0.0 * cos` could yield
+                // `-0.0` where this yields `+0.0`; downstream activation
+                // squares the components, so the sign of zero is
+                // unobservable, and raw readings are never serialised.)
+                let burst = if amplitude > 0.0 {
+                    Vec3::new(amplitude * theta.cos(), amplitude * theta.sin(), amplitude * 0.5)
+                } else {
+                    Vec3::new(0.0, 0.0, 0.0)
+                };
                 Reading::Accel(Vec3::new(
                     noise.x + burst.x,
                     noise.y + burst.y,

@@ -71,6 +71,22 @@ fn snapshots_are_jobs_invariant_down_to_the_bytes() {
 }
 
 #[test]
+fn engine_is_a_resume_time_free_choice() {
+    // The digest excludes the engine: a snapshot taken under the wheel
+    // resumes under dense heap polling (and vice versa) onto the same
+    // per-home results. Only `des_events` is engine-shaped.
+    let (_, wheel_snaps) =
+        run_scale_checkpointed(&cfg(1, EngineKind::Wheel), &[SimTime::from_secs(300)]);
+    let heap_resumed = resume_scale(&cfg(1, EngineKind::Heap), &wheel_snaps[0]).unwrap();
+    assert_eq!(heap_resumed.per_home, run_scale(&cfg(1, EngineKind::Heap)).per_home);
+
+    let (_, heap_snaps) =
+        run_scale_checkpointed(&cfg(1, EngineKind::Heap), &[SimTime::from_secs(300)]);
+    let wheel_resumed = resume_scale(&cfg(1, EngineKind::Wheel), &heap_snaps[0]).unwrap();
+    assert_eq!(wheel_resumed.per_home, run_scale(&cfg(1, EngineKind::Wheel)).per_home);
+}
+
+#[test]
 fn resumed_telemetry_merges_and_matches_at_any_jobs() {
     let full = run_scale_traced(&cfg(1, EngineKind::Wheel));
     let (_, snaps) =
