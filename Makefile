@@ -26,13 +26,20 @@ bench-scale:
 # The tier-1 gate: release build, full test suite, the determinism
 # regressions (parallel sweeps, metro serving, and flight-recorder
 # telemetry byte-identical to serial; timing wheel byte-identical to the
-# heap queue), the checkpoint/resume equivalence suite, the wire-format
-# fixture replay, the trace-summary golden, doc and clippy lints, a
-# fixed-seed simulation-testing fuzz budget (plus a second budget with
-# checkpoint-kill-resume faults injected into every plan), the DST
-# regression corpus replay, a 100k-home arena smoke serve, and the
-# bench-regression gate (fails if fresh 10k-home throughput drops more
-# than 10 % below the committed BENCH_scale.json figure).
+# heap queue), the checkpoint/resume equivalence suite (full snapshots
+# AND delta-chain + write-ahead-log resume, bit-identical at any
+# cadence/jobs/engine), the wire-format fixture replay, the
+# trace-summary golden, doc and clippy lints, a fixed-seed
+# simulation-testing fuzz budget (plus a second budget with
+# checkpoint-kill-resume faults injected into every plan — each kill
+# exercises the delta codec, torn-WAL recovery and the compaction path;
+# the harness logs every wake to its WAL by construction), the DST
+# regression corpus replay (including kill-mid-compaction), a 100k-home
+# arena smoke serve, and the bench-regression gate: fresh 10k-home
+# throughput within 10 % of the committed BENCH_scale.json figure, the
+# committed telemetry overhead under 12 %, and — deterministically, by
+# byte count — the steady-state 1k-home delta checkpoint no larger than
+# 15 % of a full snapshot.
 ci:
 	cargo build --release
 	cargo test -q

@@ -8,7 +8,10 @@
 //! dense heap-polling path at 1 000 homes on one worker — the speedup
 //! figure the ISSUE's acceptance bar reads — plus a `checkpoint` entry
 //! recording snapshot encode/restore throughput for a mid-run 1k-home
-//! fleet, and a `memory` entry with the marginal bytes-per-home slope
+//! fleet, a `durability` entry pricing the steady-state delta + WAL
+//! interval against a full snapshot at 10k homes, a `phase_breakdown`
+//! entry separating fleet construction from serving at 10k/100k homes,
+//! and a `memory` entry with the marginal bytes-per-home slope
 //! (10k -> 100k) plus a 1M-home stretch probe. `events_per_sec` counts 100 ms
 //! pipeline ticks, which both engines execute in identical number, so the
 //! ratio of their rates is exactly the wall-clock speedup. The host core
@@ -19,9 +22,14 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use coreda_core::checkpoint::{load_checkpoint, save_checkpoint};
+use coreda_core::checkpoint::{
+    compact, config_digest, load_checkpoint, load_delta, save_checkpoint, save_delta,
+};
 use coreda_core::fleet::default_jobs;
-use coreda_core::metro::{run_scale, run_scale_checkpointed, run_scale_traced, EngineKind, MetroConfig};
+use coreda_core::metro::{
+    run_scale, run_scale_checkpointed, run_scale_durable, run_scale_traced, EngineKind, MetroConfig,
+};
+use coreda_core::wal::encode_wal;
 use coreda_des::time::{SimDuration, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -164,10 +172,17 @@ fn engine_compare_json() -> String {
 /// Flight-recorder cost: the same 1k-home serve with the recorder off
 /// vs on. The acceptance bar is <= 5 % overhead; the recorded report is
 /// asserted bit-identical to the plain one first, so the timings compare
-/// the same work plus recording. The two arms are interleaved off/on and
-/// each keeps its best of five — this host's wall clock drifts by ~10 %
-/// over a bench run, so back-to-back blocks would charge the drift to
-/// whichever arm ran second.
+/// the same work plus recording.
+///
+/// Protocol: seven off/on *pairs*, each pair back-to-back, and the
+/// reported figure is the median of the per-pair ratios. This host's
+/// wall clock drifts by ~10 % over a bench run; a pairwise ratio sees
+/// both arms under the same drift so it cancels, and the median throws
+/// away pairs that straddle a frequency step entirely. The previous
+/// best-of-five-each-arm protocol let drift land asymmetrically and
+/// once recorded a 15.86 % "overhead" that CPU-time measurement
+/// (utime+stime from /proc/self/stat) showed was ~0-3 % — i.e. within
+/// the bar. Keep wall clock here (it is what users feel) but pair it.
 fn telemetry_overhead_json() -> String {
     let config = cfg(1000, 1800, 1, EngineKind::Wheel);
     let traced = run_scale_traced(&config);
@@ -177,22 +192,128 @@ fn telemetry_overhead_json() -> String {
         "recording changed the serve; timings would compare different work"
     );
     let ticks = plain.pipeline_ticks();
-    let (mut off_secs, mut on_secs) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..5 {
-        let t = Instant::now();
-        let _ = run_scale(&config);
-        off_secs = off_secs.min(t.elapsed().as_secs_f64());
-        let t = Instant::now();
-        let _ = run_scale_traced(&config);
-        on_secs = on_secs.min(t.elapsed().as_secs_f64());
-    }
+    let mut pairs: Vec<(f64, f64)> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = run_scale(&config);
+            let off = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let _ = run_scale_traced(&config);
+            (off, t.elapsed().as_secs_f64())
+        })
+        .collect();
+    pairs.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    let (off_secs, on_secs) = pairs[pairs.len() / 2];
     format!(
         "  \"telemetry_overhead\": {{\"homes\": 1000, \"sim_secs\": 1800, \"jobs\": 1, \
-         \"pipeline_ticks\": {ticks}, \
+         \"pipeline_ticks\": {ticks}, \"pairs\": {}, \
          \"recorder_off_secs\": {off_secs:.4}, \"recorder_on_secs\": {on_secs:.4}, \
          \"overhead_pct\": {:.2}}}",
+        pairs.len(),
         (on_secs / off_secs - 1.0) * 100.0
     )
+}
+
+/// Incremental durability cost at fleet scale: a 10k-home serve with a
+/// base snapshot at 120 s and delta checkpoints every 120 s after, WAL
+/// on for the whole horizon. The figures that matter are the steady-
+/// state interval bytes (newest delta plus its WAL slice) against a
+/// full snapshot — the ISSUE bar is <= 10 % — and the delta encode /
+/// decode rates. The delta round trip is asserted exact before timing,
+/// and the diff itself (`delta_checkpoint` between the two newest full
+/// states, rebuilt via `compact`) is timed separately from the codec so
+/// the interval cost can be read as diff + encode + log append.
+fn durability_json() -> String {
+    let config = cfg(10_000, 360, 8, EngineKind::Wheel);
+    let stops: Vec<SimTime> = [120u64, 240, 360].iter().map(|&s| SimTime::from_secs(s)).collect();
+    let (_, run) = run_scale_durable(&config, &stops);
+    let full_bytes = save_checkpoint(&run.base, 8).len();
+    let last = run.deltas.last().expect("two deltas past the base");
+    let blob = save_delta(last, 8);
+    assert_eq!(
+        &load_delta(&blob, 8).expect("fresh delta decodes"),
+        last,
+        "delta codec round trip drifted; throughput would measure a broken codec"
+    );
+    let prev = compact(&run.base, &run.deltas[..run.deltas.len() - 1]).expect("chain folds");
+    let cur = compact(&prev, &run.deltas[run.deltas.len() - 1..]).expect("chain folds");
+    let tail: Vec<_> = run.wal.iter().filter(|rec| rec.at > stops[1]).copied().collect();
+    let wal_bytes = encode_wal(config_digest(&config), &tail).len();
+    let best = |f: &dyn Fn()| {
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let diff_secs = best(&|| {
+        let _ = coreda_core::checkpoint::delta_checkpoint(&prev, &cur);
+    });
+    let encode_secs = best(&|| {
+        let _ = save_delta(last, 8);
+    });
+    let decode_secs = best(&|| {
+        let _ = load_delta(&blob, 8).expect("decode");
+    });
+    let dirty: usize = last.homes.iter().flatten().count();
+    let homes = run.base.homes.len();
+    format!(
+        "  \"durability\": {{\"homes\": {homes}, \"sim_secs\": 360, \"interval_secs\": 120, \
+         \"jobs\": 8, \"full_snapshot_bytes\": {full_bytes}, \"delta_bytes\": {}, \
+         \"wal_interval_bytes\": {wal_bytes}, \"interval_pct_of_full\": {:.2}, \
+         \"dirty_homes\": {dirty}, \"wal_records\": {}, \
+         \"diff_secs\": {diff_secs:.4}, \"encode_secs\": {encode_secs:.4}, \
+         \"decode_secs\": {decode_secs:.4}, \"encode_mb_per_sec\": {:.1}, \
+         \"diff_homes_per_sec\": {:.0}}}",
+        blob.len(),
+        100.0 * (blob.len() + wal_bytes) as f64 / full_bytes as f64,
+        tail.len(),
+        blob.len() as f64 / 1e6 / encode_secs,
+        homes as f64 / diff_secs
+    )
+}
+
+/// Where the 100k-home wall clock goes. Event throughput falls from
+/// ~1.3 M ev/s at 10k homes to ~0.5 M at 100k with identical per-home
+/// work, and this breakdown separates the two candidate causes: a
+/// 1-second-horizon run prices fleet construction (spec interning,
+/// arena allocation, wheel slots — the first episode draw lands at
+/// 60-240 s, so no home has woken yet), and the remainder of the full
+/// grid cell is pure serving. Construction is a few percent and
+/// amortises, so the cliff lives in the serve phase: the
+/// struct-of-arrays fleet state runs ~5.8 kB/home marginal (see
+/// `memory`), so a 100k fleet is ~580 MB against ~58 MB at 10k — a 10x
+/// working-set jump that outruns every cache level and the TLB, so
+/// each wake touches cold lines. Any future fix is batching wakes by
+/// arena locality, not engine work; these numbers are the baseline for
+/// that PR.
+fn phase_breakdown_json() -> String {
+    let rows: Vec<String> = [(10_000usize, 360u64), (100_000, 120)]
+        .iter()
+        .map(|&(homes, sim_secs)| {
+            let best = |secs: u64| {
+                (0..2)
+                    .map(|_| {
+                        let t = Instant::now();
+                        let _ = run_scale(&cfg(homes, secs, 8, EngineKind::Wheel));
+                        t.elapsed().as_secs_f64()
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let construct_secs = best(1);
+            let total_secs = best(sim_secs);
+            let serve_secs = (total_secs - construct_secs).max(0.0);
+            format!(
+                "    {{\"homes\": {homes}, \"sim_secs\": {sim_secs}, \"jobs\": 8, \
+                 \"construct_secs\": {construct_secs:.4}, \"serve_secs\": {serve_secs:.4}, \
+                 \"construct_pct\": {:.1}}}",
+                100.0 * construct_secs / total_secs
+            )
+        })
+        .collect();
+    format!("  \"phase_breakdown\": [\n{}\n  ]", rows.join(",\n"))
 }
 
 /// Snapshot codec throughput at fleet scale: encode and restore a
@@ -275,12 +396,14 @@ fn emit_report(_c: &mut Criterion) {
         return;
     }
     let json = format!(
-        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{},\n{},\n{},\n{}\n}}\n",
+        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n}}\n",
         default_jobs(),
         grid_json(),
         engine_compare_json(),
         telemetry_overhead_json(),
         checkpoint_json(),
+        durability_json(),
+        phase_breakdown_json(),
         memory_json()
     );
     match std::fs::write(path, &json) {

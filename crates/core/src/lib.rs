@@ -67,23 +67,27 @@ pub mod sensing;
 pub mod sessions;
 pub mod system;
 pub mod telemetry;
+pub mod wal;
 
 pub use baseline::{CanonicalReminder, MdpPlanner, NextStepPredictor};
 pub use checkpoint::{
-    config_digest, load_checkpoint, save_checkpoint, CheckpointError, HomeCheckpoint,
-    MetroCheckpoint,
+    apply_delta, checkpoint_fingerprint, compact, config_digest, delta_checkpoint, load_checkpoint,
+    load_delta, save_checkpoint, save_delta, CheckpointError, DeltaCheckpoint, HistoryDelta,
+    HomeCheckpoint, HomeDelta, LearnedDelta, MetroCheckpoint, NodeDelta, RestDelta, SlotsDelta,
+    SystemDelta,
 };
 pub use home::{CoredaHome, HomeError};
 pub use live::{EpisodeLog, LogKind, PatientBehavior, ScriptedBehavior, StochasticBehavior};
 pub use planning::{LearnerKind, PlanningConfig, PlanningSubsystem, RewardConfig, StateEncoder};
 pub use reminding::{Prompt, Reminder, ReminderLevel, ReminderMethod, RemindingSubsystem, Trigger};
 pub use metro::{
-    resume_scale, resume_scale_checkpointed, resume_scale_traced, run_scale,
-    run_scale_checkpointed, run_scale_checkpointed_traced, EngineKind, HomeStats, MetroConfig,
-    ScaleReport,
+    resume_scale, resume_scale_checkpointed, resume_scale_durable, resume_scale_traced, run_scale,
+    run_scale_checkpointed, run_scale_checkpointed_traced, run_scale_durable, run_scale_walled,
+    DurableRun, EngineKind, HomeStats, MetroConfig, ScaleReport,
 };
 pub use report::DailyReport;
 pub use sensing::{SensingSubsystem, StepEvent};
 pub use sessions::{SessionEvent, SessionEvents, SessionTracker};
 pub use system::{Coreda, CoredaConfig, LiveEpisode, TickOutcome};
 pub use telemetry::{Ctr, HomeRecorder, MaybeRec, Stage, Telemetry, TraceKind, TraceRecord};
+pub use wal::{decode_wal, decode_wal_tolerant, encode_wal, render_home_timeline, WalRecord, WalTail};

@@ -45,7 +45,10 @@ use coreda_des::rng::SimRng;
 use coreda_des::sim::Simulator;
 use coreda_des::time::{SimDuration, SimTime};
 
-use crate::checkpoint::{config_digest, CheckpointError, HomeCheckpoint, MetroCheckpoint};
+use crate::checkpoint::{
+    compact, config_digest, delta_checkpoint, CheckpointError, DeltaCheckpoint, HomeCheckpoint,
+    MetroCheckpoint,
+};
 use crate::fleet::{default_jobs, derive_seed, FleetEngine};
 use crate::live::StochasticBehavior;
 use crate::planning::PlanningSubsystem;
@@ -53,6 +56,7 @@ use crate::reminding::RemindingSubsystem;
 use crate::sessions::{SessionEvent, SessionTracker};
 use crate::system::{Coreda, CoredaConfig, LiveEpisode};
 use crate::telemetry::{Ctr, HomeRecorder, Telemetry, TraceKind};
+use crate::wal::{self, WalRecord};
 
 /// Which event queue drives the serving loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -424,6 +428,9 @@ fn record_session_event(rec: &mut HomeRecorder, ev: SessionEvent) {
 /// session-event buffer serve every home in turn.
 struct Shard<'a> {
     ctx: &'a FleetCtx,
+    /// Fleet-global id of the shard's first home (write-ahead log
+    /// records carry global ids).
+    first_home: usize,
     /// Activities per home — the arena row width.
     acts: usize,
     systems: Vec<Coreda>,
@@ -439,6 +446,9 @@ struct Shard<'a> {
     taps: Option<Vec<Vec<TapEvent>>>,
     /// Flight recorders: outer `Some` when the run collects telemetry.
     recs: Option<Vec<HomeRecorder>>,
+    /// Write-ahead event log: `Some` when the run appends one record per
+    /// observable-transition wake (quiet wakes append nothing).
+    wal: Option<Vec<WalRecord>>,
     /// One behaviour serves the whole shard: it holds only the shared
     /// profile and call-local scratch, never per-home state.
     behavior: StochasticBehavior,
@@ -459,6 +469,7 @@ impl<'a> Shard<'a> {
         count: usize,
         record: bool,
         trace: bool,
+        log: bool,
     ) -> Self {
         let acts = ctx.specs.len();
         let mut systems = Vec::with_capacity(count * acts);
@@ -491,6 +502,7 @@ impl<'a> Shard<'a> {
         }
         Shard {
             ctx,
+            first_home,
             acts,
             systems,
             trackers: (0..count).map(|_| ctx.tracker_proto.clone()).collect(),
@@ -501,6 +513,7 @@ impl<'a> Shard<'a> {
             stats: vec![HomeStats::default(); count],
             taps: record.then(|| (0..count).map(|_| Vec::new()).collect()),
             recs: trace.then(|| (0..count).map(|_| HomeRecorder::new()).collect()),
+            wal: log.then(Vec::new),
             behavior: StochasticBehavior::new(PatientProfile::moderate(RESIDENT)),
             scratch_sessions: Vec::new(),
             batch: Vec::new(),
@@ -622,6 +635,68 @@ impl<'a> Shard<'a> {
         }
     }
 
+    /// Serves home `i`'s wake and, when the write-ahead log is on,
+    /// appends one record if the wake produced any observable
+    /// assistance-state transition (episode start/end, reminder, praise,
+    /// session event). The record is *derived* — a diff of the home's
+    /// counters around the canonical [`Shard::poll_instant`] — so
+    /// logging cannot perturb the simulation, and quiet wakes (the
+    /// overwhelming majority under dense polling) append nothing, which
+    /// is what makes the log identical across engines and O(activity)
+    /// in cost.
+    fn poll_wake(&mut self, i: usize, now: SimTime) {
+        if self.wal.is_none() {
+            self.poll_instant(i, now);
+            return;
+        }
+        let before = self.stats[i];
+        let ep_before = self.episodes[i].is_some();
+        self.poll_instant(i, now);
+        let after = self.stats[i];
+        let started = after.episodes_started > before.episodes_started;
+        let ep_after = self.episodes[i].is_some();
+        let mut flags = 0u8;
+        if started {
+            flags |= wal::EPISODE_STARTED;
+        }
+        if (ep_before || started) && !ep_after {
+            flags |= wal::EPISODE_ENDED;
+        }
+        if after.episodes_completed > before.episodes_completed {
+            flags |= wal::EPISODE_COMPLETED;
+        }
+        let act = if started {
+            let act = match &self.episodes[i] {
+                Some(run) => run.act,
+                // Started and finished within this wake: the finish
+                // already advanced `ep_index` past the started episode.
+                None => {
+                    usize::try_from(self.sched[i].ep_index.wrapping_sub(1)).unwrap_or(usize::MAX)
+                        % self.acts
+                }
+            };
+            u8::try_from(act).unwrap_or(wal::NO_ACT - 1)
+        } else {
+            wal::NO_ACT
+        };
+        let d8 = |a: u64, b: u64| u8::try_from(a.saturating_sub(b)).unwrap_or(u8::MAX);
+        let record = WalRecord {
+            at: now,
+            home: u32::try_from(self.first_home + i).expect("fleets fit in u32"),
+            act,
+            flags,
+            reminders: d8(after.reminders, before.reminders),
+            praises: d8(after.praises, before.praises),
+            sessions_started: d8(after.sessions_started, before.sessions_started),
+            sessions_completed: d8(after.sessions_completed, before.sessions_completed),
+            sessions_abandoned: d8(after.sessions_abandoned, before.sessions_abandoned),
+            cross_activity: d8(after.cross_activity_flags, before.cross_activity_flags),
+        };
+        if !record.is_trivial() {
+            self.wal.as_mut().expect("checked above").push(record);
+        }
+    }
+
     /// Snapshots everything home `i` cannot rebuild from its config:
     /// system states, live session, RNG positions, the in-flight episode,
     /// scheduling state, statistics, and (when traced) the recorder.
@@ -709,6 +784,9 @@ struct ChunkOut {
     stats: Vec<HomeStats>,
     taps: Option<Vec<Vec<TapEvent>>>,
     recs: Option<Vec<HomeRecorder>>,
+    /// Shard-local write-ahead records, in wake order (already sorted by
+    /// `(at, home)` — the batch sweep visits homes in ascending order).
+    wal: Option<Vec<WalRecord>>,
     des_events: u64,
     /// Shard-local queue high-water mark — engine- and jobs-dependent.
     max_pending: usize,
@@ -764,7 +842,7 @@ impl Shard<'_> {
                     continue;
                 }
                 self.sched[i].last_handled = Some(now);
-                self.poll_instant(i, now);
+                self.poll_wake(i, now);
                 if let Some(run) = &self.episodes[i] {
                     sim.schedule_at(run.ep.next_tick_at(), Wake(i));
                 } else {
@@ -789,7 +867,7 @@ impl Shard<'_> {
             let mut batch = std::mem::take(&mut self.batch);
             for &i in &batch {
                 self.sched[i].last_handled = Some(now);
-                self.poll_instant(i, now);
+                self.poll_wake(i, now);
                 sim.schedule_at(now + Coreda::TICK, Wake(i));
             }
             batch.clear();
@@ -805,18 +883,14 @@ impl Shard<'_> {
     }
 
     /// Snapshots the shard at the current instant without perturbing it:
-    /// drains the queue to learn each home's pending wakes, re-schedules
-    /// every drained event in the same order (re-insertion assigns fresh
-    /// ascending sequence numbers, so same-instant FIFO order is
-    /// preserved), and captures each home with its share of the queue.
-    fn capture(&self, sim: &mut Simulator<Wake>) -> (u64, Vec<HomeCheckpoint>) {
-        let pending = sim.drain_pending();
+    /// walks the queue's pending wakes in dispatch order through
+    /// [`Simulator::iter_pending`] — a read-only view, so frequent delta
+    /// checkpoints never pay the old drain-and-reschedule round trip —
+    /// and captures each home with its share of the queue.
+    fn capture(&self, sim: &Simulator<Wake>) -> (u64, Vec<HomeCheckpoint>) {
         let mut per_home: Vec<Vec<SimTime>> = vec![Vec::new(); self.len()];
-        for &(due, Wake(i)) in &pending {
+        for (due, &Wake(i)) in sim.iter_pending() {
             per_home[i].push(due);
-        }
-        for (due, wake) in pending {
-            sim.schedule_at(due, wake);
         }
         let snaps = (0..self.len())
             .map(|i| self.capture_home(i, std::mem::take(&mut per_home[i])))
@@ -836,6 +910,7 @@ impl Shard<'_> {
             stats: self.stats,
             taps: self.taps,
             recs: self.recs,
+            wal: self.wal,
             des_events,
             max_pending,
             checkpoints,
@@ -851,10 +926,11 @@ fn run_chunk(
     count: usize,
     record: bool,
     trace: bool,
+    log: bool,
     stops: &[SimTime],
     resume: Option<&[HomeCheckpoint]>,
 ) -> ChunkOut {
-    let mut shard = Shard::build(cfg, ctx, first_home, count, record, trace);
+    let mut shard = Shard::build(cfg, ctx, first_home, count, record, trace, log);
     let horizon_end = SimTime::ZERO + cfg.horizon;
 
     let mut sim: Simulator<Wake> = match cfg.engine {
@@ -892,7 +968,7 @@ fn run_chunk(
     let mut checkpoints = Vec::with_capacity(stops.len());
     for &stop in stops {
         shard.segment(&mut sim, cfg.engine, stop);
-        checkpoints.push(shard.capture(&mut sim));
+        checkpoints.push(shard.capture(&sim));
     }
     shard.segment(&mut sim, cfg.engine, horizon_end);
     shard.finish(sim.processed(), sim.max_pending(), checkpoints)
@@ -938,7 +1014,7 @@ pub struct TraceOutput {
 /// engines (recorders are merged in home order).
 #[must_use]
 pub fn run_scale_traced(cfg: &MetroConfig) -> TraceOutput {
-    run_scale_inner(cfg, false, true, &[], None)
+    run_scale_inner(cfg, false, true, false, &[], None)
         .expect("a run without a resume source cannot mismatch")
         .0
 }
@@ -958,7 +1034,7 @@ pub fn run_scale_checkpointed(
     cfg: &MetroConfig,
     stops: &[SimTime],
 ) -> (ScaleReport, Vec<MetroCheckpoint>) {
-    let (out, ckpts) = run_scale_inner(cfg, false, false, stops, None)
+    let (out, ckpts, _) = run_scale_inner(cfg, false, false, false, stops, None)
         .expect("a run without a resume source cannot mismatch");
     (out.report, ckpts)
 }
@@ -975,8 +1051,9 @@ pub fn run_scale_checkpointed_traced(
     cfg: &MetroConfig,
     stops: &[SimTime],
 ) -> (TraceOutput, Vec<MetroCheckpoint>) {
-    run_scale_inner(cfg, false, true, stops, None)
-        .expect("a run without a resume source cannot mismatch")
+    let (out, ckpts, _) = run_scale_inner(cfg, false, true, false, stops, None)
+        .expect("a run without a resume source cannot mismatch");
+    (out, ckpts)
 }
 
 /// Continues a serve from a fleet snapshot to `cfg.horizon`. The
@@ -993,7 +1070,7 @@ pub fn resume_scale(
     cfg: &MetroConfig,
     ckpt: &MetroCheckpoint,
 ) -> Result<ScaleReport, CheckpointError> {
-    run_scale_inner(cfg, false, false, &[], Some(ckpt)).map(|(out, _)| out.report)
+    run_scale_inner(cfg, false, false, false, &[], Some(ckpt)).map(|(out, _, _)| out.report)
 }
 
 /// [`resume_scale`] with the flight recorder on. When the snapshot was
@@ -1007,7 +1084,7 @@ pub fn resume_scale_traced(
     cfg: &MetroConfig,
     ckpt: &MetroCheckpoint,
 ) -> Result<TraceOutput, CheckpointError> {
-    run_scale_inner(cfg, false, true, &[], Some(ckpt)).map(|(out, _)| out)
+    run_scale_inner(cfg, false, true, false, &[], Some(ckpt)).map(|(out, _, _)| out)
 }
 
 /// Resume *and* keep checkpointing: continues from `ckpt` and snapshots
@@ -1026,24 +1103,136 @@ pub fn resume_scale_checkpointed(
     ckpt: &MetroCheckpoint,
     stops: &[SimTime],
 ) -> Result<(ScaleReport, Vec<MetroCheckpoint>), CheckpointError> {
-    run_scale_inner(cfg, false, false, stops, Some(ckpt))
-        .map(|(out, ckpts)| (out.report, ckpts))
+    run_scale_inner(cfg, false, false, false, stops, Some(ckpt))
+        .map(|(out, ckpts, _)| (out.report, ckpts))
+}
+
+/// A durable run's on-disk artifacts: one full base snapshot, a chain of
+/// incremental deltas (each diffed against the snapshot the previous
+/// ones rebuild), and the write-ahead event log of every observable
+/// transition. Steady-state durability cost is the deltas + log tail —
+/// O(activity) — instead of a full snapshot per interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableRun {
+    /// The full snapshot the chain starts from.
+    pub base: MetroCheckpoint,
+    /// Incremental checkpoints, oldest first.
+    pub deltas: Vec<DeltaCheckpoint>,
+    /// The whole run's event log, `(at, home)`-ordered.
+    pub wal: Vec<WalRecord>,
+}
+
+impl DurableRun {
+    /// The instant the newest checkpoint (base or delta) covers.
+    #[must_use]
+    pub fn last_checkpoint_at(&self) -> SimTime {
+        self.deltas.last().map_or(self.base.at, |d| d.at)
+    }
+
+    /// Folds the delta chain into the base: the full snapshot a
+    /// compaction would persist as the next base.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`compact`]'s failures (a delta diffed against a
+    /// different base, or out-of-order chaining).
+    pub fn compacted(&self) -> Result<MetroCheckpoint, CheckpointError> {
+        compact(&self.base, &self.deltas)
+    }
+}
+
+/// [`run_scale`] with the write-ahead event log on: returns the report
+/// plus one [`WalRecord`] per observable-transition wake, fleet-ordered
+/// by `(at, home)`. The log is bit-identical across engines and at any
+/// worker count, and the report matches an unlogged run exactly
+/// (records are derived from counter diffs, never fed back).
+#[must_use]
+pub fn run_scale_walled(cfg: &MetroConfig) -> (ScaleReport, Vec<WalRecord>) {
+    let (out, _, wal) = run_scale_inner(cfg, false, false, true, &[], None)
+        .expect("a run without a resume source cannot mismatch");
+    (out.report, wal.expect("wal was requested"))
+}
+
+/// Runs a serve with incremental durability: a full snapshot at
+/// `stops[0]` becomes the base, every later stop becomes a delta diffed
+/// against its predecessor, and the write-ahead log covers the whole
+/// horizon. The run itself is unperturbed — the report is bit-identical
+/// to a plain [`run_scale`].
+///
+/// # Panics
+///
+/// Panics if `stops` is empty (a durable run needs at least a base) or
+/// invalid as in [`run_scale_checkpointed`].
+#[must_use]
+pub fn run_scale_durable(cfg: &MetroConfig, stops: &[SimTime]) -> (ScaleReport, DurableRun) {
+    assert!(!stops.is_empty(), "a durable run needs at least one checkpoint stop");
+    let (out, ckpts, wal) = run_scale_inner(cfg, false, false, true, stops, None)
+        .expect("a run without a resume source cannot mismatch");
+    let mut iter = ckpts.into_iter();
+    let base = iter.next().expect("stops is non-empty");
+    let mut prev = base.clone();
+    let mut deltas = Vec::new();
+    for cur in iter {
+        deltas.push(delta_checkpoint(&prev, &cur));
+        prev = cur;
+    }
+    (out.report, DurableRun { base, deltas, wal: wal.expect("wal was requested") })
+}
+
+/// Resumes from a durable chain: folds base → deltas into the newest
+/// snapshot, replays the simulation from there to `cfg.horizon`, and
+/// cross-checks the replay against the stored log tail — every record
+/// the resumed run regenerates past the checkpoint instant must match
+/// the stored one, or the log and the snapshot chain belong to
+/// different histories. The returned report is bit-identical to an
+/// uninterrupted run at any checkpoint cadence, worker count, and
+/// engine.
+///
+/// # Errors
+///
+/// [`CheckpointError::ConfigMismatch`] / [`CheckpointError::BaseMismatch`]
+/// for a chain that does not belong to `cfg`, and
+/// [`CheckpointError::WalDivergence`] when the stored log disagrees with
+/// the deterministic replay.
+pub fn resume_scale_durable(
+    cfg: &MetroConfig,
+    run: &DurableRun,
+) -> Result<ScaleReport, CheckpointError> {
+    let ckpt = run.compacted()?;
+    let (out, _, regen) = run_scale_inner(cfg, false, false, true, &[], Some(&ckpt))?;
+    let regen = regen.expect("wal was requested");
+    // The stored tail past the checkpoint and the regenerated stream
+    // must agree record-for-record over their common extent (horizons
+    // may differ: a resume is free to run longer or shorter than the
+    // run that wrote the log).
+    let tail = run.wal.iter().filter(|r| r.at > ckpt.at);
+    for (stored, fresh) in tail.zip(&regen) {
+        if stored != fresh {
+            return Err(CheckpointError::WalDivergence { at: stored.at, home: stored.home });
+        }
+    }
+    Ok(out.report)
 }
 
 fn run_scale_with(cfg: &MetroConfig, record: bool) -> ScaleReport {
-    run_scale_inner(cfg, record, false, &[], None)
+    run_scale_inner(cfg, record, false, false, &[], None)
         .expect("a run without a resume source cannot mismatch")
         .0
         .report
 }
 
+/// What one serve produces: trace output, checkpoints at each stop, and
+/// the event log when one was requested.
+type InnerRun = (TraceOutput, Vec<MetroCheckpoint>, Option<Vec<WalRecord>>);
+
 fn run_scale_inner(
     cfg: &MetroConfig,
     record: bool,
     trace: bool,
+    log: bool,
     stops: &[SimTime],
     resume: Option<&MetroCheckpoint>,
-) -> Result<(TraceOutput, Vec<MetroCheckpoint>), CheckpointError> {
+) -> Result<InnerRun, CheckpointError> {
     let horizon_end = SimTime::ZERO + cfg.horizon;
     assert!(
         stops.windows(2).all(|w| w[0] <= w[1]),
@@ -1090,11 +1279,12 @@ fn run_scale_inner(
     let engine = FleetEngine::new(cfg.jobs);
     let results = engine.map(chunks, |(first, count)| {
         let shard_resume = resume.map(|ckpt| &ckpt.homes[first..first + count]);
-        run_chunk(cfg, &ctx, first, count, record, trace, stops, shard_resume)
+        run_chunk(cfg, &ctx, first, count, record, trace, log, stops, shard_resume)
     });
 
     let mut per_home = Vec::with_capacity(cfg.homes);
     let mut events = record.then(|| Vec::with_capacity(cfg.homes));
+    let mut wal_records = log.then(Vec::new);
     let mut telemetry = Telemetry::default();
     let mut des_events = base_des;
     let mut peak_pending = 0usize;
@@ -1117,6 +1307,9 @@ fn run_scale_inner(
             // reproduces home order at any worker count.
             telemetry.homes.extend(recs);
         }
+        if let (Some(all), Some(records)) = (wal_records.as_mut(), chunk.wal) {
+            all.extend(records);
+        }
         des_events = des_events.saturating_add(chunk.des_events);
         peak_pending = peak_pending.max(chunk.max_pending);
         for (ckpt, (processed, homes)) in checkpoints.iter_mut().zip(chunk.checkpoints) {
@@ -1138,7 +1331,13 @@ fn run_scale_inner(
         let (_, clamped) = report.totals_checked();
         telemetry.fleet.add(Ctr::TotalsSaturated, clamped);
     }
-    Ok((TraceOutput { report, telemetry, peak_pending }, checkpoints))
+    if let Some(all) = wal_records.as_mut() {
+        // Shard streams are each `(at, home)`-ordered; one global sort
+        // merges them into the unique fleet-wide order (at most one
+        // record per `(at, home)`), making the log jobs-invariant.
+        all.sort_unstable_by_key(|r| (r.at, r.home));
+    }
+    Ok((TraceOutput { report, telemetry, peak_pending }, checkpoints, wal_records))
 }
 
 #[cfg(test)]
@@ -1153,7 +1352,7 @@ mod tests {
     fn fleet_homes_share_planner_and_renderer_allocations() {
         let cfg = small_cfg();
         let ctx = FleetCtx::build(&cfg);
-        let shard = Shard::build(&cfg, &ctx, 0, cfg.homes, false, false);
+        let shard = Shard::build(&cfg, &ctx, 0, cfg.homes, false, false, false);
         let acts = ctx.specs.len();
         assert!(acts >= 2, "catalog should exercise >1 activity");
         for act in 0..acts {
@@ -1385,6 +1584,99 @@ mod tests {
             resume_scale(&long_heap, &heap_ckpts[0]).unwrap(),
             run_scale(&long_heap)
         );
+    }
+
+    #[test]
+    fn logging_does_not_perturb_the_run_and_captures_every_transition() {
+        let cfg = small_cfg();
+        let (report, wal) = run_scale_walled(&cfg);
+        assert_eq!(report, run_scale(&cfg), "the log is derived, never fed back");
+        assert!(!wal.is_empty(), "a serving fleet must log transitions");
+        assert!(
+            wal.windows(2).all(|w| (w[0].at, w[0].home) <= (w[1].at, w[1].home)),
+            "records arrive fleet-ordered by (at, home)"
+        );
+        // Every counter the report accumulates is the sum of its log
+        // increments: the WAL is a complete account of the run.
+        let t = report.totals();
+        let sum = |f: fn(&WalRecord) -> u8| wal.iter().map(|r| u64::from(f(r))).sum::<u64>();
+        assert_eq!(sum(|r| r.reminders), t.reminders);
+        assert_eq!(sum(|r| r.praises), t.praises);
+        assert_eq!(sum(|r| r.sessions_completed), t.sessions_completed);
+        let starts =
+            wal.iter().filter(|r| r.flags & wal::EPISODE_STARTED != 0).count() as u64;
+        assert_eq!(starts, t.episodes_started);
+    }
+
+    #[test]
+    fn wal_is_engine_and_jobs_invariant() {
+        let cfg = small_cfg();
+        let (_, serial) = run_scale_walled(&cfg);
+        let (_, parallel) = run_scale_walled(&MetroConfig { jobs: 3, ..small_cfg() });
+        assert_eq!(serial, parallel, "worker count must not reorder or change the log");
+        let (_, heap) = run_scale_walled(&MetroConfig { engine: EngineKind::Heap, ..cfg });
+        assert_eq!(serial, heap, "dense heap polling observes the same transitions");
+    }
+
+    #[test]
+    fn durable_resume_is_bit_identical_to_an_uninterrupted_run() {
+        let cfg = small_cfg();
+        let stops: Vec<_> = [150, 300, 450].map(SimTime::from_secs).to_vec();
+        let (report, run) = run_scale_durable(&cfg, &stops);
+        assert_eq!(report, run_scale(&cfg));
+        assert_eq!(run.deltas.len(), 2);
+        assert_eq!(run.last_checkpoint_at(), SimTime::from_secs(450));
+        // The folded chain is byte-for-byte the snapshot a full-capture
+        // run would have taken at the last stop.
+        let (_, direct) = run_scale_checkpointed(&cfg, &[SimTime::from_secs(450)]);
+        assert_eq!(run.compacted().unwrap(), direct[0]);
+        // base → deltas → log tail replays into the uninterrupted result,
+        // at another worker count and on the other engine too.
+        assert_eq!(resume_scale_durable(&cfg, &run).unwrap(), report);
+        let parallel = MetroConfig { jobs: 3, ..small_cfg() };
+        assert_eq!(resume_scale_durable(&parallel, &run).unwrap(), report);
+        let heap = MetroConfig { engine: EngineKind::Heap, ..small_cfg() };
+        let (heap_report, heap_run) = run_scale_durable(&heap, &stops);
+        assert_eq!(resume_scale_durable(&heap, &heap_run).unwrap(), heap_report);
+        assert_eq!(heap_report.per_home, report.per_home);
+    }
+
+    #[test]
+    fn a_tampered_log_tail_is_caught_as_divergence() {
+        let cfg = small_cfg();
+        let (_, mut run) = run_scale_durable(&cfg, &[SimTime::from_secs(150)]);
+        let ckpt_at = run.last_checkpoint_at();
+        let victim = run
+            .wal
+            .iter()
+            .position(|r| r.at > ckpt_at)
+            .expect("a 600s run logs past the 150s checkpoint");
+        run.wal[victim].reminders = run.wal[victim].reminders.wrapping_add(1);
+        let (at, home) = (run.wal[victim].at, run.wal[victim].home);
+        match resume_scale_durable(&cfg, &run) {
+            Err(CheckpointError::WalDivergence { at: got_at, home: got_home }) => {
+                assert_eq!((got_at, got_home), (at, home));
+            }
+            other => panic!("tampered log must diverge, got {other:?}"),
+        }
+        // Records already covered by the snapshot chain are not replayed;
+        // only the tail is cross-checked.
+        run.wal[victim].reminders = run.wal[victim].reminders.wrapping_sub(1);
+        if let Some(head) = run.wal.iter().position(|r| r.at <= ckpt_at) {
+            run.wal[head].praises = run.wal[head].praises.wrapping_add(1);
+            assert!(resume_scale_durable(&cfg, &run).is_ok());
+        }
+    }
+
+    #[test]
+    fn durable_chain_refuses_a_foreign_config() {
+        let cfg = small_cfg();
+        let (_, run) = run_scale_durable(&cfg, &[SimTime::from_secs(150)]);
+        let reseeded = MetroConfig { seed: cfg.seed + 1, ..small_cfg() };
+        assert!(matches!(
+            resume_scale_durable(&reseeded, &run),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
     }
 
     #[test]

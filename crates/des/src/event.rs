@@ -315,6 +315,31 @@ impl<E> EventQueue<E> {
         self.len == 0
     }
 
+    /// Every pending event as `(due, seq, &event)`, sorted into dispatch
+    /// order, without disturbing the wheel. Walks the occupancy bitmaps
+    /// plus the overdue/overflow heaps, so the cost is O(pending) — the
+    /// checkpoint capture path uses this instead of draining and
+    /// re-inserting the whole queue.
+    pub(crate) fn pending_in_order(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut out: Vec<(SimTime, u64, &E)> = Vec::with_capacity(self.len);
+        out.extend(self.overdue.iter().map(|s| (s.due, s.seq, &s.event)));
+        for (level, words) in self.occupancy.iter().enumerate() {
+            for (w, &bits) in words.iter().enumerate() {
+                let mut b = bits;
+                while b != 0 {
+                    let slot = (w << 6) | b.trailing_zeros() as usize;
+                    out.extend(
+                        self.slots[level][slot].iter().map(|s| (s.due, s.seq, &s.event)),
+                    );
+                    b &= b - 1;
+                }
+            }
+        }
+        out.extend(self.overflow.iter().map(|s| (s.due, s.seq, &s.event)));
+        out.sort_unstable_by_key(|&(due, seq, _)| (due, seq));
+        out
+    }
+
     /// Removes all pending events. The cursor (and with it the monotone
     /// ordering guarantee relative to already-popped events) is kept.
     pub fn clear(&mut self) {
@@ -417,6 +442,15 @@ impl<E> HeapEventQueue<E> {
     /// Removes all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Every pending event as `(due, seq, &event)`, sorted into dispatch
+    /// order, without disturbing the heap.
+    pub(crate) fn pending_in_order(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut out: Vec<(SimTime, u64, &E)> =
+            self.heap.iter().map(|s| (s.due, s.seq, &s.event)).collect();
+        out.sort_unstable_by_key(|&(due, seq, _)| (due, seq));
+        out
     }
 }
 
@@ -575,6 +609,18 @@ mod tests {
             let (due, _) = q.pop().unwrap();
             assert_eq!(peeked, due);
         }
+    }
+
+    #[test]
+    fn pending_in_order_sees_overdue_entries_first() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(1_000), "late");
+        q.schedule_at(SimTime::from_millis(500), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid"); // cursor now at 500
+        q.schedule_at(SimTime::from_millis(100), "overdue");
+        let order: Vec<&str> = q.pending_in_order().into_iter().map(|(_, _, &e)| e).collect();
+        assert_eq!(order, vec!["overdue", "late"]);
+        assert_eq!(q.len(), 2, "the borrow must not pop");
     }
 
     #[test]

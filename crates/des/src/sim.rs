@@ -59,6 +59,13 @@ impl<E> Queue<E> {
             Queue::Heap(q) => q.clear(),
         }
     }
+
+    fn pending_in_order(&self) -> Vec<(SimTime, u64, &E)> {
+        match self {
+            Queue::Wheel(q) => q.pending_in_order(),
+            Queue::Heap(q) => q.pending_in_order(),
+        }
+    }
 }
 
 /// A discrete-event simulator over a user-chosen event type `E`.
@@ -247,6 +254,15 @@ impl<E> Simulator<E> {
         }
         out
     }
+
+    /// Borrows every pending event in dispatch order (`(time, seq)`
+    /// FIFO) without removing anything: the queue, clock and counters
+    /// are untouched. This is [`Simulator::drain_pending`] for readers —
+    /// frequent checkpoint captures walk the pending set through this
+    /// instead of draining and re-inserting the whole queue.
+    pub fn iter_pending(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.queue.pending_in_order().into_iter().map(|(due, _, event)| (due, event))
+    }
 }
 
 impl<E> Default for Simulator<E> {
@@ -390,6 +406,27 @@ mod tests {
             }
             assert_eq!(sim.step(), Some("second"));
             assert_eq!(sim.step(), Some("late"));
+        }
+    }
+
+    #[test]
+    fn iter_pending_matches_drain_without_disturbing_the_queue() {
+        for make in [Simulator::new as fn() -> Simulator<u64>, Simulator::with_heap_queue] {
+            let mut sim = make();
+            // Dues spread across wheel levels, the overflow heap, and
+            // ties at one instant (seq order must survive the borrow).
+            let dues = [5u64, 5, 0, 300, 70_000, 20_000_000, (1 << 33) + 5, 5];
+            for (i, &d) in dues.iter().enumerate() {
+                sim.schedule_at(SimTime::from_millis(d), i as u64);
+            }
+            assert_eq!(sim.step(), Some(2)); // clock at 0
+            sim.schedule_at(SimTime::from_millis(1), 99);
+            let peeked: Vec<(SimTime, u64)> =
+                sim.iter_pending().map(|(t, &e)| (t, e)).collect();
+            assert_eq!(sim.pending(), peeked.len(), "iteration must not pop");
+            assert_eq!(sim.processed(), 1);
+            let drained = sim.drain_pending();
+            assert_eq!(peeked, drained, "borrowed order must equal dispatch order");
         }
     }
 

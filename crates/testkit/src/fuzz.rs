@@ -43,8 +43,10 @@ pub struct FuzzConfig {
     /// Hard cap on plans regardless of remaining budget.
     pub max_plans: usize,
     /// Layer a [`FaultPlan::with_kill_resume`] process death onto every
-    /// generated plan, so each run also exercises the checkpoint codec
-    /// and the `resume_equivalence` oracle against its ghost.
+    /// generated plan, so each run also exercises the durability codecs
+    /// — the full checkpoint on the first death, the incremental delta
+    /// codec on later deaths, and a write-ahead log torn mid-chunk every
+    /// time — plus the `resume_equivalence` oracle against its ghost.
     pub kill_resume: bool,
 }
 

@@ -14,7 +14,10 @@ use coreda_adl::activity::{catalog, AdlSpec};
 use coreda_adl::patient::PatientProfile;
 use coreda_adl::routine::Routine;
 use coreda_adl::tool::ToolId;
-use coreda_core::checkpoint::{load_checkpoint, save_checkpoint, HomeCheckpoint, MetroCheckpoint};
+use coreda_core::checkpoint::{
+    apply_delta, delta_checkpoint, load_checkpoint, load_delta, save_checkpoint, save_delta,
+    HomeCheckpoint, MetroCheckpoint,
+};
 use coreda_core::fleet::derive_seed;
 use coreda_core::metro::HomeStats;
 use coreda_core::live::{EpisodeLog, LogKind, StochasticBehavior};
@@ -24,6 +27,7 @@ use coreda_core::reminding::{ReminderLevel, ReminderMethod, Trigger};
 use coreda_core::sessions::{SessionEvent, SessionTracker};
 use coreda_core::system::{Coreda, CoredaConfig, LiveEpisode};
 use coreda_core::telemetry::{Ctr, HomeRecorder, TraceKind};
+use coreda_core::wal::{self, decode_wal_tolerant, encode_wal, WalRecord};
 use coreda_des::rng::SimRng;
 use coreda_des::sim::Simulator;
 use coreda_des::time::{SimDuration, SimTime};
@@ -155,6 +159,11 @@ pub struct RunResult {
     /// Every Q value of every planner after the run (online learning is
     /// on, so live serving moves these).
     pub q_values: Vec<f64>,
+    /// The write-ahead event log: one compact record per state-mutating
+    /// poll instant, derived from the same observable tap the oracles
+    /// watch. Part of the differential fingerprint — killed, resumed,
+    /// and cross-engine runs must log identically.
+    pub wal: Vec<WalRecord>,
 }
 
 /// The outcome of checking one plan: both engines run, all oracles
@@ -335,6 +344,11 @@ struct HomeRun<'a> {
     rec: Option<HomeRecorder>,
     /// Session events buffered while `live_tick` holds the recorder.
     scratch_sessions: Vec<SessionEvent>,
+    /// Write-ahead event log, one record per state-mutating poll.
+    wal: Vec<WalRecord>,
+    /// The previous kill's decoded snapshot: later kills round-trip an
+    /// incremental delta against it instead of a full checkpoint.
+    base: Option<MetroCheckpoint>,
 }
 
 impl<'a> HomeRun<'a> {
@@ -382,6 +396,8 @@ impl<'a> HomeRun<'a> {
             stats: RunStats::default(),
             rec: None,
             scratch_sessions: Vec::new(),
+            wal: Vec::new(),
+            base: None,
         };
         let first = run.draw_gap();
         run.next_start = align_up(SimTime::ZERO + first);
@@ -564,6 +580,7 @@ impl<'a> HomeRun<'a> {
     /// `poll_instant` with fault application in front.
     fn poll_instant(&mut self, now: SimTime) {
         self.apply_faults(now);
+        let wal_mark = self.trace.len();
 
         // 1. Begin the next episode when its start arrives.
         if self.episode.is_none() && now >= self.next_start {
@@ -658,6 +675,51 @@ impl<'a> HomeRun<'a> {
             self.ep_index += 1;
             let gap = self.draw_gap();
             self.next_start = align_up(now + gap);
+        }
+
+        // 5. Write-ahead log: fold this instant's fresh trace entries
+        // into one compact record (metro's `poll_wake` shape). Derived
+        // from the observable tap alone, so the run cannot feel it.
+        let mut rec = WalRecord {
+            at: now,
+            home: 0,
+            act: wal::NO_ACT,
+            flags: 0,
+            reminders: 0,
+            praises: 0,
+            sessions_started: 0,
+            sessions_completed: 0,
+            sessions_abandoned: 0,
+            cross_activity: 0,
+        };
+        let bump = |c: &mut u8| *c = c.saturating_add(1);
+        for ev in &self.trace[wal_mark..] {
+            match *ev {
+                TraceEvent::EpisodeStarted { act, .. } => {
+                    rec.flags |= wal::EPISODE_STARTED;
+                    rec.act = u8::try_from(act).unwrap_or(wal::NO_ACT - 1);
+                }
+                TraceEvent::EpisodeEnded { completed, .. } => {
+                    rec.flags |= wal::EPISODE_ENDED;
+                    if completed {
+                        rec.flags |= wal::EPISODE_COMPLETED;
+                    }
+                }
+                TraceEvent::Reminder { .. } => bump(&mut rec.reminders),
+                TraceEvent::Praise { .. } => bump(&mut rec.praises),
+                TraceEvent::SessionStarted { .. } => bump(&mut rec.sessions_started),
+                TraceEvent::SessionEnded { completed: true, .. } => {
+                    bump(&mut rec.sessions_completed);
+                }
+                TraceEvent::SessionEnded { completed: false, .. } => {
+                    bump(&mut rec.sessions_abandoned);
+                }
+                TraceEvent::CrossActivityUse { .. } => bump(&mut rec.cross_activity),
+                TraceEvent::StepSensed { .. } => {}
+            }
+        }
+        if !rec.is_trivial() {
+            self.wal.push(rec);
         }
     }
 
@@ -757,8 +819,39 @@ impl<'a> HomeRun<'a> {
             des_events: sim.processed(),
             homes: vec![snapshot],
         };
-        let blob = save_checkpoint(&manifest, 1);
-        let decoded = load_checkpoint(&blob, 1).expect("a self-made checkpoint must decode");
+        // The durability artifacts die with the process and are read
+        // back the way a restart would read them. First death: the full
+        // snapshot round-trips the checkpoint codec. Later deaths: only
+        // an incremental delta against the previous death's snapshot
+        // round-trips, and base + delta must rebuild the dying state
+        // exactly — the compaction path under kill-resume fuzzing.
+        let decoded = match self.base.take() {
+            Some(base) => {
+                let delta = delta_checkpoint(&base, &manifest);
+                let blob = save_delta(&delta, 1);
+                let delta = load_delta(&blob, 1).expect("a self-made delta must decode");
+                let rebuilt = apply_delta(&base, &delta).expect("the delta fits its own base");
+                assert_eq!(rebuilt, manifest, "base + delta must rebuild the dying state");
+                rebuilt
+            }
+            None => {
+                let blob = save_checkpoint(&manifest, 1);
+                load_checkpoint(&blob, 1).expect("a self-made checkpoint must decode")
+            }
+        };
+        // The write-ahead log is torn mid-chunk by the death; the
+        // tolerant decoder must salvage exactly an intact record prefix
+        // from the torn bytes. The in-memory log then survives like the
+        // trace does — as a log shipped off the box would.
+        let wal_blob = encode_wal(0, &self.wal);
+        let cut = wal_blob.len().saturating_sub(7).max(wal::HEADER_BYTES);
+        let torn =
+            decode_wal_tolerant(&wal_blob[..cut]).expect("the header survives a torn tail");
+        assert!(
+            torn.records.len() <= self.wal.len()
+                && torn.records[..] == self.wal[..torn.records.len()],
+            "salvaged records must be an intact prefix of the dying run's log"
+        );
         let ck = &decoded.homes[0];
 
         let mut fresh = HomeRun::new(self.harness, self.plan);
@@ -808,6 +901,8 @@ impl<'a> HomeRun<'a> {
         for &due in &ck.pending {
             sim.schedule_at(due, ());
         }
+        fresh.wal = std::mem::take(&mut self.wal);
+        fresh.base = Some(decoded);
         fresh
     }
 
@@ -842,7 +937,7 @@ impl<'a> HomeRun<'a> {
             .iter()
             .flat_map(|(s, ..)| s.planner().q_table().values())
             .collect();
-        (RunResult { trace: self.trace, stats: self.stats, q_values }, self.rec)
+        (RunResult { trace: self.trace, stats: self.stats, q_values, wal: self.wal }, self.rec)
     }
 }
 

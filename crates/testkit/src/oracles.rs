@@ -99,8 +99,10 @@ pub fn check_engines(wheel: &RunResult, heap: &RunResult) -> Option<Violation> {
 }
 
 /// Differential oracle: a run that died at a checkpoint and resumed from
-/// the decoded snapshot must be bit-identical to the ghost run that was
-/// never interrupted.
+/// the decoded snapshot — a full one for the first death, an incremental
+/// delta against the previous death's base after that, with the
+/// write-ahead log torn mid-chunk each time — must be bit-identical to
+/// the ghost run that was never interrupted, logged records included.
 #[must_use]
 pub fn check_resume(resumed: &RunResult, ghost: &RunResult) -> Option<Violation> {
     differential("resume_equivalence", "resumed", resumed, "ghost", ghost)
@@ -158,6 +160,20 @@ fn differential(
             r = right.trace.get(at),
             ll = left.trace.len(),
             rl = right.trace.len()
+        )
+    } else if left.wal != right.wal {
+        let at = left
+            .wal
+            .iter()
+            .zip(&right.wal)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| left.wal.len().min(right.wal.len()));
+        format!(
+            "write-ahead logs diverge at record #{at}: {l:?} vs {r:?} (lengths {ll}/{rl})",
+            l = left.wal.get(at),
+            r = right.wal.get(at),
+            ll = left.wal.len(),
+            rl = right.wal.len()
         )
     } else {
         "q tables diverged".to_string()

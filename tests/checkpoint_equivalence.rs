@@ -6,11 +6,15 @@
 
 use std::sync::OnceLock;
 
-use coreda_core::checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
-use coreda_core::metro::{
-    resume_scale, resume_scale_traced, run_scale, run_scale_checkpointed,
-    run_scale_checkpointed_traced, run_scale_traced, EngineKind, MetroConfig,
+use coreda_core::checkpoint::{
+    apply_delta, delta_checkpoint, load_checkpoint, load_delta, save_checkpoint, save_delta,
+    CheckpointError,
 };
+use coreda_core::metro::{
+    resume_scale, resume_scale_durable, resume_scale_traced, run_scale, run_scale_checkpointed,
+    run_scale_checkpointed_traced, run_scale_durable, run_scale_traced, EngineKind, MetroConfig,
+};
+use coreda_core::wal::{decode_wal, decode_wal_tolerant, encode_wal};
 use coreda_des::time::{SimDuration, SimTime};
 use coreda_sensornet::packet::crc16;
 use proptest::prelude::*;
@@ -101,6 +105,53 @@ fn resumed_telemetry_merges_and_matches_at_any_jobs() {
     }
 }
 
+#[test]
+fn durable_resume_equals_uninterrupted_across_the_grid() {
+    // The incremental flavour of the headline guarantee: base at the
+    // first stop, deltas for the rest, write-ahead log throughout —
+    // base → deltas → log-tail replay lands on the uninterrupted
+    // result at any worker count and on either engine.
+    let stops = [
+        SimTime::from_millis(100),
+        SimTime::from_secs(59),
+        SimTime::from_secs(300),
+        SimTime::from_secs(600),
+    ];
+    for engine in [EngineKind::Wheel, EngineKind::Heap] {
+        let full = run_scale(&cfg(1, engine));
+        let (report, run) = run_scale_durable(&cfg(1, engine), &stops);
+        assert_eq!(report, full, "durable instrumentation must not perturb the run");
+        for jobs in [1usize, 8] {
+            let resumed = resume_scale_durable(&cfg(jobs, engine), &run)
+                .unwrap_or_else(|e| panic!("durable resume, jobs {jobs}, {engine:?}: {e}"));
+            assert_eq!(
+                resumed, full,
+                "durable resume diverged: jobs {jobs}, {engine:?} engine"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_chains_refuse_a_foreign_base() {
+    // Each delta is fingerprint-bound to the exact snapshot it was
+    // diffed against: the same run's earlier snapshot is not close
+    // enough, and a different seed's snapshot fails on the digest.
+    let stops = [SimTime::from_secs(120), SimTime::from_secs(240), SimTime::from_secs(360)];
+    let (_, snaps) = run_scale_checkpointed(&cfg(1, EngineKind::Wheel), &stops);
+    let late_delta = delta_checkpoint(&snaps[1], &snaps[2]);
+    assert!(matches!(
+        apply_delta(&snaps[0], &late_delta),
+        Err(CheckpointError::BaseMismatch { .. })
+    ));
+    let foreign = MetroConfig { seed: 9, ..cfg(1, EngineKind::Wheel) };
+    let (_, foreign_snaps) = run_scale_checkpointed(&foreign, &[SimTime::from_secs(240)]);
+    assert!(matches!(
+        apply_delta(&foreign_snaps[0], &late_delta),
+        Err(CheckpointError::ConfigMismatch { .. })
+    ));
+}
+
 /// One mid-run snapshot, encoded once and shared by the robustness
 /// proptests below (capturing it is the expensive part).
 fn blob() -> &'static [u8] {
@@ -112,7 +163,87 @@ fn blob() -> &'static [u8] {
     })
 }
 
+/// A mid-run delta and the whole run's write-ahead log, encoded once
+/// and shared by the incremental robustness proptests.
+fn durable_blobs() -> &'static (Vec<u8>, Vec<u8>) {
+    static BLOBS: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+    BLOBS.get_or_init(|| {
+        let config = cfg(1, EngineKind::Wheel);
+        let stops = [SimTime::from_secs(120), SimTime::from_secs(480)];
+        let (_, run) = run_scale_durable(&config, &stops);
+        let delta = save_delta(&run.deltas[0], 1).to_vec();
+        let wal = encode_wal(run.base.digest, &run.wal).to_vec();
+        (delta, wal)
+    })
+}
+
 proptest! {
+    /// load(save(d)) == d and base + d rebuilds the later snapshot, for
+    /// deltas spanning arbitrary intervals at any encode parallelism.
+    #[test]
+    fn delta_codec_round_trip_is_exact(base_ms in 100u64..150_000, span_ms in 100u64..150_000, jobs in 1usize..9) {
+        let stops = [SimTime::from_millis(base_ms), SimTime::from_millis(base_ms + span_ms)];
+        let short = MetroConfig {
+            horizon: SimDuration::from_secs(300),
+            ..cfg(jobs, EngineKind::Wheel)
+        };
+        let (_, snaps) = run_scale_checkpointed(&short, &stops);
+        let delta = delta_checkpoint(&snaps[0], &snaps[1]);
+        let decoded = load_delta(&save_delta(&delta, jobs), jobs).expect("fresh delta decodes");
+        prop_assert_eq!(&decoded, &delta);
+        prop_assert_eq!(apply_delta(&snaps[0], &decoded).unwrap(), snaps[1].clone());
+    }
+
+    /// Flipping any single bit anywhere in an encoded delta is detected.
+    #[test]
+    fn corrupted_deltas_are_rejected(frac in 0.0f64..1.0, bit in 0u32..8) {
+        let (delta, _) = durable_blobs();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = ((frac * delta.len() as f64) as usize).min(delta.len() - 1);
+        let mut bad = delta.clone();
+        bad[idx] ^= 1 << bit;
+        prop_assert!(
+            load_delta(&bad, 1).is_err(),
+            "a flipped bit at delta byte {} slipped through", idx
+        );
+    }
+
+    /// Flipping any single bit anywhere in an encoded log is detected by
+    /// the strict decoder (the whole-stream trailer, not just the chunk
+    /// CRCs, makes this deterministic).
+    #[test]
+    fn corrupted_wal_streams_are_rejected(frac in 0.0f64..1.0, bit in 0u32..8) {
+        let (_, wal) = durable_blobs();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = ((frac * wal.len() as f64) as usize).min(wal.len() - 1);
+        let mut bad = wal.clone();
+        bad[idx] ^= 1 << bit;
+        prop_assert!(
+            decode_wal(&bad).is_err(),
+            "a flipped bit at log byte {} slipped through", idx
+        );
+    }
+
+    /// A log cut anywhere — mid-chunk, mid-record, mid-length-prefix —
+    /// fails the strict decoder, while the tolerant decoder salvages
+    /// exactly the intact chunk prefix (what a kill-resume reads back).
+    #[test]
+    fn truncated_wal_chunks_fail_strict_and_salvage_tolerant(frac in 0.0f64..1.0) {
+        let (_, wal) = durable_blobs();
+        let full = decode_wal(wal).expect("pristine log decodes").1;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let keep = ((frac * wal.len() as f64) as usize).min(wal.len() - 1);
+        prop_assert!(decode_wal(&wal[..keep]).is_err());
+        if let Ok(tail) = decode_wal_tolerant(&wal[..keep]) {
+            prop_assert!(tail.valid_bytes <= keep, "salvage cannot claim torn bytes");
+            prop_assert!(tail.records.len() <= full.len());
+            prop_assert_eq!(
+                &full[..tail.records.len()], &tail.records[..],
+                "salvaged records must be a prefix of the pristine stream"
+            );
+        }
+    }
+
     /// decode(encode(s)) == s for snapshots captured at arbitrary ticks.
     #[test]
     fn codec_round_trip_is_exact(tick_ms in 100u64..300_000, jobs in 1usize..9) {
