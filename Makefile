@@ -39,28 +39,43 @@ bench-scale:
 # throughput within 10 % of the committed BENCH_scale.json figure, the
 # committed telemetry overhead under 12 %, and — deterministically, by
 # byte count — the steady-state 1k-home delta checkpoint no larger than
-# 15 % of a full snapshot.
+# 15 % of a full snapshot. The online serving front end gates too: the
+# serve≡batch differential (report, telemetry, and delivery log
+# byte-identical across jobs 1↔8 and wheel↔heap), the wire-codec
+# proptests (every single-bit flip, truncation and foreign version of
+# every frame kind rejected), the loadgen report golden, a served-path
+# fuzz budget (transport fault plans through the real wire), and a
+# 1k-home load-generator smoke under the sim clock.
 ci:
 	cargo build --release
 	cargo test -q
 	cargo test -q --test fleet_determinism
 	cargo test -q --test scale_determinism
 	cargo test -q --test checkpoint_equivalence
+	cargo test -q --test serve_equivalence
+	cargo test -q --test loadgen_report
 	cargo test -q --test wire_format
 	cargo test -q --test trace_summary
 	cargo test -q -p coreda-des --test proptests
+	cargo test -q -p coreda-serve --test proptests
 	cargo doc --workspace --no-deps
 	cargo clippy --workspace --all-targets -- -D warnings
 	cargo run --release -p coreda-cli -- fuzz --seconds 30 --seed 2007
 	cargo run --release -p coreda-cli -- fuzz --seconds 15 --seed 2008 --kill-resume true
+	cargo run --release -p coreda-cli -- fuzz --seconds 15 --seed 2009 --served true
 	cargo run --release -p coreda-cli -- replay --dir tests/corpus
 	cargo run --release -p coreda-cli -- scale --homes 100000 --hours 0.1 --seed 2007
+	cargo run --release -p coreda-cli -- loadgen --homes 1000 --hours 0.1 --seed 2007
 	cargo run --release -p coreda-bench --bin bench_check
 
 # Longer fuzzing session under a fresh seed; violations shrink to
 # .seed.json repros under fuzz-out/ for triage and corpus promotion.
+# The second budget fuzzes the served ingestion path: transport fault
+# plans (duplicated / reordered / delayed frames, mid-session hangups)
+# through the real wire codec, checked against batch on both engines.
 fuzz:
 	cargo run --release -p coreda-cli -- fuzz --seconds 300 --seed $$(date +%s) --out fuzz-out
+	cargo run --release -p coreda-cli -- fuzz --seconds 120 --seed $$(date +%s) --served true --out fuzz-out
 
 doc:
 	cargo doc --workspace --no-deps

@@ -697,6 +697,70 @@ pub fn trace(p: &Parsed) -> CmdResult {
     Ok(text)
 }
 
+/// `serve` — drive a metro fleet through the online serving front end.
+///
+/// Same households as `scale`, but every home sits behind a byte-level
+/// wire connection: the server offers each DES wake as a `Poll` frame,
+/// the mote client answers with a `Report`, and prompts/escalations
+/// ride back as `Deliver` frames — all through the versioned,
+/// CRC-guarded codec. Reports are advisory (they only move a
+/// flow-control watermark), so under the sim clock the served report is
+/// bit-identical to `scale` at any `--jobs` and either `--engine`; the
+/// wire accounting line is the only addition.
+pub fn serve(p: &Parsed) -> CmdResult {
+    use coreda_serve::{serve_scale, ServeOptions};
+
+    let cfg = metro_config(p, 16, 0.5)?;
+    let hours: f64 = p.get_parsed("hours", 0.5)?;
+    let header = format!(
+        "serve: homes={} hours={hours} engine={} jobs={} seed={}\n",
+        cfg.homes, cfg.engine, cfg.jobs, cfg.seed
+    );
+    let trace_out = p.get("trace-out");
+    let opts = ServeOptions { record: false, trace: trace_out.is_some() };
+    let outcome = serve_scale(cfg, &opts);
+    let mut out = header;
+    out.push_str(&outcome.output.report.render());
+    let w = &outcome.wire;
+    out.push_str(&format!(
+        "wire: {} frames in / {} frames out, {} reports, {} deliveries, {} byes\n",
+        w.frames_in, w.frames_out, w.reports, w.delivers, w.byes_out
+    ));
+    if let Some(path) = trace_out {
+        std::fs::write(path, outcome.output.telemetry.to_jsonl())?;
+        out.push_str(&format!("telemetry JSONL -> {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `loadgen` — replay a metro fleet as concurrent wire clients.
+///
+/// Load-generator mode for the serving front end: every home becomes a
+/// client hammering the ingestion loop through the real codec, and the
+/// report aggregates wire traffic plus delivery-latency quantiles. By
+/// default the fleet runs on the sim clock (as fast as the machine
+/// allows); `--wall S` paces wakes on the wall clock at `S`× real time
+/// instead. Everything above the timing lines is deterministic.
+pub fn loadgen(p: &Parsed) -> CmdResult {
+    use coreda_serve::run_loadgen;
+
+    let cfg = metro_config(p, 64, 0.25)?;
+    let speedup = match p.get("wall") {
+        None => None,
+        Some(_) => {
+            let s: f64 = p.get_parsed("wall", 0.0)?;
+            if !s.is_finite() || s <= 0.0 {
+                return Err("--wall must be a positive speed-up factor".into());
+            }
+            Some(s)
+        }
+    };
+    let report = run_loadgen(cfg, speedup);
+    let mut out = report.render();
+    out.push_str(&report.render_timing());
+    Ok(out)
+}
+
 /// `fuzz` — deterministic simulation-testing campaign.
 ///
 /// Expands `--seed` into a stream of fault plans (radio loss bursts,
@@ -717,6 +781,7 @@ pub fn fuzz(p: &Parsed) -> CmdResult {
         trace_dir: p.get("trace-out").map(std::path::PathBuf::from),
         max_plans: p.get_parsed("plans", defaults.max_plans)?,
         kill_resume: p.get_parsed("kill-resume", defaults.kill_resume)?,
+        served: p.get_parsed("served", defaults.served)?,
     };
     let report = fuzz(&cfg)?;
     let rendered = report.render();
@@ -851,6 +916,20 @@ COMMANDS
       --out FILE             write full telemetry JSONL here
       --replay-home N        time-travel replay: print home N's logged
                              transitions from the write-ahead event log
+  serve                      drive a fleet through the online serving
+                             front end: every home behind a byte-level
+                             wire connection (versioned, CRC-guarded
+                             frames); under the sim clock the report is
+                             bit-identical to 'scale'
+      --homes/--hours/--engine/--jobs/--seed as for scale
+      --trace-out FILE       also run the flight recorder and write
+                             telemetry JSONL here
+  loadgen                    replay a fleet as concurrent wire clients
+      --homes N              independent households       [64]
+      --hours H              simulated horizon (fractional ok) [0.25]
+      --engine/--jobs/--seed as for scale
+      --wall S               pace wakes on the wall clock at S x real
+                             time instead of the sim clock
   fuzz                       deterministic simulation-testing campaign
       --seconds N            wall-clock budget            [60]
       --seed N               campaign seed                [2007]
@@ -861,6 +940,11 @@ COMMANDS
                              incremental deltas; write-ahead log torn
                              mid-chunk), checking the resumed run
                              against its uninterrupted ghost [false]
+      --served true          fuzz the served ingestion path instead:
+                             transport fault plans (duplicated, reordered,
+                             delayed frames; mid-session hangups) checked
+                             against the batch run on both queue engines
+                                                           [false]
       --out DIR              write shrunken .seed.json repros here
       --trace-out DIR        write violation flight records (.trace.jsonl)
                              here                        [--out dir]
@@ -887,6 +971,8 @@ pub fn dispatch(p: &Parsed) -> CmdResult {
         "checkpoint" => checkpoint(p),
         "resume" => resume(p),
         "trace" => trace(p),
+        "serve" => serve(p),
+        "loadgen" => loadgen(p),
         "fuzz" => fuzz(p),
         "replay" => replay(p),
         "help" => Ok(help()),
@@ -1011,7 +1097,7 @@ mod tests {
         let h = help();
         for cmd in [
             "list", "generate", "train", "evaluate", "simulate", "scenario", "fleet", "scale",
-            "checkpoint", "resume", "trace", "fuzz", "replay",
+            "checkpoint", "resume", "trace", "serve", "loadgen", "fuzz", "replay",
         ] {
             assert!(h.contains(cmd), "help is missing {cmd}");
         }
@@ -1285,6 +1371,81 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("--checkpoint-out"), "{err}");
+    }
+
+    #[test]
+    fn serve_matches_scale_and_jobs_do_not_change_output() {
+        let batch = scale(&parse(&[
+            "scale", "--homes", "4", "--hours", "0.1", "--jobs", "1", "--seed", "11",
+        ]))
+        .unwrap();
+        let served = serve(&parse(&[
+            "serve", "--homes", "4", "--hours", "0.1", "--jobs", "1", "--seed", "11",
+        ]))
+        .unwrap();
+        let parallel = serve(&parse(&[
+            "serve", "--homes", "4", "--hours", "0.1", "--jobs", "8", "--seed", "11",
+        ]))
+        .unwrap();
+        // The served body is the batch report plus one wire line; the
+        // header echoes the worker count, nothing else may vary with it.
+        let body = |s: &str| s.split_once('\n').unwrap().1.to_owned();
+        assert!(body(&served).starts_with(&body(&batch)), "{served}");
+        assert!(served.contains("wire:"), "{served}");
+        assert_eq!(body(&served), body(&parallel));
+    }
+
+    #[test]
+    fn serve_trace_out_writes_telemetry_jsonl() {
+        let path = temp_path("serve-trace.jsonl");
+        let out = serve(&parse(&[
+            "serve", "--homes", "2", "--hours", "0.05", "--jobs", "1", "--seed", "3",
+            "--trace-out", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("telemetry JSONL ->"), "{out}");
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        assert!(jsonl.starts_with("{\"kind\":\"summary\""), "{jsonl}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn loadgen_is_deterministic_above_the_timing_lines() {
+        let run = || {
+            loadgen(&parse(&[
+                "loadgen", "--homes", "4", "--hours", "0.05", "--jobs", "2", "--seed", "7",
+            ]))
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        // Everything before the wall-clock timing is a pure function of
+        // the config; only the `wall:`/latency lines may move.
+        let head = |s: &str| {
+            s.lines().take_while(|l| !l.trim_start().starts_with("wall:")).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(head(&a), head(&b));
+        assert!(a.contains("coreda-serve loadgen: 4 homes"), "{a}");
+        assert!(a.contains("handshake:"), "{a}");
+        assert!(a.contains("deliveries:"), "{a}");
+        assert!(a.contains("wall:"), "{a}");
+    }
+
+    #[test]
+    fn loadgen_rejects_a_bad_wall_factor() {
+        let err = loadgen(&parse(&[
+            "loadgen", "--homes", "1", "--hours", "0.05", "--wall", "-2",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_served_campaign_passes() {
+        let out = fuzz(&parse(&[
+            "fuzz", "--plans", "2", "--seconds", "30", "--served", "true",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 plans"), "{out}");
     }
 
     #[test]

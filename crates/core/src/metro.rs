@@ -1340,6 +1340,286 @@ fn run_scale_inner(
     Ok((TraceOutput { report, telemetry, peak_pending }, checkpoints, wal_records))
 }
 
+// ---------------------------------------------------------------------------
+// Online serving sessions
+// ---------------------------------------------------------------------------
+
+/// Run-wide shared state for an externally driven (served) fleet: the
+/// configuration plus the immutable [`FleetCtx`] every shard borrows.
+/// Built once per serve; [`ServeCtx::session`] hands out per-shard
+/// sessions whose wake stream is bit-identical to the batch
+/// [`run_scale`] sweep — the serving front end owns *when* wakes are
+/// served (its clock) but never *what* they do.
+pub struct ServeCtx {
+    cfg: MetroConfig,
+    ctx: FleetCtx,
+    digest: u64,
+}
+
+impl std::fmt::Debug for ServeCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeCtx").field("cfg", &self.cfg).field("digest", &self.digest).finish()
+    }
+}
+
+impl ServeCtx {
+    /// Builds the shared context (trains the planner templates once).
+    #[must_use]
+    pub fn new(cfg: MetroConfig) -> ServeCtx {
+        let ctx = FleetCtx::build(&cfg);
+        let digest = config_digest(&cfg);
+        ServeCtx { cfg, ctx, digest }
+    }
+
+    /// The serve's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MetroConfig {
+        &self.cfg
+    }
+
+    /// The configuration digest clients echo in their handshake; a
+    /// mismatch means the client was built against a different fleet.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The `(first_home, count)` shard layout for `cfg.jobs` — the exact
+    /// contiguous chunking [`run_scale`] uses, so flattening session
+    /// results in chunk order reproduces home order at any worker count.
+    #[must_use]
+    pub fn chunks(&self) -> Vec<(usize, usize)> {
+        let shards = self.cfg.jobs.max(1).min(self.cfg.homes.max(1));
+        let base = self.cfg.homes / shards;
+        let extra = self.cfg.homes % shards;
+        let mut chunks = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for s in 0..shards {
+            let count = base + usize::from(s < extra);
+            if count > 0 {
+                chunks.push((start, count));
+            }
+            start += count;
+        }
+        chunks
+    }
+
+    /// Opens a serving session over homes `[first_home, first_home +
+    /// count)`. The session always derives delivery records (the log is
+    /// on), and optionally taps event streams (`record`) or runs the
+    /// flight recorder (`trace`) — both observation-only, exactly as in
+    /// the batch path.
+    #[must_use]
+    pub fn session(&self, first_home: usize, count: usize, record: bool, trace: bool) -> ServeSession<'_> {
+        let shard = Shard::build(&self.cfg, &self.ctx, first_home, count, record, trace, true);
+        let mut sim: Simulator<Wake> = match self.cfg.engine {
+            EngineKind::Wheel => Simulator::new(),
+            EngineKind::Heap => Simulator::with_heap_queue(),
+        };
+        // Initial wakes, exactly as `run_chunk` schedules a fresh run.
+        match self.cfg.engine {
+            EngineKind::Wheel => {
+                for (i, s) in shard.sched.iter().enumerate() {
+                    sim.schedule_at(s.next_start, Wake(i));
+                }
+            }
+            EngineKind::Heap => {
+                for (i, s) in shard.sched.iter().enumerate() {
+                    sim.schedule_at(SimTime::from_millis(s.offset_ms), Wake(i));
+                }
+            }
+        }
+        ServeSession {
+            shard,
+            sim,
+            engine: self.cfg.engine,
+            horizon_end: SimTime::ZERO + self.cfg.horizon,
+            wal_cursor: 0,
+        }
+    }
+}
+
+/// One shard of a served fleet, driven wake-by-wake from outside. The
+/// pop/sweep structure mirrors [`Shard::wheel_segment`] /
+/// [`Shard::heap_segment`] exactly — same pops, same dedup, same
+/// follow-up scheduling — so a caller that serves every batch in order
+/// reproduces the batch run byte-for-byte, including the DES event
+/// count and queue high-water mark.
+pub struct ServeSession<'a> {
+    shard: Shard<'a>,
+    sim: Simulator<Wake>,
+    engine: EngineKind,
+    horizon_end: SimTime,
+    /// Records already drained into per-wake deliveries.
+    wal_cursor: usize,
+}
+
+impl std::fmt::Debug for ServeSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeSession")
+            .field("first_home", &self.shard.first_home)
+            .field("homes", &self.shard.len())
+            .field("engine", &self.engine)
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl ServeSession<'_> {
+    /// Fleet-global id of the session's first home.
+    #[must_use]
+    pub fn first_home(&self) -> usize {
+        self.shard.first_home
+    }
+
+    /// Homes in the session.
+    #[must_use]
+    pub fn homes(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// Pops the next same-instant wake batch (up to the horizon) and
+    /// fills `due` with the fleet-global home ids due at that instant,
+    /// ascending and deduplicated — the order the batch engines sweep.
+    /// Returns the instant, or `None` when the horizon is served.
+    pub fn next_batch(&mut self, due: &mut Vec<u32>) -> Option<SimTime> {
+        due.clear();
+        let Wake(first) = self.sim.step_until(self.horizon_end)?;
+        let now = self.shard.collect_batch(&mut self.sim, first);
+        due.extend(self.shard.batch.iter().map(|&i| {
+            u32::try_from(self.shard.first_home + i).expect("fleets fit in u32")
+        }));
+        Some(now)
+    }
+
+    /// Serves one due home's wake at `now` (an instant returned by
+    /// [`ServeSession::next_batch`] listing `home`): runs the canonical
+    /// per-instant pipeline and schedules the home's follow-up wakes
+    /// under the session's engine policy. Any observable transitions are
+    /// appended to `deliveries` as derived [`WalRecord`]s — the prompt /
+    /// escalation payloads an online server sends to the home's client.
+    ///
+    /// With `skip` (a disconnected client) the wake is consumed without
+    /// touching home state or scheduling follow-ups: the home freezes
+    /// and its wake stream drains. Skipping one home cannot perturb any
+    /// other — homes never interact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is outside the session's range.
+    pub fn serve_home(&mut self, home: u32, now: SimTime, skip: bool, deliveries: &mut Vec<WalRecord>) {
+        let i = (home as usize)
+            .checked_sub(self.shard.first_home)
+            .filter(|&i| i < self.shard.len())
+            .expect("home outside this session");
+        match self.engine {
+            EngineKind::Wheel => {
+                if self.shard.sched[i].last_handled == Some(now) {
+                    // Parity with `wheel_segment`: a duplicate wake for
+                    // an already-served instant is consumed silently.
+                    return;
+                }
+                self.shard.sched[i].last_handled = Some(now);
+                if skip {
+                    return;
+                }
+                self.shard.poll_wake(i, now);
+                if let Some(run) = &self.shard.episodes[i] {
+                    self.sim.schedule_at(run.ep.next_tick_at(), Wake(i));
+                } else {
+                    self.sim.schedule_at(self.shard.sched[i].next_start, Wake(i));
+                    if let Some(deadline) = self.shard.trackers[i].idle_deadline() {
+                        self.sim
+                            .schedule_at(align_up(self.shard.sched[i].offset_ms, deadline), Wake(i));
+                    }
+                }
+            }
+            EngineKind::Heap => {
+                self.shard.sched[i].last_handled = Some(now);
+                if skip {
+                    return;
+                }
+                self.shard.poll_wake(i, now);
+                self.sim.schedule_at(now + Coreda::TICK, Wake(i));
+            }
+        }
+        let wal = self.shard.wal.as_ref().expect("sessions always log");
+        deliveries.extend_from_slice(&wal[self.wal_cursor..]);
+        self.wal_cursor = wal.len();
+    }
+
+    /// Folds the session into its shard result (recomputing per-home
+    /// energy, as the batch path does at the end of a run).
+    #[must_use]
+    pub fn finish(self) -> ServedShard {
+        let des_events = self.sim.processed();
+        let max_pending = self.sim.max_pending();
+        ServedShard { out: self.shard.finish(des_events, max_pending, Vec::new()) }
+    }
+}
+
+/// One finished [`ServeSession`]'s output, opaque until merged through
+/// [`collect_served`].
+pub struct ServedShard {
+    out: ChunkOut,
+}
+
+impl std::fmt::Debug for ServedShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedShard")
+            .field("homes", &self.out.stats.len())
+            .field("des_events", &self.out.des_events)
+            .finish()
+    }
+}
+
+/// Merges finished served shards — in [`ServeCtx::chunks`] order — into
+/// the run's [`TraceOutput`] plus the fleet-ordered event log, with the
+/// exact merge the batch [`run_scale`] path performs. Under the sim
+/// clock the result is bit-identical to the batch run of the same
+/// configuration (grid, telemetry, and log) at any worker count and
+/// either engine.
+#[must_use]
+pub fn collect_served(cfg: &MetroConfig, shards: Vec<ServedShard>) -> (TraceOutput, Vec<WalRecord>) {
+    let record = shards.first().is_some_and(|s| s.out.taps.is_some());
+    let trace = shards.first().is_some_and(|s| s.out.recs.is_some());
+    let mut per_home = Vec::with_capacity(cfg.homes);
+    let mut events = record.then(|| Vec::with_capacity(cfg.homes));
+    let mut wal_records = Vec::new();
+    let mut telemetry = Telemetry::default();
+    let mut des_events = 0u64;
+    let mut peak_pending = 0usize;
+    for shard in shards {
+        let chunk = shard.out;
+        per_home.extend(chunk.stats);
+        if let (Some(events), Some(taps)) = (events.as_mut(), chunk.taps) {
+            events.extend(taps);
+        }
+        if let Some(recs) = chunk.recs {
+            telemetry.homes.extend(recs);
+        }
+        if let Some(records) = chunk.wal {
+            wal_records.extend(records);
+        }
+        des_events = des_events.saturating_add(chunk.des_events);
+        peak_pending = peak_pending.max(chunk.max_pending);
+    }
+    let report = ScaleReport {
+        homes: cfg.homes,
+        horizon: cfg.horizon,
+        engine: cfg.engine,
+        per_home,
+        des_events,
+        events,
+    };
+    if trace {
+        let (_, clamped) = report.totals_checked();
+        telemetry.fleet.add(Ctr::TotalsSaturated, clamped);
+    }
+    wal_records.sort_unstable_by_key(|r| (r.at, r.home));
+    ((TraceOutput { report, telemetry, peak_pending }), wal_records)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1414,6 +1694,62 @@ mod tests {
         let parallel = run_scale(&MetroConfig { jobs: 3, ..small_cfg() });
         assert_eq!(serial, parallel);
         assert_eq!(serial.render(), parallel.render());
+    }
+
+    /// Driving serving sessions wake-by-wake from outside must reproduce
+    /// the batch sweep exactly: per-home grid, DES event count, and the
+    /// derived event log.
+    #[test]
+    fn served_sessions_reproduce_the_batch_run() {
+        for engine in [EngineKind::Wheel, EngineKind::Heap] {
+            let cfg = MetroConfig { engine, ..small_cfg() };
+            let batch = run_scale(&cfg);
+            let (_, wal) = run_scale_walled(&cfg);
+            let ctx = ServeCtx::new(cfg.clone());
+            let mut shards = Vec::new();
+            let mut deliveries = Vec::new();
+            for (first, count) in ctx.chunks() {
+                let mut session = ctx.session(first, count, false, false);
+                let mut due = Vec::new();
+                while let Some(now) = session.next_batch(&mut due) {
+                    for &home in &due {
+                        session.serve_home(home, now, false, &mut deliveries);
+                    }
+                }
+                shards.push(session.finish());
+            }
+            let (out, merged) = collect_served(&cfg, shards);
+            assert_eq!(out.report, batch, "{engine} serve diverged from batch");
+            assert_eq!(merged, wal, "{engine} served log diverged");
+            deliveries.sort_unstable_by_key(|r| (r.at, r.home));
+            assert_eq!(deliveries, wal, "{engine} per-wake deliveries diverged");
+        }
+    }
+
+    /// A skipped (disconnected) home freezes — no further deliveries —
+    /// without perturbing any other home.
+    #[test]
+    fn skipping_a_home_freezes_only_that_home() {
+        let cfg = small_cfg();
+        let batch = run_scale(&cfg);
+        let cut = SimTime::from_millis(cfg.horizon.as_millis() / 2);
+        let ctx = ServeCtx::new(cfg.clone());
+        let mut session = ctx.session(0, cfg.homes, false, false);
+        let mut due = Vec::new();
+        let mut deliveries = Vec::new();
+        while let Some(now) = session.next_batch(&mut due) {
+            for &home in &due {
+                let skip = home == 0 && now >= cut;
+                session.serve_home(home, now, skip, &mut deliveries);
+            }
+        }
+        let (out, merged) = collect_served(&cfg, vec![session.finish()]);
+        assert_ne!(out.report.per_home[0], batch.per_home[0], "home 0 should freeze");
+        assert_eq!(out.report.per_home[1..], batch.per_home[1..], "other homes must not drift");
+        assert!(
+            merged.iter().all(|r| r.home != 0 || r.at < cut),
+            "a frozen home must deliver nothing past its disconnect"
+        );
     }
 
     #[test]

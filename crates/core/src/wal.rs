@@ -100,21 +100,30 @@ impl WalRecord {
             && self.cross_activity == 0
     }
 
-    fn encode(&self, buf: &mut BytesMut) {
-        buf.put_u64(self.at.as_millis());
-        buf.put_u32(self.home);
-        buf.put_u8(self.act);
-        buf.put_u8(self.flags);
-        buf.put_u8(self.reminders);
-        buf.put_u8(self.praises);
-        buf.put_u8(self.sessions_started);
-        buf.put_u8(self.sessions_completed);
-        buf.put_u8(self.sessions_abandoned);
-        buf.put_u8(self.cross_activity);
+    /// The record's fixed big-endian wire image — the same
+    /// [`RECORD_BYTES`] layout the log stores, shared with the serve
+    /// front end's delivery frames so the two codecs cannot drift.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; RECORD_BYTES] {
+        let mut b = [0u8; RECORD_BYTES];
+        b[0..8].copy_from_slice(&self.at.as_millis().to_be_bytes());
+        b[8..12].copy_from_slice(&self.home.to_be_bytes());
+        b[12] = self.act;
+        b[13] = self.flags;
+        b[14] = self.reminders;
+        b[15] = self.praises;
+        b[16] = self.sessions_started;
+        b[17] = self.sessions_completed;
+        b[18] = self.sessions_abandoned;
+        b[19] = self.cross_activity;
+        b
     }
 
-    fn decode(b: &[u8]) -> WalRecord {
-        debug_assert_eq!(b.len(), RECORD_BYTES);
+    /// Inverse of [`WalRecord::to_bytes`]. Every byte pattern is a valid
+    /// record — integrity is the enclosing codec's job (CRC'd chunks
+    /// here, CRC'd frames on the wire).
+    #[must_use]
+    pub fn from_bytes(b: &[u8; RECORD_BYTES]) -> WalRecord {
         WalRecord {
             at: SimTime::from_millis(u64::from_be_bytes(b[0..8].try_into().expect("8 bytes"))),
             home: u32::from_be_bytes(b[8..12].try_into().expect("4 bytes")),
@@ -127,6 +136,15 @@ impl WalRecord {
             sessions_abandoned: b[18],
             cross_activity: b[19],
         }
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.to_bytes());
+    }
+
+    fn decode(b: &[u8]) -> WalRecord {
+        debug_assert_eq!(b.len(), RECORD_BYTES);
+        WalRecord::from_bytes(b.try_into().expect("RECORD_BYTES slice"))
     }
 }
 

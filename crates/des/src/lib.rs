@@ -17,6 +17,11 @@
 //! - [`rng`]: [`SimRng`], a seedable random source with stable independent
 //!   sub-streams per component.
 //!
+//! [`clock`] adds the online-serving bridge: a [`Clock`] pacing trait
+//! with a deterministic [`SimClock`] (never waits) and a [`WallClock`]
+//! (sleeps until each instant's wall-clock image), so the same serving
+//! loop runs both deterministic tests and real traffic.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,12 +46,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod clock;
 pub mod event;
 pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use clock::{Clock, SimClock, WallClock};
 pub use event::{EventQueue, EventQueueBackend, HeapEventQueue};
 pub use rng::SimRng;
 pub use sim::Simulator;
@@ -55,6 +62,7 @@ pub use time::{SimDuration, SimTime};
 
 /// Convenient glob import for simulation code.
 pub mod prelude {
+    pub use crate::clock::{Clock, SimClock, WallClock};
     pub use crate::event::EventQueue;
     pub use crate::rng::SimRng;
     pub use crate::sim::Simulator;

@@ -1,0 +1,331 @@
+//! Client-side half of the wire protocol: the faithful mote client the
+//! load generator replays, and the fault pipe the testkit wraps around
+//! it to exercise the ingestion path.
+//!
+//! Clients are byte-level: the server hands them raw server→client
+//! bytes and collects raw client→server bytes, so every exchange
+//! genuinely round-trips the [`crate::wire`] codec — there is no
+//! in-process shortcut that could hide a framing bug.
+
+use crate::wire::{encode_frame, try_decode, Frame};
+
+/// One home's client endpoint, driven by the server's flushes.
+pub trait Client {
+    /// Feeds server→client bytes (possibly empty, for the handshake
+    /// flush) and appends any client→server bytes to `out`. Called once
+    /// per server flush; a client holding nothing appends nothing.
+    fn on_bytes(&mut self, inbound: &[u8], out: &mut Vec<u8>);
+}
+
+/// The faithful protocol client: answers the handshake with `Hello`,
+/// every `Poll` with a fresh `Report` watermarked at the poll instant,
+/// and counts `Deliver` frames. This is what the load generator replays
+/// per home, and the identity inner layer of the testkit's fault pipe.
+#[derive(Debug, Clone)]
+pub struct MoteClient {
+    home: u32,
+    digest: u64,
+    seq: u32,
+    sent_hello: bool,
+    welcomed: bool,
+    closed: bool,
+    delivers: u64,
+}
+
+impl MoteClient {
+    /// A client for `home`, echoing `digest` in its handshake.
+    #[must_use]
+    pub fn new(home: u32, digest: u64) -> MoteClient {
+        MoteClient {
+            home,
+            digest,
+            seq: 0,
+            sent_hello: false,
+            welcomed: false,
+            closed: false,
+            delivers: 0,
+        }
+    }
+
+    /// Whether the server accepted the handshake.
+    #[must_use]
+    pub fn welcomed(&self) -> bool {
+        self.welcomed
+    }
+
+    /// Whether the session closed (`Bye` seen).
+    #[must_use]
+    pub fn closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Prompt/escalation deliveries received.
+    #[must_use]
+    pub fn delivers(&self) -> u64 {
+        self.delivers
+    }
+}
+
+impl Client for MoteClient {
+    fn on_bytes(&mut self, inbound: &[u8], out: &mut Vec<u8>) {
+        if !self.sent_hello {
+            encode_frame(&Frame::Hello { home: self.home, digest: self.digest }, out);
+            self.sent_hello = true;
+        }
+        let mut offset = 0;
+        while let Some((frame, used)) =
+            try_decode(&inbound[offset..]).expect("server emits well-formed frames")
+        {
+            offset += used;
+            match frame {
+                Frame::Welcome { .. } => self.welcomed = true,
+                Frame::Poll { at, .. } => {
+                    if !self.closed {
+                        encode_frame(
+                            &Frame::Report { home: self.home, at, seq: self.seq },
+                            out,
+                        );
+                        self.seq = self.seq.wrapping_add(1);
+                    }
+                }
+                Frame::Deliver(_) => self.delivers += 1,
+                Frame::Bye { .. } => self.closed = true,
+                Frame::Hello { .. } | Frame::Report { .. } => {
+                    // Client-bound streams never carry these.
+                }
+            }
+        }
+        assert_eq!(offset, inbound.len(), "server flushes whole frames");
+    }
+}
+
+/// Transport faults a [`FaultyPipe`] injects into the client→server
+/// direction, each over `[from_ms, to_ms)` windows of simulated time
+/// (matched against the report's own watermark instant). Sensor
+/// `Report`s are the only frames faulted — the handshake stays clean so
+/// every session opens, which is what lets the oracles state exact
+/// expectations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipeFaults {
+    /// Reports in these windows are sent twice (same sequence number).
+    pub dup: Vec<(u64, u64)>,
+    /// Reports in these windows swap with the next report: the earlier
+    /// one is held and emitted *after* its successor.
+    pub reorder: Vec<(u64, u64)>,
+    /// Reports in these windows are held one flush and emitted at the
+    /// start of the next — they arrive after the wake they were for.
+    pub delay: Vec<(u64, u64)>,
+    /// The client hangs up at the first report instant `>= this`,
+    /// sending `Bye` instead and nothing ever after.
+    pub disconnect_at_ms: Option<u64>,
+}
+
+impl PipeFaults {
+    /// Whether any fault is configured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dup.is_empty()
+            && self.reorder.is_empty()
+            && self.delay.is_empty()
+            && self.disconnect_at_ms.is_none()
+    }
+}
+
+fn in_windows(windows: &[(u64, u64)], at_ms: u64) -> bool {
+    windows.iter().any(|&(from, to)| from <= at_ms && at_ms < to)
+}
+
+/// Wraps a client and perturbs its outgoing `Report` frames: duplicates,
+/// inversions, one-flush delays, and a mid-session hangup. Everything is
+/// a pure function of the fault windows and the report instants, so a
+/// faulted run is as deterministic as a clean one — which is what lets
+/// the served-path oracles demand *exact* batch equality underneath
+/// transport faults.
+#[derive(Debug, Clone)]
+pub struct FaultyPipe<C> {
+    inner: C,
+    faults: PipeFaults,
+    /// Delayed frames, released at the start of the next flush.
+    held: Vec<u8>,
+    /// A report waiting for its swap partner.
+    swap: Option<Vec<u8>>,
+    /// Hung up: nothing is ever emitted again.
+    done: bool,
+    scratch: Vec<u8>,
+}
+
+impl<C: Client> FaultyPipe<C> {
+    /// Wraps `inner` with `faults`.
+    pub fn new(inner: C, faults: PipeFaults) -> FaultyPipe<C> {
+        FaultyPipe { inner, faults, held: Vec::new(), swap: None, done: false, scratch: Vec::new() }
+    }
+
+    /// The wrapped client.
+    #[must_use]
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Client> Client for FaultyPipe<C> {
+    fn on_bytes(&mut self, inbound: &[u8], out: &mut Vec<u8>) {
+        let mut raw = std::mem::take(&mut self.scratch);
+        raw.clear();
+        self.inner.on_bytes(inbound, &mut raw);
+        if self.done {
+            self.scratch = raw;
+            return;
+        }
+        // Delayed frames from the previous flush arrive first — late,
+        // but in their original relative order.
+        out.append(&mut self.held);
+        let mut offset = 0;
+        while let Some((frame, used)) =
+            try_decode(&raw[offset..]).expect("inner client emits well-formed frames")
+        {
+            let bytes = &raw[offset..offset + used];
+            offset += used;
+            let Frame::Report { home, at, .. } = frame else {
+                out.extend_from_slice(bytes); // handshake etc. pass clean
+                continue;
+            };
+            let at_ms = at.as_millis();
+            if self.faults.disconnect_at_ms.is_some_and(|cut| at_ms >= cut) {
+                encode_frame(&Frame::Bye { home, at }, out);
+                self.done = true;
+                break;
+            }
+            if in_windows(&self.faults.delay, at_ms) {
+                self.held.extend_from_slice(bytes);
+            } else if in_windows(&self.faults.reorder, at_ms) {
+                match self.swap.take() {
+                    None => self.swap = Some(bytes.to_vec()),
+                    Some(earlier) => {
+                        out.extend_from_slice(bytes);
+                        out.extend_from_slice(&earlier);
+                    }
+                }
+            } else {
+                out.extend_from_slice(bytes);
+                if in_windows(&self.faults.dup, at_ms) {
+                    out.extend_from_slice(bytes);
+                }
+            }
+        }
+        self.scratch = raw;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::frame_bytes;
+    use coreda_des::time::SimTime;
+
+    fn poll(home: u32, at_ms: u64) -> Vec<u8> {
+        frame_bytes(&Frame::Poll { home, at: SimTime::from_millis(at_ms) })
+    }
+
+    fn decode_all(bytes: &[u8]) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        let mut offset = 0;
+        while let Some((f, used)) = try_decode(&bytes[offset..]).unwrap() {
+            frames.push(f);
+            offset += used;
+        }
+        frames
+    }
+
+    #[test]
+    fn faithful_client_speaks_the_protocol() {
+        let mut client = MoteClient::new(3, 99);
+        let mut out = Vec::new();
+        client.on_bytes(&[], &mut out);
+        assert_eq!(decode_all(&out), vec![Frame::Hello { home: 3, digest: 99 }]);
+        out.clear();
+        client.on_bytes(&frame_bytes(&Frame::Welcome { home: 3, at: SimTime::ZERO }), &mut out);
+        assert!(client.welcomed() && out.is_empty());
+        client.on_bytes(&poll(3, 500), &mut out);
+        client.on_bytes(&poll(3, 600), &mut out);
+        assert_eq!(
+            decode_all(&out),
+            vec![
+                Frame::Report { home: 3, at: SimTime::from_millis(500), seq: 0 },
+                Frame::Report { home: 3, at: SimTime::from_millis(600), seq: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn dup_window_doubles_reports() {
+        let faults = PipeFaults { dup: vec![(0, 1_000)], ..PipeFaults::default() };
+        let mut pipe = FaultyPipe::new(MoteClient::new(1, 0), faults);
+        let mut out = Vec::new();
+        pipe.on_bytes(&[], &mut out); // hello passes clean
+        out.clear();
+        pipe.on_bytes(&poll(1, 500), &mut out);
+        let frames = decode_all(&out);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], frames[1]);
+    }
+
+    #[test]
+    fn reorder_window_swaps_adjacent_reports() {
+        let faults = PipeFaults { reorder: vec![(0, 10_000)], ..PipeFaults::default() };
+        let mut pipe = FaultyPipe::new(MoteClient::new(1, 0), faults);
+        let mut out = Vec::new();
+        pipe.on_bytes(&[], &mut out);
+        out.clear();
+        pipe.on_bytes(&poll(1, 100), &mut out);
+        assert!(out.is_empty(), "first report is held for its partner");
+        pipe.on_bytes(&poll(1, 200), &mut out);
+        let ats: Vec<u64> = decode_all(&out)
+            .iter()
+            .map(|f| match f {
+                Frame::Report { at, .. } => at.as_millis(),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(ats, vec![200, 100], "arrival order inverted");
+    }
+
+    #[test]
+    fn delay_window_holds_reports_one_flush() {
+        let faults = PipeFaults { delay: vec![(0, 150)], ..PipeFaults::default() };
+        let mut pipe = FaultyPipe::new(MoteClient::new(1, 0), faults);
+        let mut out = Vec::new();
+        pipe.on_bytes(&[], &mut out);
+        out.clear();
+        pipe.on_bytes(&poll(1, 100), &mut out);
+        assert!(out.is_empty(), "report held");
+        pipe.on_bytes(&poll(1, 200), &mut out);
+        let ats: Vec<u64> = decode_all(&out)
+            .iter()
+            .map(|f| match f {
+                Frame::Report { at, .. } => at.as_millis(),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(ats, vec![100, 200], "held report arrives first, late");
+    }
+
+    #[test]
+    fn disconnect_replaces_the_report_with_bye() {
+        let faults = PipeFaults { disconnect_at_ms: Some(150), ..PipeFaults::default() };
+        let mut pipe = FaultyPipe::new(MoteClient::new(1, 0), faults);
+        let mut out = Vec::new();
+        pipe.on_bytes(&[], &mut out);
+        out.clear();
+        pipe.on_bytes(&poll(1, 100), &mut out);
+        assert_eq!(decode_all(&out).len(), 1, "before the cut reports flow");
+        out.clear();
+        pipe.on_bytes(&poll(1, 200), &mut out);
+        assert_eq!(
+            decode_all(&out),
+            vec![Frame::Bye { home: 1, at: SimTime::from_millis(200) }]
+        );
+        out.clear();
+        pipe.on_bytes(&poll(1, 300), &mut out);
+        assert!(out.is_empty(), "a hung-up client stays silent");
+    }
+}

@@ -1,0 +1,425 @@
+//! The serving loop: one [`crate::metro_session`]-backed session per
+//! shard, each home fronted by a byte-level [`Client`] connection.
+//!
+//! The server owns the simulation. Clients never advance state — their
+//! `Report` frames only move a per-connection *watermark* the server
+//! uses as flow-control metadata (late/stale/duplicate accounting).
+//! That inversion is what makes the served path deterministic: under
+//! the sim clock a served fleet is bit-identical to the batch
+//! [`coreda_core::run_scale`] sweep at any worker count and either
+//! queue engine, no matter what the transport does short of a hangup.
+
+use std::time::Instant;
+
+use coreda_core::fleet::FleetEngine;
+use coreda_core::metro::{collect_served, MetroConfig, ServeCtx, TraceOutput};
+use coreda_core::wal::WalRecord;
+use coreda_des::stats::Histogram;
+use coreda_des::time::SimTime;
+use coreda_des::{Clock, SimClock};
+
+use crate::client::{Client, MoteClient};
+use crate::wire::{encode_frame, try_decode, Frame};
+
+/// Latency histogram shape shared by every shard so the fleet merge is
+/// well-defined: `[0, 10 ms)` in 64 bins of ~156 µs, measured in µs.
+const LATENCY_LO_US: f64 = 0.0;
+const LATENCY_HI_US: f64 = 10_000.0;
+const LATENCY_BINS: usize = 64;
+
+/// What the served pipeline observes beyond the simulation itself.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeOptions {
+    /// Tap per-home event streams into the report (as `run_scale_traced`).
+    pub record: bool,
+    /// Run the per-home flight recorder (as the `trace` paths).
+    pub trace: bool,
+}
+
+/// Wire-level accounting for a served run. Every counter is a pure
+/// function of the frame streams, so under the sim clock the whole
+/// struct is deterministic — which is what lets the load-generator
+/// golden pin it byte-for-byte.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Client→server frames decoded.
+    pub frames_in: u64,
+    /// Server→client frames encoded.
+    pub frames_out: u64,
+    /// Client→server bytes received.
+    pub bytes_in: u64,
+    /// Server→client bytes sent.
+    pub bytes_out: u64,
+    /// `Hello` handshakes received.
+    pub hellos: u64,
+    /// `Welcome` acceptances sent.
+    pub welcomes: u64,
+    /// Handshakes rejected (wrong home or config digest).
+    pub handshake_rejects: u64,
+    /// `Poll` wake offers sent.
+    pub polls: u64,
+    /// `Report` frames received (including duplicates and stale ones).
+    pub reports: u64,
+    /// `Deliver` prompt/escalation frames sent.
+    pub delivers: u64,
+    /// `Bye` frames sent.
+    pub byes_out: u64,
+    /// Reports repeating the connection's last sequence number.
+    pub dup_frames: u64,
+    /// Reports older than one already accepted (reordering).
+    pub stale_reports: u64,
+    /// Wakes served before the home's watermark had caught up
+    /// (delayed or missing reports — served anyway; reports are
+    /// advisory).
+    pub late_reports: u64,
+    /// Client hangups (`Bye` received).
+    pub disconnects: u64,
+    /// Wakes consumed for disconnected homes without touching state.
+    pub skipped_wakes: u64,
+    /// Client→server buffers abandoned on a framing error.
+    pub decode_errors: u64,
+}
+
+impl WireStats {
+    /// Folds another shard's counters into this one.
+    pub fn absorb(&mut self, other: &WireStats) {
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.hellos += other.hellos;
+        self.welcomes += other.welcomes;
+        self.handshake_rejects += other.handshake_rejects;
+        self.polls += other.polls;
+        self.reports += other.reports;
+        self.delivers += other.delivers;
+        self.byes_out += other.byes_out;
+        self.dup_frames += other.dup_frames;
+        self.stale_reports += other.stale_reports;
+        self.late_reports += other.late_reports;
+        self.disconnects += other.disconnects;
+        self.skipped_wakes += other.skipped_wakes;
+        self.decode_errors += other.decode_errors;
+    }
+}
+
+/// A served fleet's merged result: the batch-identical simulation
+/// output, the fleet-ordered delivery log, the wire accounting, and the
+/// wall-clock delivery-latency histogram (µs from wake instant to
+/// `Deliver` encode; only meaningful under a wall clock).
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Report + telemetry, bit-identical to the batch run under the sim
+    /// clock.
+    pub output: TraceOutput,
+    /// Every delivery, sorted `(at, home)` — the served counterpart of
+    /// [`coreda_core::run_scale_walled`]'s event log.
+    pub log: Vec<WalRecord>,
+    /// Wire-level counters across all shards.
+    pub wire: WireStats,
+    /// Delivery latency in µs (wake pop → `Deliver` frame encoded).
+    pub latency_us: Histogram,
+}
+
+/// One home's connection state.
+struct Conn<C> {
+    client: C,
+    /// Client→server bytes not yet decoded (whole or partial frames).
+    inbound: Vec<u8>,
+    /// Server→client bytes queued for the next flush.
+    outbox: Vec<u8>,
+    /// Highest report instant accepted; advisory flow-control metadata,
+    /// never a state source.
+    watermark: Option<SimTime>,
+    last_seq: Option<u32>,
+    disconnected: bool,
+}
+
+impl<C: Client> Conn<C> {
+    /// Decodes everything decodable in `inbound`, updating counters and
+    /// the watermark. A framing error abandons the rest of the buffer.
+    fn drain(&mut self, home: u32, stats: &mut WireStats) {
+        let mut offset = 0;
+        loop {
+            match try_decode(&self.inbound[offset..]) {
+                Ok(Some((frame, used))) => {
+                    offset += used;
+                    stats.frames_in += 1;
+                    stats.bytes_in += used as u64;
+                    match frame {
+                        Frame::Report { home: h, at, seq } => {
+                            debug_assert_eq!(h, home);
+                            stats.reports += 1;
+                            match self.last_seq {
+                                Some(last) if seq == last => stats.dup_frames += 1,
+                                Some(last) if seq < last => stats.stale_reports += 1,
+                                _ => {
+                                    self.last_seq = Some(seq);
+                                    if self.watermark.is_none_or(|w| at > w) {
+                                        self.watermark = Some(at);
+                                    }
+                                }
+                            }
+                        }
+                        Frame::Bye { .. } => {
+                            if !self.disconnected {
+                                self.disconnected = true;
+                                stats.disconnects += 1;
+                            }
+                        }
+                        Frame::Hello { .. } => stats.hellos += 1,
+                        // Server-bound streams never carry these; count
+                        // and ignore rather than crash the fleet.
+                        Frame::Welcome { .. } | Frame::Poll { .. } | Frame::Deliver(_) => {}
+                    }
+                }
+                Ok(None) => {
+                    self.inbound.drain(..offset);
+                    return;
+                }
+                Err(_) => {
+                    stats.decode_errors += 1;
+                    self.inbound.clear();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Queues a server→client frame for the next flush.
+    fn push(&mut self, frame: &Frame, stats: &mut WireStats) {
+        let before = self.outbox.len();
+        encode_frame(frame, &mut self.outbox);
+        stats.frames_out += 1;
+        stats.bytes_out += (self.outbox.len() - before) as u64;
+    }
+
+    /// Sends the outbox to the client and collects its response bytes.
+    fn flush(&mut self) {
+        let outbox = std::mem::take(&mut self.outbox);
+        self.client.on_bytes(&outbox, &mut self.inbound);
+        self.outbox = outbox;
+        self.outbox.clear();
+    }
+}
+
+/// Serves one shard of the fleet to completion.
+fn serve_shard<C, F, K>(
+    ctx: &ServeCtx,
+    opts: &ServeOptions,
+    make_client: &F,
+    clock: &K,
+    first_home: usize,
+    count: usize,
+) -> (coreda_core::metro::ServedShard, WireStats, Histogram)
+where
+    C: Client,
+    F: Fn(u32, u64) -> C,
+    K: Clock + Clone,
+{
+    let mut session = ctx.session(first_home, count, opts.record, opts.trace);
+    let mut clock = clock.clone();
+    let mut stats = WireStats::default();
+    let mut latency = Histogram::new(LATENCY_LO_US, LATENCY_HI_US, LATENCY_BINS);
+    let horizon_end = SimTime::ZERO + ctx.config().horizon;
+
+    // Handshake every home: an empty flush elicits `Hello`, which must
+    // echo the fleet's config digest — a client built against another
+    // configuration is turned away before it sees a single wake.
+    let mut conns: Vec<Conn<C>> = (0..count)
+        .map(|i| {
+            let home = u32::try_from(first_home + i).expect("fleets fit in u32");
+            let mut conn = Conn {
+                client: make_client(home, ctx.digest()),
+                inbound: Vec::new(),
+                outbox: Vec::new(),
+                watermark: None,
+                last_seq: None,
+                disconnected: false,
+            };
+            conn.flush();
+            let mut probe = Vec::new();
+            std::mem::swap(&mut probe, &mut conn.inbound);
+            let accepted = match try_decode(&probe) {
+                Ok(Some((Frame::Hello { home: h, digest }, used))) => {
+                    stats.frames_in += 1;
+                    stats.bytes_in += used as u64;
+                    stats.hellos += 1;
+                    used == probe.len() && h == home && digest == ctx.digest()
+                }
+                _ => false,
+            };
+            if accepted {
+                stats.welcomes += 1;
+                conn.push(&Frame::Welcome { home, at: SimTime::ZERO }, &mut stats);
+            } else {
+                stats.handshake_rejects += 1;
+                conn.disconnected = true;
+                conn.push(&Frame::Bye { home, at: SimTime::ZERO }, &mut stats);
+                stats.byes_out += 1;
+                conn.flush();
+                conn.inbound.clear();
+            }
+            conn
+        })
+        .collect();
+
+    let mut due = Vec::new();
+    let mut fresh = Vec::new();
+    while let Some(now) = session.next_batch(&mut due) {
+        clock.wait_until(now);
+        let popped = Instant::now();
+        for &home in &due {
+            let conn = &mut conns[home as usize - first_home];
+            if conn.disconnected {
+                session.serve_home(home, now, true, &mut fresh);
+                stats.skipped_wakes += 1;
+                continue;
+            }
+            // Offer the wake; the flush also carries any `Welcome` or
+            // `Deliver` frames queued since the home's last wake.
+            stats.polls += 1;
+            conn.push(&Frame::Poll { home, at: now }, &mut stats);
+            conn.flush();
+            conn.drain(home, &mut stats);
+            if conn.disconnected {
+                // The hangup replaced this wake's report: consume the
+                // wake without touching state, freezing only this home.
+                session.serve_home(home, now, true, &mut fresh);
+                stats.skipped_wakes += 1;
+                continue;
+            }
+            if conn.watermark.is_none_or(|w| w < now) {
+                // The report for this wake is missing or behind —
+                // delayed, reordered, or lost in transit. Reports are
+                // advisory, so the wake is served on time regardless.
+                stats.late_reports += 1;
+            }
+            session.serve_home(home, now, false, &mut fresh);
+            for rec in fresh.drain(..) {
+                stats.delivers += 1;
+                conn.push(&Frame::Deliver(rec), &mut stats);
+                let us = popped.elapsed().as_secs_f64() * 1e6;
+                latency.record(us);
+            }
+        }
+        fresh.clear();
+    }
+
+    // Close every surviving connection and absorb any frames the
+    // transport was still holding (a delayed report arriving with the
+    // goodbye is late, not an error).
+    for (i, conn) in conns.iter_mut().enumerate() {
+        if conn.disconnected {
+            continue;
+        }
+        let home = u32::try_from(first_home + i).expect("fleets fit in u32");
+        conn.push(&Frame::Bye { home, at: horizon_end }, &mut stats);
+        stats.byes_out += 1;
+        conn.flush();
+        conn.drain(home, &mut stats);
+    }
+
+    (session.finish(), stats, latency)
+}
+
+/// Serves the whole fleet: one session per [`ServeCtx::chunks`] shard,
+/// spread over `cfg.jobs` workers, every home fronted by a fresh
+/// `make_client(home, digest)` connection, wakes paced by `clock`.
+///
+/// Under [`SimClock`] the outcome's `output` and `log` are bit-identical
+/// to the batch [`coreda_core::run_scale`] /
+/// [`coreda_core::run_scale_walled`] run of the same configuration —
+/// the equivalence `make ci` enforces.
+#[must_use]
+pub fn serve_fleet<C, F, K>(
+    ctx: &ServeCtx,
+    opts: &ServeOptions,
+    make_client: &F,
+    clock: &K,
+) -> ServeOutcome
+where
+    C: Client,
+    F: Fn(u32, u64) -> C + Sync,
+    K: Clock + Clone + Sync,
+{
+    let engine = FleetEngine::new(ctx.config().jobs);
+    let shards = engine.map(ctx.chunks(), |(first, count)| {
+        serve_shard(ctx, opts, make_client, clock, first, count)
+    });
+    let mut wire = WireStats::default();
+    let mut latency_us = Histogram::new(LATENCY_LO_US, LATENCY_HI_US, LATENCY_BINS);
+    let mut served = Vec::with_capacity(shards.len());
+    for (shard, stats, lat) in shards {
+        served.push(shard);
+        wire.absorb(&stats);
+        latency_us.merge(&lat);
+    }
+    let (output, log) = collect_served(ctx.config(), served);
+    ServeOutcome { output, log, wire, latency_us }
+}
+
+/// Serves `cfg` with faithful [`MoteClient`]s under the sim clock — the
+/// deterministic served counterpart of [`coreda_core::run_scale`].
+#[must_use]
+pub fn serve_scale(cfg: MetroConfig, opts: &ServeOptions) -> ServeOutcome {
+    let ctx = ServeCtx::new(cfg);
+    serve_fleet(&ctx, opts, &MoteClient::new, &SimClock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coreda_core::metro::run_scale_walled;
+    use coreda_des::time::SimDuration;
+
+    fn cfg(homes: usize, jobs: usize) -> MetroConfig {
+        MetroConfig {
+            homes,
+            jobs,
+            horizon: SimDuration::from_secs(1_800),
+            ..MetroConfig::default()
+        }
+    }
+
+    #[test]
+    fn served_fleet_matches_the_batch_run() {
+        let (batch, wal) = run_scale_walled(&cfg(4, 2));
+        let outcome = serve_scale(cfg(4, 2), &ServeOptions::default());
+        assert_eq!(outcome.output.report, batch);
+        assert_eq!(outcome.log, wal);
+        assert_eq!(outcome.wire.delivers, wal.len() as u64);
+        assert_eq!(outcome.wire.hellos, 4);
+        assert_eq!(outcome.wire.welcomes, 4);
+        assert_eq!(outcome.wire.byes_out, 4);
+        assert_eq!(outcome.wire.handshake_rejects, 0);
+        assert_eq!(outcome.wire.disconnects, 0);
+        assert_eq!(outcome.wire.polls, outcome.wire.reports);
+        assert_eq!(outcome.wire.late_reports, 0);
+        assert_eq!(outcome.latency_us.total(), outcome.wire.delivers);
+    }
+
+    #[test]
+    fn wire_accounting_is_deterministic() {
+        let a = serve_scale(cfg(3, 2), &ServeOptions::default());
+        let b = serve_scale(cfg(3, 2), &ServeOptions::default());
+        assert_eq!(a.wire, b.wire);
+    }
+
+    #[test]
+    fn digest_mismatch_is_turned_away_at_the_door() {
+        let ctx = ServeCtx::new(cfg(2, 1));
+        let outcome = serve_fleet(
+            &ctx,
+            &ServeOptions::default(),
+            &|home, digest| MoteClient::new(home, digest ^ 1),
+            &SimClock,
+        );
+        assert_eq!(outcome.wire.handshake_rejects, 2);
+        assert_eq!(outcome.wire.welcomes, 0);
+        assert_eq!(outcome.wire.polls, 0);
+        // Every wake drains as skipped; nothing is ever delivered.
+        assert_eq!(outcome.wire.delivers, 0);
+        assert!(outcome.log.is_empty());
+    }
+}

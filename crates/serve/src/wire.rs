@@ -1,0 +1,408 @@
+//! The `CRSV` wire codec: compact binary frames between mote clients
+//! and the serving front end, CRC-guarded like the checkpoint (`CRCK`),
+//! delta (`CRCD`) and write-ahead-log (`CRWL`) codecs.
+//!
+//! Layout of every frame, big-endian throughout:
+//!
+//! ```text
+//! "CRSV"  version  kind  len  payload[len]  crc16
+//!  4 B     1 B     1 B   1 B   len B         2 B
+//! ```
+//!
+//! The CRC covers everything before it (magic through payload). `len`
+//! is *redundant* — each kind has exactly one legal payload size — and
+//! that redundancy is what makes corruption rejection deterministic
+//! rather than probabilistic: flipping any single bit of a frame is
+//! caught structurally (bad magic, unsupported version, unknown kind,
+//! or a length that disagrees with the kind) or, when the flip leaves
+//! the structure intact (payload, CRC, or a kind byte landing on
+//! another kind of the *same* payload size), by the CRC-16/CCITT check,
+//! which detects all single-bit errors by construction. The proptests
+//! in `tests/proptests.rs` flip every bit of every frame kind and
+//! assert exactly that.
+
+use coreda_core::wal::{WalRecord, RECORD_BYTES};
+use coreda_des::time::SimTime;
+use coreda_sensornet::packet::crc16;
+
+/// Frame magic, first on the wire.
+pub const MAGIC: &[u8; 4] = b"CRSV";
+/// Codec version; bump on layout changes.
+pub const VERSION: u8 = 1;
+/// Bytes before the payload: magic + version + kind + len.
+pub const HEADER_BYTES: usize = 7;
+/// Bytes after the payload.
+pub const CRC_BYTES: usize = 2;
+/// The largest legal frame ([`Frame::Deliver`]).
+pub const MAX_FRAME_BYTES: usize = HEADER_BYTES + RECORD_BYTES + CRC_BYTES;
+
+/// One protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: session open. The digest must match the
+    /// server's [`coreda_core::metro::ServeCtx::digest`] or the client
+    /// was built against a different fleet configuration.
+    Hello {
+        /// Fleet-global home id.
+        home: u32,
+        /// The client's configuration digest.
+        digest: u64,
+    },
+    /// Server → client: handshake accepted at simulated instant `at`.
+    Welcome {
+        /// Fleet-global home id.
+        home: u32,
+        /// Simulated instant of acceptance.
+        at: SimTime,
+    },
+    /// Server → client: the server is about to serve the home's wake at
+    /// `at`; any sensor reports up to that instant should be flushed.
+    Poll {
+        /// Fleet-global home id.
+        home: u32,
+        /// The wake instant being served.
+        at: SimTime,
+    },
+    /// Client → server: the home's motes have reported everything up to
+    /// `at`. `seq` increments per report; the server drops duplicates
+    /// idempotently.
+    Report {
+        /// Fleet-global home id.
+        home: u32,
+        /// Watermark: sensor data complete up to this instant.
+        at: SimTime,
+        /// Per-client monotone sequence number.
+        seq: u32,
+    },
+    /// Server → client: a prompt / escalation delivery — one derived
+    /// [`WalRecord`], the same 20-byte image the write-ahead log stores.
+    Deliver(WalRecord),
+    /// Either direction: orderly end of session.
+    Bye {
+        /// Fleet-global home id.
+        home: u32,
+        /// Simulated instant of the close.
+        at: SimTime,
+    },
+}
+
+/// Frame-kind discriminants on the wire.
+const KIND_HELLO: u8 = 0;
+const KIND_WELCOME: u8 = 1;
+const KIND_POLL: u8 = 2;
+const KIND_REPORT: u8 = 3;
+const KIND_DELIVER: u8 = 4;
+const KIND_BYE: u8 = 5;
+
+impl Frame {
+    /// The frame's wire discriminant.
+    #[must_use]
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => KIND_HELLO,
+            Frame::Welcome { .. } => KIND_WELCOME,
+            Frame::Poll { .. } => KIND_POLL,
+            Frame::Report { .. } => KIND_REPORT,
+            Frame::Deliver(_) => KIND_DELIVER,
+            Frame::Bye { .. } => KIND_BYE,
+        }
+    }
+
+    /// The home the frame concerns.
+    #[must_use]
+    pub fn home(&self) -> u32 {
+        match *self {
+            Frame::Hello { home, .. }
+            | Frame::Welcome { home, .. }
+            | Frame::Poll { home, .. }
+            | Frame::Report { home, .. }
+            | Frame::Bye { home, .. } => home,
+            Frame::Deliver(rec) => rec.home,
+        }
+    }
+}
+
+/// The single legal payload size for `kind`; `None` for unknown kinds.
+fn payload_len(kind: u8) -> Option<usize> {
+    match kind {
+        KIND_HELLO | KIND_WELCOME | KIND_POLL | KIND_BYE => Some(12),
+        KIND_REPORT => Some(16),
+        KIND_DELIVER => Some(RECORD_BYTES),
+        _ => None,
+    }
+}
+
+/// Why a frame was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Version byte this codec does not speak.
+    UnsupportedVersion(u8),
+    /// Kind byte naming no frame.
+    UnknownKind(u8),
+    /// The length byte disagrees with the kind's fixed payload size.
+    BadLength {
+        /// The kind whose size was expected.
+        kind: u8,
+        /// The length byte actually seen.
+        len: u8,
+    },
+    /// CRC over magic..payload does not match the trailer.
+    BadCrc {
+        /// CRC stored in the frame.
+        expected: u16,
+        /// CRC recomputed over the received bytes.
+        actual: u16,
+    },
+    /// Fewer bytes than a complete frame (strict decode only).
+    Truncated {
+        /// Bytes available.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadLength { kind, len } => {
+                write!(f, "length {len} is illegal for frame kind {kind}")
+            }
+            WireError::BadCrc { expected, actual } => {
+                write!(f, "frame CRC mismatch: stored {expected:#06x}, computed {actual:#06x}")
+            }
+            WireError::Truncated { len } => write!(f, "truncated frame ({len} bytes)"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes one frame, appending to `out`.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(frame.kind());
+    let len_at = out.len();
+    out.push(0); // patched below
+    match *frame {
+        Frame::Hello { home, digest } => {
+            out.extend_from_slice(&home.to_be_bytes());
+            out.extend_from_slice(&digest.to_be_bytes());
+        }
+        Frame::Welcome { home, at } | Frame::Poll { home, at } | Frame::Bye { home, at } => {
+            out.extend_from_slice(&home.to_be_bytes());
+            out.extend_from_slice(&at.as_millis().to_be_bytes());
+        }
+        Frame::Report { home, at, seq } => {
+            out.extend_from_slice(&home.to_be_bytes());
+            out.extend_from_slice(&at.as_millis().to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+        }
+        Frame::Deliver(rec) => out.extend_from_slice(&rec.to_bytes()),
+    }
+    let payload = out.len() - len_at - 1;
+    out[len_at] = u8::try_from(payload).expect("payloads are tiny");
+    let crc = crc16(&out[start..]);
+    out.extend_from_slice(&crc.to_be_bytes());
+}
+
+/// One frame's wire image.
+#[must_use]
+pub fn frame_bytes(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAX_FRAME_BYTES);
+    encode_frame(frame, &mut out);
+    out
+}
+
+/// The total wire size of a frame of `kind`, header and CRC included.
+fn frame_len(kind: u8) -> Option<usize> {
+    payload_len(kind).map(|p| HEADER_BYTES + p + CRC_BYTES)
+}
+
+/// Strict decode: `bytes` must hold exactly one complete frame.
+///
+/// # Errors
+///
+/// Every corruption is rejected: wrong magic, unknown version or kind,
+/// a length byte disagreeing with the kind, a CRC mismatch, and any
+/// strict prefix or extension of a valid frame ([`WireError::Truncated`]
+/// / [`WireError::BadLength`] respectively — extra bytes make the
+/// length byte and the actual extent disagree).
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+    match try_decode(bytes)? {
+        Some((frame, used)) if used == bytes.len() => Ok(frame),
+        Some((_, used)) => {
+            // Trailing bytes after a complete frame: the strict decoder
+            // sees one frame where the sender claims exactly one.
+            Err(WireError::BadLength {
+                kind: bytes[5],
+                len: u8::try_from(bytes.len() - used).unwrap_or(u8::MAX),
+            })
+        }
+        None => Err(WireError::Truncated { len: bytes.len() }),
+    }
+}
+
+/// Stream decode: examines the front of `bytes` and returns the first
+/// frame plus the bytes it consumed, or `Ok(None)` when the buffer
+/// holds only an incomplete prefix (read more and retry).
+///
+/// # Errors
+///
+/// As [`decode_frame`], except incompleteness is `Ok(None)` — a stream
+/// cannot distinguish "torn mid-frame" from "rest still in flight".
+pub fn try_decode(bytes: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    if bytes.len() < HEADER_BYTES {
+        // Garbage at the stream head is detectable without the rest.
+        let head = &bytes[..bytes.len().min(4)];
+        if !MAGIC.starts_with(head) {
+            let mut m = [0u8; 4];
+            m[..head.len()].copy_from_slice(head);
+            return Err(WireError::BadMagic(m));
+        }
+        return Ok(None);
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+    if &magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = bytes[4];
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = bytes[5];
+    let Some(expected_len) = payload_len(kind) else {
+        return Err(WireError::UnknownKind(kind));
+    };
+    let len = bytes[6];
+    if usize::from(len) != expected_len {
+        return Err(WireError::BadLength { kind, len });
+    }
+    let total = frame_len(kind).expect("kind validated");
+    if bytes.len() < total {
+        return Ok(None);
+    }
+    let body = &bytes[..total - CRC_BYTES];
+    let stored = u16::from_be_bytes(bytes[total - CRC_BYTES..total].try_into().expect("2 bytes"));
+    let actual = crc16(body);
+    if stored != actual {
+        return Err(WireError::BadCrc { expected: stored, actual });
+    }
+    let p = &bytes[HEADER_BYTES..total - CRC_BYTES];
+    let be32 = |b: &[u8]| u32::from_be_bytes(b.try_into().expect("4 bytes"));
+    let be64 = |b: &[u8]| u64::from_be_bytes(b.try_into().expect("8 bytes"));
+    let frame = match kind {
+        KIND_HELLO => Frame::Hello { home: be32(&p[0..4]), digest: be64(&p[4..12]) },
+        KIND_WELCOME => {
+            Frame::Welcome { home: be32(&p[0..4]), at: SimTime::from_millis(be64(&p[4..12])) }
+        }
+        KIND_POLL => {
+            Frame::Poll { home: be32(&p[0..4]), at: SimTime::from_millis(be64(&p[4..12])) }
+        }
+        KIND_REPORT => Frame::Report {
+            home: be32(&p[0..4]),
+            at: SimTime::from_millis(be64(&p[4..12])),
+            seq: be32(&p[12..16]),
+        },
+        KIND_DELIVER => {
+            Frame::Deliver(WalRecord::from_bytes(p.try_into().expect("RECORD_BYTES payload")))
+        }
+        KIND_BYE => {
+            Frame::Bye { home: be32(&p[0..4]), at: SimTime::from_millis(be64(&p[4..12])) }
+        }
+        _ => unreachable!("kind validated against payload_len"),
+    };
+    Ok(Some((frame, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Hello { home: 7, digest: 0xDEAD_BEEF_CAFE_F00D },
+            Frame::Welcome { home: 7, at: SimTime::from_millis(0) },
+            Frame::Poll { home: 4_000_000, at: SimTime::from_millis(123_456_789) },
+            Frame::Report { home: 0, at: SimTime::from_millis(99_900), seq: u32::MAX },
+            Frame::Deliver(WalRecord {
+                at: SimTime::from_millis(42_000),
+                home: 9,
+                act: 1,
+                flags: 0b101,
+                reminders: 2,
+                praises: 1,
+                sessions_started: 1,
+                sessions_completed: 0,
+                sessions_abandoned: 0,
+                cross_activity: 0,
+            }),
+            Frame::Bye { home: 7, at: SimTime::from_millis(600_000) },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in samples() {
+            let bytes = frame_bytes(&frame);
+            assert_eq!(decode_frame(&bytes), Ok(frame), "{frame:?}");
+            assert_eq!(try_decode(&bytes), Ok(Some((frame, bytes.len()))));
+        }
+    }
+
+    #[test]
+    fn stream_decode_walks_concatenated_frames() {
+        let frames = samples();
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut stream);
+        }
+        let mut offset = 0;
+        let mut seen = Vec::new();
+        while let Some((frame, used)) = try_decode(&stream[offset..]).unwrap() {
+            seen.push(frame);
+            offset += used;
+        }
+        assert_eq!(seen, frames);
+        assert_eq!(offset, stream.len());
+    }
+
+    #[test]
+    fn incomplete_prefixes_ask_for_more() {
+        let bytes = frame_bytes(&samples()[0]);
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            match try_decode(prefix) {
+                Ok(None) => {}
+                other => panic!("prefix of {cut} bytes: {other:?}"),
+            }
+            assert_eq!(decode_frame(prefix), Err(WireError::Truncated { len: cut }));
+        }
+    }
+
+    #[test]
+    fn stream_garbage_is_rejected_immediately() {
+        assert!(matches!(try_decode(b"XRSV"), Err(WireError::BadMagic(_))));
+        assert!(matches!(try_decode(b"Z"), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_fail_strict_decode() {
+        let mut bytes = frame_bytes(&samples()[1]);
+        bytes.push(0);
+        assert!(decode_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn every_kind_has_a_distinct_wire_size_or_crc_guard() {
+        // Kinds sharing a payload size rely on the CRC to catch a
+        // flipped kind byte; this documents which those are.
+        let sizes: Vec<Option<usize>> = (0u8..6).map(payload_len).collect();
+        assert_eq!(sizes, vec![Some(12), Some(12), Some(12), Some(16), Some(20), Some(12)]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Wire-codec robustness: round-trip exactness for arbitrary frames,
+//! and the headline rejection guarantee — *every* single-bit flip,
+//! every strict prefix, every trailing extension, and every foreign
+//! version byte of every frame kind is rejected deterministically.
+//!
+//! The codec earns this structurally (redundant length byte, fixed
+//! per-kind payload sizes) plus CRC-16/CCITT, which detects all
+//! single-bit errors by construction; the tests here are what pin that
+//! argument to the implementation.
+
+use coreda_core::wal::WalRecord;
+use coreda_des::time::SimTime;
+use coreda_serve::{decode_frame, frame_bytes, try_decode, Frame, WireError};
+use proptest::prelude::*;
+
+/// `SimTime` carries millis in a `u64`, but frames only ever hold
+/// instants inside a run; bound the strategy well away from overflow.
+const MAX_MS: u64 = u64::MAX / 2;
+
+fn arb_at() -> impl Strategy<Value = SimTime> {
+    (0..MAX_MS).prop_map(SimTime::from_millis)
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(home, digest)| Frame::Hello { home, digest }),
+        (any::<u32>(), arb_at()).prop_map(|(home, at)| Frame::Welcome { home, at }),
+        (any::<u32>(), arb_at()).prop_map(|(home, at)| Frame::Poll { home, at }),
+        (any::<u32>(), arb_at(), any::<u32>())
+            .prop_map(|(home, at, seq)| Frame::Report { home, at, seq }),
+        (arb_at(), any::<u32>(), any::<u64>().prop_map(u64::to_be_bytes)).prop_map(|(at, home, b)| {
+            Frame::Deliver(WalRecord {
+                at,
+                home,
+                act: b[0],
+                flags: b[1],
+                reminders: b[2],
+                praises: b[3],
+                sessions_started: b[4],
+                sessions_completed: b[5],
+                sessions_abandoned: b[6],
+                cross_activity: b[7],
+            })
+        }),
+        (any::<u32>(), arb_at()).prop_map(|(home, at)| Frame::Bye { home, at }),
+    ]
+}
+
+proptest! {
+    /// decode(encode(f)) == f for arbitrary field values of every kind,
+    /// through both the strict and the stream decoder.
+    #[test]
+    fn frames_round_trip_exactly(frame in arb_frame()) {
+        let bytes = frame_bytes(&frame);
+        prop_assert_eq!(decode_frame(&bytes), Ok(frame));
+        prop_assert_eq!(try_decode(&bytes), Ok(Some((frame, bytes.len()))));
+    }
+
+    /// Flipping any single bit anywhere in any frame is rejected — the
+    /// bit index is exhaustive per case, the frame arbitrary.
+    #[test]
+    fn corrupted_frames_are_rejected(frame in arb_frame(), frac in 0.0f64..1.0, bit in 0u32..8) {
+        let bytes = frame_bytes(&frame);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = ((frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let mut bad = bytes.clone();
+        bad[idx] ^= 1 << bit;
+        prop_assert!(
+            decode_frame(&bad).is_err(),
+            "a flipped bit at frame byte {} slipped through strict decode", idx
+        );
+        // The stream decoder must reject it too — never hand back a
+        // frame, never silently skip the corruption.
+        prop_assert!(
+            try_decode(&bad).is_err(),
+            "a flipped bit at frame byte {} slipped through stream decode", idx
+        );
+    }
+
+    /// Every strict prefix is `Truncated` for the strict decoder and
+    /// "read more" (`Ok(None)`) for the stream decoder.
+    #[test]
+    fn truncated_frames_are_rejected(frame in arb_frame(), frac in 0.0f64..1.0) {
+        let bytes = frame_bytes(&frame);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = ((frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let prefix = &bytes[..cut];
+        prop_assert_eq!(decode_frame(prefix), Err(WireError::Truncated { len: cut }));
+        prop_assert_eq!(try_decode(prefix), Ok(None));
+    }
+
+    /// Trailing garbage after a complete frame fails the strict decoder
+    /// (exactly-one-frame contract), while the stream decoder hands back
+    /// the clean frame and leaves the tail for the next read.
+    #[test]
+    fn extended_frames_fail_strict_decode(frame in arb_frame(), tail in 1usize..16) {
+        let clean = frame_bytes(&frame);
+        let mut bytes = clean.clone();
+        bytes.extend(std::iter::repeat_n(0xA5, tail));
+        prop_assert!(decode_frame(&bytes).is_err());
+        prop_assert_eq!(try_decode(&bytes), Ok(Some((frame, clean.len()))));
+    }
+
+    /// Any version byte this codec does not speak is rejected even with
+    /// the CRC re-stamped over the altered header — version skew is a
+    /// structural error, not a corruption.
+    #[test]
+    fn unknown_versions_are_rejected(
+        frame in arb_frame(),
+        // VERSION is 1; every other byte value is foreign.
+        version in prop_oneof![Just(0u8), 2u8..=255],
+    ) {
+        assert_ne!(version, coreda_serve::wire::VERSION);
+        let mut bytes = frame_bytes(&frame);
+        bytes[4] = version;
+        let body_end = bytes.len() - 2;
+        let crc = coreda_sensornet::packet::crc16(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&crc.to_be_bytes());
+        prop_assert_eq!(decode_frame(&bytes), Err(WireError::UnsupportedVersion(version)));
+        prop_assert_eq!(try_decode(&bytes), Err(WireError::UnsupportedVersion(version)));
+    }
+}
+
+/// The proptest cases sample bit positions; this nails the guarantee
+/// shut by walking *every* bit of every kind's canonical frame.
+#[test]
+fn every_single_bit_flip_of_every_kind_is_rejected() {
+    let frames = [
+        Frame::Hello { home: 3, digest: 0x0123_4567_89AB_CDEF },
+        Frame::Welcome { home: 3, at: SimTime::from_millis(1_000) },
+        Frame::Poll { home: 3, at: SimTime::from_millis(2_500) },
+        Frame::Report { home: 3, at: SimTime::from_millis(2_500), seq: 7 },
+        Frame::Deliver(WalRecord {
+            at: SimTime::from_millis(2_500),
+            home: 3,
+            act: 0,
+            flags: 1,
+            reminders: 1,
+            praises: 0,
+            sessions_started: 1,
+            sessions_completed: 0,
+            sessions_abandoned: 0,
+            cross_activity: 0,
+        }),
+        Frame::Bye { home: 3, at: SimTime::from_millis(9_000) },
+    ];
+    for frame in frames {
+        let bytes = frame_bytes(&frame);
+        for idx in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[idx] ^= 1 << bit;
+                assert!(
+                    decode_frame(&bad).is_err(),
+                    "{frame:?}: flipping byte {idx} bit {bit} slipped through"
+                );
+                assert!(
+                    try_decode(&bad).is_err(),
+                    "{frame:?}: flipping byte {idx} bit {bit} slipped past the stream decoder"
+                );
+            }
+        }
+    }
+}

@@ -62,16 +62,23 @@ impl ReplayOutcome {
 /// Returns the parse error for malformed text.
 pub fn replay_str(harness: &Harness, text: &str) -> Result<ReplayOutcome, String> {
     let plan = json::from_json(text)?;
-    let outcome = harness.check(&plan);
+    // Frame-fault plans target the served ingestion path: the in-process
+    // harness cannot apply them, so they replay through the served
+    // differential instead.
+    let violations = if plan.has_frame_faults() {
+        crate::served::check_served(&plan)
+    } else {
+        harness.check(&plan).violations
+    };
     let pass = match &plan.expect_violation {
-        Some(oracle) => outcome.violations.iter().any(|v| v.oracle == *oracle),
-        None => outcome.violations.is_empty(),
+        Some(oracle) => violations.iter().any(|v| v.oracle == *oracle),
+        None => violations.is_empty(),
     };
     Ok(ReplayOutcome {
         file: None,
         plan_seed: plan.seed,
         expected: plan.expect_violation,
-        violations: outcome.violations,
+        violations,
         pass,
     })
 }

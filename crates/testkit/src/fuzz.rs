@@ -48,6 +48,13 @@ pub struct FuzzConfig {
     /// codec on later deaths, and a write-ahead log torn mid-chunk every
     /// time — plus the `resume_equivalence` oracle against its ghost.
     pub kill_resume: bool,
+    /// Fuzz the served ingestion path instead of the in-process
+    /// pipeline: plans come from [`FaultPlan::generate_served`] (wire
+    /// transport faults only) and run through
+    /// [`crate::served::check_served`], whose differential already spans
+    /// both engines and two worker counts — so served campaigns skip the
+    /// separate jobs batch.
+    pub served: bool,
 }
 
 impl Default for FuzzConfig {
@@ -60,6 +67,7 @@ impl Default for FuzzConfig {
             trace_dir: None,
             max_plans: usize::MAX,
             kill_resume: false,
+            served: false,
         }
     }
 }
@@ -175,6 +183,15 @@ pub fn fuzz_with(harness: &Harness, cfg: &FuzzConfig) -> std::io::Result<FuzzRep
     while start.elapsed() < budget && report.plans_run < cfg.max_plans {
         let plan_seed = derive_seed(cfg.seed, "plan", index);
         index += 1;
+        if cfg.served {
+            let plan = FaultPlan::generate_served(plan_seed);
+            let violations = crate::served::check_served(&plan);
+            report.plans_run += 1;
+            for violation in violations {
+                record_violation(harness, cfg, &mut report, plan_seed, &plan, &violation)?;
+            }
+            continue;
+        }
         let mut plan = FaultPlan::generate(plan_seed, harness.tool_ids());
         if cfg.kill_resume {
             plan = plan.with_kill_resume();
@@ -234,7 +251,13 @@ fn record_violation(
     plan: &FaultPlan,
     violation: &crate::oracles::Violation,
 ) -> std::io::Result<()> {
-    let shrunk = shrink::shrink(harness, plan, violation.oracle);
+    // Served plans shrink through the served differential; the
+    // in-process harness cannot reproduce a wire-level fault.
+    let shrunk = if plan.has_frame_faults() {
+        shrink::shrink_with(crate::served::check_served, plan, violation.oracle)
+    } else {
+        shrink::shrink(harness, plan, violation.oracle)
+    };
     let file = match &cfg.out_dir {
         Some(dir) => {
             std::fs::create_dir_all(dir)?;
@@ -249,7 +272,10 @@ fn record_violation(
     // (bit-identical to the violating run — recording draws no
     // randomness) and dump it next to the repro. The ring's last events
     // are the pipeline activity leading up to the violation.
+    // No flight record for served plans: the recorder rides the
+    // in-process drive loop, which a wire-level repro never touches.
     let trace_file = match cfg.trace_dir.as_ref().or(cfg.out_dir.as_ref()) {
+        Some(_) if plan.has_frame_faults() => None,
         Some(dir) => {
             std::fs::create_dir_all(dir)?;
             let (_, rec) = harness.run_recorded(&shrunk.plan, EngineKind::Wheel);

@@ -447,6 +447,12 @@ impl<'a> HomeRun<'a> {
                 // A kill is not a fault *window*: it interrupts the
                 // drive loop itself and leaves the aggregates alone.
                 FaultKind::CheckpointKillResume => {}
+                // Frame faults live on the served wire, outside the
+                // in-process pipeline; the served harness applies them.
+                FaultKind::FrameDup
+                | FaultKind::FrameReorder
+                | FaultKind::FrameDelay
+                | FaultKind::FrameDisconnect => {}
             }
         }
         want

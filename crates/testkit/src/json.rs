@@ -84,7 +84,13 @@ fn write_fault(out: &mut String, fault: &Fault) {
         FaultKind::ClockSkew { tool, skew_ms } => {
             out.push_str(&format!(", \"tool\": {tool}, \"skew_ms\": {skew_ms}"));
         }
-        FaultKind::NonCompliance | FaultKind::SevereLapses | FaultKind::CheckpointKillResume => {}
+        FaultKind::NonCompliance
+        | FaultKind::SevereLapses
+        | FaultKind::CheckpointKillResume
+        | FaultKind::FrameDup
+        | FaultKind::FrameReorder
+        | FaultKind::FrameDelay
+        | FaultKind::FrameDisconnect => {}
         FaultKind::RoutineDrift { swap_a, swap_b } => {
             out.push_str(&format!(", \"swap_a\": {swap_a}, \"swap_b\": {swap_b}"));
         }
@@ -180,6 +186,10 @@ fn parse_fault(value: &Value) -> Result<Fault, String> {
         "non_compliance" => FaultKind::NonCompliance,
         "severe_lapses" => FaultKind::SevereLapses,
         "checkpoint_kill_resume" => FaultKind::CheckpointKillResume,
+        "frame_dup" => FaultKind::FrameDup,
+        "frame_reorder" => FaultKind::FrameReorder,
+        "frame_delay" => FaultKind::FrameDelay,
+        "frame_disconnect" => FaultKind::FrameDisconnect,
         "routine_drift" => FaultKind::RoutineDrift {
             swap_a: u8::try_from(get_u64(obj, "swap_a")?).map_err(|_| "swap_a out of range")?,
             swap_b: u8::try_from(get_u64(obj, "swap_b")?).map_err(|_| "swap_b out of range")?,
@@ -501,6 +511,10 @@ mod tests {
                     from_ms: 0,
                     to_ms: 100,
                 },
+                Fault { kind: FaultKind::FrameDup, from_ms: 0, to_ms: 30_000 },
+                Fault { kind: FaultKind::FrameReorder, from_ms: 10_000, to_ms: 50_000 },
+                Fault { kind: FaultKind::FrameDelay, from_ms: 0, to_ms: 240_000 },
+                Fault { kind: FaultKind::FrameDisconnect, from_ms: 90_000, to_ms: 90_000 },
             ],
             expect_violation: Some("no_red_blink_on_prompted_tool".into()),
         }

@@ -25,6 +25,7 @@ pub mod harness;
 pub mod json;
 pub mod oracles;
 pub mod plan;
+pub mod served;
 pub mod shrink;
 
 pub use harness::{Harness, RunResult};

@@ -69,6 +69,23 @@ pub enum FaultKind {
     /// [`FaultPlan::generate`]; injected via
     /// [`FaultPlan::with_kill_resume`] or written by hand.
     CheckpointKillResume,
+    /// Served-path transport fault: every client's `Report` frames whose
+    /// watermark falls in the window are sent twice. Like
+    /// [`FaultKind::CheckpointKillResume`], never drawn by
+    /// [`FaultPlan::generate`]; served plans come from
+    /// [`FaultPlan::generate_served`] or are written by hand.
+    FrameDup,
+    /// Served-path transport fault: adjacent `Report` frames in the
+    /// window arrive in inverted order.
+    FrameReorder,
+    /// Served-path transport fault: `Report` frames in the window are
+    /// held one flush and arrive after the wake they were for.
+    FrameDelay,
+    /// Served-path transport fault: one seed-derived home's client hangs
+    /// up at the window start (the window end is ignored — a hangup is
+    /// an instant). The home freezes; every other home must be
+    /// untouched.
+    FrameDisconnect,
 }
 
 impl FaultKind {
@@ -84,7 +101,25 @@ impl FaultKind {
             FaultKind::SevereLapses => "severe_lapses",
             FaultKind::RoutineDrift { .. } => "routine_drift",
             FaultKind::CheckpointKillResume => "checkpoint_kill_resume",
+            FaultKind::FrameDup => "frame_dup",
+            FaultKind::FrameReorder => "frame_reorder",
+            FaultKind::FrameDelay => "frame_delay",
+            FaultKind::FrameDisconnect => "frame_disconnect",
         }
+    }
+
+    /// Whether this is a served-path transport fault — the kinds the
+    /// wire-level [`FaultPlan::generate_served`] plans are made of and
+    /// the in-process pipeline never sees.
+    #[must_use]
+    pub const fn is_frame_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::FrameDup
+                | FaultKind::FrameReorder
+                | FaultKind::FrameDelay
+                | FaultKind::FrameDisconnect
+        )
     }
 
     /// The link-layer configuration a radio fault corresponds to; `None`
@@ -173,6 +208,41 @@ impl FaultPlan {
             round_to_tick(rng.uniform_range(TICK_MS as f64, self.horizon_ms as f64 * 0.9) as u64);
         self.faults.push(Fault { kind: FaultKind::CheckpointKillResume, from_ms: at_ms, to_ms: at_ms });
         self
+    }
+
+    /// Expands `seed` into a served-path transport-fault plan: shorter
+    /// horizons (three engines' worth of simulation per check) and only
+    /// the wire-level [`FaultKind::is_frame_fault`] kinds. Disjoint from
+    /// [`FaultPlan::generate`] — the in-process campaign never draws
+    /// frame faults, and the served campaign never draws pipeline ones.
+    #[must_use]
+    pub fn generate_served(seed: u64) -> FaultPlan {
+        let mut rng = SimRng::seed_from(seed).substream("served-plan", 0);
+        let horizon_ms = round_to_tick(rng.uniform_range(60_000.0, 180_000.0) as u64);
+        let n_faults = 1 + (rng.uniform_range(0.0, 3.0) as usize).min(2);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let faults = (0..n_faults)
+            .map(|_| {
+                let from_ms = round_to_tick(rng.uniform_range(0.0, horizon_ms as f64 * 0.8) as u64);
+                let len_ms = round_to_tick(rng.uniform_range(5_000.0, horizon_ms as f64 * 0.5) as u64);
+                let to_ms = (from_ms + len_ms).min(horizon_ms);
+                let kind = match (rng.uniform_range(0.0, 4.0) as usize).min(3) {
+                    0 => FaultKind::FrameDup,
+                    1 => FaultKind::FrameReorder,
+                    2 => FaultKind::FrameDelay,
+                    _ => FaultKind::FrameDisconnect,
+                };
+                Fault { kind, from_ms, to_ms }
+            })
+            .collect();
+        FaultPlan { seed, horizon_ms, faults, expect_violation: None }
+    }
+
+    /// Whether the plan targets the served ingestion path (routes
+    /// replay and shrinking through the served harness).
+    #[must_use]
+    pub fn has_frame_faults(&self) -> bool {
+        self.faults.iter().any(|f| f.kind.is_frame_fault())
     }
 
     /// All tool ids the plan's targeted faults touch.
@@ -300,6 +370,32 @@ mod tests {
             assert_eq!(kill.from_ms % TICK_MS, 0);
             assert!(kill.from_ms >= TICK_MS && kill.from_ms < plan.horizon_ms, "{kill:?}");
             assert_eq!(plan, FaultPlan::generate(seed, TOOLS).with_kill_resume());
+        }
+    }
+
+    #[test]
+    fn frame_faults_are_never_drawn_by_the_pipeline_generator() {
+        for seed in 0..500 {
+            assert!(FaultPlan::generate(seed, TOOLS).faults.iter().all(|f| !f.kind.is_frame_fault()));
+        }
+    }
+
+    #[test]
+    fn served_plans_are_deterministic_and_frame_only() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            let plan = FaultPlan::generate_served(seed);
+            assert_eq!(plan, FaultPlan::generate_served(seed));
+            assert_eq!(plan.horizon_ms % TICK_MS, 0);
+            assert!(plan.has_frame_faults());
+            for f in &plan.faults {
+                assert!(f.kind.is_frame_fault(), "{f:?}");
+                assert!(f.from_ms <= f.to_ms && f.to_ms <= plan.horizon_ms, "{f:?}");
+                seen.insert(f.kind.name());
+            }
+        }
+        for kind in ["frame_dup", "frame_reorder", "frame_delay", "frame_disconnect"] {
+            assert!(seen.contains(kind), "served fault kind {kind} never generated");
         }
     }
 

@@ -8,6 +8,7 @@
 //! from the smaller plan until a fixpoint or the run budget is spent.
 
 use crate::harness::Harness;
+use crate::oracles::Violation;
 use crate::plan::{FaultPlan, TICK_MS};
 
 /// Hard cap on deterministic re-runs per shrink; each run simulates the
@@ -32,6 +33,18 @@ pub struct Shrunk {
 /// name) keeps firing under [`Harness::check`].
 #[must_use]
 pub fn shrink(harness: &Harness, plan: &FaultPlan, oracle: &str) -> Shrunk {
+    shrink_with(|p| harness.check(p).violations, plan, oracle)
+}
+
+/// Shrinks `plan` under an arbitrary deterministic check — the same
+/// greedy passes as [`shrink`], parameterised so the served-path harness
+/// (whose plans the in-process [`Harness`] cannot reproduce) shrinks
+/// through its own pipeline.
+#[must_use]
+pub fn shrink_with<F>(check: F, plan: &FaultPlan, oracle: &str) -> Shrunk
+where
+    F: Fn(&FaultPlan) -> Vec<Violation>,
+{
     let mut best = plan.clone();
     let mut runs = 0usize;
     'passes: loop {
@@ -40,8 +53,7 @@ pub fn shrink(harness: &Harness, plan: &FaultPlan, oracle: &str) -> Shrunk {
                 break 'passes;
             }
             runs += 1;
-            let still_fires =
-                harness.check(&candidate).violations.iter().any(|v| v.oracle == oracle);
+            let still_fires = check(&candidate).iter().any(|v| v.oracle == oracle);
             if still_fires {
                 best = candidate;
                 // Restart from the smaller plan: earlier candidates that

@@ -16,6 +16,7 @@
 //! | [`rl`] | tabular RL toolbox (Q-learning, SARSA, TD(λ), Dyna-Q) |
 //! | [`adl`] | activities, tools, routines, patient behaviour |
 //! | [`core`] | the CoReDA system: sensing + planning + reminding |
+//! | [`serve`] | online serving: wire protocol, ingestion loop, load generator |
 //! | [`testkit`] | deterministic simulation testing: fault plans, oracles, shrinking |
 //!
 //! # Quick start
@@ -48,6 +49,7 @@ pub use coreda_core as core;
 pub use coreda_des as des;
 pub use coreda_rl as rl;
 pub use coreda_sensornet as sensornet;
+pub use coreda_serve as serve;
 pub use coreda_testkit as testkit;
 
 /// One-stop imports for applications built on CoReDA.

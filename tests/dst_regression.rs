@@ -69,6 +69,24 @@ fn kill_resume_corpus_entry_matches_its_ghost() {
     );
 }
 
+/// The frame-fault corpus entries target the served ingestion path:
+/// transport storms (duplicated / reordered / delayed `Report` frames)
+/// and a mid-session hangup. `replay_dir` routes them through the
+/// served differential automatically; this pins the routing itself.
+#[test]
+fn frame_fault_corpus_entries_route_through_the_served_pipeline() {
+    let mut seen = 0;
+    for name in ["frame-transport-storm.seed.json", "frame-hangup-mid-session.seed.json"] {
+        let text = std::fs::read_to_string(corpus_dir().join(name)).expect("served corpus entry");
+        let plan = json::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(plan.has_frame_faults(), "{name} lost its frame faults: {plan:?}");
+        let violations = coreda::testkit::served::check_served(&plan);
+        assert!(violations.is_empty(), "{name} regressed: {violations:?}");
+        seen += 1;
+    }
+    assert_eq!(seen, 2);
+}
+
 #[test]
 fn corpus_round_trips_through_the_serializer() {
     for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {

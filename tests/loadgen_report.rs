@@ -1,0 +1,51 @@
+//! The load-generator report golden (`tests/golden/loadgen_report.txt`)
+//! pins the deterministic body of `coreda-cli loadgen` — fleet shape,
+//! handshake, frame and byte counts, report/delivery/close accounting.
+//! Every one of those figures is a pure function of the config under
+//! the sim clock, so the golden doubles as a wire-traffic regression
+//! net: a codec or serve-loop change that moves a single frame shows up
+//! as a diff here. The wall-clock timing lines stay out of the golden
+//! (and are checked for shape instead).
+
+use coreda::core::metro::MetroConfig;
+use coreda::des::time::SimDuration;
+use coreda::serve::run_loadgen;
+
+/// The exact config the golden was captured under — the CLI's
+/// `loadgen --homes 4 --hours 0.2 --jobs 1 --seed 2007`.
+fn golden_cfg() -> MetroConfig {
+    MetroConfig {
+        homes: 4,
+        horizon: SimDuration::from_millis(720_000),
+        seed: 2007,
+        jobs: 1,
+        ..MetroConfig::default()
+    }
+}
+
+#[test]
+fn report_body_matches_the_golden_file() {
+    let report = run_loadgen(golden_cfg(), None);
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/loadgen_report.txt");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    assert_eq!(
+        report.render(),
+        golden,
+        "LoadgenReport::render drifted from the golden file; if the change \
+         is intentional, update tests/golden/loadgen_report.txt"
+    );
+}
+
+#[test]
+fn timing_lines_have_quantiles_but_stay_out_of_the_body() {
+    let report = run_loadgen(golden_cfg(), None);
+    let timing = report.render_timing();
+    assert!(timing.contains("wall:"), "{timing}");
+    assert!(timing.contains("p50") && timing.contains("p95") && timing.contains("p99"), "{timing}");
+    assert!(
+        !report.render().contains("wall:"),
+        "wall-clock figures are nondeterministic and must not leak into the golden body"
+    );
+}

@@ -1,0 +1,79 @@
+//! The serving headline guarantee, as a differential suite: under the
+//! sim clock a served fleet — every home behind a byte-level wire
+//! connection, every wake offered as a `Poll` frame and answered with a
+//! `Report` — is bit-identical to the batch `run_scale` sweep. Grid,
+//! rendered report, merged flight-recorder telemetry, and the delivery
+//! log all match at any `--jobs` count and on either queue engine.
+
+use coreda::core::metro::{
+    run_scale, run_scale_traced, run_scale_walled, EngineKind, MetroConfig,
+};
+use coreda::des::time::SimDuration;
+use coreda::serve::{serve_scale, ServeOptions};
+
+fn cfg(jobs: usize, engine: EngineKind) -> MetroConfig {
+    MetroConfig {
+        homes: 6,
+        horizon: SimDuration::from_secs(600),
+        seed: 2007,
+        jobs,
+        engine,
+        gap_min: SimDuration::from_secs(60),
+        gap_max: SimDuration::from_secs(180),
+        train_episodes: 120,
+        ..MetroConfig::default()
+    }
+}
+
+#[test]
+fn served_equals_batch_on_both_engines_at_any_jobs() {
+    for engine in [EngineKind::Wheel, EngineKind::Heap] {
+        let batch = run_scale(&cfg(1, engine));
+        let (walled, wal) = run_scale_walled(&cfg(1, engine));
+        assert_eq!(walled, batch, "event logging must not perturb the batch run");
+        let mut wire = None;
+        for jobs in [1usize, 8] {
+            let served = serve_scale(cfg(jobs, engine), &ServeOptions::default());
+            // Full structural equality plus the rendered bytes: the wire
+            // round-trip of every wake must change nothing.
+            assert_eq!(served.output.report, batch, "{engine} jobs {jobs}");
+            assert_eq!(served.output.report.render(), batch.render());
+            // Every prompt/escalation the clients saw as a `Deliver`
+            // frame, in fleet order — the batch write-ahead log exactly.
+            assert_eq!(served.log, wal, "{engine} jobs {jobs}");
+            // Wire accounting is itself jobs-invariant: sharding moves
+            // connections between workers, never frames between homes.
+            match &wire {
+                None => wire = Some(served.wire),
+                Some(w) => assert_eq!(&served.wire, w, "{engine} jobs {jobs}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn served_telemetry_is_bit_identical_to_the_traced_batch() {
+    let traced = run_scale_traced(&cfg(1, EngineKind::Wheel));
+    for jobs in [1usize, 8] {
+        let opts = ServeOptions { record: false, trace: true };
+        let served = serve_scale(cfg(jobs, EngineKind::Wheel), &opts);
+        assert_eq!(served.output.report, traced.report, "jobs {jobs}");
+        assert_eq!(
+            served.output.telemetry.to_jsonl(),
+            traced.telemetry.to_jsonl(),
+            "served flight-recorder telemetry drifted from batch (jobs {jobs})"
+        );
+    }
+}
+
+#[test]
+fn served_engines_agree_home_for_home() {
+    // The wheel and the heap schedule wakes differently (sparse wakes vs
+    // a dense tick poll), so whole-report equality is out (`des_events`
+    // counts raw queue traffic) — but every home's outcome and every
+    // delivery must agree, served, across engines *and* worker counts.
+    let wheel = serve_scale(cfg(1, EngineKind::Wheel), &ServeOptions::default());
+    let heap = serve_scale(cfg(8, EngineKind::Heap), &ServeOptions::default());
+    assert_eq!(wheel.output.report.per_home, heap.output.report.per_home);
+    assert_eq!(wheel.log, heap.log);
+}
