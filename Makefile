@@ -43,9 +43,15 @@ bench-scale:
 # serve≡batch differential (report, telemetry, and delivery log
 # byte-identical across jobs 1↔8 and wheel↔heap), the wire-codec
 # proptests (every single-bit flip, truncation and foreign version of
-# every frame kind rejected), the loadgen report golden, a served-path
-# fuzz budget (transport fault plans through the real wire), and a
-# 1k-home load-generator smoke under the sim clock.
+# every frame kind rejected), the loadgen report goldens (including the
+# explicit zero-deliveries body), a served-path fuzz budget (transport
+# fault plans through the real wire), and a 1k-home load-generator
+# smoke under the sim clock. The caregiver escalation overlay gates
+# alongside: the escalation_consistency suite (escalation logs
+# byte-identical across jobs 1↔8, wheel↔heap, and served≡batch), a
+# care-path fuzz budget drawing caregiver-outage fault plans against
+# the escalation_consistency oracle, and — via bench_check — the
+# committed care-overlay overhead under 5 %.
 ci:
 	cargo build --release
 	cargo test -q
@@ -53,6 +59,7 @@ ci:
 	cargo test -q --test scale_determinism
 	cargo test -q --test checkpoint_equivalence
 	cargo test -q --test serve_equivalence
+	cargo test -q --test escalation_consistency
 	cargo test -q --test loadgen_report
 	cargo test -q --test wire_format
 	cargo test -q --test trace_summary
@@ -63,6 +70,7 @@ ci:
 	cargo run --release -p coreda-cli -- fuzz --seconds 30 --seed 2007
 	cargo run --release -p coreda-cli -- fuzz --seconds 15 --seed 2008 --kill-resume true
 	cargo run --release -p coreda-cli -- fuzz --seconds 15 --seed 2009 --served true
+	cargo run --release -p coreda-cli -- fuzz --seconds 15 --seed 2010 --care true
 	cargo run --release -p coreda-cli -- replay --dir tests/corpus
 	cargo run --release -p coreda-cli -- scale --homes 100000 --hours 0.1 --seed 2007
 	cargo run --release -p coreda-cli -- loadgen --homes 1000 --hours 0.1 --seed 2007
@@ -73,9 +81,12 @@ ci:
 # The second budget fuzzes the served ingestion path: transport fault
 # plans (duplicated / reordered / delayed frames, mid-session hangups)
 # through the real wire codec, checked against batch on both engines.
+# The third fuzzes the caregiver escalation overlay: caregiver-outage
+# plans against the escalation_consistency oracle.
 fuzz:
 	cargo run --release -p coreda-cli -- fuzz --seconds 300 --seed $$(date +%s) --out fuzz-out
 	cargo run --release -p coreda-cli -- fuzz --seconds 120 --seed $$(date +%s) --served true --out fuzz-out
+	cargo run --release -p coreda-cli -- fuzz --seconds 120 --seed $$(date +%s) --care true --out fuzz-out
 
 doc:
 	cargo doc --workspace --no-deps

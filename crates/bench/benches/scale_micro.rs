@@ -6,7 +6,10 @@
 //! 10k and 100k homes at 1/2/4/8 workers) and an `engine_compare` entry
 //! measuring the wheel + interned zero-alloc pipeline against the seed's
 //! dense heap-polling path at 1 000 homes on one worker — the speedup
-//! figure the ISSUE's acceptance bar reads — plus a `checkpoint` entry
+//! figure the ISSUE's acceptance bar reads — plus a `care_overhead`
+//! entry pricing the caregiver escalation overlay and fleet analytics
+//! reduction at 10k homes (paired-ratio protocol, bar <= 5 %), a
+//! `checkpoint` entry
 //! recording snapshot encode/restore throughput for a mid-run 1k-home
 //! fleet, a `durability` entry pricing the steady-state delta + WAL
 //! interval against a full snapshot at 10k homes, a `phase_breakdown`
@@ -214,6 +217,51 @@ fn telemetry_overhead_json() -> String {
     )
 }
 
+/// Caregiver-overlay cost at fleet scale: the 10k-home serving cell
+/// with the escalation monitor and fleet analytics reduction off vs on.
+/// The overlay is a pure fold over the write-ahead event stream plus a
+/// per-home quantile rollup merged in home order, so its cost must stay
+/// noise-level; the acceptance bar is <= 5 % overhead. The plain and
+/// overlaid reports are asserted bit-identical first — observation must
+/// never perturb the fleet — and the timing reuses the paired-ratio
+/// protocol from `telemetry_overhead_json` (median of per-pair ratios,
+/// both arms back-to-back under the same clock drift).
+fn care_overhead_json() -> String {
+    use coreda_core::escalation::CarePolicy;
+    use coreda_core::metro::run_scale_care;
+
+    let config = cfg(10_000, 360, 1, EngineKind::Wheel);
+    let policy = CarePolicy::default();
+    let plain = run_scale(&config);
+    let (cared, care) = run_scale_care(&config, &policy);
+    assert_eq!(
+        plain, cared,
+        "the care overlay changed the serve; timings would compare different work"
+    );
+    let ticks = plain.pipeline_ticks();
+    let mut pairs: Vec<(f64, f64)> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = run_scale(&config);
+            let off = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let _ = run_scale_care(&config, &policy);
+            (off, t.elapsed().as_secs_f64())
+        })
+        .collect();
+    pairs.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    let (off_secs, on_secs) = pairs[pairs.len() / 2];
+    format!(
+        "  \"care_overhead\": {{\"homes\": 10000, \"sim_secs\": 360, \"jobs\": 1, \
+         \"pipeline_ticks\": {ticks}, \"pairs\": {}, \"escalation_events\": {}, \
+         \"care_off_secs\": {off_secs:.4}, \"care_on_secs\": {on_secs:.4}, \
+         \"overhead_pct\": {:.2}}}",
+        pairs.len(),
+        care.events.len(),
+        (on_secs / off_secs - 1.0) * 100.0
+    )
+}
+
 /// Incremental durability cost at fleet scale: a 10k-home serve with a
 /// base snapshot at 120 s and delta checkpoints every 120 s after, WAL
 /// on for the whole horizon. The figures that matter are the steady-
@@ -396,11 +444,12 @@ fn emit_report(_c: &mut Criterion) {
         return;
     }
     let json = format!(
-        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n}}\n",
+        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n}}\n",
         default_jobs(),
         grid_json(),
         engine_compare_json(),
         telemetry_overhead_json(),
+        care_overhead_json(),
         checkpoint_json(),
         durability_json(),
         phase_breakdown_json(),

@@ -9,6 +9,11 @@
 //!   < 5 %, but the committed number is wall clock on a drifting host,
 //!   so the gate leaves room for measurement noise while still catching
 //!   a real hot-path regression;
+//! - the committed `care_overhead.overhead_pct` must stay under 5 % —
+//!   the caregiver escalation overlay is a pure fold over the event
+//!   stream plus an in-order analytics merge, and its paired-ratio
+//!   protocol cancels host clock drift, so the contract bar applies
+//!   directly;
 //! - a fresh, fully deterministic durability probe: the steady-state
 //!   delta checkpoint at 1k homes must encode to <= 15 % of the full
 //!   snapshot's bytes. Byte counts don't drift with host load, so this
@@ -180,6 +185,29 @@ fn main() {
         }
         None => {
             eprintln!("bench_check: no telemetry_overhead.overhead_pct in {path}");
+            std::process::exit(1);
+        }
+    }
+
+    // The committed care-overlay overhead: the paired-ratio protocol
+    // cancels clock drift, so the contract's 5 % bar applies as-is.
+    let care = json
+        .find("\"care_overhead\"")
+        .and_then(|at| scan_field(&json[at..], "overhead_pct"));
+    match care {
+        Some(overhead) => {
+            println!("bench_check: committed care overhead {overhead:.2} % (bar 5 %)");
+            if overhead > 5.0 {
+                eprintln!(
+                    "bench_check: REGRESSION — committed care overhead {overhead:.2} % \
+                     exceeds the 5 % bar; the escalation fold or the analytics merge \
+                     has left the noise floor"
+                );
+                std::process::exit(1);
+            }
+        }
+        None => {
+            eprintln!("bench_check: no care_overhead.overhead_pct in {path}");
             std::process::exit(1);
         }
     }

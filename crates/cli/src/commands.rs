@@ -367,10 +367,11 @@ fn write_snapshots(
 /// durable fleet snapshots along the way; `--resume-from` continues one
 /// (the resumed report is bit-identical to never having stopped).
 pub fn scale(p: &Parsed) -> CmdResult {
+    use coreda_core::escalation::CarePolicy;
     use coreda_core::metro::{
         resume_scale, resume_scale_checkpointed, resume_scale_traced, run_scale,
-        run_scale_checkpointed, run_scale_checkpointed_traced, run_scale_durable,
-        run_scale_traced, run_scale_walled,
+        run_scale_care, run_scale_checkpointed, run_scale_checkpointed_traced,
+        run_scale_durable, run_scale_traced, run_scale_walled,
     };
     use coreda_des::time::SimTime;
 
@@ -380,6 +381,35 @@ pub fn scale(p: &Parsed) -> CmdResult {
         "scale: homes={} hours={hours} engine={} jobs={} seed={}\n",
         cfg.homes, cfg.engine, cfg.jobs, cfg.seed
     );
+
+    // --care true overlays the caregiver escalation monitor — a pure
+    // fold over the event log, so the fleet report is untouched; the
+    // run gains the deterministic escalation summary and the fleet
+    // analytics quantile rollup. The overlay is not checkpointable
+    // state, so it stays plain-run only.
+    if p.get_parsed("care", false)? {
+        if p.get("trace-out").is_some()
+            || p.get("wal-out").is_some()
+            || p.get("resume-from").is_some()
+            || p.get("checkpoint-every").is_some()
+        {
+            return Err("--care cannot combine with --trace-out, --wal-out, \
+                        --resume-from, or --checkpoint-every; drop one"
+                .into());
+        }
+        let (report, care) = run_scale_care(&cfg, &CarePolicy::default());
+        let mut out = header;
+        out.push_str(&report.render());
+        out.push_str(&care.render());
+        if let Some(path) = p.get("care-out") {
+            std::fs::write(path, care.render_log())?;
+            out.push_str(&format!(
+                "escalation log -> {path} ({} events)\n",
+                care.events.len()
+            ));
+        }
+        return Ok(out);
+    }
 
     let every_s: u64 = p.get_parsed("checkpoint-every", 0)?;
     let stops: Vec<SimTime> = if every_s == 0 {
@@ -717,8 +747,13 @@ pub fn serve(p: &Parsed) -> CmdResult {
         cfg.homes, cfg.engine, cfg.jobs, cfg.seed
     );
     let trace_out = p.get("trace-out");
-    let opts = ServeOptions { record: false, trace: trace_out.is_some() };
-    let outcome = serve_scale(cfg, &opts);
+    let care: bool = p.get_parsed("care", false)?;
+    let opts = ServeOptions {
+        record: false,
+        trace: trace_out.is_some(),
+        care: care.then(coreda_core::escalation::CarePolicy::default),
+    };
+    let outcome = serve_scale(cfg, &opts)?;
     let mut out = header;
     out.push_str(&outcome.output.report.render());
     let w = &outcome.wire;
@@ -726,6 +761,10 @@ pub fn serve(p: &Parsed) -> CmdResult {
         "wire: {} frames in / {} frames out, {} reports, {} deliveries, {} byes\n",
         w.frames_in, w.frames_out, w.reports, w.delivers, w.byes_out
     ));
+    if let Some(care) = &outcome.care {
+        out.push_str(&format!("wire escalations: {}\n", w.escalations));
+        out.push_str(&care.render());
+    }
     if let Some(path) = trace_out {
         std::fs::write(path, outcome.output.telemetry.to_jsonl())?;
         out.push_str(&format!("telemetry JSONL -> {path}\n"));
@@ -755,7 +794,7 @@ pub fn loadgen(p: &Parsed) -> CmdResult {
             Some(s)
         }
     };
-    let report = run_loadgen(cfg, speedup);
+    let report = run_loadgen(cfg, speedup)?;
     let mut out = report.render();
     out.push_str(&report.render_timing());
     Ok(out)
@@ -782,6 +821,7 @@ pub fn fuzz(p: &Parsed) -> CmdResult {
         max_plans: p.get_parsed("plans", defaults.max_plans)?,
         kill_resume: p.get_parsed("kill-resume", defaults.kill_resume)?,
         served: p.get_parsed("served", defaults.served)?,
+        care: p.get_parsed("care", defaults.care)?,
     };
     let report = fuzz(&cfg)?;
     let rendered = report.render();
@@ -888,6 +928,12 @@ COMMANDS
                              --checkpoint-every the snapshot stream turns
                              incremental (P-<N>s.ckpt base, then compact
                              P-<N>s.delta per stop)
+      --care true            overlay the caregiver escalation monitor:
+                             prints the escalation summary and the fleet
+                             analytics rollup (bit-identical at any
+                             --jobs and either --engine)   [false]
+      --care-out FILE        with --care, write the full escalation log
+                             here, one line per event
   checkpoint                 run a fleet and write one durable snapshot
       --out FILE             snapshot file                  (required)
       --at S                 snapshot instant, seconds    [the horizon]
@@ -922,6 +968,10 @@ COMMANDS
                              frames); under the sim clock the report is
                              bit-identical to 'scale'
       --homes/--hours/--engine/--jobs/--seed as for scale
+      --care true            caregiver escalations ride back to the
+                             clients as Escalate frames; prints the wire
+                             escalation count plus the care summary
+                                                           [false]
       --trace-out FILE       also run the flight recorder and write
                              telemetry JSONL here
   loadgen                    replay a fleet as concurrent wire clients
@@ -945,6 +995,11 @@ COMMANDS
                              delayed frames; mid-session hangups) checked
                              against the batch run on both queue engines
                                                            [false]
+      --care true            fuzz the caregiver escalation overlay
+                             instead: caregiver-outage fault plans checked
+                             by the escalation_consistency oracle across
+                             both engines, a jobs differential, and the
+                             served path                   [false]
       --out DIR              write shrunken .seed.json repros here
       --trace-out DIR        write violation flight records (.trace.jsonl)
                              here                        [--out dir]
@@ -1455,5 +1510,87 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("2 plans"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_care_campaign_passes() {
+        let out = fuzz(&parse(&[
+            "fuzz", "--plans", "2", "--seconds", "30", "--care", "true",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 plans"), "{out}");
+    }
+
+    #[test]
+    fn scale_care_overlay_is_identical_across_jobs_and_engines() {
+        let base = scale(&parse(&[
+            "scale", "--homes", "4", "--hours", "0.2", "--jobs", "1", "--seed", "11",
+            "--care", "true",
+        ]))
+        .unwrap();
+        let parallel = scale(&parse(&[
+            "scale", "--homes", "4", "--hours", "0.2", "--jobs", "8", "--seed", "11",
+            "--care", "true",
+        ]))
+        .unwrap();
+        let heap = scale(&parse(&[
+            "scale", "--homes", "4", "--hours", "0.2", "--jobs", "8", "--seed", "11",
+            "--engine", "heap", "--care", "true",
+        ]))
+        .unwrap();
+        assert!(base.contains("caregiver escalations:"), "{base}");
+        assert!(base.contains("fleet analytics:"), "{base}");
+        let body = |s: &str| s.split_once('\n').unwrap().1.to_owned();
+        assert_eq!(body(&base), body(&parallel));
+        // The report counts raw DES events (engine-dependent), but the
+        // care summary and analytics must agree across engines.
+        let care_part = |s: &str| s[s.find("caregiver escalations:").unwrap()..].to_owned();
+        assert_eq!(care_part(&base), care_part(&heap));
+    }
+
+    #[test]
+    fn scale_care_rejects_durability_combinations() {
+        let err = scale(&parse(&[
+            "scale", "--homes", "2", "--hours", "0.1", "--care", "true",
+            "--wal-out", "/tmp/never-written.wal",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--care cannot combine"), "{err}");
+    }
+
+    #[test]
+    fn scale_care_out_writes_the_escalation_log() {
+        let log = temp_path("care.log");
+        let out = scale(&parse(&[
+            "scale", "--homes", "4", "--hours", "0.2", "--jobs", "2", "--seed", "11",
+            "--care", "true", "--care-out", log.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("escalation log ->"), "{out}");
+        let text = std::fs::read_to_string(&log).unwrap();
+        let _ = std::fs::remove_file(&log);
+        // Every rendered line names a lifecycle stage.
+        assert!(text
+            .lines()
+            .all(|l| l.contains("raised") || l.contains("acked") || l.contains("resolved")));
+    }
+
+    #[test]
+    fn serve_care_summary_matches_the_batch_overlay() {
+        let batch = scale(&parse(&[
+            "scale", "--homes", "4", "--hours", "0.2", "--jobs", "1", "--seed", "11",
+            "--care", "true",
+        ]))
+        .unwrap();
+        let served = serve(&parse(&[
+            "serve", "--homes", "4", "--hours", "0.2", "--jobs", "8", "--seed", "11",
+            "--care", "true",
+        ]))
+        .unwrap();
+        assert!(served.contains("wire escalations:"), "{served}");
+        // Served and batch agree on the care summary: same escalations,
+        // same fleet analytics, any worker count.
+        let care_part = |s: &str| s[s.find("caregiver escalations:").unwrap()..].to_owned();
+        assert_eq!(care_part(&batch), care_part(&served));
     }
 }

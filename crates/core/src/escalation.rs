@@ -1,0 +1,860 @@
+//! Caregiver escalation policy engine and fleet-wide care analytics.
+//!
+//! The source paper stops at prompting the patient; the follow-on work
+//! (Remindful, the caregiver-in-the-loop task-verification framework)
+//! closes the loop to a human when prompting fails. This module is that
+//! loop, grown to metro scale:
+//!
+//! * a **policy engine** ([`CarePolicy`] + [`CareMonitor`]) that folds a
+//!   home's [`WalRecord`] stream — the same engine/jobs-invariant event
+//!   log the durability layer derives — into severity-leveled
+//!   escalations ([`CareEvent`]): repeated prompt failures, missed
+//!   critical ADLs, and compliance-trend drift;
+//! * a **simulated caregiver channel** with deterministic
+//!   acknowledgment and resolution timing (per-severity ack delays,
+//!   optional no-ack outage windows for fault injection);
+//! * a **fleet analytics reduction** ([`FleetAnalytics`]): per-home
+//!   compliance and episode-latency trends rolled up to fleet
+//!   p50/p95/p99 histograms, merged deterministically in home order
+//!   exactly like telemetry.
+//!
+//! # Determinism
+//!
+//! A monitor is a *pure fold*: its only inputs are the policy, the
+//! home's WAL records in time order, and the run horizon. The WAL is
+//! bit-identical at any `--jobs`, either queue engine, and served ≡
+//! batch — so the escalation log inherits every one of those
+//! invariances for free. Events carry a per-home monotone sequence
+//! number and sort globally by `(at, home, seq)`.
+//!
+//! # Lifecycle — why escalations can never flap
+//!
+//! Per `(home, trigger)` at most one escalation is open at a time. A
+//! trigger's streak counter resets when it fires; while the escalation
+//! is open (raised or acked but unresolved) the trigger cannot fire
+//! again. Only after the caregiver resolves it can a fresh threshold
+//! crossing raise a new one. The testkit's `escalation_consistency`
+//! oracle checks exactly this shape.
+
+use coreda_des::stats::Histogram;
+use coreda_des::time::SimTime;
+
+use crate::wal::{WalRecord, EPISODE_COMPLETED, EPISODE_ENDED, EPISODE_STARTED};
+
+/// How urgently the caregiver should react.
+///
+/// The discriminant doubles as the wire byte and as the index into
+/// [`CarePolicy::ack_delay_ms`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Severity {
+    /// Informational: a trend moved, nobody is in danger.
+    Notice = 0,
+    /// Prompting is failing; a check-in is due.
+    Warning = 1,
+    /// A critical ADL is being missed; intervene now.
+    Critical = 2,
+}
+
+impl Severity {
+    /// All severities, lowest first.
+    pub const ALL: [Severity; 3] = [Severity::Notice, Severity::Warning, Severity::Critical];
+
+    /// Stable snake_case name (logs, JSONL, CLI).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Severity::Notice => "notice",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Severity> {
+        match b {
+            0 => Some(Severity::Notice),
+            1 => Some(Severity::Warning),
+            2 => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+}
+
+/// What tripped the escalation. Each trigger maps to a fixed severity
+/// ([`CareTrigger::severity`]) — the policy table lives in DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum CareTrigger {
+    /// Reminders-per-window trend drifted past the baseline ratio.
+    ComplianceDrift = 0,
+    /// A streak of reminders went by without a single compliance.
+    RepeatedPromptFailures = 1,
+    /// A streak of episodes ended without reaching completion.
+    MissedCriticalAdl = 2,
+}
+
+impl CareTrigger {
+    /// All triggers, in discriminant order.
+    pub const ALL: [CareTrigger; 3] = [
+        CareTrigger::ComplianceDrift,
+        CareTrigger::RepeatedPromptFailures,
+        CareTrigger::MissedCriticalAdl,
+    ];
+
+    /// Stable snake_case name (logs, JSONL, CLI).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            CareTrigger::ComplianceDrift => "compliance_drift",
+            CareTrigger::RepeatedPromptFailures => "repeated_prompt_failures",
+            CareTrigger::MissedCriticalAdl => "missed_critical_adl",
+        }
+    }
+
+    /// The severity this trigger escalates at.
+    #[must_use]
+    pub const fn severity(self) -> Severity {
+        match self {
+            CareTrigger::ComplianceDrift => Severity::Notice,
+            CareTrigger::RepeatedPromptFailures => Severity::Warning,
+            CareTrigger::MissedCriticalAdl => Severity::Critical,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<CareTrigger> {
+        match b {
+            0 => Some(CareTrigger::ComplianceDrift),
+            1 => Some(CareTrigger::RepeatedPromptFailures),
+            2 => Some(CareTrigger::MissedCriticalAdl),
+            _ => None,
+        }
+    }
+}
+
+/// Where an escalation is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum CareEventKind {
+    /// The policy engine raised the escalation.
+    Raised = 0,
+    /// The simulated caregiver acknowledged it.
+    Acked = 1,
+    /// The caregiver resolved it; the trigger may fire again.
+    Resolved = 2,
+}
+
+impl CareEventKind {
+    /// Stable snake_case name (logs, JSONL, CLI).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            CareEventKind::Raised => "raised",
+            CareEventKind::Acked => "acked",
+            CareEventKind::Resolved => "resolved",
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<CareEventKind> {
+        match b {
+            0 => Some(CareEventKind::Raised),
+            1 => Some(CareEventKind::Acked),
+            2 => Some(CareEventKind::Resolved),
+            _ => None,
+        }
+    }
+}
+
+/// Wire size of one encoded [`CareEvent`] (the CRSV `Escalate` frame
+/// payload): 8-byte timestamp, 4-byte home, 4-byte per-home sequence,
+/// then kind/severity/trigger bytes.
+pub const EVENT_BYTES: usize = 19;
+
+/// One entry in the escalation log / one `Escalate` frame payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CareEvent {
+    /// When it happened (raise: the WAL record's instant; ack/resolve:
+    /// the caregiver-model due instant).
+    pub at: SimTime,
+    /// The home it belongs to.
+    pub home: u32,
+    /// Per-home monotone sequence number (ties on `at` stay ordered).
+    pub seq: u32,
+    /// Lifecycle stage.
+    pub kind: CareEventKind,
+    /// Severity the escalation was raised at.
+    pub severity: Severity,
+    /// What tripped it.
+    pub trigger: CareTrigger,
+}
+
+impl CareEvent {
+    /// Big-endian fixed-width encoding, mirroring the WAL record codec.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; EVENT_BYTES] {
+        let mut b = [0u8; EVENT_BYTES];
+        b[0..8].copy_from_slice(&self.at.as_millis().to_be_bytes());
+        b[8..12].copy_from_slice(&self.home.to_be_bytes());
+        b[12..16].copy_from_slice(&self.seq.to_be_bytes());
+        b[16] = self.kind as u8;
+        b[17] = self.severity as u8;
+        b[18] = self.trigger as u8;
+        b
+    }
+
+    /// Decodes [`CareEvent::to_bytes`]' output. Returns `None` when a
+    /// discriminant byte has no meaning — a corrupted frame that slipped
+    /// past the CRC must not materialise as a phantom enum value.
+    #[must_use]
+    pub fn from_bytes(b: &[u8; EVENT_BYTES]) -> Option<CareEvent> {
+        let at = SimTime::from_millis(u64::from_be_bytes(b[0..8].try_into().expect("8 bytes")));
+        let home = u32::from_be_bytes(b[8..12].try_into().expect("4 bytes"));
+        let seq = u32::from_be_bytes(b[12..16].try_into().expect("4 bytes"));
+        Some(CareEvent {
+            at,
+            home,
+            seq,
+            kind: CareEventKind::from_byte(b[16])?,
+            severity: Severity::from_byte(b[17])?,
+            trigger: CareTrigger::from_byte(b[18])?,
+        })
+    }
+
+    /// One deterministic log line; the escalation-log goldens and the
+    /// jobs/engine/served differentials compare these bytes.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "[{:>8}ms] home {:>4} #{:<3} {:<8} {} ({})",
+            self.at.as_millis(),
+            self.home,
+            self.seq,
+            self.kind.name(),
+            self.severity.name(),
+            self.trigger.name(),
+        )
+    }
+}
+
+/// The escalation policy: integer thresholds and caregiver-model
+/// timing. Deliberately *not* part of `MetroConfig` — a care run is an
+/// overlay on a configured fleet, and the checkpoint config digest must
+/// not change for existing runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CarePolicy {
+    /// Consecutive reminders with no intervening compliance before
+    /// [`CareTrigger::RepeatedPromptFailures`] fires (Warning).
+    pub prompt_failure_streak: u64,
+    /// Consecutive episodes ended without completion before
+    /// [`CareTrigger::MissedCriticalAdl`] fires (Critical).
+    pub missed_adl_streak: u64,
+    /// Episodes per compliance-trend window.
+    pub drift_window: u64,
+    /// Drift fires when `recent * drift_den > baseline * drift_num`
+    /// (i.e. the recent window is worse than baseline by more than
+    /// `num/den`), integer-exact.
+    pub drift_num: u64,
+    /// Denominator of the drift ratio.
+    pub drift_den: u64,
+    /// Absolute floor: a window with fewer reminders than this never
+    /// drifts, whatever the ratio says.
+    pub drift_min_reminders: u64,
+    /// Caregiver acknowledgment delay per severity, indexed by
+    /// [`Severity`] discriminant (critical pages are answered fastest).
+    pub ack_delay_ms: [u64; 3],
+    /// Delay from acknowledgment to resolution.
+    pub resolve_after_ms: u64,
+    /// Caregiver outage windows `[from_ms, to_ms)`: an ack that falls
+    /// due inside one slips to the window's end plus the ack delay.
+    /// Fault-injection data (the testkit's `caregiver_no_ack` kind) —
+    /// pure policy input, so runs stay deterministic.
+    pub no_ack_windows: Vec<(u64, u64)>,
+}
+
+impl Default for CarePolicy {
+    fn default() -> Self {
+        CarePolicy {
+            prompt_failure_streak: 3,
+            missed_adl_streak: 2,
+            drift_window: 8,
+            drift_num: 3,
+            drift_den: 2,
+            drift_min_reminders: 4,
+            ack_delay_ms: [120_000, 60_000, 30_000],
+            resolve_after_ms: 180_000,
+            no_ack_windows: Vec::new(),
+        }
+    }
+}
+
+impl CarePolicy {
+    /// When the caregiver acknowledges an escalation raised at
+    /// `raised_ms` with `severity`, accounting for outage windows.
+    #[must_use]
+    pub fn ack_due_ms(&self, raised_ms: u64, severity: Severity) -> u64 {
+        let delay = self.ack_delay_ms[severity as usize];
+        let mut due = raised_ms.saturating_add(delay);
+        // Each pass moves `due` strictly past a window's end, so this
+        // terminates after at most `no_ack_windows.len()` full sweeps.
+        loop {
+            let mut moved = false;
+            for &(from, to) in &self.no_ack_windows {
+                if due >= from && due < to {
+                    due = to.saturating_add(delay);
+                    moved = true;
+                }
+            }
+            if !moved {
+                return due;
+            }
+        }
+    }
+}
+
+/// An escalation the caregiver has not yet resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpenCare {
+    severity: Severity,
+    acked: bool,
+    /// Next caregiver action due (ack if `!acked`, else resolve).
+    next_due_ms: u64,
+}
+
+/// Fleet-wide streaming analytics: per-home compliance and per-episode
+/// latency/burden histograms, merged in home order like telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAnalytics {
+    /// Per-home episode completion rate, percent.
+    pub compliance_pct: Histogram,
+    /// Per-episode start→end latency, milliseconds.
+    pub episode_latency_ms: Histogram,
+    /// Per-episode reminder burden.
+    pub reminders_per_episode: Histogram,
+}
+
+impl Default for FleetAnalytics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FleetAnalytics {
+    /// Empty analytics with the fixed fleet bin layout.
+    #[must_use]
+    pub fn new() -> Self {
+        FleetAnalytics {
+            compliance_pct: Histogram::new(0.0, 100.0, 50),
+            episode_latency_ms: Histogram::new(0.0, 600_000.0, 600),
+            reminders_per_episode: Histogram::new(0.0, 64.0, 64),
+        }
+    }
+
+    /// Folds another shard's analytics into this one. Called in home
+    /// (chunk) order, though histogram merge is order-insensitive.
+    pub fn merge(&mut self, other: &FleetAnalytics) {
+        self.compliance_pct.merge(&other.compliance_pct);
+        self.episode_latency_ms.merge(&other.episode_latency_ms);
+        self.reminders_per_episode.merge(&other.reminders_per_episode);
+    }
+
+    /// Deterministic fleet quantile summary, one line per metric.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  compliance: {}\n",
+            render_quantiles(&self.compliance_pct, "%"),
+        ));
+        out.push_str(&format!(
+            "  episode latency: {}\n",
+            render_quantiles(&self.episode_latency_ms, "ms"),
+        ));
+        out.push_str(&format!(
+            "  reminders/episode: {}\n",
+            render_quantiles(&self.reminders_per_episode, ""),
+        ));
+        out
+    }
+}
+
+fn render_quantiles(h: &Histogram, unit: &str) -> String {
+    match (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)) {
+        (Some(p50), Some(p95), Some(p99)) => format!(
+            "n={} p50={p50:.0}{unit} p95={p95:.0}{unit} p99={p99:.0}{unit}",
+            h.total(),
+        ),
+        _ => format!("n={} (no samples)", h.total()),
+    }
+}
+
+/// One home's escalation state: the pure fold over its WAL records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CareMonitor {
+    home: u32,
+    next_seq: u32,
+    events: Vec<CareEvent>,
+    open: [Option<OpenCare>; 3],
+    fail_streak: u64,
+    missed_streak: u64,
+    episode_start: Option<SimTime>,
+    episode_reminders: u64,
+    window_episodes: u64,
+    window_reminders: u64,
+    baseline: Option<u64>,
+    trend_windows: u64,
+    episodes_ended: u64,
+    episodes_completed: u64,
+    finished: bool,
+}
+
+impl CareMonitor {
+    /// A fresh monitor for `home`.
+    #[must_use]
+    pub fn new(home: u32) -> Self {
+        CareMonitor {
+            home,
+            next_seq: 0,
+            events: Vec::new(),
+            open: [None; 3],
+            fail_streak: 0,
+            missed_streak: 0,
+            episode_start: None,
+            episode_reminders: 0,
+            window_episodes: 0,
+            window_reminders: 0,
+            baseline: None,
+            trend_windows: 0,
+            episodes_ended: 0,
+            episodes_completed: 0,
+            finished: false,
+        }
+    }
+
+    /// Every event emitted so far, in per-home `(at, seq)` order.
+    #[must_use]
+    pub fn events(&self) -> &[CareEvent] {
+        &self.events
+    }
+
+    /// Completed compliance-trend windows (the `care_trend_windows`
+    /// telemetry counter).
+    #[must_use]
+    pub const fn trend_windows(&self) -> u64 {
+        self.trend_windows
+    }
+
+    /// Folds one non-trivial WAL record into the monitor. Records must
+    /// arrive in the home's time order — exactly how `poll_wake`
+    /// derives them.
+    pub fn observe(&mut self, policy: &CarePolicy, rec: &WalRecord, analytics: &mut FleetAnalytics) {
+        debug_assert_eq!(rec.home, self.home, "record routed to the wrong monitor");
+        let now_ms = rec.at.as_millis();
+        // Caregiver actions that fell due before this record happen
+        // first, keeping the per-home event log in time order.
+        self.drain_due(policy, now_ms);
+
+        if rec.flags & EPISODE_STARTED != 0 {
+            self.episode_start = Some(rec.at);
+            self.episode_reminders = 0;
+        }
+        let reminders = u64::from(rec.reminders);
+        self.episode_reminders += reminders;
+        self.window_reminders += reminders;
+
+        // Prompt-failure streak: a compliance anywhere in the record
+        // clears it, otherwise unanswered reminders accumulate.
+        if rec.praises > 0 {
+            self.fail_streak = 0;
+        } else if reminders > 0 {
+            self.fail_streak += reminders;
+            if self.fail_streak >= policy.prompt_failure_streak {
+                self.raise(policy, CareTrigger::RepeatedPromptFailures, rec.at);
+            }
+        }
+
+        if rec.flags & EPISODE_ENDED != 0 {
+            self.episodes_ended += 1;
+            if let Some(start) = self.episode_start.take() {
+                let latency = now_ms.saturating_sub(start.as_millis());
+                #[allow(clippy::cast_precision_loss)]
+                analytics.episode_latency_ms.record(latency as f64);
+            }
+            #[allow(clippy::cast_precision_loss)]
+            analytics.reminders_per_episode.record(self.episode_reminders as f64);
+            self.episode_reminders = 0;
+
+            if rec.flags & EPISODE_COMPLETED != 0 {
+                self.episodes_completed += 1;
+                self.missed_streak = 0;
+            } else {
+                self.missed_streak += 1;
+                if self.missed_streak >= policy.missed_adl_streak {
+                    self.raise(policy, CareTrigger::MissedCriticalAdl, rec.at);
+                }
+            }
+
+            // Compliance-trend window: first full window is the
+            // baseline, later windows drift when they are worse than
+            // baseline by more than num/den.
+            self.window_episodes += 1;
+            if self.window_episodes >= policy.drift_window {
+                let w = self.window_reminders;
+                self.trend_windows += 1;
+                match self.baseline {
+                    None => self.baseline = Some(w),
+                    Some(base) => {
+                        if w >= policy.drift_min_reminders
+                            && w.saturating_mul(policy.drift_den)
+                                > base.saturating_mul(policy.drift_num)
+                        {
+                            self.raise(policy, CareTrigger::ComplianceDrift, rec.at);
+                        }
+                    }
+                }
+                self.window_episodes = 0;
+                self.window_reminders = 0;
+            }
+        }
+    }
+
+    /// Ends the fold at the run horizon: remaining caregiver actions
+    /// due by then happen, and the home contributes its compliance
+    /// sample to the fleet analytics. Idempotent.
+    pub fn finish(&mut self, policy: &CarePolicy, horizon: SimTime, analytics: &mut FleetAnalytics) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.drain_due(policy, horizon.as_millis());
+        if self.episodes_ended > 0 {
+            #[allow(clippy::cast_precision_loss)]
+            let pct = (self.episodes_completed * 100) as f64 / self.episodes_ended as f64;
+            analytics.compliance_pct.record(pct);
+        }
+    }
+
+    fn raise(&mut self, policy: &CarePolicy, trigger: CareTrigger, at: SimTime) {
+        let slot = trigger as usize;
+        if self.open[slot].is_some() {
+            // An open escalation absorbs further crossings — this is
+            // the never-flap guarantee.
+            return;
+        }
+        let severity = trigger.severity();
+        self.push_event(at, CareEventKind::Raised, severity, trigger);
+        self.open[slot] = Some(OpenCare {
+            severity,
+            acked: false,
+            next_due_ms: policy.ack_due_ms(at.as_millis(), severity),
+        });
+        match trigger {
+            CareTrigger::RepeatedPromptFailures => self.fail_streak = 0,
+            CareTrigger::MissedCriticalAdl => self.missed_streak = 0,
+            CareTrigger::ComplianceDrift => {}
+        }
+    }
+
+    /// Emits every caregiver action due at or before `now_ms`, in due
+    /// order (ties break on trigger index).
+    fn drain_due(&mut self, policy: &CarePolicy, now_ms: u64) {
+        loop {
+            let mut next: Option<(u64, usize)> = None;
+            for (slot, open) in self.open.iter().enumerate() {
+                if let Some(o) = open {
+                    if o.next_due_ms <= now_ms
+                        && next.is_none_or(|(due, _)| o.next_due_ms < due)
+                    {
+                        next = Some((o.next_due_ms, slot));
+                    }
+                }
+            }
+            let Some((due, slot)) = next else { return };
+            let trigger = CareTrigger::ALL[slot];
+            let at = SimTime::from_millis(due);
+            let o = self.open[slot].as_mut().expect("slot was just inspected");
+            if o.acked {
+                let severity = o.severity;
+                self.open[slot] = None;
+                self.push_event(at, CareEventKind::Resolved, severity, trigger);
+            } else {
+                o.acked = true;
+                o.next_due_ms = due.saturating_add(policy.resolve_after_ms);
+                let severity = o.severity;
+                self.push_event(at, CareEventKind::Acked, severity, trigger);
+            }
+        }
+    }
+
+    fn push_event(
+        &mut self,
+        at: SimTime,
+        kind: CareEventKind,
+        severity: Severity,
+        trigger: CareTrigger,
+    ) {
+        self.events.push(CareEvent { at, home: self.home, seq: self.next_seq, kind, severity, trigger });
+        self.next_seq += 1;
+    }
+}
+
+/// A whole run's care output: the globally ordered escalation log plus
+/// the fleet analytics reduction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CareOutput {
+    /// Every escalation event, sorted by `(at, home, seq)`.
+    pub events: Vec<CareEvent>,
+    /// Fleet-wide quantile rollup.
+    pub analytics: FleetAnalytics,
+}
+
+impl CareOutput {
+    /// The full escalation log, one deterministic line per event.
+    #[must_use]
+    pub fn render_log(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deterministic care summary: escalation counts by severity and
+    /// lifecycle stage, then the fleet analytics quantiles.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut raised = [0u64; 3];
+        let mut acked = 0u64;
+        let mut resolved = 0u64;
+        for ev in &self.events {
+            match ev.kind {
+                CareEventKind::Raised => raised[ev.severity as usize] += 1,
+                CareEventKind::Acked => acked += 1,
+                CareEventKind::Resolved => resolved += 1,
+            }
+        }
+        let total: u64 = raised.iter().sum();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "caregiver escalations: {total} raised ({} notice, {} warning, {} critical), \
+             {acked} acked, {resolved} resolved\n",
+            raised[Severity::Notice as usize],
+            raised[Severity::Warning as usize],
+            raised[Severity::Critical as usize],
+        ));
+        out.push_str("fleet analytics:\n");
+        out.push_str(&self.analytics.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::NO_ACT;
+
+    fn rec(at_ms: u64, home: u32) -> WalRecord {
+        WalRecord {
+            at: SimTime::from_millis(at_ms),
+            home,
+            act: NO_ACT,
+            flags: 0,
+            reminders: 0,
+            praises: 0,
+            sessions_started: 0,
+            sessions_completed: 0,
+            sessions_abandoned: 0,
+            cross_activity: 0,
+        }
+    }
+
+    fn reminder(at_ms: u64, n: u8) -> WalRecord {
+        WalRecord { reminders: n, ..rec(at_ms, 0) }
+    }
+
+    fn policy() -> CarePolicy {
+        CarePolicy {
+            prompt_failure_streak: 3,
+            missed_adl_streak: 2,
+            ack_delay_ms: [4_000, 2_000, 1_000],
+            resolve_after_ms: 5_000,
+            ..CarePolicy::default()
+        }
+    }
+
+    #[test]
+    fn prompt_failures_fire_exactly_once_at_the_threshold() {
+        let p = policy();
+        let mut m = CareMonitor::new(0);
+        let mut a = FleetAnalytics::new();
+        m.observe(&p, &reminder(1_000, 1), &mut a);
+        m.observe(&p, &reminder(2_000, 1), &mut a);
+        assert!(m.events().is_empty(), "below threshold, nothing fires");
+        m.observe(&p, &reminder(3_000, 1), &mut a);
+        let raised: Vec<_> =
+            m.events().iter().filter(|e| e.kind == CareEventKind::Raised).collect();
+        assert_eq!(raised.len(), 1, "fires exactly at the third unanswered reminder");
+        assert_eq!(raised[0].at.as_millis(), 3_000);
+        assert_eq!(raised[0].severity, Severity::Warning);
+        assert_eq!(raised[0].trigger, CareTrigger::RepeatedPromptFailures);
+        // Further failures while the escalation is open never flap.
+        m.observe(&p, &reminder(3_500, 3), &mut a);
+        m.observe(&p, &reminder(3_600, 3), &mut a);
+        let raised = m.events().iter().filter(|e| e.kind == CareEventKind::Raised).count();
+        assert_eq!(raised, 1, "open escalation absorbs further crossings");
+    }
+
+    #[test]
+    fn praise_clears_the_failure_streak() {
+        let p = policy();
+        let mut m = CareMonitor::new(0);
+        let mut a = FleetAnalytics::new();
+        m.observe(&p, &reminder(1_000, 2), &mut a);
+        m.observe(&p, &WalRecord { praises: 1, ..rec(2_000, 0) }, &mut a);
+        m.observe(&p, &reminder(3_000, 2), &mut a);
+        assert!(m.events().is_empty(), "praise at 2s reset the streak");
+    }
+
+    #[test]
+    fn ack_then_resolve_then_refire() {
+        let p = policy();
+        let mut m = CareMonitor::new(7);
+        let mut a = FleetAnalytics::new();
+        m.observe(&p, &WalRecord { home: 7, ..reminder(1_000, 3) }, &mut a);
+        // Warning acks after 2s, resolves 5s later; a fresh streak
+        // after resolution fires a second escalation.
+        m.observe(&p, &WalRecord { home: 7, ..reminder(20_000, 3) }, &mut a);
+        let kinds: Vec<_> = m.events().iter().map(|e| (e.at.as_millis(), e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (1_000, CareEventKind::Raised),
+                (3_000, CareEventKind::Acked),
+                (8_000, CareEventKind::Resolved),
+                (20_000, CareEventKind::Raised),
+            ],
+        );
+        // Per-home seq is monotone and events are in time order.
+        for (i, ev) in m.events().iter().enumerate() {
+            assert_eq!(ev.seq, u32::try_from(i).expect("few events"));
+            assert_eq!(ev.home, 7);
+        }
+    }
+
+    #[test]
+    fn no_ack_window_defers_the_ack() {
+        let mut p = policy();
+        // Warning raised at 1s would ack at 3s; the outage covers it.
+        p.no_ack_windows = vec![(2_000, 10_000)];
+        let mut m = CareMonitor::new(0);
+        let mut a = FleetAnalytics::new();
+        m.observe(&p, &reminder(1_000, 3), &mut a);
+        m.finish(&p, SimTime::from_millis(60_000), &mut a);
+        let acked: Vec<_> =
+            m.events().iter().filter(|e| e.kind == CareEventKind::Acked).collect();
+        assert_eq!(acked.len(), 1);
+        assert_eq!(
+            acked[0].at.as_millis(),
+            12_000,
+            "ack slips to window end (10s) + warning delay (2s)"
+        );
+    }
+
+    #[test]
+    fn missed_episodes_escalate_critical_and_analytics_sample() {
+        let p = policy();
+        let mut m = CareMonitor::new(0);
+        let mut a = FleetAnalytics::new();
+        let start = WalRecord { flags: EPISODE_STARTED, ..rec(1_000, 0) };
+        let fail = WalRecord { flags: EPISODE_ENDED, ..rec(5_000, 0) };
+        m.observe(&p, &start, &mut a);
+        m.observe(&p, &fail, &mut a);
+        assert!(m.events().is_empty(), "one miss is below the streak of 2");
+        m.observe(&p, &WalRecord { flags: EPISODE_STARTED, ..rec(6_000, 0) }, &mut a);
+        m.observe(&p, &WalRecord { flags: EPISODE_ENDED, ..rec(9_000, 0) }, &mut a);
+        let raised: Vec<_> =
+            m.events().iter().filter(|e| e.kind == CareEventKind::Raised).collect();
+        assert_eq!(raised.len(), 1);
+        assert_eq!(raised[0].severity, Severity::Critical);
+        assert_eq!(raised[0].trigger, CareTrigger::MissedCriticalAdl);
+        assert_eq!(a.episode_latency_ms.total(), 2, "both episodes sampled");
+        m.finish(&p, SimTime::from_millis(60_000), &mut a);
+        assert_eq!(a.compliance_pct.total(), 1, "one per-home compliance sample");
+        m.finish(&p, SimTime::from_millis(60_000), &mut a);
+        assert_eq!(a.compliance_pct.total(), 1, "finish is idempotent");
+    }
+
+    #[test]
+    fn drift_fires_when_a_window_outgrows_the_baseline() {
+        let p = CarePolicy {
+            drift_window: 2,
+            drift_num: 3,
+            drift_den: 2,
+            drift_min_reminders: 4,
+            // Thresholds high enough that only drift can fire here.
+            prompt_failure_streak: 1_000,
+            missed_adl_streak: 1_000,
+            ..policy()
+        };
+        let mut m = CareMonitor::new(0);
+        let mut a = FleetAnalytics::new();
+        let ended = |at_ms: u64, reminders: u8| WalRecord {
+            flags: EPISODE_ENDED | EPISODE_COMPLETED,
+            reminders,
+            praises: 1,
+            ..rec(at_ms, 0)
+        };
+        // Baseline window: 2 episodes, 2 reminders.
+        m.observe(&p, &ended(1_000, 1), &mut a);
+        m.observe(&p, &ended(2_000, 1), &mut a);
+        assert_eq!(m.trend_windows(), 1);
+        // Second window: 6 reminders — 3x the baseline, past 3/2.
+        m.observe(&p, &ended(3_000, 3), &mut a);
+        m.observe(&p, &ended(4_000, 3), &mut a);
+        let raised: Vec<_> =
+            m.events().iter().filter(|e| e.kind == CareEventKind::Raised).collect();
+        assert_eq!(raised.len(), 1);
+        assert_eq!(raised[0].trigger, CareTrigger::ComplianceDrift);
+        assert_eq!(raised[0].severity, Severity::Notice);
+        assert_eq!(m.trend_windows(), 2);
+    }
+
+    #[test]
+    fn event_codec_round_trips_and_rejects_phantom_discriminants() {
+        let ev = CareEvent {
+            at: SimTime::from_millis(123_456),
+            home: 42,
+            seq: 7,
+            kind: CareEventKind::Acked,
+            severity: Severity::Critical,
+            trigger: CareTrigger::MissedCriticalAdl,
+        };
+        let bytes = ev.to_bytes();
+        assert_eq!(CareEvent::from_bytes(&bytes), Some(ev));
+        for idx in [16usize, 17, 18] {
+            let mut bad = bytes;
+            bad[idx] = 9;
+            assert_eq!(CareEvent::from_bytes(&bad), None, "byte {idx} discriminant 9");
+        }
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let ev = CareEvent {
+            at: SimTime::from_millis(5_000),
+            home: 3,
+            seq: 0,
+            kind: CareEventKind::Raised,
+            severity: Severity::Warning,
+            trigger: CareTrigger::RepeatedPromptFailures,
+        };
+        assert_eq!(
+            ev.render(),
+            "[    5000ms] home    3 #0   raised   warning (repeated_prompt_failures)"
+        );
+        let out = CareOutput { events: vec![ev], ..CareOutput::default() };
+        assert!(out.render().starts_with(
+            "caregiver escalations: 1 raised (0 notice, 1 warning, 0 critical), 0 acked, 0 resolved\n"
+        ));
+        assert!(out.render_log().ends_with("\n"));
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod baseline;
 pub mod checkpoint;
+pub mod escalation;
 pub mod fleet;
 pub mod home;
 pub mod live;
@@ -76,15 +77,20 @@ pub use checkpoint::{
     HomeCheckpoint, HomeDelta, LearnedDelta, MetroCheckpoint, NodeDelta, RestDelta, SlotsDelta,
     SystemDelta,
 };
+pub use escalation::{
+    CareEvent, CareEventKind, CareMonitor, CareOutput, CarePolicy, CareTrigger, FleetAnalytics,
+    Severity,
+};
 pub use home::{CoredaHome, HomeError};
 pub use live::{EpisodeLog, LogKind, PatientBehavior, ScriptedBehavior, StochasticBehavior};
 pub use planning::{LearnerKind, PlanningConfig, PlanningSubsystem, RewardConfig, StateEncoder};
 pub use reminding::{Prompt, Reminder, ReminderLevel, ReminderMethod, RemindingSubsystem, Trigger};
 pub use metro::{
     collect_served, resume_scale, resume_scale_checkpointed, resume_scale_durable,
-    resume_scale_traced, run_scale, run_scale_checkpointed, run_scale_checkpointed_traced,
-    run_scale_durable, run_scale_walled, DurableRun, EngineKind, HomeStats, MetroConfig,
-    ScaleReport, ServeCtx, ServeSession, ServedShard,
+    resume_scale_traced, run_scale, run_scale_care, run_scale_care_traced, run_scale_care_walled,
+    run_scale_checkpointed, run_scale_checkpointed_traced, run_scale_durable, run_scale_walled,
+    DurableRun, EngineKind, FleetTooLarge, HomeStats, MetroConfig, ScaleReport, ServeCtx,
+    ServeSession, ServedShard,
 };
 pub use report::DailyReport;
 pub use sensing::{SensingSubsystem, StepEvent};

@@ -49,6 +49,7 @@ use crate::checkpoint::{
     compact, config_digest, delta_checkpoint, CheckpointError, DeltaCheckpoint, HomeCheckpoint,
     MetroCheckpoint,
 };
+use crate::escalation::{CareEvent, CareEventKind, CareMonitor, CareOutput, CarePolicy, FleetAnalytics};
 use crate::fleet::{default_jobs, derive_seed, FleetEngine};
 use crate::live::StochasticBehavior;
 use crate::planning::PlanningSubsystem;
@@ -416,6 +417,35 @@ fn record_session_event(rec: &mut HomeRecorder, ev: SessionEvent) {
     }
 }
 
+/// Bumps the home's escalation counters for freshly emitted care
+/// events — per-home recorders, so the counts merge in home order like
+/// every other telemetry stream.
+fn count_care_events(rec: &mut HomeRecorder, fresh: &[CareEvent]) {
+    for ev in fresh {
+        rec.inc(match ev.kind {
+            CareEventKind::Raised => Ctr::EscalationsRaised,
+            CareEventKind::Acked => Ctr::EscalationsAcked,
+            CareEventKind::Resolved => Ctr::EscalationsResolved,
+        });
+    }
+}
+
+/// Per-shard escalation overlay: one [`CareMonitor`] per home folding
+/// the derived WAL records, plus the shard's share of the fleet
+/// analytics reduction. Lives beside — never inside — the home arenas,
+/// because care is an observation-only layer: it reads the derived
+/// records and writes nothing back into the simulation.
+struct CareState {
+    policy: CarePolicy,
+    /// Monitors indexed by shard-local home id.
+    monitors: Vec<CareMonitor>,
+    analytics: FleetAnalytics,
+    /// Guards [`Shard::finish_care`]: the served path finishes care
+    /// explicitly (to deliver trailing events) before the shard fold
+    /// runs it again.
+    finished: bool,
+}
+
 /// One worker's contiguous slice of the fleet, struct-of-arrays: parallel
 /// vectors indexed by shard-local home index, the per-activity [`Coreda`]
 /// systems in one home-major arena (`systems[home * acts + act]`).
@@ -449,6 +479,9 @@ struct Shard<'a> {
     /// Write-ahead event log: `Some` when the run appends one record per
     /// observable-transition wake (quiet wakes append nothing).
     wal: Option<Vec<WalRecord>>,
+    /// Caregiver escalation overlay: `Some` when the run watches the
+    /// derived records for escalation triggers.
+    care: Option<CareState>,
     /// One behaviour serves the whole shard: it holds only the shared
     /// profile and call-local scratch, never per-home state.
     behavior: StochasticBehavior,
@@ -462,6 +495,7 @@ struct Shard<'a> {
 }
 
 impl<'a> Shard<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn build(
         cfg: &MetroConfig,
         ctx: &'a FleetCtx,
@@ -470,6 +504,7 @@ impl<'a> Shard<'a> {
         record: bool,
         trace: bool,
         log: bool,
+        care: Option<&CarePolicy>,
     ) -> Self {
         let acts = ctx.specs.len();
         let mut systems = Vec::with_capacity(count * acts);
@@ -514,6 +549,14 @@ impl<'a> Shard<'a> {
             taps: record.then(|| (0..count).map(|_| Vec::new()).collect()),
             recs: trace.then(|| (0..count).map(|_| HomeRecorder::new()).collect()),
             wal: log.then(Vec::new),
+            care: care.map(|policy| CareState {
+                policy: policy.clone(),
+                monitors: (first_home..first_home + count)
+                    .map(|id| CareMonitor::new(u32::try_from(id).expect("fleets fit in u32")))
+                    .collect(),
+                analytics: FleetAnalytics::new(),
+                finished: false,
+            }),
             behavior: StochasticBehavior::new(PatientProfile::moderate(RESIDENT)),
             scratch_sessions: Vec::new(),
             batch: Vec::new(),
@@ -645,13 +688,33 @@ impl<'a> Shard<'a> {
     /// is what makes the log identical across engines and O(activity)
     /// in cost.
     fn poll_wake(&mut self, i: usize, now: SimTime) {
-        if self.wal.is_none() {
+        if self.wal.is_none() && self.care.is_none() {
             self.poll_instant(i, now);
             return;
         }
         let before = self.stats[i];
         let ep_before = self.episodes[i].is_some();
         self.poll_instant(i, now);
+        // Quiet wake — the overwhelming majority under dense polling:
+        // every counter a record could carry is unchanged and the
+        // episode slot did not flip, so the derived record would be
+        // trivial. Bail before building it; this keeps the overlay and
+        // the log at O(activity) rather than O(ticks).
+        {
+            let after = &self.stats[i];
+            if ep_before == self.episodes[i].is_some()
+                && after.episodes_started == before.episodes_started
+                && after.episodes_completed == before.episodes_completed
+                && after.reminders == before.reminders
+                && after.praises == before.praises
+                && after.sessions_started == before.sessions_started
+                && after.sessions_completed == before.sessions_completed
+                && after.sessions_abandoned == before.sessions_abandoned
+                && after.cross_activity_flags == before.cross_activity_flags
+            {
+                return;
+            }
+        }
         let after = self.stats[i];
         let started = after.episodes_started > before.episodes_started;
         let ep_after = self.episodes[i].is_some();
@@ -693,7 +756,19 @@ impl<'a> Shard<'a> {
             cross_activity: d8(after.cross_activity_flags, before.cross_activity_flags),
         };
         if !record.is_trivial() {
-            self.wal.as_mut().expect("checked above").push(record);
+            if let Some(care) = self.care.as_mut() {
+                // The monitor is a pure fold over the derived records —
+                // the same stream the log stores — so the escalation log
+                // inherits the WAL's jobs/engine/served invariances.
+                let seen = care.monitors[i].events().len();
+                care.monitors[i].observe(&care.policy, &record, &mut care.analytics);
+                if let Some(recs) = self.recs.as_mut() {
+                    count_care_events(&mut recs[i], &care.monitors[i].events()[seen..]);
+                }
+            }
+            if let Some(wal) = self.wal.as_mut() {
+                wal.push(record);
+            }
         }
     }
 
@@ -793,6 +868,9 @@ struct ChunkOut {
     /// One entry per requested stop: `(processed events at the stop,
     /// per-home snapshots)`, shard-local.
     checkpoints: Vec<(u64, Vec<HomeCheckpoint>)>,
+    /// Shard-local escalation log (home-major, per-home time order) and
+    /// analytics, when the care overlay ran.
+    care: Option<CareOutput>,
 }
 
 impl Shard<'_> {
@@ -898,14 +976,43 @@ impl Shard<'_> {
         (sim.processed(), snaps)
     }
 
+    /// Ends each home's care fold at `horizon` (caregiver actions due by
+    /// then happen; the home samples its compliance into the analytics)
+    /// and bumps the per-home escalation counters for whatever the
+    /// drain emitted. Idempotent — the monitors guard their own finish.
+    fn finish_care(&mut self, horizon: SimTime) {
+        let Some(care) = self.care.as_mut() else { return };
+        if care.finished {
+            return;
+        }
+        care.finished = true;
+        for (i, monitor) in care.monitors.iter_mut().enumerate() {
+            let seen = monitor.events().len();
+            monitor.finish(&care.policy, horizon, &mut care.analytics);
+            if let Some(recs) = self.recs.as_mut() {
+                count_care_events(&mut recs[i], &monitor.events()[seen..]);
+                recs[i].add(Ctr::CareTrendWindows, monitor.trend_windows());
+            }
+        }
+    }
+
     /// Folds the shard's arenas into a [`ChunkOut`], recomputing each
     /// home's energy from its (possibly restored) node meters.
-    fn finish(mut self, des_events: u64, max_pending: usize, checkpoints: Vec<(u64, Vec<HomeCheckpoint>)>) -> ChunkOut {
+    fn finish(mut self, horizon: SimTime, des_events: u64, max_pending: usize, checkpoints: Vec<(u64, Vec<HomeCheckpoint>)>) -> ChunkOut {
+        self.finish_care(horizon);
         let acts = self.acts;
         for (i, stats) in self.stats.iter_mut().enumerate() {
             stats.energy_uj =
                 self.systems[i * acts..(i + 1) * acts].iter().map(Coreda::total_energy_uj).sum();
         }
+        let care = self.care.map(|care| {
+            let mut out = CareOutput::default();
+            for monitor in care.monitors {
+                out.events.extend_from_slice(monitor.events());
+            }
+            out.analytics = care.analytics;
+            out
+        });
         ChunkOut {
             stats: self.stats,
             taps: self.taps,
@@ -914,6 +1021,7 @@ impl Shard<'_> {
             des_events,
             max_pending,
             checkpoints,
+            care,
         }
     }
 }
@@ -927,10 +1035,11 @@ fn run_chunk(
     record: bool,
     trace: bool,
     log: bool,
+    care: Option<&CarePolicy>,
     stops: &[SimTime],
     resume: Option<&[HomeCheckpoint]>,
 ) -> ChunkOut {
-    let mut shard = Shard::build(cfg, ctx, first_home, count, record, trace, log);
+    let mut shard = Shard::build(cfg, ctx, first_home, count, record, trace, log, care);
     let horizon_end = SimTime::ZERO + cfg.horizon;
 
     let mut sim: Simulator<Wake> = match cfg.engine {
@@ -971,7 +1080,7 @@ fn run_chunk(
         checkpoints.push(shard.capture(&sim));
     }
     shard.segment(&mut sim, cfg.engine, horizon_end);
-    shard.finish(sim.processed(), sim.max_pending(), checkpoints)
+    shard.finish(horizon_end, sim.processed(), sim.max_pending(), checkpoints)
 }
 
 /// Serves `cfg.homes` households for `cfg.horizon`, sharded across
@@ -1014,7 +1123,7 @@ pub struct TraceOutput {
 /// engines (recorders are merged in home order).
 #[must_use]
 pub fn run_scale_traced(cfg: &MetroConfig) -> TraceOutput {
-    run_scale_inner(cfg, false, true, false, &[], None)
+    run_scale_inner(cfg, false, true, false, None, &[], None)
         .expect("a run without a resume source cannot mismatch")
         .0
 }
@@ -1034,7 +1143,7 @@ pub fn run_scale_checkpointed(
     cfg: &MetroConfig,
     stops: &[SimTime],
 ) -> (ScaleReport, Vec<MetroCheckpoint>) {
-    let (out, ckpts, _) = run_scale_inner(cfg, false, false, false, stops, None)
+    let (out, ckpts, _, _) = run_scale_inner(cfg, false, false, false, None, stops, None)
         .expect("a run without a resume source cannot mismatch");
     (out.report, ckpts)
 }
@@ -1051,7 +1160,7 @@ pub fn run_scale_checkpointed_traced(
     cfg: &MetroConfig,
     stops: &[SimTime],
 ) -> (TraceOutput, Vec<MetroCheckpoint>) {
-    let (out, ckpts, _) = run_scale_inner(cfg, false, true, false, stops, None)
+    let (out, ckpts, _, _) = run_scale_inner(cfg, false, true, false, None, stops, None)
         .expect("a run without a resume source cannot mismatch");
     (out, ckpts)
 }
@@ -1070,7 +1179,7 @@ pub fn resume_scale(
     cfg: &MetroConfig,
     ckpt: &MetroCheckpoint,
 ) -> Result<ScaleReport, CheckpointError> {
-    run_scale_inner(cfg, false, false, false, &[], Some(ckpt)).map(|(out, _, _)| out.report)
+    run_scale_inner(cfg, false, false, false, None, &[], Some(ckpt)).map(|(out, ..)| out.report)
 }
 
 /// [`resume_scale`] with the flight recorder on. When the snapshot was
@@ -1084,7 +1193,7 @@ pub fn resume_scale_traced(
     cfg: &MetroConfig,
     ckpt: &MetroCheckpoint,
 ) -> Result<TraceOutput, CheckpointError> {
-    run_scale_inner(cfg, false, true, false, &[], Some(ckpt)).map(|(out, _, _)| out)
+    run_scale_inner(cfg, false, true, false, None, &[], Some(ckpt)).map(|(out, ..)| out)
 }
 
 /// Resume *and* keep checkpointing: continues from `ckpt` and snapshots
@@ -1103,8 +1212,8 @@ pub fn resume_scale_checkpointed(
     ckpt: &MetroCheckpoint,
     stops: &[SimTime],
 ) -> Result<(ScaleReport, Vec<MetroCheckpoint>), CheckpointError> {
-    run_scale_inner(cfg, false, false, false, stops, Some(ckpt))
-        .map(|(out, ckpts, _)| (out.report, ckpts))
+    run_scale_inner(cfg, false, false, false, None, stops, Some(ckpt))
+        .map(|(out, ckpts, _, _)| (out.report, ckpts))
 }
 
 /// A durable run's on-disk artifacts: one full base snapshot, a chain of
@@ -1148,9 +1257,45 @@ impl DurableRun {
 /// (records are derived from counter diffs, never fed back).
 #[must_use]
 pub fn run_scale_walled(cfg: &MetroConfig) -> (ScaleReport, Vec<WalRecord>) {
-    let (out, _, wal) = run_scale_inner(cfg, false, false, true, &[], None)
+    let (out, _, wal, _) = run_scale_inner(cfg, false, false, true, None, &[], None)
         .expect("a run without a resume source cannot mismatch");
     (out.report, wal.expect("wal was requested"))
+}
+
+/// [`run_scale`] with the caregiver escalation overlay on: every home's
+/// derived transition stream feeds a [`CareMonitor`], and the run
+/// returns the fleet-ordered escalation log plus the fleet analytics
+/// quantile rollup. The overlay is observation-only — the report is
+/// bit-identical to a plain [`run_scale`] — and the care output is
+/// bit-identical at any worker count, on either engine, and served ≡
+/// batch.
+#[must_use]
+pub fn run_scale_care(cfg: &MetroConfig, policy: &CarePolicy) -> (ScaleReport, CareOutput) {
+    let (out, _, _, care) = run_scale_inner(cfg, false, false, false, Some(policy), &[], None)
+        .expect("a run without a resume source cannot mismatch");
+    (out.report, care.expect("care was requested"))
+}
+
+/// [`run_scale_care`] with the flight recorder on: the telemetry gains
+/// the `escalations_raised/acked/resolved` and `care_trend_windows`
+/// counters alongside the care output.
+#[must_use]
+pub fn run_scale_care_traced(cfg: &MetroConfig, policy: &CarePolicy) -> (TraceOutput, CareOutput) {
+    let (out, _, _, care) = run_scale_inner(cfg, false, true, false, Some(policy), &[], None)
+        .expect("a run without a resume source cannot mismatch");
+    (out, care.expect("care was requested"))
+}
+
+/// [`run_scale_care`] with the write-ahead log on too — the input the
+/// escalation-consistency oracle cross-checks the care log against.
+#[must_use]
+pub fn run_scale_care_walled(
+    cfg: &MetroConfig,
+    policy: &CarePolicy,
+) -> (ScaleReport, Vec<WalRecord>, CareOutput) {
+    let (out, _, wal, care) = run_scale_inner(cfg, false, false, true, Some(policy), &[], None)
+        .expect("a run without a resume source cannot mismatch");
+    (out.report, wal.expect("wal was requested"), care.expect("care was requested"))
 }
 
 /// Runs a serve with incremental durability: a full snapshot at
@@ -1166,7 +1311,7 @@ pub fn run_scale_walled(cfg: &MetroConfig) -> (ScaleReport, Vec<WalRecord>) {
 #[must_use]
 pub fn run_scale_durable(cfg: &MetroConfig, stops: &[SimTime]) -> (ScaleReport, DurableRun) {
     assert!(!stops.is_empty(), "a durable run needs at least one checkpoint stop");
-    let (out, ckpts, wal) = run_scale_inner(cfg, false, false, true, stops, None)
+    let (out, ckpts, wal, _) = run_scale_inner(cfg, false, false, true, None, stops, None)
         .expect("a run without a resume source cannot mismatch");
     let mut iter = ckpts.into_iter();
     let base = iter.next().expect("stops is non-empty");
@@ -1199,7 +1344,7 @@ pub fn resume_scale_durable(
     run: &DurableRun,
 ) -> Result<ScaleReport, CheckpointError> {
     let ckpt = run.compacted()?;
-    let (out, _, regen) = run_scale_inner(cfg, false, false, true, &[], Some(&ckpt))?;
+    let (out, _, regen, _) = run_scale_inner(cfg, false, false, true, None, &[], Some(&ckpt))?;
     let regen = regen.expect("wal was requested");
     // The stored tail past the checkpoint and the regenerated stream
     // must agree record-for-record over their common extent (horizons
@@ -1215,21 +1360,25 @@ pub fn resume_scale_durable(
 }
 
 fn run_scale_with(cfg: &MetroConfig, record: bool) -> ScaleReport {
-    run_scale_inner(cfg, record, false, false, &[], None)
+    run_scale_inner(cfg, record, false, false, None, &[], None)
         .expect("a run without a resume source cannot mismatch")
         .0
         .report
 }
 
-/// What one serve produces: trace output, checkpoints at each stop, and
-/// the event log when one was requested.
-type InnerRun = (TraceOutput, Vec<MetroCheckpoint>, Option<Vec<WalRecord>>);
+/// What one serve produces: trace output, checkpoints at each stop, the
+/// event log when one was requested, and the care output when the
+/// escalation overlay ran.
+type InnerRun =
+    (TraceOutput, Vec<MetroCheckpoint>, Option<Vec<WalRecord>>, Option<CareOutput>);
 
+#[allow(clippy::too_many_arguments)]
 fn run_scale_inner(
     cfg: &MetroConfig,
     record: bool,
     trace: bool,
     log: bool,
+    care: Option<&CarePolicy>,
     stops: &[SimTime],
     resume: Option<&MetroCheckpoint>,
 ) -> Result<InnerRun, CheckpointError> {
@@ -1279,12 +1428,13 @@ fn run_scale_inner(
     let engine = FleetEngine::new(cfg.jobs);
     let results = engine.map(chunks, |(first, count)| {
         let shard_resume = resume.map(|ckpt| &ckpt.homes[first..first + count]);
-        run_chunk(cfg, &ctx, first, count, record, trace, log, stops, shard_resume)
+        run_chunk(cfg, &ctx, first, count, record, trace, log, care, stops, shard_resume)
     });
 
     let mut per_home = Vec::with_capacity(cfg.homes);
     let mut events = record.then(|| Vec::with_capacity(cfg.homes));
     let mut wal_records = log.then(Vec::new);
+    let mut care_out = care.map(|_| CareOutput::default());
     let mut telemetry = Telemetry::default();
     let mut des_events = base_des;
     let mut peak_pending = 0usize;
@@ -1309,6 +1459,13 @@ fn run_scale_inner(
         }
         if let (Some(all), Some(records)) = (wal_records.as_mut(), chunk.wal) {
             all.extend(records);
+        }
+        if let (Some(out), Some(chunk_care)) = (care_out.as_mut(), chunk.care) {
+            // Chunk order is home order, so events arrive home-major and
+            // the analytics merge is deterministic whatever the worker
+            // count (histogram merge is also order-insensitive).
+            out.events.extend(chunk_care.events);
+            out.analytics.merge(&chunk_care.analytics);
         }
         des_events = des_events.saturating_add(chunk.des_events);
         peak_pending = peak_pending.max(chunk.max_pending);
@@ -1337,12 +1494,41 @@ fn run_scale_inner(
         // record per `(at, home)`), making the log jobs-invariant.
         all.sort_unstable_by_key(|r| (r.at, r.home));
     }
-    Ok((TraceOutput { report, telemetry, peak_pending }, checkpoints, wal_records))
+    if let Some(out) = care_out.as_mut() {
+        // Home-major shard streams → the unique global time order; the
+        // per-home monotone seq breaks same-instant ties so the sorted
+        // log is identical at any worker count.
+        out.events.sort_unstable_by_key(|e| (e.at, e.home, e.seq));
+    }
+    Ok((TraceOutput { report, telemetry, peak_pending }, checkpoints, wal_records, care_out))
 }
 
 // ---------------------------------------------------------------------------
 // Online serving sessions
 // ---------------------------------------------------------------------------
+
+/// A serve configuration names more homes than the wire protocol can
+/// address: CRSV frames carry home ids as `u32`, so the largest legal
+/// fleet is `u32::MAX + 1` homes. Returned by [`ServeCtx::new`] at
+/// setup — the one place fleet size is decided — instead of panicking
+/// mid-shard when the first oversized id is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetTooLarge {
+    /// The configured fleet size that does not fit.
+    pub homes: usize,
+}
+
+impl std::fmt::Display for FleetTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fleet of {} homes exceeds the wire protocol's u32 home-id space",
+            self.homes
+        )
+    }
+}
+
+impl std::error::Error for FleetTooLarge {}
 
 /// Run-wide shared state for an externally driven (served) fleet: the
 /// configuration plus the immutable [`FleetCtx`] every shard borrows.
@@ -1354,21 +1540,43 @@ pub struct ServeCtx {
     cfg: MetroConfig,
     ctx: FleetCtx,
     digest: u64,
+    care: Option<CarePolicy>,
 }
 
 impl std::fmt::Debug for ServeCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServeCtx").field("cfg", &self.cfg).field("digest", &self.digest).finish()
+        f.debug_struct("ServeCtx")
+            .field("cfg", &self.cfg)
+            .field("digest", &self.digest)
+            .field("care", &self.care.is_some())
+            .finish()
     }
 }
 
 impl ServeCtx {
-    /// Builds the shared context (trains the planner templates once).
-    #[must_use]
-    pub fn new(cfg: MetroConfig) -> ServeCtx {
+    /// Builds the shared context (trains the planner templates once),
+    /// validating that every home id fits the wire protocol's `u32`
+    /// address space up front.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetTooLarge`] when `cfg.homes` cannot be addressed — the
+    /// config-validation form of what used to be a mid-shard panic.
+    pub fn new(cfg: MetroConfig) -> Result<ServeCtx, FleetTooLarge> {
+        if cfg.homes.saturating_sub(1) > u32::MAX as usize {
+            return Err(FleetTooLarge { homes: cfg.homes });
+        }
         let ctx = FleetCtx::build(&cfg);
         let digest = config_digest(&cfg);
-        ServeCtx { cfg, ctx, digest }
+        Ok(ServeCtx { cfg, ctx, digest, care: None })
+    }
+
+    /// Turns the caregiver escalation overlay on for every session this
+    /// context opens.
+    #[must_use]
+    pub fn with_care(mut self, policy: CarePolicy) -> ServeCtx {
+        self.care = Some(policy);
+        self
     }
 
     /// The serve's configuration.
@@ -1411,7 +1619,8 @@ impl ServeCtx {
     /// the batch path.
     #[must_use]
     pub fn session(&self, first_home: usize, count: usize, record: bool, trace: bool) -> ServeSession<'_> {
-        let shard = Shard::build(&self.cfg, &self.ctx, first_home, count, record, trace, true);
+        let shard =
+            Shard::build(&self.cfg, &self.ctx, first_home, count, record, trace, true, self.care.as_ref());
         let mut sim: Simulator<Wake> = match self.cfg.engine {
             EngineKind::Wheel => Simulator::new(),
             EngineKind::Heap => Simulator::with_heap_queue(),
@@ -1430,6 +1639,7 @@ impl ServeCtx {
             }
         }
         ServeSession {
+            care_cursors: vec![0; shard.len()],
             shard,
             sim,
             engine: self.cfg.engine,
@@ -1452,6 +1662,8 @@ pub struct ServeSession<'a> {
     horizon_end: SimTime,
     /// Records already drained into per-wake deliveries.
     wal_cursor: usize,
+    /// Per-home care events already drained into `Escalate` frames.
+    care_cursors: Vec<usize>,
 }
 
 impl std::fmt::Debug for ServeSession<'_> {
@@ -1548,13 +1760,47 @@ impl ServeSession<'_> {
         self.wal_cursor = wal.len();
     }
 
+    /// Appends `home`'s escalation events emitted since the last drain —
+    /// what the serving front end wraps into `Escalate` frames after
+    /// [`ServeSession::serve_home`]. No-op unless the context enabled
+    /// care ([`ServeCtx::with_care`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is outside the session's range.
+    pub fn drain_care(&mut self, home: u32, out: &mut Vec<CareEvent>) {
+        let i = (home as usize)
+            .checked_sub(self.shard.first_home)
+            .filter(|&i| i < self.shard.len())
+            .expect("home outside this session");
+        let Some(care) = self.shard.care.as_ref() else { return };
+        let events = care.monitors[i].events();
+        out.extend_from_slice(&events[self.care_cursors[i]..]);
+        self.care_cursors[i] = events.len();
+    }
+
+    /// Ends every home's care fold at the horizon and appends the
+    /// trailing events (acks/resolves due by then) in home order — the
+    /// final `Escalate` frames a server delivers before `Bye`. No-op
+    /// without care.
+    pub fn finish_care(&mut self, out: &mut Vec<CareEvent>) {
+        self.shard.finish_care(self.horizon_end);
+        let Some(care) = self.shard.care.as_ref() else { return };
+        for (i, monitor) in care.monitors.iter().enumerate() {
+            let events = monitor.events();
+            out.extend_from_slice(&events[self.care_cursors[i]..]);
+            self.care_cursors[i] = events.len();
+        }
+    }
+
     /// Folds the session into its shard result (recomputing per-home
     /// energy, as the batch path does at the end of a run).
     #[must_use]
     pub fn finish(self) -> ServedShard {
         let des_events = self.sim.processed();
         let max_pending = self.sim.max_pending();
-        ServedShard { out: self.shard.finish(des_events, max_pending, Vec::new()) }
+        let horizon = self.horizon_end;
+        ServedShard { out: self.shard.finish(horizon, des_events, max_pending, Vec::new()) }
     }
 }
 
@@ -1574,18 +1820,24 @@ impl std::fmt::Debug for ServedShard {
 }
 
 /// Merges finished served shards — in [`ServeCtx::chunks`] order — into
-/// the run's [`TraceOutput`] plus the fleet-ordered event log, with the
-/// exact merge the batch [`run_scale`] path performs. Under the sim
+/// the run's [`TraceOutput`] plus the fleet-ordered event log (and the
+/// care output when the context enabled the escalation overlay), with
+/// the exact merge the batch [`run_scale`] path performs. Under the sim
 /// clock the result is bit-identical to the batch run of the same
-/// configuration (grid, telemetry, and log) at any worker count and
-/// either engine.
+/// configuration (grid, telemetry, log, and care) at any worker count
+/// and either engine.
 #[must_use]
-pub fn collect_served(cfg: &MetroConfig, shards: Vec<ServedShard>) -> (TraceOutput, Vec<WalRecord>) {
+pub fn collect_served(
+    cfg: &MetroConfig,
+    shards: Vec<ServedShard>,
+) -> (TraceOutput, Vec<WalRecord>, Option<CareOutput>) {
     let record = shards.first().is_some_and(|s| s.out.taps.is_some());
     let trace = shards.first().is_some_and(|s| s.out.recs.is_some());
+    let care = shards.first().is_some_and(|s| s.out.care.is_some());
     let mut per_home = Vec::with_capacity(cfg.homes);
     let mut events = record.then(|| Vec::with_capacity(cfg.homes));
     let mut wal_records = Vec::new();
+    let mut care_out = care.then(CareOutput::default);
     let mut telemetry = Telemetry::default();
     let mut des_events = 0u64;
     let mut peak_pending = 0usize;
@@ -1600,6 +1852,10 @@ pub fn collect_served(cfg: &MetroConfig, shards: Vec<ServedShard>) -> (TraceOutp
         }
         if let Some(records) = chunk.wal {
             wal_records.extend(records);
+        }
+        if let (Some(out), Some(chunk_care)) = (care_out.as_mut(), chunk.care) {
+            out.events.extend(chunk_care.events);
+            out.analytics.merge(&chunk_care.analytics);
         }
         des_events = des_events.saturating_add(chunk.des_events);
         peak_pending = peak_pending.max(chunk.max_pending);
@@ -1617,7 +1873,10 @@ pub fn collect_served(cfg: &MetroConfig, shards: Vec<ServedShard>) -> (TraceOutp
         telemetry.fleet.add(Ctr::TotalsSaturated, clamped);
     }
     wal_records.sort_unstable_by_key(|r| (r.at, r.home));
-    ((TraceOutput { report, telemetry, peak_pending }), wal_records)
+    if let Some(out) = care_out.as_mut() {
+        out.events.sort_unstable_by_key(|e| (e.at, e.home, e.seq));
+    }
+    ((TraceOutput { report, telemetry, peak_pending }), wal_records, care_out)
 }
 
 #[cfg(test)]
@@ -1632,7 +1891,7 @@ mod tests {
     fn fleet_homes_share_planner_and_renderer_allocations() {
         let cfg = small_cfg();
         let ctx = FleetCtx::build(&cfg);
-        let shard = Shard::build(&cfg, &ctx, 0, cfg.homes, false, false, false);
+        let shard = Shard::build(&cfg, &ctx, 0, cfg.homes, false, false, false, None);
         let acts = ctx.specs.len();
         assert!(acts >= 2, "catalog should exercise >1 activity");
         for act in 0..acts {
@@ -1705,7 +1964,7 @@ mod tests {
             let cfg = MetroConfig { engine, ..small_cfg() };
             let batch = run_scale(&cfg);
             let (_, wal) = run_scale_walled(&cfg);
-            let ctx = ServeCtx::new(cfg.clone());
+            let ctx = ServeCtx::new(cfg.clone()).expect("small fleets fit");
             let mut shards = Vec::new();
             let mut deliveries = Vec::new();
             for (first, count) in ctx.chunks() {
@@ -1718,7 +1977,8 @@ mod tests {
                 }
                 shards.push(session.finish());
             }
-            let (out, merged) = collect_served(&cfg, shards);
+            let (out, merged, care) = collect_served(&cfg, shards);
+            assert!(care.is_none(), "care off ⇒ no care output");
             assert_eq!(out.report, batch, "{engine} serve diverged from batch");
             assert_eq!(merged, wal, "{engine} served log diverged");
             deliveries.sort_unstable_by_key(|r| (r.at, r.home));
@@ -1733,7 +1993,7 @@ mod tests {
         let cfg = small_cfg();
         let batch = run_scale(&cfg);
         let cut = SimTime::from_millis(cfg.horizon.as_millis() / 2);
-        let ctx = ServeCtx::new(cfg.clone());
+        let ctx = ServeCtx::new(cfg.clone()).expect("small fleets fit");
         let mut session = ctx.session(0, cfg.homes, false, false);
         let mut due = Vec::new();
         let mut deliveries = Vec::new();
@@ -1743,7 +2003,7 @@ mod tests {
                 session.serve_home(home, now, skip, &mut deliveries);
             }
         }
-        let (out, merged) = collect_served(&cfg, vec![session.finish()]);
+        let (out, merged, _) = collect_served(&cfg, vec![session.finish()]);
         assert_ne!(out.report.per_home[0], batch.per_home[0], "home 0 should freeze");
         assert_eq!(out.report.per_home[1..], batch.per_home[1..], "other homes must not drift");
         assert!(
@@ -2013,6 +2273,98 @@ mod tests {
             resume_scale_durable(&reseeded, &run),
             Err(CheckpointError::ConfigMismatch { .. })
         ));
+    }
+
+    /// A policy aggressive enough that the small test fleet escalates.
+    fn eager_policy() -> CarePolicy {
+        CarePolicy {
+            prompt_failure_streak: 1,
+            missed_adl_streak: 1,
+            ack_delay_ms: [20_000, 10_000, 5_000],
+            resolve_after_ms: 30_000,
+            ..CarePolicy::default()
+        }
+    }
+
+    #[test]
+    fn care_overlay_is_observation_only_and_invariant() {
+        let policy = eager_policy();
+        let cfg = small_cfg();
+        let (report, care) = run_scale_care(&cfg, &policy);
+        assert_eq!(report, run_scale(&cfg), "care is derived, never fed back");
+        assert!(!care.events.is_empty(), "an eager policy must escalate somewhere");
+        assert!(
+            care.events.windows(2).all(|w| {
+                (w[0].at, w[0].home, w[0].seq) < (w[1].at, w[1].home, w[1].seq)
+            }),
+            "the care log is strictly (at, home, seq)-ordered"
+        );
+        let heap = MetroConfig { engine: EngineKind::Heap, ..small_cfg() };
+        let parallel = MetroConfig { jobs: 3, ..small_cfg() };
+        assert_eq!(care, run_scale_care(&heap, &policy).1, "engine must not change care");
+        assert_eq!(care, run_scale_care(&parallel, &policy).1, "jobs must not change care");
+        assert!(care.analytics.compliance_pct.total() > 0, "homes sample compliance");
+    }
+
+    #[test]
+    fn traced_care_counts_the_escalation_lifecycle() {
+        let policy = eager_policy();
+        let cfg = small_cfg();
+        let (traced, care) = run_scale_care_traced(&cfg, &policy);
+        let agg = traced.telemetry.aggregate();
+        let count = |kind| care.events.iter().filter(|e| e.kind == kind).count() as u64;
+        assert_eq!(agg.counter(Ctr::EscalationsRaised), count(CareEventKind::Raised));
+        assert_eq!(agg.counter(Ctr::EscalationsAcked), count(CareEventKind::Acked));
+        assert_eq!(agg.counter(Ctr::EscalationsResolved), count(CareEventKind::Resolved));
+        assert_eq!(traced.report, run_scale(&cfg), "tracing + care stays observation-only");
+    }
+
+    /// The served path must stream the exact batch care log: per-wake
+    /// drains plus the finish drain cover every event, and the merged
+    /// output is bit-identical to the batch overlay on either engine.
+    #[test]
+    fn served_care_matches_the_batch_overlay() {
+        let policy = eager_policy();
+        for engine in [EngineKind::Wheel, EngineKind::Heap] {
+            let cfg = MetroConfig { engine, ..small_cfg() };
+            let (_, _, batch_care) = run_scale_care_walled(&cfg, &policy);
+            let ctx =
+                ServeCtx::new(cfg.clone()).expect("small fleets fit").with_care(policy.clone());
+            let mut shards = Vec::new();
+            let mut streamed = Vec::new();
+            let mut deliveries = Vec::new();
+            for (first, count) in ctx.chunks() {
+                let mut session = ctx.session(first, count, false, false);
+                let mut due = Vec::new();
+                while let Some(now) = session.next_batch(&mut due) {
+                    for &home in &due {
+                        session.serve_home(home, now, false, &mut deliveries);
+                        session.drain_care(home, &mut streamed);
+                    }
+                }
+                session.finish_care(&mut streamed);
+                shards.push(session.finish());
+            }
+            let (_, _, care) = collect_served(&cfg, shards);
+            let care = care.expect("care was enabled on the context");
+            assert_eq!(care, batch_care, "{engine} served care diverged from batch");
+            streamed.sort_unstable_by_key(|e| (e.at, e.home, e.seq));
+            assert_eq!(streamed, care.events, "{engine} streamed frames miss events");
+        }
+    }
+
+    #[test]
+    fn oversized_fleets_are_rejected_at_session_setup() {
+        let cfg = MetroConfig { homes: u32::MAX as usize + 2, ..small_cfg() };
+        let err = match ServeCtx::new(cfg) {
+            Err(err) => err,
+            Ok(_) => panic!("a fleet past the u32 id space must be rejected"),
+        };
+        assert_eq!(err.homes, u32::MAX as usize + 2);
+        assert!(err.to_string().contains("u32"), "{err}");
+        // The largest addressable fleet is fine (ids 0..=u32::MAX) —
+        // only the context build, never FleetCtx training, runs here.
+        assert!(ServeCtx::new(MetroConfig { homes: 4, ..small_cfg() }).is_ok());
     }
 
     #[test]

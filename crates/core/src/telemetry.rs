@@ -94,11 +94,19 @@ pub enum Ctr {
     /// [`crate::metro::ScaleReport::totals`]); non-zero means some
     /// aggregate number is a lower bound, not an exact count.
     TotalsSaturated,
+    /// Caregiver escalations raised by the policy engine.
+    EscalationsRaised,
+    /// Escalations the simulated caregiver acknowledged.
+    EscalationsAcked,
+    /// Escalations the caregiver resolved.
+    EscalationsResolved,
+    /// Compliance-trend windows the care monitor completed.
+    CareTrendWindows,
 }
 
 impl Ctr {
     /// Number of counters (size of the registry array).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 29;
 
     /// All counters in export order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
@@ -127,6 +135,10 @@ impl Ctr {
         Ctr::SessionsAbandoned,
         Ctr::CrossActivityFlags,
         Ctr::TotalsSaturated,
+        Ctr::EscalationsRaised,
+        Ctr::EscalationsAcked,
+        Ctr::EscalationsResolved,
+        Ctr::CareTrendWindows,
     ];
 
     /// Stable snake_case name used in JSONL export.
@@ -158,6 +170,10 @@ impl Ctr {
             Ctr::SessionsAbandoned => "sessions_abandoned",
             Ctr::CrossActivityFlags => "cross_activity_flags",
             Ctr::TotalsSaturated => "totals_saturated",
+            Ctr::EscalationsRaised => "escalations_raised",
+            Ctr::EscalationsAcked => "escalations_acked",
+            Ctr::EscalationsResolved => "escalations_resolved",
+            Ctr::CareTrendWindows => "care_trend_windows",
         }
     }
 }
@@ -569,13 +585,18 @@ impl HomeRecorder {
     ///
     /// # Panics
     ///
-    /// Panics if the state's counter or stage count does not match this
-    /// build's registry, or if a stage's bin count differs from
-    /// [`Stage::bins`] — a checkpoint from an incompatible layout.
+    /// Panics if the state holds *more* counters than this build's
+    /// registry, if the stage count does not match, or if a stage's bin
+    /// count differs from [`Stage::bins`] — a checkpoint from an
+    /// incompatible layout. A *shorter* counter vector is accepted and
+    /// zero-filled: the registry only ever grows by appending, so a
+    /// snapshot from an older build restores with its missing counters
+    /// at zero (exactly what the older build would have recorded).
     pub fn restore_state(&mut self, state: &RecorderState) {
-        assert_eq!(state.counters.len(), Ctr::COUNT, "counter registry size mismatch");
+        assert!(state.counters.len() <= Ctr::COUNT, "counter registry size mismatch");
         assert_eq!(state.stages.len(), Stage::COUNT, "stage registry size mismatch");
-        self.counters.copy_from_slice(&state.counters);
+        self.counters = [0; Ctr::COUNT];
+        self.counters[..state.counters.len()].copy_from_slice(&state.counters);
         self.stages = Stage::ALL
             .iter()
             .zip(&state.stages)
@@ -751,6 +772,21 @@ impl Telemetry {
             c(Ctr::SessionsAbandoned),
             c(Ctr::CrossActivityFlags),
         ));
+        // Care counters only render when a care policy ran, so the
+        // golden-pinned summary of careless runs is byte-unchanged.
+        let care_total = c(Ctr::EscalationsRaised)
+            + c(Ctr::EscalationsAcked)
+            + c(Ctr::EscalationsResolved)
+            + c(Ctr::CareTrendWindows);
+        if care_total > 0 {
+            out.push_str(&format!(
+                "  care: {} raised, {} acked, {} resolved, {} trend window(s)\n",
+                c(Ctr::EscalationsRaised),
+                c(Ctr::EscalationsAcked),
+                c(Ctr::EscalationsResolved),
+                c(Ctr::CareTrendWindows),
+            ));
+        }
         for s in Stage::ALL {
             let h = t.stage(s);
             out.push_str(&format!("  {}: {}\n", s.label(), render_quantiles(h)));
@@ -1041,6 +1077,28 @@ mod tests {
         restored.event(SimTime::from_secs(9), TraceKind::Praised { latency_ms: 1 });
         assert_eq!(restored, r);
         assert_eq!(restored.ring().dropped(), 3);
+    }
+
+    #[test]
+    fn restore_zero_fills_counters_missing_from_older_snapshots() {
+        let mut r = HomeRecorder::new();
+        r.inc(Ctr::Praises);
+        let mut state = r.export_state();
+        state.counters.truncate(25); // the pre-care registry size
+        let mut restored = HomeRecorder::new();
+        restored.inc(Ctr::EscalationsRaised);
+        restored.restore_state(&state);
+        assert_eq!(restored.counter(Ctr::Praises), 1);
+        assert_eq!(restored.counter(Ctr::EscalationsRaised), 0, "missing counters restore to zero");
+    }
+
+    #[test]
+    fn summary_mentions_care_only_when_escalations_ran() {
+        let mut t = Telemetry::default();
+        t.homes.push(HomeRecorder::new());
+        assert!(!t.render_summary().contains("care:"));
+        t.homes[0].inc(Ctr::EscalationsRaised);
+        assert!(t.render_summary().contains("care: 1 raised, 0 acked, 0 resolved, 0 trend window(s)"));
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl Client for MoteClient {
                         self.seq = self.seq.wrapping_add(1);
                     }
                 }
-                Frame::Deliver(_) => self.delivers += 1,
+                Frame::Deliver(_) | Frame::Escalate(_) => self.delivers += 1,
                 Frame::Bye { .. } => self.closed = true,
                 Frame::Hello { .. } | Frame::Report { .. } => {
                     // Client-bound streams never carry these.

@@ -38,9 +38,18 @@
 //!     horizon: SimDuration::from_secs(600),
 //!     ..MetroConfig::default()
 //! };
-//! let outcome = serve_scale(cfg.clone(), &ServeOptions::default());
+//! let outcome = serve_scale(cfg.clone(), &ServeOptions::default()).unwrap();
 //! assert_eq!(outcome.output.report, run_scale(&cfg));
 //! ```
+//!
+//! ## Caregiver escalations on the wire
+//!
+//! With [`ServeOptions::care`] set, the caregiver escalation overlay
+//! runs inside each session and its lifecycle events ride the served
+//! path as `Escalate` frames, flushed alongside the prompts of the wake
+//! that tripped them. The escalation log and fleet analytics in
+//! [`ServeOutcome::care`] are bit-identical to the batch
+//! [`coreda_core::run_scale_care`] overlay under the sim clock.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -52,5 +61,7 @@ pub mod wire;
 
 pub use client::{Client, FaultyPipe, MoteClient, PipeFaults};
 pub use loadgen::{run_loadgen, LoadgenReport};
-pub use server::{serve_fleet, serve_scale, ServeOptions, ServeOutcome, WireStats};
+pub use server::{
+    classify_report, serve_fleet, serve_scale, ReportClass, ServeOptions, ServeOutcome, WireStats,
+};
 pub use wire::{decode_frame, encode_frame, frame_bytes, try_decode, Frame, WireError};

@@ -11,7 +11,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use coreda_core::metro::{EngineKind, MetroConfig, ServeCtx};
+use coreda_core::metro::{EngineKind, FleetTooLarge, MetroConfig, ServeCtx};
 use coreda_des::stats::Histogram;
 use coreda_des::time::SimDuration;
 use coreda_des::{SimClock, WallClock};
@@ -44,13 +44,20 @@ pub struct LoadgenReport {
 /// Replays `cfg` as a served fleet of faithful [`MoteClient`]s.
 /// `speedup: None` paces on the sim clock (deterministic, as fast as
 /// possible); `Some(s)` paces on the wall clock at `s`× real time.
-#[must_use]
-pub fn run_loadgen(cfg: MetroConfig, speedup: Option<f64>) -> LoadgenReport {
+///
+/// # Errors
+///
+/// [`FleetTooLarge`] when the fleet's home ids would overflow the wire
+/// protocol's `u32` space.
+pub fn run_loadgen(
+    cfg: MetroConfig,
+    speedup: Option<f64>,
+) -> Result<LoadgenReport, FleetTooLarge> {
     let homes = cfg.homes;
     let horizon = cfg.horizon;
     let engine = cfg.engine;
     let jobs = cfg.jobs;
-    let ctx = ServeCtx::new(cfg);
+    let ctx = ServeCtx::new(cfg)?;
     let opts = ServeOptions::default();
     let start = Instant::now();
     let outcome: ServeOutcome = match speedup {
@@ -58,7 +65,7 @@ pub fn run_loadgen(cfg: MetroConfig, speedup: Option<f64>) -> LoadgenReport {
         Some(s) => serve_fleet(&ctx, &opts, &MoteClient::new, &WallClock::with_speedup(s)),
     };
     let elapsed = start.elapsed();
-    LoadgenReport {
+    Ok(LoadgenReport {
         homes,
         horizon,
         engine,
@@ -67,7 +74,7 @@ pub fn run_loadgen(cfg: MetroConfig, speedup: Option<f64>) -> LoadgenReport {
         wire: outcome.wire,
         latency_us: outcome.latency_us,
         elapsed,
-    }
+    })
 }
 
 impl LoadgenReport {
@@ -106,6 +113,12 @@ impl LoadgenReport {
             w.reports, w.dup_frames, w.stale_reports, w.late_reports
         );
         let _ = writeln!(out, "  deliveries: {} prompts/escalations", w.delivers);
+        if w.delivers == 0 {
+            // Make the empty case explicit: a run with no deliveries
+            // says so in the deterministic body instead of silently
+            // dropping the latency line from the timing block.
+            let _ = writeln!(out, "  delivery latency: (no deliveries)");
+        }
         let _ = writeln!(
             out,
             "  closes: {} byes sent, {} client hangups, {} skipped wakes",
@@ -139,7 +152,7 @@ impl LoadgenReport {
                 );
             }
             _ => {
-                let _ = writeln!(out, "  delivery latency: no deliveries in range");
+                let _ = writeln!(out, "  delivery latency: (no deliveries)");
             }
         }
         out
@@ -161,18 +174,38 @@ mod tests {
 
     #[test]
     fn render_is_deterministic_across_runs() {
-        let a = run_loadgen(cfg(), None);
-        let b = run_loadgen(cfg(), None);
+        let a = run_loadgen(cfg(), None).expect("fleet fits");
+        let b = run_loadgen(cfg(), None).expect("fleet fits");
         assert_eq!(a.render(), b.render());
     }
 
     #[test]
     fn timing_lines_stay_out_of_the_deterministic_body() {
-        let r = run_loadgen(cfg(), None);
+        let r = run_loadgen(cfg(), None).expect("fleet fits");
         let body = r.render();
         assert!(!body.contains("wall:"), "timing leaked into the golden body:\n{body}");
         let timing = r.render_timing();
         assert!(timing.contains("wall:"));
         assert!(timing.contains("delivery latency:"));
+    }
+
+    #[test]
+    fn empty_runs_state_the_missing_latency_explicitly() {
+        // A horizon too short for any reminder to fire: zero deliveries.
+        let quiet = MetroConfig { horizon: SimDuration::from_secs(1), ..cfg() };
+        let r = run_loadgen(quiet, None).expect("fleet fits");
+        assert_eq!(r.wire.delivers, 0);
+        assert!(
+            r.render().contains("delivery latency: (no deliveries)"),
+            "body must state the empty case:\n{}",
+            r.render()
+        );
+        assert!(r.render_timing().contains("delivery latency: (no deliveries)"));
+    }
+
+    #[test]
+    fn oversized_fleets_are_rejected_before_serving() {
+        let huge = MetroConfig { homes: u32::MAX as usize + 2, ..cfg() };
+        assert!(run_loadgen(huge, None).is_err());
     }
 }

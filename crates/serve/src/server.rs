@@ -11,8 +11,9 @@
 
 use std::time::Instant;
 
+use coreda_core::escalation::{CareOutput, CarePolicy};
 use coreda_core::fleet::FleetEngine;
-use coreda_core::metro::{collect_served, MetroConfig, ServeCtx, TraceOutput};
+use coreda_core::metro::{collect_served, FleetTooLarge, MetroConfig, ServeCtx, TraceOutput};
 use coreda_core::wal::WalRecord;
 use coreda_des::stats::Histogram;
 use coreda_des::time::SimTime;
@@ -34,6 +35,10 @@ pub struct ServeOptions {
     pub record: bool,
     /// Run the per-home flight recorder (as the `trace` paths).
     pub trace: bool,
+    /// Run the caregiver escalation overlay: escalation lifecycle
+    /// events ride the served path as `Escalate` frames, and the
+    /// outcome carries the fleet care output.
+    pub care: Option<CarePolicy>,
 }
 
 /// Wire-level accounting for a served run. Every counter is a pure
@@ -60,8 +65,10 @@ pub struct WireStats {
     pub polls: u64,
     /// `Report` frames received (including duplicates and stale ones).
     pub reports: u64,
-    /// `Deliver` prompt/escalation frames sent.
+    /// `Deliver` prompt frames sent.
     pub delivers: u64,
+    /// `Escalate` caregiver frames sent.
+    pub escalations: u64,
     /// `Bye` frames sent.
     pub byes_out: u64,
     /// Reports repeating the connection's last sequence number.
@@ -93,6 +100,7 @@ impl WireStats {
         self.polls += other.polls;
         self.reports += other.reports;
         self.delivers += other.delivers;
+        self.escalations += other.escalations;
         self.byes_out += other.byes_out;
         self.dup_frames += other.dup_frames;
         self.stale_reports += other.stale_reports;
@@ -119,6 +127,39 @@ pub struct ServeOutcome {
     pub wire: WireStats,
     /// Delivery latency in µs (wake pop → `Deliver` frame encoded).
     pub latency_us: Histogram,
+    /// Escalation log + fleet analytics when [`ServeOptions::care`] was
+    /// set — bit-identical to the batch overlay under the sim clock.
+    pub care: Option<CareOutput>,
+}
+
+/// How a report's sequence number relates to the connection's advisory
+/// watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportClass {
+    /// A new report: the watermark may advance.
+    Fresh,
+    /// Repeats the last accepted sequence number.
+    Dup,
+    /// Older than one already accepted, or the `u32::MAX` sentinel.
+    Stale,
+}
+
+/// Classifies a report against the connection's last accepted sequence
+/// number. `u32::MAX` is reserved as a sentinel: a client whose counter
+/// saturated there can emit it forever, and letting it advance the
+/// watermark would make every later (wrapped or recovered) report look
+/// stale — so a max-seq report is deterministically counted stale and
+/// never moves the watermark, whatever `last_seq` holds.
+#[must_use]
+pub fn classify_report(last_seq: Option<u32>, seq: u32) -> ReportClass {
+    if seq == u32::MAX {
+        return ReportClass::Stale;
+    }
+    match last_seq {
+        Some(last) if seq == last => ReportClass::Dup,
+        Some(last) if seq < last => ReportClass::Stale,
+        _ => ReportClass::Fresh,
+    }
 }
 
 /// One home's connection state.
@@ -150,10 +191,10 @@ impl<C: Client> Conn<C> {
                         Frame::Report { home: h, at, seq } => {
                             debug_assert_eq!(h, home);
                             stats.reports += 1;
-                            match self.last_seq {
-                                Some(last) if seq == last => stats.dup_frames += 1,
-                                Some(last) if seq < last => stats.stale_reports += 1,
-                                _ => {
+                            match classify_report(self.last_seq, seq) {
+                                ReportClass::Dup => stats.dup_frames += 1,
+                                ReportClass::Stale => stats.stale_reports += 1,
+                                ReportClass::Fresh => {
                                     self.last_seq = Some(seq);
                                     if self.watermark.is_none_or(|w| at > w) {
                                         self.watermark = Some(at);
@@ -170,7 +211,10 @@ impl<C: Client> Conn<C> {
                         Frame::Hello { .. } => stats.hellos += 1,
                         // Server-bound streams never carry these; count
                         // and ignore rather than crash the fleet.
-                        Frame::Welcome { .. } | Frame::Poll { .. } | Frame::Deliver(_) => {}
+                        Frame::Welcome { .. }
+                        | Frame::Poll { .. }
+                        | Frame::Deliver(_)
+                        | Frame::Escalate(_) => {}
                     }
                 }
                 Ok(None) => {
@@ -228,7 +272,9 @@ where
     // configuration is turned away before it sees a single wake.
     let mut conns: Vec<Conn<C>> = (0..count)
         .map(|i| {
-            let home = u32::try_from(first_home + i).expect("fleets fit in u32");
+            // Infallible: `ServeCtx::new` rejected any fleet whose ids
+            // overflow u32 before a single session opened.
+            let home = u32::try_from(first_home + i).expect("ServeCtx::new validated fleet size");
             let mut conn = Conn {
                 client: make_client(home, ctx.digest()),
                 inbound: Vec::new(),
@@ -266,6 +312,7 @@ where
 
     let mut due = Vec::new();
     let mut fresh = Vec::new();
+    let mut escalations = Vec::new();
     while let Some(now) = session.next_batch(&mut due) {
         clock.wait_until(now);
         let popped = Instant::now();
@@ -302,8 +349,27 @@ where
                 let us = popped.elapsed().as_secs_f64() * 1e6;
                 latency.record(us);
             }
+            // Escalations the wake's records tripped ride the same
+            // flush as their prompts, as `Escalate` frames.
+            session.drain_care(home, &mut escalations);
+            for ev in escalations.drain(..) {
+                stats.escalations += 1;
+                conn.push(&Frame::Escalate(ev), &mut stats);
+            }
         }
         fresh.clear();
+    }
+
+    // End the care fold at the horizon: caregiver acks/resolves still
+    // due are delivered (home order) before the goodbyes go out.
+    session.finish_care(&mut escalations);
+    for ev in escalations.drain(..) {
+        let conn = &mut conns[ev.home as usize - first_home];
+        if conn.disconnected {
+            continue;
+        }
+        stats.escalations += 1;
+        conn.push(&Frame::Escalate(ev), &mut stats);
     }
 
     // Close every surviving connection and absorb any frames the
@@ -313,7 +379,7 @@ where
         if conn.disconnected {
             continue;
         }
-        let home = u32::try_from(first_home + i).expect("fleets fit in u32");
+        let home = u32::try_from(first_home + i).expect("ServeCtx::new validated fleet size");
         conn.push(&Frame::Bye { home, at: horizon_end }, &mut stats);
         stats.byes_out += 1;
         conn.flush();
@@ -355,22 +421,30 @@ where
         wire.absorb(&stats);
         latency_us.merge(&lat);
     }
-    let (output, log) = collect_served(ctx.config(), served);
-    ServeOutcome { output, log, wire, latency_us }
+    let (output, log, care) = collect_served(ctx.config(), served);
+    ServeOutcome { output, log, wire, latency_us, care }
 }
 
 /// Serves `cfg` with faithful [`MoteClient`]s under the sim clock — the
 /// deterministic served counterpart of [`coreda_core::run_scale`].
-#[must_use]
-pub fn serve_scale(cfg: MetroConfig, opts: &ServeOptions) -> ServeOutcome {
-    let ctx = ServeCtx::new(cfg);
-    serve_fleet(&ctx, opts, &MoteClient::new, &SimClock)
+///
+/// # Errors
+///
+/// [`FleetTooLarge`] when the fleet's home ids would overflow the wire
+/// protocol's `u32` space — rejected here, at session setup, instead of
+/// panicking mid-serve.
+pub fn serve_scale(cfg: MetroConfig, opts: &ServeOptions) -> Result<ServeOutcome, FleetTooLarge> {
+    let mut ctx = ServeCtx::new(cfg)?;
+    if let Some(policy) = &opts.care {
+        ctx = ctx.with_care(policy.clone());
+    }
+    Ok(serve_fleet(&ctx, opts, &MoteClient::new, &SimClock))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coreda_core::metro::run_scale_walled;
+    use coreda_core::metro::{run_scale_care_walled, run_scale_walled};
     use coreda_des::time::SimDuration;
 
     fn cfg(homes: usize, jobs: usize) -> MetroConfig {
@@ -382,10 +456,20 @@ mod tests {
         }
     }
 
+    fn eager_policy() -> CarePolicy {
+        CarePolicy {
+            prompt_failure_streak: 1,
+            missed_adl_streak: 1,
+            ack_delay_ms: [20_000, 10_000, 5_000],
+            resolve_after_ms: 30_000,
+            ..CarePolicy::default()
+        }
+    }
+
     #[test]
     fn served_fleet_matches_the_batch_run() {
         let (batch, wal) = run_scale_walled(&cfg(4, 2));
-        let outcome = serve_scale(cfg(4, 2), &ServeOptions::default());
+        let outcome = serve_scale(cfg(4, 2), &ServeOptions::default()).expect("fleet fits");
         assert_eq!(outcome.output.report, batch);
         assert_eq!(outcome.log, wal);
         assert_eq!(outcome.wire.delivers, wal.len() as u64);
@@ -401,14 +485,63 @@ mod tests {
 
     #[test]
     fn wire_accounting_is_deterministic() {
-        let a = serve_scale(cfg(3, 2), &ServeOptions::default());
-        let b = serve_scale(cfg(3, 2), &ServeOptions::default());
+        let a = serve_scale(cfg(3, 2), &ServeOptions::default()).expect("fleet fits");
+        let b = serve_scale(cfg(3, 2), &ServeOptions::default()).expect("fleet fits");
         assert_eq!(a.wire, b.wire);
     }
 
     #[test]
+    fn served_care_overlay_matches_the_batch_overlay() {
+        let config = cfg(4, 2);
+        let (batch, wal, care) = run_scale_care_walled(&config, &eager_policy());
+        let opts = ServeOptions { care: Some(eager_policy()), ..ServeOptions::default() };
+        let outcome = serve_scale(config, &opts).expect("fleet fits");
+        // The overlay is observation-only: the simulation itself is
+        // untouched, and the care output is bit-identical to batch.
+        assert_eq!(outcome.output.report, batch);
+        assert_eq!(outcome.log, wal);
+        let served_care = outcome.care.expect("care was requested");
+        assert_eq!(served_care, care);
+        assert!(!served_care.events.is_empty(), "eager policy must trip");
+        // Every escalation event went out exactly once as a wire frame.
+        assert_eq!(outcome.wire.escalations, served_care.events.len() as u64);
+    }
+
+    #[test]
+    fn care_free_runs_send_no_escalate_frames() {
+        let outcome = serve_scale(cfg(2, 1), &ServeOptions::default()).expect("fleet fits");
+        assert_eq!(outcome.wire.escalations, 0);
+        assert!(outcome.care.is_none());
+    }
+
+    #[test]
+    fn oversized_fleets_error_instead_of_panicking_mid_serve() {
+        let config = MetroConfig { homes: u32::MAX as usize + 2, ..cfg(2, 1) };
+        let err = serve_scale(config, &ServeOptions::default()).expect_err("must reject");
+        assert_eq!(err.homes, u32::MAX as usize + 2);
+        let msg = err.to_string();
+        assert!(msg.contains("u32"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn report_classification_pins_the_seq_extremes() {
+        use ReportClass::*;
+        assert_eq!(classify_report(None, 0), Fresh);
+        assert_eq!(classify_report(Some(4), 5), Fresh);
+        assert_eq!(classify_report(Some(5), 5), Dup);
+        assert_eq!(classify_report(Some(5), 4), Stale);
+        // The saturation sentinel never advances the watermark, from
+        // any prior state — including a fresh connection.
+        assert_eq!(classify_report(None, u32::MAX), Stale);
+        assert_eq!(classify_report(Some(0), u32::MAX), Stale);
+        assert_eq!(classify_report(Some(u32::MAX - 1), u32::MAX), Stale);
+        // The largest admissible seq is still fresh.
+        assert_eq!(classify_report(Some(7), u32::MAX - 1), Fresh);
+    }
+
+    #[test]
     fn digest_mismatch_is_turned_away_at_the_door() {
-        let ctx = ServeCtx::new(cfg(2, 1));
+        let ctx = ServeCtx::new(cfg(2, 1)).expect("fleet fits");
         let outcome = serve_fleet(
             &ctx,
             &ServeOptions::default(),

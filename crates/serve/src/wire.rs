@@ -21,6 +21,7 @@
 //! in `tests/proptests.rs` flip every bit of every frame kind and
 //! assert exactly that.
 
+use coreda_core::escalation::{CareEvent, EVENT_BYTES};
 use coreda_core::wal::{WalRecord, RECORD_BYTES};
 use coreda_des::time::SimTime;
 use coreda_sensornet::packet::crc16;
@@ -84,6 +85,10 @@ pub enum Frame {
         /// Simulated instant of the close.
         at: SimTime,
     },
+    /// Server → caregiver channel: one escalation lifecycle event — the
+    /// 19-byte [`CareEvent`] image, so escalations ride the served path
+    /// exactly as prompts ride [`Frame::Deliver`].
+    Escalate(CareEvent),
 }
 
 /// Frame-kind discriminants on the wire.
@@ -93,6 +98,7 @@ const KIND_POLL: u8 = 2;
 const KIND_REPORT: u8 = 3;
 const KIND_DELIVER: u8 = 4;
 const KIND_BYE: u8 = 5;
+const KIND_ESCALATE: u8 = 6;
 
 impl Frame {
     /// The frame's wire discriminant.
@@ -105,6 +111,7 @@ impl Frame {
             Frame::Report { .. } => KIND_REPORT,
             Frame::Deliver(_) => KIND_DELIVER,
             Frame::Bye { .. } => KIND_BYE,
+            Frame::Escalate(_) => KIND_ESCALATE,
         }
     }
 
@@ -118,6 +125,7 @@ impl Frame {
             | Frame::Report { home, .. }
             | Frame::Bye { home, .. } => home,
             Frame::Deliver(rec) => rec.home,
+            Frame::Escalate(ev) => ev.home,
         }
     }
 }
@@ -128,6 +136,7 @@ fn payload_len(kind: u8) -> Option<usize> {
         KIND_HELLO | KIND_WELCOME | KIND_POLL | KIND_BYE => Some(12),
         KIND_REPORT => Some(16),
         KIND_DELIVER => Some(RECORD_BYTES),
+        KIND_ESCALATE => Some(EVENT_BYTES),
         _ => None,
     }
 }
@@ -160,6 +169,13 @@ pub enum WireError {
         /// Bytes available.
         len: usize,
     },
+    /// The payload passed the CRC but decodes to no legal value (an
+    /// escalation discriminant byte naming no severity/trigger/stage —
+    /// a phantom value must never materialise as an enum).
+    BadPayload {
+        /// The kind whose payload failed to decode.
+        kind: u8,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -175,6 +191,9 @@ impl std::fmt::Display for WireError {
                 write!(f, "frame CRC mismatch: stored {expected:#06x}, computed {actual:#06x}")
             }
             WireError::Truncated { len } => write!(f, "truncated frame ({len} bytes)"),
+            WireError::BadPayload { kind } => {
+                write!(f, "payload of frame kind {kind} decodes to no legal value")
+            }
         }
     }
 }
@@ -204,6 +223,7 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
             out.extend_from_slice(&seq.to_be_bytes());
         }
         Frame::Deliver(rec) => out.extend_from_slice(&rec.to_bytes()),
+        Frame::Escalate(ev) => out.extend_from_slice(&ev.to_bytes()),
     }
     let payload = out.len() - len_at - 1;
     out[len_at] = u8::try_from(payload).expect("payloads are tiny");
@@ -315,6 +335,10 @@ pub fn try_decode(bytes: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
         KIND_BYE => {
             Frame::Bye { home: be32(&p[0..4]), at: SimTime::from_millis(be64(&p[4..12])) }
         }
+        KIND_ESCALATE => Frame::Escalate(
+            CareEvent::from_bytes(p.try_into().expect("EVENT_BYTES payload"))
+                .ok_or(WireError::BadPayload { kind })?,
+        ),
         _ => unreachable!("kind validated against payload_len"),
     };
     Ok(Some((frame, total)))
@@ -343,6 +367,14 @@ mod tests {
                 cross_activity: 0,
             }),
             Frame::Bye { home: 7, at: SimTime::from_millis(600_000) },
+            Frame::Escalate(CareEvent {
+                at: SimTime::from_millis(300_000),
+                home: 9,
+                seq: 2,
+                kind: coreda_core::escalation::CareEventKind::Raised,
+                severity: coreda_core::escalation::Severity::Critical,
+                trigger: coreda_core::escalation::CareTrigger::MissedCriticalAdl,
+            }),
         ]
     }
 
@@ -402,7 +434,32 @@ mod tests {
     fn every_kind_has_a_distinct_wire_size_or_crc_guard() {
         // Kinds sharing a payload size rely on the CRC to catch a
         // flipped kind byte; this documents which those are.
-        let sizes: Vec<Option<usize>> = (0u8..6).map(payload_len).collect();
-        assert_eq!(sizes, vec![Some(12), Some(12), Some(12), Some(16), Some(20), Some(12)]);
+        let sizes: Vec<Option<usize>> = (0u8..7).map(payload_len).collect();
+        assert_eq!(
+            sizes,
+            vec![Some(12), Some(12), Some(12), Some(16), Some(20), Some(12), Some(19)]
+        );
+        assert_eq!(payload_len(7), None);
+    }
+
+    #[test]
+    fn escalate_payload_with_phantom_discriminants_is_rejected() {
+        // A discriminant byte the CRC cannot save us from: re-CRC a
+        // frame whose severity byte names nothing.
+        let Frame::Escalate(ev) = samples()[6] else { panic!("sample 6 is Escalate") };
+        let mut bad = ev.to_bytes();
+        bad[17] = 9;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(VERSION);
+        bytes.push(KIND_ESCALATE);
+        bytes.push(u8::try_from(EVENT_BYTES).expect("small"));
+        bytes.extend_from_slice(&bad);
+        let crc = crc16(&bytes);
+        bytes.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(WireError::BadPayload { kind: KIND_ESCALATE }),
+        );
     }
 }

@@ -8,9 +8,12 @@
 //! single-bit errors by construction; the tests here are what pin that
 //! argument to the implementation.
 
+use coreda_core::escalation::{CareEvent, CareEventKind, CareTrigger, Severity};
 use coreda_core::wal::WalRecord;
 use coreda_des::time::SimTime;
-use coreda_serve::{decode_frame, frame_bytes, try_decode, Frame, WireError};
+use coreda_serve::{
+    classify_report, decode_frame, frame_bytes, try_decode, Frame, ReportClass, WireError,
+};
 use proptest::prelude::*;
 
 /// `SimTime` carries millis in a `u64`, but frames only ever hold
@@ -44,6 +47,19 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             })
         }),
         (any::<u32>(), arb_at()).prop_map(|(home, at)| Frame::Bye { home, at }),
+        (arb_at(), any::<u32>(), any::<u32>(), 0usize..3, 0usize..3, 0usize..3).prop_map(
+            |(at, home, seq, kind, severity, trigger)| {
+                Frame::Escalate(CareEvent {
+                    at,
+                    home,
+                    seq,
+                    kind: [CareEventKind::Raised, CareEventKind::Acked, CareEventKind::Resolved]
+                        [kind],
+                    severity: Severity::ALL[severity],
+                    trigger: CareTrigger::ALL[trigger],
+                })
+            },
+        ),
     ]
 }
 
@@ -102,6 +118,41 @@ proptest! {
         prop_assert_eq!(try_decode(&bytes), Ok(Some((frame, clean.len()))));
     }
 
+    /// Folding any report-sequence stream through the advisory
+    /// watermark classification: `u32::MAX` is the saturation sentinel
+    /// — always stale, never the watermark — and apart from it the
+    /// watermark only ever moves forward, one `Fresh` at a time.
+    #[test]
+    fn watermark_classification_is_sound_at_the_extremes(
+        seqs in proptest::collection::vec(
+            prop_oneof![any::<u32>(), Just(u32::MAX), Just(u32::MAX - 1), Just(0u32)],
+            1..64,
+        ),
+    ) {
+        let mut last_seq: Option<u32> = None;
+        for seq in seqs {
+            let before = last_seq;
+            match classify_report(last_seq, seq) {
+                ReportClass::Fresh => {
+                    prop_assert_ne!(seq, u32::MAX, "the sentinel must never be fresh");
+                    prop_assert!(before.is_none_or(|last| seq > last));
+                    last_seq = Some(seq);
+                }
+                ReportClass::Dup => {
+                    prop_assert_eq!(before, Some(seq));
+                }
+                ReportClass::Stale => {
+                    prop_assert!(seq == u32::MAX || before.is_some_and(|last| seq < last));
+                }
+            }
+            // Dup and Stale never move the watermark.
+            if last_seq == before {
+                prop_assert!(!matches!(classify_report(before, seq), ReportClass::Fresh));
+            }
+            prop_assert_ne!(last_seq, Some(u32::MAX), "sentinel leaked into the watermark");
+        }
+    }
+
     /// Any version byte this codec does not speak is rejected even with
     /// the CRC re-stamped over the altered header — version skew is a
     /// structural error, not a corruption.
@@ -144,6 +195,14 @@ fn every_single_bit_flip_of_every_kind_is_rejected() {
             cross_activity: 0,
         }),
         Frame::Bye { home: 3, at: SimTime::from_millis(9_000) },
+        Frame::Escalate(CareEvent {
+            at: SimTime::from_millis(2_500),
+            home: 3,
+            seq: 1,
+            kind: CareEventKind::Raised,
+            severity: Severity::Critical,
+            trigger: CareTrigger::MissedCriticalAdl,
+        }),
     ];
     for frame in frames {
         let bytes = frame_bytes(&frame);

@@ -62,10 +62,12 @@ impl ReplayOutcome {
 /// Returns the parse error for malformed text.
 pub fn replay_str(harness: &Harness, text: &str) -> Result<ReplayOutcome, String> {
     let plan = json::from_json(text)?;
-    // Frame-fault plans target the served ingestion path: the in-process
-    // harness cannot apply them, so they replay through the served
-    // differential instead.
-    let violations = if plan.has_frame_faults() {
+    // Frame-fault plans target the served ingestion path and care plans
+    // the escalation overlay: the in-process harness cannot apply
+    // either, so they replay through their own differentials instead.
+    let violations = if plan.has_care_faults() {
+        crate::care::check_care(&plan)
+    } else if plan.has_frame_faults() {
         crate::served::check_served(&plan)
     } else {
         harness.check(&plan).violations

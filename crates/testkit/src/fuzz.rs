@@ -55,6 +55,13 @@ pub struct FuzzConfig {
     /// both engines and two worker counts — so served campaigns skip the
     /// separate jobs batch.
     pub served: bool,
+    /// Fuzz the caregiver escalation overlay: plans come from
+    /// [`FaultPlan::generate_care`] (caregiver no-ack outage windows)
+    /// and run through [`crate::care::check_care`], whose
+    /// `escalation_consistency` differential spans both engines, two
+    /// worker counts, and the served path — so care campaigns also skip
+    /// the separate jobs batch.
+    pub care: bool,
 }
 
 impl Default for FuzzConfig {
@@ -68,6 +75,7 @@ impl Default for FuzzConfig {
             max_plans: usize::MAX,
             kill_resume: false,
             served: false,
+            care: false,
         }
     }
 }
@@ -192,6 +200,15 @@ pub fn fuzz_with(harness: &Harness, cfg: &FuzzConfig) -> std::io::Result<FuzzRep
             }
             continue;
         }
+        if cfg.care {
+            let plan = FaultPlan::generate_care(plan_seed);
+            let violations = crate::care::check_care(&plan);
+            report.plans_run += 1;
+            for violation in violations {
+                record_violation(harness, cfg, &mut report, plan_seed, &plan, &violation)?;
+            }
+            continue;
+        }
         let mut plan = FaultPlan::generate(plan_seed, harness.tool_ids());
         if cfg.kill_resume {
             plan = plan.with_kill_resume();
@@ -251,9 +268,12 @@ fn record_violation(
     plan: &FaultPlan,
     violation: &crate::oracles::Violation,
 ) -> std::io::Result<()> {
-    // Served plans shrink through the served differential; the
-    // in-process harness cannot reproduce a wire-level fault.
-    let shrunk = if plan.has_frame_faults() {
+    // Served plans shrink through the served differential and care
+    // plans through the escalation one; the in-process harness cannot
+    // reproduce a wire-level or caregiver-channel fault.
+    let shrunk = if plan.has_care_faults() {
+        shrink::shrink_with(crate::care::check_care, plan, violation.oracle)
+    } else if plan.has_frame_faults() {
         shrink::shrink_with(crate::served::check_served, plan, violation.oracle)
     } else {
         shrink::shrink(harness, plan, violation.oracle)
@@ -272,10 +292,10 @@ fn record_violation(
     // (bit-identical to the violating run — recording draws no
     // randomness) and dump it next to the repro. The ring's last events
     // are the pipeline activity leading up to the violation.
-    // No flight record for served plans: the recorder rides the
-    // in-process drive loop, which a wire-level repro never touches.
+    // No flight record for served or care plans: the recorder rides the
+    // in-process drive loop, which neither repro path touches.
     let trace_file = match cfg.trace_dir.as_ref().or(cfg.out_dir.as_ref()) {
-        Some(_) if plan.has_frame_faults() => None,
+        Some(_) if plan.has_frame_faults() || plan.has_care_faults() => None,
         Some(dir) => {
             std::fs::create_dir_all(dir)?;
             let (_, rec) = harness.run_recorded(&shrunk.plan, EngineKind::Wheel);

@@ -452,7 +452,8 @@ impl<'a> HomeRun<'a> {
                 FaultKind::FrameDup
                 | FaultKind::FrameReorder
                 | FaultKind::FrameDelay
-                | FaultKind::FrameDisconnect => {}
+                | FaultKind::FrameDisconnect
+                | FaultKind::CaregiverNoAck => {}
             }
         }
         want

@@ -90,7 +90,8 @@ fn write_fault(out: &mut String, fault: &Fault) {
         | FaultKind::FrameDup
         | FaultKind::FrameReorder
         | FaultKind::FrameDelay
-        | FaultKind::FrameDisconnect => {}
+        | FaultKind::FrameDisconnect
+        | FaultKind::CaregiverNoAck => {}
         FaultKind::RoutineDrift { swap_a, swap_b } => {
             out.push_str(&format!(", \"swap_a\": {swap_a}, \"swap_b\": {swap_b}"));
         }
@@ -190,6 +191,7 @@ fn parse_fault(value: &Value) -> Result<Fault, String> {
         "frame_reorder" => FaultKind::FrameReorder,
         "frame_delay" => FaultKind::FrameDelay,
         "frame_disconnect" => FaultKind::FrameDisconnect,
+        "caregiver_no_ack" => FaultKind::CaregiverNoAck,
         "routine_drift" => FaultKind::RoutineDrift {
             swap_a: u8::try_from(get_u64(obj, "swap_a")?).map_err(|_| "swap_a out of range")?,
             swap_b: u8::try_from(get_u64(obj, "swap_b")?).map_err(|_| "swap_b out of range")?,

@@ -19,6 +19,7 @@
 //! [`Coreda`]: coreda_core::system::Coreda
 
 pub mod behavior;
+pub mod care;
 pub mod corpus;
 pub mod fuzz;
 pub mod harness;

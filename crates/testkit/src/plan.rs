@@ -86,6 +86,13 @@ pub enum FaultKind {
     /// an instant). The home freezes; every other home must be
     /// untouched.
     FrameDisconnect,
+    /// Caregiver-channel fault: the caregiver answers no escalation
+    /// whose acknowledgment falls due inside the window — the ack slips
+    /// to the window end plus the severity's delay. Pure policy input
+    /// (`CarePolicy::no_ack_windows`), so faulted runs stay
+    /// deterministic. Never drawn by [`FaultPlan::generate`]; care
+    /// plans come from [`FaultPlan::generate_care`].
+    CaregiverNoAck,
 }
 
 impl FaultKind {
@@ -105,6 +112,7 @@ impl FaultKind {
             FaultKind::FrameReorder => "frame_reorder",
             FaultKind::FrameDelay => "frame_delay",
             FaultKind::FrameDisconnect => "frame_disconnect",
+            FaultKind::CaregiverNoAck => "caregiver_no_ack",
         }
     }
 
@@ -120,6 +128,15 @@ impl FaultKind {
                 | FaultKind::FrameDelay
                 | FaultKind::FrameDisconnect
         )
+    }
+
+    /// Whether this is a caregiver-channel fault — the kinds the
+    /// escalation campaign's [`FaultPlan::generate_care`] plans are made
+    /// of, applied as policy input rather than injected into the
+    /// pipeline or the wire.
+    #[must_use]
+    pub const fn is_care_fault(&self) -> bool {
+        matches!(self, FaultKind::CaregiverNoAck)
     }
 
     /// The link-layer configuration a radio fault corresponds to; `None`
@@ -238,11 +255,46 @@ impl FaultPlan {
         FaultPlan { seed, horizon_ms, faults, expect_violation: None }
     }
 
+    /// Expands `seed` into a caregiver-channel fault plan for the
+    /// escalation campaign: outage windows during which no escalation is
+    /// acknowledged, over horizons long enough for full raise → ack →
+    /// resolve lifecycles. Disjoint from the other generators — pipeline
+    /// and served campaigns never draw caregiver faults.
+    #[must_use]
+    pub fn generate_care(seed: u64) -> FaultPlan {
+        let mut rng = SimRng::seed_from(seed).substream("care-plan", 0);
+        let horizon_ms = round_to_tick(rng.uniform_range(120_000.0, 300_000.0) as u64);
+        let n_faults = 1 + usize::from(rng.chance(0.5));
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let faults = (0..n_faults)
+            .map(|_| {
+                let from_ms = round_to_tick(rng.uniform_range(0.0, horizon_ms as f64 * 0.8) as u64);
+                let len_ms =
+                    round_to_tick(rng.uniform_range(5_000.0, horizon_ms as f64 * 0.4) as u64);
+                Fault {
+                    kind: FaultKind::CaregiverNoAck,
+                    from_ms,
+                    // Outage windows may outlive the horizon: an ack due
+                    // near the end can slip past it and never happen.
+                    to_ms: from_ms + len_ms,
+                }
+            })
+            .collect();
+        FaultPlan { seed, horizon_ms, faults, expect_violation: None }
+    }
+
     /// Whether the plan targets the served ingestion path (routes
     /// replay and shrinking through the served harness).
     #[must_use]
     pub fn has_frame_faults(&self) -> bool {
         self.faults.iter().any(|f| f.kind.is_frame_fault())
+    }
+
+    /// Whether the plan carries caregiver-channel faults (routes replay
+    /// and shrinking through the escalation differential).
+    #[must_use]
+    pub fn has_care_faults(&self) -> bool {
+        self.faults.iter().any(|f| f.kind.is_care_fault())
     }
 
     /// All tool ids the plan's targeted faults touch.
@@ -396,6 +448,24 @@ mod tests {
         }
         for kind in ["frame_dup", "frame_reorder", "frame_delay", "frame_disconnect"] {
             assert!(seen.contains(kind), "served fault kind {kind} never generated");
+        }
+    }
+
+    #[test]
+    fn care_plans_are_deterministic_and_caregiver_only() {
+        for seed in 0..200 {
+            let plan = FaultPlan::generate_care(seed);
+            assert_eq!(plan, FaultPlan::generate_care(seed));
+            assert_eq!(plan.horizon_ms % TICK_MS, 0);
+            assert!(plan.has_care_faults());
+            assert!(!plan.has_frame_faults());
+            for f in &plan.faults {
+                assert_eq!(f.kind, FaultKind::CaregiverNoAck);
+                assert!(f.from_ms <= f.to_ms, "{f:?}");
+            }
+            // The other generators never draw caregiver faults.
+            assert!(!FaultPlan::generate(seed, TOOLS).has_care_faults());
+            assert!(!FaultPlan::generate_served(seed).has_care_faults());
         }
     }
 

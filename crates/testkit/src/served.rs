@@ -86,7 +86,7 @@ pub fn serve_with_faults(
     base: &PipeFaults,
     disconnect: Option<(u32, u64)>,
 ) -> ServeOutcome {
-    let ctx = ServeCtx::new(cfg);
+    let ctx = ServeCtx::new(cfg).expect("served DST fleets are far below the u32 ceiling");
     let make = |home: u32, digest: u64| {
         let mut faults = base.clone();
         if let Some((h, cut)) = disconnect {

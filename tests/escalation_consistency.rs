@@ -1,0 +1,98 @@
+//! The caregiver escalation overlay inherits the fleet's determinism
+//! contract wholesale: the escalation log — every raise, ack, and
+//! resolution, with its severity and trigger — is bit-identical at any
+//! worker count, on either queue engine, and whether the fleet runs in
+//! batch or behind the online serving front end. The monitor is a pure
+//! fold over the write-ahead event log, so any divergence here means
+//! the underlying event stream itself diverged.
+
+use coreda::core::escalation::CarePolicy;
+use coreda::core::metro::{run_scale, run_scale_care, EngineKind, MetroConfig};
+use coreda::des::time::SimDuration;
+use coreda::serve::{serve_scale, ServeOptions};
+
+fn metro_cfg(jobs: usize, engine: EngineKind) -> MetroConfig {
+    MetroConfig {
+        homes: 16,
+        horizon: SimDuration::from_secs(900),
+        seed: 2007,
+        jobs,
+        engine,
+        gap_min: SimDuration::from_secs(60),
+        gap_max: SimDuration::from_secs(180),
+        idle_close: SimDuration::from_secs(120),
+        train_episodes: 120,
+        ..MetroConfig::default()
+    }
+}
+
+/// A policy eager enough that a 900 s horizon raises real escalations —
+/// an empty log would make every equality below vacuous.
+fn eager_policy() -> CarePolicy {
+    CarePolicy {
+        prompt_failure_streak: 1,
+        missed_adl_streak: 1,
+        drift_window: 4,
+        drift_min_reminders: 2,
+        ack_delay_ms: [30_000, 15_000, 5_000],
+        resolve_after_ms: 20_000,
+        ..CarePolicy::default()
+    }
+}
+
+#[test]
+fn escalation_log_is_byte_identical_at_jobs_1_and_8() {
+    let policy = eager_policy();
+    let (serial_report, serial) = run_scale_care(&metro_cfg(1, EngineKind::Wheel), &policy);
+    let (parallel_report, parallel) = run_scale_care(&metro_cfg(8, EngineKind::Wheel), &policy);
+    assert!(!serial.events.is_empty(), "the eager policy must actually fire");
+    // Full structural equality of every event, then the rendered bytes.
+    assert_eq!(serial.events, parallel.events);
+    assert_eq!(serial.render_log(), parallel.render_log());
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.analytics, parallel.analytics);
+    assert_eq!(serial_report, parallel_report);
+}
+
+#[test]
+fn escalation_log_is_engine_invariant() {
+    let policy = eager_policy();
+    let (_, wheel) = run_scale_care(&metro_cfg(1, EngineKind::Wheel), &policy);
+    let (_, heap) = run_scale_care(&metro_cfg(1, EngineKind::Heap), &policy);
+    assert_eq!(wheel.events, heap.events);
+    assert_eq!(wheel.render_log(), heap.render_log());
+    assert_eq!(wheel.analytics, heap.analytics);
+}
+
+#[test]
+fn served_escalations_equal_the_batch_overlay() {
+    let policy = eager_policy();
+    let (_, batch) = run_scale_care(&metro_cfg(1, EngineKind::Wheel), &policy);
+    for jobs in [1usize, 8] {
+        let opts =
+            ServeOptions { record: false, trace: false, care: Some(policy.clone()) };
+        let served = serve_scale(metro_cfg(jobs, EngineKind::Wheel), &opts)
+            .expect("sixteen homes fit in u32");
+        let care = served.care.as_ref().expect("care was requested");
+        // The served overlay — every event having ridden the wire as an
+        // `Escalate` frame — is the batch overlay, byte for byte.
+        assert_eq!(care.events, batch.events, "jobs {jobs}");
+        assert_eq!(care.render_log(), batch.render_log(), "jobs {jobs}");
+        assert_eq!(care.analytics, batch.analytics, "jobs {jobs}");
+        assert_eq!(
+            served.wire.escalations,
+            batch.events.len() as u64,
+            "every escalation event must reach a client as one frame (jobs {jobs})"
+        );
+    }
+}
+
+#[test]
+fn the_overlay_never_perturbs_the_fleet() {
+    // Care is observation only: the report with the monitor attached is
+    // the report without it, bit for bit.
+    let plain = run_scale(&metro_cfg(2, EngineKind::Wheel));
+    let (report, _) = run_scale_care(&metro_cfg(2, EngineKind::Wheel), &eager_policy());
+    assert_eq!(plain, report);
+    assert_eq!(plain.render(), report.render());
+}

@@ -25,7 +25,7 @@ fn golden_cfg() -> MetroConfig {
 
 #[test]
 fn report_body_matches_the_golden_file() {
-    let report = run_loadgen(golden_cfg(), None);
+    let report = run_loadgen(golden_cfg(), None).expect("four homes fit in u32");
     let golden_path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/loadgen_report.txt");
     let golden = std::fs::read_to_string(&golden_path)
@@ -38,9 +38,31 @@ fn report_body_matches_the_golden_file() {
     );
 }
 
+/// A run with zero deliveries must say so in the deterministic body —
+/// the second golden (`tests/golden/loadgen_report_empty.txt`) pins the
+/// explicit `delivery latency: (no deliveries)` line so the empty case
+/// can never silently regress back to a missing line.
+#[test]
+fn empty_run_body_matches_the_empty_golden_file() {
+    let quiet = MetroConfig { horizon: SimDuration::from_secs(1), ..golden_cfg() };
+    let report = run_loadgen(quiet, None).expect("four homes fit in u32");
+    assert_eq!(report.wire.delivers, 0, "a 1 s horizon must deliver nothing");
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/loadgen_report_empty.txt");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    assert!(golden.contains("delivery latency: (no deliveries)"));
+    assert_eq!(
+        report.render(),
+        golden,
+        "empty-run body drifted from the golden file; if the change is \
+         intentional, update tests/golden/loadgen_report_empty.txt"
+    );
+}
+
 #[test]
 fn timing_lines_have_quantiles_but_stay_out_of_the_body() {
-    let report = run_loadgen(golden_cfg(), None);
+    let report = run_loadgen(golden_cfg(), None).expect("four homes fit in u32");
     let timing = report.render_timing();
     assert!(timing.contains("wall:"), "{timing}");
     assert!(timing.contains("p50") && timing.contains("p95") && timing.contains("p99"), "{timing}");

@@ -33,7 +33,8 @@ fn served_equals_batch_on_both_engines_at_any_jobs() {
         assert_eq!(walled, batch, "event logging must not perturb the batch run");
         let mut wire = None;
         for jobs in [1usize, 8] {
-            let served = serve_scale(cfg(jobs, engine), &ServeOptions::default());
+            let served = serve_scale(cfg(jobs, engine), &ServeOptions::default())
+                .expect("six homes fit in u32");
             // Full structural equality plus the rendered bytes: the wire
             // round-trip of every wake must change nothing.
             assert_eq!(served.output.report, batch, "{engine} jobs {jobs}");
@@ -55,8 +56,9 @@ fn served_equals_batch_on_both_engines_at_any_jobs() {
 fn served_telemetry_is_bit_identical_to_the_traced_batch() {
     let traced = run_scale_traced(&cfg(1, EngineKind::Wheel));
     for jobs in [1usize, 8] {
-        let opts = ServeOptions { record: false, trace: true };
-        let served = serve_scale(cfg(jobs, EngineKind::Wheel), &opts);
+        let opts = ServeOptions { record: false, trace: true, care: None };
+        let served =
+            serve_scale(cfg(jobs, EngineKind::Wheel), &opts).expect("six homes fit in u32");
         assert_eq!(served.output.report, traced.report, "jobs {jobs}");
         assert_eq!(
             served.output.telemetry.to_jsonl(),
@@ -72,8 +74,10 @@ fn served_engines_agree_home_for_home() {
     // a dense tick poll), so whole-report equality is out (`des_events`
     // counts raw queue traffic) — but every home's outcome and every
     // delivery must agree, served, across engines *and* worker counts.
-    let wheel = serve_scale(cfg(1, EngineKind::Wheel), &ServeOptions::default());
-    let heap = serve_scale(cfg(8, EngineKind::Heap), &ServeOptions::default());
+    let wheel = serve_scale(cfg(1, EngineKind::Wheel), &ServeOptions::default())
+        .expect("six homes fit in u32");
+    let heap = serve_scale(cfg(8, EngineKind::Heap), &ServeOptions::default())
+        .expect("six homes fit in u32");
     assert_eq!(wheel.output.report.per_home, heap.output.report.per_home);
     assert_eq!(wheel.log, heap.log);
 }
