@@ -17,8 +17,9 @@ bench:
 bench-fleet:
 	cargo bench -p coreda-bench --bench fleet_micro
 
-# Metro-scale serving grid (100/1k/10k homes), the timing-wheel vs
-# binary-heap engine duel, and snapshot encode/restore throughput for a
+# Metro-scale serving grid (100/1k/10k/100k homes), the timing-wheel vs
+# binary-heap engine duel, the epoch-tiled vs strict scheduling duel at
+# the 100k cache cliff, and snapshot encode/restore throughput for a
 # 1k-home checkpoint; writes BENCH_scale.json (release builds only).
 bench-scale:
 	cargo bench -p coreda-bench --bench scale_micro
@@ -51,7 +52,13 @@ bench-scale:
 # byte-identical across jobs 1↔8, wheel↔heap, and served≡batch), a
 # care-path fuzz budget drawing caregiver-outage fault plans against
 # the escalation_consistency oracle, and — via bench_check — the
-# committed care-overlay overhead under 5 %.
+# committed care-overlay overhead under 5 %. Epoch-tiled wake
+# scheduling gates through the locality_equivalence differential
+# (epoch ≡ strict down to WAL bytes, telemetry JSONL, care logs and
+# the served wire outcome, across jobs and engines, with sched-
+# agnostic checkpoints), the drain_until proptests riding the des
+# suite, the 100k-home smoke serve (epoch-tiled by default), and
+# bench_check's 100k-home throughput floor next to the 10k one.
 ci:
 	cargo build --release
 	cargo test -q
@@ -60,6 +67,7 @@ ci:
 	cargo test -q --test checkpoint_equivalence
 	cargo test -q --test serve_equivalence
 	cargo test -q --test escalation_consistency
+	cargo test -q --test locality_equivalence
 	cargo test -q --test loadgen_report
 	cargo test -q --test wire_format
 	cargo test -q --test trace_summary

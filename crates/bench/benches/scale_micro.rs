@@ -6,7 +6,9 @@
 //! 10k and 100k homes at 1/2/4/8 workers) and an `engine_compare` entry
 //! measuring the wheel + interned zero-alloc pipeline against the seed's
 //! dense heap-polling path at 1 000 homes on one worker — the speedup
-//! figure the ISSUE's acceptance bar reads — plus a `care_overhead`
+//! figure the ISSUE's acceptance bar reads — a `locality_duel` entry
+//! pricing epoch-tiled wake scheduling against the strict `(due, seq)`
+//! sweep at the 100k-home cache cliff, plus a `care_overhead`
 //! entry pricing the caregiver escalation overlay and fleet analytics
 //! reduction at 10k homes (paired-ratio protocol, bar <= 5 %), a
 //! `checkpoint` entry
@@ -30,7 +32,8 @@ use coreda_core::checkpoint::{
 };
 use coreda_core::fleet::default_jobs;
 use coreda_core::metro::{
-    run_scale, run_scale_checkpointed, run_scale_durable, run_scale_traced, EngineKind, MetroConfig,
+    run_scale, run_scale_checkpointed, run_scale_durable, run_scale_traced, EngineKind,
+    MetroConfig, SchedMode,
 };
 use coreda_core::wal::encode_wal;
 use coreda_des::time::{SimDuration, SimTime};
@@ -323,20 +326,19 @@ fn durability_json() -> String {
     )
 }
 
-/// Where the 100k-home wall clock goes. Event throughput falls from
-/// ~1.3 M ev/s at 10k homes to ~0.5 M at 100k with identical per-home
-/// work, and this breakdown separates the two candidate causes: a
-/// 1-second-horizon run prices fleet construction (spec interning,
-/// arena allocation, wheel slots — the first episode draw lands at
-/// 60-240 s, so no home has woken yet), and the remainder of the full
-/// grid cell is pure serving. Construction is a few percent and
-/// amortises, so the cliff lives in the serve phase: the
-/// struct-of-arrays fleet state runs ~5.8 kB/home marginal (see
-/// `memory`), so a 100k fleet is ~580 MB against ~58 MB at 10k — a 10x
-/// working-set jump that outruns every cache level and the TLB, so
-/// each wake touches cold lines. Any future fix is batching wakes by
-/// arena locality, not engine work; these numbers are the baseline for
-/// that PR.
+/// Where the 100k-home wall clock goes. A 1-second-horizon run prices
+/// fleet construction (spec interning, arena allocation, wheel slots —
+/// the first episode draw lands at 60-240 s, so no home has woken
+/// yet), and the remainder of the full grid cell is pure serving.
+/// Construction is a few percent and amortises, so whatever gap exists
+/// between fleet sizes lives in the serve phase: the struct-of-arrays
+/// fleet state runs ~5.8 kB/home marginal (see `memory`), so a 100k
+/// fleet is ~580 MB against ~58 MB at 10k — a 10x working-set jump
+/// that outruns every cache level and the TLB. Under the strict
+/// `(due, seq)` sweep that cliff cost ~2.5x of throughput; epoch
+/// tiling (the default, priced head-to-head in `locality_duel`) serves
+/// each window's wakes in arena order so consecutive wakes share
+/// lines, closing most of it.
 fn phase_breakdown_json() -> String {
     let rows: Vec<String> = [(10_000usize, 360u64), (100_000, 120)]
         .iter()
@@ -362,6 +364,41 @@ fn phase_breakdown_json() -> String {
         })
         .collect();
     format!("  \"phase_breakdown\": [\n{}\n  ]", rows.join(",\n"))
+}
+
+/// The scheduling-mode duel at the cache cliff: 100k homes, one
+/// worker, epoch-tiled locality-aware wake order vs the strict
+/// `(due, seq)` sweep. The two modes must agree home for home before
+/// their wall clocks mean anything — epoch tiling is a pure
+/// performance knob, and the `locality_equivalence` suite holds that
+/// line down to WAL bytes. The speedup figure is the acceptance bar
+/// for the epoch-tiling PR: the strict sweep hops arenas in due order
+/// (cold line per wake at this working-set size), the tiled sweep
+/// serves each 256 ms window in ascending arena order with the next
+/// home's lanes prefetched.
+fn locality_duel_json() -> String {
+    let epoch_cfg = cfg(100_000, 120, 1, EngineKind::Wheel);
+    let strict_cfg = MetroConfig {
+        sched: SchedMode::Strict,
+        ..cfg(100_000, 120, 1, EngineKind::Wheel)
+    };
+    assert_eq!(
+        run_scale(&epoch_cfg).per_home,
+        run_scale(&strict_cfg).per_home,
+        "sched modes diverged; timings would compare different work"
+    );
+    let (epoch_secs, ticks) = measure(&epoch_cfg);
+    let (strict_secs, _) = measure(&strict_cfg);
+    format!(
+        "  \"locality_duel\": {{\"homes\": 100000, \"sim_secs\": 120, \"jobs\": 1, \
+         \"pipeline_ticks\": {ticks}, \
+         \"epoch_secs\": {epoch_secs:.4}, \"strict_secs\": {strict_secs:.4}, \
+         \"epoch_events_per_sec\": {:.0}, \"strict_events_per_sec\": {:.0}, \
+         \"speedup\": {:.2}}}",
+        ticks as f64 / epoch_secs,
+        ticks as f64 / strict_secs,
+        strict_secs / epoch_secs
+    )
 }
 
 /// Snapshot codec throughput at fleet scale: encode and restore a
@@ -444,10 +481,11 @@ fn emit_report(_c: &mut Criterion) {
         return;
     }
     let json = format!(
-        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n}}\n",
+        "{{\n\"bench\": \"scale_micro\",\n\"host_cores\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n}}\n",
         default_jobs(),
         grid_json(),
         engine_compare_json(),
+        locality_duel_json(),
         telemetry_overhead_json(),
         care_overhead_json(),
         checkpoint_json(),

@@ -1,8 +1,12 @@
-//! Bench-regression gate: re-measures the 10k-home serving cell and
-//! fails (exit 1) when fresh throughput drops more than 10 % below the
-//! `events_per_sec` committed in `BENCH_scale.json` — the `make ci` hook
-//! that keeps the scale numbers honest without re-running the full
-//! criterion suite. Two further gates ride along:
+//! Bench-regression gate: re-measures the 10k-home and 100k-home
+//! serving cells and fails (exit 1) when fresh throughput drops more
+//! than 10 % below the `events_per_sec` committed in `BENCH_scale.json`
+//! — the `make ci` hook that keeps the scale numbers honest without
+//! re-running the full criterion suite. The 100k cell is the epoch-
+//! tiling guarantee: that row only holds its committed rate while wakes
+//! serve in arena order, so a regression here means the locality
+//! scheduling broke even if every equivalence test still passes.
+//! Further gates ride along:
 //!
 //! - the committed `telemetry_overhead.overhead_pct` must stay under
 //!   12 % — the recorder's true cost is ~0-3 % and the contract says
@@ -33,14 +37,17 @@ use coreda_core::checkpoint::{save_checkpoint, save_delta};
 use coreda_core::metro::{run_scale, run_scale_durable, EngineKind, MetroConfig};
 use coreda_des::time::{SimDuration, SimTime};
 
-const HOMES: usize = 10_000;
-const SIM_SECS: u64 = 360;
 const JOBS: usize = 1;
 
-fn cfg() -> MetroConfig {
+/// The gated grid cells: (homes, sim_secs). The 10k cell is the
+/// original throughput gate; the 100k cell sits past the cache cliff
+/// and holds the epoch-tiling speedup in place.
+const GATED_CELLS: [(usize, u64); 2] = [(10_000, 360), (100_000, 120)];
+
+fn cfg(homes: usize, sim_secs: u64) -> MetroConfig {
     MetroConfig {
-        homes: HOMES,
-        horizon: SimDuration::from_secs(SIM_SECS),
+        homes,
+        horizon: SimDuration::from_secs(sim_secs),
         seed: 2007,
         jobs: JOBS,
         engine: EngineKind::Wheel,
@@ -51,8 +58,8 @@ fn cfg() -> MetroConfig {
 /// Best of two timed runs after one warm-up — the same protocol
 /// `scale_micro`'s `measure()` uses, so the comparison is apples to
 /// apples with the committed file.
-fn measure() -> (f64, u64) {
-    let config = cfg();
+fn measure(homes: usize, sim_secs: u64) -> (f64, u64) {
+    let config = cfg(homes, sim_secs);
     let ticks = run_scale(&config).pipeline_ticks();
     let secs = (0..2)
         .map(|_| {
@@ -65,11 +72,11 @@ fn measure() -> (f64, u64) {
 }
 
 /// Pulls `events_per_sec` out of the committed grid row for
-/// (`HOMES`, `JOBS`) with a hand-rolled scan — the committed file is
-/// written by our own bench, so its shape is stable and a JSON crate
-/// would be a dependency for one line.
-fn committed_events_per_sec(json: &str) -> Option<f64> {
-    let row_key = format!("\"homes\": {HOMES}, \"sim_secs\": {SIM_SECS}, \"jobs\": {JOBS},");
+/// (`homes`, `sim_secs`, `JOBS`) with a hand-rolled scan — the
+/// committed file is written by our own bench, so its shape is stable
+/// and a JSON crate would be a dependency for one line.
+fn committed_events_per_sec(json: &str, homes: usize, sim_secs: u64) -> Option<f64> {
+    let row_key = format!("\"homes\": {homes}, \"sim_secs\": {sim_secs}, \"jobs\": {JOBS},");
     scan_field(&json[json.find(&row_key)?..], "events_per_sec")
 }
 
@@ -135,36 +142,47 @@ fn main() {
         return;
     }
 
-    let (secs, ticks) = measure();
-    #[allow(clippy::cast_precision_loss)]
-    let fresh = ticks as f64 / secs;
-    println!("bench_check: {HOMES} homes x {SIM_SECS} s, jobs={JOBS}: {fresh:.0} events/s ({secs:.3} s)");
-    if measure_only {
-        return;
-    }
-
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
-    let json = match std::fs::read_to_string(path) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("bench_check: cannot read {path}: {e}");
-            std::process::exit(1);
+    let json = if measure_only {
+        String::new()
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("bench_check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
         }
     };
-    let Some(committed) = committed_events_per_sec(&json) else {
-        eprintln!("bench_check: no grid row for homes={HOMES} jobs={JOBS} in {path}");
-        std::process::exit(1);
-    };
-    let floor = committed * (1.0 - tolerance_pct / 100.0);
-    println!(
-        "bench_check: committed {committed:.0} events/s, floor {floor:.0} (-{tolerance_pct}%)"
-    );
-    if fresh < floor {
-        eprintln!(
-            "bench_check: REGRESSION — fresh {fresh:.0} events/s is more than \
-             {tolerance_pct}% below the committed {committed:.0}"
+    for &(homes, sim_secs) in &GATED_CELLS {
+        let (secs, ticks) = measure(homes, sim_secs);
+        #[allow(clippy::cast_precision_loss)]
+        let fresh = ticks as f64 / secs;
+        println!(
+            "bench_check: {homes} homes x {sim_secs} s, jobs={JOBS}: \
+             {fresh:.0} events/s ({secs:.3} s)"
         );
-        std::process::exit(1);
+        if measure_only {
+            continue;
+        }
+        let Some(committed) = committed_events_per_sec(&json, homes, sim_secs) else {
+            eprintln!("bench_check: no grid row for homes={homes} jobs={JOBS} in {path}");
+            std::process::exit(1);
+        };
+        let floor = committed * (1.0 - tolerance_pct / 100.0);
+        println!(
+            "bench_check: committed {committed:.0} events/s, floor {floor:.0} (-{tolerance_pct}%)"
+        );
+        if fresh < floor {
+            eprintln!(
+                "bench_check: REGRESSION — {homes} homes fresh {fresh:.0} events/s is \
+                 more than {tolerance_pct}% below the committed {committed:.0}"
+            );
+            std::process::exit(1);
+        }
+    }
+    if measure_only {
+        return;
     }
 
     // The committed recorder overhead: wall clock on a drifting host, so

@@ -315,7 +315,7 @@ fn metro_config(
     default_hours: f64,
 ) -> Result<coreda_core::metro::MetroConfig, Box<dyn Error>> {
     use coreda_core::fleet::default_jobs;
-    use coreda_core::metro::{EngineKind, MetroConfig};
+    use coreda_core::metro::{EngineKind, MetroConfig, SchedMode};
     use coreda_des::time::SimDuration;
 
     let homes: usize = p.get_parsed("homes", default_homes)?;
@@ -329,6 +329,16 @@ fn metro_config(
             return Err(format!("unknown engine {other:?}; available: wheel, heap").into())
         }
     };
+    // A pure performance knob — results are bit-identical either way —
+    // kept switchable so regressions can be bisected against the
+    // strict-order reference sweep.
+    let sched = match p.get_or("sched", "epoch").to_ascii_lowercase().as_str() {
+        "epoch" => SchedMode::Epoch,
+        "strict" => SchedMode::Strict,
+        other => {
+            return Err(format!("unknown sched {other:?}; available: epoch, strict").into())
+        }
+    };
     if homes == 0 {
         return Err("--homes must be at least 1".into());
     }
@@ -337,7 +347,7 @@ fn metro_config(
     }
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let horizon = SimDuration::from_millis((hours * 3_600_000.0) as u64);
-    Ok(MetroConfig { homes, horizon, seed, jobs, engine, ..MetroConfig::default() })
+    Ok(MetroConfig { homes, horizon, seed, jobs, engine, sched, ..MetroConfig::default() })
 }
 
 /// Encodes each fleet snapshot and writes it as `<prefix>-<N>s.ckpt`,

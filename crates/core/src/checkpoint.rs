@@ -2790,6 +2790,13 @@ mod tests {
             d,
             config_digest(&MetroConfig { engine: crate::metro::EngineKind::Heap, ..base.clone() })
         );
+        assert_eq!(
+            d,
+            config_digest(&MetroConfig {
+                sched: crate::metro::SchedMode::Strict,
+                ..base.clone()
+            })
+        );
         // ...while anything trajectory-shaping changes it.
         assert_ne!(d, config_digest(&MetroConfig { homes: 17, ..base.clone() }));
         assert_ne!(d, config_digest(&MetroConfig { seed: 3, ..base.clone() }));

@@ -77,6 +77,35 @@ impl std::fmt::Display for EngineKind {
     }
 }
 
+/// How the wake loop orders same-window work. Both modes produce
+/// bit-identical output — reports, telemetry, WAL, checkpoints, care
+/// logs, served streams — because the reorder is applied only across
+/// *distinct homes*, which never interact; the mode is excluded from
+/// [`config_digest`] like `jobs` and `engine`, so checkpoints move
+/// freely between modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Epoch-tiled locality scheduling (the default): all wakes inside a
+    /// bounded near-instant window ([`EPOCH_MS`]) drain in one pass and
+    /// are served grouped by home in ascending arena order, so a 100k-home
+    /// sweep touches each due home's state once per window instead of
+    /// once per instant.
+    Epoch,
+    /// Strict global `(due, seq)` order, batching only wakes that share
+    /// one exact instant — the reference sweep the differential suite
+    /// holds epoch tiling against.
+    Strict,
+}
+
+impl std::fmt::Display for SchedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SchedMode::Epoch => "epoch",
+            SchedMode::Strict => "strict",
+        })
+    }
+}
+
 /// Configuration of a metro-scale serving run.
 #[derive(Debug, Clone)]
 pub struct MetroConfig {
@@ -103,6 +132,9 @@ pub struct MetroConfig {
     /// the previous session open into the next episode, producing
     /// cross-activity flags and abandoned closes — deliberate overlap.
     pub idle_close: SimDuration,
+    /// Wake-ordering mode. Like `jobs` and `engine`, a pure performance
+    /// knob: results are bit-identical either way.
+    pub sched: SchedMode,
 }
 
 impl Default for MetroConfig {
@@ -118,6 +150,7 @@ impl Default for MetroConfig {
             system: CoredaConfig::default(),
             train_episodes: 150,
             idle_close: SimDuration::from_secs(120),
+            sched: SchedMode::Epoch,
         }
     }
 }
@@ -374,12 +407,73 @@ struct SchedState {
     offset_ms: u64,
 }
 
+/// Hot per-home lanes: everything the wake loop reads or writes on
+/// *every* wake — the scheduling record and the statistics counters —
+/// packed into one `Copy` row so a wake touches one contiguous record
+/// (and one TLB page stream) instead of two parallel arrays. Cold state
+/// stays out of line: sensor EEPROMs allocate on first write inside the
+/// `Coreda` arena, session history lives in the trackers, and the
+/// planner/renderer tables are `Arc`-shared — none of it is touched
+/// unless the wake actually does work.
+#[derive(Debug, Clone, Copy)]
+struct HomeLanes {
+    sched: SchedState,
+    stats: HomeStats,
+}
+
+/// Best-effort prefetch of the cache line holding `*p` into L1. The
+/// epoch sweep serves homes in ascending arena order and knows the next
+/// due home before finishing the current one, so issuing these a chain
+/// ahead hides the DRAM latency of a 100k-home working set that no
+/// cache level covers. A no-op on architectures without a hint.
+#[inline(always)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a pure performance hint; any address is safe.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(p.cast::<i8>(), std::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: prfm is a pure performance hint; any address is safe.
+    unsafe {
+        std::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
+
 /// The smallest instant on a home's 100 ms grid at or after `t`.
 fn align_up(offset_ms: u64, t: SimTime) -> SimTime {
     let ms = t.as_millis();
     let rel = ms.saturating_sub(offset_ms);
     let steps = rel.div_ceil(Coreda::TICK.as_millis());
     SimTime::from_millis(offset_ms + steps * Coreda::TICK.as_millis())
+}
+
+/// Width of the epoch-tiling window, in milliseconds: one level-0
+/// rotation of the timing wheel. Wakes within one window pop
+/// bucket-by-bucket without a cascade anyway, so draining the whole
+/// window in one pass is pure batching — and the bound keeps a home's
+/// in-window follow-up chain short (a handful of 100 ms pipeline
+/// ticks), so the inline merge stays a linear scan over a tiny vec.
+const EPOCH_MS: u64 = 256;
+
+/// Routes a follow-up wake spawned while serving an epoch chain: dues
+/// inside the window stay inline (the chain serves them immediately, in
+/// due order), dues past it go to the queue like any other wake. Legal
+/// because the simulator clock already sits at the window end.
+fn push_follow(
+    sim: &mut Simulator<Wake>,
+    inline: &mut Vec<SimTime>,
+    end: SimTime,
+    due: SimTime,
+    i: usize,
+) {
+    if due <= end {
+        inline.push(due);
+    } else {
+        sim.schedule_at(due, Wake(i));
+    }
 }
 
 fn draw_gap(rng: &mut SimRng, gap_min_ms: u64, gap_max_ms: u64) -> SimDuration {
@@ -470,8 +564,8 @@ struct Shard<'a> {
     /// Gap/start draws — drawn at the same points by both engines.
     sched_rngs: Vec<SimRng>,
     episodes: Vec<Option<RunningEpisode>>,
-    sched: Vec<SchedState>,
-    stats: Vec<HomeStats>,
+    /// Hot lanes: per-home scheduling + statistics, one row per home.
+    hot: Vec<HomeLanes>,
     /// Serving taps: outer `Some` when the run records event streams.
     taps: Option<Vec<Vec<TapEvent>>>,
     /// Flight recorders: outer `Some` when the run collects telemetry.
@@ -488,8 +582,12 @@ struct Shard<'a> {
     /// Session events buffered during a tick (the report sink cannot
     /// borrow the recorder while `live_tick` holds it).
     scratch_sessions: Vec<SessionEvent>,
-    /// Same-instant wake batch — wake-loop scratch.
+    /// Same-instant wake batch — strict wake-loop scratch.
     batch: Vec<usize>,
+    /// Drained epoch window — epoch wake-loop scratch.
+    epoch: Vec<(SimTime, Wake)>,
+    /// In-window follow-ups of the chain being served — epoch scratch.
+    inline: Vec<SimTime>,
     gap_min_ms: u64,
     gap_max_ms: u64,
 }
@@ -510,7 +608,7 @@ impl<'a> Shard<'a> {
         let mut systems = Vec::with_capacity(count * acts);
         let mut roots = Vec::with_capacity(count);
         let mut sched_rngs = Vec::with_capacity(count);
-        let mut sched = Vec::with_capacity(count);
+        let mut hot = Vec::with_capacity(count);
         for id in first_home..first_home + count {
             for (act, (spec, template)) in ctx.specs.iter().zip(&ctx.templates).enumerate() {
                 let seed = derive_seed(cfg.seed, "metro-system", (id as u64) * 16 + act as u64);
@@ -526,11 +624,14 @@ impl<'a> Shard<'a> {
             let mut sched_rng = root.substream("sched", 0);
             let offset_ms = (id as u64 * 7 + 3) % 100;
             let first = draw_gap(&mut sched_rng, cfg.gap_min.as_millis(), cfg.gap_max.as_millis());
-            sched.push(SchedState {
-                ep_index: 0,
-                next_start: align_up(offset_ms, SimTime::ZERO + first),
-                last_handled: None,
-                offset_ms,
+            hot.push(HomeLanes {
+                sched: SchedState {
+                    ep_index: 0,
+                    next_start: align_up(offset_ms, SimTime::ZERO + first),
+                    last_handled: None,
+                    offset_ms,
+                },
+                stats: HomeStats::default(),
             });
             roots.push(root);
             sched_rngs.push(sched_rng);
@@ -544,8 +645,7 @@ impl<'a> Shard<'a> {
             roots,
             sched_rngs,
             episodes: (0..count).map(|_| None).collect(),
-            sched,
-            stats: vec![HomeStats::default(); count],
+            hot,
             taps: record.then(|| (0..count).map(|_| Vec::new()).collect()),
             recs: trace.then(|| (0..count).map(|_| HomeRecorder::new()).collect()),
             wal: log.then(Vec::new),
@@ -560,13 +660,15 @@ impl<'a> Shard<'a> {
             behavior: StochasticBehavior::new(PatientProfile::moderate(RESIDENT)),
             scratch_sessions: Vec::new(),
             batch: Vec::new(),
+            epoch: Vec::new(),
+            inline: Vec::new(),
             gap_min_ms: cfg.gap_min.as_millis(),
             gap_max_ms: cfg.gap_max.as_millis(),
         }
     }
 
     fn len(&self) -> usize {
-        self.sched.len()
+        self.hot.len()
     }
 
     /// The canonical per-instant sequence for home `i` — identical code
@@ -574,15 +676,15 @@ impl<'a> Shard<'a> {
     /// calling it at every instant where anything can change.
     fn poll_instant(&mut self, i: usize, now: SimTime) {
         // 1. Begin the next episode when its start arrives.
-        if self.episodes[i].is_none() && now >= self.sched[i].next_start {
-            let ep_index = self.sched[i].ep_index;
+        if self.episodes[i].is_none() && now >= self.hot[i].sched.next_start {
+            let ep_index = self.hot[i].sched.ep_index;
             let act = usize::try_from(ep_index).unwrap_or(usize::MAX) % self.acts;
             let mut rng = self.roots[i].substream("episode", ep_index);
             let system = &mut self.systems[i * self.acts + act];
             let ep =
                 system.begin_live(&self.ctx.routines[act], &mut self.behavior, now, &mut rng, None);
             self.episodes[i] = Some(RunningEpisode { act, ep, rng });
-            self.stats[i].episodes_started += 1;
+            self.hot[i].stats.episodes_started += 1;
             if let Some(taps) = self.taps.as_mut() {
                 taps[i].push(TapEvent::EpisodeStarted { at: now, act });
             }
@@ -603,7 +705,7 @@ impl<'a> Shard<'a> {
             if now >= run.ep.next_tick_at() {
                 let system = &mut self.systems[i * self.acts + run.act];
                 let tracker = &mut self.trackers[i];
-                let stats = &mut self.stats[i];
+                let stats = &mut self.hot[i].stats;
                 let taps = &mut self.taps;
                 let scratch = &mut self.scratch_sessions;
                 let out = system.live_tick(
@@ -624,7 +726,7 @@ impl<'a> Shard<'a> {
                         }
                     },
                 );
-                let stats = &mut self.stats[i];
+                let stats = &mut self.hot[i].stats;
                 stats.pipeline_ticks += 1;
                 stats.reminders += u64::from(out.reminders);
                 stats.praises += u64::from(out.praises);
@@ -659,7 +761,7 @@ impl<'a> Shard<'a> {
 
         // 3. Home-wide idle close (the tracker's clock tick).
         if let Some(ev) = self.trackers[i].on_tick(now) {
-            count_session_event(&mut self.stats[i], ev);
+            count_session_event(&mut self.hot[i].stats, ev);
             if let Some(taps) = self.taps.as_mut() {
                 taps[i].push(TapEvent::Session(ev));
             }
@@ -672,7 +774,7 @@ impl<'a> Shard<'a> {
         if finished {
             self.episodes[i] = None;
             let gap = draw_gap(&mut self.sched_rngs[i], self.gap_min_ms, self.gap_max_ms);
-            let s = &mut self.sched[i];
+            let s = &mut self.hot[i].sched;
             s.ep_index += 1;
             s.next_start = align_up(s.offset_ms, now + gap);
         }
@@ -692,7 +794,7 @@ impl<'a> Shard<'a> {
             self.poll_instant(i, now);
             return;
         }
-        let before = self.stats[i];
+        let before = self.hot[i].stats;
         let ep_before = self.episodes[i].is_some();
         self.poll_instant(i, now);
         // Quiet wake — the overwhelming majority under dense polling:
@@ -701,7 +803,7 @@ impl<'a> Shard<'a> {
         // trivial. Bail before building it; this keeps the overlay and
         // the log at O(activity) rather than O(ticks).
         {
-            let after = &self.stats[i];
+            let after = &self.hot[i].stats;
             if ep_before == self.episodes[i].is_some()
                 && after.episodes_started == before.episodes_started
                 && after.episodes_completed == before.episodes_completed
@@ -715,7 +817,7 @@ impl<'a> Shard<'a> {
                 return;
             }
         }
-        let after = self.stats[i];
+        let after = self.hot[i].stats;
         let started = after.episodes_started > before.episodes_started;
         let ep_after = self.episodes[i].is_some();
         let mut flags = 0u8;
@@ -734,7 +836,7 @@ impl<'a> Shard<'a> {
                 // Started and finished within this wake: the finish
                 // already advanced `ep_index` past the started episode.
                 None => {
-                    usize::try_from(self.sched[i].ep_index.wrapping_sub(1)).unwrap_or(usize::MAX)
+                    usize::try_from(self.hot[i].sched.ep_index.wrapping_sub(1)).unwrap_or(usize::MAX)
                         % self.acts
                 }
             };
@@ -782,7 +884,7 @@ impl<'a> Shard<'a> {
     /// and taps are not checkpointed — a resumed recorded run taps only
     /// the resumed segment.
     fn capture_home(&self, i: usize, pending: Vec<SimTime>) -> HomeCheckpoint {
-        let s = self.sched[i];
+        let s = self.hot[i].sched;
         HomeCheckpoint {
             systems: self.systems[i * self.acts..(i + 1) * self.acts]
                 .iter()
@@ -797,7 +899,7 @@ impl<'a> Shard<'a> {
             ep_index: s.ep_index,
             next_start: s.next_start,
             last_handled: s.last_handled,
-            stats: HomeStats { energy_uj: 0.0, ..self.stats[i] },
+            stats: HomeStats { energy_uj: 0.0, ..self.hot[i].stats },
             pending,
             rec: self.recs.as_ref().map(|r| r[i].export_state()),
         }
@@ -833,14 +935,14 @@ impl<'a> Shard<'a> {
             ep: LiveEpisode::from_state(ep),
             rng: SimRng::from_state_parts(rng.0, rng.1),
         });
-        let offset_ms = self.sched[i].offset_ms;
-        self.sched[i] = SchedState {
+        let offset_ms = self.hot[i].sched.offset_ms;
+        self.hot[i].sched = SchedState {
             ep_index: ckpt.ep_index,
             next_start: ckpt.next_start,
             last_handled: ckpt.last_handled,
             offset_ms,
         };
-        self.stats[i] = HomeStats { energy_uj: 0.0, ..ckpt.stats };
+        self.hot[i].stats = HomeStats { energy_uj: 0.0, ..ckpt.stats };
         // Counters merge across the snapshot boundary: a resumed traced
         // run's summary covers the whole run, not just the tail. An
         // untraced checkpoint resumed with tracing on simply starts a
@@ -859,8 +961,10 @@ struct ChunkOut {
     stats: Vec<HomeStats>,
     taps: Option<Vec<Vec<TapEvent>>>,
     recs: Option<Vec<HomeRecorder>>,
-    /// Shard-local write-ahead records, in wake order (already sorted by
-    /// `(at, home)` — the batch sweep visits homes in ascending order).
+    /// Shard-local write-ahead records, in wake order: `(at, home)`
+    /// under the strict sweep, home-major within each epoch window
+    /// under epoch tiling. Either way the global sort in
+    /// `run_scale_inner` lands on the same unique `(at, home)` order.
     wal: Option<Vec<WalRecord>>,
     des_events: u64,
     /// Shard-local queue high-water mark — engine- and jobs-dependent.
@@ -886,13 +990,23 @@ impl Shard<'_> {
         let now = sim.now();
         self.batch.clear();
         self.batch.push(first);
+        // Dense polling pops whole-fleet instants whose wakes were
+        // scheduled home-by-home in ascending order, so batches usually
+        // arrive already sorted and duplicate-free: detect that while
+        // collecting and skip the re-sort/dedup on the hot path.
+        let mut sorted_unique = true;
+        let mut last = first;
         while sim.next_due() == Some(now) {
             if let Some(Wake(i)) = sim.step() {
+                sorted_unique &= i > last;
+                last = i;
                 self.batch.push(i);
             }
         }
-        self.batch.sort_unstable();
-        self.batch.dedup();
+        if !sorted_unique {
+            self.batch.sort_unstable();
+            self.batch.dedup();
+        }
         now
     }
 
@@ -913,20 +1027,20 @@ impl Shard<'_> {
             let now = self.collect_batch(sim, first);
             let mut batch = std::mem::take(&mut self.batch);
             for &i in &batch {
-                if self.sched[i].last_handled == Some(now) {
+                if self.hot[i].sched.last_handled == Some(now) {
                     // A duplicate wake for an instant already served
                     // (dedup above catches these; kept for parity with
                     // the pre-batching loop).
                     continue;
                 }
-                self.sched[i].last_handled = Some(now);
+                self.hot[i].sched.last_handled = Some(now);
                 self.poll_wake(i, now);
                 if let Some(run) = &self.episodes[i] {
                     sim.schedule_at(run.ep.next_tick_at(), Wake(i));
                 } else {
-                    sim.schedule_at(self.sched[i].next_start, Wake(i));
+                    sim.schedule_at(self.hot[i].sched.next_start, Wake(i));
                     if let Some(deadline) = self.trackers[i].idle_deadline() {
-                        sim.schedule_at(align_up(self.sched[i].offset_ms, deadline), Wake(i));
+                        sim.schedule_at(align_up(self.hot[i].sched.offset_ms, deadline), Wake(i));
                     }
                 }
             }
@@ -944,7 +1058,7 @@ impl Shard<'_> {
             let now = self.collect_batch(sim, first);
             let mut batch = std::mem::take(&mut self.batch);
             for &i in &batch {
-                self.sched[i].last_handled = Some(now);
+                self.hot[i].sched.last_handled = Some(now);
                 self.poll_wake(i, now);
                 sim.schedule_at(now + Coreda::TICK, Wake(i));
             }
@@ -953,10 +1067,139 @@ impl Shard<'_> {
         }
     }
 
-    fn segment(&mut self, sim: &mut Simulator<Wake>, engine: EngineKind, until: SimTime) {
-        match engine {
-            EngineKind::Wheel => self.wheel_segment(sim, until),
-            EngineKind::Heap => self.heap_segment(sim, until),
+    /// Serves every wake up to `until` in epoch-tiled order: drain a
+    /// bounded near-instant window ([`EPOCH_MS`]) from the queue in one
+    /// pass, regroup its wakes by home, and serve each home's chain
+    /// contiguously with the next chain's lanes prefetched. Distinct
+    /// homes never interact, so reordering *across* homes within the
+    /// window is unobservable; *within* a home the chain is served in
+    /// strict due order (including follow-ups the chain spawns inside
+    /// the window), so every per-home output — and therefore every
+    /// deterministic artifact — is bit-identical to the strict sweep.
+    fn epoch_segment(&mut self, sim: &mut Simulator<Wake>, engine: EngineKind, until: SimTime) {
+        let mut epoch = std::mem::take(&mut self.epoch);
+        let mut inline = std::mem::take(&mut self.inline);
+        while let Some(t0) = sim.next_due() {
+            if t0 > until {
+                break;
+            }
+            // Clip to the segment stop: a checkpoint instant must see
+            // exactly the wakes due by then served, no more.
+            let end = SimTime::from_millis((t0.as_millis() + EPOCH_MS - 1).min(until.as_millis()));
+            epoch.clear();
+            sim.drain_until(end, &mut epoch);
+            // Group each home's wakes into one contiguous, due-ordered
+            // chain. Duplicate keys are identical tuples, so the
+            // unstable sort cannot reorder anything observable.
+            epoch.sort_unstable_by_key(|&(due, Wake(i))| (i, due));
+            let mut k = 0;
+            while k < epoch.len() {
+                let Wake(i) = epoch[k].1;
+                let mut k_end = k + 1;
+                while k_end < epoch.len() && epoch[k_end].1 .0 == i {
+                    k_end += 1;
+                }
+                // Pull the next chain's home into cache while this one
+                // is being served: one chain of pipeline work is ample
+                // distance to hide a main-memory load.
+                if k_end < epoch.len() {
+                    let Wake(j) = epoch[k_end].1;
+                    prefetch(&self.hot[j]);
+                    prefetch(&self.systems[j * self.acts]);
+                    prefetch(&self.trackers[j]);
+                    prefetch(&self.roots[j]);
+                }
+                self.serve_chain(sim, engine, i, &epoch[k..k_end], end, &mut inline);
+                k = k_end;
+            }
+        }
+        if until > sim.now() {
+            sim.advance_to(until);
+        }
+        self.epoch = epoch;
+        self.inline = inline;
+    }
+
+    /// Serves one home's chain of wakes within an epoch window: the
+    /// drained queue entries in `chain` merged with the follow-up wakes
+    /// the chain itself spawns inside the window (`inline`, consumed
+    /// empty by the time this returns). Equal-instant duplicates
+    /// collapse to a single served wake exactly as the strict sweep's
+    /// batch dedup does, and every consumed entry is counted so the DES
+    /// event totals match the strict engine's pop-per-event accounting.
+    fn serve_chain(
+        &mut self,
+        sim: &mut Simulator<Wake>,
+        engine: EngineKind,
+        i: usize,
+        chain: &[(SimTime, Wake)],
+        end: SimTime,
+        inline: &mut Vec<SimTime>,
+    ) {
+        debug_assert!(inline.is_empty());
+        let mut cursor = 0;
+        loop {
+            // Next instant: min over the remaining drained entries
+            // (due-sorted) and the inline follow-ups (unsorted, tiny).
+            let queued = chain.get(cursor).map(|&(due, _)| due);
+            let inlined = inline.iter().copied().min();
+            let now = match (queued, inlined) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            // Consume every entry at `now` — duplicates serve once.
+            while chain.get(cursor).is_some_and(|&(due, _)| due == now) {
+                cursor += 1;
+            }
+            let before = inline.len();
+            inline.retain(|&due| due != now);
+            sim.note_processed((before - inline.len()) as u64);
+            if engine == EngineKind::Wheel && self.hot[i].sched.last_handled == Some(now) {
+                // A duplicate wake for an instant already served (a
+                // resume rehydrates the wake that produced the
+                // checkpoint's `last_handled`) — consumed and counted,
+                // never re-served, matching the strict wheel sweep.
+                continue;
+            }
+            self.hot[i].sched.last_handled = Some(now);
+            self.poll_wake(i, now);
+            match engine {
+                EngineKind::Wheel => {
+                    if let Some(run) = &self.episodes[i] {
+                        push_follow(sim, inline, end, run.ep.next_tick_at(), i);
+                    } else {
+                        push_follow(sim, inline, end, self.hot[i].sched.next_start, i);
+                        if let Some(deadline) = self.trackers[i].idle_deadline() {
+                            push_follow(
+                                sim,
+                                inline,
+                                end,
+                                align_up(self.hot[i].sched.offset_ms, deadline),
+                                i,
+                            );
+                        }
+                    }
+                }
+                EngineKind::Heap => push_follow(sim, inline, end, now + Coreda::TICK, i),
+            }
+        }
+    }
+
+    fn segment(
+        &mut self,
+        sim: &mut Simulator<Wake>,
+        engine: EngineKind,
+        sched: SchedMode,
+        until: SimTime,
+    ) {
+        match sched {
+            SchedMode::Epoch => self.epoch_segment(sim, engine, until),
+            SchedMode::Strict => match engine {
+                EngineKind::Wheel => self.wheel_segment(sim, until),
+                EngineKind::Heap => self.heap_segment(sim, until),
+            },
         }
     }
 
@@ -1001,8 +1244,8 @@ impl Shard<'_> {
     fn finish(mut self, horizon: SimTime, des_events: u64, max_pending: usize, checkpoints: Vec<(u64, Vec<HomeCheckpoint>)>) -> ChunkOut {
         self.finish_care(horizon);
         let acts = self.acts;
-        for (i, stats) in self.stats.iter_mut().enumerate() {
-            stats.energy_uj =
+        for (i, lanes) in self.hot.iter_mut().enumerate() {
+            lanes.stats.energy_uj =
                 self.systems[i * acts..(i + 1) * acts].iter().map(Coreda::total_energy_uj).sum();
         }
         let care = self.care.map(|care| {
@@ -1014,7 +1257,7 @@ impl Shard<'_> {
             out
         });
         ChunkOut {
-            stats: self.stats,
+            stats: self.hot.into_iter().map(|lanes| lanes.stats).collect(),
             taps: self.taps,
             recs: self.recs,
             wal: self.wal,
@@ -1053,13 +1296,13 @@ fn run_chunk(
     match resume {
         None => match cfg.engine {
             EngineKind::Wheel => {
-                for (i, s) in shard.sched.iter().enumerate() {
-                    sim.schedule_at(s.next_start, Wake(i));
+                for (i, s) in shard.hot.iter().enumerate() {
+                    sim.schedule_at(s.sched.next_start, Wake(i));
                 }
             }
             EngineKind::Heap => {
-                for (i, s) in shard.sched.iter().enumerate() {
-                    sim.schedule_at(SimTime::from_millis(s.offset_ms), Wake(i));
+                for (i, s) in shard.hot.iter().enumerate() {
+                    sim.schedule_at(SimTime::from_millis(s.sched.offset_ms), Wake(i));
                 }
             }
         },
@@ -1076,10 +1319,10 @@ fn run_chunk(
 
     let mut checkpoints = Vec::with_capacity(stops.len());
     for &stop in stops {
-        shard.segment(&mut sim, cfg.engine, stop);
+        shard.segment(&mut sim, cfg.engine, cfg.sched, stop);
         checkpoints.push(shard.capture(&sim));
     }
-    shard.segment(&mut sim, cfg.engine, horizon_end);
+    shard.segment(&mut sim, cfg.engine, cfg.sched, horizon_end);
     shard.finish(horizon_end, sim.processed(), sim.max_pending(), checkpoints)
 }
 
@@ -1489,9 +1732,10 @@ fn run_scale_inner(
         telemetry.fleet.add(Ctr::TotalsSaturated, clamped);
     }
     if let Some(all) = wal_records.as_mut() {
-        // Shard streams are each `(at, home)`-ordered; one global sort
-        // merges them into the unique fleet-wide order (at most one
-        // record per `(at, home)`), making the log jobs-invariant.
+        // One global sort merges the shard streams — `(at, home)`-ordered
+        // under strict sweeps, home-major per epoch window under tiling —
+        // into the unique fleet-wide order (at most one record per
+        // `(at, home)`), making the log jobs- and sched-invariant.
         all.sort_unstable_by_key(|r| (r.at, r.home));
     }
     if let Some(out) = care_out.as_mut() {
@@ -1628,13 +1872,13 @@ impl ServeCtx {
         // Initial wakes, exactly as `run_chunk` schedules a fresh run.
         match self.cfg.engine {
             EngineKind::Wheel => {
-                for (i, s) in shard.sched.iter().enumerate() {
-                    sim.schedule_at(s.next_start, Wake(i));
+                for (i, s) in shard.hot.iter().enumerate() {
+                    sim.schedule_at(s.sched.next_start, Wake(i));
                 }
             }
             EngineKind::Heap => {
-                for (i, s) in shard.sched.iter().enumerate() {
-                    sim.schedule_at(SimTime::from_millis(s.offset_ms), Wake(i));
+                for (i, s) in shard.hot.iter().enumerate() {
+                    sim.schedule_at(SimTime::from_millis(s.sched.offset_ms), Wake(i));
                 }
             }
         }
@@ -1643,8 +1887,17 @@ impl ServeCtx {
             shard,
             sim,
             engine: self.cfg.engine,
+            sched: self.cfg.sched,
             horizon_end: SimTime::ZERO + self.cfg.horizon,
             wal_cursor: 0,
+            epoch_end: SimTime::ZERO,
+            epoch: Vec::new(),
+            chains: Vec::new(),
+            active: None,
+            chain_cursor: 0,
+            chain_end: 0,
+            inline: Vec::new(),
+            pending_wake: None,
         }
     }
 }
@@ -1659,11 +1912,29 @@ pub struct ServeSession<'a> {
     shard: Shard<'a>,
     sim: Simulator<Wake>,
     engine: EngineKind,
+    sched: SchedMode,
     horizon_end: SimTime,
     /// Records already drained into per-wake deliveries.
     wal_cursor: usize,
     /// Per-home care events already drained into `Escalate` frames.
     care_cursors: Vec<usize>,
+    /// End of the window [`ServeSession::next_epoch`] drained last.
+    epoch_end: SimTime,
+    /// The drained window, sorted by `(home, due)` — each home's wakes
+    /// form one contiguous, due-ordered chain.
+    epoch: Vec<(SimTime, Wake)>,
+    /// `(local home, chain start, chain end)` per due home, home-ascending.
+    chains: Vec<(usize, usize, usize)>,
+    /// The home whose chain [`ServeSession::next_wake`] is walking.
+    active: Option<usize>,
+    chain_cursor: usize,
+    chain_end: usize,
+    /// In-window follow-ups the active chain spawned; never queued.
+    inline: Vec<SimTime>,
+    /// An instant returned by [`ServeSession::next_wake`] but not yet
+    /// consumed by [`ServeSession::serve_wake`] — replayed on re-ask, so
+    /// a caller probing the same home twice cannot lose a wake.
+    pending_wake: Option<SimTime>,
 }
 
 impl std::fmt::Debug for ServeSession<'_> {
@@ -1726,12 +1997,12 @@ impl ServeSession<'_> {
             .expect("home outside this session");
         match self.engine {
             EngineKind::Wheel => {
-                if self.shard.sched[i].last_handled == Some(now) {
+                if self.shard.hot[i].sched.last_handled == Some(now) {
                     // Parity with `wheel_segment`: a duplicate wake for
                     // an already-served instant is consumed silently.
                     return;
                 }
-                self.shard.sched[i].last_handled = Some(now);
+                self.shard.hot[i].sched.last_handled = Some(now);
                 if skip {
                     return;
                 }
@@ -1739,21 +2010,191 @@ impl ServeSession<'_> {
                 if let Some(run) = &self.shard.episodes[i] {
                     self.sim.schedule_at(run.ep.next_tick_at(), Wake(i));
                 } else {
-                    self.sim.schedule_at(self.shard.sched[i].next_start, Wake(i));
+                    self.sim.schedule_at(self.shard.hot[i].sched.next_start, Wake(i));
                     if let Some(deadline) = self.shard.trackers[i].idle_deadline() {
                         self.sim
-                            .schedule_at(align_up(self.shard.sched[i].offset_ms, deadline), Wake(i));
+                            .schedule_at(align_up(self.shard.hot[i].sched.offset_ms, deadline), Wake(i));
                     }
                 }
             }
             EngineKind::Heap => {
-                self.shard.sched[i].last_handled = Some(now);
+                self.shard.hot[i].sched.last_handled = Some(now);
                 if skip {
                     return;
                 }
                 self.shard.poll_wake(i, now);
                 self.sim.schedule_at(now + Coreda::TICK, Wake(i));
             }
+        }
+        let wal = self.shard.wal.as_ref().expect("sessions always log");
+        deliveries.extend_from_slice(&wal[self.wal_cursor..]);
+        self.wal_cursor = wal.len();
+    }
+
+    /// Drains the next epoch window (up to the horizon) and fills `due`
+    /// with the fleet-global home ids owning wakes in it, ascending and
+    /// deduplicated. Under [`SchedMode::Epoch`] the window is
+    /// [`EPOCH_MS`] wide; under [`SchedMode::Strict`] it is the single
+    /// next instant, which makes the chain API reproduce the classic
+    /// batch sweep exactly. Returns the window's first instant, or
+    /// `None` when the horizon is served.
+    ///
+    /// Serve the returned homes in order: for each, loop
+    /// [`ServeSession::next_wake`] / [`ServeSession::serve_wake`] until
+    /// the chain is dry, then move on. Per-home wake sequences — and
+    /// with them every deliverable — are bit-identical to the
+    /// [`ServeSession::next_batch`] sweep in either mode.
+    pub fn next_epoch(&mut self, due: &mut Vec<u32>) -> Option<SimTime> {
+        due.clear();
+        debug_assert!(self.inline.is_empty() && self.pending_wake.is_none());
+        let t0 = self.sim.next_due().filter(|&t| t <= self.horizon_end)?;
+        let end = match self.sched {
+            SchedMode::Strict => t0,
+            SchedMode::Epoch => SimTime::from_millis(
+                (t0.as_millis() + EPOCH_MS - 1).min(self.horizon_end.as_millis()),
+            ),
+        };
+        self.epoch.clear();
+        self.chains.clear();
+        self.active = None;
+        self.sim.drain_until(end, &mut self.epoch);
+        self.epoch.sort_unstable_by_key(|&(due, Wake(i))| (i, due));
+        self.epoch_end = end;
+        let mut k = 0;
+        while k < self.epoch.len() {
+            let i = self.epoch[k].1 .0;
+            let mut k_end = k + 1;
+            while k_end < self.epoch.len() && self.epoch[k_end].1 .0 == i {
+                k_end += 1;
+            }
+            self.chains.push((i, k, k_end));
+            due.push(u32::try_from(self.shard.first_home + i).expect("fleets fit in u32"));
+            k = k_end;
+        }
+        Some(t0)
+    }
+
+    /// Advances `home`'s chain in the current epoch to its next distinct
+    /// wake instant and returns it, or `None` when the chain is dry (or
+    /// `home` owns no wakes in this window). Duplicate entries are
+    /// consumed and counted exactly as the batch engines dedup them.
+    /// Calling again before [`ServeSession::serve_wake`] returns the
+    /// same instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is outside the session's range.
+    pub fn next_wake(&mut self, home: u32) -> Option<SimTime> {
+        let i = (home as usize)
+            .checked_sub(self.shard.first_home)
+            .filter(|&i| i < self.shard.len())
+            .expect("home outside this session");
+        if self.active != Some(i) {
+            debug_assert!(
+                self.inline.is_empty() && self.pending_wake.is_none(),
+                "switched homes with an unserved chain"
+            );
+            let &(_, start, end) = self.chains.iter().find(|&&(h, _, _)| h == i)?;
+            self.active = Some(i);
+            self.chain_cursor = start;
+            self.chain_end = end;
+        }
+        if let Some(now) = self.pending_wake {
+            return Some(now);
+        }
+        loop {
+            let queued =
+                (self.chain_cursor < self.chain_end).then(|| self.epoch[self.chain_cursor].0);
+            let inlined = self.inline.iter().copied().min();
+            let now = match (queued, inlined) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => {
+                    self.active = None;
+                    return None;
+                }
+            };
+            while self.chain_cursor < self.chain_end && self.epoch[self.chain_cursor].0 == now {
+                self.chain_cursor += 1;
+            }
+            let before = self.inline.len();
+            self.inline.retain(|&due| due != now);
+            self.sim.note_processed((before - self.inline.len()) as u64);
+            if self.engine == EngineKind::Wheel && self.shard.hot[i].sched.last_handled == Some(now)
+            {
+                // Parity with the batch sweeps: a duplicate wake for an
+                // already-served instant is consumed silently.
+                continue;
+            }
+            self.pending_wake = Some(now);
+            return Some(now);
+        }
+    }
+
+    /// Serves the wake [`ServeSession::next_wake`] returned for `home`:
+    /// runs the canonical per-instant pipeline and routes the home's
+    /// follow-ups — in-window ones inline to this chain, later ones to
+    /// the queue. Observable transitions append to `deliveries` as
+    /// derived [`WalRecord`]s, exactly as [`ServeSession::serve_home`].
+    ///
+    /// With `skip` (a disconnected client) the wake is consumed without
+    /// touching home state or spawning follow-ups — the home freezes
+    /// and its chain drains, matching the classic skip semantics wake
+    /// for wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is outside the session's range.
+    pub fn serve_wake(&mut self, home: u32, at: SimTime, skip: bool, deliveries: &mut Vec<WalRecord>) {
+        let i = (home as usize)
+            .checked_sub(self.shard.first_home)
+            .filter(|&i| i < self.shard.len())
+            .expect("home outside this session");
+        debug_assert_eq!(self.active, Some(i), "serve_wake without a next_wake");
+        debug_assert_eq!(self.pending_wake, Some(at), "serve_wake instant mismatch");
+        self.pending_wake = None;
+        self.shard.hot[i].sched.last_handled = Some(at);
+        if skip {
+            return;
+        }
+        self.shard.poll_wake(i, at);
+        match self.engine {
+            EngineKind::Wheel => {
+                if let Some(run) = &self.shard.episodes[i] {
+                    push_follow(
+                        &mut self.sim,
+                        &mut self.inline,
+                        self.epoch_end,
+                        run.ep.next_tick_at(),
+                        i,
+                    );
+                } else {
+                    push_follow(
+                        &mut self.sim,
+                        &mut self.inline,
+                        self.epoch_end,
+                        self.shard.hot[i].sched.next_start,
+                        i,
+                    );
+                    if let Some(deadline) = self.shard.trackers[i].idle_deadline() {
+                        push_follow(
+                            &mut self.sim,
+                            &mut self.inline,
+                            self.epoch_end,
+                            align_up(self.shard.hot[i].sched.offset_ms, deadline),
+                            i,
+                        );
+                    }
+                }
+            }
+            EngineKind::Heap => push_follow(
+                &mut self.sim,
+                &mut self.inline,
+                self.epoch_end,
+                at + Coreda::TICK,
+                i,
+            ),
         }
         let wal = self.shard.wal.as_ref().expect("sessions always log");
         deliveries.extend_from_slice(&wal[self.wal_cursor..]);
@@ -1984,6 +2425,116 @@ mod tests {
             deliveries.sort_unstable_by_key(|r| (r.at, r.home));
             assert_eq!(deliveries, wal, "{engine} per-wake deliveries diverged");
         }
+    }
+
+    /// The tentpole determinism rule: epoch tiling is a pure
+    /// performance knob. Report, WAL, care log, and telemetry JSONL are
+    /// bit-identical to the strict-order sweep on either engine at any
+    /// worker count.
+    #[test]
+    fn epoch_and_strict_scheduling_are_bit_identical() {
+        let policy = CarePolicy::default();
+        for engine in [EngineKind::Wheel, EngineKind::Heap] {
+            for jobs in [1, 3] {
+                let epoch = MetroConfig { engine, jobs, sched: SchedMode::Epoch, ..small_cfg() };
+                let strict = MetroConfig { sched: SchedMode::Strict, ..epoch.clone() };
+                let (er, ewal, ecare) = run_scale_care_walled(&epoch, &policy);
+                let (sr, swal, scare) = run_scale_care_walled(&strict, &policy);
+                assert_eq!(er, sr, "{engine} jobs={jobs}: report diverged");
+                assert_eq!(ewal, swal, "{engine} jobs={jobs}: WAL diverged");
+                assert_eq!(ecare, scare, "{engine} jobs={jobs}: care log diverged");
+                let et = run_scale_traced(&epoch);
+                let st = run_scale_traced(&strict);
+                assert_eq!(
+                    et.telemetry.to_jsonl(),
+                    st.telemetry.to_jsonl(),
+                    "{engine} jobs={jobs}: telemetry diverged"
+                );
+            }
+        }
+    }
+
+    /// A checkpoint is sched-agnostic like it is jobs- and
+    /// engine-agnostic: captured under one mode, it resumes under the
+    /// other to the exact uninterrupted result.
+    #[test]
+    fn checkpoints_move_between_sched_modes() {
+        let strict = MetroConfig { sched: SchedMode::Strict, ..small_cfg() };
+        let epoch = MetroConfig { sched: SchedMode::Epoch, ..small_cfg() };
+        let full = run_scale(&strict);
+        let stop = SimTime::from_millis(strict.horizon.as_millis() / 2);
+        // Strict capture → epoch resume.
+        let (_, ckpts) = run_scale_checkpointed(&strict, &[stop]);
+        let resumed = resume_scale(&epoch, &ckpts[0]).expect("same config, new sched");
+        assert_eq!(resumed.per_home, full.per_home, "strict→epoch resume diverged");
+        // Epoch capture → strict resume.
+        let (_, ckpts) = run_scale_checkpointed(&epoch, &[stop]);
+        let resumed = resume_scale(&strict, &ckpts[0]).expect("same config, new sched");
+        assert_eq!(resumed.per_home, full.per_home, "epoch→strict resume diverged");
+    }
+
+    /// The epoch chain API (`next_epoch`/`next_wake`/`serve_wake`) must
+    /// reproduce the batch run exactly in *both* scheduling modes — under
+    /// `Strict` the window degenerates to a single instant and the chain
+    /// walk becomes the classic batch sweep.
+    #[test]
+    fn chain_api_reproduces_the_batch_run() {
+        for engine in [EngineKind::Wheel, EngineKind::Heap] {
+            for sched in [SchedMode::Epoch, SchedMode::Strict] {
+                let cfg = MetroConfig { engine, sched, ..small_cfg() };
+                let batch = run_scale(&cfg);
+                let (_, wal) = run_scale_walled(&cfg);
+                let ctx = ServeCtx::new(cfg.clone()).expect("small fleets fit");
+                let mut shards = Vec::new();
+                let mut deliveries = Vec::new();
+                for (first, count) in ctx.chunks() {
+                    let mut session = ctx.session(first, count, false, false);
+                    let mut due = Vec::new();
+                    while session.next_epoch(&mut due).is_some() {
+                        for &home in &due {
+                            while let Some(now) = session.next_wake(home) {
+                                session.serve_wake(home, now, false, &mut deliveries);
+                            }
+                        }
+                    }
+                    shards.push(session.finish());
+                }
+                let (out, merged, _) = collect_served(&cfg, shards);
+                assert_eq!(out.report, batch, "{engine}/{sched} chain serve diverged");
+                assert_eq!(merged, wal, "{engine}/{sched} served log diverged");
+                deliveries.sort_unstable_by_key(|r| (r.at, r.home));
+                assert_eq!(deliveries, wal, "{engine}/{sched} deliveries diverged");
+            }
+        }
+    }
+
+    /// The sorted-unique fast path and the re-sort slow path of
+    /// [`Shard::collect_batch`] must land on the same batch.
+    #[test]
+    fn collect_batch_handles_sorted_and_unsorted_pops() {
+        let cfg = small_cfg();
+        let ctx = FleetCtx::build(&cfg);
+        let mut shard = Shard::build(&cfg, &ctx, 0, cfg.homes, false, false, false, None);
+        let at = SimTime::from_millis(1_000);
+
+        // Ascending, duplicate-free pops: the fast path must keep them.
+        let mut sim: Simulator<Wake> = Simulator::new();
+        for i in 0..4 {
+            sim.schedule_at(at, Wake(i));
+        }
+        let Some(Wake(first)) = sim.step() else { panic!("scheduled wakes exist") };
+        assert_eq!(shard.collect_batch(&mut sim, first), at);
+        assert_eq!(shard.batch, vec![0, 1, 2, 3]);
+
+        // Out-of-order pops with duplicates: the slow path must restore
+        // the ascending deduplicated sweep order.
+        let mut sim: Simulator<Wake> = Simulator::new();
+        for i in [3usize, 1, 2, 1] {
+            sim.schedule_at(at, Wake(i));
+        }
+        let Some(Wake(first)) = sim.step() else { panic!("scheduled wakes exist") };
+        assert_eq!(shard.collect_batch(&mut sim, first), at);
+        assert_eq!(shard.batch, vec![1, 2, 3]);
     }
 
     /// A skipped (disconnected) home freezes — no further deliveries —

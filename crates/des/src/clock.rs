@@ -24,8 +24,12 @@ use crate::time::SimTime;
 
 /// Maps simulated due instants onto real time.
 pub trait Clock {
-    /// Blocks until the simulated instant `due` may be served. Called
-    /// with non-decreasing instants by each serving loop.
+    /// Blocks until the simulated instant `due` may be served. Serving
+    /// loops call this with instants that are non-decreasing up to one
+    /// epoch window of reordering (per-home chains inside a window
+    /// replay from the window start), so an instant may arrive after
+    /// its wall image has passed; implementations must not sleep for
+    /// past instants.
     fn wait_until(&mut self, due: SimTime);
 }
 

@@ -84,6 +84,19 @@ pub trait EventQueueBackend<E> {
 
     /// Removes all pending events.
     fn clear(&mut self);
+
+    /// Removes every event with `due <= until`, appending them to `out`
+    /// in dispatch order (`(due, seq)` FIFO), and returns how many were
+    /// drained. Behaviourally identical to popping while
+    /// `peek_time() <= until`; backends may override it to move whole
+    /// buckets at once instead of extracting events one by one.
+    fn drain_until(&mut self, until: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let start = out.len();
+        while self.peek_time().is_some_and(|due| due <= until) {
+            out.push(self.pop().expect("peeked event exists"));
+        }
+        out.len() - start
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -286,6 +299,69 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Removes every event with `due <= until` in one pass, appending
+    /// them to `out` in dispatch order (`(due, seq)` FIFO), and returns
+    /// how many were drained. Unlike the pop-loop equivalent this moves
+    /// whole level-0 buckets (a bucket holds one exact millisecond) with
+    /// a single seq sort each, so draining a dense epoch costs
+    /// O(drained) bucket work instead of a min-seq scan per event.
+    pub fn drain_until(&mut self, until: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let start = out.len();
+        // Overdue entries are strictly before the cursor and therefore
+        // before anything in the wheel or overflow: drain them first, in
+        // (due, seq) heap order.
+        while self.overdue.peek().is_some_and(|s| s.due <= until) {
+            let s = self.overdue.pop().expect("peeked entry exists");
+            self.len -= 1;
+            out.push((s.due, s.event));
+        }
+        let until_ms = until.as_millis();
+        while self.len > 0 {
+            let Some((level, slot)) = self.first_occupied() else {
+                // The wheel is empty; only overflow remains. Teleport into
+                // its first block only if that block still starts at or
+                // before `until`.
+                if self.overflow.peek().is_some_and(|s| s.due <= until) {
+                    self.refill_from_overflow();
+                    continue;
+                }
+                break;
+            };
+            if level == 0 {
+                // Level-0 buckets hold one exact due, so the whole bucket
+                // drains together once sorted by seq.
+                let due_ms = (self.cursor >> SLOT_BITS << SLOT_BITS) | slot as u64;
+                if due_ms > until_ms {
+                    break;
+                }
+                let bucket = &mut self.slots[0][slot];
+                bucket.sort_unstable_by_key(|s| s.seq);
+                self.len -= bucket.len();
+                out.extend(bucket.drain(..).map(|s| (s.due, s.event)));
+                self.clear_bit(0, slot);
+                self.cursor = due_ms;
+            } else {
+                // The earliest due this slot can hold is its base; if even
+                // that is past `until` the wheel holds nothing drainable
+                // (lower levels are empty and later slots are later dues).
+                let upper_shift = SLOT_BITS * (level as u32 + 1);
+                let slot_base = (self.cursor >> upper_shift << upper_shift)
+                    | ((slot as u64) << (SLOT_BITS * level as u32));
+                if slot_base > until_ms {
+                    break;
+                }
+                // Cascade exactly as `pop` would, then re-examine.
+                let bucket = std::mem::take(&mut self.slots[level][slot]);
+                self.clear_bit(level, slot);
+                self.cursor = slot_base;
+                for s in bucket {
+                    self.insert(s);
+                }
+            }
+        }
+        out.len() - start
+    }
+
     /// The due time of the earliest event, if any.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
@@ -382,6 +458,9 @@ impl<E> EventQueueBackend<E> for EventQueue<E> {
     fn clear(&mut self) {
         EventQueue::clear(self);
     }
+    fn drain_until(&mut self, until: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        EventQueue::drain_until(self, until, out)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -444,6 +523,18 @@ impl<E> HeapEventQueue<E> {
         self.heap.clear();
     }
 
+    /// Removes every event with `due <= until`, appending them to `out`
+    /// in dispatch order (`(due, seq)` FIFO), and returns how many were
+    /// drained.
+    pub fn drain_until(&mut self, until: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let start = out.len();
+        while self.heap.peek().is_some_and(|s| s.due <= until) {
+            let s = self.heap.pop().expect("peeked entry exists");
+            out.push((s.due, s.event));
+        }
+        out.len() - start
+    }
+
     /// Every pending event as `(due, seq, &event)`, sorted into dispatch
     /// order, without disturbing the heap.
     pub(crate) fn pending_in_order(&self) -> Vec<(SimTime, u64, &E)> {
@@ -475,6 +566,9 @@ impl<E> EventQueueBackend<E> for HeapEventQueue<E> {
     }
     fn clear(&mut self) {
         HeapEventQueue::clear(self);
+    }
+    fn drain_until(&mut self, until: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        HeapEventQueue::drain_until(self, until, out)
     }
 }
 
@@ -621,6 +715,110 @@ mod tests {
         let order: Vec<&str> = q.pending_in_order().into_iter().map(|(_, _, &e)| e).collect();
         assert_eq!(order, vec!["overdue", "late"]);
         assert_eq!(q.len(), 2, "the borrow must not pop");
+    }
+
+    #[test]
+    fn drain_until_matches_a_pop_loop_across_levels() {
+        // Dues spanning every wheel level, same-instant ties, an overdue
+        // entry, and the 2^32 ms overflow boundary.
+        let dues = [
+            5u64,
+            5,
+            0,
+            300,
+            300,
+            65_536,
+            1 << 24,
+            (1 << 32) - 1,
+            (1 << 32) + 3,
+            (1 << 33) + 7,
+            100,
+            5,
+        ];
+        for until in [0u64, 4, 5, 299, 300, 1 << 24, (1 << 32) - 1, (1 << 32) + 3, 1 << 34] {
+            let mut drained_q = EventQueue::new();
+            let mut popped_q = EventQueue::new();
+            for (i, &d) in dues.iter().enumerate() {
+                drained_q.schedule_at(SimTime::from_millis(d), i);
+                popped_q.schedule_at(SimTime::from_millis(d), i);
+            }
+            // Make one entry overdue in both queues: pop past 100, then
+            // schedule at 50.
+            while popped_q.peek_time().unwrap() < SimTime::from_millis(300) {
+                let (t, e) = popped_q.pop().unwrap();
+                assert_eq!(drained_q.pop().unwrap(), (t, e));
+            }
+            drained_q.schedule_at(SimTime::from_millis(50), 99);
+            popped_q.schedule_at(SimTime::from_millis(50), 99);
+
+            let mut drained = Vec::new();
+            let n = drained_q.drain_until(SimTime::from_millis(until), &mut drained);
+            assert_eq!(n, drained.len());
+            let mut by_pop = Vec::new();
+            while popped_q.peek_time().is_some_and(|t| t <= SimTime::from_millis(until)) {
+                by_pop.push(popped_q.pop().unwrap());
+            }
+            assert_eq!(drained, by_pop, "until={until}");
+            assert_eq!(drained_q.len(), popped_q.len(), "until={until}");
+            // Whatever remains pops identically.
+            loop {
+                let (a, b) = (drained_q.pop(), popped_q.pop());
+                assert_eq!(a, b, "until={until}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drain_until_leaves_later_events_untouched() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), "in");
+        q.schedule_at(SimTime::from_millis(11), "out");
+        let mut out = Vec::new();
+        assert_eq!(q.drain_until(SimTime::from_millis(10), &mut out), 1);
+        assert_eq!(out, vec![(SimTime::from_millis(10), "in")]);
+        assert_eq!(q.len(), 1);
+        // A drain before the earliest event takes nothing.
+        assert_eq!(q.drain_until(SimTime::from_millis(5), &mut out), 0);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(11), "out")));
+        // Draining an empty queue is a no-op.
+        assert_eq!(q.drain_until(SimTime::from_millis(1 << 40), &mut out), 0);
+    }
+
+    #[test]
+    fn drain_until_interleaves_with_scheduling() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        wheel.schedule_at(SimTime::from_millis(3), 0);
+        heap.schedule_at(SimTime::from_millis(3), 0);
+        wheel.schedule_at(SimTime::from_millis(700), 1);
+        heap.schedule_at(SimTime::from_millis(700), 1);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        wheel.drain_until(SimTime::from_millis(400), &mut a);
+        heap.drain_until(SimTime::from_millis(400), &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(SimTime::from_millis(3), 0)]);
+        // Schedule into the drained window (overdue path) and beyond.
+        wheel.schedule_at(SimTime::from_millis(350), 2);
+        heap.schedule_at(SimTime::from_millis(350), 2);
+        wheel.schedule_at(SimTime::from_millis(800), 3);
+        heap.schedule_at(SimTime::from_millis(800), 3);
+        a.clear();
+        b.clear();
+        wheel.drain_until(SimTime::from_millis(900), &mut a);
+        heap.drain_until(SimTime::from_millis(900), &mut b);
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            vec![
+                (SimTime::from_millis(350), 2),
+                (SimTime::from_millis(700), 1),
+                (SimTime::from_millis(800), 3),
+            ]
+        );
+        assert!(wheel.is_empty() && heap.is_empty());
     }
 
     #[test]

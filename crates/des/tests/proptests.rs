@@ -163,4 +163,99 @@ proptest! {
         prop_assert_eq!((t + d) - t, d);
         prop_assert_eq!((t + d) - d, t);
     }
+
+    /// Epoch draining is exactly a pop loop: for any schedule spanning
+    /// every wheel regime (level-0 ties, cascades, past-2^32 overflow)
+    /// and any drain boundary, `drain_until` yields precisely the
+    /// events a peek/pop loop bounded by the same instant yields, in
+    /// the same `(due, seq)` order — so an epoch can never cross (or
+    /// reorder against) an event due after its window. The remainders
+    /// must then dispatch identically too.
+    #[test]
+    fn drain_until_is_exactly_a_bounded_pop_loop(
+        dues in proptest::collection::vec(due_strategy(), 1..200),
+        until in due_strategy(),
+    ) {
+        let mut drained_q = EventQueue::new();
+        let mut popped_q = EventQueue::new();
+        for (i, &due) in dues.iter().enumerate() {
+            drained_q.schedule_at(SimTime::from_millis(due), i);
+            popped_q.schedule_at(SimTime::from_millis(due), i);
+        }
+        let until = SimTime::from_millis(until);
+        let mut drained = Vec::new();
+        let n = drained_q.drain_until(until, &mut drained);
+        prop_assert_eq!(n, drained.len());
+        let mut popped = Vec::new();
+        while popped_q.peek_time().is_some_and(|due| due <= until) {
+            popped.push(popped_q.pop().expect("peeked event exists"));
+        }
+        prop_assert_eq!(&drained, &popped);
+        prop_assert!(drained.iter().all(|&(due, _)| due <= until), "an epoch crossed its window");
+        // Later-due events are untouched and still dispatch identically.
+        prop_assert_eq!(drained_q.len(), popped_q.len());
+        loop {
+            let (d, p) = (drained_q.pop(), popped_q.pop());
+            prop_assert_eq!(d, p);
+            if d.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Both backends agree on every drained window, including windows
+    /// that interleave with fresh scheduling (an epoch's follow-up
+    /// wakes landing past the window) and windows cut exactly at the
+    /// 2^32 ms wheel horizon where the overflow heap refills the wheel.
+    #[test]
+    fn wheel_and_heap_drain_identical_windows(
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec(due_strategy(), 0..40), due_strategy()),
+            1..8,
+        ),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut cursor = 0u64; // schedules must stay >= the drain high-water
+        let mut seq = 0usize;
+        for (dues, until) in rounds {
+            for due in dues {
+                let due = SimTime::from_millis(cursor.saturating_add(due));
+                wheel.schedule_at(due, seq);
+                heap.schedule_at(due, seq);
+                seq += 1;
+            }
+            let until = SimTime::from_millis(cursor.saturating_add(until));
+            let mut from_wheel = Vec::new();
+            let mut from_heap = Vec::new();
+            wheel.drain_until(until, &mut from_wheel);
+            heap.drain_until(until, &mut from_heap);
+            prop_assert_eq!(&from_wheel, &from_heap);
+            prop_assert_eq!(wheel.len(), heap.len());
+            cursor = until.as_millis();
+        }
+    }
+
+    /// Duplicate same-instant entries (the wake-dedup workload) all
+    /// drain, FIFO within the tie — the consumer's dedup then collapses
+    /// them exactly as the strict sweep's batch dedup does.
+    #[test]
+    fn duplicate_instants_drain_complete_and_fifo(
+        due in due_strategy(),
+        dupes in 2usize..12,
+    ) {
+        let t = SimTime::from_millis(due);
+        let mut q = EventQueue::new();
+        for i in 0..dupes {
+            q.schedule_at(t, i);
+        }
+        let mut out = Vec::new();
+        q.drain_until(t, &mut out);
+        prop_assert_eq!(out.len(), dupes, "a duplicate wake was lost");
+        for (i, &(at, e)) in out.iter().enumerate() {
+            prop_assert_eq!(at, t);
+            prop_assert_eq!(e, i, "ties must stay FIFO");
+        }
+        prop_assert!(q.is_empty());
+    }
 }

@@ -310,51 +310,62 @@ where
         })
         .collect();
 
+    // Epoch-tiled serving: drain a bounded near-instant window, then
+    // walk each due home's wake chain contiguously. Per-connection byte
+    // streams are per-home, so the cross-home reorder inside a window
+    // never changes what any client sees — the wire outcome is
+    // bit-identical to the instant-by-instant sweep (under `Strict`
+    // scheduling the window *is* a single instant and this loop
+    // degenerates to exactly that sweep).
     let mut due = Vec::new();
     let mut fresh = Vec::new();
     let mut escalations = Vec::new();
-    while let Some(now) = session.next_batch(&mut due) {
-        clock.wait_until(now);
-        let popped = Instant::now();
+    while session.next_epoch(&mut due).is_some() {
         for &home in &due {
             let conn = &mut conns[home as usize - first_home];
-            if conn.disconnected {
-                session.serve_home(home, now, true, &mut fresh);
-                stats.skipped_wakes += 1;
-                continue;
-            }
-            // Offer the wake; the flush also carries any `Welcome` or
-            // `Deliver` frames queued since the home's last wake.
-            stats.polls += 1;
-            conn.push(&Frame::Poll { home, at: now }, &mut stats);
-            conn.flush();
-            conn.drain(home, &mut stats);
-            if conn.disconnected {
-                // The hangup replaced this wake's report: consume the
-                // wake without touching state, freezing only this home.
-                session.serve_home(home, now, true, &mut fresh);
-                stats.skipped_wakes += 1;
-                continue;
-            }
-            if conn.watermark.is_none_or(|w| w < now) {
-                // The report for this wake is missing or behind —
-                // delayed, reordered, or lost in transit. Reports are
-                // advisory, so the wake is served on time regardless.
-                stats.late_reports += 1;
-            }
-            session.serve_home(home, now, false, &mut fresh);
-            for rec in fresh.drain(..) {
-                stats.delivers += 1;
-                conn.push(&Frame::Deliver(rec), &mut stats);
-                let us = popped.elapsed().as_secs_f64() * 1e6;
-                latency.record(us);
-            }
-            // Escalations the wake's records tripped ride the same
-            // flush as their prompts, as `Escalate` frames.
-            session.drain_care(home, &mut escalations);
-            for ev in escalations.drain(..) {
-                stats.escalations += 1;
-                conn.push(&Frame::Escalate(ev), &mut stats);
+            while let Some(now) = session.next_wake(home) {
+                clock.wait_until(now);
+                let popped = Instant::now();
+                if conn.disconnected {
+                    session.serve_wake(home, now, true, &mut fresh);
+                    stats.skipped_wakes += 1;
+                    continue;
+                }
+                // Offer the wake; the flush also carries any `Welcome`
+                // or `Deliver` frames queued since the home's last wake.
+                stats.polls += 1;
+                conn.push(&Frame::Poll { home, at: now }, &mut stats);
+                conn.flush();
+                conn.drain(home, &mut stats);
+                if conn.disconnected {
+                    // The hangup replaced this wake's report: consume
+                    // the wake without touching state, freezing only
+                    // this home.
+                    session.serve_wake(home, now, true, &mut fresh);
+                    stats.skipped_wakes += 1;
+                    continue;
+                }
+                if conn.watermark.is_none_or(|w| w < now) {
+                    // The report for this wake is missing or behind —
+                    // delayed, reordered, or lost in transit. Reports
+                    // are advisory, so the wake is served on time
+                    // regardless.
+                    stats.late_reports += 1;
+                }
+                session.serve_wake(home, now, false, &mut fresh);
+                for rec in fresh.drain(..) {
+                    stats.delivers += 1;
+                    conn.push(&Frame::Deliver(rec), &mut stats);
+                    let us = popped.elapsed().as_secs_f64() * 1e6;
+                    latency.record(us);
+                }
+                // Escalations the wake's records tripped ride the same
+                // flush as their prompts, as `Escalate` frames.
+                session.drain_care(home, &mut escalations);
+                for ev in escalations.drain(..) {
+                    stats.escalations += 1;
+                    conn.push(&Frame::Escalate(ev), &mut stats);
+                }
             }
         }
         fresh.clear();

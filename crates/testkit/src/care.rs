@@ -19,9 +19,12 @@
 //!   `Escalate` frames) equals the batch overlay.
 
 use coreda_core::escalation::{CareEvent, CareEventKind, CarePolicy, CareTrigger};
-use coreda_core::metro::{run_scale_care, run_scale_care_walled, EngineKind, MetroConfig};
+use coreda_core::metro::{
+    resume_scale, run_scale, run_scale_care, run_scale_care_walled, run_scale_checkpointed,
+    EngineKind, MetroConfig,
+};
 use coreda_core::wal::{WalRecord, EPISODE_COMPLETED, EPISODE_ENDED};
-use coreda_des::time::SimDuration;
+use coreda_des::time::{SimDuration, SimTime};
 use coreda_serve::{serve_scale, ServeOptions};
 
 use crate::oracles::Violation;
@@ -336,6 +339,45 @@ pub fn check_care(plan: &FaultPlan) -> Vec<Violation> {
                 care.events.len()
             ),
         });
+    }
+
+    // Fleet-level process death: snapshot at each kill tick, resume,
+    // and require the resumed fleet to be bit-identical to the
+    // uninterrupted run. Kill ticks are deliberately allowed to land
+    // *inside* an epoch window — the tiled sweep must clip the window
+    // exactly at the stop, or the snapshot would carry wakes the
+    // strict-order resume never saw.
+    let kills: Vec<SimTime> = {
+        let mut ks: Vec<SimTime> = plan
+            .faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::CheckpointKillResume)
+            .map(|f| SimTime::from_millis(f.from_ms))
+            .filter(|&t| t > SimTime::ZERO && t.as_millis() < plan.horizon_ms)
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    };
+    if !kills.is_empty() {
+        let cfg = care_config(plan, EngineKind::Wheel, 1);
+        let full = run_scale(&cfg);
+        let (_, ckpts) = run_scale_checkpointed(&cfg, &kills);
+        for (ckpt, &at) in ckpts.iter().zip(&kills) {
+            match resume_scale(&cfg, ckpt) {
+                Ok(resumed) if resumed == full => {}
+                Ok(_) => violations.push(Violation {
+                    oracle: ORACLE,
+                    detail: format!(
+                        "kill-resume at {at} diverged from the uninterrupted fleet"
+                    ),
+                }),
+                Err(e) => violations.push(Violation {
+                    oracle: ORACLE,
+                    detail: format!("kill-resume at {at} failed to restore: {e:?}"),
+                }),
+            }
+        }
     }
 
     violations.extend(check_log_shape(&policy, &care.events, plan.horizon_ms));

@@ -1,0 +1,124 @@
+//! The epoch-tiling headline guarantee, as a differential suite:
+//! locality-aware wake scheduling ([`SchedMode::Epoch`]) is a pure
+//! performance knob. Every deterministic artifact — the per-home grid
+//! and rendered report, the flight-recorder telemetry down to its JSONL
+//! bytes, the write-ahead event log down to its encoded bytes, the care
+//! escalation log, and the served wire outcome — is bit-identical to
+//! the strict `(due, seq)` sweep at any `--jobs`, on either queue
+//! engine, batch or served.
+//!
+//! The commutativity argument the suite enforces: an epoch window only
+//! reorders wakes *across distinct homes*, and homes never interact, so
+//! per-home sequences (the only state-bearing order) are untouched.
+
+use coreda::core::escalation::CarePolicy;
+use coreda::core::metro::{
+    resume_scale, run_scale_care_walled, run_scale_checkpointed, run_scale_traced, EngineKind,
+    MetroConfig, SchedMode,
+};
+use coreda::core::{config_digest, encode_wal};
+use coreda::des::time::{SimDuration, SimTime};
+use coreda::serve::{serve_scale, ServeOptions};
+
+fn cfg(jobs: usize, engine: EngineKind, sched: SchedMode) -> MetroConfig {
+    MetroConfig {
+        homes: 24,
+        horizon: SimDuration::from_secs(900),
+        seed: 2007,
+        jobs,
+        engine,
+        sched,
+        gap_min: SimDuration::from_secs(60),
+        gap_max: SimDuration::from_secs(180),
+        idle_close: SimDuration::from_secs(120),
+        train_episodes: 120,
+        ..MetroConfig::default()
+    }
+}
+
+/// Report, WAL bytes, and care log: epoch ≡ strict for every
+/// (jobs, engine) combination, against the single strict jobs=1 wheel
+/// reference where the engine allows (per-home grids are also
+/// engine-invariant, DES event counts are not).
+#[test]
+fn epoch_tiling_matches_strict_order_everywhere() {
+    let policy = CarePolicy::default();
+    for engine in [EngineKind::Wheel, EngineKind::Heap] {
+        let (strict_report, strict_wal, strict_care) =
+            run_scale_care_walled(&cfg(1, engine, SchedMode::Strict), &policy);
+        for jobs in [1usize, 8] {
+            let (report, wal, care) =
+                run_scale_care_walled(&cfg(jobs, engine, SchedMode::Epoch), &policy);
+            assert_eq!(report, strict_report, "{engine} jobs={jobs}: report diverged");
+            assert_eq!(report.render(), strict_report.render());
+            assert_eq!(wal, strict_wal, "{engine} jobs={jobs}: WAL diverged");
+            // Byte-level: the durable encoding of the log is identical too.
+            let digest = config_digest(&cfg(jobs, engine, SchedMode::Epoch));
+            assert_eq!(
+                encode_wal(digest, &wal),
+                encode_wal(digest, &strict_wal),
+                "{engine} jobs={jobs}: encoded WAL bytes diverged"
+            );
+            assert_eq!(care, strict_care, "{engine} jobs={jobs}: care log diverged");
+        }
+    }
+}
+
+/// Telemetry equivalence at the serialization boundary: the JSONL the
+/// trace CLI writes is byte-identical between scheduling modes.
+#[test]
+fn epoch_telemetry_jsonl_is_byte_identical_to_strict() {
+    for engine in [EngineKind::Wheel, EngineKind::Heap] {
+        let strict = run_scale_traced(&cfg(1, engine, SchedMode::Strict));
+        for jobs in [1usize, 8] {
+            let epoch = run_scale_traced(&cfg(jobs, engine, SchedMode::Epoch));
+            assert_eq!(epoch.report, strict.report, "{engine} jobs={jobs}");
+            assert_eq!(
+                epoch.telemetry.to_jsonl(),
+                strict.telemetry.to_jsonl(),
+                "{engine} jobs={jobs}: telemetry JSONL diverged"
+            );
+        }
+    }
+}
+
+/// Served ≡ batch across the mode boundary: an epoch-tiled served fleet
+/// (every wake a `Poll` frame over the wire) reproduces the strict
+/// batch run — report, delivery log, and the wire accounting is itself
+/// sched-invariant.
+#[test]
+fn epoch_served_fleet_matches_the_strict_batch_run() {
+    for engine in [EngineKind::Wheel, EngineKind::Heap] {
+        let (strict_report, strict_wal, _) =
+            run_scale_care_walled(&cfg(1, engine, SchedMode::Strict), &CarePolicy::default());
+        let strict_served = serve_scale(cfg(1, engine, SchedMode::Strict), &ServeOptions::default())
+            .expect("small fleets fit in u32");
+        for jobs in [1usize, 8] {
+            let served = serve_scale(cfg(jobs, engine, SchedMode::Epoch), &ServeOptions::default())
+                .expect("small fleets fit in u32");
+            assert_eq!(served.output.report, strict_report, "{engine} jobs={jobs}");
+            assert_eq!(served.log, strict_wal, "{engine} jobs={jobs}: served log diverged");
+            assert_eq!(
+                served.wire, strict_served.wire,
+                "{engine} jobs={jobs}: wire accounting diverged across sched modes"
+            );
+        }
+    }
+}
+
+/// Checkpoints cross the mode boundary: a fleet snapshot captured under
+/// strict order resumes under epoch tiling (and vice versa) to the
+/// exact uninterrupted per-home grid.
+#[test]
+fn checkpoints_are_sched_agnostic() {
+    let strict = cfg(1, EngineKind::Wheel, SchedMode::Strict);
+    let epoch = cfg(1, EngineKind::Wheel, SchedMode::Epoch);
+    let (full, _, _) = run_scale_care_walled(&strict, &CarePolicy::default());
+    let stop = SimTime::from_millis(strict.horizon.as_millis() / 3);
+    let (_, ckpts) = run_scale_checkpointed(&strict, &[stop]);
+    let resumed = resume_scale(&epoch, &ckpts[0]).expect("sched is digest-excluded");
+    assert_eq!(resumed.per_home, full.per_home, "strict→epoch resume diverged");
+    let (_, ckpts) = run_scale_checkpointed(&epoch, &[stop]);
+    let resumed = resume_scale(&strict, &ckpts[0]).expect("sched is digest-excluded");
+    assert_eq!(resumed.per_home, full.per_home, "epoch→strict resume diverged");
+}
